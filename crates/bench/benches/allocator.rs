@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks for the vNPU allocator (Eq. 1–4 and the
+//! Fig. 12 sweep).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use neu10::{allocation_sweep, split_eus, VnpuAllocator};
+use npu_sim::NpuConfig;
+use workloads::{InferenceGraph, ModelId, WorkloadProfile};
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocator");
+    group.sample_size(20);
+
+    group.bench_function("split_eus", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for eus in 2..=16 {
+                let split = split_eus(black_box(eus), black_box(0.82), black_box(0.41));
+                total += split.mes;
+            }
+            total
+        })
+    });
+
+    group.bench_function("allocation_sweep_16eu", |b| {
+        b.iter(|| allocation_sweep(black_box(0.82), black_box(0.41), black_box(16)))
+    });
+
+    let config = NpuConfig::tpu_v4_like();
+    let profile = WorkloadProfile::analyze(ModelId::ResNet, 32, &config);
+    let footprint = InferenceGraph::build(ModelId::ResNet, 32).hbm_footprint_bytes();
+    let allocator = VnpuAllocator::new(&config);
+    group.bench_function("recommend_resnet", |b| {
+        b.iter(|| allocator.recommend(black_box(&profile), black_box(4), black_box(footprint)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

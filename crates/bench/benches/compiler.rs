@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for the NeuISA / VLIW operator compiler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use neuisa::compiler::{Compiler, CompilerOptions};
+use neuisa::{Activation, OperatorKind, TensorOperator};
+use npu_sim::NpuConfig;
+use workloads::{InferenceGraph, ModelId};
+
+fn bench_compiler(c: &mut Criterion) {
+    let config = NpuConfig::tpu_v4_like();
+    let compiler = Compiler::new(&config, CompilerOptions::default());
+    let mut group = c.benchmark_group("compiler");
+    group.sample_size(20);
+
+    let op = TensorOperator::new(
+        "bench_matmul",
+        OperatorKind::MatMul {
+            m: 1024,
+            k: 1024,
+            n: 1024,
+        },
+    )
+    .with_activation(Activation::Relu);
+    group.bench_function("compile_operator_neuisa", |b| {
+        b.iter(|| compiler.compile_operator(black_box(&op)))
+    });
+    group.bench_function("compile_operator_vliw", |b| {
+        b.iter(|| compiler.compile_vliw(black_box(&op)))
+    });
+
+    let bert = InferenceGraph::build(ModelId::Bert, 8);
+    group.bench_function("compile_graph_bert_b8", |b| {
+        b.iter(|| compiler.compile_graph(black_box(bert.operators().to_vec())))
+    });
+    group.bench_function("neuisa_overhead_bert_b8", |b| {
+        b.iter(|| compiler.neuisa_overhead(black_box(bert.operators())))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmark for a full collocation run (one workload pair under
+//! each sharing policy, two requests per tenant).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neu10::{CollocationSim, SharingPolicy, SimOptions, TenantSpec};
+use npu_sim::NpuConfig;
+use workloads::ModelId;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let config = NpuConfig::single_core();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    for policy in SharingPolicy::all() {
+        group.bench_function(format!("ncf_mnist_pair_{}", policy.label()), |b| {
+            b.iter(|| {
+                CollocationSim::new(
+                    &config,
+                    SimOptions::new(policy),
+                    vec![
+                        TenantSpec::evaluation(0, ModelId::Ncf, 2),
+                        TenantSpec::evaluation(1, ModelId::Mnist, 2),
+                    ],
+                )
+                .run()
+            })
+        });
+    }
+    group.bench_function("dlrm_efficientnet_pair_neu10", |b| {
+        b.iter(|| {
+            CollocationSim::new(
+                &config,
+                SimOptions::new(SharingPolicy::Neu10),
+                vec![
+                    TenantSpec::evaluation(0, ModelId::Dlrm, 2),
+                    TenantSpec::evaluation(1, ModelId::EfficientNet, 2),
+                ],
+            )
+            .run()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for one step of the µTOp / operation scheduler
+//! (the engine-assignment computation of §III-E).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use neu10::scheduler::{compute_assignment, SharingPolicy, TenantSnapshot};
+use neu10::VnpuId;
+
+fn tenants(count: u32) -> Vec<TenantSnapshot> {
+    (0..count)
+        .map(|i| TenantSnapshot {
+            vnpu: VnpuId(i),
+            allocated_mes: 2,
+            allocated_ves: 2,
+            priority: 1 + i % 3,
+            me_demand: (i % 5) as usize,
+            ve_demand: ((i + 2) % 5) as usize,
+            has_work: i % 7 != 0,
+            active_cycles: u64::from(i) * 10_000,
+            holds_engines: i % 3 == 0,
+        })
+        .collect()
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(50);
+
+    let two = tenants(2);
+    let eight = tenants(8);
+    for policy in SharingPolicy::all() {
+        group.bench_function(format!("assign_2_tenants_{}", policy.label()), |b| {
+            b.iter(|| compute_assignment(black_box(policy), black_box(&two), 4, 4))
+        });
+    }
+    group.bench_function("assign_8_tenants_neu10", |b| {
+        b.iter(|| compute_assignment(SharingPolicy::Neu10, black_box(&eight), 8, 8))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for the discrete-event kernel and the memory
+//! models of the NPU simulator substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use npu_sim::{Cycles, EventQueue, Frequency, HbmModel, NpuBoard, NpuConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(30);
+
+    group.bench_function("event_queue_10k", |b| {
+        b.iter(|| {
+            let mut queue: EventQueue<u32> = EventQueue::new();
+            for i in 0..10_000u32 {
+                queue.schedule_at(Cycles(u64::from(i % 997) * 3), i);
+            }
+            let mut sum = 0u64;
+            while let Some(event) = queue.pop() {
+                sum += u64::from(event.payload);
+            }
+            black_box(sum)
+        })
+    });
+
+    group.bench_function("hbm_bandwidth_timeline", |b| {
+        let mut hbm = HbmModel::new(1 << 34, 1.2e12, Frequency::default());
+        for i in 0..1_000u64 {
+            hbm.record_transfer(Cycles(i * 100), Cycles(i * 100 + 250), 1 << 16, (i % 4) as u32);
+        }
+        b.iter(|| hbm.bandwidth_timeline(Cycles(1_000), Cycles(100_000)))
+    });
+
+    group.bench_function("board_construction", |b| {
+        let config = NpuConfig::tpu_v4_like();
+        b.iter(|| NpuBoard::new(black_box(&config)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 2: the number of MEs and VEs demanded by DNN inference workloads over
+//! time (batch size 8).
+
+use bench::print_simulator_config;
+use npu_sim::NpuConfig;
+use workloads::{ModelId, WorkloadProfile};
+
+const MODELS: [ModelId; 6] = [
+    ModelId::Bert,
+    ModelId::Transformer,
+    ModelId::Dlrm,
+    ModelId::Ncf,
+    ModelId::ResNet,
+    ModelId::MaskRcnn,
+];
+
+fn main() {
+    let config = NpuConfig::tpu_v4_like();
+    print_simulator_config(&config);
+    println!("# Fig. 2: demanded MEs/VEs over one inference request (batch 8)");
+    for model in MODELS {
+        let profile = WorkloadProfile::analyze(model, 8, &config);
+        println!("\n== {} (makespan {}) ==", model.name(), config.frequency.cycles_to_time(profile.makespan()));
+        println!("{:>14} {:>8} {:>8}", "time", "MEs", "VEs");
+        // Downsample to at most 40 rows so the series stays readable.
+        let samples = profile.samples();
+        let step = (samples.len() / 40).max(1);
+        for sample in samples.iter().step_by(step) {
+            println!(
+                "{:>14} {:>8} {:>8}",
+                config.frequency.cycles_to_time(sample.start).to_string(),
+                sample.demanded_mes,
+                sample.demanded_ves
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Fig. 3: the number of MEs and VEs demanded over time with a larger batch
+//! size (BERT and DLRM, batch 32).
+
+use bench::print_simulator_config;
+use npu_sim::NpuConfig;
+use workloads::{ModelId, WorkloadProfile};
+
+fn main() {
+    let config = NpuConfig::tpu_v4_like();
+    print_simulator_config(&config);
+    println!("# Fig. 3: demanded MEs/VEs over one inference request (batch 32)");
+    for model in [ModelId::Bert, ModelId::Dlrm] {
+        let profile = WorkloadProfile::analyze(model, 32, &config);
+        println!("\n== {} (batch size = 32) ==", model.name());
+        println!("{:>14} {:>8} {:>8}", "time", "MEs", "VEs");
+        let samples = profile.samples();
+        let step = (samples.len() / 40).max(1);
+        for sample in samples.iter().step_by(step) {
+            println!(
+                "{:>14} {:>8} {:>8}",
+                config.frequency.cycles_to_time(sample.start).to_string(),
+                sample.demanded_mes,
+                sample.demanded_ves
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 4: the ME/VE intensity ratio (execution-time ratio of ME work to VE
+//! work) of every model across batch sizes.
+
+use npu_sim::NpuConfig;
+use workloads::{ModelId, WorkloadProfile};
+
+const BATCHES: [u64; 8] = [1, 8, 32, 64, 128, 256, 512, 1024];
+
+fn main() {
+    let config = NpuConfig::tpu_v4_like();
+    println!("# Fig. 4: ME/VE intensity ratio per model and batch size");
+    print!("{:<16}", "model");
+    for batch in BATCHES {
+        print!(" {batch:>9}");
+    }
+    println!();
+    for model in ModelId::table_i() {
+        print!("{:<16}", model.name());
+        for batch in BATCHES {
+            // Detection / segmentation models do not fit large batches on a
+            // single core (the paper omits them as well).
+            let skip_large = matches!(
+                model,
+                ModelId::MaskRcnn | ModelId::ShapeMask | ModelId::RetinaNet
+            ) && batch > 256;
+            if skip_large {
+                print!(" {:>9}", "-");
+                continue;
+            }
+            let profile = WorkloadProfile::analyze(model, batch, &config);
+            print!(" {:>9.3}", profile.intensity_ratio());
+        }
+        println!();
+    }
+    println!("\n# Ratios > 1 are ME-intensive (convolution/attention models);");
+    println!("# ratios < 1 are VE/memory-intensive (recommendation models).");
+}

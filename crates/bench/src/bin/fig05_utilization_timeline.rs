@@ -1,0 +1,41 @@
+//! Fig. 5: ME and VE utilization over one inference request for
+//! representative DNN models (solo run on a full core, batch 8).
+
+use bench::print_simulator_config;
+use npu_sim::NpuConfig;
+use workloads::{ModelId, WorkloadProfile};
+
+const MODELS: [ModelId; 6] = [
+    ModelId::Bert,
+    ModelId::Transformer,
+    ModelId::Dlrm,
+    ModelId::Ncf,
+    ModelId::ResNet,
+    ModelId::MaskRcnn,
+];
+
+fn main() {
+    let config = NpuConfig::tpu_v4_like();
+    print_simulator_config(&config);
+    println!("# Fig. 5: ME/VE utilization over one inference request (batch 8)");
+    for model in MODELS {
+        let profile = WorkloadProfile::analyze(model, 8, &config);
+        println!(
+            "\n== {} (avg ME util {:.1}%, avg VE util {:.1}%) ==",
+            model.name(),
+            profile.average_me_utilization(config.mes_per_core) * 100.0,
+            profile.average_ve_utilization(config.ves_per_core) * 100.0
+        );
+        println!("{:>14} {:>10} {:>10}", "time", "ME util", "VE util");
+        let samples = profile.samples();
+        let step = (samples.len() / 40).max(1);
+        for sample in samples.iter().step_by(step) {
+            println!(
+                "{:>14} {:>9.1}% {:>9.1}%",
+                config.frequency.cycles_to_time(sample.start).to_string(),
+                sample.me_utilization(config.mes_per_core) * 100.0,
+                sample.ve_utilization(config.ves_per_core) * 100.0
+            );
+        }
+    }
+}

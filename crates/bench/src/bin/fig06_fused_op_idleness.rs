@@ -1,0 +1,49 @@
+//! Fig. 6: VE underutilization inside an ME-intensive fused operator
+//! (matrix multiplication fused with a ReLU activation).
+//!
+//! Each `pop` takes 8 ME cycles to produce an 8×128 output vector while the
+//! matching ReLU takes a single VE cycle, so the VE is idle most of the time.
+
+use neuisa::compiler::{Compiler, CompilerOptions};
+use neuisa::{Activation, OperatorKind, TensorOperator};
+use npu_sim::{MatrixEngine, NpuConfig, VectorEngine};
+
+fn main() {
+    let config = NpuConfig::tpu_v4_like();
+    let me = MatrixEngine::new(config.me_dimension);
+    let ve = VectorEngine::new(config.ve_rows, config.ve_lanes);
+
+    println!("# Fig. 6: ME vs VE occupancy in a fused MatMul+ReLU operator");
+    let pop = me.pop_cycles(8);
+    let relu = ve.elementwise_cycles(8 * 128);
+    println!("per 8x128 output vector: pop = {pop}, relu = {relu}");
+    println!(
+        "VE idle fraction while the ME streams results: {:.1}%",
+        (1.0 - relu.get() as f64 / pop.get() as f64) * 100.0
+    );
+
+    let compiler = Compiler::new(&config, CompilerOptions::default());
+    let op = TensorOperator::new(
+        "fused_matmul_relu",
+        OperatorKind::MatMul {
+            m: 1024,
+            k: 1024,
+            n: 1024,
+        },
+    )
+    .with_activation(Activation::Relu);
+    let compiled = compiler.compile_operator(&op);
+    let me_cycles = compiled.cost.me_cycles.get();
+    let ve_cycles = compiled.cost.ve_cycles.get();
+    println!("\nwhole operator ({}):", op);
+    println!("  total ME work          {me_cycles} cycles");
+    println!("  total VE work          {ve_cycles} cycles");
+    println!(
+        "  VE utilization while the operator runs on 4 MEs / 4 VEs: {:.1}%",
+        100.0 * (ve_cycles as f64 / config.ves_per_core as f64)
+            / (me_cycles as f64 / config.mes_per_core as f64)
+    );
+    println!(
+        "  -> the VE slots of this operator's uTOps cannot keep the VEs busy,\n     which is the harvesting opportunity Neu10 exploits."
+    );
+}

@@ -1,0 +1,36 @@
+//! Fig. 7: HBM bandwidth utilization over time for BERT and DLRM at batch
+//! sizes 8 and 32.
+
+use bench::print_simulator_config;
+use npu_sim::NpuConfig;
+use workloads::{ModelId, WorkloadProfile};
+
+fn main() {
+    let config = NpuConfig::tpu_v4_like();
+    print_simulator_config(&config);
+    println!("# Fig. 7: HBM bandwidth over one inference request");
+    for model in [ModelId::Bert, ModelId::Dlrm] {
+        for batch in [8u64, 32] {
+            let profile = WorkloadProfile::analyze(model, batch, &config);
+            println!(
+                "\n== {} (batch size = {batch}), average {:.2} GB/s ==",
+                model.name(),
+                profile.average_hbm_bandwidth(&config) / 1e9
+            );
+            println!("{:>14} {:>14}", "time", "HBM GB/s");
+            let samples = profile.samples();
+            let step = (samples.len() / 30).max(1);
+            for sample in samples.iter().step_by(step) {
+                println!(
+                    "{:>14} {:>14.1}",
+                    config.frequency.cycles_to_time(sample.start).to_string(),
+                    sample.hbm_bandwidth(&config) / 1e9
+                );
+            }
+        }
+    }
+    println!(
+        "\n# Peak bandwidth approaches the hardware limit while the average stays\n\
+         # far below it: collocation can use the spare bandwidth."
+    );
+}

@@ -1,0 +1,38 @@
+//! Fig. 16: performance overhead of NeuISA over the traditional VLIW-style
+//! ISA for each workload and batch size (solo execution on a full core).
+
+use neuisa::compiler::{Compiler, CompilerOptions};
+use npu_sim::NpuConfig;
+use workloads::{InferenceGraph, ModelId};
+
+const BATCHES: [u64; 8] = [1, 8, 32, 64, 128, 256, 512, 1024];
+
+fn main() {
+    let config = NpuConfig::tpu_v4_like();
+    let compiler = Compiler::new(&config, CompilerOptions::default());
+    println!("# Fig. 16: NeuISA overhead vs the traditional VLIW ISA (percent)");
+    print!("{:<16}", "model");
+    for batch in BATCHES {
+        print!(" {batch:>8}");
+    }
+    println!();
+    for model in ModelId::table_i() {
+        print!("{:<16}", model.name());
+        for batch in BATCHES {
+            let skip_large = matches!(
+                model,
+                ModelId::MaskRcnn | ModelId::ShapeMask | ModelId::RetinaNet
+            ) && batch > 256;
+            if skip_large {
+                print!(" {:>8}", "-");
+                continue;
+            }
+            let graph = InferenceGraph::build(model, batch);
+            let overhead = compiler.neuisa_overhead(graph.operators());
+            print!(" {:>7.2}%", overhead * 100.0);
+        }
+        println!();
+    }
+    println!("\n# The overhead comes from reduction-dimension splits whose partial sums");
+    println!("# must be summed in a separate VE uTOp; it shrinks as the batch grows.");
+}

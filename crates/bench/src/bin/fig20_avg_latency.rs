@@ -1,0 +1,37 @@
+//! Fig. 20: average request latency of the nine collocated workload pairs,
+//! normalized to PMT.
+
+use bench::{print_simulator_config, run_pair_all_policies, target_requests};
+use neu10::SharingPolicy;
+use npu_sim::NpuConfig;
+use workloads::collocation_pairs;
+
+fn main() {
+    let config = NpuConfig::single_core();
+    print_simulator_config(&config);
+    let requests = target_requests();
+    println!("# Fig. 20: normalized average latency (lower is better, PMT = 1.0)");
+    println!(
+        "{:<14} {:<10} {:>12} {:>12}",
+        "pair", "policy", "W1 avg", "W2 avg"
+    );
+    for pair in collocation_pairs() {
+        let sweep = run_pair_all_policies(pair, &config, requests, false);
+        let baseline = sweep.result(SharingPolicy::Pmt);
+        let base = [
+            baseline.tenants[0].latency_summary().mean,
+            baseline.tenants[1].latency_summary().mean,
+        ];
+        for policy in SharingPolicy::all() {
+            let result = sweep.result(policy);
+            println!(
+                "{:<14} {:<10} {:>12.3} {:>12.3}",
+                pair.label(),
+                policy.label(),
+                result.tenants[0].latency_summary().mean / base[0].max(1.0),
+                result.tenants[1].latency_summary().mean / base[1].max(1.0),
+            );
+        }
+        println!();
+    }
+}

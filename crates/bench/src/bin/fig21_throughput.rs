@@ -1,0 +1,37 @@
+//! Fig. 21: throughput of the collocated workloads under each sharing policy,
+//! normalized to PMT.
+
+use bench::{print_simulator_config, run_pair_all_policies, target_requests};
+use neu10::{SharingPolicy, VnpuId};
+use npu_sim::NpuConfig;
+use workloads::collocation_pairs;
+
+fn main() {
+    let config = NpuConfig::single_core();
+    print_simulator_config(&config);
+    let requests = target_requests();
+    println!("# Fig. 21: normalized throughput (higher is better, PMT = 1.0)");
+    println!(
+        "{:<14} {:<10} {:>12} {:>12}",
+        "pair", "policy", "W1 tput", "W2 tput"
+    );
+    for pair in collocation_pairs() {
+        let sweep = run_pair_all_policies(pair, &config, requests, false);
+        let baseline = sweep.result(SharingPolicy::Pmt);
+        let base = [
+            baseline.throughput_rps(VnpuId(0), &config),
+            baseline.throughput_rps(VnpuId(1), &config),
+        ];
+        for policy in SharingPolicy::all() {
+            let result = sweep.result(policy);
+            println!(
+                "{:<14} {:<10} {:>12.3} {:>12.3}",
+                pair.label(),
+                policy.label(),
+                result.throughput_rps(VnpuId(0), &config) / base[0].max(1e-12),
+                result.throughput_rps(VnpuId(1), &config) / base[1].max(1e-12),
+            );
+        }
+        println!();
+    }
+}

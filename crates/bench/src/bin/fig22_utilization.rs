@@ -1,0 +1,47 @@
+//! Fig. 22: total ME and VE utilization of the NPU core for each collocated
+//! workload pair under each sharing policy.
+
+use bench::{print_simulator_config, run_pair_all_policies, target_requests};
+use neu10::SharingPolicy;
+use npu_sim::NpuConfig;
+use workloads::collocation_pairs;
+
+fn main() {
+    let config = NpuConfig::single_core();
+    print_simulator_config(&config);
+    let requests = target_requests();
+    println!("# Fig. 22: total ME / VE utilization of the core (percent)");
+    println!(
+        "{:<14} {:<10} {:>10} {:>10}",
+        "pair", "policy", "ME util", "VE util"
+    );
+    let mut me_by_policy = vec![0.0f64; SharingPolicy::all().len()];
+    let mut ve_by_policy = vec![0.0f64; SharingPolicy::all().len()];
+    let pairs = collocation_pairs();
+    for pair in &pairs {
+        let sweep = run_pair_all_policies(*pair, &config, requests, false);
+        for (i, policy) in SharingPolicy::all().into_iter().enumerate() {
+            let result = sweep.result(policy);
+            me_by_policy[i] += result.me_utilization;
+            ve_by_policy[i] += result.ve_utilization;
+            println!(
+                "{:<14} {:<10} {:>9.1}% {:>9.1}%",
+                pair.label(),
+                policy.label(),
+                result.me_utilization * 100.0,
+                result.ve_utilization * 100.0
+            );
+        }
+        println!();
+    }
+    println!("# Averages across all nine pairs:");
+    for (i, policy) in SharingPolicy::all().into_iter().enumerate() {
+        println!(
+            "{:<14} {:<10} {:>9.1}% {:>9.1}%",
+            "average",
+            policy.label(),
+            me_by_policy[i] / pairs.len() as f64 * 100.0,
+            ve_by_policy[i] / pairs.len() as f64 * 100.0
+        );
+    }
+}

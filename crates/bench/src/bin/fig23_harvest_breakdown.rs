@@ -1,0 +1,62 @@
+//! Fig. 23: benefit breakdown of ME/VE harvesting — the distribution of
+//! per-operator speedups of Neu10 over Neu10-NH for every collocation pair.
+
+use std::collections::BTreeMap;
+
+use bench::{print_simulator_config, run_pair_all_policies, target_requests};
+use neu10::SharingPolicy;
+use npu_sim::NpuConfig;
+use workloads::collocation_pairs;
+
+fn main() {
+    let config = NpuConfig::single_core();
+    print_simulator_config(&config);
+    let requests = target_requests();
+    println!("# Fig. 23: per-operator speedup of Neu10 over Neu10-NH");
+    println!("# (values > 1 are operators sped up by harvesting; < 1 slowed by interference)");
+    println!(
+        "{:<14} {:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "pair", "workload", "p10", "p50", "p90", "max", "min", "%>=1.0"
+    );
+    for pair in collocation_pairs() {
+        let sweep = run_pair_all_policies(pair, &config, requests, false);
+        let harvest = sweep.result(SharingPolicy::Neu10);
+        let baseline = sweep.result(SharingPolicy::Neu10NoHarvest);
+        for (w, model) in [pair.first, pair.second].into_iter().enumerate() {
+            // Match operators by (request, operator index) across the runs.
+            let base_durations: BTreeMap<(usize, usize), u64> = baseline.tenants[w]
+                .operator_durations
+                .iter()
+                .map(|d| ((d.request, d.operator), d.duration))
+                .collect();
+            let mut speedups: Vec<f64> = harvest.tenants[w]
+                .operator_durations
+                .iter()
+                .filter_map(|d| {
+                    base_durations
+                        .get(&(d.request, d.operator))
+                        .map(|base| *base as f64 / d.duration.max(1) as f64)
+                })
+                .collect();
+            speedups.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            if speedups.is_empty() {
+                continue;
+            }
+            let pct = |p: f64| speedups[((speedups.len() - 1) as f64 * p) as usize];
+            let faster = speedups.iter().filter(|s| **s >= 1.0).count() as f64
+                / speedups.len() as f64
+                * 100.0;
+            println!(
+                "{:<14} {:<14} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9.1}%",
+                pair.label(),
+                model.abbrev(),
+                pct(0.10),
+                pct(0.50),
+                pct(0.90),
+                speedups.last().copied().unwrap_or(1.0),
+                speedups.first().copied().unwrap_or(1.0),
+                faster
+            );
+        }
+    }
+}

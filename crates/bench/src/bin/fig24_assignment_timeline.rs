@@ -1,0 +1,53 @@
+//! Fig. 24: the number of MEs and VEs assigned to each collocated workload
+//! over time under Neu10's dynamic scheduling.
+
+use bench::{print_simulator_config, run_pair, target_requests};
+use neu10::SharingPolicy;
+use npu_sim::{Cycles, NpuConfig};
+use workloads::{collocation_pairs, ModelId};
+
+fn main() {
+    let config = NpuConfig::single_core();
+    print_simulator_config(&config);
+    let requests = target_requests();
+    println!("# Fig. 24: MEs/VEs assigned to each workload over time (Neu10)");
+    let wanted = [
+        (ModelId::Dlrm, ModelId::RetinaNet),
+        (ModelId::EfficientNet, ModelId::ShapeMask),
+        (ModelId::ResNetRs, ModelId::RetinaNet),
+    ];
+    for pair in collocation_pairs()
+        .into_iter()
+        .filter(|p| wanted.contains(&(p.first, p.second)))
+    {
+        let result = run_pair(pair, &config, requests, SharingPolicy::Neu10, true);
+        println!("\n== {} ==", pair.label());
+        println!(
+            "{:>14} {:>8} {:>8} {:>8} {:>8}",
+            "time",
+            format!("{} ME", pair.first.abbrev()),
+            format!("{} ME", pair.second.abbrev()),
+            format!("{} VE", pair.first.abbrev()),
+            format!("{} VE", pair.second.abbrev())
+        );
+        let timeline = &result.assignment_timeline;
+        let step = (timeline.len() / 48).max(1);
+        for sample in timeline.iter().step_by(step) {
+            println!(
+                "{:>14} {:>8} {:>8} {:>8} {:>8}",
+                config
+                    .frequency
+                    .cycles_to_time(Cycles(sample.at))
+                    .to_string(),
+                sample.mes[0],
+                sample.mes[1],
+                sample.ves[0],
+                sample.ves[1]
+            );
+        }
+        println!(
+            "# samples recorded: {} (assignments change when a workload's operator mix shifts)",
+            timeline.len()
+        );
+    }
+}

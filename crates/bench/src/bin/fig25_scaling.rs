@@ -1,0 +1,54 @@
+//! Fig. 25: throughput improvement of Neu10 with varying numbers of MEs and
+//! VEs on the physical core, relative to V10 on the 2ME-2VE core. Each vNPU
+//! owns half of the core's engines.
+
+use bench::{print_simulator_config, target_requests};
+use neu10::{CollocationSim, SharingPolicy, SimOptions, TenantSpec, VnpuId};
+use npu_sim::NpuConfig;
+use workloads::collocation_pairs;
+
+const CORE_CONFIGS: [(usize, usize); 5] = [(2, 2), (4, 2), (4, 4), (8, 4), (8, 8)];
+
+fn run(
+    pair: workloads::WorkloadPair,
+    config: &NpuConfig,
+    policy: SharingPolicy,
+    requests: usize,
+) -> f64 {
+    let mes = config.mes_per_core / 2;
+    let ves = config.ves_per_core / 2;
+    let tenants = vec![
+        TenantSpec::evaluation(0, pair.first, requests).with_allocation(mes.max(1), ves.max(1)),
+        TenantSpec::evaluation(1, pair.second, requests).with_allocation(mes.max(1), ves.max(1)),
+    ];
+    let result = CollocationSim::new(config, SimOptions::new(policy), tenants).run();
+    result.throughput_rps(VnpuId(0), config) + result.throughput_rps(VnpuId(1), config)
+}
+
+fn main() {
+    let base_config = NpuConfig::single_core();
+    print_simulator_config(&base_config);
+    let requests = target_requests();
+    println!("# Fig. 25: total pair throughput, normalized to V10 on a 2ME-2VE core");
+    print!("{:<14} {:<7}", "pair", "policy");
+    for (mes, ves) in CORE_CONFIGS {
+        print!(" {:>9}", format!("{mes}ME-{ves}VE"));
+    }
+    println!();
+    for pair in collocation_pairs() {
+        let baseline_config = base_config.clone().with_engines(2, 2);
+        let baseline = run(pair, &baseline_config, SharingPolicy::V10, requests).max(1e-12);
+        for policy in [SharingPolicy::Neu10, SharingPolicy::V10] {
+            print!("{:<14} {:<7}", pair.label(), policy.label());
+            for (mes, ves) in CORE_CONFIGS {
+                let config = base_config.clone().with_engines(mes, ves);
+                let throughput = run(pair, &config, policy, requests);
+                print!(" {:>9.2}", throughput / baseline);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("# With more engines per core the gap between Neu10 and V10 widens,");
+    println!("# because single operators cannot fill all engines and harvesting pays off.");
+}

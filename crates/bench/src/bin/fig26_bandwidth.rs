@@ -1,0 +1,53 @@
+//! Fig. 26: throughput improvement of Neu10 over V10 while varying the HBM
+//! bandwidth (0.9, 1.2, 2 and 3 TB/s), including the memory-bandwidth
+//! intensive pairs and the LLM collocation pairs.
+
+use bench::{print_simulator_config, target_requests};
+use neu10::{CollocationSim, SharingPolicy, SimOptions, TenantSpec, VnpuId};
+use npu_sim::NpuConfig;
+use workloads::{collocation_pairs, llm_pairs, memory_intensive_pairs, WorkloadPair};
+
+const BANDWIDTHS_GBPS: [f64; 4] = [900.0, 1200.0, 2000.0, 3000.0];
+
+fn pair_throughput(
+    pair: WorkloadPair,
+    config: &NpuConfig,
+    policy: SharingPolicy,
+    requests: usize,
+) -> f64 {
+    let tenants = vec![
+        TenantSpec::evaluation(0, pair.first, requests),
+        TenantSpec::evaluation(1, pair.second, requests),
+    ];
+    let result = CollocationSim::new(config, SimOptions::new(policy), tenants).run();
+    result.throughput_rps(VnpuId(0), config) + result.throughput_rps(VnpuId(1), config)
+}
+
+fn main() {
+    let base = NpuConfig::single_core();
+    print_simulator_config(&base);
+    let requests = target_requests();
+    println!("# Fig. 26: Neu10 throughput normalized to V10 at each HBM bandwidth");
+    print!("{:<16}", "pair");
+    for bw in BANDWIDTHS_GBPS {
+        print!(" {:>10}", format!("{:.1}TB/s", bw / 1000.0));
+    }
+    println!();
+
+    let mut pairs = memory_intensive_pairs();
+    pairs.extend(collocation_pairs());
+    pairs.extend(llm_pairs());
+    for pair in pairs {
+        print!("{:<16}", pair.label());
+        for bw in BANDWIDTHS_GBPS {
+            let config = base.clone().with_hbm_bandwidth(bw * 1e9);
+            let v10 = pair_throughput(pair, &config, SharingPolicy::V10, requests).max(1e-12);
+            let neu10 = pair_throughput(pair, &config, SharingPolicy::Neu10, requests);
+            print!(" {:>10.2}", neu10 / v10);
+        }
+        println!();
+    }
+    println!("\n# Memory-intensive pairs benefit more from Neu10 as bandwidth grows,");
+    println!("# because higher bandwidth removes the memory contention and exposes");
+    println!("# the engine-level flexibility of uTOp scheduling.");
+}

@@ -1,0 +1,29 @@
+//! Table I: the DNN models used as ML services, their categories and HBM
+//! footprints (batch size 8).
+
+use workloads::{model_catalog, InferenceGraph};
+
+fn main() {
+    println!("# Table I: DNN models used as ML services");
+    println!(
+        "{:<22} {:<10} {:<36} {:>16} {:>12}",
+        "Model", "Abbrev.", "Category", "HBM footprint", "operators"
+    );
+    for info in model_catalog() {
+        let graph = InferenceGraph::build(info.id, 8);
+        let footprint = graph.hbm_footprint_bytes() as f64;
+        let formatted = if footprint >= (1u64 << 30) as f64 {
+            format!("{:.2} GB", footprint / (1u64 << 30) as f64)
+        } else {
+            format!("{:.2} MB", footprint / (1u64 << 20) as f64)
+        };
+        println!(
+            "{:<22} {:<10} {:<36} {:>16} {:>12}",
+            info.name,
+            info.abbrev,
+            info.category.to_string(),
+            formatted,
+            graph.operator_count()
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Table III: the harvesting overhead of each workload — how much time a
+//! workload is blocked (waiting to reclaim its harvested engines) relative to
+//! its end-to-end execution time.
+
+use bench::{print_simulator_config, run_pair, target_requests};
+use neu10::SharingPolicy;
+use npu_sim::NpuConfig;
+use workloads::collocation_pairs;
+
+fn main() {
+    let config = NpuConfig::single_core();
+    print_simulator_config(&config);
+    let requests = target_requests();
+    println!("# Table III: harvesting overhead (blocked time / end-to-end time)");
+    println!("{:<16} {:>10} {:>10}", "pair (W1+W2)", "W1", "W2");
+    for pair in collocation_pairs() {
+        let result = run_pair(pair, &config, requests, SharingPolicy::Neu10, false);
+        let overhead = |i: usize| {
+            let fraction = result.tenants[i].harvest_overhead_fraction(result.makespan);
+            if fraction < 0.0001 {
+                "<0.01%".to_string()
+            } else {
+                format!("{:.2}%", fraction * 100.0)
+            }
+        };
+        println!(
+            "{:<16} {:>10} {:>10}",
+            pair.label(),
+            overhead(0),
+            overhead(1)
+        );
+    }
+    println!("\n# For all workloads the overhead of being harvested stays small and is");
+    println!("# outweighed by the benefit of harvesting (Fig. 23).");
+}

@@ -1,0 +1,133 @@
+//! Shared harness utilities for the benchmark binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Every binary in `src/bin/` prints one table or figure as plain-text rows
+//! (series) so the output can be compared against the published plots. The
+//! heavy lifting — running a collocation pair under all four sharing
+//! policies — lives here so the per-figure binaries stay small.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use neu10::{CollocationResult, CollocationSim, SharingPolicy, SimOptions, TenantSpec};
+use npu_sim::NpuConfig;
+use workloads::WorkloadPair;
+
+/// Number of requests each tenant completes in the collocation experiments.
+///
+/// Override with the `NEU10_REQUESTS` environment variable; the default keeps
+/// every harness under a few seconds while still reaching steady state.
+pub fn target_requests() -> usize {
+    std::env::var("NEU10_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v| *v > 0)
+        .unwrap_or(5)
+}
+
+/// Prints the Table II header every harness starts with, so each figure is
+/// reproducible from its own output.
+pub fn print_simulator_config(config: &NpuConfig) {
+    println!("# NPU simulator configuration (Table II)");
+    for (key, value) in config.table_ii_rows() {
+        println!("#   {key:<26} {value}");
+    }
+    println!();
+}
+
+/// The results of one collocation pair under every sharing policy.
+#[derive(Debug, Clone)]
+pub struct PairSweep {
+    /// The workload pair.
+    pub pair: WorkloadPair,
+    /// One result per policy.
+    pub results: BTreeMap<&'static str, CollocationResult>,
+}
+
+impl PairSweep {
+    /// The result for one policy.
+    pub fn result(&self, policy: SharingPolicy) -> &CollocationResult {
+        &self.results[policy.label()]
+    }
+}
+
+/// Runs one collocation pair under every policy on `config`, with both
+/// tenants owning 2 MEs + 2 VEs (the §V-A setup).
+pub fn run_pair_all_policies(
+    pair: WorkloadPair,
+    config: &NpuConfig,
+    requests: usize,
+    record_timeline: bool,
+) -> PairSweep {
+    let mut results = BTreeMap::new();
+    for policy in SharingPolicy::all() {
+        results.insert(
+            policy.label(),
+            run_pair(pair, config, requests, policy, record_timeline),
+        );
+    }
+    PairSweep { pair, results }
+}
+
+/// Runs one collocation pair under one policy.
+pub fn run_pair(
+    pair: WorkloadPair,
+    config: &NpuConfig,
+    requests: usize,
+    policy: SharingPolicy,
+    record_timeline: bool,
+) -> CollocationResult {
+    let mut options = SimOptions::new(policy);
+    options.record_assignment_timeline = record_timeline;
+    let tenants = vec![
+        TenantSpec::evaluation(0, pair.first, requests),
+        TenantSpec::evaluation(1, pair.second, requests),
+    ];
+    CollocationSim::new(config, options, tenants).run()
+}
+
+/// Formats a ratio series as a fixed-width row.
+pub fn format_row(label: &str, values: &[f64]) -> String {
+    let mut row = format!("{label:<16}");
+    for value in values {
+        row.push_str(&format!(" {value:>10.3}"));
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{ContentionLevel, ModelId};
+
+    #[test]
+    fn pair_sweep_produces_all_four_policies() {
+        let pair = WorkloadPair {
+            first: ModelId::Mnist,
+            second: ModelId::Ncf,
+            contention: ContentionLevel::Low,
+        };
+        let sweep = run_pair_all_policies(pair, &NpuConfig::single_core(), 2, false);
+        assert_eq!(sweep.results.len(), 4);
+        for policy in SharingPolicy::all() {
+            let result = sweep.result(policy);
+            assert_eq!(result.tenants.len(), 2);
+            assert!(result.tenants.iter().all(|t| t.completed_requests >= 2));
+        }
+    }
+
+    #[test]
+    fn format_row_aligns_values() {
+        let row = format_row("Neu10", &[1.0, 2.5]);
+        assert!(row.starts_with("Neu10"));
+        assert!(row.contains("1.000"));
+        assert!(row.contains("2.500"));
+    }
+
+    #[test]
+    fn request_target_has_a_sane_default() {
+        assert!(target_requests() >= 1);
+    }
+}

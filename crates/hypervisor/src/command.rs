@@ -1,0 +1,150 @@
+//! The guest command buffer: how an ML framework submits work to its vNPU.
+//!
+//! The guest driver writes commands (host↔device copies, kernel launches,
+//! synchronization) into a ring buffer in its own memory; the NPU fetches
+//! them through the IOMMU without involving the hypervisor (Fig. 11).
+
+use std::collections::VecDeque;
+
+/// A command submitted by the guest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Copy bytes from host memory into the vNPU's HBM.
+    CopyToDevice {
+        /// Guest-physical source address.
+        guest_addr: u64,
+        /// Number of bytes.
+        bytes: u64,
+    },
+    /// Copy bytes from the vNPU's HBM back to host memory.
+    CopyToHost {
+        /// Guest-physical destination address.
+        guest_addr: u64,
+        /// Number of bytes.
+        bytes: u64,
+    },
+    /// Launch a compiled NPU program (one inference request).
+    LaunchProgram {
+        /// Identifier of the program in device memory.
+        program_id: u32,
+    },
+    /// Fence: all previously submitted commands must complete first.
+    Synchronize,
+}
+
+/// A fixed-capacity command ring in guest memory.
+#[derive(Debug, Clone)]
+pub struct CommandBuffer {
+    capacity: usize,
+    pending: VecDeque<Command>,
+    submitted: u64,
+    completed: u64,
+}
+
+impl CommandBuffer {
+    /// Creates a command buffer with the given ring capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "command ring needs at least one slot");
+        CommandBuffer {
+            capacity,
+            pending: VecDeque::with_capacity(capacity),
+            submitted: 0,
+            completed: 0,
+        }
+    }
+
+    /// Number of commands waiting to be fetched by the device.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the ring is full (the guest must wait before submitting more).
+    pub fn is_full(&self) -> bool {
+        self.pending.len() >= self.capacity
+    }
+
+    /// Total commands ever submitted.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Total commands completed by the device.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Submits a command. Returns `false` (and drops the command) if the ring
+    /// is full.
+    pub fn submit(&mut self, command: Command) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.pending.push_back(command);
+        self.submitted += 1;
+        true
+    }
+
+    /// Device side: fetches the next command to execute.
+    pub fn fetch(&mut self) -> Option<Command> {
+        self.pending.pop_front()
+    }
+
+    /// Device side: marks one fetched command as completed.
+    pub fn complete(&mut self) {
+        self.completed += 1;
+    }
+
+    /// Whether every submitted command has completed (the condition a
+    /// `Synchronize` waits for).
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_empty() && self.submitted == self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_completion_accounting() {
+        let mut ring = CommandBuffer::new(4);
+        assert!(ring.submit(Command::CopyToDevice {
+            guest_addr: 0x1000,
+            bytes: 64,
+        }));
+        assert!(ring.submit(Command::LaunchProgram { program_id: 1 }));
+        assert!(ring.submit(Command::Synchronize));
+        assert_eq!(ring.pending(), 3);
+        assert!(matches!(ring.fetch(), Some(Command::CopyToDevice { .. })));
+        ring.complete();
+        assert!(matches!(ring.fetch(), Some(Command::LaunchProgram { .. })));
+        ring.complete();
+        assert!(!ring.is_quiescent(), "the fence is still pending");
+        assert!(matches!(ring.fetch(), Some(Command::Synchronize)));
+        ring.complete();
+        assert!(ring.is_quiescent());
+    }
+
+    #[test]
+    fn full_ring_rejects_submissions() {
+        let mut ring = CommandBuffer::new(2);
+        assert!(ring.submit(Command::Synchronize));
+        assert!(ring.submit(Command::Synchronize));
+        assert!(ring.is_full());
+        assert!(!ring.submit(Command::Synchronize));
+        assert_eq!(ring.submitted(), 2);
+        ring.fetch();
+        assert!(!ring.is_full());
+        assert!(ring.submit(Command::Synchronize));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_is_rejected() {
+        let _ = CommandBuffer::new(0);
+    }
+}

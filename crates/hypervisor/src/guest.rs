@@ -1,0 +1,282 @@
+//! The guest-side view: a VM with a para-virtualized vNPU driver.
+//!
+//! [`GuestVm`] ties the control path together end to end: it requests a vNPU
+//! through a hypercall, receives an SR-IOV virtual function, registers its
+//! DMA buffers with the IOMMU and then drives inference requests through its
+//! command buffer and MMIO doorbell — exactly the flow of Fig. 11 (steps
+//! 1–3). The hypervisor is only involved in the hypercalls.
+
+use neu10::{MappingMode, Neu10Error, VnpuConfig, VnpuId, VnpuManager};
+
+use crate::command::{Command, CommandBuffer};
+use crate::hypercall::{Hypercall, HypercallHandler, HypercallReply};
+use crate::iommu::{DmaRegion, Iommu};
+use crate::vdev::{MmioRegister, VfTable};
+
+/// The host-side state shared by every guest: the vNPU manager, the
+/// hypercall handler, the VF table and the IOMMU.
+#[derive(Debug)]
+pub struct Host {
+    /// The vNPU manager kernel module.
+    pub manager: VnpuManager,
+    /// The hypercall dispatcher.
+    pub hypercalls: HypercallHandler,
+    /// The SR-IOV virtual-function table of the NPU board.
+    pub vfs: VfTable,
+    /// The platform IOMMU.
+    pub iommu: Iommu,
+}
+
+impl Host {
+    /// Creates a host around an NPU board.
+    pub fn new(npu: &npu_sim::NpuConfig) -> Self {
+        Host {
+            manager: VnpuManager::new(npu),
+            hypercalls: HypercallHandler::new(),
+            vfs: VfTable::new(),
+            iommu: Iommu::new(),
+        }
+    }
+}
+
+/// A guest VM with an attached vNPU.
+#[derive(Debug)]
+pub struct GuestVm {
+    name: String,
+    vnpu: Option<VnpuId>,
+    commands: CommandBuffer,
+    dma_base: u64,
+    inflight_requests: u64,
+}
+
+impl GuestVm {
+    /// Creates a guest VM with an empty command ring. `dma_base` is the
+    /// guest-physical base address of its DMA buffer.
+    pub fn new(name: impl Into<String>, dma_base: u64) -> Self {
+        GuestVm {
+            name: name.into(),
+            vnpu: None,
+            commands: CommandBuffer::new(256),
+            dma_base,
+            inflight_requests: 0,
+        }
+    }
+
+    /// The VM name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attached vNPU, if any.
+    pub fn vnpu(&self) -> Option<VnpuId> {
+        self.vnpu
+    }
+
+    /// The guest's command buffer.
+    pub fn command_buffer(&self) -> &CommandBuffer {
+        &self.commands
+    }
+
+    /// Requests a vNPU from the host (hypercall), sets up the virtual
+    /// function and registers a DMA window of `dma_len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates vNPU creation failures; on failure the guest keeps no
+    /// device state.
+    pub fn attach_vnpu(
+        &mut self,
+        host: &mut Host,
+        config: VnpuConfig,
+        mode: MappingMode,
+        dma_len: u64,
+    ) -> Result<VnpuId, Neu10Error> {
+        let reply = host.hypercalls.handle(
+            &mut host.manager,
+            Hypercall::CreateVnpu {
+                config,
+                mode,
+                priority: 1,
+            },
+        )?;
+        let HypercallReply::Created(id) = reply else {
+            unreachable!("CreateVnpu replies with Created");
+        };
+        host.vfs.allocate(
+            id,
+            config.num_mes_per_core as u32,
+            config.num_ves_per_core as u32,
+        );
+        host.iommu.map_region(
+            id,
+            DmaRegion {
+                guest_addr: self.dma_base,
+                host_addr: 0x8000_0000 + u64::from(id.0) * dma_len,
+                len: dma_len,
+            },
+        );
+        host.manager.start_vnpu(id)?;
+        self.vnpu = Some(id);
+        Ok(id)
+    }
+
+    /// Releases the vNPU (hypercall) and tears down the VF and IOMMU state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Neu10Error::InvalidState`] if no vNPU is attached.
+    pub fn detach_vnpu(&mut self, host: &mut Host) -> Result<(), Neu10Error> {
+        let Some(id) = self.vnpu.take() else {
+            return Err(Neu10Error::InvalidState {
+                vnpu: VnpuId(u32::MAX),
+                reason: format!("guest {} has no attached vNPU", self.name),
+            });
+        };
+        host.hypercalls
+            .handle(&mut host.manager, Hypercall::FreeVnpu { vnpu: id })?;
+        host.vfs.release(id);
+        host.iommu.unmap_device(id);
+        Ok(())
+    }
+
+    /// Submits one inference request: input copy, program launch, output copy,
+    /// then rings the doorbell. Returns `false` if the command ring is full
+    /// or no vNPU is attached.
+    pub fn submit_inference(&mut self, host: &mut Host, input_bytes: u64, program_id: u32) -> bool {
+        let Some(id) = self.vnpu else {
+            return false;
+        };
+        if self.commands.pending() + 3 > 256 {
+            return false;
+        }
+        self.commands.submit(Command::CopyToDevice {
+            guest_addr: self.dma_base,
+            bytes: input_bytes,
+        });
+        self.commands.submit(Command::LaunchProgram { program_id });
+        self.commands.submit(Command::CopyToHost {
+            guest_addr: self.dma_base,
+            bytes: input_bytes / 2,
+        });
+        if let Some(vf) = host.vfs.vf_mut(id) {
+            vf.write(MmioRegister::Doorbell, 1);
+        }
+        self.inflight_requests += 1;
+        true
+    }
+
+    /// Device side: processes every pending command, translating its DMA
+    /// accesses through the IOMMU, and signals completion through the VF.
+    ///
+    /// Returns the number of commands processed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first IOMMU fault encountered (the faulting command is
+    /// dropped, matching a real device raising an error interrupt).
+    pub fn process_commands(&mut self, host: &mut Host) -> Result<usize, crate::iommu::IommuFault> {
+        let Some(id) = self.vnpu else {
+            return Ok(0);
+        };
+        let mut processed = 0;
+        while let Some(command) = self.commands.fetch() {
+            match command {
+                Command::CopyToDevice { guest_addr, bytes }
+                | Command::CopyToHost { guest_addr, bytes } => {
+                    host.iommu.translate(id, guest_addr, bytes)?;
+                }
+                Command::LaunchProgram { .. } | Command::Synchronize => {}
+            }
+            self.commands.complete();
+            processed += 1;
+        }
+        if processed > 0 {
+            if let Some(vf) = host.vfs.vf_mut(id) {
+                vf.complete_commands(processed as u64);
+            }
+        }
+        Ok(processed)
+    }
+
+    /// Polls the VF status register for the number of completed commands.
+    pub fn poll_completions(&self, host: &Host) -> u64 {
+        self.vnpu
+            .and_then(|id| host.vfs.vf(id))
+            .map(|vf| vf.read(MmioRegister::Status))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::NpuConfig;
+
+    fn setup() -> (Host, GuestVm) {
+        let host = Host::new(&NpuConfig::single_core());
+        let guest = GuestVm::new("tenant-a", 0x10_0000);
+        (host, guest)
+    }
+
+    #[test]
+    fn end_to_end_control_and_data_path() {
+        let (mut host, mut guest) = setup();
+        let config = VnpuConfig::medium(host.manager.npu_config());
+        let id = guest
+            .attach_vnpu(&mut host, config, MappingMode::HardwareIsolated, 1 << 20)
+            .unwrap();
+        assert_eq!(guest.vnpu(), Some(id));
+        assert_eq!(host.vfs.len(), 1);
+        assert_eq!(host.iommu.regions_of(id), 1);
+
+        assert!(guest.submit_inference(&mut host, 4096, 7));
+        assert_eq!(guest.command_buffer().pending(), 3);
+        let processed = guest.process_commands(&mut host).unwrap();
+        assert_eq!(processed, 3);
+        assert_eq!(guest.poll_completions(&host), 3);
+
+        guest.detach_vnpu(&mut host).unwrap();
+        assert_eq!(host.manager.vnpu_count(), 0);
+        assert_eq!(host.vfs.len(), 0);
+        assert!(guest.vnpu().is_none());
+    }
+
+    #[test]
+    fn dma_outside_the_registered_window_faults() {
+        let (mut host, mut guest) = setup();
+        let config = VnpuConfig::small(host.manager.npu_config());
+        guest
+            .attach_vnpu(&mut host, config, MappingMode::HardwareIsolated, 1 << 12)
+            .unwrap();
+        // Submit a copy larger than the registered 4 KiB DMA window.
+        assert!(guest.submit_inference(&mut host, 1 << 20, 1));
+        assert!(guest.process_commands(&mut host).is_err());
+        assert_eq!(host.iommu.fault_count(), 1);
+    }
+
+    #[test]
+    fn two_guests_get_isolated_devices() {
+        let mut host = Host::new(&NpuConfig::single_core());
+        let mut a = GuestVm::new("a", 0x10_0000);
+        let mut b = GuestVm::new("b", 0x20_0000);
+        let config = VnpuConfig::medium(host.manager.npu_config());
+        let id_a = a
+            .attach_vnpu(&mut host, config, MappingMode::HardwareIsolated, 1 << 20)
+            .unwrap();
+        let id_b = b
+            .attach_vnpu(&mut host, config, MappingMode::HardwareIsolated, 1 << 20)
+            .unwrap();
+        assert_ne!(id_a, id_b);
+        // Guest B's device cannot touch guest A's DMA window.
+        assert!(host.iommu.translate(id_b, 0x10_0000, 16).is_err());
+        assert!(host.iommu.translate(id_a, 0x10_0000, 16).is_ok());
+    }
+
+    #[test]
+    fn operations_without_a_vnpu_fail_gracefully() {
+        let (mut host, mut guest) = setup();
+        assert!(!guest.submit_inference(&mut host, 64, 1));
+        assert_eq!(guest.process_commands(&mut host).unwrap(), 0);
+        assert!(guest.detach_vnpu(&mut host).is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! The para-virtualized control interface between guest vNPU drivers and the
+//! host-side vNPU manager (§III-F).
+//!
+//! Only the three management operations go through the hypervisor: creating a
+//! vNPU, changing its configuration and freeing it. Everything on the data
+//! path (command submission, DMA, completion polling) bypasses the hypervisor
+//! entirely via the mapped virtual function.
+
+use std::fmt;
+
+use neu10::{MappingMode, Neu10Error, VnpuConfig, VnpuId, VnpuManager};
+
+/// A hypercall issued by a guest's para-virtualized vNPU driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Hypercall {
+    /// Create a new vNPU with the given configuration.
+    CreateVnpu {
+        /// Requested vNPU configuration (Fig. 10).
+        config: VnpuConfig,
+        /// Requested isolation mode.
+        mode: MappingMode,
+        /// Scheduling priority.
+        priority: u32,
+    },
+    /// Replace the configuration of an existing vNPU.
+    ReconfigureVnpu {
+        /// The vNPU to reconfigure.
+        vnpu: VnpuId,
+        /// The new configuration.
+        config: VnpuConfig,
+        /// The isolation mode for the new placement.
+        mode: MappingMode,
+    },
+    /// Deallocate a vNPU and release its resources.
+    FreeVnpu {
+        /// The vNPU to free.
+        vnpu: VnpuId,
+    },
+}
+
+/// The host's reply to a hypercall.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HypercallReply {
+    /// The vNPU was created (or re-created) with this id.
+    Created(VnpuId),
+    /// The vNPU was freed.
+    Freed,
+}
+
+impl fmt::Display for HypercallReply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HypercallReply::Created(id) => write!(f, "created {id}"),
+            HypercallReply::Freed => write!(f, "freed"),
+        }
+    }
+}
+
+/// The hypervisor-side hypercall handler, routing requests to the vNPU
+/// manager kernel module.
+#[derive(Debug)]
+pub struct HypercallHandler {
+    calls_served: u64,
+}
+
+impl HypercallHandler {
+    /// Creates a handler.
+    pub fn new() -> Self {
+        HypercallHandler { calls_served: 0 }
+    }
+
+    /// Number of hypercalls served so far.
+    pub fn calls_served(&self) -> u64 {
+        self.calls_served
+    }
+
+    /// Handles one hypercall against the vNPU manager.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation/placement failures from the manager; the failed
+    /// call leaves the manager unchanged.
+    pub fn handle(
+        &mut self,
+        manager: &mut VnpuManager,
+        call: Hypercall,
+    ) -> Result<HypercallReply, Neu10Error> {
+        self.calls_served += 1;
+        match call {
+            Hypercall::CreateVnpu {
+                config,
+                mode,
+                priority,
+            } => {
+                let id = manager.create_vnpu(config, mode, priority)?;
+                Ok(HypercallReply::Created(id))
+            }
+            Hypercall::ReconfigureVnpu { vnpu, config, mode } => {
+                let priority = manager
+                    .vnpu(vnpu)
+                    .ok_or(Neu10Error::UnknownVnpu(vnpu))?
+                    .priority();
+                manager.destroy_vnpu(vnpu)?;
+                let id = manager.create_vnpu(config, mode, priority)?;
+                Ok(HypercallReply::Created(id))
+            }
+            Hypercall::FreeVnpu { vnpu } => {
+                manager.destroy_vnpu(vnpu)?;
+                Ok(HypercallReply::Freed)
+            }
+        }
+    }
+}
+
+impl Default for HypercallHandler {
+    fn default() -> Self {
+        HypercallHandler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::NpuConfig;
+
+    fn setup() -> (VnpuManager, HypercallHandler) {
+        (
+            VnpuManager::new(&NpuConfig::single_core()),
+            HypercallHandler::new(),
+        )
+    }
+
+    fn medium(manager: &VnpuManager) -> VnpuConfig {
+        VnpuConfig::medium(manager.npu_config())
+    }
+
+    #[test]
+    fn create_and_free_lifecycle() {
+        let (mut manager, mut handler) = setup();
+        let config = medium(&manager);
+        let reply = handler
+            .handle(
+                &mut manager,
+                Hypercall::CreateVnpu {
+                    config,
+                    mode: MappingMode::HardwareIsolated,
+                    priority: 1,
+                },
+            )
+            .unwrap();
+        let HypercallReply::Created(id) = reply else {
+            panic!("expected Created");
+        };
+        assert_eq!(manager.vnpu_count(), 1);
+        let reply = handler
+            .handle(&mut manager, Hypercall::FreeVnpu { vnpu: id })
+            .unwrap();
+        assert_eq!(reply, HypercallReply::Freed);
+        assert_eq!(manager.vnpu_count(), 0);
+        assert_eq!(handler.calls_served(), 2);
+    }
+
+    #[test]
+    fn reconfigure_replaces_the_placement() {
+        let (mut manager, mut handler) = setup();
+        let config = medium(&manager);
+        let HypercallReply::Created(id) = handler
+            .handle(
+                &mut manager,
+                Hypercall::CreateVnpu {
+                    config,
+                    mode: MappingMode::HardwareIsolated,
+                    priority: 3,
+                },
+            )
+            .unwrap()
+        else {
+            panic!("expected Created");
+        };
+        let bigger = VnpuConfig::large(manager.npu_config());
+        let reply = handler
+            .handle(
+                &mut manager,
+                Hypercall::ReconfigureVnpu {
+                    vnpu: id,
+                    config: bigger,
+                    mode: MappingMode::HardwareIsolated,
+                },
+            )
+            .unwrap();
+        let HypercallReply::Created(new_id) = reply else {
+            panic!("expected Created");
+        };
+        assert_eq!(manager.vnpu_count(), 1);
+        assert_eq!(manager.vnpu(new_id).unwrap().config().total_eus(), 8);
+        assert_eq!(manager.vnpu(new_id).unwrap().priority(), 3);
+    }
+
+    #[test]
+    fn failed_calls_leave_the_manager_unchanged() {
+        let (mut manager, mut handler) = setup();
+        let oversized = VnpuConfig::single_core(16, 16, 1 << 20, 1 << 30);
+        assert!(handler
+            .handle(
+                &mut manager,
+                Hypercall::CreateVnpu {
+                    config: oversized,
+                    mode: MappingMode::HardwareIsolated,
+                    priority: 1,
+                },
+            )
+            .is_err());
+        assert_eq!(manager.vnpu_count(), 0);
+        assert!(handler
+            .handle(&mut manager, Hypercall::FreeVnpu { vnpu: VnpuId(7) })
+            .is_err());
+    }
+}

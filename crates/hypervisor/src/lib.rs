@@ -1,0 +1,46 @@
+//! System-software support for NPU virtualization (§III-F of the paper).
+//!
+//! This crate models the host/guest software stack around the Neu10 vNPU
+//! manager:
+//!
+//! * [`hypercall`] — the three management hypercalls (create / reconfigure /
+//!   free a vNPU) routed from the guest driver to the vNPU manager;
+//! * [`vdev`] — SR-IOV virtual functions and the MMIO register file each
+//!   vNPU exposes to its VM via PCIe pass-through;
+//! * [`command`] — the guest command buffer the NPU fetches from directly,
+//!   without hypervisor involvement;
+//! * [`iommu`] — DMA remapping that confines each vNPU's traffic to its own
+//!   guest's registered memory;
+//! * [`guest`] — a guest-VM model exercising the full control and data path
+//!   end to end (Fig. 11).
+//!
+//! # Example
+//!
+//! ```
+//! use hypervisor::{GuestVm, Host};
+//! use neu10::{MappingMode, VnpuConfig};
+//! use npu_sim::NpuConfig;
+//!
+//! let mut host = Host::new(&NpuConfig::single_core());
+//! let mut guest = GuestVm::new("tenant-a", 0x10_0000);
+//! let config = VnpuConfig::medium(host.manager.npu_config());
+//! let id = guest
+//!     .attach_vnpu(&mut host, config, MappingMode::HardwareIsolated, 1 << 20)
+//!     .unwrap();
+//! assert_eq!(guest.vnpu(), Some(id));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod guest;
+pub mod hypercall;
+pub mod iommu;
+pub mod vdev;
+
+pub use command::{Command, CommandBuffer};
+pub use guest::{GuestVm, Host};
+pub use hypercall::{Hypercall, HypercallHandler, HypercallReply};
+pub use iommu::{DmaRegion, Iommu, IommuFault};
+pub use vdev::{MmioRegister, VfTable, VirtualFunction};

@@ -1,0 +1,176 @@
+//! SR-IOV virtual functions and the MMIO register file exposed to guests.
+//!
+//! Each vNPU is surfaced to its VM as a PCIe virtual function (VF) passed
+//! through to the guest. The guest driver controls the device through a small
+//! set of memory-mapped registers: a doorbell to kick command processing, a
+//! status register to poll for completion and an interrupt-mask register.
+
+use std::collections::BTreeMap;
+
+use neu10::VnpuId;
+
+/// Offsets of the MMIO registers of a virtual function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MmioRegister {
+    /// Doorbell: writing rings the NPU to fetch new commands.
+    Doorbell,
+    /// Status: number of completed commands (read-only for the guest).
+    Status,
+    /// Interrupt enable mask.
+    InterruptMask,
+    /// vNPU hierarchy descriptor (read-only): packed engine counts.
+    Hierarchy,
+}
+
+/// One SR-IOV virtual function backing a vNPU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtualFunction {
+    vnpu: VnpuId,
+    vf_index: u16,
+    doorbell_rings: u64,
+    completed_commands: u64,
+    interrupt_mask: u32,
+    hierarchy: u32,
+}
+
+impl VirtualFunction {
+    /// Creates a VF for `vnpu` with the packed hierarchy descriptor
+    /// `(mes << 16) | ves`.
+    pub fn new(vnpu: VnpuId, vf_index: u16, mes: u32, ves: u32) -> Self {
+        VirtualFunction {
+            vnpu,
+            vf_index,
+            doorbell_rings: 0,
+            completed_commands: 0,
+            interrupt_mask: 0,
+            hierarchy: (mes << 16) | (ves & 0xFFFF),
+        }
+    }
+
+    /// The vNPU this VF exposes.
+    pub fn vnpu(&self) -> VnpuId {
+        self.vnpu
+    }
+
+    /// The PCIe VF index.
+    pub fn vf_index(&self) -> u16 {
+        self.vf_index
+    }
+
+    /// Guest MMIO read.
+    pub fn read(&self, register: MmioRegister) -> u64 {
+        match register {
+            MmioRegister::Doorbell => self.doorbell_rings,
+            MmioRegister::Status => self.completed_commands,
+            MmioRegister::InterruptMask => u64::from(self.interrupt_mask),
+            MmioRegister::Hierarchy => u64::from(self.hierarchy),
+        }
+    }
+
+    /// Guest MMIO write. Writes to read-only registers are ignored.
+    pub fn write(&mut self, register: MmioRegister, value: u64) {
+        match register {
+            MmioRegister::Doorbell => self.doorbell_rings += 1,
+            MmioRegister::InterruptMask => self.interrupt_mask = value as u32,
+            MmioRegister::Status | MmioRegister::Hierarchy => {}
+        }
+    }
+
+    /// Device-side completion notification: bumps the status register.
+    pub fn complete_commands(&mut self, count: u64) {
+        self.completed_commands += count;
+    }
+
+    /// Whether completion interrupts are enabled by the guest.
+    pub fn interrupts_enabled(&self) -> bool {
+        self.interrupt_mask & 1 == 1
+    }
+}
+
+/// The physical function's VF table: allocates and tracks virtual functions.
+#[derive(Debug, Default)]
+pub struct VfTable {
+    vfs: BTreeMap<VnpuId, VirtualFunction>,
+    next_index: u16,
+}
+
+impl VfTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        VfTable::default()
+    }
+
+    /// Allocates a VF for `vnpu` exposing `mes`/`ves` engines.
+    ///
+    /// Returns the existing VF if one is already allocated for the vNPU.
+    pub fn allocate(&mut self, vnpu: VnpuId, mes: u32, ves: u32) -> &VirtualFunction {
+        let next_index = &mut self.next_index;
+        self.vfs.entry(vnpu).or_insert_with(|| {
+            let vf = VirtualFunction::new(vnpu, *next_index, mes, ves);
+            *next_index += 1;
+            vf
+        })
+    }
+
+    /// Releases the VF of `vnpu`, if any.
+    pub fn release(&mut self, vnpu: VnpuId) -> bool {
+        self.vfs.remove(&vnpu).is_some()
+    }
+
+    /// The VF of `vnpu`, if allocated.
+    pub fn vf(&self, vnpu: VnpuId) -> Option<&VirtualFunction> {
+        self.vfs.get(&vnpu)
+    }
+
+    /// The VF of `vnpu`, mutably.
+    pub fn vf_mut(&mut self, vnpu: VnpuId) -> Option<&mut VirtualFunction> {
+        self.vfs.get_mut(&vnpu)
+    }
+
+    /// Number of allocated VFs.
+    pub fn len(&self) -> usize {
+        self.vfs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vfs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmio_registers_behave() {
+        let mut vf = VirtualFunction::new(VnpuId(1), 0, 2, 2);
+        assert_eq!(vf.read(MmioRegister::Hierarchy), (2 << 16) | 2);
+        assert_eq!(vf.read(MmioRegister::Status), 0);
+        vf.write(MmioRegister::Doorbell, 1);
+        vf.write(MmioRegister::Doorbell, 1);
+        assert_eq!(vf.read(MmioRegister::Doorbell), 2);
+        vf.write(MmioRegister::Status, 99);
+        assert_eq!(vf.read(MmioRegister::Status), 0, "status is read-only");
+        vf.complete_commands(3);
+        assert_eq!(vf.read(MmioRegister::Status), 3);
+        assert!(!vf.interrupts_enabled());
+        vf.write(MmioRegister::InterruptMask, 1);
+        assert!(vf.interrupts_enabled());
+    }
+
+    #[test]
+    fn vf_table_allocates_unique_indices() {
+        let mut table = VfTable::new();
+        let a = table.allocate(VnpuId(1), 2, 2).vf_index();
+        let b = table.allocate(VnpuId(2), 1, 1).vf_index();
+        assert_ne!(a, b);
+        // Re-allocating the same vNPU returns the same VF.
+        assert_eq!(table.allocate(VnpuId(1), 2, 2).vf_index(), a);
+        assert_eq!(table.len(), 2);
+        assert!(table.release(VnpuId(1)));
+        assert!(!table.release(VnpuId(1)));
+        assert!(table.vf(VnpuId(1)).is_none());
+        assert!(table.vf(VnpuId(2)).is_some());
+    }
+}

@@ -1,0 +1,295 @@
+//! The vNPU resource allocator (§III-B).
+//!
+//! Users specify a total number of execution units (EUs) following the
+//! pay-as-you-go model; the allocator picks the ME:VE split that maximizes
+//! the expected EU utilization of the workload, using the profiled ME/VE
+//! active ratios `m` and `v` and the closed-form optimum of Eq. (4):
+//!
+//! * `k = nm/nv = sqrt(m / (1 - m))` when `m < 0.5`,
+//! * `k = sqrt((1 - v) / v)` when `v < 0.5`,
+//! * `k = 1` when both `m ≥ 0.5` and `v ≥ 0.5`,
+//!
+//! with every vNPU receiving at least one ME and one VE.
+
+use npu_sim::NpuConfig;
+use workloads::WorkloadProfile;
+
+use crate::error::Neu10Error;
+use crate::vnpu::VnpuConfig;
+
+/// An ME/VE split for a given EU budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EuSplit {
+    /// Number of matrix engines.
+    pub mes: usize,
+    /// Number of vector engines.
+    pub ves: usize,
+}
+
+impl EuSplit {
+    /// Total execution units.
+    pub fn total(&self) -> usize {
+        self.mes + self.ves
+    }
+}
+
+/// Normalized execution time of a workload with active ratios `m`/`v` on
+/// `nm` MEs and `nv` VEs (Eq. 1).
+///
+/// The time is normalized to the single-ME/single-VE run. The concurrent
+/// portion `m + v - 1` is clamped at zero for memory-bound workloads whose
+/// engines are not always active.
+pub fn estimated_execution_time(m: f64, v: f64, nm: usize, nv: usize) -> f64 {
+    let m = m.clamp(0.0, 1.0);
+    let v = v.clamp(0.0, 1.0);
+    let nm = nm.max(1) as f64;
+    let nv = nv.max(1) as f64;
+    let me_only = (1.0 - v).max(0.0);
+    let ve_only = (1.0 - m).max(0.0);
+    let concurrent = (m + v - 1.0).max(0.0);
+    me_only / nm + ve_only / nv + concurrent / nm.min(nv)
+}
+
+/// Expected speedup over the single-ME/single-VE run (the Fig. 12 y-axis).
+///
+/// Both times come from Eq. (1), so the ratio is well defined even for
+/// memory-bound workloads whose engines are not always active (`m + v < 1`).
+pub fn estimated_speedup(m: f64, v: f64, nm: usize, nv: usize) -> f64 {
+    let single = estimated_execution_time(m, v, 1, 1);
+    let t = estimated_execution_time(m, v, nm, nv);
+    if t <= 0.0 {
+        return nm.max(1) as f64 + nv.max(1) as f64;
+    }
+    single / t
+}
+
+/// Total EU utilization of the allocation (Eq. 2): the ratio between the
+/// hypothetical time on `nm + nv` type-agnostic EUs and the estimated time.
+pub fn eu_utilization(m: f64, v: f64, nm: usize, nv: usize) -> f64 {
+    let m = m.clamp(0.0, 1.0);
+    let v = v.clamp(0.0, 1.0);
+    let total = (nm.max(1) + nv.max(1)) as f64;
+    let hypothetical = (m + v) / total;
+    let estimated = estimated_execution_time(m, v, nm, nv);
+    if estimated <= 0.0 {
+        return 1.0;
+    }
+    (hypothetical / estimated).clamp(0.0, 1.0)
+}
+
+/// The optimal ME:VE ratio `k = nm / nv` of Eq. (4).
+pub fn optimal_me_ve_ratio(m: f64, v: f64) -> f64 {
+    let m = m.clamp(0.0, 1.0);
+    let v = v.clamp(0.0, 1.0);
+    if m < 0.5 {
+        (m / (1.0 - m)).sqrt()
+    } else if v < 0.5 {
+        ((1.0 - v) / v.max(1e-9)).sqrt()
+    } else {
+        1.0
+    }
+}
+
+/// Splits a total EU budget into MEs and VEs according to Eq. (4), giving the
+/// workload at least one engine of each type.
+pub fn split_eus(total_eus: usize, m: f64, v: f64) -> EuSplit {
+    let total = total_eus.max(2);
+    let k = optimal_me_ve_ratio(m, v);
+    // nm = k * nv and nm + nv = total  =>  nv = total / (1 + k).
+    let nv_ideal = total as f64 / (1.0 + k);
+    let mut best = EuSplit {
+        mes: 1,
+        ves: total - 1,
+    };
+    let mut best_util = f64::MIN;
+    // The continuous optimum must be rounded; evaluate the neighbouring
+    // integer splits and keep the one with the best Eq. (2) utilization.
+    for nv in [nv_ideal.floor(), nv_ideal.ceil()] {
+        let nv = (nv as usize).clamp(1, total - 1);
+        let nm = total - nv;
+        let util = eu_utilization(m, v, nm, nv);
+        if util > best_util {
+            best_util = util;
+            best = EuSplit { mes: nm, ves: nv };
+        }
+    }
+    best
+}
+
+/// The per-EU-budget allocation sweep of Fig. 12: for every EU budget from 2
+/// to `max_eus`, the selected split and its estimated speedup.
+pub fn allocation_sweep(m: f64, v: f64, max_eus: usize) -> Vec<(EuSplit, f64)> {
+    (2..=max_eus.max(2))
+        .map(|eus| {
+            let split = split_eus(eus, m, v);
+            let speedup = estimated_speedup(m, v, split.mes, split.ves);
+            (split, speedup)
+        })
+        .collect()
+}
+
+/// The vNPU allocator: profiles a workload and recommends a vNPU
+/// configuration for a given EU budget.
+#[derive(Debug, Clone)]
+pub struct VnpuAllocator {
+    npu: NpuConfig,
+}
+
+impl VnpuAllocator {
+    /// Creates an allocator for hosts with the given physical NPU
+    /// configuration.
+    pub fn new(npu: &NpuConfig) -> Self {
+        VnpuAllocator { npu: npu.clone() }
+    }
+
+    /// Recommends a single-core vNPU configuration for a profiled workload
+    /// and an EU budget.
+    ///
+    /// SRAM is sized proportionally to the allocated MEs (more MEs mean
+    /// larger tiles); HBM is sized to fit the workload footprint rounded up
+    /// to whole segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Neu10Error::InvalidConfig`] if the budget cannot fit within
+    /// one physical core, or [`Neu10Error::InsufficientResources`] if the
+    /// workload's HBM footprint exceeds a physical core's HBM.
+    pub fn recommend(
+        &self,
+        profile: &WorkloadProfile,
+        total_eus: usize,
+        hbm_footprint_bytes: u64,
+    ) -> Result<VnpuConfig, Neu10Error> {
+        let split = split_eus(total_eus, profile.me_active_ratio(), profile.ve_active_ratio());
+        if split.mes > self.npu.mes_per_core || split.ves > self.npu.ves_per_core {
+            return Err(Neu10Error::InvalidConfig(format!(
+                "an EU budget of {total_eus} needs {} MEs and {} VEs, which exceeds one physical core",
+                split.mes, split.ves
+            )));
+        }
+        if hbm_footprint_bytes > self.npu.hbm_bytes_per_core {
+            return Err(Neu10Error::InsufficientResources {
+                reason: format!(
+                    "workload footprint of {hbm_footprint_bytes} bytes exceeds the {} bytes of HBM on a core",
+                    self.npu.hbm_bytes_per_core
+                ),
+            });
+        }
+        let sram = self.npu.sram_bytes_per_core * split.mes as u64
+            / self.npu.mes_per_core.max(1) as u64;
+        let sram = sram.max(self.npu.sram_segment_bytes);
+        let hbm_segments = hbm_footprint_bytes
+            .div_ceil(self.npu.hbm_segment_bytes)
+            .max(1);
+        let hbm = (hbm_segments * self.npu.hbm_segment_bytes).min(self.npu.hbm_bytes_per_core);
+        let config = VnpuConfig::single_core(split.mes, split.ves, sram, hbm);
+        config.validate_against(&self.npu)?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::ModelId;
+
+    #[test]
+    fn execution_time_matches_equation_one() {
+        // m = 0.8, v = 0.4 on 2 MEs and 1 VE:
+        // T = (1-0.4)/2 + (1-0.8)/1 + (0.8+0.4-1)/1 = 0.3 + 0.2 + 0.2 = 0.7.
+        let t = estimated_execution_time(0.8, 0.4, 2, 1);
+        assert!((t - 0.7).abs() < 1e-9);
+        // Single-engine case normalizes to m+v when ≥ 1, else to 1 - overlap.
+        let t1 = estimated_execution_time(0.8, 0.4, 1, 1);
+        assert!((t1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_ratio_follows_equation_four() {
+        // ME-light workload: m = 0.2 → k = sqrt(0.2/0.8) = 0.5.
+        assert!((optimal_me_ve_ratio(0.2, 0.9) - 0.5).abs() < 1e-9);
+        // VE-light workload: v = 0.2 → k = sqrt(0.8/0.2) = 2.
+        assert!((optimal_me_ve_ratio(0.9, 0.2) - 2.0).abs() < 1e-9);
+        // Both heavily used → equal split.
+        assert!((optimal_me_ve_ratio(0.8, 0.7) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_gives_more_mes_to_me_heavy_workloads() {
+        let me_heavy = split_eus(8, 0.95, 0.15);
+        assert!(me_heavy.mes > me_heavy.ves, "{me_heavy:?}");
+        let ve_heavy = split_eus(8, 0.1, 0.95);
+        assert!(ve_heavy.ves > ve_heavy.mes, "{ve_heavy:?}");
+        let balanced = split_eus(8, 0.8, 0.8);
+        assert_eq!(balanced.mes, balanced.ves);
+        // Always at least one of each and the budget is respected.
+        for (m, v) in [(0.0, 1.0), (1.0, 0.0), (0.5, 0.5)] {
+            for eus in 2..=16 {
+                let s = split_eus(eus, m, v);
+                assert!(s.mes >= 1 && s.ves >= 1);
+                assert_eq!(s.total(), eus.max(2));
+            }
+        }
+    }
+
+    #[test]
+    fn selected_split_is_at_least_as_good_as_alternatives() {
+        // The Eq. (4) selection should match the exhaustive argmax of Eq. (2).
+        for (m, v) in [(0.9, 0.3), (0.3, 0.9), (0.7, 0.6), (0.55, 0.5), (0.2, 0.85)] {
+            for eus in 2..=16usize {
+                let chosen = split_eus(eus, m, v);
+                let chosen_util = eu_utilization(m, v, chosen.mes, chosen.ves);
+                let best = (1..eus)
+                    .map(|nm| eu_utilization(m, v, nm, eus - nm))
+                    .fold(f64::MIN, f64::max);
+                assert!(
+                    chosen_util >= best - 0.08,
+                    "split {chosen:?} for m={m}, v={v}, eus={eus}: {chosen_util:.3} vs best {best:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_grows_with_more_engines() {
+        let sweep = allocation_sweep(0.85, 0.45, 16);
+        assert_eq!(sweep.len(), 15);
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1 >= pair[0].1 - 1e-9, "speedup must not decrease");
+        }
+        assert!(sweep.last().unwrap().1 > sweep.first().unwrap().1);
+    }
+
+    #[test]
+    fn utilization_is_a_fraction_and_peaks_at_matched_ratio() {
+        for nm in 1..=8usize {
+            for nv in 1..=8usize {
+                let u = eu_utilization(0.75, 0.45, nm, nv);
+                assert!((0.0..=1.0).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_recommends_valid_configs_for_real_profiles() {
+        let npu = NpuConfig::tpu_v4_like();
+        let allocator = VnpuAllocator::new(&npu);
+        let profile = WorkloadProfile::analyze(ModelId::ResNet, 32, &npu);
+        let graph = workloads::InferenceGraph::build(ModelId::ResNet, 32);
+        let config = allocator
+            .recommend(&profile, 4, graph.hbm_footprint_bytes())
+            .unwrap();
+        assert_eq!(config.total_eus(), 4);
+        // ResNet is ME-heavy: at least as many MEs as VEs.
+        assert!(config.num_mes_per_core >= config.num_ves_per_core);
+        config.validate_against(&npu).unwrap();
+    }
+
+    #[test]
+    fn allocator_rejects_budgets_beyond_one_core() {
+        let npu = NpuConfig::tpu_v4_like();
+        let allocator = VnpuAllocator::new(&npu);
+        let profile = WorkloadProfile::analyze(ModelId::Mnist, 8, &npu);
+        assert!(allocator.recommend(&profile, 64, 1 << 20).is_err());
+    }
+}

@@ -1,0 +1,7 @@
+//! Reference NPU-sharing baselines from the paper's evaluation (§V-A):
+//! [`pmt`] (PREMA-style temporal sharing), [`v10`] (V10, ISCA'23) and
+//! [`static_partition`] (Neu10-NoHarvest / MIG-like partitioning).
+
+pub mod pmt;
+pub mod static_partition;
+pub mod v10;

@@ -1,0 +1,129 @@
+//! PMT: PREMA-style preemptive temporal sharing of the entire NPU core.
+//!
+//! Only one vNPU occupies the core at a time; the scheduler picks the vNPU
+//! with the smallest priority-weighted active time (fair sharing) and hands
+//! it every engine its current operator can use. Collocated vNPUs make no
+//! progress at all — including their DMA traffic — until they are scheduled
+//! in, which is what leaves so much of the core idle in Fig. 22.
+
+use crate::scheduler::assignment::{EngineAssignment, TenantSnapshot};
+
+/// Computes the PMT assignment: all engines to the fair-share winner.
+///
+/// The core is only handed over at operator boundaries: a tenant that is
+/// still executing the operator it was scheduled for keeps the core even if
+/// a collocated tenant now has a better fair-share score.
+pub fn assign(tenants: &[TenantSnapshot], nx: usize, ny: usize) -> Vec<EngineAssignment> {
+    let holder = tenants
+        .iter()
+        .position(|t| t.has_work && t.holds_engines);
+    let winner = holder.or_else(|| {
+        tenants
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.has_work)
+            .min_by(|(_, a), (_, b)| {
+                let wa = a.active_cycles as f64 / a.priority.max(1) as f64;
+                let wb = b.active_cycles as f64 / b.priority.max(1) as f64;
+                wa.partial_cmp(&wb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.vnpu.cmp(&b.vnpu))
+            })
+            .map(|(i, _)| i)
+    });
+
+    tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if Some(i) == winner {
+                EngineAssignment {
+                    mes: t.me_demand.min(nx),
+                    ves: t.ve_demand.min(ny),
+                    active: true,
+                }
+            } else {
+                EngineAssignment::default()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vnpu::VnpuId;
+
+    fn snapshot(id: u32, active_cycles: u64, priority: u32) -> TenantSnapshot {
+        TenantSnapshot {
+            vnpu: VnpuId(id),
+            allocated_mes: 2,
+            allocated_ves: 2,
+            priority,
+            me_demand: 4,
+            ve_demand: 4,
+            has_work: true,
+            active_cycles,
+            holds_engines: false,
+        }
+    }
+
+    #[test]
+    fn only_one_tenant_runs_at_a_time() {
+        let tenants = vec![snapshot(0, 100, 1), snapshot(1, 50, 1)];
+        let a = assign(&tenants, 4, 4);
+        assert_eq!(a[0], EngineAssignment::default());
+        assert_eq!(a[1].mes, 4);
+        assert_eq!(a[1].ves, 4);
+        assert!(a[1].active && !a[0].active);
+    }
+
+    #[test]
+    fn fairness_uses_priority_weighted_active_time() {
+        // Tenant 0 has twice the priority, so it wins until it has consumed
+        // twice the active cycles of tenant 1.
+        let tenants = vec![snapshot(0, 90, 2), snapshot(1, 50, 1)];
+        let a = assign(&tenants, 4, 4);
+        assert!(a[0].active, "90/2 = 45 < 50/1");
+        let tenants = vec![snapshot(0, 110, 2), snapshot(1, 50, 1)];
+        let a = assign(&tenants, 4, 4);
+        assert!(a[1].active);
+    }
+
+    #[test]
+    fn idle_tenants_are_skipped() {
+        let mut idle = snapshot(0, 0, 1);
+        idle.has_work = false;
+        let tenants = vec![idle, snapshot(1, 1_000, 1)];
+        let a = assign(&tenants, 4, 4);
+        assert!(!a[0].active);
+        assert!(a[1].active);
+    }
+
+    #[test]
+    fn the_holder_keeps_the_core_until_its_operator_finishes() {
+        // Tenant 0 has the worse fair-share score but is mid-operator, so it
+        // keeps the core; once it no longer holds, tenant 1 takes over.
+        let mut holder = snapshot(0, 10_000, 1);
+        holder.holds_engines = true;
+        let contender = snapshot(1, 0, 1);
+        let a = assign(&[holder, contender], 4, 4);
+        assert!(a[0].active);
+        assert!(!a[1].active);
+
+        let done = snapshot(0, 10_000, 1);
+        let a = assign(&[done, snapshot(1, 0, 1)], 4, 4);
+        assert!(!a[0].active);
+        assert!(a[1].active);
+    }
+
+    #[test]
+    fn demand_caps_the_grant() {
+        let mut t = snapshot(0, 0, 1);
+        t.me_demand = 1;
+        t.ve_demand = 2;
+        let a = assign(&[t], 4, 4);
+        assert_eq!(a[0].mes, 1);
+        assert_eq!(a[0].ves, 2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Neu10-NoHarvest: static spatial partitioning of the NPU core.
+//!
+//! Each vNPU owns its allocated MEs and VEs exclusively (like NVIDIA's
+//! Multi-Instance GPU). There is no dynamic scheduling: engines the owner
+//! cannot fill simply idle. This isolates the contribution of harvesting in
+//! the evaluation (Neu10 vs Neu10-NH).
+
+use crate::scheduler::assignment::{EngineAssignment, TenantSnapshot};
+use crate::scheduler::harvest;
+
+/// Computes the static-partition assignment: `min(demand, allocation)` per
+/// vNPU, with no redistribution of idle engines.
+pub fn assign(tenants: &[TenantSnapshot], nx: usize, ny: usize) -> Vec<EngineAssignment> {
+    harvest::assign(tenants, nx, ny, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vnpu::VnpuId;
+
+    #[test]
+    fn idle_engines_stay_idle() {
+        let tenants = vec![
+            TenantSnapshot {
+                vnpu: VnpuId(0),
+                allocated_mes: 2,
+                allocated_ves: 2,
+                priority: 1,
+                me_demand: 4,
+                ve_demand: 4,
+                has_work: true,
+                active_cycles: 0,
+                holds_engines: false,
+            },
+            TenantSnapshot {
+                vnpu: VnpuId(1),
+                allocated_mes: 2,
+                allocated_ves: 2,
+                priority: 1,
+                me_demand: 0,
+                ve_demand: 1,
+                has_work: true,
+                active_cycles: 0,
+                holds_engines: false,
+            },
+        ];
+        let a = assign(&tenants, 4, 4);
+        // Tenant 0 cannot exceed its partition even though tenant 1 leaves
+        // two MEs idle.
+        assert_eq!(a[0].mes, 2);
+        assert_eq!(a[1].mes, 0);
+        assert_eq!(a[0].ves + a[1].ves, 3);
+    }
+}

@@ -1,0 +1,163 @@
+//! V10 (ISCA'23): hardware-assisted temporal sharing of the NPU's engines
+//! with priority-based, operator-granularity preemption.
+//!
+//! V10 compiles workloads with the traditional VLIW ISA, so all MEs of the
+//! core form one indivisible unit: when an ME operator of one vNPU runs it
+//! occupies *every* ME, and collocated vNPUs can only overlap VE-only
+//! operators (§V-A). That false coupling is the source of the ME contention
+//! Neu10 removes with µTOp scheduling.
+
+use crate::scheduler::assignment::{EngineAssignment, TenantSnapshot};
+
+/// Computes the V10 assignment.
+///
+/// * the fair-share winner among vNPUs whose current operator needs MEs gets
+///   all `nx` MEs (plus the VEs its fused operations need);
+/// * vNPUs whose current operator is VE-only share the remaining VEs;
+/// * vNPUs waiting on an ME operator while another ME operator runs are
+///   stalled.
+pub fn assign(tenants: &[TenantSnapshot], nx: usize, ny: usize) -> Vec<EngineAssignment> {
+    // Pick the ME owner by priority-weighted fairness. V10's hardware
+    // supports fine-grained preemption, so ownership can move even while an
+    // operator is in flight (the preempted operator pays the drain cost when
+    // it resumes).
+    let me_owner = tenants
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.has_work && t.me_demand > 0)
+        .min_by(|(_, a), (_, b)| {
+            let wa = a.active_cycles as f64 / a.priority.max(1) as f64;
+            let wb = b.active_cycles as f64 / b.priority.max(1) as f64;
+            wa.partial_cmp(&wb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.vnpu.cmp(&b.vnpu))
+        })
+        .map(|(i, _)| i);
+
+    let mut assignments = vec![EngineAssignment::default(); tenants.len()];
+    let mut remaining_ves = ny;
+
+    // The ME owner gets all MEs (VLIW coupling).
+    if let Some(owner) = me_owner {
+        assignments[owner] = EngineAssignment {
+            mes: nx,
+            ves: 0,
+            active: true,
+        };
+    }
+
+    // The VEs are time-shared: the ME owner's fused VE slots and the VE-only
+    // operators of collocated vNPUs share them round-robin (an ME operator of
+    // a non-owner cannot contribute VE work because its whole VLIW program is
+    // stalled).
+    let ve_eligible: Vec<usize> = tenants
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            t.has_work
+                && t.ve_demand > 0
+                && (Some(*i) == me_owner || t.me_demand == 0)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    while remaining_ves > 0 {
+        let mut progressed = false;
+        for &i in &ve_eligible {
+            if remaining_ves == 0 {
+                break;
+            }
+            if assignments[i].ves < tenants[i].ve_demand {
+                assignments[i].ves += 1;
+                assignments[i].active = true;
+                remaining_ves -= 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    // Memory-only operators (no engine demand at all) still progress.
+    for (i, t) in tenants.iter().enumerate() {
+        if Some(i) != me_owner && t.has_work && t.me_demand == 0 && t.ve_demand == 0 {
+            assignments[i].active = true;
+        }
+    }
+    assignments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vnpu::VnpuId;
+
+    fn snapshot(id: u32, me_demand: usize, ve_demand: usize, active_cycles: u64) -> TenantSnapshot {
+        TenantSnapshot {
+            vnpu: VnpuId(id),
+            allocated_mes: 2,
+            allocated_ves: 2,
+            priority: 1,
+            me_demand,
+            ve_demand,
+            has_work: true,
+            active_cycles,
+            holds_engines: false,
+        }
+    }
+
+    #[test]
+    fn me_operator_occupies_every_me() {
+        let tenants = vec![snapshot(0, 2, 1, 0), snapshot(1, 2, 1, 100)];
+        let a = assign(&tenants, 4, 4);
+        assert_eq!(a[0].mes, 4, "VLIW coupling grabs all MEs");
+        assert_eq!(a[1].mes, 0, "the other ME operator stalls");
+        assert!(!a[1].active);
+    }
+
+    #[test]
+    fn ve_only_operators_overlap_with_me_operators() {
+        let tenants = vec![snapshot(0, 4, 2, 0), snapshot(1, 0, 4, 100)];
+        let a = assign(&tenants, 4, 4);
+        assert_eq!(a[0].mes, 4);
+        assert_eq!(a[0].ves, 2);
+        assert_eq!(a[1].mes, 0);
+        assert_eq!(a[1].ves, 2, "leftover VEs go to the VE-only operator");
+        assert!(a[1].active);
+    }
+
+    #[test]
+    fn fairness_rotates_the_me_owner() {
+        let tenants = vec![snapshot(0, 2, 0, 500), snapshot(1, 2, 0, 100)];
+        let a = assign(&tenants, 4, 4);
+        assert_eq!(a[1].mes, 4);
+        assert_eq!(a[0].mes, 0);
+    }
+
+    #[test]
+    fn preemption_ignores_in_flight_operators() {
+        // Unlike PMT, V10 can move ME ownership even while the current
+        // owner's operator is in flight (fine-grained preemption).
+        let mut holder = snapshot(0, 4, 1, 900);
+        holder.holds_engines = true;
+        let contender = snapshot(1, 4, 1, 100);
+        let a = assign(&[holder, contender], 4, 4);
+        assert_eq!(a[0].mes, 0);
+        assert_eq!(a[1].mes, 4);
+    }
+
+    #[test]
+    fn memory_only_operators_keep_streaming() {
+        let tenants = vec![snapshot(0, 4, 4, 0), snapshot(1, 0, 0, 0)];
+        let a = assign(&tenants, 4, 4);
+        assert!(a[1].active, "a DMA-only operator is not blocked by the ME owner");
+        assert_eq!(a[1].mes + a[1].ves, 0);
+    }
+
+    #[test]
+    fn no_me_work_anywhere_still_shares_ves() {
+        let tenants = vec![snapshot(0, 0, 4, 0), snapshot(1, 0, 4, 0)];
+        let a = assign(&tenants, 4, 4);
+        assert_eq!(a[0].ves + a[1].ves, 4);
+        assert!(a[0].active && a[1].active);
+    }
+}

@@ -1,0 +1,81 @@
+//! Errors produced by the Neu10 virtualization layer.
+
+use std::fmt;
+
+use crate::vnpu::VnpuId;
+
+/// Errors returned by vNPU allocation, mapping and scheduling.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Neu10Error {
+    /// The requested vNPU configuration cannot fit on any physical NPU.
+    InsufficientResources {
+        /// Human-readable description of the missing resource.
+        reason: String,
+    },
+    /// The vNPU id is unknown to the manager.
+    UnknownVnpu(VnpuId),
+    /// The vNPU is in a state that does not allow the requested operation.
+    InvalidState {
+        /// The vNPU involved.
+        vnpu: VnpuId,
+        /// Description of the state conflict.
+        reason: String,
+    },
+    /// A vNPU configuration is malformed (e.g. zero engines).
+    InvalidConfig(String),
+    /// An error bubbled up from the hardware simulator.
+    Simulator(npu_sim::SimError),
+}
+
+impl fmt::Display for Neu10Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Neu10Error::InsufficientResources { reason } => {
+                write!(f, "insufficient NPU resources: {reason}")
+            }
+            Neu10Error::UnknownVnpu(id) => write!(f, "unknown vNPU {id}"),
+            Neu10Error::InvalidState { vnpu, reason } => {
+                write!(f, "invalid operation on {vnpu}: {reason}")
+            }
+            Neu10Error::InvalidConfig(reason) => write!(f, "invalid vNPU configuration: {reason}"),
+            Neu10Error::Simulator(err) => write!(f, "simulator error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for Neu10Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Neu10Error::Simulator(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<npu_sim::SimError> for Neu10Error {
+    fn from(err: npu_sim::SimError) -> Self {
+        Neu10Error::Simulator(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let err = Neu10Error::InsufficientResources {
+            reason: "no core with 4 free MEs".to_string(),
+        };
+        assert!(err.to_string().contains("4 free MEs"));
+        assert!(Neu10Error::UnknownVnpu(VnpuId(3)).to_string().contains("vNPU"));
+    }
+
+    #[test]
+    fn simulator_errors_convert_and_chain() {
+        let sim = npu_sim::SimError::InvalidConfig("zero MEs".to_string());
+        let err: Neu10Error = sim.into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! The vNPU manager: the host-side component that owns the physical NPU
+//! inventory, creates and destroys vNPUs and maintains their hardware
+//! context (Fig. 11).
+//!
+//! In a deployment this logic lives in a host kernel module reached through
+//! hypercalls (§III-F); the [`hypervisor`](https://docs.rs) crate of this
+//! workspace models that control path and drives this manager.
+
+use std::collections::BTreeMap;
+
+use npu_sim::{MemoryKind, NpuBoard, NpuConfig};
+
+use crate::error::Neu10Error;
+use crate::mapping::{MappingMode, PnpuMapper, VnpuPlacement};
+use crate::vnpu::{Vnpu, VnpuConfig, VnpuId, VnpuState};
+
+/// The host-wide vNPU manager.
+#[derive(Debug)]
+pub struct VnpuManager {
+    npu: NpuConfig,
+    board: NpuBoard,
+    mapper: PnpuMapper,
+    vnpus: BTreeMap<VnpuId, Vnpu>,
+    next_id: u32,
+}
+
+impl VnpuManager {
+    /// Creates a manager for a freshly initialized NPU board.
+    pub fn new(npu: &NpuConfig) -> Self {
+        VnpuManager {
+            npu: npu.clone(),
+            board: NpuBoard::new(npu),
+            mapper: PnpuMapper::new(npu),
+            vnpus: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The physical NPU configuration.
+    pub fn npu_config(&self) -> &NpuConfig {
+        &self.npu
+    }
+
+    /// The simulated NPU board owned by the manager.
+    pub fn board(&self) -> &NpuBoard {
+        &self.board
+    }
+
+    /// Creates a vNPU, maps it onto a physical core and sets up its memory
+    /// segments, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and placement errors; on error no
+    /// state is leaked (the vNPU is not registered).
+    pub fn create_vnpu(
+        &mut self,
+        config: VnpuConfig,
+        mode: MappingMode,
+        priority: u32,
+    ) -> Result<VnpuId, Neu10Error> {
+        config.validate_against(&self.npu)?;
+        let id = VnpuId(self.next_id);
+        let mut vnpu = Vnpu::new(id, config).with_priority(priority);
+        let placement = self.mapper.map(&vnpu, mode)?;
+
+        // Commit the memory segments on the chosen core; roll back the
+        // placement if the core cannot provide them.
+        let core = self
+            .board
+            .core_mut(placement.core)
+            .expect("mapper only selects existing cores");
+        if let Err(err) = core.map_segments(MemoryKind::Sram, placement.sram_segments, id.0) {
+            self.mapper.unmap(id)?;
+            return Err(err.into());
+        }
+        if let Err(err) = core.map_segments(MemoryKind::Hbm, placement.hbm_segments, id.0) {
+            core.unmap_segments(MemoryKind::Sram, id.0);
+            self.mapper.unmap(id)?;
+            return Err(err.into());
+        }
+
+        vnpu.transition(VnpuState::Mapped)?;
+        self.vnpus.insert(id, vnpu);
+        self.next_id += 1;
+        Ok(id)
+    }
+
+    /// Destroys a vNPU: clears its context and releases engines and segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Neu10Error::UnknownVnpu`] if the id is not registered.
+    pub fn destroy_vnpu(&mut self, id: VnpuId) -> Result<(), Neu10Error> {
+        let mut vnpu = self
+            .vnpus
+            .remove(&id)
+            .ok_or(Neu10Error::UnknownVnpu(id))?;
+        if let Some(placement) = self.mapper.placement(id).copied() {
+            let core = self
+                .board
+                .core_mut(placement.core)
+                .expect("placement refers to an existing core");
+            core.unmap_segments(MemoryKind::Sram, id.0);
+            core.unmap_segments(MemoryKind::Hbm, id.0);
+            self.mapper.unmap(id)?;
+        }
+        vnpu.transition(VnpuState::Destroyed)?;
+        Ok(())
+    }
+
+    /// Looks up a vNPU by id.
+    pub fn vnpu(&self, id: VnpuId) -> Option<&Vnpu> {
+        self.vnpus.get(&id)
+    }
+
+    /// Marks a vNPU as running guest work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Neu10Error::UnknownVnpu`] or [`Neu10Error::InvalidState`].
+    pub fn start_vnpu(&mut self, id: VnpuId) -> Result<(), Neu10Error> {
+        let vnpu = self
+            .vnpus
+            .get_mut(&id)
+            .ok_or(Neu10Error::UnknownVnpu(id))?;
+        vnpu.transition(VnpuState::Running)
+    }
+
+    /// The placement of a vNPU, if it is mapped.
+    pub fn placement(&self, id: VnpuId) -> Option<&VnpuPlacement> {
+        self.mapper.placement(id)
+    }
+
+    /// The ids of all live vNPUs.
+    pub fn vnpu_ids(&self) -> Vec<VnpuId> {
+        self.vnpus.keys().copied().collect()
+    }
+
+    /// Number of live vNPUs.
+    pub fn vnpu_count(&self) -> usize {
+        self.vnpus.len()
+    }
+
+    /// Free MEs across the board (hardware-isolated accounting).
+    pub fn free_mes(&self) -> usize {
+        self.mapper.free_mes()
+    }
+
+    /// Free VEs across the board (hardware-isolated accounting).
+    pub fn free_ves(&self) -> usize {
+        self.mapper.free_ves()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::CoreId;
+
+    fn manager() -> VnpuManager {
+        VnpuManager::new(&NpuConfig::single_core())
+    }
+
+    fn half_core(npu: &NpuConfig) -> VnpuConfig {
+        VnpuConfig::single_core(2, 2, npu.sram_bytes_per_core / 2, npu.hbm_bytes_per_core / 2)
+    }
+
+    #[test]
+    fn create_and_destroy_roundtrip() {
+        let mut mgr = manager();
+        let npu = mgr.npu_config().clone();
+        let id = mgr
+            .create_vnpu(half_core(&npu), MappingMode::HardwareIsolated, 1)
+            .unwrap();
+        assert_eq!(mgr.vnpu_count(), 1);
+        assert_eq!(mgr.vnpu(id).unwrap().state(), VnpuState::Mapped);
+        let placement = *mgr.placement(id).unwrap();
+        assert_eq!(placement.core, CoreId::new(0, 0));
+        // Segments were committed on the core.
+        let core = mgr.board().core(placement.core).unwrap();
+        assert!(core.segments_of(MemoryKind::Hbm, id.0) > 0);
+
+        mgr.start_vnpu(id).unwrap();
+        assert_eq!(mgr.vnpu(id).unwrap().state(), VnpuState::Running);
+
+        mgr.destroy_vnpu(id).unwrap();
+        assert_eq!(mgr.vnpu_count(), 0);
+        assert!(mgr.placement(id).is_none());
+        let core = mgr.board().core(CoreId::new(0, 0)).unwrap();
+        assert_eq!(core.segments_of(MemoryKind::Hbm, id.0), 0);
+        assert_eq!(mgr.free_mes(), 4);
+    }
+
+    #[test]
+    fn two_half_core_vnpus_collocate() {
+        let mut mgr = manager();
+        let npu = mgr.npu_config().clone();
+        let a = mgr
+            .create_vnpu(half_core(&npu), MappingMode::HardwareIsolated, 1)
+            .unwrap();
+        let b = mgr
+            .create_vnpu(half_core(&npu), MappingMode::HardwareIsolated, 1)
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(mgr.placement(a).unwrap().core, mgr.placement(b).unwrap().core);
+        assert_eq!(mgr.free_mes(), 0);
+        // Their memory segments are disjoint.
+        let core = mgr.board().core(CoreId::new(0, 0)).unwrap();
+        assert!(core.segments_of(MemoryKind::Hbm, a.0) > 0);
+        assert!(core.segments_of(MemoryKind::Hbm, b.0) > 0);
+    }
+
+    #[test]
+    fn creation_failure_leaks_nothing() {
+        let mut mgr = manager();
+        let npu = mgr.npu_config().clone();
+        // Fill the whole core first.
+        mgr.create_vnpu(
+            VnpuConfig::large(&npu),
+            MappingMode::HardwareIsolated,
+            1,
+        )
+        .unwrap();
+        let before_free = mgr.free_mes();
+        let err = mgr.create_vnpu(half_core(&npu), MappingMode::HardwareIsolated, 1);
+        assert!(err.is_err());
+        assert_eq!(mgr.free_mes(), before_free);
+        assert_eq!(mgr.vnpu_count(), 1);
+    }
+
+    #[test]
+    fn unknown_vnpu_operations_fail() {
+        let mut mgr = manager();
+        assert!(mgr.destroy_vnpu(VnpuId(9)).is_err());
+        assert!(mgr.start_vnpu(VnpuId(9)).is_err());
+        assert!(mgr.vnpu(VnpuId(9)).is_none());
+    }
+}

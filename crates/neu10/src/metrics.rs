@@ -1,0 +1,131 @@
+//! Latency / throughput / utilization metrics used by the evaluation
+//! harnesses.
+
+use npu_sim::{Cycles, Frequency};
+
+/// Returns the `p`-th percentile (0–100) of `values` using nearest-rank
+/// interpolation. Returns 0 for an empty slice.
+pub fn percentile(values: &[u64], p: f64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let p = p.clamp(0.0, 100.0) / 100.0;
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Arithmetic mean of `values`; 0 for an empty slice.
+pub fn mean(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().map(|v| *v as f64).sum::<f64>() / values.len() as f64
+}
+
+/// Throughput in requests per second given a completed-request count and a
+/// makespan in cycles.
+pub fn throughput_rps(completed: usize, makespan: Cycles, frequency: Frequency) -> f64 {
+    let secs = frequency.cycles_to_time(makespan).as_secs();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    completed as f64 / secs
+}
+
+/// A latency summary (all values in cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: f64,
+    /// Median (p50) latency.
+    pub p50: u64,
+    /// 95th-percentile latency (the paper's tail-latency metric).
+    pub p95: u64,
+    /// 99th-percentile latency.
+    pub p99: u64,
+    /// Maximum latency.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of latency samples.
+    pub fn from_samples(values: &[u64]) -> Self {
+        LatencySummary {
+            count: values.len(),
+            mean: mean(values),
+            p50: percentile(values, 50.0),
+            p95: percentile(values, 95.0),
+            p99: percentile(values, 99.0),
+            max: values.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// Ratio helper that treats a zero denominator as "no change" (1.0).
+pub fn normalized(value: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        1.0
+    } else {
+        value / baseline
+    }
+}
+
+/// Geometric mean of a set of (positive) ratios; 1.0 for an empty slice.
+pub fn geometric_mean(ratios: &[f64]) -> f64 {
+    let positive: Vec<f64> = ratios.iter().copied().filter(|r| *r > 0.0).collect();
+    if positive.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = positive.iter().map(|r| r.ln()).sum();
+    (log_sum / positive.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile(&[], 95.0), 0);
+        assert_eq!(percentile(&[7], 95.0), 7);
+        let values: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&values, 0.0), 1);
+        assert_eq!(percentile(&values, 100.0), 100);
+        let p95 = percentile(&values, 95.0);
+        assert!((94..=96).contains(&p95));
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let values: Vec<u64> = (1..=1000).collect();
+        let s = LatencySummary::from_samples(&values);
+        assert_eq!(s.count, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        assert!(s.p50 <= s.p95);
+        assert!(s.p95 <= s.p99);
+        assert!(s.p99 <= s.max);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn throughput_uses_frequency() {
+        let f = Frequency::from_mhz(1000.0);
+        // 10 requests over 1e9 cycles (1 second) = 10 rps.
+        let rps = throughput_rps(10, Cycles(1_000_000_000), f);
+        assert!((rps - 10.0).abs() < 1e-9);
+        assert_eq!(throughput_rps(10, Cycles::ZERO, f), 0.0);
+    }
+
+    #[test]
+    fn normalization_and_geomean() {
+        assert!((normalized(2.0, 4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(normalized(2.0, 0.0), 1.0);
+        let g = geometric_mean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Engine-assignment computation: given the instantaneous demand of every
+//! collocated vNPU, decide how many MEs and VEs each one drives.
+//!
+//! This is the behavioural model of the hardware µTOp scheduler and operation
+//! scheduler of §III-E, shared by all sharing policies: the Neu10 path
+//! implements spatial allocation with harvesting, while the baselines
+//! (PMT, V10) implement their temporal-sharing rules.
+
+use crate::baselines::{pmt, v10};
+use crate::scheduler::harvest;
+use crate::scheduler::policy::SharingPolicy;
+use crate::vnpu::VnpuId;
+
+/// A point-in-time view of one collocated vNPU, as seen by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSnapshot {
+    /// The vNPU.
+    pub vnpu: VnpuId,
+    /// MEs statically allocated to the vNPU (its vNPU configuration).
+    pub allocated_mes: usize,
+    /// VEs statically allocated to the vNPU.
+    pub allocated_ves: usize,
+    /// Relative priority (≥ 1) used by temporal-sharing policies.
+    pub priority: u32,
+    /// MEs the vNPU's current operator can use right now (ready ME µTOps).
+    pub me_demand: usize,
+    /// VEs the vNPU's current operator can use right now.
+    pub ve_demand: usize,
+    /// Whether the vNPU currently has an operator to execute.
+    pub has_work: bool,
+    /// Engine-cycles consumed so far (for fair temporal sharing).
+    pub active_cycles: u64,
+    /// Whether the vNPU was granted engines in the previous scheduling
+    /// interval and is still executing the same operator. Temporal-sharing
+    /// policies (PMT, V10) only reassign engine ownership at operator
+    /// boundaries, so a holder keeps its engines until its operator retires.
+    pub holds_engines: bool,
+}
+
+/// The engines granted to one vNPU for the next scheduling interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineAssignment {
+    /// Matrix engines granted.
+    pub mes: usize,
+    /// Vector engines granted.
+    pub ves: usize,
+    /// Whether the vNPU may make progress at all during the interval
+    /// (temporal-sharing baselines park inactive vNPUs entirely, including
+    /// their DMA traffic).
+    pub active: bool,
+}
+
+/// Computes the per-vNPU engine assignment under `policy` for a core with
+/// `nx` MEs and `ny` VEs.
+///
+/// The result has one entry per input snapshot, in the same order, and never
+/// grants more engines in total than the core has.
+pub fn compute(
+    policy: SharingPolicy,
+    tenants: &[TenantSnapshot],
+    nx: usize,
+    ny: usize,
+) -> Vec<EngineAssignment> {
+    let assignments = match policy {
+        SharingPolicy::Neu10 => harvest::assign(tenants, nx, ny, true),
+        SharingPolicy::Neu10NoHarvest => harvest::assign(tenants, nx, ny, false),
+        SharingPolicy::Pmt => pmt::assign(tenants, nx, ny),
+        SharingPolicy::V10 => v10::assign(tenants, nx, ny),
+    };
+    debug_assert_eq!(assignments.len(), tenants.len());
+    debug_assert!(assignments.iter().map(|a| a.mes).sum::<usize>() <= nx);
+    debug_assert!(assignments.iter().map(|a| a.ves).sum::<usize>() <= ny);
+    assignments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(id: u32, alloc: (usize, usize), demand: (usize, usize)) -> TenantSnapshot {
+        TenantSnapshot {
+            vnpu: VnpuId(id),
+            allocated_mes: alloc.0,
+            allocated_ves: alloc.1,
+            priority: 1,
+            me_demand: demand.0,
+            ve_demand: demand.1,
+            has_work: true,
+            active_cycles: 0,
+            holds_engines: false,
+        }
+    }
+
+    #[test]
+    fn every_policy_respects_core_capacity() {
+        let tenants = vec![
+            snapshot(0, (2, 2), (4, 4)),
+            snapshot(1, (2, 2), (4, 4)),
+        ];
+        for policy in SharingPolicy::all() {
+            let a = compute(policy, &tenants, 4, 4);
+            assert_eq!(a.len(), 2);
+            assert!(a.iter().map(|x| x.mes).sum::<usize>() <= 4, "{policy}");
+            assert!(a.iter().map(|x| x.ves).sum::<usize>() <= 4, "{policy}");
+        }
+    }
+
+    #[test]
+    fn spatial_policies_grant_allocated_shares_under_full_demand() {
+        let tenants = vec![
+            snapshot(0, (2, 2), (4, 4)),
+            snapshot(1, (2, 2), (4, 4)),
+        ];
+        for policy in [SharingPolicy::Neu10, SharingPolicy::Neu10NoHarvest] {
+            let a = compute(policy, &tenants, 4, 4);
+            assert_eq!(a[0].mes, 2, "{policy}");
+            assert_eq!(a[1].mes, 2, "{policy}");
+            assert!(a[0].active && a[1].active);
+        }
+    }
+
+    #[test]
+    fn temporal_policies_serialize_me_operators() {
+        let tenants = vec![
+            snapshot(0, (2, 2), (4, 2)),
+            snapshot(1, (2, 2), (4, 2)),
+        ];
+        for policy in [SharingPolicy::Pmt, SharingPolicy::V10] {
+            let a = compute(policy, &tenants, 4, 4);
+            let with_mes = a.iter().filter(|x| x.mes > 0).count();
+            assert_eq!(with_mes, 1, "{policy} must give the MEs to one vNPU");
+        }
+    }
+
+    #[test]
+    fn empty_tenant_list_is_fine() {
+        for policy in SharingPolicy::all() {
+            assert!(compute(policy, &[], 4, 4).is_empty());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Per-vNPU hardware contexts and the cost of preempting a harvested ME.
+//!
+//! The NPU core maintains one context per collocated vNPU (Fig. 17): the
+//! program counters of its in-flight µTOps, its configuration and the saved
+//! ME state when a harvested engine is reclaimed. Context switching an ME
+//! costs popping the partial sums and the weights of the preempted µTOp
+//! (2 × systolic dimension cycles, §III-G).
+
+use npu_sim::{Cycles, NpuConfig};
+
+use crate::vnpu::VnpuId;
+
+/// The saved architectural state of one vNPU on a core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VnpuContext {
+    /// The vNPU this context belongs to.
+    pub vnpu: VnpuId,
+    /// MEs statically allocated to the vNPU on this core.
+    pub allocated_mes: usize,
+    /// VEs statically allocated to the vNPU on this core.
+    pub allocated_ves: usize,
+    /// Program counter of the next µTOp group to dispatch.
+    pub next_group: u32,
+    /// Number of ME preemptions performed against this vNPU's harvested work.
+    pub preemptions: u64,
+}
+
+impl VnpuContext {
+    /// Creates a context for a vNPU with the given static allocation.
+    pub fn new(vnpu: VnpuId, allocated_mes: usize, allocated_ves: usize) -> Self {
+        VnpuContext {
+            vnpu,
+            allocated_mes,
+            allocated_ves,
+            next_group: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// Records the preemption of one of this vNPU's harvesting µTOps.
+    pub fn record_preemption(&mut self) {
+        self.preemptions += 1;
+    }
+}
+
+/// The cycles needed to reclaim one harvested ME (pop partial sums + weights).
+pub fn me_preemption_cost(config: &NpuConfig) -> Cycles {
+    Cycles(config.me_preemption_cycles)
+}
+
+/// The cycles needed for a full-core context switch under coarse temporal
+/// sharing (every ME must drain, plus the vNPU state swap).
+pub fn full_core_switch_cost(config: &NpuConfig) -> Cycles {
+    Cycles(config.me_preemption_cycles * config.mes_per_core as u64 * 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preemption_cost_matches_table_ii() {
+        let config = NpuConfig::tpu_v4_like();
+        assert_eq!(me_preemption_cost(&config), Cycles(256));
+        assert!(full_core_switch_cost(&config) > me_preemption_cost(&config));
+    }
+
+    #[test]
+    fn context_tracks_preemptions() {
+        let mut ctx = VnpuContext::new(VnpuId(1), 2, 2);
+        assert_eq!(ctx.preemptions, 0);
+        ctx.record_preemption();
+        ctx.record_preemption();
+        assert_eq!(ctx.preemptions, 2);
+        assert_eq!(ctx.allocated_mes, 2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Spatial-isolated µTOp scheduling with optional ME/VE harvesting (§III-E).
+//!
+//! Under spatial isolation every vNPU first receives the engines it both owns
+//! (its static allocation) and can use (its ready-µTOp demand). With
+//! harvesting enabled, engines left idle — either because their owner's
+//! current operator cannot fill them or because they are unallocated — are
+//! handed to collocated vNPUs whose demand exceeds their allocation, exactly
+//! the behaviour of Fig. 18.
+
+use crate::scheduler::assignment::{EngineAssignment, TenantSnapshot};
+
+/// Computes the spatial-isolated assignment for a core with `nx` MEs and
+/// `ny` VEs. When `harvest` is false the assignment is the static partition
+/// (the Neu10-NH / MIG-like baseline).
+pub fn assign(
+    tenants: &[TenantSnapshot],
+    nx: usize,
+    ny: usize,
+    harvest: bool,
+) -> Vec<EngineAssignment> {
+    let mes = grant_engines(
+        tenants,
+        nx,
+        harvest,
+        |t| t.allocated_mes,
+        |t| if t.has_work { t.me_demand } else { 0 },
+    );
+    let ves = grant_engines(
+        tenants,
+        ny,
+        harvest,
+        |t| t.allocated_ves,
+        |t| if t.has_work { t.ve_demand } else { 0 },
+    );
+    tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| EngineAssignment {
+            mes: mes[i],
+            ves: ves[i],
+            active: t.has_work,
+        })
+        .collect()
+}
+
+/// Grants one engine type: every tenant first gets `min(demand, allocation)`
+/// (clipped so the total never exceeds the physical count), then — if
+/// harvesting — leftover engines go to tenants whose demand is not yet met,
+/// in allocation-share order.
+fn grant_engines(
+    tenants: &[TenantSnapshot],
+    total: usize,
+    harvest: bool,
+    allocation: impl Fn(&TenantSnapshot) -> usize,
+    demand: impl Fn(&TenantSnapshot) -> usize,
+) -> Vec<usize> {
+    let mut granted = vec![0usize; tenants.len()];
+    let mut remaining = total;
+
+    // Pass 1: owners use their own engines up to their demand.
+    for (i, t) in tenants.iter().enumerate() {
+        let base = allocation(t).min(demand(t)).min(remaining);
+        granted[i] = base;
+        remaining -= base;
+    }
+    if !harvest || remaining == 0 {
+        return granted;
+    }
+
+    // Pass 2 (harvesting): distribute idle engines to tenants that can use
+    // more than they own, one engine at a time for fairness.
+    let mut hungry: Vec<usize> = (0..tenants.len())
+        .filter(|&i| demand(&tenants[i]) > granted[i])
+        .collect();
+    while remaining > 0 && !hungry.is_empty() {
+        let mut progressed = false;
+        for &i in &hungry {
+            if remaining == 0 {
+                break;
+            }
+            if demand(&tenants[i]) > granted[i] {
+                granted[i] += 1;
+                remaining -= 1;
+                progressed = true;
+            }
+        }
+        hungry.retain(|&i| demand(&tenants[i]) > granted[i]);
+        if !progressed {
+            break;
+        }
+    }
+    granted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vnpu::VnpuId;
+
+    fn snapshot(id: u32, alloc: (usize, usize), demand: (usize, usize)) -> TenantSnapshot {
+        TenantSnapshot {
+            vnpu: VnpuId(id),
+            allocated_mes: alloc.0,
+            allocated_ves: alloc.1,
+            priority: 1,
+            me_demand: demand.0,
+            ve_demand: demand.1,
+            has_work: true,
+            active_cycles: 0,
+            holds_engines: false,
+        }
+    }
+
+    #[test]
+    fn figure_18_me_harvesting_example() {
+        // Two vNPUs with 2 MEs each on a 4-ME core. vNPU-1 has plenty of
+        // ready ME µTOps, vNPU-2 only has one: vNPU-1 harvests the idle ME.
+        let tenants = vec![
+            snapshot(1, (2, 2), (4, 2)),
+            snapshot(2, (2, 2), (1, 2)),
+        ];
+        let with_harvest = assign(&tenants, 4, 4, true);
+        assert_eq!(with_harvest[0].mes, 3);
+        assert_eq!(with_harvest[1].mes, 1);
+        let without = assign(&tenants, 4, 4, false);
+        assert_eq!(without[0].mes, 2);
+        assert_eq!(without[1].mes, 1);
+    }
+
+    #[test]
+    fn figure_18_ve_harvesting_example() {
+        // Cycle 2 of Fig. 18(b): vNPU-1 has a single ready VE operation while
+        // vNPU-2 has more than its two VEs can issue, so one VE is harvested.
+        let tenants = vec![
+            snapshot(1, (2, 2), (2, 1)),
+            snapshot(2, (2, 2), (1, 4)),
+        ];
+        let a = assign(&tenants, 4, 4, true);
+        assert_eq!(a[0].ves, 1);
+        assert_eq!(a[1].ves, 3);
+    }
+
+    #[test]
+    fn owners_reclaim_when_their_demand_returns() {
+        // Once vNPU-2 has enough ME µTOps again, the harvested ME goes back:
+        // no vNPU is granted beyond its allocation when everyone is busy.
+        let tenants = vec![
+            snapshot(1, (2, 2), (4, 2)),
+            snapshot(2, (2, 2), (4, 2)),
+        ];
+        let a = assign(&tenants, 4, 4, true);
+        assert_eq!(a[0].mes, 2);
+        assert_eq!(a[1].mes, 2);
+    }
+
+    #[test]
+    fn unallocated_engines_are_harvestable() {
+        // A single 2-ME vNPU on a 4-ME core can harvest the unallocated MEs.
+        let tenants = vec![snapshot(1, (2, 2), (4, 4))];
+        let a = assign(&tenants, 4, 4, true);
+        assert_eq!(a[0].mes, 4);
+        assert_eq!(a[0].ves, 4);
+        let nh = assign(&tenants, 4, 4, false);
+        assert_eq!(nh[0].mes, 2);
+    }
+
+    #[test]
+    fn idle_tenants_consume_nothing() {
+        let mut idle = snapshot(1, (2, 2), (4, 4));
+        idle.has_work = false;
+        let busy = snapshot(2, (2, 2), (4, 4));
+        let a = assign(&[idle, busy], 4, 4, true);
+        assert_eq!(a[0].mes, 0);
+        assert_eq!(a[0].ves, 0);
+        assert!(!a[0].active);
+        assert_eq!(a[1].mes, 4, "the busy vNPU harvests the idle one's engines");
+        assert_eq!(a[1].ves, 4);
+    }
+
+    #[test]
+    fn harvesting_shares_leftovers_round_robin() {
+        // One idle vNPU; two hungry ones share its engines one at a time.
+        let mut idle = snapshot(1, (2, 2), (0, 0));
+        idle.has_work = false;
+        let tenants = vec![idle, snapshot(2, (1, 1), (4, 4)), snapshot(3, (1, 1), (4, 4))];
+        let a = assign(&tenants, 4, 4, true);
+        assert_eq!(a[1].mes + a[2].mes, 4);
+        assert!(a[1].mes >= 1 && a[2].mes >= 1);
+        assert_eq!((a[1].mes as i64 - a[2].mes as i64).abs(), 0);
+    }
+
+    #[test]
+    fn oversubscribed_allocations_never_exceed_hardware() {
+        // Software-isolated style oversubscription: allocations sum to 6 MEs
+        // on a 4-ME core; the grant is clipped.
+        let tenants = vec![
+            snapshot(1, (3, 3), (3, 3)),
+            snapshot(2, (3, 3), (3, 3)),
+        ];
+        let a = assign(&tenants, 4, 4, false);
+        assert!(a[0].mes + a[1].mes <= 4);
+        assert!(a[0].ves + a[1].ves <= 4);
+    }
+}

@@ -1,0 +1,12 @@
+//! Scheduling for virtualized NPUs: the sharing policies, the engine
+//! assignment logic (µTOp / operation scheduler behaviour of §III-E) and the
+//! per-vNPU hardware contexts.
+
+pub mod assignment;
+pub mod context;
+pub mod harvest;
+pub mod policy;
+
+pub use assignment::{compute as compute_assignment, EngineAssignment, TenantSnapshot};
+pub use context::{full_core_switch_cost, me_preemption_cost, VnpuContext};
+pub use policy::SharingPolicy;

@@ -1,0 +1,95 @@
+//! The NPU sharing policies compared in the paper's evaluation (§V-A).
+
+use std::fmt;
+
+/// How collocated vNPUs share a physical NPU core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharingPolicy {
+    /// PREMA-style preemptive temporal sharing of the entire core: only one
+    /// vNPU runs at a time, with fair preemptive switching (PMT baseline).
+    Pmt,
+    /// V10 (ISCA'23): temporal sharing of all MEs and VEs with priority-based
+    /// preemption. VLIW coupling means an ME operator of one vNPU occupies
+    /// every ME, and only VE-only operators of other vNPUs can overlap.
+    V10,
+    /// Spatially isolated vNPUs with statically dedicated MEs/VEs and no
+    /// dynamic scheduling (a MIG-like static partition; Neu10-NH).
+    Neu10NoHarvest,
+    /// Full Neu10: spatially isolated vNPUs with NeuISA µTOp scheduling and
+    /// dynamic ME/VE harvesting.
+    Neu10,
+}
+
+impl SharingPolicy {
+    /// Every policy, in the order the paper's figures list them.
+    pub fn all() -> [SharingPolicy; 4] {
+        [
+            SharingPolicy::Pmt,
+            SharingPolicy::V10,
+            SharingPolicy::Neu10NoHarvest,
+            SharingPolicy::Neu10,
+        ]
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SharingPolicy::Pmt => "PMT",
+            SharingPolicy::V10 => "V10",
+            SharingPolicy::Neu10NoHarvest => "Neu10-NH",
+            SharingPolicy::Neu10 => "Neu10",
+        }
+    }
+
+    /// Whether vNPUs own dedicated engines (spatial isolation).
+    pub fn is_spatial(self) -> bool {
+        matches!(self, SharingPolicy::Neu10NoHarvest | SharingPolicy::Neu10)
+    }
+
+    /// Whether idle engines may be harvested by collocated vNPUs.
+    pub fn harvesting_enabled(self) -> bool {
+        matches!(self, SharingPolicy::Neu10)
+    }
+
+    /// Whether the policy relies on the classic VLIW ISA (engine counts are
+    /// frozen at compile time) rather than NeuISA µTOps.
+    pub fn uses_vliw_isa(self) -> bool {
+        matches!(self, SharingPolicy::Pmt | SharingPolicy::V10)
+    }
+}
+
+impl fmt::Display for SharingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_figures() {
+        assert_eq!(SharingPolicy::Pmt.label(), "PMT");
+        assert_eq!(SharingPolicy::V10.label(), "V10");
+        assert_eq!(SharingPolicy::Neu10NoHarvest.label(), "Neu10-NH");
+        assert_eq!(SharingPolicy::Neu10.to_string(), "Neu10");
+    }
+
+    #[test]
+    fn only_neu10_harvests() {
+        assert!(SharingPolicy::Neu10.harvesting_enabled());
+        assert!(!SharingPolicy::Neu10NoHarvest.harvesting_enabled());
+        assert!(!SharingPolicy::V10.harvesting_enabled());
+        assert!(SharingPolicy::Neu10.is_spatial());
+        assert!(!SharingPolicy::Pmt.is_spatial());
+    }
+
+    #[test]
+    fn isa_choice_matches_policies() {
+        assert!(SharingPolicy::Pmt.uses_vliw_isa());
+        assert!(SharingPolicy::V10.uses_vliw_isa());
+        assert!(!SharingPolicy::Neu10.uses_vliw_isa());
+        assert_eq!(SharingPolicy::all().len(), 4);
+    }
+}

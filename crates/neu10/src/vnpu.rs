@@ -1,0 +1,298 @@
+//! The vNPU abstraction (§III-A): a virtual NPU device with a user-chosen
+//! amount of heterogeneous compute and memory resources.
+
+use std::fmt;
+
+use npu_sim::NpuConfig;
+
+use crate::error::Neu10Error;
+
+/// Identifies one vNPU instance on a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VnpuId(pub u32);
+
+impl fmt::Display for VnpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vNPU{}", self.0)
+    }
+}
+
+/// The configurable parameters of a vNPU (Fig. 10 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VnpuConfig {
+    /// Number of (virtual) chips.
+    pub num_chips: usize,
+    /// Number of cores per chip.
+    pub num_cores_per_chip: usize,
+    /// Matrix engines per core.
+    pub num_mes_per_core: usize,
+    /// Vector engines per core.
+    pub num_ves_per_core: usize,
+    /// On-chip SRAM per core, in bytes.
+    pub sram_size_per_core: u64,
+    /// HBM per core, in bytes.
+    pub mem_size_per_core: u64,
+}
+
+impl VnpuConfig {
+    /// A single-core vNPU with the given engine counts and memory sizes.
+    pub fn single_core(mes: usize, ves: usize, sram_bytes: u64, hbm_bytes: u64) -> Self {
+        VnpuConfig {
+            num_chips: 1,
+            num_cores_per_chip: 1,
+            num_mes_per_core: mes,
+            num_ves_per_core: ves,
+            sram_size_per_core: sram_bytes,
+            mem_size_per_core: hbm_bytes,
+        }
+    }
+
+    /// The "small" default configuration a cloud provider might offer
+    /// (1 ME / 1 VE per core).
+    pub fn small(npu: &NpuConfig) -> Self {
+        VnpuConfig::single_core(
+            1,
+            1,
+            npu.sram_bytes_per_core / 4,
+            npu.hbm_bytes_per_core / 4,
+        )
+    }
+
+    /// The "medium" default configuration (half a physical core).
+    pub fn medium(npu: &NpuConfig) -> Self {
+        VnpuConfig::single_core(
+            (npu.mes_per_core / 2).max(1),
+            (npu.ves_per_core / 2).max(1),
+            npu.sram_bytes_per_core / 2,
+            npu.hbm_bytes_per_core / 2,
+        )
+    }
+
+    /// The "large" default configuration (a full physical core).
+    pub fn large(npu: &NpuConfig) -> Self {
+        VnpuConfig::single_core(
+            npu.mes_per_core,
+            npu.ves_per_core,
+            npu.sram_bytes_per_core,
+            npu.hbm_bytes_per_core,
+        )
+    }
+
+    /// Total matrix engines across the vNPU.
+    pub fn total_mes(&self) -> usize {
+        self.num_chips * self.num_cores_per_chip * self.num_mes_per_core
+    }
+
+    /// Total vector engines across the vNPU.
+    pub fn total_ves(&self) -> usize {
+        self.num_chips * self.num_cores_per_chip * self.num_ves_per_core
+    }
+
+    /// Total execution units (MEs + VEs) across the vNPU — the quantity the
+    /// pay-as-you-go price is based on (§III-B).
+    pub fn total_eus(&self) -> usize {
+        self.total_mes() + self.total_ves()
+    }
+
+    /// Total number of cores across the vNPU.
+    pub fn total_cores(&self) -> usize {
+        self.num_chips * self.num_cores_per_chip
+    }
+
+    /// Total HBM across the vNPU, in bytes.
+    pub fn total_hbm_bytes(&self) -> u64 {
+        self.mem_size_per_core * self.total_cores() as u64
+    }
+
+    /// Checks the structural validity of the configuration and that a single
+    /// vNPU core fits within one physical core of `npu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Neu10Error::InvalidConfig`] if any count is zero or if the
+    /// per-core resources exceed the physical core (the maximum vNPU size is
+    /// capped by the physical NPU size, §III-A).
+    pub fn validate_against(&self, npu: &NpuConfig) -> Result<(), Neu10Error> {
+        fn ensure(cond: bool, msg: &str) -> Result<(), Neu10Error> {
+            if cond {
+                Ok(())
+            } else {
+                Err(Neu10Error::InvalidConfig(msg.to_string()))
+            }
+        }
+        ensure(self.num_chips > 0, "vNPU must have at least one chip")?;
+        ensure(
+            self.num_cores_per_chip > 0,
+            "vNPU must have at least one core per chip",
+        )?;
+        ensure(
+            self.num_mes_per_core > 0 && self.num_ves_per_core > 0,
+            "each vNPU core needs at least one ME and one VE",
+        )?;
+        ensure(
+            self.num_mes_per_core <= npu.mes_per_core,
+            "vNPU core requests more MEs than a physical core has",
+        )?;
+        ensure(
+            self.num_ves_per_core <= npu.ves_per_core,
+            "vNPU core requests more VEs than a physical core has",
+        )?;
+        ensure(
+            self.sram_size_per_core <= npu.sram_bytes_per_core,
+            "vNPU core requests more SRAM than a physical core has",
+        )?;
+        ensure(
+            self.mem_size_per_core <= npu.hbm_bytes_per_core,
+            "vNPU core requests more HBM than a physical core has",
+        )?;
+        Ok(())
+    }
+}
+
+/// Lifecycle states of a vNPU instance (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VnpuState {
+    /// Created by the vNPU manager, not yet mapped to hardware.
+    Created,
+    /// Mapped to physical resources and visible to the guest as a PCIe device.
+    Mapped,
+    /// Actively executing guest work.
+    Running,
+    /// Torn down; its resources have been reclaimed.
+    Destroyed,
+}
+
+/// One vNPU instance: its configuration, scheduling priority and lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vnpu {
+    id: VnpuId,
+    config: VnpuConfig,
+    priority: u32,
+    state: VnpuState,
+}
+
+impl Vnpu {
+    /// Creates a vNPU in the [`VnpuState::Created`] state.
+    pub fn new(id: VnpuId, config: VnpuConfig) -> Self {
+        Vnpu {
+            id,
+            config,
+            priority: 1,
+            state: VnpuState::Created,
+        }
+    }
+
+    /// Sets the relative scheduling priority (used by temporal sharing).
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority.max(1);
+        self
+    }
+
+    /// The vNPU id.
+    pub fn id(&self) -> VnpuId {
+        self.id
+    }
+
+    /// The vNPU configuration.
+    pub fn config(&self) -> VnpuConfig {
+        self.config
+    }
+
+    /// The scheduling priority (≥ 1).
+    pub fn priority(&self) -> u32 {
+        self.priority
+    }
+
+    /// The lifecycle state.
+    pub fn state(&self) -> VnpuState {
+        self.state
+    }
+
+    /// Transitions the vNPU to a new lifecycle state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Neu10Error::InvalidState`] for transitions that skip stages
+    /// (e.g. running a vNPU that was never mapped) or revive a destroyed vNPU.
+    pub fn transition(&mut self, next: VnpuState) -> Result<(), Neu10Error> {
+        use VnpuState::*;
+        let allowed = matches!(
+            (self.state, next),
+            (Created, Mapped)
+                | (Mapped, Running)
+                | (Running, Mapped)
+                | (Mapped, Destroyed)
+                | (Running, Destroyed)
+                | (Created, Destroyed)
+        );
+        if !allowed {
+            return Err(Neu10Error::InvalidState {
+                vnpu: self.id,
+                reason: format!("cannot transition from {:?} to {:?}", self.state, next),
+            });
+        }
+        self.state = next;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sizes_fit_the_physical_core() {
+        let npu = NpuConfig::tpu_v4_like();
+        for config in [
+            VnpuConfig::small(&npu),
+            VnpuConfig::medium(&npu),
+            VnpuConfig::large(&npu),
+        ] {
+            config.validate_against(&npu).unwrap();
+        }
+        assert_eq!(VnpuConfig::medium(&npu).num_mes_per_core, 2);
+        assert_eq!(VnpuConfig::large(&npu).total_eus(), 8);
+    }
+
+    #[test]
+    fn oversized_configs_are_rejected() {
+        let npu = NpuConfig::tpu_v4_like();
+        let too_many_mes = VnpuConfig::single_core(8, 2, 1 << 20, 1 << 30);
+        assert!(too_many_mes.validate_against(&npu).is_err());
+        let too_much_sram =
+            VnpuConfig::single_core(2, 2, npu.sram_bytes_per_core + 1, 1 << 30);
+        assert!(too_much_sram.validate_against(&npu).is_err());
+        let zero_ves = VnpuConfig::single_core(2, 0, 1 << 20, 1 << 30);
+        assert!(zero_ves.validate_against(&npu).is_err());
+    }
+
+    #[test]
+    fn multi_core_totals_multiply() {
+        let config = VnpuConfig {
+            num_chips: 2,
+            num_cores_per_chip: 2,
+            num_mes_per_core: 3,
+            num_ves_per_core: 1,
+            sram_size_per_core: 1 << 20,
+            mem_size_per_core: 1 << 30,
+        };
+        assert_eq!(config.total_cores(), 4);
+        assert_eq!(config.total_mes(), 12);
+        assert_eq!(config.total_ves(), 4);
+        assert_eq!(config.total_eus(), 16);
+        assert_eq!(config.total_hbm_bytes(), 4 << 30);
+    }
+
+    #[test]
+    fn lifecycle_transitions_are_checked() {
+        let npu = NpuConfig::tpu_v4_like();
+        let mut vnpu = Vnpu::new(VnpuId(1), VnpuConfig::medium(&npu)).with_priority(0);
+        assert_eq!(vnpu.priority(), 1, "priority is clamped to at least 1");
+        assert_eq!(vnpu.state(), VnpuState::Created);
+        assert!(vnpu.transition(VnpuState::Running).is_err());
+        vnpu.transition(VnpuState::Mapped).unwrap();
+        vnpu.transition(VnpuState::Running).unwrap();
+        vnpu.transition(VnpuState::Destroyed).unwrap();
+        assert!(vnpu.transition(VnpuState::Mapped).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Compiled per-operator work descriptions consumed by the serving runtime.
+//!
+//! The runtime does not replay individual instructions; it replays operators
+//! with their engine work, HBM traffic and parallelism (how many MEs/VEs the
+//! operator can use at once). NeuISA and VLIW compilations of the same model
+//! differ exactly where the paper says they do: NeuISA operators expose
+//! per-µTOp parallelism (and pay the small reduction-split overhead), while
+//! VLIW operators are frozen to the engine count they were compiled for.
+
+use neuisa::compiler::{Compiler, CompilerOptions};
+use npu_sim::NpuConfig;
+use workloads::{InferenceGraph, ModelId};
+
+/// Which ISA the workload was compiled for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsaKind {
+    /// The traditional VLIW ISA (used by the PMT and V10 baselines).
+    Vliw,
+    /// NeuISA µTOps (used by Neu10 and Neu10-NH).
+    NeuIsa,
+}
+
+/// The schedulable work of one tensor operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorWork {
+    /// Index of the operator within the request graph.
+    pub index: usize,
+    /// Total ME busy cycles of the operator.
+    pub me_cycles: u64,
+    /// Total VE busy cycles of the operator.
+    pub ve_cycles: u64,
+    /// HBM bytes moved by the operator.
+    pub hbm_bytes: u64,
+    /// MEs the operator can use concurrently.
+    pub me_parallelism: usize,
+    /// VEs the operator can use concurrently.
+    pub ve_parallelism: usize,
+}
+
+impl OperatorWork {
+    /// Whether the operator contains any matrix-engine work.
+    pub fn uses_mes(&self) -> bool {
+        self.me_cycles > 0
+    }
+}
+
+/// The compiled workload of one tenant: the per-request operator sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantWorkload {
+    /// The model being served.
+    pub model: ModelId,
+    /// Batch size per request.
+    pub batch_size: u64,
+    /// The ISA the workload was compiled for.
+    pub isa: IsaKind,
+    /// Per-request operator sequence, in execution order.
+    pub operators: Vec<OperatorWork>,
+    /// Resident HBM footprint of the workload.
+    pub hbm_footprint_bytes: u64,
+}
+
+impl TenantWorkload {
+    /// Compiles `model` at `batch_size` for the core described by `config`.
+    pub fn compile(model: ModelId, batch_size: u64, config: &NpuConfig, isa: IsaKind) -> Self {
+        let graph = InferenceGraph::build(model, batch_size);
+        TenantWorkload::compile_graph(&graph, config, isa)
+    }
+
+    /// Compiles an already-built inference graph.
+    pub fn compile_graph(graph: &InferenceGraph, config: &NpuConfig, isa: IsaKind) -> Self {
+        let compiler = Compiler::new(config, CompilerOptions::default());
+        let operators = compiler.preprocess(graph.operators().to_vec());
+        let nx = config.mes_per_core;
+        let ny = config.ves_per_core;
+        let peak_bw = config.hbm_bandwidth_bytes_per_sec;
+
+        let works = operators
+            .iter()
+            .enumerate()
+            .map(|(index, op)| {
+                let compiled = compiler.compile_operator(op);
+                let hbm_cycles = config
+                    .frequency
+                    .bytes_to_cycles(compiled.cost.hbm_bytes, peak_bw)
+                    .get();
+                match isa {
+                    IsaKind::NeuIsa => {
+                        let me_cycles = compiled.program.total_me_cycles().get();
+                        let ve_cycles = compiled.program.total_ve_cycles().get();
+                        let me_parallelism = compiled.plan.me_utops;
+                        let me_span = if me_parallelism > 0 {
+                            me_cycles.div_ceil(me_parallelism as u64)
+                        } else {
+                            0
+                        };
+                        let base_span = me_span.max(hbm_cycles).max(1);
+                        let ve_parallelism = if ve_cycles == 0 {
+                            0
+                        } else {
+                            (ve_cycles.div_ceil(base_span).max(1) as usize).min(ny)
+                        };
+                        OperatorWork {
+                            index,
+                            me_cycles,
+                            ve_cycles,
+                            hbm_bytes: compiled.cost.hbm_bytes,
+                            me_parallelism,
+                            ve_parallelism,
+                        }
+                    }
+                    IsaKind::Vliw => {
+                        // VLIW programs are compiled for the whole core: an ME
+                        // operator occupies every ME, and its VE slots span
+                        // every VE; there is no reduction-split overhead.
+                        let me_cycles = compiled.cost.me_cycles.get();
+                        let ve_cycles = compiled.cost.ve_cycles.get();
+                        OperatorWork {
+                            index,
+                            me_cycles,
+                            ve_cycles,
+                            hbm_bytes: compiled.cost.hbm_bytes,
+                            me_parallelism: if me_cycles > 0 { nx } else { 0 },
+                            ve_parallelism: if ve_cycles > 0 { ny } else { 0 },
+                        }
+                    }
+                }
+            })
+            .collect();
+
+        TenantWorkload {
+            model: graph.model(),
+            batch_size: graph.batch_size(),
+            isa,
+            operators: works,
+            hbm_footprint_bytes: graph.hbm_footprint_bytes(),
+        }
+    }
+
+    /// Number of operators per request.
+    pub fn operator_count(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// Total ME work per request.
+    pub fn total_me_cycles(&self) -> u64 {
+        self.operators.iter().map(|o| o.me_cycles).sum()
+    }
+
+    /// Total VE work per request.
+    pub fn total_ve_cycles(&self) -> u64 {
+        self.operators.iter().map(|o| o.ve_cycles).sum()
+    }
+
+    /// Total HBM traffic per request.
+    pub fn total_hbm_bytes(&self) -> u64 {
+        self.operators.iter().map(|o| o.hbm_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> NpuConfig {
+        NpuConfig::tpu_v4_like()
+    }
+
+    #[test]
+    fn neuisa_and_vliw_share_the_same_fundamental_work() {
+        let neu = TenantWorkload::compile(ModelId::ResNet, 8, &config(), IsaKind::NeuIsa);
+        let vliw = TenantWorkload::compile(ModelId::ResNet, 8, &config(), IsaKind::Vliw);
+        assert_eq!(neu.operator_count(), vliw.operator_count());
+        assert_eq!(neu.total_me_cycles(), vliw.total_me_cycles());
+        // NeuISA may add (small) reduction-split VE work, never less.
+        assert!(neu.total_ve_cycles() >= vliw.total_ve_cycles());
+        assert_eq!(neu.total_hbm_bytes(), vliw.total_hbm_bytes());
+    }
+
+    #[test]
+    fn vliw_operators_are_frozen_to_the_full_core() {
+        let vliw = TenantWorkload::compile(ModelId::Bert, 8, &config(), IsaKind::Vliw);
+        for op in vliw.operators.iter().filter(|o| o.uses_mes()) {
+            assert_eq!(op.me_parallelism, 4);
+        }
+    }
+
+    #[test]
+    fn neuisa_parallelism_is_bounded_by_the_core() {
+        let cfg = config();
+        let neu = TenantWorkload::compile(ModelId::Bert, 32, &cfg, IsaKind::NeuIsa);
+        for op in &neu.operators {
+            assert!(op.me_parallelism <= cfg.mes_per_core);
+            assert!(op.ve_parallelism <= cfg.ves_per_core);
+            if op.me_cycles > 0 {
+                assert!(op.me_parallelism >= 1);
+            }
+            if op.ve_cycles > 0 {
+                assert!(op.ve_parallelism >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dlrm_has_memory_heavy_low_me_operators() {
+        let neu = TenantWorkload::compile(ModelId::Dlrm, 8, &config(), IsaKind::NeuIsa);
+        let me_free = neu.operators.iter().filter(|o| !o.uses_mes()).count();
+        assert!(me_free * 2 > neu.operator_count(), "most DLRM operators use no ME");
+        assert!(neu.total_hbm_bytes() > 0);
+    }
+}

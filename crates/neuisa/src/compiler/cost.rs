@@ -1,0 +1,235 @@
+//! Shape-to-cycles cost model.
+//!
+//! The compiler needs to know, for every tensor operator, how many cycles of
+//! ME work and VE work it contains and how many HBM bytes it moves. The
+//! numbers are derived from the engine models in `npu_sim` so that they stay
+//! consistent with the simulated hardware (Table II).
+
+use npu_sim::{Cycles, MatrixEngine, NpuConfig, VectorEngine};
+
+use crate::operator::{OperatorKind, TensorOperator};
+
+/// The aggregate cost of one tensor operator, expressed as work on a single
+/// ME and a single VE (the schedulers divide it among the engines they
+/// actually assign).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OperatorCost {
+    /// Total matrix-engine busy cycles.
+    pub me_cycles: Cycles,
+    /// Total vector-engine busy cycles.
+    pub ve_cycles: Cycles,
+    /// Total HBM bytes moved.
+    pub hbm_bytes: u64,
+}
+
+impl OperatorCost {
+    /// ME-to-VE intensity ratio (execution-time ratio, Fig. 4). Returns
+    /// `f64::INFINITY` for operators with no VE work and `0.0` for operators
+    /// with no ME work.
+    pub fn intensity_ratio(&self) -> f64 {
+        match (self.me_cycles.get(), self.ve_cycles.get()) {
+            (0, _) => 0.0,
+            (_, 0) => f64::INFINITY,
+            (me, ve) => me as f64 / ve as f64,
+        }
+    }
+}
+
+/// Computes operator costs from the hardware configuration.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    me: MatrixEngine,
+    ve: VectorEngine,
+}
+
+impl CostModel {
+    /// Creates a cost model for the engines described by `config`.
+    pub fn new(config: &NpuConfig) -> Self {
+        CostModel {
+            me: MatrixEngine::new(config.me_dimension),
+            ve: VectorEngine::new(config.ve_rows, config.ve_lanes),
+        }
+    }
+
+    /// The matrix-engine model used for costing.
+    pub fn matrix_engine(&self) -> &MatrixEngine {
+        &self.me
+    }
+
+    /// The vector-engine model used for costing.
+    pub fn vector_engine(&self) -> &VectorEngine {
+        &self.ve
+    }
+
+    /// Total cost of `operator`.
+    pub fn operator_cost(&self, operator: &TensorOperator) -> OperatorCost {
+        let hbm_bytes = operator.hbm_bytes();
+        let dim = self.me.dimension() as u64;
+        match operator.kind() {
+            kind @ (OperatorKind::MatMul { .. } | OperatorKind::Conv2d { .. }) => {
+                let (m, k, n) = kind
+                    .as_gemm()
+                    .expect("matrix operators always lower to a GEMM");
+                let tiles_m = m.div_ceil(dim).max(1);
+                let tiles_n = n.div_ceil(dim).max(1);
+                let tiles_k = k.div_ceil(dim).max(1);
+                let rows_per_tile = m.min(dim) as usize;
+                let per_tile = self.me.weight_load_cycles()
+                    + self.me.matmul_tile_cycles(rows_per_tile, dim as usize);
+                let me_cycles = Cycles(per_tile.get() * tiles_m * tiles_n * tiles_k);
+                // The VE post-processes every output element once (pop
+                // aggregation) plus the fused activation cost.
+                let out_elems = kind.output_elements();
+                let ve_ops = out_elems * (1 + operator.activation().ve_op_cost());
+                let ve_cycles = self.ve.elementwise_cycles(ve_ops);
+                OperatorCost {
+                    me_cycles,
+                    ve_cycles,
+                    hbm_bytes,
+                }
+            }
+            OperatorKind::Elementwise {
+                elements,
+                ops_per_element,
+            } => OperatorCost {
+                me_cycles: Cycles::ZERO,
+                ve_cycles: self
+                    .ve
+                    .elementwise_cycles(elements * ops_per_element.max(1)),
+                hbm_bytes,
+            },
+            OperatorKind::Reduction { elements } => OperatorCost {
+                me_cycles: Cycles::ZERO,
+                ve_cycles: self.ve.reduction_cycles(elements),
+                hbm_bytes,
+            },
+            OperatorKind::Softmax { elements } => OperatorCost {
+                me_cycles: Cycles::ZERO,
+                // exp + running max + sum + divide ≈ 5 simple ops per element.
+                ve_cycles: self.ve.elementwise_cycles(elements * 5),
+                hbm_bytes,
+            },
+            OperatorKind::LayerNorm { elements } => OperatorCost {
+                me_cycles: Cycles::ZERO,
+                // two statistics passes + scale/shift ≈ 6 simple ops per element.
+                ve_cycles: self.ve.elementwise_cycles(elements * 6),
+                hbm_bytes,
+            },
+            OperatorKind::EmbeddingLookup {
+                output_elements, ..
+            } => OperatorCost {
+                me_cycles: Cycles::ZERO,
+                // Irregular gathers run at per-lane (not row-parallel)
+                // throughput, plus a streaming pooling pass.
+                ve_cycles: self.ve.gather_cycles(output_elements)
+                    + self.ve.elementwise_cycles(output_elements),
+                hbm_bytes,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Activation;
+
+    fn model() -> CostModel {
+        CostModel::new(&NpuConfig::tpu_v4_like())
+    }
+
+    #[test]
+    fn matmul_is_me_dominated() {
+        let op = TensorOperator::new(
+            "mm",
+            OperatorKind::MatMul {
+                m: 1024,
+                k: 1024,
+                n: 1024,
+            },
+        );
+        let cost = model().operator_cost(&op);
+        assert!(cost.me_cycles > cost.ve_cycles);
+        assert!(cost.intensity_ratio() > 1.0);
+        assert!(cost.hbm_bytes > 0);
+    }
+
+    #[test]
+    fn embedding_lookup_is_ve_and_memory_dominated() {
+        let op = TensorOperator::new(
+            "emb",
+            OperatorKind::EmbeddingLookup {
+                bytes: 64 << 20,
+                output_elements: 1 << 20,
+            },
+        );
+        let cost = model().operator_cost(&op);
+        assert_eq!(cost.me_cycles, Cycles::ZERO);
+        assert!(cost.ve_cycles > Cycles::ZERO);
+        assert_eq!(cost.intensity_ratio(), 0.0);
+        assert!(cost.hbm_bytes >= 64 << 20);
+    }
+
+    #[test]
+    fn activation_fusion_adds_ve_work() {
+        let plain = TensorOperator::new(
+            "mm",
+            OperatorKind::MatMul {
+                m: 512,
+                k: 512,
+                n: 512,
+            },
+        );
+        let fused = plain.clone().with_activation(Activation::Gelu);
+        let m = model();
+        assert!(m.operator_cost(&fused).ve_cycles > m.operator_cost(&plain).ve_cycles);
+        assert_eq!(
+            m.operator_cost(&fused).me_cycles,
+            m.operator_cost(&plain).me_cycles
+        );
+    }
+
+    #[test]
+    fn bigger_batch_means_more_me_cycles() {
+        let small = TensorOperator::new(
+            "mm",
+            OperatorKind::MatMul {
+                m: 128,
+                k: 1024,
+                n: 1024,
+            },
+        );
+        let large = TensorOperator::new(
+            "mm",
+            OperatorKind::MatMul {
+                m: 1024,
+                k: 1024,
+                n: 1024,
+            },
+        );
+        let m = model();
+        assert!(m.operator_cost(&large).me_cycles > m.operator_cost(&small).me_cycles);
+    }
+
+    #[test]
+    fn vector_operator_costs_scale_with_elements() {
+        let m = model();
+        let small = TensorOperator::new("sm", OperatorKind::Softmax { elements: 1 << 10 });
+        let large = TensorOperator::new("sm", OperatorKind::Softmax { elements: 1 << 20 });
+        assert!(m.operator_cost(&large).ve_cycles > m.operator_cost(&small).ve_cycles);
+        let ln = TensorOperator::new("ln", OperatorKind::LayerNorm { elements: 1 << 16 });
+        let red = TensorOperator::new("rd", OperatorKind::Reduction { elements: 1 << 16 });
+        assert!(m.operator_cost(&ln).ve_cycles > Cycles::ZERO);
+        assert!(m.operator_cost(&red).ve_cycles > Cycles::ZERO);
+    }
+
+    #[test]
+    fn intensity_ratio_handles_pure_me() {
+        let cost = OperatorCost {
+            me_cycles: Cycles(100),
+            ve_cycles: Cycles::ZERO,
+            hbm_bytes: 0,
+        };
+        assert!(cost.intensity_ratio().is_infinite());
+    }
+}

@@ -1,0 +1,145 @@
+//! Operator fusion: folding element-wise post-processing into the preceding
+//! matrix operator.
+//!
+//! ML compilers fuse activation functions (and other cheap element-wise
+//! operators) into the producing MatMul/Conv so the VE post-processes ME
+//! output vectors as they are popped (§II-B, Fig. 6). Fusion opportunities
+//! are limited — anything that is not a cheap element-wise consumer of the
+//! matrix output stays a separate operator.
+
+use crate::op::Activation;
+use crate::operator::{OperatorKind, TensorOperator};
+
+/// Maximum VE ops per element for an element-wise operator to be fusable.
+const MAX_FUSABLE_OPS_PER_ELEMENT: u64 = 4;
+
+/// Fuses eligible element-wise operators into their producing matrix
+/// operators, returning the fused operator sequence.
+///
+/// An element-wise operator is fused when it immediately follows a matrix
+/// operator without a fused activation, consumes exactly its output (same
+/// element count) and is cheap (≤ 4 VE ops/element). The fused activation is
+/// approximated by [`Activation::Relu`] for 1-op consumers and
+/// [`Activation::Gelu`] for more expensive ones, which preserves the VE cost.
+pub fn fuse_operators(operators: Vec<TensorOperator>) -> Vec<TensorOperator> {
+    let mut fused: Vec<TensorOperator> = Vec::with_capacity(operators.len());
+    for op in operators {
+        let can_fuse = match (fused.last(), op.kind()) {
+            (
+                Some(prev),
+                OperatorKind::Elementwise {
+                    elements,
+                    ops_per_element,
+                },
+            ) => {
+                prev.kind().uses_matrix_engine()
+                    && prev.activation() == Activation::None
+                    && prev.kind().output_elements() == elements
+                    && ops_per_element <= MAX_FUSABLE_OPS_PER_ELEMENT
+            }
+            _ => false,
+        };
+        if can_fuse {
+            let OperatorKind::Elementwise {
+                ops_per_element, ..
+            } = op.kind()
+            else {
+                unreachable!("can_fuse only matches element-wise operators");
+            };
+            let activation = if ops_per_element <= 1 {
+                Activation::Relu
+            } else {
+                Activation::Gelu
+            };
+            let prev = fused.pop().expect("can_fuse requires a predecessor");
+            let extra = op.hbm_bytes().saturating_sub(op.input_bytes());
+            fused.push(
+                prev.with_activation(activation)
+                    .with_extra_hbm_bytes(extra),
+            );
+        } else {
+            fused.push(op);
+        }
+    }
+    fused
+}
+
+/// Counts how many operators of a sequence would be eliminated by fusion.
+pub fn fusion_opportunities(operators: &[TensorOperator]) -> usize {
+    let before = operators.len();
+    let after = fuse_operators(operators.to_vec()).len();
+    before - after
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matmul(name: &str, m: u64, n: u64) -> TensorOperator {
+        TensorOperator::new(name, OperatorKind::MatMul { m, k: 512, n })
+    }
+
+    fn relu(elements: u64) -> TensorOperator {
+        TensorOperator::new(
+            "relu",
+            OperatorKind::Elementwise {
+                elements,
+                ops_per_element: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn matching_relu_is_fused() {
+        let ops = vec![matmul("mm", 256, 1024), relu(256 * 1024)];
+        let fused = fuse_operators(ops);
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused[0].activation(), Activation::Relu);
+    }
+
+    #[test]
+    fn mismatched_sizes_are_not_fused() {
+        let ops = vec![matmul("mm", 256, 1024), relu(999)];
+        assert_eq!(fuse_operators(ops).len(), 2);
+    }
+
+    #[test]
+    fn expensive_elementwise_is_not_fused() {
+        let expensive = TensorOperator::new(
+            "ew",
+            OperatorKind::Elementwise {
+                elements: 256 * 1024,
+                ops_per_element: 16,
+            },
+        );
+        let ops = vec![matmul("mm", 256, 1024), expensive];
+        assert_eq!(fuse_operators(ops).len(), 2);
+    }
+
+    #[test]
+    fn already_fused_matmul_is_not_refused() {
+        let ops = vec![
+            matmul("mm", 256, 1024).with_activation(Activation::Relu),
+            relu(256 * 1024),
+        ];
+        assert_eq!(fuse_operators(ops).len(), 2);
+    }
+
+    #[test]
+    fn fusion_opportunities_counts_eliminated_operators() {
+        let ops = vec![
+            matmul("a", 256, 1024),
+            relu(256 * 1024),
+            TensorOperator::new("sm", OperatorKind::Softmax { elements: 4096 }),
+            matmul("b", 256, 1024),
+            relu(256 * 1024),
+        ];
+        assert_eq!(fusion_opportunities(&ops), 2);
+    }
+
+    #[test]
+    fn vector_only_sequences_are_untouched() {
+        let ops = vec![relu(100), relu(100)];
+        assert_eq!(fuse_operators(ops.clone()), ops);
+    }
+}

@@ -1,0 +1,560 @@
+//! The tensor-operator compiler: lowering shape-level operators to the
+//! classic VLIW ISA or to NeuISA µTOps.
+//!
+//! The compiler follows §III-D of the paper:
+//!
+//! 1. operators are tiled into up to `nx` independent µTOps (one per ME);
+//! 2. each µTOp is compiled as if for a fictional NPU with one ME and `ny`
+//!    VEs, reusing the VLIW backend;
+//! 3. dependencies between µTOps become µTOp *groups*, and control-flow
+//!    instructions are appended where needed.
+//!
+//! The same cost model also lowers operators to the classic VLIW form used by
+//! the PMT / V10 baselines, where the ME count is frozen at compile time.
+
+mod cost;
+mod fusion;
+mod tiling;
+
+pub use cost::{CostModel, OperatorCost};
+pub use fusion::{fuse_operators, fusion_opportunities};
+pub use tiling::TilingPlan;
+
+use npu_sim::{Cycles, NpuConfig};
+
+use crate::op::{Activation, MeOp, MemOp, MiscOp, VeOp};
+use crate::operator::TensorOperator;
+use crate::utop::{NeuIsaProgram, UTop, UTopGroup, UTopId, UTopKind};
+use crate::vliw::{VliwInstruction, VliwProgram};
+
+/// Compiler configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompilerOptions {
+    /// Whether to fuse eligible element-wise operators into matrix operators.
+    pub enable_fusion: bool,
+    /// ME count to compile classic VLIW programs for; `None` uses every ME of
+    /// the core (the NeuISA path always partitions for the full core).
+    pub vliw_target_mes: Option<usize>,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            enable_fusion: true,
+            vliw_target_mes: None,
+        }
+    }
+}
+
+/// A tensor operator lowered to NeuISA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledOperator {
+    /// Operator name.
+    pub name: String,
+    /// The NeuISA program (µTOps, groups, execution table).
+    pub program: NeuIsaProgram,
+    /// Aggregate operator cost before partitioning.
+    pub cost: OperatorCost,
+    /// The tiling decision that produced the µTOps.
+    pub plan: TilingPlan,
+    /// Extra serialized VE cycles NeuISA pays when the reduction dimension had
+    /// to be split (the Fig. 16 overhead); zero otherwise.
+    pub overhead_cycles: Cycles,
+}
+
+impl CompiledOperator {
+    /// Total cycles of ME work in the compiled operator.
+    pub fn total_me_cycles(&self) -> Cycles {
+        self.program.total_me_cycles()
+    }
+
+    /// Total cycles of VE work in the compiled operator.
+    pub fn total_ve_cycles(&self) -> Cycles {
+        self.program.total_ve_cycles()
+    }
+
+    /// Total HBM bytes of the compiled operator.
+    pub fn total_hbm_bytes(&self) -> u64 {
+        self.program.total_hbm_bytes()
+    }
+}
+
+/// A tensor operator lowered to the classic VLIW ISA for a fixed ME count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VliwOperator {
+    /// Operator name.
+    pub name: String,
+    /// The VLIW program (compiled for a fixed engine count).
+    pub program: VliwProgram,
+    /// Aggregate operator cost.
+    pub cost: OperatorCost,
+    /// MEs the program statically occupies (0 for vector-only operators).
+    pub mes_used: usize,
+    /// ME busy cycles per occupied ME.
+    pub me_cycles_per_me: Cycles,
+    /// VE busy cycles per VE (the VLIW program uses every VE of the core).
+    pub ve_cycles_per_ve: Cycles,
+    /// HBM bytes moved by the operator.
+    pub hbm_bytes: u64,
+}
+
+impl VliwOperator {
+    /// Whether the operator contains matrix-engine work.
+    pub fn uses_matrix_engines(&self) -> bool {
+        self.mes_used > 0
+    }
+}
+
+/// The operator compiler.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    cost_model: CostModel,
+    nx: usize,
+    ny: usize,
+    me_dim: usize,
+    options: CompilerOptions,
+}
+
+impl Compiler {
+    /// Creates a compiler targeting the core described by `config`.
+    pub fn new(config: &NpuConfig, options: CompilerOptions) -> Self {
+        Compiler {
+            cost_model: CostModel::new(config),
+            nx: config.mes_per_core,
+            ny: config.ves_per_core,
+            me_dim: config.me_dimension,
+            options,
+        }
+    }
+
+    /// The cost model used by the compiler.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// The compiler options.
+    pub fn options(&self) -> CompilerOptions {
+        self.options
+    }
+
+    /// Applies operator fusion (if enabled) to a DNN operator sequence.
+    pub fn preprocess(&self, operators: Vec<TensorOperator>) -> Vec<TensorOperator> {
+        if self.options.enable_fusion {
+            fuse_operators(operators)
+        } else {
+            operators
+        }
+    }
+
+    /// Compiles one operator to NeuISA.
+    pub fn compile_operator(&self, operator: &TensorOperator) -> CompiledOperator {
+        let cost = self.cost_model.operator_cost(operator);
+        let plan = TilingPlan::plan(operator, self.nx, self.me_dim);
+        let mut utops = Vec::new();
+        let mut groups = Vec::new();
+        let mut overhead_cycles = Cycles::ZERO;
+
+        if plan.has_me_work() {
+            let n = plan.me_utops as u64;
+            let me_share = split_cycles(cost.me_cycles, n);
+            let ve_share = split_cycles(cost.ve_cycles, n);
+            let hbm_share = cost.hbm_bytes / n.max(1);
+            let mut group = UTopGroup::new();
+            for i in 0..plan.me_utops {
+                let id = UTopId(utops.len() as u32);
+                let body = self.me_utop_body(operator.activation());
+                let trip = (plan.output_tiles * plan.reduction_tiles / n).max(1);
+                utops.push(UTop::new(
+                    id,
+                    UTopKind::MatrixEngine,
+                    body,
+                    trip,
+                    me_share[i],
+                    ve_share[i],
+                    hbm_share,
+                ));
+                group = group.with_me_utop(id);
+            }
+            groups.push(group);
+
+            if plan.reduction_split {
+                // The partial results computed by the reduction-split µTOps
+                // must be summed in a separate VE µTOp, in a later group: this
+                // serialization is the NeuISA overhead of Fig. 16.
+                let splits = (plan.me_utops as u64 / plan.output_tiles.max(1)).max(2);
+                let elements = operator.kind().output_elements() * (splits - 1);
+                let ve_cycles = self.cost_model.vector_engine().reduction_cycles(elements);
+                overhead_cycles = ve_cycles;
+                let id = UTopId(utops.len() as u32);
+                utops.push(UTop::new(
+                    id,
+                    UTopKind::VectorEngine,
+                    self.ve_utop_body(),
+                    1,
+                    Cycles::ZERO,
+                    ve_cycles,
+                    0,
+                ));
+                groups.push(UTopGroup::new().with_ve_utop(id));
+            }
+        } else {
+            // Vector-only operator: a single VE µTOp in its own group.
+            let id = UTopId(0);
+            utops.push(UTop::new(
+                id,
+                UTopKind::VectorEngine,
+                self.ve_utop_body(),
+                1,
+                Cycles::ZERO,
+                cost.ve_cycles,
+                cost.hbm_bytes,
+            ));
+            groups.push(UTopGroup::new().with_ve_utop(id));
+        }
+
+        let program = NeuIsaProgram::new(operator.name(), utops, groups, self.nx, self.ny);
+        debug_assert!(program.validate().is_ok());
+        CompiledOperator {
+            name: operator.name().to_string(),
+            program,
+            cost,
+            plan,
+            overhead_cycles,
+        }
+    }
+
+    /// Compiles one operator to the classic VLIW ISA.
+    ///
+    /// The program statically occupies `min(target MEs, available tiles)` MEs
+    /// and cannot change that number at runtime (Fig. 9).
+    pub fn compile_vliw(&self, operator: &TensorOperator) -> VliwOperator {
+        let target_mes = self.options.vliw_target_mes.unwrap_or(self.nx).max(1);
+        let cost = self.cost_model.operator_cost(operator);
+        let plan = TilingPlan::plan(operator, target_mes, self.me_dim);
+        let mes_used = plan.me_utops;
+        let me_cycles_per_me = if mes_used > 0 {
+            Cycles(cost.me_cycles.get().div_ceil(mes_used as u64))
+        } else {
+            Cycles::ZERO
+        };
+        let ve_cycles_per_ve = Cycles(cost.ve_cycles.get().div_ceil(self.ny as u64));
+        let body = self.vliw_body(mes_used, operator.activation());
+        let trip = (plan.output_tiles * plan.reduction_tiles).max(1);
+        let program = VliwProgram::new(operator.name(), body, trip, mes_used.max(1), self.ny);
+        VliwOperator {
+            name: operator.name().to_string(),
+            program,
+            cost,
+            mes_used,
+            me_cycles_per_me,
+            ve_cycles_per_ve,
+            hbm_bytes: cost.hbm_bytes,
+        }
+    }
+
+    /// Compiles an operator sequence (a DNN graph in execution order) to
+    /// NeuISA, applying fusion first when enabled.
+    pub fn compile_graph(&self, operators: Vec<TensorOperator>) -> Vec<CompiledOperator> {
+        self.preprocess(operators)
+            .iter()
+            .map(|op| self.compile_operator(op))
+            .collect()
+    }
+
+    /// Compiles an operator sequence to classic VLIW, applying fusion first
+    /// when enabled.
+    pub fn compile_graph_vliw(&self, operators: Vec<TensorOperator>) -> Vec<VliwOperator> {
+        self.preprocess(operators)
+            .iter()
+            .map(|op| self.compile_vliw(op))
+            .collect()
+    }
+
+    /// Relative execution-time overhead of NeuISA versus VLIW for an operator
+    /// sequence when run alone on the full core (the Fig. 16 metric).
+    ///
+    /// Both ISAs complete the same engine work; NeuISA additionally serializes
+    /// the reduction-split summation µTOps.
+    pub fn neuisa_overhead(&self, operators: &[TensorOperator]) -> f64 {
+        let fused = self.preprocess(operators.to_vec());
+        let mut vliw_total = 0u64;
+        let mut neuisa_total = 0u64;
+        for op in &fused {
+            let compiled = self.compile_operator(op);
+            let vliw = self.compile_vliw(op);
+            // Solo execution time of the VLIW form: engines pipeline freely.
+            let vliw_time = vliw
+                .me_cycles_per_me
+                .max(vliw.ve_cycles_per_ve)
+                .max(Cycles(1));
+            // NeuISA: same pipelined time plus the serialized reduction tail.
+            let per_me = if compiled.plan.me_utops > 0 {
+                Cycles(
+                    compiled
+                        .cost
+                        .me_cycles
+                        .get()
+                        .div_ceil(compiled.plan.me_utops as u64),
+                )
+            } else {
+                Cycles::ZERO
+            };
+            let per_ve = Cycles(compiled.cost.ve_cycles.get().div_ceil(self.ny as u64));
+            let neuisa_time = per_me.max(per_ve).max(Cycles(1)) + compiled.overhead_cycles;
+            vliw_total += vliw_time.get();
+            neuisa_total += neuisa_time.get();
+        }
+        if vliw_total == 0 {
+            return 0.0;
+        }
+        neuisa_total as f64 / vliw_total as f64 - 1.0
+    }
+
+    fn me_utop_body(&self, activation: Activation) -> Vec<VliwInstruction> {
+        // A representative tile iteration: DMA the tile in, load weights, push
+        // activations, pop results, post-process on the VE slots.
+        let mut body = Vec::with_capacity(4);
+        body.push(
+            VliwInstruction::nop(1, self.ny)
+                .with_misc(MiscOp::Dma {
+                    bytes: (self.me_dim * self.me_dim) as u64 * 2,
+                    into_sram: true,
+                })
+                .with_me(0, MeOp::PushWeights { tile: 0 }),
+        );
+        body.push(
+            VliwInstruction::nop(1, self.ny)
+                .with_mem(MemOp::Load { dst: 0, offset: 0 })
+                .with_me(0, MeOp::PushActivations { src: 0 }),
+        );
+        let mut pop = VliwInstruction::nop(1, self.ny).with_me(0, MeOp::Pop { dst: 1 });
+        if activation != Activation::None {
+            pop = pop.with_ve(
+                0,
+                VeOp::Activate {
+                    reg: 1,
+                    activation,
+                },
+            );
+        }
+        body.push(pop);
+        body.push(
+            VliwInstruction::nop(1, self.ny)
+                .with_mem(MemOp::Store { src: 1, offset: 0 })
+                .with_misc(MiscOp::WaitDma),
+        );
+        body
+    }
+
+    fn ve_utop_body(&self) -> Vec<VliwInstruction> {
+        vec![
+            VliwInstruction::nop(0, self.ny)
+                .with_mem(MemOp::Load { dst: 0, offset: 0 })
+                .with_ve(0, VeOp::Copy { dst: 1, src: 0 }),
+            VliwInstruction::nop(0, self.ny)
+                .with_ve(0, VeOp::Reduce { dst: 2, src: 1 })
+                .with_mem(MemOp::Store { src: 2, offset: 0 }),
+        ]
+    }
+
+    fn vliw_body(&self, mes_used: usize, activation: Activation) -> Vec<VliwInstruction> {
+        let mut inst = VliwInstruction::nop(self.nx, self.ny);
+        for i in 0..mes_used.min(self.nx) {
+            inst = inst.with_me(i, MeOp::Pop { dst: i as u8 });
+        }
+        if activation != Activation::None {
+            inst = inst.with_ve(
+                0,
+                VeOp::Activate {
+                    reg: 0,
+                    activation,
+                },
+            );
+        }
+        vec![inst]
+    }
+}
+
+/// Splits `total` cycles into `parts` nearly-equal shares (the first shares
+/// absorb the remainder), preserving the exact total.
+fn split_cycles(total: Cycles, parts: u64) -> Vec<Cycles> {
+    let parts = parts.max(1);
+    let base = total.get() / parts;
+    let remainder = total.get() % parts;
+    (0..parts)
+        .map(|i| Cycles(base + u64::from(i < remainder)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::OperatorKind;
+
+    fn compiler() -> Compiler {
+        Compiler::new(&NpuConfig::tpu_v4_like(), CompilerOptions::default())
+    }
+
+    fn big_matmul() -> TensorOperator {
+        TensorOperator::new(
+            "mm",
+            OperatorKind::MatMul {
+                m: 1024,
+                k: 1024,
+                n: 1024,
+            },
+        )
+        .with_activation(Activation::Relu)
+    }
+
+    #[test]
+    fn split_cycles_preserves_total() {
+        let shares = split_cycles(Cycles(103), 4);
+        assert_eq!(shares.len(), 4);
+        assert_eq!(shares.iter().map(|c| c.get()).sum::<u64>(), 103);
+        assert!(shares.iter().all(|c| c.get() == 25 || c.get() == 26));
+    }
+
+    #[test]
+    fn neuisa_compilation_preserves_total_work() {
+        let c = compiler();
+        let op = big_matmul();
+        let compiled = c.compile_operator(&op);
+        assert_eq!(compiled.total_me_cycles(), compiled.cost.me_cycles);
+        assert!(compiled.total_ve_cycles() >= compiled.cost.ve_cycles);
+        assert_eq!(compiled.program.groups().len(), 1);
+        assert_eq!(compiled.program.groups()[0].me_utops().len(), 4);
+        assert!(compiled.program.validate().is_ok());
+        assert_eq!(compiled.overhead_cycles, Cycles::ZERO);
+    }
+
+    #[test]
+    fn reduction_split_adds_summation_group_and_overhead() {
+        let c = compiler();
+        let op = TensorOperator::new(
+            "deep",
+            OperatorKind::MatMul {
+                m: 64,
+                k: 8192,
+                n: 128,
+            },
+        );
+        let compiled = c.compile_operator(&op);
+        assert!(compiled.plan.reduction_split);
+        assert_eq!(compiled.program.groups().len(), 2);
+        assert!(compiled.program.groups()[1].ve_utop().is_some());
+        assert!(compiled.overhead_cycles > Cycles::ZERO);
+    }
+
+    #[test]
+    fn vector_operator_compiles_to_single_ve_utop() {
+        let c = compiler();
+        let op = TensorOperator::new("softmax", OperatorKind::Softmax { elements: 1 << 16 });
+        let compiled = c.compile_operator(&op);
+        assert_eq!(compiled.program.utops().len(), 1);
+        assert_eq!(compiled.program.groups().len(), 1);
+        assert_eq!(compiled.total_me_cycles(), Cycles::ZERO);
+        assert!(compiled.total_ve_cycles() > Cycles::ZERO);
+    }
+
+    #[test]
+    fn vliw_compilation_occupies_fixed_me_count() {
+        let c = compiler();
+        let vliw = c.compile_vliw(&big_matmul());
+        assert_eq!(vliw.mes_used, 4);
+        assert!(vliw.program.can_run_on(4));
+        assert!(!vliw.program.can_run_on(3));
+        assert!(vliw.me_cycles_per_me > Cycles::ZERO);
+
+        let c2 = Compiler::new(
+            &NpuConfig::tpu_v4_like(),
+            CompilerOptions {
+                vliw_target_mes: Some(2),
+                ..CompilerOptions::default()
+            },
+        );
+        let vliw2 = c2.compile_vliw(&big_matmul());
+        assert_eq!(vliw2.mes_used, 2);
+        assert!(vliw2.me_cycles_per_me > vliw.me_cycles_per_me);
+    }
+
+    #[test]
+    fn graph_compilation_applies_fusion() {
+        let c = compiler();
+        let ops = vec![
+            TensorOperator::new(
+                "mm",
+                OperatorKind::MatMul {
+                    m: 256,
+                    k: 512,
+                    n: 512,
+                },
+            ),
+            TensorOperator::new(
+                "relu",
+                OperatorKind::Elementwise {
+                    elements: 256 * 512,
+                    ops_per_element: 1,
+                },
+            ),
+            TensorOperator::new("sm", OperatorKind::Softmax { elements: 4096 }),
+        ];
+        let compiled = c.compile_graph(ops.clone());
+        assert_eq!(compiled.len(), 2);
+
+        let no_fusion = Compiler::new(
+            &NpuConfig::tpu_v4_like(),
+            CompilerOptions {
+                enable_fusion: false,
+                ..CompilerOptions::default()
+            },
+        );
+        assert_eq!(no_fusion.compile_graph(ops).len(), 3);
+    }
+
+    #[test]
+    fn neuisa_overhead_is_small_and_shrinks_with_batch() {
+        let c = compiler();
+        // Batch-8-like layer: small m, deep k — prone to reduction splits.
+        let small_batch: Vec<TensorOperator> = (0..8)
+            .map(|i| {
+                TensorOperator::new(
+                    format!("l{i}"),
+                    OperatorKind::MatMul {
+                        m: 64,
+                        k: 4096,
+                        n: 128,
+                    },
+                )
+            })
+            .collect();
+        let large_batch: Vec<TensorOperator> = (0..8)
+            .map(|i| {
+                TensorOperator::new(
+                    format!("l{i}"),
+                    OperatorKind::MatMul {
+                        m: 2048,
+                        k: 4096,
+                        n: 128,
+                    },
+                )
+            })
+            .collect();
+        let small = c.neuisa_overhead(&small_batch);
+        let large = c.neuisa_overhead(&large_batch);
+        assert!(small >= 0.0);
+        assert!(small < 0.30, "overhead unexpectedly large: {small}");
+        assert!(large <= small + 1e-9);
+    }
+
+    #[test]
+    fn utop_bodies_are_nonempty_and_bounded() {
+        let c = compiler();
+        let compiled = c.compile_operator(&big_matmul());
+        for utop in compiled.program.utops() {
+            assert!(!utop.body().is_empty());
+            assert!(utop.body().len() <= 8);
+            assert!(utop.trip_count() >= 1);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Operator tiling: deciding how a tensor operator is partitioned into
+//! independent µTOps.
+//!
+//! Matrix operators are partitioned by output tiles whenever possible, because
+//! output tiles are fully independent. When there are fewer output tiles than
+//! MEs, the compiler additionally splits the reduction (contraction)
+//! dimension, which requires a follow-up VE µTOp to sum the partial results —
+//! the source of the (small) NeuISA overhead discussed around Fig. 16.
+
+use crate::operator::TensorOperator;
+
+/// How a matrix operator is split into ME µTOps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilingPlan {
+    /// Number of ME µTOps generated (1..=nx).
+    pub me_utops: usize,
+    /// Independent output tiles in the operator.
+    pub output_tiles: u64,
+    /// Tiles along the reduction dimension.
+    pub reduction_tiles: u64,
+    /// Whether the reduction dimension had to be split across µTOps, which
+    /// forces a separate summation VE µTOp in a later group.
+    pub reduction_split: bool,
+}
+
+impl TilingPlan {
+    /// Plans the tiling of `operator` for a core with `nx` MEs and systolic
+    /// arrays of dimension `me_dim`.
+    ///
+    /// Vector-only operators produce a degenerate plan with zero ME µTOps.
+    pub fn plan(operator: &TensorOperator, nx: usize, me_dim: usize) -> TilingPlan {
+        let dim = me_dim as u64;
+        match operator.kind().as_gemm() {
+            None => TilingPlan {
+                me_utops: 0,
+                output_tiles: 0,
+                reduction_tiles: 0,
+                reduction_split: false,
+            },
+            Some((m, k, n)) => {
+                let output_tiles = m.div_ceil(dim).max(1) * n.div_ceil(dim).max(1);
+                let reduction_tiles = k.div_ceil(dim).max(1);
+                if output_tiles >= nx as u64 {
+                    // Enough independent output tiles to feed every ME.
+                    TilingPlan {
+                        me_utops: nx.max(1),
+                        output_tiles,
+                        reduction_tiles,
+                        reduction_split: false,
+                    }
+                } else {
+                    // Not enough output tiles: split the reduction dimension
+                    // to occupy the remaining MEs (if it is splittable).
+                    let wanted = nx as u64;
+                    let with_reduction = (output_tiles * reduction_tiles).min(wanted);
+                    let reduction_split = with_reduction > output_tiles;
+                    TilingPlan {
+                        me_utops: with_reduction.max(1) as usize,
+                        output_tiles,
+                        reduction_tiles,
+                        reduction_split,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the operator has any matrix-engine work at all.
+    pub fn has_me_work(&self) -> bool {
+        self.me_utops > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::OperatorKind;
+
+    fn matmul(m: u64, k: u64, n: u64) -> TensorOperator {
+        TensorOperator::new("mm", OperatorKind::MatMul { m, k, n })
+    }
+
+    #[test]
+    fn large_operators_fill_all_mes_by_output_tiles() {
+        let plan = TilingPlan::plan(&matmul(1024, 1024, 1024), 4, 128);
+        assert_eq!(plan.me_utops, 4);
+        assert!(!plan.reduction_split);
+        assert_eq!(plan.output_tiles, 64);
+        assert_eq!(plan.reduction_tiles, 8);
+    }
+
+    #[test]
+    fn small_batch_splits_the_reduction_dimension() {
+        // One output tile (m=64, n=128) but a deep reduction: to use 4 MEs the
+        // compiler must split k, which costs a summation µTOp.
+        let plan = TilingPlan::plan(&matmul(64, 4096, 128), 4, 128);
+        assert_eq!(plan.output_tiles, 1);
+        assert!(plan.reduction_split);
+        assert_eq!(plan.me_utops, 4);
+    }
+
+    #[test]
+    fn tiny_operator_uses_a_single_me() {
+        let plan = TilingPlan::plan(&matmul(8, 64, 32), 4, 128);
+        assert_eq!(plan.output_tiles, 1);
+        assert_eq!(plan.reduction_tiles, 1);
+        assert_eq!(plan.me_utops, 1);
+        assert!(!plan.reduction_split);
+    }
+
+    #[test]
+    fn vector_operator_has_no_me_utops() {
+        let op = TensorOperator::new("sm", OperatorKind::Softmax { elements: 1024 });
+        let plan = TilingPlan::plan(&op, 4, 128);
+        assert!(!plan.has_me_work());
+        assert_eq!(plan.me_utops, 0);
+    }
+
+    #[test]
+    fn larger_batches_avoid_reduction_splits() {
+        // Same layer at batch 8 vs batch 512: the batch dimension provides the
+        // extra output tiles at large batch, so the reduction split goes away.
+        let small = TilingPlan::plan(&matmul(8, 4096, 128), 4, 128);
+        let large = TilingPlan::plan(&matmul(512, 4096, 128), 4, 128);
+        assert!(small.reduction_split);
+        assert!(!large.reduction_split);
+    }
+}

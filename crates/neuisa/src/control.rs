@@ -1,0 +1,186 @@
+//! NeuISA control instructions and the scalar register file (Fig. 14).
+//!
+//! Control instructions let µTOps steer execution across µTOp groups: a µTOp
+//! ends with `uTop.finish`, may redirect the next group with
+//! `uTop.nextGroup %reg`, and can query its own coordinates with
+//! `uTop.group`/`uTop.index`. Scalar register `%r0` is read-only zero.
+
+use std::fmt;
+
+/// Index of a scalar register (`%r0` .. `%r31`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScalarRegister(pub u8);
+
+impl ScalarRegister {
+    /// The read-only zero register `%r0`.
+    pub const ZERO: ScalarRegister = ScalarRegister(0);
+}
+
+impl fmt::Display for ScalarRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%r{}", self.0)
+    }
+}
+
+/// The NeuISA control instructions of Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlInstruction {
+    /// `uTop.finish` — signal the µTOp scheduler that this µTOp is done and
+    /// the next µTOp can be dispatched.
+    Finish,
+    /// `uTop.nextGroup %reg` — set the µTOp group to execute after the current
+    /// group completes, read from the scalar register.
+    NextGroup(ScalarRegister),
+    /// `uTop.group %reg` — save the current group index into the register.
+    Group(ScalarRegister),
+    /// `uTop.index %reg` — save the µTOp index within the group into the
+    /// register.
+    Index(ScalarRegister),
+}
+
+impl fmt::Display for ControlInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlInstruction::Finish => write!(f, "uTop.finish"),
+            ControlInstruction::NextGroup(r) => write!(f, "uTop.nextGroup {r}"),
+            ControlInstruction::Group(r) => write!(f, "uTop.group {r}"),
+            ControlInstruction::Index(r) => write!(f, "uTop.index {r}"),
+        }
+    }
+}
+
+/// The error raised when two µTOps of the same group disagree on the next
+/// group index (the paper raises an exception in this case, §III-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextGroupConflict {
+    /// The group whose µTOps disagreed.
+    pub group: u32,
+    /// The first requested target.
+    pub first: u32,
+    /// The conflicting requested target.
+    pub second: u32,
+}
+
+impl fmt::Display for NextGroupConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "uTop.nextGroup conflict in group {}: {} vs {}",
+            self.group, self.first, self.second
+        )
+    }
+}
+
+impl std::error::Error for NextGroupConflict {}
+
+/// A small scalar register file used by µTOp control flow.
+///
+/// Register `%r0` always reads zero and writes to it are ignored, matching
+/// the ISA definition.
+#[derive(Debug, Clone)]
+pub struct ScalarRegisterFile {
+    regs: Vec<u32>,
+}
+
+impl ScalarRegisterFile {
+    /// Creates a register file with `count` registers (all zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "register file must have at least %r0");
+        ScalarRegisterFile {
+            regs: vec![0; count],
+        }
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the file has no registers (never true).
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Reads a register; `%r0` always returns zero and out-of-range registers
+    /// read as zero.
+    pub fn read(&self, reg: ScalarRegister) -> u32 {
+        if reg == ScalarRegister::ZERO {
+            return 0;
+        }
+        self.regs.get(reg.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Writes a register; writes to `%r0` and out-of-range registers are
+    /// ignored.
+    pub fn write(&mut self, reg: ScalarRegister, value: u32) {
+        if reg == ScalarRegister::ZERO {
+            return;
+        }
+        if let Some(slot) = self.regs.get_mut(reg.0 as usize) {
+            *slot = value;
+        }
+    }
+}
+
+impl Default for ScalarRegisterFile {
+    fn default() -> Self {
+        ScalarRegisterFile::new(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r0_is_always_zero() {
+        let mut rf = ScalarRegisterFile::default();
+        rf.write(ScalarRegister::ZERO, 42);
+        assert_eq!(rf.read(ScalarRegister::ZERO), 0);
+    }
+
+    #[test]
+    fn registers_hold_values() {
+        let mut rf = ScalarRegisterFile::new(4);
+        rf.write(ScalarRegister(2), 7);
+        assert_eq!(rf.read(ScalarRegister(2)), 7);
+        assert_eq!(rf.read(ScalarRegister(3)), 0);
+        // Out-of-range access is harmless.
+        rf.write(ScalarRegister(200), 1);
+        assert_eq!(rf.read(ScalarRegister(200)), 0);
+    }
+
+    #[test]
+    fn control_instructions_render_like_the_paper() {
+        assert_eq!(ControlInstruction::Finish.to_string(), "uTop.finish");
+        assert_eq!(
+            ControlInstruction::NextGroup(ScalarRegister(1)).to_string(),
+            "uTop.nextGroup %r1"
+        );
+        assert_eq!(
+            ControlInstruction::Group(ScalarRegister(3)).to_string(),
+            "uTop.group %r3"
+        );
+        assert_eq!(
+            ControlInstruction::Index(ScalarRegister(4)).to_string(),
+            "uTop.index %r4"
+        );
+    }
+
+    #[test]
+    fn conflict_error_is_descriptive() {
+        let err = NextGroupConflict {
+            group: 2,
+            first: 0,
+            second: 3,
+        };
+        let text = err.to_string();
+        assert!(text.contains("group 2"));
+        assert!(text.contains("0"));
+        assert!(text.contains("3"));
+    }
+}

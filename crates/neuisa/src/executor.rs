@@ -1,0 +1,475 @@
+//! A functional executor for NeuISA programs.
+//!
+//! The executor walks a [`NeuIsaProgram`]'s µTOp execution table the way the
+//! hardware front-end of Fig. 17 does: groups execute in sequence (unless a
+//! `uTop.nextGroup` redirects control), the µTOps inside a group dispatch
+//! onto however many MEs are currently available, and `uTop.group` /
+//! `uTop.index` expose a µTOp's coordinates through the scalar register file.
+//!
+//! This is the piece that demonstrates the paper's inter-generational
+//! compatibility claim (§IV): the *same* binary runs on 1 ME or 8 MEs without
+//! recompilation — only the dispatch schedule changes.
+
+use std::collections::BTreeMap;
+
+use npu_sim::Cycles;
+
+use crate::control::{ControlInstruction, NextGroupConflict, ScalarRegisterFile};
+use crate::utop::{NeuIsaProgram, UTopId, UTopKind};
+
+/// One dispatch record: a µTOp executed during one visit of a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchRecord {
+    /// The group (execution-table row) being executed.
+    pub group: u32,
+    /// How many times this group had been entered before (0 for the first
+    /// visit; >0 only for loops built with `uTop.nextGroup`).
+    pub iteration: u32,
+    /// The dispatched µTOp.
+    pub utop: UTopId,
+    /// The wave within the group in which the µTOp was dispatched (wave 0
+    /// runs first; later waves exist when there are fewer MEs than ME µTOps).
+    pub wave: u32,
+}
+
+/// The outcome of executing a NeuISA program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionTrace {
+    /// Every µTOp dispatch, in dispatch order.
+    pub dispatches: Vec<DispatchRecord>,
+    /// Estimated makespan in cycles: waves within a group run sequentially,
+    /// µTOps within a wave run concurrently, groups run sequentially.
+    pub makespan: Cycles,
+    /// Total ME busy cycles.
+    pub me_busy: Cycles,
+    /// Total VE busy cycles.
+    pub ve_busy: Cycles,
+    /// Number of times each group was entered.
+    pub group_visits: BTreeMap<u32, u32>,
+}
+
+impl ExecutionTrace {
+    /// The dispatched µTOps in order.
+    pub fn dispatched_utops(&self) -> Vec<UTopId> {
+        self.dispatches.iter().map(|d| d.utop).collect()
+    }
+
+    /// Average ME utilization over the makespan given `available_mes`.
+    pub fn me_utilization(&self, available_mes: usize) -> f64 {
+        if self.makespan.is_zero() || available_mes == 0 {
+            return 0.0;
+        }
+        (self.me_busy.get() as f64 / (self.makespan.get() as f64 * available_mes as f64)).min(1.0)
+    }
+}
+
+/// Errors raised while executing a NeuISA program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecutionError {
+    /// Two µTOps of the same group requested different next groups.
+    NextGroupConflict(NextGroupConflict),
+    /// `uTop.nextGroup` named a group that does not exist in the table.
+    UnknownGroup {
+        /// The requested group index.
+        group: u32,
+    },
+    /// The executor hit the iteration limit (a runaway `uTop.nextGroup` loop).
+    IterationLimit {
+        /// The limit that was exceeded.
+        limit: u32,
+    },
+    /// The program failed structural validation before execution.
+    InvalidProgram(crate::utop::ProgramError),
+}
+
+impl std::fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionError::NextGroupConflict(c) => write!(f, "{c}"),
+            ExecutionError::UnknownGroup { group } => {
+                write!(f, "uTop.nextGroup targets unknown group {group}")
+            }
+            ExecutionError::IterationLimit { limit } => {
+                write!(f, "group iteration limit of {limit} exceeded")
+            }
+            ExecutionError::InvalidProgram(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecutionError {}
+
+/// Configuration of the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// MEs available to the program at runtime (need not match compile time).
+    pub available_mes: usize,
+    /// VEs available to the program at runtime.
+    pub available_ves: usize,
+    /// Safety bound on the total number of group visits.
+    pub max_group_visits: u32,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            available_mes: 4,
+            available_ves: 4,
+            max_group_visits: 65_536,
+        }
+    }
+}
+
+/// Executes NeuISA programs against a configurable number of engines.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    config: ExecutorConfig,
+    registers: ScalarRegisterFile,
+}
+
+impl Executor {
+    /// Creates an executor.
+    pub fn new(config: ExecutorConfig) -> Self {
+        Executor {
+            config,
+            registers: ScalarRegisterFile::default(),
+        }
+    }
+
+    /// The executor configuration.
+    pub fn config(&self) -> ExecutorConfig {
+        self.config
+    }
+
+    /// Executes `program` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecutionError`] for structurally invalid programs,
+    /// conflicting or out-of-range `uTop.nextGroup` targets, and runaway
+    /// loops.
+    pub fn execute(&mut self, program: &NeuIsaProgram) -> Result<ExecutionTrace, ExecutionError> {
+        program
+            .validate()
+            .map_err(ExecutionError::InvalidProgram)?;
+        let groups = program.groups();
+        let mut dispatches = Vec::new();
+        let mut group_visits: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut makespan = Cycles::ZERO;
+        let mut me_busy = Cycles::ZERO;
+        let mut ve_busy = Cycles::ZERO;
+
+        let mut current_group = 0u32;
+        let mut total_visits = 0u32;
+        while (current_group as usize) < groups.len() {
+            if total_visits >= self.config.max_group_visits {
+                return Err(ExecutionError::IterationLimit {
+                    limit: self.config.max_group_visits,
+                });
+            }
+            total_visits += 1;
+            let iteration = *group_visits
+                .entry(current_group)
+                .and_modify(|v| *v += 1)
+                .or_insert(0);
+
+            let group = &groups[current_group as usize];
+            let mut next_group: Option<u32> = None;
+            let mut group_cycles = Cycles::ZERO;
+
+            // ME µTOps dispatch in waves of `available_mes`; the group's VE
+            // µTOp (if any) runs alongside the first wave.
+            let me_utops = group.me_utops();
+            let wave_width = self.config.available_mes.max(1);
+            let waves = me_utops.len().div_ceil(wave_width).max(1);
+            for wave in 0..waves {
+                let mut wave_cycles = Cycles::ZERO;
+                let start = wave * wave_width;
+                let end = (start + wave_width).min(me_utops.len());
+                for (slot, id) in me_utops[start..end].iter().enumerate() {
+                    let utop = program.utop(*id).expect("validated above");
+                    debug_assert_eq!(utop.kind(), UTopKind::MatrixEngine);
+                    me_busy += utop.me_cycles();
+                    ve_busy += utop.ve_cycles();
+                    wave_cycles = wave_cycles.max(utop.pipelined_cycles());
+                    dispatches.push(DispatchRecord {
+                        group: current_group,
+                        iteration,
+                        utop: *id,
+                        wave: wave as u32,
+                    });
+                    self.run_controls(
+                        program,
+                        *id,
+                        current_group,
+                        (start + slot) as u32,
+                        &mut next_group,
+                    )?;
+                }
+                if wave == 0 {
+                    if let Some(id) = group.ve_utop() {
+                        let utop = program.utop(id).expect("validated above");
+                        ve_busy += utop.ve_cycles();
+                        wave_cycles = wave_cycles.max(utop.pipelined_cycles());
+                        dispatches.push(DispatchRecord {
+                            group: current_group,
+                            iteration,
+                            utop: id,
+                            wave: 0,
+                        });
+                        self.run_controls(program, id, current_group, 0, &mut next_group)?;
+                    }
+                }
+                group_cycles += wave_cycles;
+            }
+            if me_utops.is_empty() && group.ve_utop().is_none() {
+                // An empty group contributes nothing but still sequences.
+                group_cycles = Cycles::ZERO;
+            }
+            makespan += group_cycles;
+
+            current_group = match next_group {
+                Some(target) => {
+                    if (target as usize) >= groups.len() {
+                        return Err(ExecutionError::UnknownGroup { group: target });
+                    }
+                    target
+                }
+                None => current_group + 1,
+            };
+        }
+
+        Ok(ExecutionTrace {
+            dispatches,
+            makespan,
+            me_busy,
+            ve_busy,
+            group_visits,
+        })
+    }
+
+    /// Applies a µTOp's control instructions, updating the scalar registers
+    /// and the requested next group.
+    fn run_controls(
+        &mut self,
+        program: &NeuIsaProgram,
+        id: UTopId,
+        group: u32,
+        index: u32,
+        next_group: &mut Option<u32>,
+    ) -> Result<(), ExecutionError> {
+        let utop = program.utop(id).expect("caller resolved the id");
+        for control in utop.control() {
+            match *control {
+                ControlInstruction::Finish => {}
+                ControlInstruction::Group(reg) => self.registers.write(reg, group),
+                ControlInstruction::Index(reg) => self.registers.write(reg, index),
+                ControlInstruction::NextGroup(reg) => {
+                    let target = self.registers.read(reg);
+                    match *next_group {
+                        Some(existing) if existing != target => {
+                            return Err(ExecutionError::NextGroupConflict(NextGroupConflict {
+                                group,
+                                first: existing,
+                                second: target,
+                            }));
+                        }
+                        _ => *next_group = Some(target),
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The scalar register file (exposed for tests and for seeding loop
+    /// counters before execution).
+    pub fn registers_mut(&mut self) -> &mut ScalarRegisterFile {
+        &mut self.registers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{Compiler, CompilerOptions};
+    use crate::control::ScalarRegister;
+    use crate::operator::{OperatorKind, TensorOperator};
+    use crate::utop::{UTop, UTopGroup};
+    use crate::vliw::VliwInstruction;
+    use npu_sim::NpuConfig;
+
+    fn me_utop(id: u32, cycles: u64) -> UTop {
+        UTop::new(
+            UTopId(id),
+            UTopKind::MatrixEngine,
+            vec![VliwInstruction::nop(1, 2)],
+            1,
+            Cycles(cycles),
+            Cycles(cycles / 10),
+            0,
+        )
+    }
+
+    fn ve_utop(id: u32, cycles: u64) -> UTop {
+        UTop::new(
+            UTopId(id),
+            UTopKind::VectorEngine,
+            vec![VliwInstruction::nop(0, 2)],
+            1,
+            Cycles::ZERO,
+            Cycles(cycles),
+            0,
+        )
+    }
+
+    fn four_me_program() -> NeuIsaProgram {
+        let utops = vec![
+            me_utop(0, 100),
+            me_utop(1, 100),
+            me_utop(2, 100),
+            me_utop(3, 100),
+            ve_utop(4, 50),
+        ];
+        let groups = vec![
+            UTopGroup::new()
+                .with_me_utop(UTopId(0))
+                .with_me_utop(UTopId(1))
+                .with_me_utop(UTopId(2))
+                .with_me_utop(UTopId(3)),
+            UTopGroup::new().with_ve_utop(UTopId(4)),
+        ];
+        NeuIsaProgram::new("four-me", utops, groups, 4, 2)
+    }
+
+    #[test]
+    fn same_binary_runs_on_any_me_count() {
+        let program = four_me_program();
+        let wide = Executor::new(ExecutorConfig {
+            available_mes: 4,
+            ..ExecutorConfig::default()
+        })
+        .execute(&program)
+        .unwrap();
+        let narrow = Executor::new(ExecutorConfig {
+            available_mes: 1,
+            ..ExecutorConfig::default()
+        })
+        .execute(&program)
+        .unwrap();
+        // Every µTOp runs in both cases.
+        assert_eq!(wide.dispatches.len(), 5);
+        assert_eq!(narrow.dispatches.len(), 5);
+        // With one ME the four ME µTOps serialize into four waves.
+        assert_eq!(wide.dispatches.iter().map(|d| d.wave).max(), Some(0));
+        assert_eq!(narrow.dispatches.iter().map(|d| d.wave).max(), Some(3));
+        assert!(narrow.makespan > wide.makespan);
+        // The total engine work is identical — only the schedule changes.
+        assert_eq!(wide.me_busy, narrow.me_busy);
+        assert_eq!(wide.ve_busy, narrow.ve_busy);
+        assert!(wide.me_utilization(4) <= 1.0);
+    }
+
+    #[test]
+    fn next_group_builds_a_loop() {
+        // Group 1 jumps back to group 0 once: %r1 holds the target (0), and
+        // the executor is seeded so the loop runs exactly twice by making the
+        // second visit fall through (the control µTOp only redirects when the
+        // register differs from the default fall-through path).
+        let mut back_edge = me_utop(1, 10);
+        back_edge.push_control(ControlInstruction::NextGroup(ScalarRegister::ZERO));
+        let utops = vec![me_utop(0, 10), back_edge, ve_utop(2, 5)];
+        let groups = vec![
+            UTopGroup::new().with_me_utop(UTopId(0)),
+            UTopGroup::new().with_me_utop(UTopId(1)),
+            UTopGroup::new().with_ve_utop(UTopId(2)),
+        ];
+        let program = NeuIsaProgram::new("loop", utops, groups, 4, 2);
+        // %r0 always reads zero, so group 1 always jumps back to group 0 —
+        // the iteration limit must catch the runaway loop.
+        let mut executor = Executor::new(ExecutorConfig {
+            max_group_visits: 16,
+            ..ExecutorConfig::default()
+        });
+        let err = executor.execute(&program).unwrap_err();
+        assert!(matches!(err, ExecutionError::IterationLimit { limit: 16 }));
+    }
+
+    #[test]
+    fn group_and_index_are_visible_to_utops() {
+        let mut utop = me_utop(0, 10);
+        utop.push_control(ControlInstruction::Group(ScalarRegister(5)));
+        utop.push_control(ControlInstruction::Index(ScalarRegister(6)));
+        let program = NeuIsaProgram::new(
+            "coords",
+            vec![utop],
+            vec![UTopGroup::new().with_me_utop(UTopId(0))],
+            4,
+            2,
+        );
+        let mut executor = Executor::new(ExecutorConfig::default());
+        executor.execute(&program).unwrap();
+        assert_eq!(executor.registers_mut().read(ScalarRegister(5)), 0);
+        assert_eq!(executor.registers_mut().read(ScalarRegister(6)), 0);
+    }
+
+    #[test]
+    fn out_of_range_next_group_is_an_error() {
+        let mut jumper = me_utop(0, 10);
+        jumper.push_control(ControlInstruction::NextGroup(ScalarRegister(3)));
+        let program = NeuIsaProgram::new(
+            "bad-jump",
+            vec![jumper],
+            vec![UTopGroup::new().with_me_utop(UTopId(0))],
+            4,
+            2,
+        );
+        let mut executor = Executor::new(ExecutorConfig::default());
+        // Seed %r3 with a group index that does not exist.
+        executor.registers_mut().write(ScalarRegister(3), 7);
+        let err = executor.execute(&program).unwrap_err();
+        assert_eq!(err, ExecutionError::UnknownGroup { group: 7 });
+    }
+
+    #[test]
+    fn compiled_operators_execute_end_to_end() {
+        let config = NpuConfig::tpu_v4_like();
+        let compiler = Compiler::new(&config, CompilerOptions::default());
+        let op = TensorOperator::new(
+            "mm",
+            OperatorKind::MatMul {
+                m: 512,
+                k: 4096,
+                n: 128,
+            },
+        );
+        let compiled = compiler.compile_operator(&op);
+        let mut executor = Executor::new(ExecutorConfig::default());
+        let trace = executor.execute(&compiled.program).unwrap();
+        assert_eq!(
+            trace.dispatches.len(),
+            compiled.program.utops().len(),
+            "every uTOp must be dispatched exactly once"
+        );
+        assert_eq!(trace.me_busy, compiled.program.total_me_cycles());
+        assert!(trace.makespan >= Cycles(1));
+        // Every group was visited exactly once (no loops in a plain matmul).
+        assert!(trace.group_visits.values().all(|v| *v == 0));
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected_before_execution() {
+        let program = NeuIsaProgram::new(
+            "dangling",
+            vec![],
+            vec![UTopGroup::new().with_me_utop(UTopId(9))],
+            4,
+            2,
+        );
+        let err = Executor::new(ExecutorConfig::default())
+            .execute(&program)
+            .unwrap_err();
+        assert!(matches!(err, ExecutionError::InvalidProgram(_)));
+    }
+}

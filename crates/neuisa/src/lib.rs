@@ -1,0 +1,57 @@
+//! NPU instruction sets and the tensor-operator compiler.
+//!
+//! This crate models the two ISAs discussed in the Neu10 paper:
+//!
+//! * the **classic VLIW-style NPU ISA** (§II-A): every instruction carries one
+//!   slot per matrix engine (ME), per vector engine (VE) and for memory/DMA
+//!   operations, and the compiler statically decides how many MEs an operator
+//!   uses. The control flows of all MEs are therefore coupled — the root cause
+//!   of the underutilization shown in Fig. 9;
+//! * **NeuISA** (§III-D): tensor operators are split into *micro tensor
+//!   operators* (µTOps). An ME µTOp contains the control flow of exactly one
+//!   ME (plus VE slots for fused post-processing), a VE µTOp contains only VE
+//!   work, and µTOps are organized into sequentially-ordered *groups* recorded
+//!   in a µTOp execution table. Control instructions (`uTop.finish`,
+//!   `uTop.nextGroup`, `uTop.group`, `uTop.index`) implement branches and
+//!   loops across groups (Fig. 14–15).
+//!
+//! The [`compiler`] module lowers shape-level [`TensorOperator`]s into either
+//! representation, computing cycle and HBM-byte costs from the engine models
+//! in [`npu_sim`].
+//!
+//! # Example
+//!
+//! ```
+//! use neuisa::{TensorOperator, OperatorKind, Activation};
+//! use neuisa::compiler::{Compiler, CompilerOptions};
+//! use npu_sim::NpuConfig;
+//!
+//! let config = NpuConfig::tpu_v4_like();
+//! let compiler = Compiler::new(&config, CompilerOptions::default());
+//! let op = TensorOperator::new(
+//!     "mlp0",
+//!     OperatorKind::MatMul { m: 256, k: 1024, n: 1024 },
+//! )
+//! .with_activation(Activation::Relu);
+//! let compiled = compiler.compile_operator(&op);
+//! assert!(!compiled.program.groups().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod control;
+pub mod executor;
+pub mod op;
+pub mod operator;
+pub mod utop;
+pub mod vliw;
+
+pub use compiler::{CompiledOperator, Compiler, CompilerOptions, VliwOperator};
+pub use control::{ControlInstruction, ScalarRegister, ScalarRegisterFile};
+pub use executor::{DispatchRecord, ExecutionError, ExecutionTrace, Executor, ExecutorConfig};
+pub use op::{Activation, MeOp, MemOp, MiscOp, VeOp};
+pub use operator::{OperatorKind, TensorOperator};
+pub use utop::{ExecutionTable, NeuIsaProgram, UTop, UTopGroup, UTopId, UTopKind};
+pub use vliw::{VliwInstruction, VliwProgram};

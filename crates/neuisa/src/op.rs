@@ -1,0 +1,196 @@
+//! Slot-level operations of the VLIW / NeuISA instruction formats.
+//!
+//! An NPU VLIW instruction bundles one operation per hardware slot: push/pop
+//! operations for each matrix engine, ALU operations for each vector engine,
+//! load/store operations against the on-chip SRAM and a miscellaneous slot for
+//! DMA and synchronization (§II-A).
+
+use std::fmt;
+
+/// A vector register index in the vector register file.
+pub type VReg = u8;
+
+/// Activation functions that can be fused onto a matrix operator's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// No activation — the raw accumulator values are written back.
+    #[default]
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Gaussian error linear unit (used by transformer MLP blocks).
+    Gelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Relative VE cost of applying this activation to one element, in VE
+    /// "simple op" units (a ReLU costs 1; transcendental activations are
+    /// approximated with short polynomial sequences).
+    pub fn ve_op_cost(self) -> u64 {
+        match self {
+            Activation::None => 0,
+            Activation::Relu => 1,
+            Activation::Sigmoid | Activation::Tanh => 3,
+            Activation::Gelu => 4,
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Activation::None => "none",
+            Activation::Relu => "relu",
+            Activation::Gelu => "gelu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An operation occupying a matrix-engine slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeOp {
+    /// Push a weight tile into the systolic array.
+    PushWeights {
+        /// SRAM tile identifier being loaded.
+        tile: u32,
+    },
+    /// Push a block of activations through the array.
+    PushActivations {
+        /// Source vector register holding the activations.
+        src: VReg,
+    },
+    /// Pop an output vector from the array into a vector register.
+    Pop {
+        /// Destination vector register.
+        dst: VReg,
+    },
+    /// The slot is unused this instruction.
+    Nop,
+}
+
+impl MeOp {
+    /// Whether the slot actually performs work.
+    pub fn is_nop(&self) -> bool {
+        matches!(self, MeOp::Nop)
+    }
+}
+
+/// An operation occupying a vector-engine slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VeOp {
+    /// Element-wise binary arithmetic between two registers.
+    Binary {
+        /// Destination register.
+        dst: VReg,
+        /// Left operand register.
+        lhs: VReg,
+        /// Right operand register.
+        rhs: VReg,
+    },
+    /// Apply an activation function to a register in place.
+    Activate {
+        /// Register transformed in place.
+        reg: VReg,
+        /// Activation applied.
+        activation: Activation,
+    },
+    /// Reduce a register (e.g. a partial-sum accumulation across tiles).
+    Reduce {
+        /// Destination register receiving the reduction result.
+        dst: VReg,
+        /// Source register being reduced.
+        src: VReg,
+    },
+    /// Copy one register to another.
+    Copy {
+        /// Destination register.
+        dst: VReg,
+        /// Source register.
+        src: VReg,
+    },
+    /// The slot is unused this instruction.
+    Nop,
+}
+
+impl VeOp {
+    /// Whether the slot actually performs work.
+    pub fn is_nop(&self) -> bool {
+        matches!(self, VeOp::Nop)
+    }
+}
+
+/// An operation occupying the load/store slot (on-chip SRAM accesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// Load a vector from SRAM into a register.
+    Load {
+        /// Destination register.
+        dst: VReg,
+        /// SRAM segment-relative offset in bytes.
+        offset: u64,
+    },
+    /// Store a register into SRAM.
+    Store {
+        /// Source register.
+        src: VReg,
+        /// SRAM segment-relative offset in bytes.
+        offset: u64,
+    },
+    /// The slot is unused this instruction.
+    Nop,
+}
+
+/// An operation occupying the miscellaneous slot (DMA, sync, control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MiscOp {
+    /// Start an asynchronous DMA transfer between HBM and SRAM.
+    Dma {
+        /// Bytes moved by the transfer.
+        bytes: u64,
+        /// True if the transfer reads from HBM into SRAM.
+        into_sram: bool,
+    },
+    /// Wait for outstanding DMA transfers to finish.
+    WaitDma,
+    /// A NeuISA control instruction (only valid inside µTOps).
+    Control(crate::control::ControlInstruction),
+    /// The slot is unused this instruction.
+    Nop,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_costs_are_ordered() {
+        assert_eq!(Activation::None.ve_op_cost(), 0);
+        assert!(Activation::Relu.ve_op_cost() < Activation::Gelu.ve_op_cost());
+        assert_eq!(Activation::default(), Activation::None);
+    }
+
+    #[test]
+    fn nop_detection() {
+        assert!(MeOp::Nop.is_nop());
+        assert!(!MeOp::Pop { dst: 0 }.is_nop());
+        assert!(VeOp::Nop.is_nop());
+        assert!(!VeOp::Activate {
+            reg: 1,
+            activation: Activation::Relu
+        }
+        .is_nop());
+    }
+
+    #[test]
+    fn activation_display_names() {
+        assert_eq!(Activation::Relu.to_string(), "relu");
+        assert_eq!(Activation::Gelu.to_string(), "gelu");
+    }
+}

@@ -1,0 +1,328 @@
+//! Shape-level tensor operators — the compiler's input IR.
+//!
+//! A [`TensorOperator`] describes one node of a DNN execution graph by its
+//! shape parameters. The compiler turns the shape into engine cycles, tile
+//! counts and HBM traffic using the cost models of `npu_sim`.
+
+use std::fmt;
+
+use crate::op::Activation;
+
+/// Size in bytes of one tensor element (bf16 is the common inference dtype).
+pub const ELEMENT_BYTES: u64 = 2;
+
+/// The kind and shape of a tensor operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperatorKind {
+    /// Dense matrix multiplication: `[m, k] × [k, n]`.
+    MatMul {
+        /// Rows of the activation matrix (usually batch × sequence).
+        m: u64,
+        /// Reduction (contraction) dimension.
+        k: u64,
+        /// Output feature dimension.
+        n: u64,
+    },
+    /// 2-D convolution, lowered to an implicit GEMM.
+    Conv2d {
+        /// Batch size.
+        batch: u64,
+        /// Input channels.
+        in_channels: u64,
+        /// Output channels.
+        out_channels: u64,
+        /// Output spatial size (height × width after striding).
+        output_hw: u64,
+        /// Kernel spatial size (kh × kw).
+        kernel_hw: u64,
+    },
+    /// Element-wise vector operator (add, mul, activation, dropout, ...).
+    Elementwise {
+        /// Number of elements processed.
+        elements: u64,
+        /// Number of simple VE operations applied per element.
+        ops_per_element: u64,
+    },
+    /// A reduction over a tensor (sum, max, mean).
+    Reduction {
+        /// Number of elements reduced.
+        elements: u64,
+    },
+    /// Softmax over the last dimension (exp + sum + divide on the VE).
+    Softmax {
+        /// Number of elements.
+        elements: u64,
+    },
+    /// Layer normalization (mean/variance + scale/shift on the VE).
+    LayerNorm {
+        /// Number of elements.
+        elements: u64,
+    },
+    /// Embedding-table gather: pure HBM traffic with light VE work.
+    EmbeddingLookup {
+        /// Bytes gathered from the embedding tables in HBM.
+        bytes: u64,
+        /// Elements produced (drives the small amount of VE work).
+        output_elements: u64,
+    },
+}
+
+impl OperatorKind {
+    /// Whether the operator contains matrix-engine work.
+    pub fn uses_matrix_engine(&self) -> bool {
+        matches!(self, OperatorKind::MatMul { .. } | OperatorKind::Conv2d { .. })
+    }
+
+    /// The equivalent GEMM dimensions `(m, k, n)` of the operator, if it maps
+    /// onto the matrix engine.
+    pub fn as_gemm(&self) -> Option<(u64, u64, u64)> {
+        match *self {
+            OperatorKind::MatMul { m, k, n } => Some((m, k, n)),
+            OperatorKind::Conv2d {
+                batch,
+                in_channels,
+                out_channels,
+                output_hw,
+                kernel_hw,
+            } => Some((batch * output_hw, in_channels * kernel_hw, out_channels)),
+            _ => None,
+        }
+    }
+
+    /// Number of output elements produced by the operator.
+    pub fn output_elements(&self) -> u64 {
+        match *self {
+            OperatorKind::MatMul { m, n, .. } => m * n,
+            OperatorKind::Conv2d {
+                batch,
+                out_channels,
+                output_hw,
+                ..
+            } => batch * output_hw * out_channels,
+            OperatorKind::Elementwise { elements, .. } => elements,
+            OperatorKind::Reduction { elements } => elements.max(1) / 64,
+            OperatorKind::Softmax { elements } => elements,
+            OperatorKind::LayerNorm { elements } => elements,
+            OperatorKind::EmbeddingLookup {
+                output_elements, ..
+            } => output_elements,
+        }
+    }
+
+    /// Short category name used in traces and reports.
+    pub fn category(&self) -> &'static str {
+        match self {
+            OperatorKind::MatMul { .. } => "matmul",
+            OperatorKind::Conv2d { .. } => "conv2d",
+            OperatorKind::Elementwise { .. } => "elementwise",
+            OperatorKind::Reduction { .. } => "reduction",
+            OperatorKind::Softmax { .. } => "softmax",
+            OperatorKind::LayerNorm { .. } => "layernorm",
+            OperatorKind::EmbeddingLookup { .. } => "embedding",
+        }
+    }
+}
+
+impl fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            OperatorKind::MatMul { m, k, n } => write!(f, "matmul[{m}x{k}x{n}]"),
+            OperatorKind::Conv2d {
+                batch,
+                in_channels,
+                out_channels,
+                output_hw,
+                kernel_hw,
+            } => write!(
+                f,
+                "conv2d[b{batch} {in_channels}->{out_channels} hw{output_hw} k{kernel_hw}]"
+            ),
+            OperatorKind::Elementwise {
+                elements,
+                ops_per_element,
+            } => write!(f, "elementwise[{elements}x{ops_per_element}]"),
+            OperatorKind::Reduction { elements } => write!(f, "reduction[{elements}]"),
+            OperatorKind::Softmax { elements } => write!(f, "softmax[{elements}]"),
+            OperatorKind::LayerNorm { elements } => write!(f, "layernorm[{elements}]"),
+            OperatorKind::EmbeddingLookup { bytes, .. } => write!(f, "embedding[{bytes}B]"),
+        }
+    }
+}
+
+/// One tensor operator of a DNN program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorOperator {
+    name: String,
+    kind: OperatorKind,
+    activation: Activation,
+    /// Extra HBM bytes (weights / inputs) beyond what the shape implies,
+    /// e.g. when an operator re-reads weights that do not fit in SRAM.
+    extra_hbm_bytes: u64,
+}
+
+impl TensorOperator {
+    /// Creates a tensor operator.
+    pub fn new(name: impl Into<String>, kind: OperatorKind) -> Self {
+        TensorOperator {
+            name: name.into(),
+            kind,
+            activation: Activation::None,
+            extra_hbm_bytes: 0,
+        }
+    }
+
+    /// Fuses an activation function onto the operator's output.
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// Adds extra HBM traffic to the operator.
+    pub fn with_extra_hbm_bytes(mut self, bytes: u64) -> Self {
+        self.extra_hbm_bytes = bytes;
+        self
+    }
+
+    /// The operator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operator kind and shape.
+    pub fn kind(&self) -> OperatorKind {
+        self.kind
+    }
+
+    /// The fused activation (or [`Activation::None`]).
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Weight bytes read from HBM, derived from the shape.
+    pub fn weight_bytes(&self) -> u64 {
+        match self.kind {
+            OperatorKind::MatMul { k, n, .. } => k * n * ELEMENT_BYTES,
+            OperatorKind::Conv2d {
+                in_channels,
+                out_channels,
+                kernel_hw,
+                ..
+            } => in_channels * out_channels * kernel_hw * ELEMENT_BYTES,
+            _ => 0,
+        }
+    }
+
+    /// Input activation bytes read from HBM, derived from the shape.
+    pub fn input_bytes(&self) -> u64 {
+        match self.kind {
+            OperatorKind::MatMul { m, k, .. } => m * k * ELEMENT_BYTES,
+            OperatorKind::Conv2d {
+                batch,
+                in_channels,
+                output_hw,
+                kernel_hw,
+                ..
+            } => batch * output_hw * in_channels * kernel_hw * ELEMENT_BYTES,
+            OperatorKind::Elementwise { elements, .. }
+            | OperatorKind::Reduction { elements }
+            | OperatorKind::Softmax { elements }
+            | OperatorKind::LayerNorm { elements } => elements * ELEMENT_BYTES,
+            OperatorKind::EmbeddingLookup { bytes, .. } => bytes,
+        }
+    }
+
+    /// Output bytes written to HBM, derived from the shape.
+    pub fn output_bytes(&self) -> u64 {
+        self.kind.output_elements() * ELEMENT_BYTES
+    }
+
+    /// Total HBM traffic of the operator.
+    pub fn hbm_bytes(&self) -> u64 {
+        self.weight_bytes() + self.input_bytes() + self.output_bytes() + self.extra_hbm_bytes
+    }
+}
+
+impl fmt::Display for TensorOperator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.kind)?;
+        if self.activation != Activation::None {
+            write!(f, "+{}", self.activation)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_lowers_to_gemm() {
+        let kind = OperatorKind::Conv2d {
+            batch: 8,
+            in_channels: 64,
+            out_channels: 128,
+            output_hw: 56 * 56,
+            kernel_hw: 9,
+        };
+        let (m, k, n) = kind.as_gemm().unwrap();
+        assert_eq!(m, 8 * 56 * 56);
+        assert_eq!(k, 64 * 9);
+        assert_eq!(n, 128);
+        assert!(kind.uses_matrix_engine());
+    }
+
+    #[test]
+    fn vector_operators_have_no_gemm() {
+        let kind = OperatorKind::Softmax { elements: 1024 };
+        assert!(kind.as_gemm().is_none());
+        assert!(!kind.uses_matrix_engine());
+    }
+
+    #[test]
+    fn hbm_bytes_cover_weights_inputs_outputs() {
+        let op = TensorOperator::new(
+            "mm",
+            OperatorKind::MatMul {
+                m: 128,
+                k: 256,
+                n: 512,
+            },
+        );
+        let weights = 256 * 512 * ELEMENT_BYTES;
+        let inputs = 128 * 256 * ELEMENT_BYTES;
+        let outputs = 128 * 512 * ELEMENT_BYTES;
+        assert_eq!(op.weight_bytes(), weights);
+        assert_eq!(op.input_bytes(), inputs);
+        assert_eq!(op.output_bytes(), outputs);
+        assert_eq!(op.hbm_bytes(), weights + inputs + outputs);
+        assert_eq!(
+            op.clone().with_extra_hbm_bytes(100).hbm_bytes(),
+            weights + inputs + outputs + 100
+        );
+    }
+
+    #[test]
+    fn embedding_lookup_is_traffic_dominated() {
+        let op = TensorOperator::new(
+            "emb",
+            OperatorKind::EmbeddingLookup {
+                bytes: 1 << 20,
+                output_elements: 4096,
+            },
+        );
+        assert!(op.hbm_bytes() >= 1 << 20);
+        assert_eq!(op.weight_bytes(), 0);
+    }
+
+    #[test]
+    fn display_mentions_activation() {
+        let op = TensorOperator::new(
+            "mm",
+            OperatorKind::MatMul { m: 1, k: 1, n: 1 },
+        )
+        .with_activation(Activation::Relu);
+        assert!(op.to_string().contains("relu"));
+        assert!(op.to_string().contains("matmul"));
+    }
+}

@@ -1,0 +1,511 @@
+//! Micro tensor operators (µTOps), µTOp groups and the execution table.
+//!
+//! A NeuISA binary (Fig. 15) contains one code snippet per µTOp plus a µTOp
+//! *execution table* whose rows are the µTOp groups: each row holds up to
+//! `nx` ME-µTOp entries and one VE-µTOp entry, where `nx` is the number of
+//! MEs on the physical core. Groups execute sequentially (unless redirected
+//! by `uTop.nextGroup`), while the µTOps inside a group may execute in any
+//! order and concurrently.
+
+use std::fmt;
+
+use npu_sim::Cycles;
+
+use crate::control::ControlInstruction;
+use crate::vliw::VliwInstruction;
+
+/// Identifies a µTOp within one compiled operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UTopId(pub u32);
+
+impl fmt::Display for UTopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uTop{}", self.0)
+    }
+}
+
+/// The two µTOp types of §III-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UTopKind {
+    /// An ME µTOp: one ME slot plus `ny` VE slots; drives exactly one ME.
+    MatrixEngine,
+    /// A VE µTOp: no ME slot, `ny` VE slots; vector-only work.
+    VectorEngine,
+}
+
+/// One micro tensor operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UTop {
+    id: UTopId,
+    kind: UTopKind,
+    /// One loop iteration of the µTOp body (kept compact; the dynamic
+    /// behaviour is body × trip_count).
+    body: Vec<VliwInstruction>,
+    trip_count: u64,
+    /// Control instructions appended at the end of the µTOp.
+    control: Vec<ControlInstruction>,
+    /// ME busy cycles contributed by this µTOp (zero for VE µTOps).
+    me_cycles: Cycles,
+    /// VE busy cycles contributed by this µTOp.
+    ve_cycles: Cycles,
+    /// HBM bytes moved on behalf of this µTOp.
+    hbm_bytes: u64,
+}
+
+impl UTop {
+    /// Creates a µTOp.
+    pub fn new(
+        id: UTopId,
+        kind: UTopKind,
+        body: Vec<VliwInstruction>,
+        trip_count: u64,
+        me_cycles: Cycles,
+        ve_cycles: Cycles,
+        hbm_bytes: u64,
+    ) -> Self {
+        UTop {
+            id,
+            kind,
+            body,
+            trip_count: trip_count.max(1),
+            control: vec![ControlInstruction::Finish],
+            me_cycles,
+            ve_cycles,
+            hbm_bytes,
+        }
+    }
+
+    /// The µTOp id.
+    pub fn id(&self) -> UTopId {
+        self.id
+    }
+
+    /// The µTOp kind.
+    pub fn kind(&self) -> UTopKind {
+        self.kind
+    }
+
+    /// The loop body.
+    pub fn body(&self) -> &[VliwInstruction] {
+        &self.body
+    }
+
+    /// The loop trip count.
+    pub fn trip_count(&self) -> u64 {
+        self.trip_count
+    }
+
+    /// The trailing control instructions (always ends in `uTop.finish`).
+    pub fn control(&self) -> &[ControlInstruction] {
+        &self.control
+    }
+
+    /// Appends a control instruction before the trailing `uTop.finish`.
+    pub fn push_control(&mut self, inst: ControlInstruction) {
+        let finish = self.control.pop();
+        self.control.push(inst);
+        self.control.extend(finish);
+    }
+
+    /// ME busy cycles of this µTOp.
+    pub fn me_cycles(&self) -> Cycles {
+        self.me_cycles
+    }
+
+    /// VE busy cycles of this µTOp.
+    pub fn ve_cycles(&self) -> Cycles {
+        self.ve_cycles
+    }
+
+    /// HBM bytes moved by this µTOp.
+    pub fn hbm_bytes(&self) -> u64 {
+        self.hbm_bytes
+    }
+
+    /// The latency of the µTOp when its ME and VE portions pipeline
+    /// perfectly: the longer of the two engine occupancies.
+    pub fn pipelined_cycles(&self) -> Cycles {
+        self.me_cycles.max(self.ve_cycles)
+    }
+}
+
+/// A µTOp group: up to `nx` ME µTOps plus at most one VE µTOp that may all
+/// run concurrently. Groups execute in sequence to preserve dependencies.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UTopGroup {
+    me_utops: Vec<UTopId>,
+    ve_utop: Option<UTopId>,
+}
+
+impl UTopGroup {
+    /// Creates an empty group.
+    pub fn new() -> Self {
+        UTopGroup::default()
+    }
+
+    /// Adds an ME µTOp to the group.
+    pub fn with_me_utop(mut self, id: UTopId) -> Self {
+        self.me_utops.push(id);
+        self
+    }
+
+    /// Sets the group's VE µTOp.
+    pub fn with_ve_utop(mut self, id: UTopId) -> Self {
+        self.ve_utop = Some(id);
+        self
+    }
+
+    /// The ME µTOps of the group.
+    pub fn me_utops(&self) -> &[UTopId] {
+        &self.me_utops
+    }
+
+    /// The VE µTOp of the group, if any.
+    pub fn ve_utop(&self) -> Option<UTopId> {
+        self.ve_utop
+    }
+
+    /// All µTOps of the group.
+    pub fn all_utops(&self) -> Vec<UTopId> {
+        let mut all = self.me_utops.clone();
+        all.extend(self.ve_utop);
+        all
+    }
+
+    /// Number of µTOps in the group.
+    pub fn len(&self) -> usize {
+        self.me_utops.len() + usize::from(self.ve_utop.is_some())
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The µTOp execution table (Fig. 15): one row per group, `nx` ME entries and
+/// one VE entry per row; `None` marks a null entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionTable {
+    me_entries_per_row: usize,
+    rows: Vec<Vec<Option<UTopId>>>,
+}
+
+impl ExecutionTable {
+    /// Builds the execution table for `groups` on a core with `nx` MEs.
+    pub fn from_groups(groups: &[UTopGroup], nx: usize) -> Self {
+        let rows = groups
+            .iter()
+            .map(|g| {
+                let mut row: Vec<Option<UTopId>> = Vec::with_capacity(nx + 1);
+                for i in 0..nx {
+                    row.push(g.me_utops().get(i).copied());
+                }
+                row.push(g.ve_utop());
+                row
+            })
+            .collect();
+        ExecutionTable {
+            me_entries_per_row: nx,
+            rows,
+        }
+    }
+
+    /// Number of rows (groups).
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of ME entries per row.
+    pub fn me_entries_per_row(&self) -> usize {
+        self.me_entries_per_row
+    }
+
+    /// The ME entry `index` of row `group`.
+    pub fn me_entry(&self, group: usize, index: usize) -> Option<UTopId> {
+        self.rows
+            .get(group)
+            .and_then(|row| row.get(index).copied().flatten())
+    }
+
+    /// The VE entry of row `group`.
+    pub fn ve_entry(&self, group: usize) -> Option<UTopId> {
+        self.rows
+            .get(group)
+            .and_then(|row| row.last().copied().flatten())
+    }
+
+    /// Count of non-null entries in row `group`.
+    pub fn populated_entries(&self, group: usize) -> usize {
+        self.rows
+            .get(group)
+            .map(|row| row.iter().filter(|e| e.is_some()).count())
+            .unwrap_or(0)
+    }
+}
+
+/// A compiled NeuISA program: µTOps, groups and the execution table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeuIsaProgram {
+    name: String,
+    utops: Vec<UTop>,
+    groups: Vec<UTopGroup>,
+    table: ExecutionTable,
+    num_ves: usize,
+}
+
+/// Structural problems detected by [`NeuIsaProgram::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A group references a µTOp id that does not exist.
+    DanglingUTop(UTopId),
+    /// A group holds more ME µTOps than the core has MEs.
+    GroupTooWide {
+        /// Index of the offending group.
+        group: usize,
+        /// Number of ME µTOps in the group.
+        me_utops: usize,
+        /// Number of MEs on the core.
+        limit: usize,
+    },
+    /// An ME µTOp slot references a VE µTOp or vice versa.
+    KindMismatch(UTopId),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::DanglingUTop(id) => write!(f, "group references missing {id}"),
+            ProgramError::GroupTooWide {
+                group,
+                me_utops,
+                limit,
+            } => write!(
+                f,
+                "group {group} holds {me_utops} ME uTOps but the core only has {limit} MEs"
+            ),
+            ProgramError::KindMismatch(id) => write!(f, "{id} placed in a slot of the wrong kind"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl NeuIsaProgram {
+    /// Assembles a program from µTOps and groups for a core with `nx` MEs and
+    /// `ny` VEs.
+    pub fn new(
+        name: impl Into<String>,
+        utops: Vec<UTop>,
+        groups: Vec<UTopGroup>,
+        nx: usize,
+        ny: usize,
+    ) -> Self {
+        let table = ExecutionTable::from_groups(&groups, nx);
+        NeuIsaProgram {
+            name: name.into(),
+            utops,
+            groups,
+            table,
+            num_ves: ny,
+        }
+    }
+
+    /// The program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program's µTOps.
+    pub fn utops(&self) -> &[UTop] {
+        &self.utops
+    }
+
+    /// The program's groups.
+    pub fn groups(&self) -> &[UTopGroup] {
+        &self.groups
+    }
+
+    /// The execution table.
+    pub fn execution_table(&self) -> &ExecutionTable {
+        &self.table
+    }
+
+    /// The number of VE slots per instruction (`ny`).
+    pub fn num_ves(&self) -> usize {
+        self.num_ves
+    }
+
+    /// Looks up a µTOp by id.
+    pub fn utop(&self, id: UTopId) -> Option<&UTop> {
+        self.utops.iter().find(|u| u.id() == id)
+    }
+
+    /// Total ME cycles across all µTOps.
+    pub fn total_me_cycles(&self) -> Cycles {
+        Cycles(self.utops.iter().map(|u| u.me_cycles().get()).sum())
+    }
+
+    /// Total VE cycles across all µTOps.
+    pub fn total_ve_cycles(&self) -> Cycles {
+        Cycles(self.utops.iter().map(|u| u.ve_cycles().get()).sum())
+    }
+
+    /// Total HBM bytes across all µTOps.
+    pub fn total_hbm_bytes(&self) -> u64 {
+        self.utops.iter().map(|u| u.hbm_bytes()).sum()
+    }
+
+    /// Checks the structural invariants of §III-D.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant: dangling µTOp references, groups
+    /// wider than the ME count, or µTOps placed in slots of the wrong kind.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        let nx = self.table.me_entries_per_row();
+        for (index, group) in self.groups.iter().enumerate() {
+            if group.me_utops().len() > nx {
+                return Err(ProgramError::GroupTooWide {
+                    group: index,
+                    me_utops: group.me_utops().len(),
+                    limit: nx,
+                });
+            }
+            for id in group.me_utops() {
+                match self.utop(*id) {
+                    None => return Err(ProgramError::DanglingUTop(*id)),
+                    Some(u) if u.kind() != UTopKind::MatrixEngine => {
+                        return Err(ProgramError::KindMismatch(*id))
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(id) = group.ve_utop() {
+                match self.utop(id) {
+                    None => return Err(ProgramError::DanglingUTop(id)),
+                    Some(u) if u.kind() != UTopKind::VectorEngine => {
+                        return Err(ProgramError::KindMismatch(id))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn me_utop(id: u32) -> UTop {
+        UTop::new(
+            UTopId(id),
+            UTopKind::MatrixEngine,
+            vec![VliwInstruction::nop(1, 2)],
+            4,
+            Cycles(100),
+            Cycles(10),
+            1024,
+        )
+    }
+
+    fn ve_utop(id: u32) -> UTop {
+        UTop::new(
+            UTopId(id),
+            UTopKind::VectorEngine,
+            vec![VliwInstruction::nop(0, 2)],
+            1,
+            Cycles(0),
+            Cycles(50),
+            512,
+        )
+    }
+
+    fn sample_program() -> NeuIsaProgram {
+        let utops = vec![me_utop(0), me_utop(1), ve_utop(2)];
+        let groups = vec![
+            UTopGroup::new()
+                .with_me_utop(UTopId(0))
+                .with_me_utop(UTopId(1)),
+            UTopGroup::new().with_ve_utop(UTopId(2)),
+        ];
+        NeuIsaProgram::new("fused-matmul", utops, groups, 4, 2)
+    }
+
+    #[test]
+    fn execution_table_mirrors_groups() {
+        let program = sample_program();
+        let table = program.execution_table();
+        assert_eq!(table.rows(), 2);
+        assert_eq!(table.me_entry(0, 0), Some(UTopId(0)));
+        assert_eq!(table.me_entry(0, 1), Some(UTopId(1)));
+        assert_eq!(table.me_entry(0, 2), None);
+        assert_eq!(table.ve_entry(0), None);
+        assert_eq!(table.ve_entry(1), Some(UTopId(2)));
+        assert_eq!(table.populated_entries(0), 2);
+        assert_eq!(table.populated_entries(1), 1);
+    }
+
+    #[test]
+    fn totals_sum_over_utops() {
+        let program = sample_program();
+        assert_eq!(program.total_me_cycles(), Cycles(200));
+        assert_eq!(program.total_ve_cycles(), Cycles(70));
+        assert_eq!(program.total_hbm_bytes(), 1024 + 1024 + 512);
+        assert!(program.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_dangling_and_wide_groups() {
+        let utops = vec![me_utop(0)];
+        let groups = vec![UTopGroup::new().with_me_utop(UTopId(9))];
+        let program = NeuIsaProgram::new("broken", utops, groups, 4, 2);
+        assert_eq!(
+            program.validate(),
+            Err(ProgramError::DanglingUTop(UTopId(9)))
+        );
+
+        let utops: Vec<UTop> = (0..3).map(me_utop).collect();
+        let mut group = UTopGroup::new();
+        for i in 0..3 {
+            group = group.with_me_utop(UTopId(i));
+        }
+        let program = NeuIsaProgram::new("too-wide", utops, vec![group], 2, 2);
+        assert!(matches!(
+            program.validate(),
+            Err(ProgramError::GroupTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_kind_mismatch() {
+        let utops = vec![ve_utop(0)];
+        let groups = vec![UTopGroup::new().with_me_utop(UTopId(0))];
+        let program = NeuIsaProgram::new("mismatch", utops, groups, 4, 2);
+        assert_eq!(
+            program.validate(),
+            Err(ProgramError::KindMismatch(UTopId(0)))
+        );
+    }
+
+    #[test]
+    fn control_instructions_keep_finish_last() {
+        let mut utop = me_utop(0);
+        utop.push_control(ControlInstruction::NextGroup(
+            crate::control::ScalarRegister(1),
+        ));
+        let control = utop.control();
+        assert_eq!(control.last(), Some(&ControlInstruction::Finish));
+        assert_eq!(control.len(), 2);
+    }
+
+    #[test]
+    fn pipelined_cycles_take_the_max() {
+        let utop = me_utop(0);
+        assert_eq!(utop.pipelined_cycles(), Cycles(100));
+        let utop = ve_utop(1);
+        assert_eq!(utop.pipelined_cycles(), Cycles(50));
+    }
+}

@@ -1,0 +1,243 @@
+//! The classic VLIW-style NPU instruction format and program container.
+//!
+//! A VLIW instruction has one slot per ME, one per VE, a load/store slot and a
+//! miscellaneous slot. The compiler fills the slots to exploit instruction
+//! level parallelism, which requires knowing the exact number of engines at
+//! compile time — the static coupling that NeuISA removes.
+
+use std::fmt;
+
+use crate::op::{MeOp, MemOp, MiscOp, VeOp};
+
+/// One VLIW instruction with a configurable number of ME and VE slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VliwInstruction {
+    me_slots: Vec<MeOp>,
+    ve_slots: Vec<VeOp>,
+    mem_slot: MemOp,
+    misc_slot: MiscOp,
+}
+
+impl VliwInstruction {
+    /// Creates an all-NOP instruction with the given slot counts.
+    pub fn nop(me_slots: usize, ve_slots: usize) -> Self {
+        VliwInstruction {
+            me_slots: vec![MeOp::Nop; me_slots],
+            ve_slots: vec![VeOp::Nop; ve_slots],
+            mem_slot: MemOp::Nop,
+            misc_slot: MiscOp::Nop,
+        }
+    }
+
+    /// Sets the ME slot `index`. Out-of-range indices are ignored.
+    pub fn with_me(mut self, index: usize, op: MeOp) -> Self {
+        if let Some(slot) = self.me_slots.get_mut(index) {
+            *slot = op;
+        }
+        self
+    }
+
+    /// Sets the VE slot `index`. Out-of-range indices are ignored.
+    pub fn with_ve(mut self, index: usize, op: VeOp) -> Self {
+        if let Some(slot) = self.ve_slots.get_mut(index) {
+            *slot = op;
+        }
+        self
+    }
+
+    /// Sets the load/store slot.
+    pub fn with_mem(mut self, op: MemOp) -> Self {
+        self.mem_slot = op;
+        self
+    }
+
+    /// Sets the miscellaneous slot.
+    pub fn with_misc(mut self, op: MiscOp) -> Self {
+        self.misc_slot = op;
+        self
+    }
+
+    /// The ME slots.
+    pub fn me_slots(&self) -> &[MeOp] {
+        &self.me_slots
+    }
+
+    /// The VE slots.
+    pub fn ve_slots(&self) -> &[VeOp] {
+        &self.ve_slots
+    }
+
+    /// The load/store slot.
+    pub fn mem_slot(&self) -> &MemOp {
+        &self.mem_slot
+    }
+
+    /// The miscellaneous slot.
+    pub fn misc_slot(&self) -> &MiscOp {
+        &self.misc_slot
+    }
+
+    /// Number of ME slots that perform work.
+    pub fn active_me_slots(&self) -> usize {
+        self.me_slots.iter().filter(|s| !s.is_nop()).count()
+    }
+
+    /// Number of VE slots that perform work.
+    pub fn active_ve_slots(&self) -> usize {
+        self.ve_slots.iter().filter(|s| !s.is_nop()).count()
+    }
+
+    /// Whether every slot is a NOP.
+    pub fn is_empty(&self) -> bool {
+        self.active_me_slots() == 0
+            && self.active_ve_slots() == 0
+            && matches!(self.mem_slot, MemOp::Nop)
+            && matches!(self.misc_slot, MiscOp::Nop)
+    }
+}
+
+impl fmt::Display for VliwInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} ME slots active, {} VE slots active]",
+            self.active_me_slots(),
+            self.active_ve_slots()
+        )
+    }
+}
+
+/// A compiled VLIW program: a linear instruction sequence plus the engine
+/// counts it was compiled for.
+///
+/// The engine counts are part of the binary contract: the program *must* run
+/// on exactly `num_mes` MEs (§II-C) — it can neither shrink nor grow at
+/// runtime without recompilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VliwProgram {
+    name: String,
+    instructions: Vec<VliwInstruction>,
+    /// How many iterations of the instruction body the program executes; the
+    /// compiler emits one loop body and a trip count to keep programs compact.
+    trip_count: u64,
+    num_mes: usize,
+    num_ves: usize,
+}
+
+impl VliwProgram {
+    /// Creates a VLIW program.
+    pub fn new(
+        name: impl Into<String>,
+        instructions: Vec<VliwInstruction>,
+        trip_count: u64,
+        num_mes: usize,
+        num_ves: usize,
+    ) -> Self {
+        VliwProgram {
+            name: name.into(),
+            instructions,
+            trip_count: trip_count.max(1),
+            num_mes,
+            num_ves,
+        }
+    }
+
+    /// The program name (usually the operator name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loop body instructions.
+    pub fn instructions(&self) -> &[VliwInstruction] {
+        &self.instructions
+    }
+
+    /// How many times the body executes.
+    pub fn trip_count(&self) -> u64 {
+        self.trip_count
+    }
+
+    /// The number of MEs the program was compiled for.
+    pub fn num_mes(&self) -> usize {
+        self.num_mes
+    }
+
+    /// The number of VEs the program was compiled for.
+    pub fn num_ves(&self) -> usize {
+        self.num_ves
+    }
+
+    /// Total dynamic instruction count.
+    pub fn dynamic_instructions(&self) -> u64 {
+        self.instructions.len() as u64 * self.trip_count
+    }
+
+    /// Whether the program can execute when only `available_mes` MEs are free.
+    ///
+    /// This is the Fig. 9 restriction: a VLIW program compiled for `n` MEs
+    /// needs *exactly* `n` MEs — fewer stalls it, more cannot be exploited.
+    pub fn can_run_on(&self, available_mes: usize) -> bool {
+        available_mes >= self.num_mes
+    }
+
+    /// The number of MEs the program will actually occupy at runtime,
+    /// regardless of how many are available.
+    pub fn mes_occupied(&self, available_mes: usize) -> usize {
+        if self.can_run_on(available_mes) {
+            self.num_mes
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Activation;
+
+    fn sample_instruction() -> VliwInstruction {
+        VliwInstruction::nop(2, 2)
+            .with_me(0, MeOp::Pop { dst: 0 })
+            .with_me(1, MeOp::Pop { dst: 1 })
+            .with_ve(
+                0,
+                VeOp::Activate {
+                    reg: 0,
+                    activation: Activation::Relu,
+                },
+            )
+    }
+
+    #[test]
+    fn slot_accounting() {
+        let inst = sample_instruction();
+        assert_eq!(inst.active_me_slots(), 2);
+        assert_eq!(inst.active_ve_slots(), 1);
+        assert!(!inst.is_empty());
+        assert!(VliwInstruction::nop(4, 4).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_slot_writes_are_ignored() {
+        let inst = VliwInstruction::nop(1, 1).with_me(5, MeOp::Pop { dst: 0 });
+        assert_eq!(inst.active_me_slots(), 0);
+    }
+
+    #[test]
+    fn vliw_program_requires_exact_me_count() {
+        let program = VliwProgram::new("matmul", vec![sample_instruction()], 10, 2, 2);
+        assert!(program.can_run_on(2));
+        assert!(program.can_run_on(4));
+        assert!(!program.can_run_on(1));
+        assert_eq!(program.mes_occupied(1), 0);
+        assert_eq!(program.mes_occupied(4), 2); // cannot scale up either
+        assert_eq!(program.dynamic_instructions(), 10);
+    }
+
+    #[test]
+    fn trip_count_is_at_least_one() {
+        let program = VliwProgram::new("op", vec![], 0, 1, 1);
+        assert_eq!(program.trip_count(), 1);
+    }
+}

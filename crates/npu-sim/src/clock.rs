@@ -1,0 +1,239 @@
+//! Simulated time: cycles, clock frequency and wall-clock conversion.
+//!
+//! All simulator components account work in [`Cycles`]. A [`Frequency`]
+//! converts cycle counts into [`SimTime`] (seconds of simulated time) for
+//! reporting, e.g. the millisecond/microsecond time axes of the paper's
+//! figures.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A number of NPU clock cycles.
+///
+/// `Cycles` is an additive quantity; saturating arithmetic is used so that
+/// pathological inputs do not panic inside the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    pub fn new(cycles: u64) -> Self {
+        Cycles(cycles)
+    }
+
+    /// Returns the raw cycle count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns true if this is zero cycles.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the larger of two cycle counts.
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two cycle counts.
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(value: u64) -> Self {
+        Cycles(value)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// Simulated wall-clock time in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Zero seconds.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Returns the time in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the time in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the time in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e-3 {
+            write!(f, "{:.3} ms", self.as_millis())
+        } else {
+            write!(f, "{:.3} us", self.as_micros())
+        }
+    }
+}
+
+/// The NPU core clock frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frequency {
+    hz: f64,
+}
+
+impl Frequency {
+    /// Creates a frequency from a value in megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not strictly positive.
+    pub fn from_mhz(mhz: f64) -> Self {
+        assert!(mhz > 0.0, "frequency must be positive");
+        Frequency { hz: mhz * 1e6 }
+    }
+
+    /// Creates a frequency from a value in gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not strictly positive.
+    pub fn from_ghz(ghz: f64) -> Self {
+        Frequency::from_mhz(ghz * 1e3)
+    }
+
+    /// Frequency in hertz.
+    pub fn hz(self) -> f64 {
+        self.hz
+    }
+
+    /// Frequency in megahertz.
+    pub fn mhz(self) -> f64 {
+        self.hz / 1e6
+    }
+
+    /// Converts a cycle count into simulated seconds at this frequency.
+    pub fn cycles_to_time(self, cycles: Cycles) -> SimTime {
+        SimTime(cycles.get() as f64 / self.hz)
+    }
+
+    /// Converts simulated seconds into (rounded-up) cycles at this frequency.
+    pub fn time_to_cycles(self, time: SimTime) -> Cycles {
+        Cycles((time.as_secs() * self.hz).ceil().max(0.0) as u64)
+    }
+
+    /// Converts a byte count and a bandwidth (bytes/second) into cycles.
+    ///
+    /// This is the primitive the HBM model uses to turn a transfer size into
+    /// engine-visible latency.
+    pub fn bytes_to_cycles(self, bytes: u64, bytes_per_second: f64) -> Cycles {
+        if bytes == 0 {
+            return Cycles::ZERO;
+        }
+        assert!(bytes_per_second > 0.0, "bandwidth must be positive");
+        let seconds = bytes as f64 / bytes_per_second;
+        self.time_to_cycles(SimTime(seconds))
+    }
+}
+
+impl Default for Frequency {
+    fn default() -> Self {
+        // Table II: 1050 MHz.
+        Frequency::from_mhz(1050.0)
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} MHz", self.mhz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic_saturates() {
+        let a = Cycles(u64::MAX);
+        assert_eq!(a + Cycles(10), Cycles(u64::MAX));
+        assert_eq!(Cycles(5) - Cycles(10), Cycles(0));
+        assert_eq!(Cycles(5).saturating_sub(Cycles(3)), Cycles(2));
+    }
+
+    #[test]
+    fn frequency_roundtrip_is_close() {
+        let f = Frequency::from_mhz(1050.0);
+        let cycles = Cycles(1_050_000); // exactly 1 ms at 1050 MHz
+        let time = f.cycles_to_time(cycles);
+        assert!((time.as_millis() - 1.0).abs() < 1e-9);
+        let back = f.time_to_cycles(time);
+        assert_eq!(back, cycles);
+    }
+
+    #[test]
+    fn bytes_to_cycles_uses_bandwidth() {
+        let f = Frequency::from_mhz(1000.0); // 1e9 cycles/s
+        // 1 GB at 1 GB/s takes 1 second = 1e9 cycles.
+        let cycles = f.bytes_to_cycles(1_000_000_000, 1e9);
+        assert_eq!(cycles, Cycles(1_000_000_000));
+        assert_eq!(f.bytes_to_cycles(0, 1e9), Cycles::ZERO);
+    }
+
+    #[test]
+    fn sim_time_formats_by_magnitude() {
+        assert!(SimTime(0.002).to_string().contains("ms"));
+        assert!(SimTime(0.000002).to_string().contains("us"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_frequency_is_rejected() {
+        let _ = Frequency::from_mhz(0.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Static configuration of the simulated NPU board.
+//!
+//! The defaults reproduce Table II of the paper: an NPU core with 4 MEs and
+//! 4 VEs, 128×128 systolic arrays, 128×8 FP32 vector ALUs, 1050 MHz, 128 MB
+//! of on-chip SRAM and 64 GB of HBM at 1200 GB/s.
+
+use crate::clock::Frequency;
+use crate::error::SimError;
+
+/// Gibibyte helper.
+pub const GIB: u64 = 1024 * 1024 * 1024;
+/// Mebibyte helper.
+pub const MIB: u64 = 1024 * 1024;
+
+/// Configuration of an NPU board, its chips, cores, engines and memories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NpuConfig {
+    /// Number of NPU chips on the board.
+    pub chips: usize,
+    /// Number of NPU cores on each chip.
+    pub cores_per_chip: usize,
+    /// Number of matrix engines (MEs) per core.
+    pub mes_per_core: usize,
+    /// Number of vector engines (VEs) per core.
+    pub ves_per_core: usize,
+    /// Systolic array dimension of an ME (128 means a 128×128 array).
+    pub me_dimension: usize,
+    /// Number of FP32 lanes of a VE (rows × lanes elements per cycle).
+    pub ve_lanes: usize,
+    /// Number of rows processed per VE cycle (128×8 in Table II: 128 rows, 8 lanes).
+    pub ve_rows: usize,
+    /// Core clock frequency.
+    pub frequency: Frequency,
+    /// On-chip SRAM capacity per core in bytes.
+    pub sram_bytes_per_core: u64,
+    /// HBM capacity per core in bytes.
+    pub hbm_bytes_per_core: u64,
+    /// HBM bandwidth per core in bytes per second.
+    pub hbm_bandwidth_bytes_per_sec: f64,
+    /// SRAM segment size used for inter-vNPU isolation (§III-C), in bytes.
+    pub sram_segment_bytes: u64,
+    /// HBM segment size used for inter-vNPU isolation (§III-C), in bytes.
+    pub hbm_segment_bytes: u64,
+    /// Cycles needed to preempt an ME µTOp (context-switch cost, §III-G).
+    ///
+    /// The paper uses 256 cycles for a 128×128 array: 128 cycles to pop the
+    /// partial sums plus 128 cycles to pop the weights.
+    pub me_preemption_cycles: u64,
+}
+
+impl NpuConfig {
+    /// The Table II configuration used throughout the paper's evaluation.
+    pub fn tpu_v4_like() -> Self {
+        NpuConfig {
+            chips: 4,
+            cores_per_chip: 2,
+            mes_per_core: 4,
+            ves_per_core: 4,
+            me_dimension: 128,
+            ve_lanes: 8,
+            ve_rows: 128,
+            frequency: Frequency::from_mhz(1050.0),
+            sram_bytes_per_core: 128 * MIB,
+            hbm_bytes_per_core: 64 * GIB,
+            hbm_bandwidth_bytes_per_sec: 1200.0e9,
+            sram_segment_bytes: 2 * MIB,
+            hbm_segment_bytes: GIB,
+            me_preemption_cycles: 256,
+        }
+    }
+
+    /// A single-core configuration convenient for unit tests and examples.
+    pub fn single_core() -> Self {
+        NpuConfig {
+            chips: 1,
+            cores_per_chip: 1,
+            ..NpuConfig::tpu_v4_like()
+        }
+    }
+
+    /// Returns a copy with a different number of MEs and VEs per core.
+    ///
+    /// Used by the Fig. 25 scaling study (2ME-2VE up to 8ME-8VE).
+    pub fn with_engines(mut self, mes: usize, ves: usize) -> Self {
+        self.mes_per_core = mes;
+        self.ves_per_core = ves;
+        self
+    }
+
+    /// Returns a copy with a different HBM bandwidth (bytes per second).
+    ///
+    /// Used by the Fig. 26 bandwidth study (900 GB/s up to 3 TB/s).
+    pub fn with_hbm_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        self.hbm_bandwidth_bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// Total number of cores on the board.
+    pub fn total_cores(&self) -> usize {
+        self.chips * self.cores_per_chip
+    }
+
+    /// Total number of execution units (MEs + VEs) on one core.
+    pub fn eus_per_core(&self) -> usize {
+        self.mes_per_core + self.ves_per_core
+    }
+
+    /// Number of SRAM segments available on one core.
+    pub fn sram_segments_per_core(&self) -> u32 {
+        (self.sram_bytes_per_core / self.sram_segment_bytes) as u32
+    }
+
+    /// Number of HBM segments available on one core.
+    pub fn hbm_segments_per_core(&self) -> u32 {
+        (self.hbm_bytes_per_core / self.hbm_segment_bytes) as u32
+    }
+
+    /// Validates that the configuration is internally consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any structural parameter is
+    /// zero, if segment sizes do not divide the memory capacities, or if the
+    /// bandwidth is not positive.
+    pub fn validate(&self) -> Result<(), SimError> {
+        fn ensure(cond: bool, msg: &str) -> Result<(), SimError> {
+            if cond {
+                Ok(())
+            } else {
+                Err(SimError::InvalidConfig(msg.to_string()))
+            }
+        }
+        ensure(self.chips > 0, "board must have at least one chip")?;
+        ensure(self.cores_per_chip > 0, "chip must have at least one core")?;
+        ensure(self.mes_per_core > 0, "core must have at least one ME")?;
+        ensure(self.ves_per_core > 0, "core must have at least one VE")?;
+        ensure(self.me_dimension > 0, "ME dimension must be positive")?;
+        ensure(self.ve_lanes > 0 && self.ve_rows > 0, "VE shape must be positive")?;
+        ensure(
+            self.hbm_bandwidth_bytes_per_sec > 0.0,
+            "HBM bandwidth must be positive",
+        )?;
+        ensure(
+            self.sram_segment_bytes > 0 && self.sram_bytes_per_core % self.sram_segment_bytes == 0,
+            "SRAM segment size must divide SRAM capacity",
+        )?;
+        ensure(
+            self.hbm_segment_bytes > 0 && self.hbm_bytes_per_core % self.hbm_segment_bytes == 0,
+            "HBM segment size must divide HBM capacity",
+        )?;
+        Ok(())
+    }
+
+    /// Renders the configuration as the rows of the paper's Table II.
+    pub fn table_ii_rows(&self) -> Vec<(String, String)> {
+        vec![
+            (
+                "# of MEs/VEs".to_string(),
+                format!("{} MEs & {} VEs", self.mes_per_core, self.ves_per_core),
+            ),
+            (
+                "ME dimension".to_string(),
+                format!("{0} x {0} systolic array", self.me_dimension),
+            ),
+            (
+                "VE ALU dimension".to_string(),
+                format!("{} x {} FP32 operations/cycle", self.ve_rows, self.ve_lanes),
+            ),
+            ("Frequency".to_string(), self.frequency.to_string()),
+            (
+                "On-chip SRAM".to_string(),
+                format!("{} MB", self.sram_bytes_per_core / MIB),
+            ),
+            (
+                "HBM Capacity & Bandwidth".to_string(),
+                format!(
+                    "{} GB, {:.0} GB/s",
+                    self.hbm_bytes_per_core / GIB,
+                    self.hbm_bandwidth_bytes_per_sec / 1e9
+                ),
+            ),
+        ]
+    }
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        NpuConfig::tpu_v4_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_defaults_match_paper() {
+        let c = NpuConfig::tpu_v4_like();
+        assert_eq!(c.mes_per_core, 4);
+        assert_eq!(c.ves_per_core, 4);
+        assert_eq!(c.me_dimension, 128);
+        assert_eq!(c.sram_bytes_per_core, 128 * MIB);
+        assert_eq!(c.hbm_bytes_per_core, 64 * GIB);
+        assert!((c.hbm_bandwidth_bytes_per_sec - 1.2e12).abs() < 1.0);
+        assert_eq!(c.me_preemption_cycles, 256);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn segment_counts_follow_capacity() {
+        let c = NpuConfig::tpu_v4_like();
+        assert_eq!(c.sram_segments_per_core(), 64);
+        assert_eq!(c.hbm_segments_per_core(), 64);
+    }
+
+    #[test]
+    fn with_engines_and_bandwidth_override() {
+        let c = NpuConfig::tpu_v4_like().with_engines(8, 8).with_hbm_bandwidth(3.0e12);
+        assert_eq!(c.mes_per_core, 8);
+        assert_eq!(c.ves_per_core, 8);
+        assert_eq!(c.eus_per_core(), 16);
+        assert!((c.hbm_bandwidth_bytes_per_sec - 3.0e12).abs() < 1.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = NpuConfig::tpu_v4_like();
+        c.mes_per_core = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = NpuConfig::tpu_v4_like();
+        c.sram_segment_bytes = 3 * MIB; // does not divide 128 MiB
+        assert!(c.validate().is_err());
+
+        let mut c = NpuConfig::tpu_v4_like();
+        c.hbm_bandwidth_bytes_per_sec = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn table_rows_include_all_six_entries() {
+        let rows = NpuConfig::tpu_v4_like().table_ii_rows();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().any(|(k, _)| k.contains("Frequency")));
+    }
+}

@@ -1,0 +1,452 @@
+//! The hardware hierarchy: NPU cores, chips and the board.
+//!
+//! A core owns its engines, its SRAM/HBM models, its DMA engine, its segment
+//! tables and its performance counters. Chips and the board are thin
+//! containers that mirror the physical hierarchy (Fig. 1) so that higher
+//! layers can map vNPUs onto specific cores.
+
+use crate::clock::Cycles;
+use crate::config::NpuConfig;
+use crate::counters::CoreCounters;
+use crate::dma::DmaEngine;
+use crate::engine::{EngineKind, MatrixEngine, VectorEngine};
+use crate::error::SimError;
+use crate::ids::{ChipId, CoreId, EngineId, SegmentId};
+use crate::memory::{ConsumerId, HbmModel, MemoryKind, SegmentTable, SramModel};
+
+/// One NPU core: MEs, VEs, SRAM, HBM, DMA and counters.
+#[derive(Debug, Clone)]
+pub struct NpuCore {
+    id: CoreId,
+    matrix_engines: Vec<MatrixEngine>,
+    vector_engines: Vec<VectorEngine>,
+    sram: SramModel,
+    hbm: HbmModel,
+    dma: DmaEngine,
+    sram_segments: SegmentTable,
+    hbm_segments: SegmentTable,
+    counters: CoreCounters,
+    config: NpuConfig,
+}
+
+impl NpuCore {
+    /// Creates a core according to `config`.
+    pub fn new(id: CoreId, config: &NpuConfig) -> Self {
+        let matrix_engines = (0..config.mes_per_core)
+            .map(|_| MatrixEngine::new(config.me_dimension))
+            .collect();
+        let vector_engines = (0..config.ves_per_core)
+            .map(|_| VectorEngine::new(config.ve_rows, config.ve_lanes))
+            .collect();
+        NpuCore {
+            id,
+            matrix_engines,
+            vector_engines,
+            sram: SramModel::new(config.sram_bytes_per_core),
+            hbm: HbmModel::new(
+                config.hbm_bytes_per_core,
+                config.hbm_bandwidth_bytes_per_sec,
+                config.frequency,
+            ),
+            dma: DmaEngine::with_default_pcie(
+                config.frequency,
+                config.hbm_bandwidth_bytes_per_sec,
+            ),
+            sram_segments: SegmentTable::new(),
+            hbm_segments: SegmentTable::new(),
+            counters: CoreCounters::new(),
+            config: config.clone(),
+        }
+    }
+
+    /// The core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The configuration the core was built from.
+    pub fn config(&self) -> &NpuConfig {
+        &self.config
+    }
+
+    /// Number of matrix engines.
+    pub fn matrix_engines(&self) -> usize {
+        self.matrix_engines.len()
+    }
+
+    /// Number of vector engines.
+    pub fn vector_engines(&self) -> usize {
+        self.vector_engines.len()
+    }
+
+    /// The cost model of matrix engine `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEngine`] if the index is out of range.
+    pub fn matrix_engine(&self, index: usize) -> Result<&MatrixEngine, SimError> {
+        self.matrix_engines
+            .get(index)
+            .ok_or_else(|| SimError::UnknownEngine(EngineId::matrix(self.id, index as u8)))
+    }
+
+    /// The cost model of vector engine `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEngine`] if the index is out of range.
+    pub fn vector_engine(&self, index: usize) -> Result<&VectorEngine, SimError> {
+        self.vector_engines
+            .get(index)
+            .ok_or_else(|| SimError::UnknownEngine(EngineId::vector(self.id, index as u8)))
+    }
+
+    /// Iterator over the ids of all engines of one kind on this core.
+    pub fn engine_ids(&self, kind: EngineKind) -> Vec<EngineId> {
+        let count = match kind {
+            EngineKind::Matrix => self.matrix_engines.len(),
+            EngineKind::Vector => self.vector_engines.len(),
+        };
+        (0..count)
+            .map(|i| EngineId {
+                core: self.id,
+                kind,
+                index: i as u8,
+            })
+            .collect()
+    }
+
+    /// The SRAM model.
+    pub fn sram(&self) -> &SramModel {
+        &self.sram
+    }
+
+    /// The SRAM model, mutably.
+    pub fn sram_mut(&mut self) -> &mut SramModel {
+        &mut self.sram
+    }
+
+    /// The HBM model.
+    pub fn hbm(&self) -> &HbmModel {
+        &self.hbm
+    }
+
+    /// The HBM model, mutably.
+    pub fn hbm_mut(&mut self) -> &mut HbmModel {
+        &mut self.hbm
+    }
+
+    /// The DMA engine.
+    pub fn dma(&self) -> &DmaEngine {
+        &self.dma
+    }
+
+    /// The DMA engine, mutably.
+    pub fn dma_mut(&mut self) -> &mut DmaEngine {
+        &mut self.dma
+    }
+
+    /// The performance counters.
+    pub fn counters(&self) -> &CoreCounters {
+        &self.counters
+    }
+
+    /// The performance counters, mutably.
+    pub fn counters_mut(&mut self) -> &mut CoreCounters {
+        &mut self.counters
+    }
+
+    /// Records a busy interval on one of this core's engines.
+    pub fn record_busy(
+        &mut self,
+        engine: EngineId,
+        start: Cycles,
+        end: Cycles,
+        consumer: ConsumerId,
+    ) {
+        self.counters.record(engine, start, end, consumer);
+    }
+
+    /// Maps `count` segments of `memory` to `owner`, choosing the lowest-index
+    /// unmapped segments. Returns the mapped segment ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] if fewer than `count` segments are
+    /// free.
+    pub fn map_segments(
+        &mut self,
+        memory: MemoryKind,
+        count: u32,
+        owner: ConsumerId,
+    ) -> Result<Vec<SegmentId>, SimError> {
+        let (table, total, segment_bytes) = match memory {
+            MemoryKind::Sram => (
+                &mut self.sram_segments,
+                self.config.sram_segments_per_core(),
+                self.config.sram_segment_bytes,
+            ),
+            MemoryKind::Hbm => (
+                &mut self.hbm_segments,
+                self.config.hbm_segments_per_core(),
+                self.config.hbm_segment_bytes,
+            ),
+        };
+        let mut chosen = Vec::with_capacity(count as usize);
+        for index in 0..total {
+            if chosen.len() == count as usize {
+                break;
+            }
+            let seg = SegmentId { memory, index };
+            if table.owner(seg).is_none() {
+                chosen.push(seg);
+            }
+        }
+        if chosen.len() < count as usize {
+            return Err(SimError::OutOfMemory {
+                memory: match memory {
+                    MemoryKind::Sram => "SRAM",
+                    MemoryKind::Hbm => "HBM",
+                },
+                requested: count as u64 * segment_bytes,
+                available: chosen.len() as u64 * segment_bytes,
+            });
+        }
+        for seg in &chosen {
+            table.map(*seg, owner)?;
+        }
+        match memory {
+            MemoryKind::Sram => self.sram.allocate(count as u64 * segment_bytes)?,
+            MemoryKind::Hbm => self.hbm.allocate(count as u64 * segment_bytes)?,
+        }
+        Ok(chosen)
+    }
+
+    /// Releases every segment of `memory` owned by `owner` and frees the
+    /// corresponding capacity. Returns how many segments were released.
+    pub fn unmap_segments(&mut self, memory: MemoryKind, owner: ConsumerId) -> usize {
+        let (table, segment_bytes) = match memory {
+            MemoryKind::Sram => (&mut self.sram_segments, self.config.sram_segment_bytes),
+            MemoryKind::Hbm => (&mut self.hbm_segments, self.config.hbm_segment_bytes),
+        };
+        let freed = table.unmap_owner(owner);
+        let bytes = freed as u64 * segment_bytes;
+        match memory {
+            MemoryKind::Sram => self.sram.free(bytes),
+            MemoryKind::Hbm => self.hbm.free(bytes),
+        }
+        freed
+    }
+
+    /// Checks that `owner` may access `segment`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SegmentFault`] for unmapped or foreign segments.
+    pub fn check_segment_access(
+        &self,
+        segment: SegmentId,
+        owner: ConsumerId,
+    ) -> Result<(), SimError> {
+        match segment.memory {
+            MemoryKind::Sram => self.sram_segments.check_access(segment, owner),
+            MemoryKind::Hbm => self.hbm_segments.check_access(segment, owner),
+        }
+    }
+
+    /// Number of segments of `memory` owned by `owner`.
+    pub fn segments_of(&self, memory: MemoryKind, owner: ConsumerId) -> usize {
+        match memory {
+            MemoryKind::Sram => self.sram_segments.segments_of(owner),
+            MemoryKind::Hbm => self.hbm_segments.segments_of(owner),
+        }
+    }
+}
+
+/// One NPU chip: a group of cores.
+#[derive(Debug, Clone)]
+pub struct NpuChip {
+    id: ChipId,
+    cores: Vec<NpuCore>,
+}
+
+impl NpuChip {
+    /// Creates a chip with `config.cores_per_chip` cores.
+    pub fn new(id: ChipId, config: &NpuConfig) -> Self {
+        let cores = (0..config.cores_per_chip)
+            .map(|i| {
+                NpuCore::new(
+                    CoreId {
+                        chip: id,
+                        index: i as u16,
+                    },
+                    config,
+                )
+            })
+            .collect();
+        NpuChip { id, cores }
+    }
+
+    /// The chip's identifier.
+    pub fn id(&self) -> ChipId {
+        self.id
+    }
+
+    /// The chip's cores.
+    pub fn cores(&self) -> &[NpuCore] {
+        &self.cores
+    }
+
+    /// The chip's cores, mutably.
+    pub fn cores_mut(&mut self) -> &mut [NpuCore] {
+        &mut self.cores
+    }
+}
+
+/// A full NPU board (the PCIe device handed to the host).
+#[derive(Debug, Clone)]
+pub struct NpuBoard {
+    chips: Vec<NpuChip>,
+    config: NpuConfig,
+}
+
+impl NpuBoard {
+    /// Creates a board according to `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not validate; use
+    /// [`NpuConfig::validate`] first for fallible construction.
+    pub fn new(config: &NpuConfig) -> Self {
+        config
+            .validate()
+            .expect("NpuBoard::new requires a valid configuration");
+        let chips = (0..config.chips)
+            .map(|i| NpuChip::new(ChipId(i as u16), config))
+            .collect();
+        NpuBoard {
+            chips,
+            config: config.clone(),
+        }
+    }
+
+    /// The board configuration.
+    pub fn config(&self) -> &NpuConfig {
+        &self.config
+    }
+
+    /// The board's chips.
+    pub fn chips(&self) -> &[NpuChip] {
+        &self.chips
+    }
+
+    /// Total number of cores on the board.
+    pub fn total_cores(&self) -> usize {
+        self.chips.iter().map(|c| c.cores().len()).sum()
+    }
+
+    /// Looks up a core by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCore`] if the id is outside the board.
+    pub fn core(&self, id: CoreId) -> Result<&NpuCore, SimError> {
+        self.chips
+            .get(id.chip.0 as usize)
+            .and_then(|chip| chip.cores().get(id.index as usize))
+            .ok_or(SimError::UnknownCore(id))
+    }
+
+    /// Looks up a core by id, mutably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCore`] if the id is outside the board.
+    pub fn core_mut(&mut self, id: CoreId) -> Result<&mut NpuCore, SimError> {
+        self.chips
+            .get_mut(id.chip.0 as usize)
+            .and_then(|chip| chip.cores_mut().get_mut(id.index as usize))
+            .ok_or(SimError::UnknownCore(id))
+    }
+
+    /// Iterator over the ids of every core on the board.
+    pub fn core_ids(&self) -> Vec<CoreId> {
+        self.chips
+            .iter()
+            .flat_map(|chip| chip.cores().iter().map(|c| c.id()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_matches_configuration() {
+        let config = NpuConfig::tpu_v4_like();
+        let board = NpuBoard::new(&config);
+        assert_eq!(board.total_cores(), 8);
+        assert_eq!(board.core_ids().len(), 8);
+        let core = board.core(CoreId::new(3, 1)).unwrap();
+        assert_eq!(core.matrix_engines(), 4);
+        assert_eq!(core.vector_engines(), 4);
+        assert!(board.core(CoreId::new(4, 0)).is_err());
+        assert!(board.core(CoreId::new(0, 2)).is_err());
+    }
+
+    #[test]
+    fn segment_mapping_allocates_capacity() {
+        let config = NpuConfig::single_core();
+        let mut board = NpuBoard::new(&config);
+        let core = board.core_mut(CoreId::new(0, 0)).unwrap();
+        let segs = core.map_segments(MemoryKind::Hbm, 4, 7).unwrap();
+        assert_eq!(segs.len(), 4);
+        assert_eq!(core.segments_of(MemoryKind::Hbm, 7), 4);
+        assert_eq!(core.hbm().allocated(), 4 * config.hbm_segment_bytes);
+        assert!(core.check_segment_access(segs[0], 7).is_ok());
+        assert!(core.check_segment_access(segs[0], 8).is_err());
+        assert_eq!(core.unmap_segments(MemoryKind::Hbm, 7), 4);
+        assert_eq!(core.hbm().allocated(), 0);
+    }
+
+    #[test]
+    fn over_mapping_reports_out_of_memory() {
+        let config = NpuConfig::single_core();
+        let total = config.sram_segments_per_core();
+        let mut board = NpuBoard::new(&config);
+        let core = board.core_mut(CoreId::new(0, 0)).unwrap();
+        core.map_segments(MemoryKind::Sram, total, 1).unwrap();
+        assert!(core.map_segments(MemoryKind::Sram, 1, 2).is_err());
+    }
+
+    #[test]
+    fn engine_ids_enumerate_engines() {
+        let config = NpuConfig::single_core();
+        let board = NpuBoard::new(&config);
+        let core = board.core(CoreId::new(0, 0)).unwrap();
+        assert_eq!(core.engine_ids(EngineKind::Matrix).len(), 4);
+        assert_eq!(core.engine_ids(EngineKind::Vector).len(), 4);
+        assert!(core.matrix_engine(3).is_ok());
+        assert!(core.matrix_engine(4).is_err());
+        assert!(core.vector_engine(5).is_err());
+    }
+
+    #[test]
+    fn busy_recording_reaches_counters() {
+        let config = NpuConfig::single_core();
+        let mut board = NpuBoard::new(&config);
+        let id = CoreId::new(0, 0);
+        let engine = EngineId::matrix(id, 0);
+        board
+            .core_mut(id)
+            .unwrap()
+            .record_busy(engine, Cycles(0), Cycles(100), 1);
+        let util = board
+            .core(id)
+            .unwrap()
+            .counters()
+            .aggregate_utilization(Cycles(100), |e| *e == engine);
+        assert!((util - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,278 @@
+//! Performance counters: per-engine busy-interval tracking and utilization
+//! windows.
+//!
+//! The paper's utilization figures (Fig. 5, Fig. 22) and ME/VE assignment
+//! timelines (Fig. 24) are all derived from knowing, for every engine, which
+//! cycles it was busy and on whose behalf. [`BusyTracker`] records exactly
+//! that as a list of closed intervals tagged with a consumer id.
+
+use std::collections::BTreeMap;
+
+use crate::clock::Cycles;
+use crate::ids::EngineId;
+
+/// Identifier of the entity an engine worked for (typically a vNPU id).
+pub type ConsumerId = u32;
+
+/// A single busy interval of one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyInterval {
+    /// First busy cycle.
+    pub start: Cycles,
+    /// First cycle after the work completed.
+    pub end: Cycles,
+    /// Who the engine was working for.
+    pub consumer: ConsumerId,
+}
+
+impl BusyInterval {
+    /// Length of the interval in cycles.
+    pub fn duration(&self) -> Cycles {
+        self.end - self.start
+    }
+}
+
+/// Records busy intervals for one engine.
+#[derive(Debug, Clone, Default)]
+pub struct BusyTracker {
+    intervals: Vec<BusyInterval>,
+    busy_cycles: u64,
+}
+
+impl BusyTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        BusyTracker::default()
+    }
+
+    /// Records that the engine was busy for `[start, end)` on behalf of
+    /// `consumer`. Zero-length intervals are ignored.
+    pub fn record(&mut self, start: Cycles, end: Cycles, consumer: ConsumerId) {
+        if end <= start {
+            return;
+        }
+        self.busy_cycles += (end - start).get();
+        self.intervals.push(BusyInterval {
+            start,
+            end,
+            consumer,
+        });
+    }
+
+    /// Total busy cycles recorded.
+    pub fn busy_cycles(&self) -> Cycles {
+        Cycles(self.busy_cycles)
+    }
+
+    /// Busy cycles attributed to one consumer.
+    pub fn busy_cycles_of(&self, consumer: ConsumerId) -> Cycles {
+        Cycles(
+            self.intervals
+                .iter()
+                .filter(|i| i.consumer == consumer)
+                .map(|i| i.duration().get())
+                .sum(),
+        )
+    }
+
+    /// All recorded intervals, in recording order.
+    pub fn intervals(&self) -> &[BusyInterval] {
+        &self.intervals
+    }
+
+    /// Utilization (0..=1) over `[0, end)`.
+    pub fn utilization(&self, end: Cycles) -> f64 {
+        if end.is_zero() {
+            return 0.0;
+        }
+        (self.busy_cycles as f64 / end.get() as f64).min(1.0)
+    }
+
+    /// Busy cycles that overlap the window `[window_start, window_end)`.
+    pub fn busy_in_window(&self, window_start: Cycles, window_end: Cycles) -> Cycles {
+        let mut busy = 0u64;
+        for i in &self.intervals {
+            let s = i.start.get().max(window_start.get());
+            let e = i.end.get().min(window_end.get());
+            if e > s {
+                busy += e - s;
+            }
+        }
+        Cycles(busy)
+    }
+}
+
+/// A utilization sample over one window of time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationWindow {
+    /// Start cycle of the window.
+    pub start: Cycles,
+    /// Fraction (0..=1) of the window the engines were busy.
+    pub utilization: f64,
+}
+
+/// Counters for one NPU core: one [`BusyTracker`] per engine.
+#[derive(Debug, Clone, Default)]
+pub struct CoreCounters {
+    engines: BTreeMap<EngineId, BusyTracker>,
+}
+
+impl CoreCounters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        CoreCounters::default()
+    }
+
+    /// Records a busy interval for `engine`.
+    pub fn record(&mut self, engine: EngineId, start: Cycles, end: Cycles, consumer: ConsumerId) {
+        self.engines
+            .entry(engine)
+            .or_default()
+            .record(start, end, consumer);
+    }
+
+    /// The tracker of one engine, if it has recorded anything.
+    pub fn engine(&self, engine: EngineId) -> Option<&BusyTracker> {
+        self.engines.get(&engine)
+    }
+
+    /// Iterator over `(engine, tracker)` pairs.
+    pub fn engines(&self) -> impl Iterator<Item = (&EngineId, &BusyTracker)> {
+        self.engines.iter()
+    }
+
+    /// Aggregate utilization (0..=1) over `[0, end)` of the engines selected
+    /// by `filter`. Returns 0 when no engine matches.
+    pub fn aggregate_utilization<F>(&self, end: Cycles, filter: F) -> f64
+    where
+        F: Fn(&EngineId) -> bool,
+    {
+        let selected: Vec<_> = self.engines.iter().filter(|(id, _)| filter(id)).collect();
+        if selected.is_empty() || end.is_zero() {
+            return 0.0;
+        }
+        let busy: u64 = selected.iter().map(|(_, t)| t.busy_cycles().get()).sum();
+        (busy as f64 / (end.get() as f64 * selected.len() as f64)).min(1.0)
+    }
+
+    /// Utilization timeline of the engines selected by `filter`, as one sample
+    /// per `window` cycles across `[0, end)`.
+    pub fn utilization_timeline<F>(
+        &self,
+        window: Cycles,
+        end: Cycles,
+        filter: F,
+    ) -> Vec<UtilizationWindow>
+    where
+        F: Fn(&EngineId) -> bool,
+    {
+        if window.is_zero() || end.is_zero() {
+            return Vec::new();
+        }
+        let selected: Vec<_> = self
+            .engines
+            .iter()
+            .filter(|(id, _)| filter(id))
+            .map(|(_, t)| t)
+            .collect();
+        if selected.is_empty() {
+            return Vec::new();
+        }
+        let windows = end.get().div_ceil(window.get());
+        (0..windows)
+            .map(|w| {
+                let start = Cycles(w * window.get());
+                let stop = Cycles(((w + 1) * window.get()).min(end.get()));
+                let busy: u64 = selected
+                    .iter()
+                    .map(|t| t.busy_in_window(start, stop).get())
+                    .sum();
+                let span = (stop - start).get() as f64 * selected.len() as f64;
+                UtilizationWindow {
+                    start,
+                    utilization: if span > 0.0 { busy as f64 / span } else { 0.0 },
+                }
+            })
+            .collect()
+    }
+
+    /// Busy cycles of all engines attributed to `consumer`.
+    pub fn busy_cycles_of(&self, consumer: ConsumerId) -> Cycles {
+        Cycles(
+            self.engines
+                .values()
+                .map(|t| t.busy_cycles_of(consumer).get())
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineKind;
+    use crate::ids::CoreId;
+
+    fn me(i: u8) -> EngineId {
+        EngineId::matrix(CoreId::new(0, 0), i)
+    }
+
+    fn ve(i: u8) -> EngineId {
+        EngineId::vector(CoreId::new(0, 0), i)
+    }
+
+    #[test]
+    fn busy_tracker_sums_intervals() {
+        let mut t = BusyTracker::new();
+        t.record(Cycles(0), Cycles(10), 1);
+        t.record(Cycles(20), Cycles(25), 2);
+        t.record(Cycles(30), Cycles(30), 1); // empty, ignored
+        assert_eq!(t.busy_cycles(), Cycles(15));
+        assert_eq!(t.busy_cycles_of(1), Cycles(10));
+        assert_eq!(t.busy_cycles_of(2), Cycles(5));
+        assert!((t.utilization(Cycles(30)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_in_window_clips_intervals() {
+        let mut t = BusyTracker::new();
+        t.record(Cycles(5), Cycles(15), 1);
+        assert_eq!(t.busy_in_window(Cycles(0), Cycles(10)), Cycles(5));
+        assert_eq!(t.busy_in_window(Cycles(10), Cycles(20)), Cycles(5));
+        assert_eq!(t.busy_in_window(Cycles(20), Cycles(30)), Cycles(0));
+    }
+
+    #[test]
+    fn aggregate_utilization_splits_me_and_ve() {
+        let mut c = CoreCounters::new();
+        c.record(me(0), Cycles(0), Cycles(100), 1);
+        c.record(me(1), Cycles(0), Cycles(50), 1);
+        c.record(ve(0), Cycles(0), Cycles(10), 1);
+        let me_util = c.aggregate_utilization(Cycles(100), |e| e.kind == EngineKind::Matrix);
+        let ve_util = c.aggregate_utilization(Cycles(100), |e| e.kind == EngineKind::Vector);
+        assert!((me_util - 0.75).abs() < 1e-9);
+        assert!((ve_util - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_has_one_sample_per_window() {
+        let mut c = CoreCounters::new();
+        c.record(me(0), Cycles(0), Cycles(50), 1);
+        let timeline = c.utilization_timeline(Cycles(25), Cycles(100), |e| {
+            e.kind == EngineKind::Matrix
+        });
+        assert_eq!(timeline.len(), 4);
+        assert!((timeline[0].utilization - 1.0).abs() < 1e-9);
+        assert!((timeline[3].utilization - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consumer_attribution_spans_engines() {
+        let mut c = CoreCounters::new();
+        c.record(me(0), Cycles(0), Cycles(10), 3);
+        c.record(ve(1), Cycles(0), Cycles(7), 3);
+        c.record(ve(1), Cycles(7), Cycles(9), 4);
+        assert_eq!(c.busy_cycles_of(3), Cycles(17));
+        assert_eq!(c.busy_cycles_of(4), Cycles(2));
+    }
+}

@@ -1,0 +1,145 @@
+//! DMA engine model: bulk transfers between host memory, HBM and SRAM.
+//!
+//! Guest programs issue `memcpy` commands through the command buffer
+//! (§III-A); the NPU's DMA engine moves the data without hypervisor
+//! intervention. The model here only accounts for transfer latency given the
+//! relevant bandwidth and tracks how many bytes each consumer moved.
+
+use std::collections::BTreeMap;
+
+use crate::clock::{Cycles, Frequency};
+use crate::memory::ConsumerId;
+
+/// Direction of a DMA transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DmaDirection {
+    /// Host memory → device HBM (input tensors).
+    HostToDevice,
+    /// Device HBM → host memory (results).
+    DeviceToHost,
+    /// HBM → on-chip SRAM (operator inputs).
+    HbmToSram,
+    /// On-chip SRAM → HBM (operator outputs).
+    SramToHbm,
+}
+
+/// A single DMA request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaRequest {
+    /// Transfer direction.
+    pub direction: DmaDirection,
+    /// Number of bytes to move.
+    pub bytes: u64,
+    /// The vNPU (or other consumer) issuing the request.
+    pub consumer: ConsumerId,
+}
+
+/// The DMA engine of one NPU core.
+#[derive(Debug, Clone)]
+pub struct DmaEngine {
+    frequency: Frequency,
+    pcie_bandwidth: f64,
+    hbm_bandwidth: f64,
+    bytes_by_consumer: BTreeMap<ConsumerId, u64>,
+    total_bytes: u64,
+}
+
+impl DmaEngine {
+    /// Creates a DMA engine model.
+    ///
+    /// `pcie_bandwidth` applies to host transfers and `hbm_bandwidth` to
+    /// on-device transfers, both in bytes per second.
+    pub fn new(frequency: Frequency, pcie_bandwidth: f64, hbm_bandwidth: f64) -> Self {
+        DmaEngine {
+            frequency,
+            pcie_bandwidth,
+            hbm_bandwidth,
+            bytes_by_consumer: BTreeMap::new(),
+            total_bytes: 0,
+        }
+    }
+
+    /// Creates a DMA engine with a typical PCIe 4.0 x16 host link (~25 GB/s).
+    pub fn with_default_pcie(frequency: Frequency, hbm_bandwidth: f64) -> Self {
+        DmaEngine::new(frequency, 25.0e9, hbm_bandwidth)
+    }
+
+    /// Latency of a request in cycles.
+    pub fn transfer_cycles(&self, request: &DmaRequest) -> Cycles {
+        let bandwidth = match request.direction {
+            DmaDirection::HostToDevice | DmaDirection::DeviceToHost => self.pcie_bandwidth,
+            DmaDirection::HbmToSram | DmaDirection::SramToHbm => self.hbm_bandwidth,
+        };
+        self.frequency.bytes_to_cycles(request.bytes, bandwidth)
+    }
+
+    /// Records that a request completed (for accounting).
+    pub fn record_completion(&mut self, request: &DmaRequest) {
+        *self.bytes_by_consumer.entry(request.consumer).or_insert(0) += request.bytes;
+        self.total_bytes += request.bytes;
+    }
+
+    /// Total bytes moved by all consumers.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total bytes moved on behalf of one consumer.
+    pub fn bytes_of(&self, consumer: ConsumerId) -> u64 {
+        self.bytes_by_consumer.get(&consumer).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_transfers_use_pcie_bandwidth() {
+        let dma = DmaEngine::new(Frequency::from_mhz(1000.0), 10e9, 100e9);
+        let host = DmaRequest {
+            direction: DmaDirection::HostToDevice,
+            bytes: 10_000_000,
+            consumer: 1,
+        };
+        let device = DmaRequest {
+            direction: DmaDirection::HbmToSram,
+            bytes: 10_000_000,
+            consumer: 1,
+        };
+        assert!(dma.transfer_cycles(&host) > dma.transfer_cycles(&device));
+    }
+
+    #[test]
+    fn completions_are_attributed_per_consumer() {
+        let mut dma = DmaEngine::with_default_pcie(Frequency::default(), 1.2e12);
+        let r1 = DmaRequest {
+            direction: DmaDirection::HostToDevice,
+            bytes: 100,
+            consumer: 1,
+        };
+        let r2 = DmaRequest {
+            direction: DmaDirection::DeviceToHost,
+            bytes: 50,
+            consumer: 2,
+        };
+        dma.record_completion(&r1);
+        dma.record_completion(&r2);
+        dma.record_completion(&r1);
+        assert_eq!(dma.total_bytes(), 250);
+        assert_eq!(dma.bytes_of(1), 200);
+        assert_eq!(dma.bytes_of(2), 50);
+        assert_eq!(dma.bytes_of(3), 0);
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_free() {
+        let dma = DmaEngine::with_default_pcie(Frequency::default(), 1.2e12);
+        let r = DmaRequest {
+            direction: DmaDirection::SramToHbm,
+            bytes: 0,
+            consumer: 9,
+        };
+        assert_eq!(dma.transfer_cycles(&r), Cycles::ZERO);
+    }
+}

@@ -1,0 +1,233 @@
+//! Cost models for the two kinds of compute engines in an NPU core.
+//!
+//! A *matrix engine* (ME) is a weight-stationary systolic array: computing a
+//! tile requires pushing the weights, streaming the activations and popping
+//! the results. A *vector engine* (VE) is a wide SIMD ALU that post-processes
+//! ME output vectors (activation functions, normalization, element-wise ops)
+//! and executes vector-only operators.
+//!
+//! The models here are deliberately simple: they turn tile/vector shapes into
+//! cycle counts that match the relative magnitudes discussed in §II of the
+//! paper (e.g. popping an 8×128 output vector takes 8 ME cycles while the
+//! matching ReLU takes a single VE cycle, Fig. 6).
+
+use crate::clock::Cycles;
+
+/// The kind of a compute engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EngineKind {
+    /// Matrix engine — systolic-array matrix multiplication.
+    Matrix,
+    /// Vector engine — generic SIMD vector operations.
+    Vector,
+}
+
+impl EngineKind {
+    /// Short human-readable name ("ME" / "VE").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            EngineKind::Matrix => "ME",
+            EngineKind::Vector => "VE",
+        }
+    }
+}
+
+/// Cost model of one matrix engine (a `dimension × dimension` systolic array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixEngine {
+    dimension: usize,
+}
+
+impl MatrixEngine {
+    /// Creates a matrix engine model with the given systolic-array dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimension` is zero.
+    pub fn new(dimension: usize) -> Self {
+        assert!(dimension > 0, "systolic array dimension must be positive");
+        MatrixEngine { dimension }
+    }
+
+    /// The systolic array dimension (rows == columns).
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Cycles to load a full weight tile into the array.
+    ///
+    /// Loading is pipelined row by row, so it takes `dimension` cycles.
+    pub fn weight_load_cycles(&self) -> Cycles {
+        Cycles(self.dimension as u64)
+    }
+
+    /// Cycles to stream `rows` activation rows through the array and pop the
+    /// results, for a tile with `depth` accumulation steps.
+    ///
+    /// A weight-stationary array produces one output row per cycle once the
+    /// pipeline is full; the pipeline fill/drain costs `dimension + depth`
+    /// cycles.
+    pub fn matmul_tile_cycles(&self, rows: usize, depth: usize) -> Cycles {
+        let fill = self.dimension + depth.min(self.dimension);
+        Cycles((rows + fill) as u64)
+    }
+
+    /// Cycles for one `pop` operation producing an `rows × dimension` output
+    /// vector (Fig. 6: 8 cycles for an 8×128 vector).
+    pub fn pop_cycles(&self, rows: usize) -> Cycles {
+        Cycles(rows.max(1) as u64)
+    }
+
+    /// Cycles needed to preempt the engine mid-operator: the partial sums and
+    /// the weights must both be drained (2 × dimension, §III-G).
+    pub fn preemption_cycles(&self) -> Cycles {
+        Cycles(2 * self.dimension as u64)
+    }
+
+    /// Peak multiply-accumulate operations per cycle.
+    pub fn macs_per_cycle(&self) -> u64 {
+        (self.dimension * self.dimension) as u64
+    }
+}
+
+impl Default for MatrixEngine {
+    fn default() -> Self {
+        MatrixEngine::new(128)
+    }
+}
+
+/// Cost model of one vector engine (`rows × lanes` FP32 operations per cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorEngine {
+    rows: usize,
+    lanes: usize,
+}
+
+impl VectorEngine {
+    /// Creates a vector engine model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, lanes: usize) -> Self {
+        assert!(rows > 0 && lanes > 0, "VE shape must be positive");
+        VectorEngine { rows, lanes }
+    }
+
+    /// Number of rows processed per cycle.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of SIMD lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Elements processed per cycle.
+    pub fn elements_per_cycle(&self) -> u64 {
+        (self.rows * self.lanes) as u64
+    }
+
+    /// Cycles to apply an element-wise operation to `elements` values.
+    pub fn elementwise_cycles(&self, elements: u64) -> Cycles {
+        if elements == 0 {
+            return Cycles::ZERO;
+        }
+        Cycles(elements.div_ceil(self.elements_per_cycle()))
+    }
+
+    /// Cycles to gather/scatter `elements` values through irregular indexing
+    /// (e.g. embedding-table lookups).
+    ///
+    /// Gathers cannot exploit the row-parallel datapath: only one row of
+    /// lanes is productive per cycle, so throughput drops from
+    /// `rows × lanes` to `lanes` elements per cycle.
+    pub fn gather_cycles(&self, elements: u64) -> Cycles {
+        if elements == 0 {
+            return Cycles::ZERO;
+        }
+        Cycles(elements.div_ceil(self.lanes as u64))
+    }
+
+    /// Cycles to reduce `elements` values (e.g. a sum across the reduction
+    /// dimension); reductions need a logarithmic tail on top of the streaming
+    /// pass.
+    pub fn reduction_cycles(&self, elements: u64) -> Cycles {
+        let streaming = self.elementwise_cycles(elements).get();
+        let tail = (64 - u64::from(elements.max(1).leading_zeros() as u64)).min(16);
+        Cycles(streaming + tail)
+    }
+}
+
+impl Default for VectorEngine {
+    fn default() -> Self {
+        VectorEngine::new(128, 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_matches_paper_example() {
+        // Fig. 6: popping an 8×128 output vector from the ME takes 8 cycles,
+        // the matching VE ReLU takes 1 cycle.
+        let me = MatrixEngine::new(128);
+        let ve = VectorEngine::new(128, 8);
+        assert_eq!(me.pop_cycles(8), Cycles(8));
+        assert_eq!(ve.elementwise_cycles(8 * 128), Cycles(1));
+    }
+
+    #[test]
+    fn preemption_is_twice_dimension() {
+        let me = MatrixEngine::new(128);
+        assert_eq!(me.preemption_cycles(), Cycles(256));
+    }
+
+    #[test]
+    fn matmul_tile_scales_with_rows() {
+        let me = MatrixEngine::new(128);
+        let small = me.matmul_tile_cycles(128, 128);
+        let large = me.matmul_tile_cycles(1024, 128);
+        assert!(large > small);
+        assert_eq!(large.get() - small.get(), 1024 - 128);
+    }
+
+    #[test]
+    fn vector_engine_rounds_up() {
+        let ve = VectorEngine::new(128, 8); // 1024 elements/cycle
+        assert_eq!(ve.elementwise_cycles(1), Cycles(1));
+        assert_eq!(ve.elementwise_cycles(1024), Cycles(1));
+        assert_eq!(ve.elementwise_cycles(1025), Cycles(2));
+        assert_eq!(ve.elementwise_cycles(0), Cycles::ZERO);
+    }
+
+    #[test]
+    fn gathers_are_much_slower_than_streaming() {
+        let ve = VectorEngine::new(128, 8);
+        assert_eq!(ve.gather_cycles(0), Cycles::ZERO);
+        assert_eq!(ve.gather_cycles(8), Cycles(1));
+        assert_eq!(ve.gather_cycles(1024), Cycles(128));
+        assert!(ve.gather_cycles(1 << 20) > ve.elementwise_cycles(1 << 20));
+    }
+
+    #[test]
+    fn reduction_costs_more_than_elementwise() {
+        let ve = VectorEngine::default();
+        assert!(ve.reduction_cycles(1 << 20) > ve.elementwise_cycles(1 << 20));
+    }
+
+    #[test]
+    fn engine_kind_names() {
+        assert_eq!(EngineKind::Matrix.short_name(), "ME");
+        assert_eq!(EngineKind::Vector.short_name(), "VE");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimension_me_panics() {
+        let _ = MatrixEngine::new(0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared by the simulator.
+
+use std::fmt;
+
+use crate::ids::{CoreId, EngineId, SegmentId};
+
+/// Errors produced by the NPU simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A core id referred to a chip or core index outside the board.
+    UnknownCore(CoreId),
+    /// An engine id referred to an engine that does not exist on the core.
+    UnknownEngine(EngineId),
+    /// A memory allocation exceeded the remaining capacity.
+    OutOfMemory {
+        /// Which memory was exhausted ("SRAM" or "HBM").
+        memory: &'static str,
+        /// Bytes requested by the failed allocation.
+        requested: u64,
+        /// Bytes still available at the time of the request.
+        available: u64,
+    },
+    /// An access touched a segment that is not mapped for the accessor.
+    SegmentFault {
+        /// The segment that was accessed.
+        segment: SegmentId,
+        /// Human-readable description of the offending access.
+        reason: String,
+    },
+    /// An engine was asked to start new work while still busy.
+    EngineBusy(EngineId),
+    /// The configuration is internally inconsistent (e.g. zero engines).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownCore(id) => write!(f, "unknown NPU core {id}"),
+            SimError::UnknownEngine(id) => write!(f, "unknown engine {id}"),
+            SimError::OutOfMemory {
+                memory,
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of {memory}: requested {requested} bytes, {available} bytes available"
+            ),
+            SimError::SegmentFault { segment, reason } => {
+                write!(f, "segment fault on {segment}: {reason}")
+            }
+            SimError::EngineBusy(id) => write!(f, "engine {id} is busy"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid NPU configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CoreId;
+
+    #[test]
+    fn display_is_informative() {
+        let err = SimError::OutOfMemory {
+            memory: "HBM",
+            requested: 100,
+            available: 10,
+        };
+        let text = err.to_string();
+        assert!(text.contains("HBM"));
+        assert!(text.contains("100"));
+        assert!(text.contains("10"));
+    }
+
+    #[test]
+    fn unknown_core_mentions_core() {
+        let err = SimError::UnknownCore(CoreId::new(1, 2));
+        assert!(err.to_string().contains("core"));
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let err: Box<dyn std::error::Error> = Box::new(SimError::EngineBusy(
+            crate::ids::EngineId::matrix(CoreId::new(0, 0), 0),
+        ));
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! A small deterministic discrete-event simulation kernel.
+//!
+//! The kernel is generic over the event payload so the scheduling layers can
+//! define their own event types (operator completion, request arrival, µTOp
+//! retirement, ...). Events scheduled for the same cycle are delivered in the
+//! order they were pushed, which keeps simulations fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::clock::Cycles;
+
+/// An event scheduled at a simulated cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The cycle at which the event fires.
+    pub at: Cycles,
+    /// Monotonic sequence number used to break ties deterministically.
+    pub sequence: u64,
+    /// The event payload.
+    pub payload: E,
+}
+
+impl<E: Eq> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // breaking ties by insertion order.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+impl<E: Eq> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of events driving a simulation.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    now: Cycles,
+    next_sequence: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue positioned at cycle zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Cycles::ZERO,
+            next_sequence: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire at absolute cycle `at`.
+    ///
+    /// Events scheduled in the past are clamped to the current time so the
+    /// simulation clock never runs backwards.
+    pub fn schedule_at(&mut self, at: Cycles, payload: E) {
+        let at = at.max(self.now);
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(ScheduledEvent {
+            at,
+            sequence,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` to fire `delay` cycles from the current time.
+    pub fn schedule_after(&mut self, delay: Cycles, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Pops the next event, advancing the simulation clock to its timestamp.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let event = self.heap.pop()?;
+        self.now = event.at;
+        Some(event)
+    }
+
+    /// Returns the timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Drops every pending event (the clock keeps its current value).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum TestEvent {
+        A,
+        B,
+        C,
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(30), TestEvent::C);
+        q.schedule_at(Cycles(10), TestEvent::A);
+        q.schedule_at(Cycles(20), TestEvent::B);
+        assert_eq!(q.pop().unwrap().payload, TestEvent::A);
+        assert_eq!(q.now(), Cycles(10));
+        assert_eq!(q.pop().unwrap().payload, TestEvent::B);
+        assert_eq!(q.pop().unwrap().payload, TestEvent::C);
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), Cycles(30));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(5), TestEvent::B);
+        q.schedule_at(Cycles(5), TestEvent::A);
+        q.schedule_at(Cycles(5), TestEvent::C);
+        assert_eq!(q.pop().unwrap().payload, TestEvent::B);
+        assert_eq!(q.pop().unwrap().payload, TestEvent::A);
+        assert_eq!(q.pop().unwrap().payload, TestEvent::C);
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(100), TestEvent::A);
+        q.pop();
+        q.schedule_at(Cycles(10), TestEvent::B);
+        let e = q.pop().unwrap();
+        assert_eq!(e.at, Cycles(100));
+        assert_eq!(q.now(), Cycles(100));
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(50), TestEvent::A);
+        q.pop();
+        q.schedule_after(Cycles(25), TestEvent::B);
+        assert_eq!(q.peek_time(), Some(Cycles(75)));
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Cycles(10), TestEvent::A);
+        q.pop();
+        q.schedule_at(Cycles(20), TestEvent::B);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Cycles(10));
+    }
+}

@@ -1,0 +1,142 @@
+//! Identifiers for the hardware hierarchy: chips, cores, engines and memory
+//! segments.
+//!
+//! All identifiers are small `Copy` types so they can be freely embedded in
+//! events, counters and scheduler bookkeeping.
+
+use std::fmt;
+
+use crate::engine::EngineKind;
+
+/// Identifies one NPU chip on a board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChipId(pub u16);
+
+impl fmt::Display for ChipId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chip{}", self.0)
+    }
+}
+
+/// Identifies one NPU core: the chip it lives on and its index within the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId {
+    /// The chip the core belongs to.
+    pub chip: ChipId,
+    /// Index of the core within the chip.
+    pub index: u16,
+}
+
+impl CoreId {
+    /// Creates a core id from a chip index and a core index.
+    pub fn new(chip: u16, index: u16) -> Self {
+        CoreId {
+            chip: ChipId(chip),
+            index,
+        }
+    }
+
+    /// Returns a flat index for this core given the number of cores per chip.
+    ///
+    /// Useful for indexing into per-board vectors.
+    pub fn flat_index(&self, cores_per_chip: usize) -> usize {
+        self.chip.0 as usize * cores_per_chip + self.index as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.core{}", self.chip, self.index)
+    }
+}
+
+/// Identifies one compute engine (ME or VE) within a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EngineId {
+    /// The core the engine belongs to.
+    pub core: CoreId,
+    /// Whether this is a matrix or a vector engine.
+    pub kind: EngineKind,
+    /// Index of the engine among the engines of the same kind on the core.
+    pub index: u8,
+}
+
+impl EngineId {
+    /// Creates the id of a matrix engine.
+    pub fn matrix(core: CoreId, index: u8) -> Self {
+        EngineId {
+            core,
+            kind: EngineKind::Matrix,
+            index,
+        }
+    }
+
+    /// Creates the id of a vector engine.
+    pub fn vector(core: CoreId, index: u8) -> Self {
+        EngineId {
+            core,
+            kind: EngineKind::Vector,
+            index,
+        }
+    }
+}
+
+impl fmt::Display for EngineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            EngineKind::Matrix => "ME",
+            EngineKind::Vector => "VE",
+        };
+        write!(f, "{}.{}{}", self.core, kind, self.index)
+    }
+}
+
+/// Identifies a fixed-size memory segment (SRAM or HBM) on a core.
+///
+/// Segments are the unit of memory isolation between collocated vNPUs
+/// (§III-C of the paper): 2 MB for SRAM and 1 GB for HBM by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId {
+    /// Which memory the segment belongs to.
+    pub memory: crate::memory::MemoryKind,
+    /// Index of the segment within that memory.
+    pub index: u32,
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}-segment{}", self.memory, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_orders_cores_by_chip_then_index() {
+        assert_eq!(CoreId::new(0, 0).flat_index(2), 0);
+        assert_eq!(CoreId::new(0, 1).flat_index(2), 1);
+        assert_eq!(CoreId::new(1, 0).flat_index(2), 2);
+        assert_eq!(CoreId::new(3, 1).flat_index(2), 7);
+    }
+
+    #[test]
+    fn engine_display_distinguishes_kinds() {
+        let core = CoreId::new(0, 1);
+        assert!(EngineId::matrix(core, 2).to_string().contains("ME2"));
+        assert!(EngineId::vector(core, 3).to_string().contains("VE3"));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(CoreId::new(1, 0));
+        set.insert(CoreId::new(0, 1));
+        set.insert(CoreId::new(0, 0));
+        let ordered: Vec<_> = set.into_iter().collect();
+        assert_eq!(ordered[0], CoreId::new(0, 0));
+        assert_eq!(ordered[2], CoreId::new(1, 0));
+    }
+}

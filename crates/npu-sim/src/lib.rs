@@ -1,0 +1,52 @@
+//! Event-driven simulator of a TPU-like neural processing unit (NPU).
+//!
+//! This crate is the hardware substrate for the Neu10 NPU-virtualization
+//! reproduction. It models the system architecture described in §II-A of the
+//! paper: an NPU *board* holds several *chips*, each chip holds several
+//! *cores*, and every core contains a set of matrix engines (MEs, 128×128
+//! systolic arrays), vector engines (VEs, 128×8 ALUs), an on-chip SRAM and a
+//! connection to off-chip HBM.
+//!
+//! The simulator is *cycle-accounting* rather than RTL-accurate: engines and
+//! memories expose cost models (cycles per tile, cycles per transferred byte,
+//! bandwidth sharing between concurrent consumers) and the discrete-event
+//! kernel in [`event`] orders work in simulated time. Higher layers (the
+//! `neuisa` compiler and the `neu10` schedulers) decide *what* runs on each
+//! engine; this crate answers *how long it takes* and keeps the performance
+//! counters that the paper's figures are derived from.
+//!
+//! # Quick example
+//!
+//! ```
+//! use npu_sim::{NpuConfig, NpuBoard};
+//!
+//! let config = NpuConfig::tpu_v4_like();
+//! let board = NpuBoard::new(&config);
+//! assert_eq!(board.total_cores(), config.chips * config.cores_per_chip);
+//! assert_eq!(board.core(npu_sim::CoreId::new(0, 0)).unwrap().matrix_engines(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod config;
+pub mod counters;
+pub mod core;
+pub mod dma;
+pub mod engine;
+pub mod error;
+pub mod event;
+pub mod ids;
+pub mod memory;
+
+pub use clock::{Cycles, Frequency, SimTime};
+pub use config::NpuConfig;
+pub use counters::{BusyTracker, CoreCounters, UtilizationWindow};
+pub use core::{NpuBoard, NpuChip, NpuCore};
+pub use dma::{DmaDirection, DmaEngine, DmaRequest};
+pub use engine::{EngineKind, MatrixEngine, VectorEngine};
+pub use error::SimError;
+pub use event::{EventQueue, ScheduledEvent};
+pub use ids::{ChipId, CoreId, EngineId, SegmentId};
+pub use memory::{HbmModel, MemoryKind, SegmentTable, SramModel};

@@ -1,0 +1,432 @@
+//! Memory models: on-chip SRAM, off-chip HBM and the fixed-size segmentation
+//! scheme used to isolate collocated vNPUs.
+//!
+//! Capacity is tracked exactly; bandwidth is modelled by fair sharing between
+//! the currently active consumers (a consumer is typically one vNPU streaming
+//! an operator's tensors). The HBM model also records the bytes moved over
+//! time so the Fig. 7 bandwidth timelines can be reconstructed.
+
+use std::collections::BTreeMap;
+
+use crate::clock::{Cycles, Frequency};
+use crate::error::SimError;
+use crate::ids::SegmentId;
+
+/// Which memory a segment or allocation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemoryKind {
+    /// On-chip SRAM (vector memory).
+    Sram,
+    /// Off-chip high-bandwidth memory.
+    Hbm,
+}
+
+/// An opaque identifier for a bandwidth consumer (typically a vNPU id).
+pub type ConsumerId = u32;
+
+/// Capacity-accounting model of the on-chip SRAM of one core.
+#[derive(Debug, Clone)]
+pub struct SramModel {
+    capacity: u64,
+    allocated: u64,
+}
+
+impl SramModel {
+    /// Creates an SRAM model with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        SramModel {
+            capacity,
+            allocated: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.allocated
+    }
+
+    /// Reserves `bytes` of SRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] if the remaining capacity is
+    /// insufficient.
+    pub fn allocate(&mut self, bytes: u64) -> Result<(), SimError> {
+        if bytes > self.available() {
+            return Err(SimError::OutOfMemory {
+                memory: "SRAM",
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.allocated += bytes;
+        Ok(())
+    }
+
+    /// Releases `bytes` of SRAM (saturating at zero).
+    pub fn free(&mut self, bytes: u64) {
+        self.allocated = self.allocated.saturating_sub(bytes);
+    }
+}
+
+/// A recorded HBM transfer, used to reconstruct bandwidth-over-time plots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HbmTransfer {
+    /// Cycle at which the transfer started.
+    pub start: Cycles,
+    /// Cycle at which the transfer completed.
+    pub end: Cycles,
+    /// Number of bytes moved.
+    pub bytes: u64,
+    /// The consumer on whose behalf the transfer ran.
+    pub consumer: ConsumerId,
+}
+
+/// Capacity and bandwidth model of the HBM attached to one core.
+#[derive(Debug, Clone)]
+pub struct HbmModel {
+    capacity: u64,
+    allocated: u64,
+    bandwidth_bytes_per_sec: f64,
+    frequency: Frequency,
+    active_streams: BTreeMap<ConsumerId, usize>,
+    transfers: Vec<HbmTransfer>,
+    total_bytes: u64,
+}
+
+impl HbmModel {
+    /// Creates an HBM model.
+    pub fn new(capacity: u64, bandwidth_bytes_per_sec: f64, frequency: Frequency) -> Self {
+        HbmModel {
+            capacity,
+            allocated: 0,
+            bandwidth_bytes_per_sec,
+            frequency,
+            active_streams: BTreeMap::new(),
+            transfers: Vec::new(),
+            total_bytes: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.allocated
+    }
+
+    /// Peak bandwidth in bytes per second.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.bandwidth_bytes_per_sec
+    }
+
+    /// Reserves `bytes` of HBM capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] if the remaining capacity is
+    /// insufficient.
+    pub fn allocate(&mut self, bytes: u64) -> Result<(), SimError> {
+        if bytes > self.available() {
+            return Err(SimError::OutOfMemory {
+                memory: "HBM",
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.allocated += bytes;
+        Ok(())
+    }
+
+    /// Releases `bytes` of HBM capacity (saturating at zero).
+    pub fn free(&mut self, bytes: u64) {
+        self.allocated = self.allocated.saturating_sub(bytes);
+    }
+
+    /// Marks a consumer as having one more active memory stream.
+    pub fn stream_started(&mut self, consumer: ConsumerId) {
+        *self.active_streams.entry(consumer).or_insert(0) += 1;
+    }
+
+    /// Marks a consumer as having finished one memory stream.
+    pub fn stream_finished(&mut self, consumer: ConsumerId) {
+        if let Some(count) = self.active_streams.get_mut(&consumer) {
+            *count -= 1;
+            if *count == 0 {
+                self.active_streams.remove(&consumer);
+            }
+        }
+    }
+
+    /// Number of distinct consumers that currently have active streams.
+    pub fn active_consumers(&self) -> usize {
+        self.active_streams.len()
+    }
+
+    /// Cycles needed to move `bytes` for `consumer`, given the current
+    /// contention: the peak bandwidth is shared fairly between the distinct
+    /// consumers with active streams (including this one).
+    pub fn transfer_cycles(&self, bytes: u64, consumer: ConsumerId) -> Cycles {
+        if bytes == 0 {
+            return Cycles::ZERO;
+        }
+        let mut sharers = self.active_consumers();
+        if !self.active_streams.contains_key(&consumer) {
+            sharers += 1;
+        }
+        let share = self.bandwidth_bytes_per_sec / sharers.max(1) as f64;
+        self.frequency.bytes_to_cycles(bytes, share)
+    }
+
+    /// Records that `bytes` were transferred between `start` and `end`.
+    pub fn record_transfer(&mut self, start: Cycles, end: Cycles, bytes: u64, consumer: ConsumerId) {
+        self.total_bytes += bytes;
+        self.transfers.push(HbmTransfer {
+            start,
+            end,
+            bytes,
+            consumer,
+        });
+    }
+
+    /// Total bytes transferred so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The recorded transfers, in the order they were recorded.
+    pub fn transfers(&self) -> &[HbmTransfer] {
+        &self.transfers
+    }
+
+    /// Average achieved bandwidth (bytes/second) between cycle 0 and `end`.
+    pub fn average_bandwidth(&self, end: Cycles) -> f64 {
+        let seconds = self.frequency.cycles_to_time(end).as_secs();
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes as f64 / seconds
+    }
+
+    /// Reconstructs a bandwidth timeline: bytes/second within consecutive
+    /// windows of `window` cycles, up to `end`.
+    ///
+    /// Each transfer's bytes are spread uniformly over its duration.
+    pub fn bandwidth_timeline(&self, window: Cycles, end: Cycles) -> Vec<(Cycles, f64)> {
+        if window.is_zero() || end.is_zero() {
+            return Vec::new();
+        }
+        let window_count = end.get().div_ceil(window.get()) as usize;
+        let mut bytes_per_window = vec![0.0f64; window_count];
+        for t in &self.transfers {
+            let start = t.start.get();
+            let finish = t.end.get().max(start + 1);
+            let duration = (finish - start) as f64;
+            let rate = t.bytes as f64 / duration; // bytes per cycle
+            let first = (start / window.get()) as usize;
+            let last = ((finish - 1) / window.get()) as usize;
+            for w in first..=last.min(window_count.saturating_sub(1)) {
+                let w_start = w as u64 * window.get();
+                let w_end = w_start + window.get();
+                let overlap = finish.min(w_end).saturating_sub(start.max(w_start)) as f64;
+                bytes_per_window[w] += rate * overlap;
+            }
+        }
+        let window_secs = self.frequency.cycles_to_time(window).as_secs();
+        bytes_per_window
+            .into_iter()
+            .enumerate()
+            .map(|(i, bytes)| (Cycles(i as u64 * window.get()), bytes / window_secs))
+            .collect()
+    }
+}
+
+/// A fixed-size segment table mapping SRAM/HBM segments to their owners.
+///
+/// This is the paper's §III-C memory isolation mechanism: the SRAM and HBM of
+/// a core are divided into fixed-size segments and each segment is mapped to
+/// the virtual address space of at most one vNPU. Address translation is a
+/// simple base-plus-offset add, and any access outside the owner's segments
+/// raises a fault.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentTable {
+    owners: BTreeMap<SegmentId, ConsumerId>,
+}
+
+impl SegmentTable {
+    /// Creates an empty segment table.
+    pub fn new() -> Self {
+        SegmentTable::default()
+    }
+
+    /// Assigns a segment to an owner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SegmentFault`] if the segment is already mapped to
+    /// a different owner.
+    pub fn map(&mut self, segment: SegmentId, owner: ConsumerId) -> Result<(), SimError> {
+        match self.owners.get(&segment) {
+            Some(existing) if *existing != owner => Err(SimError::SegmentFault {
+                segment,
+                reason: format!("segment already owned by consumer {existing}"),
+            }),
+            _ => {
+                self.owners.insert(segment, owner);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes the mapping for a segment, returning its previous owner.
+    pub fn unmap(&mut self, segment: SegmentId) -> Option<ConsumerId> {
+        self.owners.remove(&segment)
+    }
+
+    /// Removes every segment owned by `owner`, returning how many were freed.
+    pub fn unmap_owner(&mut self, owner: ConsumerId) -> usize {
+        let before = self.owners.len();
+        self.owners.retain(|_, o| *o != owner);
+        before - self.owners.len()
+    }
+
+    /// Returns the owner of a segment, if mapped.
+    pub fn owner(&self, segment: SegmentId) -> Option<ConsumerId> {
+        self.owners.get(&segment).copied()
+    }
+
+    /// Checks that `owner` may access `segment`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SegmentFault`] if the segment is unmapped or owned
+    /// by another consumer — the "page fault on invalid access" of §III-C.
+    pub fn check_access(&self, segment: SegmentId, owner: ConsumerId) -> Result<(), SimError> {
+        match self.owners.get(&segment) {
+            Some(o) if *o == owner => Ok(()),
+            Some(o) => Err(SimError::SegmentFault {
+                segment,
+                reason: format!("consumer {owner} accessed segment owned by {o}"),
+            }),
+            None => Err(SimError::SegmentFault {
+                segment,
+                reason: format!("consumer {owner} accessed unmapped segment"),
+            }),
+        }
+    }
+
+    /// Number of segments owned by `owner`.
+    pub fn segments_of(&self, owner: ConsumerId) -> usize {
+        self.owners.values().filter(|o| **o == owner).count()
+    }
+
+    /// Total number of mapped segments.
+    pub fn mapped_segments(&self) -> usize {
+        self.owners.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(idx: u32) -> SegmentId {
+        SegmentId {
+            memory: MemoryKind::Hbm,
+            index: idx,
+        }
+    }
+
+    #[test]
+    fn sram_allocation_respects_capacity() {
+        let mut sram = SramModel::new(100);
+        sram.allocate(60).unwrap();
+        assert_eq!(sram.available(), 40);
+        assert!(sram.allocate(50).is_err());
+        sram.free(60);
+        assert_eq!(sram.allocated(), 0);
+        sram.free(1_000); // saturates, does not underflow
+        assert_eq!(sram.allocated(), 0);
+    }
+
+    #[test]
+    fn hbm_contention_halves_bandwidth() {
+        let freq = Frequency::from_mhz(1000.0);
+        let mut hbm = HbmModel::new(1 << 30, 1e9, freq);
+        let alone = hbm.transfer_cycles(1_000_000, 1);
+        hbm.stream_started(2);
+        let contended = hbm.transfer_cycles(1_000_000, 1);
+        assert!(contended.get() >= 2 * alone.get() - 1);
+        hbm.stream_finished(2);
+        assert_eq!(hbm.transfer_cycles(1_000_000, 1), alone);
+    }
+
+    #[test]
+    fn same_consumer_streams_do_not_contend_with_themselves() {
+        let freq = Frequency::from_mhz(1000.0);
+        let mut hbm = HbmModel::new(1 << 30, 1e9, freq);
+        hbm.stream_started(7);
+        hbm.stream_started(7);
+        assert_eq!(hbm.active_consumers(), 1);
+        let cycles = hbm.transfer_cycles(1_000_000, 7);
+        assert_eq!(cycles, freq.bytes_to_cycles(1_000_000, 1e9));
+    }
+
+    #[test]
+    fn bandwidth_timeline_integrates_bytes() {
+        let freq = Frequency::from_mhz(1000.0); // 1e9 cycles/sec
+        let mut hbm = HbmModel::new(1 << 30, 1e12, freq);
+        // 1000 bytes spread over cycles [0, 1000): 1 byte/cycle = 1e9 B/s.
+        hbm.record_transfer(Cycles(0), Cycles(1000), 1000, 1);
+        let timeline = hbm.bandwidth_timeline(Cycles(500), Cycles(1000));
+        assert_eq!(timeline.len(), 2);
+        for (_, bw) in &timeline {
+            assert!((bw - 1e9).abs() / 1e9 < 0.01, "bw was {bw}");
+        }
+        assert!((hbm.average_bandwidth(Cycles(1000)) - 1e9).abs() / 1e9 < 0.01);
+    }
+
+    #[test]
+    fn segment_table_enforces_isolation() {
+        let mut table = SegmentTable::new();
+        table.map(seg(0), 1).unwrap();
+        table.map(seg(1), 2).unwrap();
+        assert!(table.check_access(seg(0), 1).is_ok());
+        assert!(table.check_access(seg(0), 2).is_err());
+        assert!(table.check_access(seg(5), 1).is_err());
+        assert!(table.map(seg(0), 2).is_err());
+        // Remapping to the same owner is idempotent.
+        table.map(seg(0), 1).unwrap();
+        assert_eq!(table.segments_of(1), 1);
+        assert_eq!(table.unmap_owner(1), 1);
+        assert_eq!(table.owner(seg(0)), None);
+    }
+
+    #[test]
+    fn hbm_capacity_errors_report_available() {
+        let mut hbm = HbmModel::new(10, 1e9, Frequency::default());
+        hbm.allocate(8).unwrap();
+        match hbm.allocate(5) {
+            Err(SimError::OutOfMemory { available, .. }) => assert_eq!(available, 2),
+            other => panic!("expected OutOfMemory, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Inference graphs: the operator sequence of one request of one model.
+
+use neuisa::TensorOperator;
+
+use crate::models;
+use crate::suite::ModelId;
+
+/// The operator graph of a single inference request.
+///
+/// Operators are stored in execution order; the scheduling layers treat the
+/// sequence as a dependency chain (operator *i+1* starts only after operator
+/// *i* finishes), matching how the paper replays per-model operator traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferenceGraph {
+    model: ModelId,
+    batch_size: u64,
+    operators: Vec<TensorOperator>,
+    hbm_footprint_bytes: u64,
+}
+
+impl InferenceGraph {
+    /// Builds the graph of `model` at `batch_size`.
+    pub fn build(model: ModelId, batch_size: u64) -> Self {
+        let batch_size = batch_size.max(1);
+        InferenceGraph {
+            model,
+            batch_size,
+            operators: models::build_operators(model, batch_size),
+            hbm_footprint_bytes: models::hbm_footprint_bytes(model, batch_size),
+        }
+    }
+
+    /// Builds the graph of `model` at the batch size used in the paper's
+    /// multi-tenant evaluation (§V-A).
+    pub fn build_for_evaluation(model: ModelId) -> Self {
+        InferenceGraph::build(model, model.evaluation_batch_size())
+    }
+
+    /// The model this graph belongs to.
+    pub fn model(&self) -> ModelId {
+        self.model
+    }
+
+    /// The batch size the graph was built for.
+    pub fn batch_size(&self) -> u64 {
+        self.batch_size
+    }
+
+    /// The operators in execution order.
+    pub fn operators(&self) -> &[TensorOperator] {
+        &self.operators
+    }
+
+    /// Number of operators in the graph.
+    pub fn operator_count(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// Estimated resident HBM footprint (Table I).
+    pub fn hbm_footprint_bytes(&self) -> u64 {
+        self.hbm_footprint_bytes
+    }
+
+    /// Total HBM traffic of one request.
+    pub fn total_hbm_bytes(&self) -> u64 {
+        self.operators.iter().map(|op| op.hbm_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_for_evaluation_uses_paper_batch_sizes() {
+        let bert = InferenceGraph::build_for_evaluation(ModelId::Bert);
+        assert_eq!(bert.batch_size(), 32);
+        let mrcnn = InferenceGraph::build_for_evaluation(ModelId::MaskRcnn);
+        assert_eq!(mrcnn.batch_size(), 8);
+    }
+
+    #[test]
+    fn zero_batch_is_clamped_to_one() {
+        let g = InferenceGraph::build(ModelId::Mnist, 0);
+        assert_eq!(g.batch_size(), 1);
+        assert!(g.operator_count() > 0);
+    }
+
+    #[test]
+    fn traffic_and_footprint_are_positive() {
+        let g = InferenceGraph::build(ModelId::ResNet, 8);
+        assert!(g.total_hbm_bytes() > 0);
+        assert!(g.hbm_footprint_bytes() > 0);
+        assert_eq!(g.operators().len(), g.operator_count());
+    }
+}

@@ -1,0 +1,38 @@
+//! Synthetic DNN inference workloads for the Neu10 reproduction.
+//!
+//! The paper drives its evaluation with operator traces collected from MLPerf
+//! and TPU reference models on real Google TPUv4 hardware. Those traces are
+//! proprietary, so this crate generates *synthetic but shape-faithful*
+//! operator graphs for the same model catalog (Table I plus the LLaMA-13B
+//! case study): every model is described by its layer shapes, and the
+//! resulting [`neuisa::TensorOperator`] sequences reproduce the
+//! characteristics the evaluation depends on — which models are ME-intensive
+//! versus VE-intensive (Fig. 2, Fig. 4), how utilization fluctuates over an
+//! inference (Fig. 5) and how much HBM bandwidth each model consumes (Fig. 7).
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::{ModelId, InferenceGraph};
+//!
+//! let graph = InferenceGraph::build(ModelId::Bert, 8);
+//! assert!(graph.operators().len() > 10);
+//! assert!(graph.hbm_footprint_bytes() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod models;
+pub mod profile;
+pub mod request;
+pub mod suite;
+
+pub use graph::InferenceGraph;
+pub use profile::{DemandSample, WorkloadProfile};
+pub use request::{ArrivalProcess, RequestStream};
+pub use suite::{
+    collocation_pairs, llm_pairs, memory_intensive_pairs, model_catalog, ContentionLevel,
+    ModelCategory, ModelId, ModelInfo, WorkloadPair,
+};

@@ -1,0 +1,234 @@
+//! Object-detection & segmentation models: Mask-RCNN, RetinaNet and ShapeMask.
+//!
+//! All three run a convolutional backbone over large images, a feature-pyramid
+//! network and dense prediction heads — heavily ME-intensive — plus proposal /
+//! non-maximum-suppression style post-processing on the vector engines.
+
+use neuisa::{Activation, TensorOperator};
+
+use super::{conv, elementwise, matmul_act, softmax};
+
+/// Mask-RCNN at 1024×1024 inputs: ResNet-50 backbone + FPN + RPN + RoI box and
+/// mask heads. The largest workload of Table I (hundreds of milliseconds per
+/// batch-8 inference).
+pub fn mask_rcnn(batch: u64) -> Vec<TensorOperator> {
+    let mut ops = backbone("mrcnn", batch, 256 * 256);
+    ops.extend(fpn("mrcnn", batch, 256, 128 * 128));
+
+    // Region proposal network over each pyramid level.
+    for level in 0..5u64 {
+        let hw = (128 * 128) >> (2 * level);
+        ops.push(conv(
+            format!("mrcnn.rpn{level}.conv"),
+            batch,
+            256,
+            256,
+            hw.max(16),
+            9,
+        ));
+        ops.push(elementwise(
+            format!("mrcnn.rpn{level}.objectness"),
+            batch * 3 * hw.max(16),
+            4,
+        ));
+    }
+    // Proposal selection / NMS: sorting-like VE work.
+    ops.push(elementwise("mrcnn.proposal_nms", batch * 1000 * 64, 8));
+
+    // RoI box head: 1000 RoIs × (7×7×256 → 1024 → 1024).
+    let rois = batch * 1000;
+    ops.push(matmul_act("mrcnn.box_fc1", rois, 7 * 7 * 256, 1024, Activation::Relu));
+    ops.push(matmul_act("mrcnn.box_fc2", rois, 1024, 1024, Activation::Relu));
+    ops.push(matmul_act("mrcnn.box_cls", rois, 1024, 91, Activation::None));
+    ops.push(softmax("mrcnn.box_softmax", rois * 91));
+    ops.push(elementwise("mrcnn.box_decode", rois * 4 * 91, 6));
+
+    // Mask head: 100 detections × four 3×3 convs at 14×14 plus deconv.
+    let det = batch * 100;
+    for i in 0..4 {
+        ops.push(conv(format!("mrcnn.mask_conv{i}"), det, 256, 256, 14 * 14, 9));
+        ops.push(elementwise(format!("mrcnn.mask_relu{i}"), det * 256 * 14 * 14, 1));
+    }
+    ops.push(conv("mrcnn.mask_deconv", det, 256, 256, 28 * 28, 4));
+    ops.push(elementwise("mrcnn.mask_sigmoid", det * 91 * 28 * 28, 3));
+    ops
+}
+
+/// RetinaNet at 640×640 inputs: ResNet backbone + FPN + dense class/box heads.
+pub fn retinanet(batch: u64) -> Vec<TensorOperator> {
+    let mut ops = backbone("rtnt", batch, 160 * 160);
+    ops.extend(fpn("rtnt", batch, 256, 80 * 80));
+    // Dense heads: four 3×3 convs for classification and regression per level.
+    for level in 0..5u64 {
+        let hw = ((80 * 80) >> (2 * level)).max(25);
+        for head in ["cls", "box"] {
+            for i in 0..4 {
+                ops.push(conv(
+                    format!("rtnt.{head}{level}.conv{i}"),
+                    batch,
+                    256,
+                    256,
+                    hw,
+                    9,
+                ));
+                ops.push(elementwise(
+                    format!("rtnt.{head}{level}.relu{i}"),
+                    batch * 256 * hw,
+                    1,
+                ));
+            }
+            ops.push(conv(
+                format!("rtnt.{head}{level}.predict"),
+                batch,
+                256,
+                9 * 91,
+                hw,
+                9,
+            ));
+        }
+    }
+    ops.push(elementwise("rtnt.decode_nms", batch * 1000 * 64, 8));
+    ops
+}
+
+/// ShapeMask at 640×640 inputs: RetinaNet-style detector plus a coarse mask
+/// branch with fine-grained refinement.
+pub fn shapemask(batch: u64) -> Vec<TensorOperator> {
+    let mut ops = backbone("smask", batch, 160 * 160);
+    ops.extend(fpn("smask", batch, 256, 80 * 80));
+    for level in 0..5u64 {
+        let hw = ((80 * 80) >> (2 * level)).max(25);
+        for i in 0..4 {
+            ops.push(conv(format!("smask.head{level}.conv{i}"), batch, 256, 256, hw, 9));
+            ops.push(elementwise(
+                format!("smask.head{level}.relu{i}"),
+                batch * 256 * hw,
+                1,
+            ));
+        }
+    }
+    // Coarse mask estimation + fine mask refinement on sampled instances.
+    let instances = batch * 200;
+    ops.push(matmul_act("smask.prior_fc", instances, 32 * 32, 512, Activation::Relu));
+    for i in 0..4 {
+        ops.push(conv(format!("smask.fine_conv{i}"), instances, 128, 128, 32 * 32, 9));
+        ops.push(elementwise(format!("smask.fine_relu{i}"), instances * 128 * 32 * 32, 1));
+    }
+    ops.push(elementwise("smask.mask_sigmoid", instances * 32 * 32, 3));
+    ops.push(elementwise("smask.nms", batch * 1000 * 64, 8));
+    ops
+}
+
+/// A ResNet-50 style backbone where `base_hw` is the spatial size of the first
+/// stage's output feature map.
+fn backbone(prefix: &str, batch: u64, base_hw: u64) -> Vec<TensorOperator> {
+    let mut ops = Vec::new();
+    ops.push(conv(format!("{prefix}.stem"), batch, 3, 64, base_hw, 49));
+    ops.push(elementwise(format!("{prefix}.stem.bnrelu"), batch * 64 * base_hw, 2));
+    let stages: [(u64, u64, u64, u64); 4] = [
+        (3, 64, 256, base_hw),
+        (4, 128, 512, base_hw / 4),
+        (6, 256, 1024, base_hw / 16),
+        (3, 512, 2048, base_hw / 64),
+    ];
+    for (stage, (repeats, mid, out, hw)) in stages.iter().enumerate() {
+        for block in 0..*repeats {
+            let name = |s: &str| format!("{prefix}.c{stage}.b{block}.{s}");
+            let cin = if block == 0 { out / 2 } else { *out };
+            ops.push(conv(name("conv1x1a"), batch, cin, *mid, *hw, 1));
+            ops.push(elementwise(name("bnrelu_a"), batch * mid * hw, 2));
+            ops.push(conv(name("conv3x3"), batch, *mid, *mid, *hw, 9));
+            ops.push(elementwise(name("bnrelu_b"), batch * mid * hw, 2));
+            ops.push(conv(name("conv1x1b"), batch, *mid, *out, *hw, 1));
+            ops.push(elementwise(name("residual"), batch * out * hw, 3));
+        }
+    }
+    ops
+}
+
+/// A feature pyramid network over the backbone outputs.
+fn fpn(prefix: &str, batch: u64, channels: u64, top_hw: u64) -> Vec<TensorOperator> {
+    let mut ops = Vec::new();
+    for level in 0..5u64 {
+        let hw = (top_hw >> (2 * level)).max(25);
+        ops.push(conv(
+            format!("{prefix}.fpn{level}.lateral"),
+            batch,
+            2048 >> level.min(3),
+            channels,
+            hw,
+            1,
+        ));
+        ops.push(conv(
+            format!("{prefix}.fpn{level}.output"),
+            batch,
+            channels,
+            channels,
+            hw,
+            9,
+        ));
+        ops.push(elementwise(
+            format!("{prefix}.fpn{level}.merge"),
+            batch * channels * hw,
+            2,
+        ));
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuisa::compiler::{Compiler, CompilerOptions};
+    use npu_sim::NpuConfig;
+
+    fn me_ve_bytes(ops: &[TensorOperator]) -> (u64, u64, u64) {
+        let compiler = Compiler::new(&NpuConfig::tpu_v4_like(), CompilerOptions::default());
+        let mut me = 0;
+        let mut ve = 0;
+        let mut bytes = 0;
+        for op in ops {
+            let c = compiler.cost_model().operator_cost(op);
+            me += c.me_cycles.get();
+            ve += c.ve_cycles.get();
+            bytes += c.hbm_bytes;
+        }
+        (me, ve, bytes)
+    }
+
+    #[test]
+    fn detection_models_are_me_intensive() {
+        for (name, ops) in [
+            ("mask_rcnn", mask_rcnn(8)),
+            ("retinanet", retinanet(8)),
+            ("shapemask", shapemask(8)),
+        ] {
+            let (me, ve, _) = me_ve_bytes(&ops);
+            assert!(me > 2 * ve, "{name} should be ME-intensive ({me} vs {ve})");
+        }
+    }
+
+    #[test]
+    fn mask_rcnn_is_the_largest_workload() {
+        let (mrcnn, _, _) = me_ve_bytes(&mask_rcnn(8));
+        let (rtnt, _, _) = me_ve_bytes(&retinanet(8));
+        let (smask, _, _) = me_ve_bytes(&shapemask(8));
+        assert!(mrcnn > rtnt);
+        assert!(mrcnn > smask);
+    }
+
+    #[test]
+    fn graphs_contain_post_processing_ve_work() {
+        assert!(mask_rcnn(8).iter().any(|o| o.name().contains("nms")));
+        assert!(retinanet(8).iter().any(|o| o.name().contains("nms")));
+        assert!(shapemask(8).iter().any(|o| o.name().contains("nms")));
+    }
+
+    #[test]
+    fn operator_counts_are_bounded() {
+        for ops in [mask_rcnn(8), retinanet(8), shapemask(8)] {
+            assert!(ops.len() > 50);
+            assert!(ops.len() < 400);
+        }
+    }
+}

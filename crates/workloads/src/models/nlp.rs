@@ -1,0 +1,174 @@
+//! Natural-language models: BERT, Transformer and the LLaMA-13B case study.
+
+use neuisa::{Activation, TensorOperator};
+
+use super::{embedding, layernorm, matmul, matmul_act, softmax};
+
+/// BERT-large question answering (MLPerf BERT): 24 encoder layers, hidden
+/// size 1024, feed-forward 4096, sequence length 384.
+pub fn bert(batch: u64) -> Vec<TensorOperator> {
+    transformer_encoder_stack("bert", batch, 24, 1024, 4096, 384)
+}
+
+/// Transformer translation model (TPU reference model): 6 encoder + 6 decoder
+/// layers, hidden 1024, feed-forward 4096, sequence length 256, plus the
+/// output vocabulary projection which makes it noticeably more ME-intensive
+/// per token than BERT.
+pub fn transformer(batch: u64) -> Vec<TensorOperator> {
+    let hidden = 1024;
+    let seq = 256;
+    let vocab = 32_000;
+    let mut ops = Vec::new();
+    ops.push(embedding(
+        "tfmr.embed",
+        batch * seq * hidden * 2,
+        batch * seq * hidden,
+    ));
+    ops.extend(transformer_encoder_stack("tfmr.enc", batch, 6, hidden, 4096, seq));
+    ops.extend(transformer_encoder_stack("tfmr.dec", batch, 6, hidden, 4096, seq));
+    ops.push(matmul("tfmr.vocab_proj", batch * seq, hidden, vocab));
+    ops.push(softmax("tfmr.vocab_softmax", batch * seq * vocab));
+    ops
+}
+
+/// LLaMA-2-13B autoregressive decoding (§V-F case study): 40 decoder layers,
+/// hidden 5120, feed-forward 13824, batch 8, input sequence 512.
+///
+/// Decode-phase GEMVs are bandwidth-bound: every generated token re-streams
+/// the layer weights from HBM and reads the KV cache, while the matrix work
+/// per token is tiny (`m = batch`). We model the weight/KV streaming as
+/// explicit memory operators so the MEs are genuinely idle while the model is
+/// bandwidth-bound — exactly the behaviour Fig. 27 exploits via harvesting.
+pub fn llama(batch: u64) -> Vec<TensorOperator> {
+    let hidden: u64 = 5120;
+    let ffn: u64 = 13_824;
+    let layers = 40;
+    let prefill_seq = 512;
+    let decode_tokens = 8;
+    let mut ops = Vec::new();
+
+    // Prefill: one pass over the prompt, expressed at a coarse granularity
+    // (four fused super-layers) to keep the operator count manageable.
+    for chunk in 0..4 {
+        let name = format!("llama.prefill{chunk}");
+        let layers_per_chunk = layers / 4;
+        ops.push(matmul_act(
+            format!("{name}.qkvo"),
+            batch * prefill_seq,
+            hidden,
+            4 * hidden * layers_per_chunk / 4,
+            Activation::None,
+        ));
+        ops.push(softmax(
+            format!("{name}.attn_softmax"),
+            batch * 40 * prefill_seq * prefill_seq / 4,
+        ));
+        ops.push(matmul_act(
+            format!("{name}.ffn"),
+            batch * prefill_seq,
+            hidden,
+            ffn * layers_per_chunk / 4,
+            Activation::Gelu,
+        ));
+        ops.push(layernorm(
+            format!("{name}.norm"),
+            batch * prefill_seq * hidden,
+        ));
+    }
+
+    // Decode: every token streams the full weights (~26 GB) and the KV cache.
+    let layer_weight_bytes = (4 * hidden * hidden + 3 * hidden * ffn) * 2;
+    let kv_bytes_per_layer = 2 * batch * prefill_seq * hidden * 2;
+    for token in 0..decode_tokens {
+        for layer_chunk in 0..8 {
+            let name = format!("llama.decode{token}.chunk{layer_chunk}");
+            let chunk_layers = layers / 8;
+            // Weight + KV-cache streaming: pure HBM traffic.
+            ops.push(embedding(
+                format!("{name}.weight_stream"),
+                (layer_weight_bytes + kv_bytes_per_layer) * chunk_layers,
+                batch * hidden,
+            ));
+            // The GEMV compute for the chunk (m = batch rows).
+            ops.push(matmul(
+                format!("{name}.gemv"),
+                batch,
+                hidden,
+                (4 * hidden + 3 * ffn) * chunk_layers / 8,
+            ));
+            // Attention softmax + residual/norm work on the VE.
+            ops.push(softmax(format!("{name}.softmax"), batch * 40 * prefill_seq));
+            ops.push(layernorm(format!("{name}.norm"), batch * hidden * chunk_layers));
+        }
+    }
+    ops
+}
+
+/// A stack of standard transformer encoder layers.
+fn transformer_encoder_stack(
+    prefix: &str,
+    batch: u64,
+    layers: u64,
+    hidden: u64,
+    ffn: u64,
+    seq: u64,
+) -> Vec<TensorOperator> {
+    let tokens = batch * seq;
+    let mut ops = Vec::new();
+    for layer in 0..layers {
+        let name = |stage: &str| format!("{prefix}.l{layer}.{stage}");
+        // Fused QKV projection.
+        ops.push(matmul(name("qkv"), tokens, hidden, 3 * hidden));
+        // Attention scores (equivalent-FLOP GEMM: tokens × hidden × seq).
+        ops.push(matmul(name("scores"), tokens, hidden, seq));
+        ops.push(softmax(name("softmax"), tokens * seq));
+        // Attention context and output projection.
+        ops.push(matmul(name("context"), tokens, seq, hidden));
+        ops.push(matmul(name("proj"), tokens, hidden, hidden));
+        ops.push(layernorm(name("ln1"), tokens * hidden));
+        // Feed-forward block with a fused GELU.
+        ops.push(matmul_act(name("ffn1"), tokens, hidden, ffn, Activation::Gelu));
+        ops.push(matmul(name("ffn2"), tokens, ffn, hidden));
+        ops.push(layernorm(name("ln2"), tokens * hidden));
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_has_nine_ops_per_layer() {
+        let ops = bert(8);
+        assert_eq!(ops.len(), 24 * 9);
+    }
+
+    #[test]
+    fn transformer_includes_vocab_projection() {
+        let ops = transformer(8);
+        assert!(ops.iter().any(|o| o.name().contains("vocab_proj")));
+        assert!(ops.len() > 100);
+    }
+
+    #[test]
+    fn llama_is_dominated_by_weight_streaming_bytes() {
+        let ops = llama(8);
+        let stream_bytes: u64 = ops
+            .iter()
+            .filter(|o| o.name().contains("weight_stream"))
+            .map(|o| o.hbm_bytes())
+            .sum();
+        let total_bytes: u64 = ops.iter().map(|o| o.hbm_bytes()).sum();
+        assert!(stream_bytes * 2 > total_bytes, "decode streaming should dominate");
+        // Eight decode tokens re-stream roughly the full 26 GB of weights.
+        assert!(stream_bytes > 8 * 20 * 1024 * 1024 * 1024_u64);
+    }
+
+    #[test]
+    fn bert_scales_with_batch() {
+        let b8: u64 = bert(8).iter().map(|o| o.hbm_bytes()).sum();
+        let b32: u64 = bert(32).iter().map(|o| o.hbm_bytes()).sum();
+        assert!(b32 > b8);
+    }
+}

@@ -1,0 +1,173 @@
+//! Recommendation models: DLRM and NCF.
+//!
+//! Both models are dominated by embedding-table gathers (HBM traffic) and
+//! element-wise feature processing on the vector engines; their matrix work is
+//! limited to small MLPs. This is what makes them the canonical VE-intensive
+//! workloads of the paper (Fig. 4 intensity ratio ≪ 1, high HBM bandwidth in
+//! Fig. 7).
+
+use neuisa::{Activation, TensorOperator};
+
+use super::{elementwise, embedding, matmul_act};
+
+/// DLRM (MLPerf recommendation): 26 sparse features gathered from large
+/// embedding tables, a bottom MLP for dense features, pairwise feature
+/// interaction and a top MLP.
+pub fn dlrm(batch: u64) -> Vec<TensorOperator> {
+    let embedding_dim: u64 = 128;
+    let sparse_features: u64 = 26;
+    let mut ops = Vec::new();
+
+    // Embedding gathers: each sample touches `sparse_features` tables with
+    // multi-hot lookups (~64 rows pooled per feature). The gathered bytes per
+    // sample (~2 MB) reflect the multi-hot pooling traffic the paper measures
+    // (~500 GB/s at batch 8 over a ~150 µs inference).
+    let bytes_per_sample: u64 = 2 * 1024 * 1024;
+    let pooled_rows_per_feature: u64 = 64;
+    for table_group in 0..4 {
+        ops.push(embedding(
+            format!("dlrm.emb{table_group}"),
+            batch * bytes_per_sample / 4,
+            batch * sparse_features * pooled_rows_per_feature * embedding_dim / 4,
+        ));
+        // Pooling and per-feature normalization on the VE.
+        ops.push(elementwise(
+            format!("dlrm.pool{table_group}"),
+            batch * sparse_features * embedding_dim,
+            4,
+        ));
+    }
+
+    // Bottom MLP over the 13 dense features.
+    for (i, (k, n)) in [(13u64, 512u64), (512, 256), (256, 128)].iter().enumerate() {
+        ops.push(matmul_act(
+            format!("dlrm.bot_mlp{i}"),
+            batch,
+            *k,
+            *n,
+            Activation::Relu,
+        ));
+    }
+
+    // Pairwise feature interaction: dot products between the 27 feature
+    // vectors of every sample, plus concatenation — pure VE work.
+    ops.push(elementwise(
+        "dlrm.interaction",
+        batch * 27 * 27 * embedding_dim,
+        2,
+    ));
+
+    // Top MLP.
+    for (i, (k, n)) in [(479u64, 1024u64), (1024, 1024), (1024, 512), (512, 256), (256, 1)]
+        .iter()
+        .enumerate()
+    {
+        ops.push(matmul_act(
+            format!("dlrm.top_mlp{i}"),
+            batch,
+            *k,
+            *n,
+            Activation::Relu,
+        ));
+    }
+    ops.push(elementwise("dlrm.sigmoid", batch, 3));
+    ops
+}
+
+/// NCF (neural collaborative filtering): user/item embedding lookups followed
+/// by an MLP scored over a candidate set per user.
+pub fn ncf(batch: u64) -> Vec<TensorOperator> {
+    let candidates: u64 = 100;
+    let embedding_dim: u64 = 64;
+    let rows = batch * candidates;
+    let mut ops = Vec::new();
+
+    // User and item embedding gathers (tables are ~10 GB resident). Each
+    // user pulls the embeddings of its interaction history alongside the
+    // candidate items, so the gather volume is far larger than the MLP input.
+    let bytes_per_sample: u64 = 512 * 1024;
+    let history_rows: u64 = 32;
+    ops.push(embedding(
+        "ncf.user_emb",
+        batch * bytes_per_sample / 2,
+        batch * history_rows * candidates * embedding_dim / 2,
+    ));
+    ops.push(embedding(
+        "ncf.item_emb",
+        batch * bytes_per_sample / 2,
+        batch * history_rows * candidates * embedding_dim / 2,
+    ));
+    // GMF element-wise product branch.
+    ops.push(elementwise("ncf.gmf", rows * embedding_dim, 2));
+
+    // MLP branch over the concatenated embeddings (NCF uses narrow layers).
+    for (i, (k, n)) in [(128u64, 64u64), (64, 32), (32, 16)].iter().enumerate() {
+        ops.push(matmul_act(
+            format!("ncf.mlp{i}"),
+            rows,
+            *k,
+            *n,
+            Activation::Relu,
+        ));
+    }
+
+    // Fusion of the two branches and final score.
+    ops.push(elementwise("ncf.concat", rows * 128, 1));
+    ops.push(matmul_act("ncf.predict", rows, 80, 1, Activation::Sigmoid));
+    ops.push(elementwise("ncf.topk", rows * 8, 4));
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuisa::compiler::{Compiler, CompilerOptions};
+    use npu_sim::NpuConfig;
+
+    fn totals(ops: &[TensorOperator]) -> (u64, u64, u64) {
+        let compiler = Compiler::new(&NpuConfig::tpu_v4_like(), CompilerOptions::default());
+        let mut me = 0;
+        let mut ve = 0;
+        let mut bytes = 0;
+        for op in ops {
+            let c = compiler.cost_model().operator_cost(op);
+            me += c.me_cycles.get();
+            ve += c.ve_cycles.get();
+            bytes += c.hbm_bytes;
+        }
+        (me, ve, bytes)
+    }
+
+    #[test]
+    fn dlrm_is_ve_intensive() {
+        let (me, ve, bytes) = totals(&dlrm(8));
+        assert!(ve > me, "DLRM should have more VE than ME work");
+        assert!(bytes > 8 * 1024 * 1024, "DLRM should move substantial HBM bytes");
+    }
+
+    #[test]
+    fn ncf_is_ve_intensive_but_smaller_than_dlrm() {
+        let (me, ve, _) = totals(&ncf(8));
+        assert!(ve > me);
+        let (_, _, dlrm_bytes) = totals(&dlrm(8));
+        let (_, _, ncf_bytes) = totals(&ncf(8));
+        assert!(dlrm_bytes > ncf_bytes);
+    }
+
+    #[test]
+    fn both_models_scale_with_batch() {
+        for build in [dlrm as fn(u64) -> Vec<TensorOperator>, ncf] {
+            let (_, _, small) = totals(&build(8));
+            let (_, _, large) = totals(&build(32));
+            assert!(large > small);
+        }
+    }
+
+    #[test]
+    fn dlrm_still_has_some_me_work() {
+        // §II-B: even VE-intensive recommendation models spend ≥20% of their
+        // time in ME-heavy MLP computation.
+        let (me, _, _) = totals(&dlrm(8));
+        assert!(me > 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Image-classification models: MNIST, ResNet, ResNet-RS and EfficientNet.
+
+use neuisa::{Activation, TensorOperator};
+
+use super::{conv, elementwise, matmul_act, softmax};
+
+/// The tiny MNIST MLP classifier (Table I: ~10 MB footprint).
+pub fn mnist(batch: u64) -> Vec<TensorOperator> {
+    vec![
+        matmul_act("mnist.fc1", batch, 784, 512, Activation::Relu),
+        matmul_act("mnist.fc2", batch, 512, 256, Activation::Relu),
+        matmul_act("mnist.fc3", batch, 256, 10, Activation::None),
+        softmax("mnist.softmax", batch * 10),
+    ]
+}
+
+/// ResNet-50 image classification at 224×224: convolution-dominated and
+/// therefore strongly ME-intensive (Fig. 4).
+pub fn resnet(batch: u64) -> Vec<TensorOperator> {
+    let mut ops = Vec::new();
+    ops.push(conv("resnet.conv1", batch, 3, 64, 112 * 112, 49));
+    ops.push(elementwise("resnet.conv1.bnrelu", batch * 64 * 112 * 112, 2));
+    ops.extend(resnet_stage("resnet.l1", batch, 3, 64, 256, 56 * 56));
+    ops.extend(resnet_stage("resnet.l2", batch, 4, 128, 512, 28 * 28));
+    ops.extend(resnet_stage("resnet.l3", batch, 6, 256, 1024, 14 * 14));
+    ops.extend(resnet_stage("resnet.l4", batch, 3, 512, 2048, 7 * 7));
+    ops.push(elementwise("resnet.avgpool", batch * 2048 * 49, 1));
+    ops.push(matmul_act("resnet.fc", batch, 2048, 1000, Activation::None));
+    ops.push(softmax("resnet.softmax", batch * 1000));
+    ops
+}
+
+/// ResNet-RS: a deeper / wider ResNet variant operating on larger inputs —
+/// roughly 2–3× the compute of ResNet-50.
+pub fn resnet_rs(batch: u64) -> Vec<TensorOperator> {
+    let mut ops = Vec::new();
+    ops.push(conv("rnrs.conv1", batch, 3, 64, 160 * 160, 49));
+    ops.push(elementwise("rnrs.conv1.bnrelu", batch * 64 * 160 * 160, 2));
+    ops.extend(resnet_stage("rnrs.l1", batch, 3, 64, 256, 80 * 80));
+    ops.extend(resnet_stage("rnrs.l2", batch, 6, 128, 512, 40 * 40));
+    ops.extend(resnet_stage("rnrs.l3", batch, 12, 256, 1024, 20 * 20));
+    ops.extend(resnet_stage("rnrs.l4", batch, 4, 512, 2048, 10 * 10));
+    ops.push(elementwise("rnrs.avgpool", batch * 2048 * 100, 1));
+    ops.push(matmul_act("rnrs.fc", batch, 2048, 1000, Activation::None));
+    ops.push(softmax("rnrs.softmax", batch * 1000));
+    ops
+}
+
+/// EfficientNet: inverted-bottleneck (MBConv) blocks mixing point-wise
+/// convolutions (ME work) with depth-wise convolutions and squeeze-excite
+/// blocks (VE work), yielding the balanced ME/VE intensity ratio of Fig. 4.
+pub fn efficientnet(batch: u64) -> Vec<TensorOperator> {
+    let mut ops = Vec::new();
+    ops.push(conv("enet.stem", batch, 3, 32, 112 * 112, 9));
+    ops.push(elementwise("enet.stem.swish", batch * 32 * 112 * 112, 3));
+    let blocks: [(u64, u64, u64, u64); 7] = [
+        // (repeats, in_channels, out_channels, output_hw)
+        (2, 32, 24, 112 * 112),
+        (2, 24, 40, 56 * 56),
+        (3, 40, 80, 28 * 28),
+        (3, 80, 112, 14 * 14),
+        (4, 112, 192, 14 * 14),
+        (4, 192, 320, 7 * 7),
+        (1, 320, 1280, 7 * 7),
+    ];
+    for (stage, (repeats, cin, cout, hw)) in blocks.iter().enumerate() {
+        for rep in 0..*repeats {
+            let name = |s: &str| format!("enet.s{stage}.b{rep}.{s}");
+            let expanded = cin * 6;
+            // Expansion point-wise conv (ME).
+            ops.push(conv(name("expand"), batch, *cin, expanded, *hw, 1));
+            // Depth-wise conv: low arithmetic intensity, runs on the VEs.
+            ops.push(elementwise(name("dwconv"), batch * expanded * hw, 9));
+            // Squeeze-and-excite: global pool + two tiny FCs + scale.
+            ops.push(elementwise(name("se.pool"), batch * expanded * hw, 1));
+            ops.push(matmul_act(name("se.fc1"), batch, expanded, expanded / 4, Activation::Sigmoid));
+            ops.push(matmul_act(name("se.fc2"), batch, expanded / 4, expanded, Activation::Sigmoid));
+            ops.push(elementwise(name("se.scale"), batch * expanded * hw, 1));
+            // Projection point-wise conv (ME).
+            ops.push(conv(name("project"), batch, expanded, *cout, *hw, 1));
+            ops.push(elementwise(name("swish"), batch * cout * hw, 3));
+        }
+    }
+    ops.push(matmul_act("enet.fc", batch, 1280, 1000, Activation::None));
+    ops.push(softmax("enet.softmax", batch * 1000));
+    ops
+}
+
+/// One ResNet bottleneck stage: `repeats` blocks of 1×1 / 3×3 / 1×1
+/// convolutions with fused batch-norm + ReLU element-wise work.
+fn resnet_stage(
+    prefix: &str,
+    batch: u64,
+    repeats: u64,
+    mid_channels: u64,
+    out_channels: u64,
+    output_hw: u64,
+) -> Vec<TensorOperator> {
+    let mut ops = Vec::new();
+    for block in 0..repeats {
+        let name = |s: &str| format!("{prefix}.b{block}.{s}");
+        let in_channels = if block == 0 { out_channels / 2 } else { out_channels };
+        ops.push(conv(name("conv1x1a"), batch, in_channels, mid_channels, output_hw, 1));
+        ops.push(elementwise(name("bnrelu_a"), batch * mid_channels * output_hw, 2));
+        ops.push(conv(name("conv3x3"), batch, mid_channels, mid_channels, output_hw, 9));
+        ops.push(elementwise(name("bnrelu_b"), batch * mid_channels * output_hw, 2));
+        ops.push(conv(name("conv1x1b"), batch, mid_channels, out_channels, output_hw, 1));
+        ops.push(elementwise(name("residual"), batch * out_channels * output_hw, 3));
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neuisa::compiler::{Compiler, CompilerOptions};
+    use npu_sim::NpuConfig;
+
+    fn me_ve(ops: &[TensorOperator]) -> (u64, u64) {
+        let compiler = Compiler::new(&NpuConfig::tpu_v4_like(), CompilerOptions::default());
+        let mut me = 0;
+        let mut ve = 0;
+        for op in ops {
+            let c = compiler.cost_model().operator_cost(op);
+            me += c.me_cycles.get();
+            ve += c.ve_cycles.get();
+        }
+        (me, ve)
+    }
+
+    #[test]
+    fn mnist_is_tiny() {
+        let ops = mnist(8);
+        assert_eq!(ops.len(), 4);
+        let total_bytes: u64 = ops.iter().map(|o| o.hbm_bytes()).sum();
+        assert!(total_bytes < 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn resnet_is_me_dominated() {
+        let (me, ve) = me_ve(&resnet(32));
+        assert!(me > 4 * ve, "ResNet ME/VE ratio too low: {me}/{ve}");
+    }
+
+    #[test]
+    fn resnet_rs_is_heavier_than_resnet() {
+        let (me_rs, _) = me_ve(&resnet_rs(8));
+        let (me, _) = me_ve(&resnet(8));
+        assert!(me_rs > me);
+    }
+
+    #[test]
+    fn efficientnet_is_balanced() {
+        let (me, ve) = me_ve(&efficientnet(32));
+        let ratio = me as f64 / ve.max(1) as f64;
+        assert!(ratio > 0.2 && ratio < 20.0, "EfficientNet ratio {ratio}");
+    }
+
+    #[test]
+    fn stage_block_counts_follow_resnet50() {
+        // 3+4+6+3 bottleneck blocks of 6 operators each, plus the stem conv,
+        // its batch-norm, average pooling, the FC layer and the softmax.
+        let ops = resnet(8);
+        assert_eq!(ops.len(), (3 + 4 + 6 + 3) * 6 + 5);
+    }
+}

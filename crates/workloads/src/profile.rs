@@ -1,0 +1,333 @@
+//! Workload characterization (the §II-B study).
+//!
+//! [`WorkloadProfile`] reproduces the analyses behind the motivation figures:
+//! the number of MEs/VEs demanded by each operator over time (Fig. 2–3), the
+//! ME/VE intensity ratio (Fig. 4), the ME/VE utilization of a solo run
+//! (Fig. 5), the HBM bandwidth over time (Fig. 7), and the `m`/`v` active
+//! ratios that feed the vNPU allocator of §III-B.
+
+use neuisa::compiler::{Compiler, CompilerOptions};
+use npu_sim::{Cycles, NpuConfig};
+
+use crate::graph::InferenceGraph;
+use crate::suite::ModelId;
+
+/// Per-operator profiling record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandSample {
+    /// Operator name.
+    pub name: String,
+    /// Start of the operator in the solo-run timeline.
+    pub start: Cycles,
+    /// Duration of the operator in the solo-run timeline.
+    pub duration: Cycles,
+    /// Number of MEs the compiler assigns to the operator.
+    pub demanded_mes: usize,
+    /// Number of VEs the operator needs to keep pace.
+    pub demanded_ves: usize,
+    /// Total ME work of the operator.
+    pub me_cycles: Cycles,
+    /// Total VE work of the operator.
+    pub ve_cycles: Cycles,
+    /// HBM bytes moved by the operator.
+    pub hbm_bytes: u64,
+}
+
+impl DemandSample {
+    /// ME utilization of the whole core (with `nx` MEs) while this operator runs.
+    pub fn me_utilization(&self, nx: usize) -> f64 {
+        if self.duration.is_zero() || nx == 0 {
+            return 0.0;
+        }
+        (self.me_cycles.get() as f64 / (self.duration.get() as f64 * nx as f64)).min(1.0)
+    }
+
+    /// VE utilization of the whole core (with `ny` VEs) while this operator runs.
+    pub fn ve_utilization(&self, ny: usize) -> f64 {
+        if self.duration.is_zero() || ny == 0 {
+            return 0.0;
+        }
+        (self.ve_cycles.get() as f64 / (self.duration.get() as f64 * ny as f64)).min(1.0)
+    }
+
+    /// Achieved HBM bandwidth (bytes/second) while this operator runs.
+    pub fn hbm_bandwidth(&self, config: &NpuConfig) -> f64 {
+        let secs = config.frequency.cycles_to_time(self.duration).as_secs();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        (self.hbm_bytes as f64 / secs).min(config.hbm_bandwidth_bytes_per_sec)
+    }
+}
+
+/// The characterization of one model at one batch size.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    model: ModelId,
+    batch_size: u64,
+    samples: Vec<DemandSample>,
+    total_me_cycles: Cycles,
+    total_ve_cycles: Cycles,
+    total_hbm_bytes: u64,
+    /// Solo-run makespan on a full core.
+    makespan: Cycles,
+    /// ME active-time ratio when run on one ME and one VE (§III-B `m`).
+    me_active_ratio: f64,
+    /// VE active-time ratio when run on one ME and one VE (§III-B `v`).
+    ve_active_ratio: f64,
+}
+
+impl WorkloadProfile {
+    /// Profiles `model` at `batch_size` on the core described by `config`.
+    pub fn analyze(model: ModelId, batch_size: u64, config: &NpuConfig) -> Self {
+        let graph = InferenceGraph::build(model, batch_size);
+        WorkloadProfile::analyze_graph(&graph, config)
+    }
+
+    /// Profiles an already-built inference graph.
+    pub fn analyze_graph(graph: &InferenceGraph, config: &NpuConfig) -> Self {
+        let compiler = Compiler::new(config, CompilerOptions::default());
+        let operators = compiler.preprocess(graph.operators().to_vec());
+        let ny = config.ves_per_core;
+        let peak_bw = config.hbm_bandwidth_bytes_per_sec;
+
+        let mut samples = Vec::with_capacity(operators.len());
+        let mut cursor = Cycles::ZERO;
+        let mut total_me = 0u64;
+        let mut total_ve = 0u64;
+        let mut total_bytes = 0u64;
+        let mut single_engine_span = 0u64;
+
+        for op in &operators {
+            let compiled = compiler.compile_operator(op);
+            let me_cycles = compiled.cost.me_cycles;
+            let ve_cycles = compiled.cost.ve_cycles;
+            let hbm_bytes = compiled.cost.hbm_bytes;
+            let hbm_cycles = config.frequency.bytes_to_cycles(hbm_bytes, peak_bw);
+
+            // Solo run on the full core: the compiler's ME assignment plus
+            // enough VEs to keep pace, bounded by the memory time.
+            let demanded_mes = compiled.plan.me_utops;
+            let me_span = if demanded_mes > 0 {
+                me_cycles.get().div_ceil(demanded_mes as u64)
+            } else {
+                0
+            };
+            let base_span = me_span.max(hbm_cycles.get()).max(1);
+            let demanded_ves = if ve_cycles.is_zero() {
+                0
+            } else if demanded_mes == 0 {
+                // Vector-only operator: use as many VEs as useful against the
+                // memory time.
+                let against_memory = ve_cycles.get().div_ceil(hbm_cycles.get().max(1));
+                (against_memory.max(1) as usize).min(ny)
+            } else {
+                (ve_cycles.get().div_ceil(base_span).max(1) as usize).min(ny)
+            };
+            let ve_span = if demanded_ves > 0 {
+                ve_cycles.get().div_ceil(demanded_ves as u64)
+            } else {
+                0
+            };
+            let duration = Cycles(me_span.max(ve_span).max(hbm_cycles.get()).max(1))
+                + compiled.overhead_cycles;
+
+            samples.push(DemandSample {
+                name: op.name().to_string(),
+                start: cursor,
+                duration,
+                demanded_mes,
+                demanded_ves,
+                me_cycles,
+                ve_cycles,
+                hbm_bytes,
+            });
+            cursor += duration;
+            total_me += me_cycles.get();
+            total_ve += ve_cycles.get();
+            total_bytes += hbm_bytes;
+            // 1 ME + 1 VE run (used for the m/v ratios of §III-B).
+            single_engine_span += me_cycles
+                .get()
+                .max(ve_cycles.get())
+                .max(hbm_cycles.get())
+                .max(1);
+        }
+
+        let me_active_ratio = if single_engine_span > 0 {
+            (total_me as f64 / single_engine_span as f64).min(1.0)
+        } else {
+            0.0
+        };
+        let ve_active_ratio = if single_engine_span > 0 {
+            (total_ve as f64 / single_engine_span as f64).min(1.0)
+        } else {
+            0.0
+        };
+
+        WorkloadProfile {
+            model: graph.model(),
+            batch_size: graph.batch_size(),
+            samples,
+            total_me_cycles: Cycles(total_me),
+            total_ve_cycles: Cycles(total_ve),
+            total_hbm_bytes: total_bytes,
+            makespan: cursor,
+            me_active_ratio,
+            ve_active_ratio,
+        }
+    }
+
+    /// The profiled model.
+    pub fn model(&self) -> ModelId {
+        self.model
+    }
+
+    /// The profiled batch size.
+    pub fn batch_size(&self) -> u64 {
+        self.batch_size
+    }
+
+    /// Per-operator records in execution order.
+    pub fn samples(&self) -> &[DemandSample] {
+        &self.samples
+    }
+
+    /// Total ME work of one request.
+    pub fn total_me_cycles(&self) -> Cycles {
+        self.total_me_cycles
+    }
+
+    /// Total VE work of one request.
+    pub fn total_ve_cycles(&self) -> Cycles {
+        self.total_ve_cycles
+    }
+
+    /// Total HBM traffic of one request.
+    pub fn total_hbm_bytes(&self) -> u64 {
+        self.total_hbm_bytes
+    }
+
+    /// Solo-run makespan of one request on a full core.
+    pub fn makespan(&self) -> Cycles {
+        self.makespan
+    }
+
+    /// The ME active-time ratio `m` of §III-B (run on one ME + one VE).
+    pub fn me_active_ratio(&self) -> f64 {
+        self.me_active_ratio
+    }
+
+    /// The VE active-time ratio `v` of §III-B (run on one ME + one VE).
+    pub fn ve_active_ratio(&self) -> f64 {
+        self.ve_active_ratio
+    }
+
+    /// The ME/VE intensity ratio of Fig. 4 (total ME time over total VE time).
+    pub fn intensity_ratio(&self) -> f64 {
+        if self.total_ve_cycles.is_zero() {
+            return f64::INFINITY;
+        }
+        self.total_me_cycles.get() as f64 / self.total_ve_cycles.get() as f64
+    }
+
+    /// Average HBM bandwidth of a solo run, in bytes per second.
+    pub fn average_hbm_bandwidth(&self, config: &NpuConfig) -> f64 {
+        let secs = config.frequency.cycles_to_time(self.makespan).as_secs();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_hbm_bytes as f64 / secs
+    }
+
+    /// Average ME utilization of a solo run on a core with `nx` MEs.
+    pub fn average_me_utilization(&self, nx: usize) -> f64 {
+        if self.makespan.is_zero() || nx == 0 {
+            return 0.0;
+        }
+        (self.total_me_cycles.get() as f64 / (self.makespan.get() as f64 * nx as f64)).min(1.0)
+    }
+
+    /// Average VE utilization of a solo run on a core with `ny` VEs.
+    pub fn average_ve_utilization(&self, ny: usize) -> f64 {
+        if self.makespan.is_zero() || ny == 0 {
+            return 0.0;
+        }
+        (self.total_ve_cycles.get() as f64 / (self.makespan.get() as f64 * ny as f64)).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> NpuConfig {
+        NpuConfig::tpu_v4_like()
+    }
+
+    #[test]
+    fn profile_covers_every_operator() {
+        let profile = WorkloadProfile::analyze(ModelId::Mnist, 8, &config());
+        assert!(!profile.samples().is_empty());
+        assert!(profile.makespan() > Cycles::ZERO);
+        // Samples tile the timeline without gaps.
+        let mut cursor = Cycles::ZERO;
+        for s in profile.samples() {
+            assert_eq!(s.start, cursor);
+            cursor += s.duration;
+        }
+        assert_eq!(cursor, profile.makespan());
+    }
+
+    #[test]
+    fn active_ratios_are_valid_fractions() {
+        for model in [ModelId::Bert, ModelId::Dlrm, ModelId::ResNet] {
+            let p = WorkloadProfile::analyze(model, 8, &config());
+            let (m, v) = (p.me_active_ratio(), p.ve_active_ratio());
+            assert!((0.0..=1.0).contains(&m), "{model}: m={m}");
+            assert!((0.0..=1.0).contains(&v), "{model}: v={v}");
+        }
+    }
+
+    #[test]
+    fn resnet_demands_more_mes_than_dlrm() {
+        let resnet = WorkloadProfile::analyze(ModelId::ResNet, 32, &config());
+        let dlrm = WorkloadProfile::analyze(ModelId::Dlrm, 32, &config());
+        assert!(resnet.me_active_ratio() > dlrm.me_active_ratio());
+        assert!(dlrm.ve_active_ratio() > dlrm.me_active_ratio());
+        assert!(resnet.intensity_ratio() > dlrm.intensity_ratio());
+    }
+
+    #[test]
+    fn demanded_engines_respect_core_limits() {
+        let cfg = config();
+        let p = WorkloadProfile::analyze(ModelId::Bert, 32, &cfg);
+        for s in p.samples() {
+            assert!(s.demanded_mes <= cfg.mes_per_core);
+            assert!(s.demanded_ves <= cfg.ves_per_core);
+            assert!(s.me_utilization(cfg.mes_per_core) <= 1.0);
+            assert!(s.ve_utilization(cfg.ves_per_core) <= 1.0);
+            assert!(s.hbm_bandwidth(&cfg) <= cfg.hbm_bandwidth_bytes_per_sec);
+        }
+    }
+
+    #[test]
+    fn single_request_utilization_is_below_full() {
+        // §II-B: a single inference workload cannot keep the whole core busy.
+        let cfg = config();
+        for model in [ModelId::Bert, ModelId::Dlrm, ModelId::EfficientNet] {
+            let p = WorkloadProfile::analyze(model, 8, &cfg);
+            let combined = p.average_me_utilization(cfg.mes_per_core)
+                + p.average_ve_utilization(cfg.ves_per_core);
+            assert!(combined < 1.8, "{model} is implausibly fully utilized");
+        }
+    }
+
+    #[test]
+    fn llama_average_bandwidth_is_high() {
+        let cfg = config();
+        let llama = WorkloadProfile::analyze(ModelId::Llama, 8, &cfg);
+        let bert = WorkloadProfile::analyze(ModelId::Bert, 8, &cfg);
+        assert!(llama.average_hbm_bandwidth(&cfg) > bert.average_hbm_bandwidth(&cfg));
+    }
+}

@@ -1,0 +1,146 @@
+//! Inference-request arrival generation.
+//!
+//! The paper's steady-state experiments run requests back to back (closed
+//! loop) until every collocated workload has completed a target number of
+//! requests. Open-loop Poisson arrivals are also provided for experiments
+//! that need bursty, cloud-like traffic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use npu_sim::Cycles;
+
+/// How inference requests arrive at a vNPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Closed loop: a fixed number of outstanding requests; a new request is
+    /// issued as soon as one completes. `concurrency` is the number of
+    /// requests in flight (1 reproduces the paper's setup).
+    ClosedLoop {
+        /// Number of requests kept in flight.
+        concurrency: usize,
+    },
+    /// Open loop: requests arrive with exponentially distributed gaps.
+    Poisson {
+        /// Mean inter-arrival gap in cycles.
+        mean_interarrival: Cycles,
+        /// RNG seed (experiments stay deterministic for a fixed seed).
+        seed: u64,
+    },
+}
+
+impl Default for ArrivalProcess {
+    fn default() -> Self {
+        ArrivalProcess::ClosedLoop { concurrency: 1 }
+    }
+}
+
+/// A generator of request arrival times.
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    process: ArrivalProcess,
+}
+
+impl RequestStream {
+    /// Creates a stream for the given arrival process.
+    pub fn new(process: ArrivalProcess) -> Self {
+        RequestStream { process }
+    }
+
+    /// The arrival process of this stream.
+    pub fn process(&self) -> ArrivalProcess {
+        self.process
+    }
+
+    /// Number of requests that should be outstanding at simulation start.
+    pub fn initial_outstanding(&self) -> usize {
+        match self.process {
+            ArrivalProcess::ClosedLoop { concurrency } => concurrency.max(1),
+            ArrivalProcess::Poisson { .. } => 0,
+        }
+    }
+
+    /// Whether a completed request immediately re-issues a new one.
+    pub fn reissue_on_completion(&self) -> bool {
+        matches!(self.process, ArrivalProcess::ClosedLoop { .. })
+    }
+
+    /// Generates the absolute arrival times of the first `count` open-loop
+    /// requests. Closed-loop streams return all-zero arrivals (the backlog is
+    /// available immediately).
+    pub fn arrival_times(&self, count: usize) -> Vec<Cycles> {
+        match self.process {
+            ArrivalProcess::ClosedLoop { .. } => vec![Cycles::ZERO; count],
+            ArrivalProcess::Poisson {
+                mean_interarrival,
+                seed,
+            } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mean = mean_interarrival.get().max(1) as f64;
+                let mut now = 0.0f64;
+                (0..count)
+                    .map(|_| {
+                        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        now += -mean * u.ln();
+                        Cycles(now as u64)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl Default for RequestStream {
+    fn default() -> Self {
+        RequestStream::new(ArrivalProcess::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_keeps_requests_outstanding() {
+        let stream = RequestStream::new(ArrivalProcess::ClosedLoop { concurrency: 2 });
+        assert_eq!(stream.initial_outstanding(), 2);
+        assert!(stream.reissue_on_completion());
+        assert!(stream.arrival_times(4).iter().all(|t| t.is_zero()));
+    }
+
+    #[test]
+    fn poisson_arrivals_are_monotonic_and_deterministic() {
+        let stream = RequestStream::new(ArrivalProcess::Poisson {
+            mean_interarrival: Cycles(10_000),
+            seed: 7,
+        });
+        let a = stream.arrival_times(100);
+        let b = stream.arrival_times(100);
+        assert_eq!(a, b, "same seed must reproduce the same arrivals");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(!stream.reissue_on_completion());
+        assert_eq!(stream.initial_outstanding(), 0);
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_respected() {
+        let mean = 50_000u64;
+        let stream = RequestStream::new(ArrivalProcess::Poisson {
+            mean_interarrival: Cycles(mean),
+            seed: 42,
+        });
+        let times = stream.arrival_times(2_000);
+        let last = times.last().unwrap().get() as f64;
+        let empirical_mean = last / 2_000.0;
+        assert!(
+            (empirical_mean / mean as f64 - 1.0).abs() < 0.15,
+            "empirical mean {empirical_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn default_is_single_closed_loop() {
+        let stream = RequestStream::default();
+        assert_eq!(stream.initial_outstanding(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Multi-tenant serving: run the paper's nine collocation pairs (§V-A) under
+//! all four sharing policies and print per-pair tail latency and throughput,
+//! normalized to the PMT baseline — a condensed version of Fig. 19–21.
+//!
+//! Run with: `cargo run --release --example multi_tenant_serving [requests]`
+
+use neu10_repro::prelude::*;
+
+fn main() {
+    let requests: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let config = NpuConfig::single_core();
+
+    println!(
+        "{:<14} {:<10} {:>14} {:>14} {:>12} {:>10}",
+        "pair", "policy", "w1 p95 (norm)", "w2 p95 (norm)", "tput (norm)", "ME util"
+    );
+
+    for pair in collocation_pairs() {
+        let tenants = vec![
+            TenantSpec::evaluation(0, pair.first, requests),
+            TenantSpec::evaluation(1, pair.second, requests),
+        ];
+        let mut baseline: Option<(f64, f64, f64)> = None;
+        for policy in SharingPolicy::all() {
+            let result =
+                CollocationSim::new(&config, SimOptions::new(policy), tenants.clone()).run();
+            let p95_w1 = result.tenants[0].latency_summary().p95 as f64;
+            let p95_w2 = result.tenants[1].latency_summary().p95 as f64;
+            let throughput: f64 = tenants
+                .iter()
+                .map(|t| result.throughput_rps(t.vnpu, &config))
+                .sum();
+            if policy == SharingPolicy::Pmt {
+                baseline = Some((p95_w1, p95_w2, throughput));
+            }
+            let (b1, b2, bt) = baseline.expect("PMT runs first");
+            println!(
+                "{:<14} {:<10} {:>14.2} {:>14.2} {:>12.2} {:>9.1}%",
+                pair.label(),
+                policy.label(),
+                p95_w1 / b1.max(1.0),
+                p95_w2 / b2.max(1.0),
+                throughput / bt.max(1e-9),
+                result.me_utilization * 100.0
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: create two vNPUs on one physical NPU core, collocate two ML
+//! inference services on them and compare Neu10 against a static partition.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use neu10_repro::prelude::*;
+
+fn main() {
+    // The Table II NPU core: 4 MEs, 4 VEs, 128 MB SRAM, 64 GB HBM @ 1.2 TB/s.
+    let config = NpuConfig::single_core();
+    println!("Physical NPU core configuration:");
+    for (key, value) in config.table_ii_rows() {
+        println!("  {key:<28} {value}");
+    }
+
+    // Two tenants: a VE/memory-intensive recommendation model and an
+    // ME-intensive vision model, each on a 2-ME / 2-VE vNPU.
+    let tenants = vec![
+        TenantSpec::evaluation(0, ModelId::Dlrm, 8),
+        TenantSpec::evaluation(1, ModelId::RetinaNet, 8),
+    ];
+
+    println!("\nCollocating DLRM and RetinaNet on one core (2 MEs + 2 VEs each):\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>10} {:>10}",
+        "policy", "w1 p95(ms)", "w2 p95(ms)", "total req/s", "ME util", "VE util"
+    );
+
+    for policy in SharingPolicy::all() {
+        let result = CollocationSim::new(&config, SimOptions::new(policy), tenants.clone()).run();
+        let p95 = |i: usize| {
+            let cycles = result.tenants[i].latency_summary().p95;
+            config.frequency.cycles_to_time(Cycles(cycles)).as_millis()
+        };
+        let throughput: f64 = tenants
+            .iter()
+            .map(|t| result.throughput_rps(t.vnpu, &config))
+            .sum();
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>14.1} {:>9.1}% {:>9.1}%",
+            policy.label(),
+            p95(0),
+            p95(1),
+            throughput,
+            result.me_utilization * 100.0,
+            result.ve_utilization * 100.0
+        );
+    }
+
+    println!(
+        "\nNeu10 harvests idle engines across the two vNPUs, so it should show\n\
+         the highest utilization and throughput while keeping tail latency\n\
+         close to the statically partitioned Neu10-NH run."
+    );
+}

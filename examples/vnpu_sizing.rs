@@ -1,0 +1,63 @@
+//! vNPU sizing: profile a workload, derive its ME/VE active ratios and let
+//! the Neu10 allocator pick the best ME:VE split for each EU budget
+//! (the §III-B / Fig. 12 workflow).
+//!
+//! Run with: `cargo run --release --example vnpu_sizing [model]`
+
+use neu10_repro::prelude::*;
+
+fn main() {
+    let model = std::env::args()
+        .nth(1)
+        .and_then(|name| {
+            ModelId::all()
+                .into_iter()
+                .find(|m| m.abbrev().eq_ignore_ascii_case(&name) || m.name().eq_ignore_ascii_case(&name))
+        })
+        .unwrap_or(ModelId::Bert);
+    let batch = 32;
+    let config = NpuConfig::tpu_v4_like();
+
+    println!("Profiling {} (batch {batch}) ...", model.name());
+    let profile = WorkloadProfile::analyze(model, batch, &config);
+    let graph = InferenceGraph::build(model, batch);
+    println!(
+        "  ME active ratio m = {:.3}, VE active ratio v = {:.3}, ME/VE intensity = {:.2}",
+        profile.me_active_ratio(),
+        profile.ve_active_ratio(),
+        profile.intensity_ratio()
+    );
+    println!(
+        "  HBM footprint = {:.2} GiB, avg bandwidth (solo) = {:.0} GB/s",
+        graph.hbm_footprint_bytes() as f64 / (1u64 << 30) as f64,
+        profile.average_hbm_bandwidth(&config) / 1e9
+    );
+
+    println!("\nAllocator sweep (Fig. 12): selected ME/VE split per EU budget");
+    println!("{:>8} {:>10} {:>18}", "EUs", "(MEs,VEs)", "est. speedup");
+    for (split, speedup) in allocation_sweep(
+        profile.me_active_ratio(),
+        profile.ve_active_ratio(),
+        16,
+    ) {
+        println!(
+            "{:>8} {:>10} {:>18.2}",
+            split.total(),
+            format!("({},{})", split.mes, split.ves),
+            speedup
+        );
+    }
+
+    // Ask the allocator for a concrete vNPU configuration with a 4-EU budget.
+    let allocator = VnpuAllocator::new(&config);
+    match allocator.recommend(&profile, 4, graph.hbm_footprint_bytes()) {
+        Ok(vnpu) => println!(
+            "\nRecommended 4-EU vNPU: {} MEs, {} VEs, {} MiB SRAM, {} GiB HBM",
+            vnpu.num_mes_per_core,
+            vnpu.num_ves_per_core,
+            vnpu.sram_size_per_core >> 20,
+            vnpu.mem_size_per_core >> 30
+        ),
+        Err(err) => println!("\nAllocation failed: {err}"),
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the vNPU allocator (Eq. 1–4) and the engine
+//! assignment logic — the core invariants the design leans on.
+
+use neu10::scheduler::{compute_assignment, SharingPolicy, TenantSnapshot};
+use neu10::{estimated_speedup, eu_utilization, optimal_me_ve_ratio, split_eus, VnpuId};
+use proptest::prelude::*;
+
+proptest! {
+    /// The split always spends the whole budget and keeps ≥1 engine of each
+    /// type.
+    #[test]
+    fn split_spends_the_budget(total in 2usize..=32, m in 0.0f64..=1.0, v in 0.0f64..=1.0) {
+        let split = split_eus(total, m, v);
+        prop_assert_eq!(split.mes + split.ves, total);
+        prop_assert!(split.mes >= 1);
+        prop_assert!(split.ves >= 1);
+    }
+
+    /// EU utilization (Eq. 2) is a fraction, and the speedup never exceeds
+    /// the hypothetical ideal of one unit of work per EU.
+    #[test]
+    fn utilization_and_speedup_are_bounded(
+        m in 0.0f64..=1.0,
+        v in 0.0f64..=1.0,
+        nm in 1usize..=8,
+        nv in 1usize..=8,
+    ) {
+        let util = eu_utilization(m, v, nm, nv);
+        prop_assert!((0.0..=1.0).contains(&util));
+        let speedup = estimated_speedup(m, v, nm, nv);
+        prop_assert!(speedup >= 0.99, "speedup {speedup} below the single-EU run");
+        prop_assert!(speedup <= (nm + nv) as f64 + 1e-9);
+    }
+
+    /// The closed-form ratio of Eq. (4) is within a rounding step of the
+    /// exhaustive argmax of Eq. (2) for realistic EU budgets.
+    #[test]
+    fn selected_split_is_near_optimal(total in 2usize..=16, m in 0.05f64..=1.0, v in 0.05f64..=1.0) {
+        // The paper's analysis assumes at least one engine type is active at
+        // any time (m + v ≥ 1); restrict to that regime.
+        prop_assume!(m + v >= 1.0);
+        let chosen = split_eus(total, m, v);
+        let chosen_util = eu_utilization(m, v, chosen.mes, chosen.ves);
+        let best = (1..total)
+            .map(|nm| eu_utilization(m, v, nm, total - nm))
+            .fold(f64::MIN, f64::max);
+        prop_assert!(chosen_util >= best - 0.1,
+            "chosen ({}, {}) utilization {chosen_util:.3} vs best {best:.3}",
+            chosen.mes, chosen.ves);
+    }
+
+    /// More ME-intensive workloads never receive fewer MEs.
+    #[test]
+    fn monotone_in_me_intensity(total in 2usize..=16, v in 0.2f64..=1.0) {
+        let light = split_eus(total, 0.2, v);
+        let heavy = split_eus(total, 0.9, v);
+        prop_assert!(heavy.mes >= light.mes);
+    }
+
+    /// The optimal ratio is always positive and equals 1 in the both-busy
+    /// regime.
+    #[test]
+    fn ratio_is_positive(m in 0.0f64..=1.0, v in 0.0f64..=1.0) {
+        let k = optimal_me_ve_ratio(m, v);
+        prop_assert!(k > 0.0);
+        if m >= 0.5 && v >= 0.5 {
+            prop_assert!((k - 1.0).abs() < 1e-12);
+        }
+    }
+}
+
+proptest! {
+    /// Engine assignments never exceed the physical engine counts, never give
+    /// engines to idle tenants, and spatial policies never exceed a busy
+    /// tenant's demand.
+    #[test]
+    fn assignments_respect_capacity_and_demand(
+        demands in proptest::collection::vec((0usize..=6, 0usize..=6, any::<bool>()), 1..5),
+        nx in 1usize..=8,
+        ny in 1usize..=8,
+    ) {
+        let tenants: Vec<TenantSnapshot> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, (me, ve, busy))| TenantSnapshot {
+                vnpu: VnpuId(i as u32),
+                allocated_mes: nx / demands.len().max(1),
+                allocated_ves: ny / demands.len().max(1),
+                priority: 1,
+                me_demand: *me,
+                ve_demand: *ve,
+                has_work: *busy,
+                active_cycles: (i as u64) * 1000,
+                holds_engines: false,
+            })
+            .collect();
+        for policy in SharingPolicy::all() {
+            let assignments = compute_assignment(policy, &tenants, nx, ny);
+            prop_assert_eq!(assignments.len(), tenants.len());
+            prop_assert!(assignments.iter().map(|a| a.mes).sum::<usize>() <= nx);
+            prop_assert!(assignments.iter().map(|a| a.ves).sum::<usize>() <= ny);
+            for (tenant, assignment) in tenants.iter().zip(&assignments) {
+                if !tenant.has_work {
+                    prop_assert_eq!(assignment.mes + assignment.ves, 0);
+                }
+                if policy.is_spatial() {
+                    prop_assert!(assignment.mes <= tenant.me_demand.max(0));
+                    prop_assert!(assignment.ves <= tenant.ve_demand.max(0));
+                }
+            }
+        }
+    }
+}

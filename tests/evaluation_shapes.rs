@@ -1,0 +1,133 @@
+//! Integration tests asserting the *shape* of the paper's headline results:
+//! who wins, in which direction, for representative collocations. Absolute
+//! numbers differ from the paper (our substrate is a synthetic-trace
+//! simulator), but these orderings are what the evaluation section claims.
+
+use neu10::{CollocationSim, SharingPolicy, SimOptions, TenantSpec, VnpuId};
+use npu_sim::NpuConfig;
+use workloads::ModelId;
+
+fn run_pair(
+    policy: SharingPolicy,
+    first: ModelId,
+    second: ModelId,
+    requests: usize,
+) -> neu10::CollocationResult {
+    let config = NpuConfig::single_core();
+    CollocationSim::new(
+        &config,
+        SimOptions::new(policy),
+        vec![
+            TenantSpec::evaluation(0, first, requests),
+            TenantSpec::evaluation(1, second, requests),
+        ],
+    )
+    .run()
+}
+
+fn pair_throughput(result: &neu10::CollocationResult) -> f64 {
+    let config = NpuConfig::single_core();
+    result.throughput_rps(VnpuId(0), &config) + result.throughput_rps(VnpuId(1), &config)
+}
+
+#[test]
+fn neu10_beats_static_partitioning_on_low_contention_pairs() {
+    // DLRM (VE/memory heavy) + EfficientNet (mixed): harvesting should raise
+    // both utilization and throughput compared to the MIG-like partition.
+    let neu10 = run_pair(SharingPolicy::Neu10, ModelId::Dlrm, ModelId::EfficientNet, 3);
+    let static_part = run_pair(
+        SharingPolicy::Neu10NoHarvest,
+        ModelId::Dlrm,
+        ModelId::EfficientNet,
+        3,
+    );
+    assert!(pair_throughput(&neu10) > pair_throughput(&static_part));
+    assert!(neu10.me_utilization >= static_part.me_utilization);
+}
+
+#[test]
+fn neu10_beats_whole_core_time_sharing() {
+    let neu10 = run_pair(SharingPolicy::Neu10, ModelId::Ncf, ModelId::EfficientNet, 3);
+    let pmt = run_pair(SharingPolicy::Pmt, ModelId::Ncf, ModelId::EfficientNet, 3);
+    assert!(pair_throughput(&neu10) > pair_throughput(&pmt));
+    assert!(neu10.makespan < pmt.makespan);
+}
+
+#[test]
+fn neu10_tail_latency_is_not_worse_than_v10() {
+    // EfficientNet + Transformer is one of the paper's high-contention pairs:
+    // V10's whole-core ME coupling hurts tail latency, Neu10's spatial
+    // isolation protects it.
+    let neu10 = run_pair(
+        SharingPolicy::Neu10,
+        ModelId::EfficientNet,
+        ModelId::Transformer,
+        3,
+    );
+    let v10 = run_pair(
+        SharingPolicy::V10,
+        ModelId::EfficientNet,
+        ModelId::Transformer,
+        3,
+    );
+    for w in 0..2 {
+        let neu10_p95 = neu10.tenants[w].latency_summary().p95;
+        let v10_p95 = v10.tenants[w].latency_summary().p95;
+        assert!(
+            neu10_p95 <= v10_p95 * 11 / 10,
+            "workload {w}: Neu10 p95 {neu10_p95} should not exceed V10 p95 {v10_p95} by >10%"
+        );
+    }
+}
+
+#[test]
+fn harvesting_overhead_stays_bounded() {
+    // Table III: the time a workload is blocked because it was harvested is a
+    // few percent of its execution time at most.
+    let result = run_pair(SharingPolicy::Neu10, ModelId::Dlrm, ModelId::EfficientNet, 3);
+    for tenant in &result.tenants {
+        let overhead = tenant.harvest_overhead_fraction(result.makespan);
+        assert!(
+            overhead < 0.15,
+            "{:?} blocked for {overhead:.3} of the run",
+            tenant.model
+        );
+    }
+}
+
+#[test]
+fn llm_collocation_lets_the_partner_harvest_idle_mes() {
+    // Fig. 27: under Neu10 the compute-intensive partner of a
+    // bandwidth-bound LLM gains throughput compared to V10's time sharing.
+    let config = NpuConfig::single_core();
+    let tenants = |policy| {
+        CollocationSim::new(
+            &config,
+            SimOptions::new(policy),
+            vec![
+                TenantSpec::evaluation(0, ModelId::Llama, 1),
+                TenantSpec::evaluation(1, ModelId::Mnist, 4),
+            ],
+        )
+        .run()
+    };
+    let v10 = tenants(SharingPolicy::V10);
+    let neu10 = tenants(SharingPolicy::Neu10);
+    let partner_v10 = v10.throughput_rps(VnpuId(1), &config);
+    let partner_neu10 = neu10.throughput_rps(VnpuId(1), &config);
+    assert!(
+        partner_neu10 > partner_v10,
+        "partner throughput should improve under Neu10 ({partner_neu10} vs {partner_v10})"
+    );
+}
+
+#[test]
+fn utilization_improves_with_harvesting_across_policies() {
+    // Fig. 22's qualitative claim: Neu10 ≥ Neu10-NH and Neu10 ≥ PMT in
+    // engine utilization for a mixed pair.
+    let neu10 = run_pair(SharingPolicy::Neu10, ModelId::Ncf, ModelId::ResNet, 2);
+    let nh = run_pair(SharingPolicy::Neu10NoHarvest, ModelId::Ncf, ModelId::ResNet, 2);
+    let pmt = run_pair(SharingPolicy::Pmt, ModelId::Ncf, ModelId::ResNet, 2);
+    assert!(neu10.me_utilization >= nh.me_utilization);
+    assert!(neu10.me_utilization >= pmt.me_utilization);
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration test: the full control path (hypervisor →
+//! vNPU manager → board) combined with the serving runtime.
+
+use hypervisor::{GuestVm, Host};
+use neu10::{
+    CollocationSim, MappingMode, SharingPolicy, SimOptions, TenantSpec, VnpuConfig, VnpuId,
+};
+use npu_sim::{MemoryKind, NpuConfig};
+use workloads::ModelId;
+
+#[test]
+fn two_guests_share_one_core_end_to_end() {
+    let npu = NpuConfig::single_core();
+    let mut host = Host::new(&npu);
+
+    // Control path: both guests obtain hardware-isolated vNPUs (2 MEs + 2 VEs
+    // each) via hypercalls.
+    let mut guest_a = GuestVm::new("recsys", 0x100_0000);
+    let mut guest_b = GuestVm::new("vision", 0x200_0000);
+    let half = VnpuConfig::single_core(2, 2, 32 << 20, 16 << 30);
+    let id_a = guest_a
+        .attach_vnpu(&mut host, half, MappingMode::HardwareIsolated, 1 << 20)
+        .expect("guest A vNPU");
+    let id_b = guest_b
+        .attach_vnpu(&mut host, half, MappingMode::HardwareIsolated, 1 << 20)
+        .expect("guest B vNPU");
+
+    // Both vNPUs land on the same physical core with disjoint memory segments.
+    let core_a = host.manager.placement(id_a).unwrap().core;
+    let core_b = host.manager.placement(id_b).unwrap().core;
+    assert_eq!(core_a, core_b);
+    let core = host.manager.board().core(core_a).unwrap();
+    assert!(core.segments_of(MemoryKind::Hbm, id_a.0) > 0);
+    assert!(core.segments_of(MemoryKind::Hbm, id_b.0) > 0);
+    assert_eq!(host.manager.free_mes(), 0);
+
+    // Data path: the guests submit work through their command buffers.
+    assert!(guest_a.submit_inference(&mut host, 1 << 16, 0));
+    assert!(guest_b.submit_inference(&mut host, 1 << 16, 0));
+    assert_eq!(guest_a.process_commands(&mut host).unwrap(), 3);
+    assert_eq!(guest_b.process_commands(&mut host).unwrap(), 3);
+
+    // Performance path: the same placement drives the serving runtime.
+    let result = CollocationSim::new(
+        &npu,
+        SimOptions::new(SharingPolicy::Neu10),
+        vec![
+            TenantSpec::evaluation(id_a.0, ModelId::Ncf, 3),
+            TenantSpec::evaluation(id_b.0, ModelId::Mnist, 3),
+        ],
+    )
+    .run();
+    assert!(result.tenants.iter().all(|t| t.completed_requests >= 3));
+    assert!(result.me_utilization > 0.0);
+
+    // Teardown releases everything.
+    guest_a.detach_vnpu(&mut host).unwrap();
+    guest_b.detach_vnpu(&mut host).unwrap();
+    assert_eq!(host.manager.vnpu_count(), 0);
+    assert_eq!(host.manager.free_mes(), npu.mes_per_core);
+}
+
+#[test]
+fn every_policy_completes_every_pairing_of_small_models() {
+    let npu = NpuConfig::single_core();
+    let small_models = [ModelId::Mnist, ModelId::Ncf, ModelId::Dlrm];
+    for first in small_models {
+        for second in small_models {
+            for policy in SharingPolicy::all() {
+                let result = CollocationSim::new(
+                    &npu,
+                    SimOptions::new(policy),
+                    vec![
+                        TenantSpec::evaluation(0, first, 2),
+                        TenantSpec::evaluation(1, second, 2),
+                    ],
+                )
+                .run();
+                assert!(
+                    result.tenants.iter().all(|t| t.completed_requests >= 2),
+                    "{policy} failed to finish {first}+{second}"
+                );
+                assert!(result.makespan.get() > 0);
+                let total_work: u64 = result.tenants.iter().map(|t| t.me_work_cycles).sum();
+                assert!(
+                    result.me_utilization <= 1.0 && result.ve_utilization <= 1.0,
+                    "{policy} produced impossible utilization for {first}+{second}"
+                );
+                if total_work == 0 {
+                    assert_eq!(result.me_utilization, 0.0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn vnpu_ids_flow_consistently_through_the_stack() {
+    let npu = NpuConfig::single_core();
+    let mut host = Host::new(&npu);
+    let mut guest = GuestVm::new("solo", 0x300_0000);
+    let id = guest
+        .attach_vnpu(
+            &mut host,
+            VnpuConfig::large(&npu),
+            MappingMode::HardwareIsolated,
+            1 << 20,
+        )
+        .unwrap();
+    assert_eq!(guest.vnpu(), Some(id));
+    assert_eq!(host.vfs.vf(id).map(|vf| vf.vnpu()), Some(id));
+    assert_eq!(host.manager.vnpu(id).map(|v| v.id()), Some(id));
+    assert_eq!(host.manager.vnpu_ids(), vec![id]);
+    assert_ne!(id, VnpuId(u32::MAX));
+}

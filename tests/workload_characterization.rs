@@ -1,0 +1,88 @@
+//! Integration tests for the §II-B characterization pipeline: the synthetic
+//! model generators, the compiler cost model and the profiler must together
+//! reproduce the qualitative claims of the motivation study.
+
+use npu_sim::NpuConfig;
+use workloads::{collocation_pairs, model_catalog, InferenceGraph, ModelId, WorkloadProfile};
+
+#[test]
+fn table_i_catalog_profiles_cleanly() {
+    let config = NpuConfig::tpu_v4_like();
+    for info in model_catalog() {
+        let profile = WorkloadProfile::analyze(info.id, 8, &config);
+        assert!(!profile.samples().is_empty(), "{} has no operators", info.name);
+        assert!(profile.makespan().get() > 0);
+        let m = profile.me_active_ratio();
+        let v = profile.ve_active_ratio();
+        assert!((0.0..=1.0).contains(&m) && (0.0..=1.0).contains(&v), "{}", info.name);
+        assert!(
+            profile.average_hbm_bandwidth(&config) <= config.hbm_bandwidth_bytes_per_sec,
+            "{} exceeds peak bandwidth",
+            info.name
+        );
+    }
+}
+
+#[test]
+fn figure_4_orderings_hold() {
+    let config = NpuConfig::tpu_v4_like();
+    let ratio = |model: ModelId| WorkloadProfile::analyze(model, 32, &config).intensity_ratio();
+    // Convolution-heavy models are strongly ME-intensive.
+    for model in [ModelId::ResNet, ModelId::ResNetRs, ModelId::RetinaNet] {
+        assert!(ratio(model) > 2.0, "{model} should be ME-intensive");
+    }
+    // Recommendation models are VE-intensive.
+    for model in [ModelId::Dlrm, ModelId::Ncf] {
+        assert!(ratio(model) < 1.0, "{model} should be VE-intensive");
+    }
+    // The two ends of the spectrum are orders of magnitude apart.
+    assert!(ratio(ModelId::ResNet) / ratio(ModelId::Dlrm) > 20.0);
+}
+
+#[test]
+fn figure_5_no_single_workload_saturates_the_core() {
+    let config = NpuConfig::tpu_v4_like();
+    for model in [ModelId::Bert, ModelId::Dlrm, ModelId::ResNet, ModelId::EfficientNet] {
+        let profile = WorkloadProfile::analyze(model, 8, &config);
+        let me = profile.average_me_utilization(config.mes_per_core);
+        let ve = profile.average_ve_utilization(config.ves_per_core);
+        assert!(me < 0.999 || ve < 0.999, "{model} saturates both engine types");
+        assert!(me + ve > 0.0);
+    }
+}
+
+#[test]
+fn figure_7_bandwidth_profiles_differ_between_bert_and_dlrm() {
+    let config = NpuConfig::tpu_v4_like();
+    let bert = WorkloadProfile::analyze(ModelId::Bert, 8, &config);
+    let dlrm = WorkloadProfile::analyze(ModelId::Dlrm, 8, &config);
+    // DLRM's embedding gathers make it the bandwidth-hungry workload.
+    assert!(dlrm.average_hbm_bandwidth(&config) > bert.average_hbm_bandwidth(&config));
+    // Neither averages anywhere near the peak (the collocation headroom).
+    assert!(dlrm.average_hbm_bandwidth(&config) < 0.9 * config.hbm_bandwidth_bytes_per_sec);
+}
+
+#[test]
+fn collocation_pairs_reference_existing_models_with_graphs() {
+    for pair in collocation_pairs() {
+        for model in [pair.first, pair.second] {
+            let graph = InferenceGraph::build_for_evaluation(model);
+            assert!(graph.operator_count() > 0);
+            assert!(graph.total_hbm_bytes() > 0);
+        }
+    }
+}
+
+#[test]
+fn batch_size_increases_work_but_not_demand_bounds() {
+    let config = NpuConfig::tpu_v4_like();
+    for model in [ModelId::Bert, ModelId::ResNet] {
+        let small = WorkloadProfile::analyze(model, 8, &config);
+        let large = WorkloadProfile::analyze(model, 64, &config);
+        assert!(large.total_me_cycles() > small.total_me_cycles());
+        for sample in large.samples() {
+            assert!(sample.demanded_mes <= config.mes_per_core);
+            assert!(sample.demanded_ves <= config.ves_per_core);
+        }
+    }
+}
