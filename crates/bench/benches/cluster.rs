@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the cluster fleet layer: placement throughput
+//! and the open-loop serving simulator, swept from 1 to 16 nodes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cluster::{
+    ClusterServingSim, DeploySpec, DispatchPolicy, NpuCluster, PlacementPolicy, ServingOptions,
+};
+use npu_sim::NpuConfig;
+use workloads::{ClusterTrace, ModelId};
+
+fn deploy_fleet(nodes: usize) -> NpuCluster {
+    let mut fleet = NpuCluster::homogeneous(nodes, &NpuConfig::single_core());
+    for _ in 0..nodes {
+        for model in [ModelId::Mnist, ModelId::Ncf] {
+            fleet
+                .deploy(
+                    DeploySpec::replica(model, 2, 2),
+                    PlacementPolicy::TopologyAware,
+                )
+                .expect("two replicas fit per board");
+        }
+    }
+    fleet
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+
+    for policy in PlacementPolicy::all() {
+        group.bench_function(format!("place_32_replicas_{}", policy.label()), |b| {
+            b.iter(|| {
+                let mut fleet = NpuCluster::homogeneous(16, &NpuConfig::single_core());
+                for index in 0..32 {
+                    let model = if index % 2 == 0 {
+                        ModelId::Mnist
+                    } else {
+                        ModelId::Ncf
+                    };
+                    fleet
+                        .deploy(DeploySpec::replica(model, 2, 2), black_box(policy))
+                        .expect("32 half-board replicas fit on 16 boards");
+                }
+                fleet.total_vnpus()
+            })
+        });
+    }
+
+    for nodes in [1usize, 4, 16] {
+        let trace = ClusterTrace::poisson(
+            &[(ModelId::Mnist, 40_000), (ModelId::Ncf, 40_000)],
+            25 * nodes,
+            11,
+        );
+        group.bench_function(format!("serve_open_loop_{nodes}_nodes"), |b| {
+            b.iter(|| {
+                let mut fleet = deploy_fleet(nodes);
+                ClusterServingSim::new(ServingOptions::new(DispatchPolicy::LeastLoaded))
+                    .run(&mut fleet, black_box(&trace))
+                    .stats
+                    .completed
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

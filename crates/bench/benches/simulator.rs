@@ -25,7 +25,12 @@ fn bench_simulator(c: &mut Criterion) {
     group.bench_function("hbm_bandwidth_timeline", |b| {
         let mut hbm = HbmModel::new(1 << 34, 1.2e12, Frequency::default());
         for i in 0..1_000u64 {
-            hbm.record_transfer(Cycles(i * 100), Cycles(i * 100 + 250), 1 << 16, (i % 4) as u32);
+            hbm.record_transfer(
+                Cycles(i * 100),
+                Cycles(i * 100 + 250),
+                1 << 16,
+                (i % 4) as u32,
+            );
         }
         b.iter(|| hbm.bandwidth_timeline(Cycles(1_000), Cycles(100_000)))
     });

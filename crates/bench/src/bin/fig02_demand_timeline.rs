@@ -20,7 +20,11 @@ fn main() {
     println!("# Fig. 2: demanded MEs/VEs over one inference request (batch 8)");
     for model in MODELS {
         let profile = WorkloadProfile::analyze(model, 8, &config);
-        println!("\n== {} (makespan {}) ==", model.name(), config.frequency.cycles_to_time(profile.makespan()));
+        println!(
+            "\n== {} (makespan {}) ==",
+            model.name(),
+            config.frequency.cycles_to_time(profile.makespan())
+        );
         println!("{:>14} {:>8} {:>8}", "time", "MEs", "VEs");
         // Downsample to at most 40 rows so the series stays readable.
         let samples = profile.samples();

@@ -48,9 +48,7 @@ fn main() {
     for available in 1..=4usize {
         let used = utops.min(available);
         let per_me = compiled.cost.me_cycles.get() / used.max(1) as u64;
-        println!(
-            "  {available} ME(s) available -> uses {used} ME(s), ~{per_me} cycles per ME"
-        );
+        println!("  {available} ME(s) available -> uses {used} ME(s), ~{per_me} cycles per ME");
     }
     println!("  -> the hardware decides at runtime how many uTOps to dispatch (Fig. 13).");
 }

@@ -21,9 +21,8 @@ fn main() {
             TenantSpec::evaluation(0, pair.first, requests),
             TenantSpec::evaluation(1, pair.second, requests * 2),
         ];
-        let run = |policy| {
-            CollocationSim::new(&config, SimOptions::new(policy), tenants.clone()).run()
-        };
+        let run =
+            |policy| CollocationSim::new(&config, SimOptions::new(policy), tenants.clone()).run();
         let v10 = run(SharingPolicy::V10);
         let base = [
             v10.throughput_rps(VnpuId(0), &config).max(1e-12),

@@ -1,0 +1,165 @@
+//! Fig. 28 (extension): cluster scaling under open-loop load.
+//!
+//! Sweeps the serving fleet from 1 to 16 boards (plus one empty standby
+//! board), deploys one DLRM and one NCF serving replica per serving
+//! board, offers a Poisson arrival stream sized to ~80% of fleet capacity,
+//! and reports aggregate throughput and tail latency for every dispatch
+//! policy. Every run also cold-migrates the first replica onto the standby
+//! board a quarter into the trace, so the latency cost of moving a tenant is
+//! visible in the same table: least-loaded routes around the dark replica,
+//! round-robin keeps hitting it and pays the downtime in p99.
+//!
+//! Output columns: nodes, policy, offered, completed, rejected,
+//! throughput (rps), p50 / p99 latency (cycles).
+
+use cluster::{
+    estimated_service_cycles, ClusterServingSim, DeploySpec, DispatchPolicy, NodeId, NpuCluster,
+    PlacementPolicy, ServingOptions, VnpuHandle,
+};
+use npu_sim::{Cycles, NpuConfig};
+use workloads::{ClusterTrace, ModelId};
+
+// Two models with comparable per-request service times (~0.45M cycles at
+// 2 MEs / 2 VEs), so both arrival streams stay live across the whole run.
+const MODEL_A: ModelId = ModelId::Dlrm;
+const MODEL_B: ModelId = ModelId::Ncf;
+const REPLICA_MES: usize = 2;
+const REPLICA_VES: usize = 2;
+const REPLICA_SRAM: u64 = 32 << 20;
+const REPLICA_HBM: u64 = 1 << 30;
+const TARGET_UTILIZATION: f64 = 0.8;
+
+/// `nodes` serving boards plus one empty standby board (the migration
+/// destination), two replicas per serving board.
+fn deploy_fleet(nodes: usize) -> (NpuCluster, Vec<VnpuHandle>) {
+    let config = NpuConfig::single_core();
+    let mut fleet = NpuCluster::homogeneous(nodes + 1, &config);
+    let mut handles = Vec::new();
+    for _ in 0..nodes {
+        for model in [MODEL_A, MODEL_B] {
+            handles.push(
+                fleet
+                    .deploy(
+                        DeploySpec::replica(model, REPLICA_MES, REPLICA_VES)
+                            .with_memory(REPLICA_SRAM, REPLICA_HBM),
+                        PlacementPolicy::BestFit,
+                    )
+                    .expect("two half-board replicas fit per board"),
+            );
+        }
+    }
+    (fleet, handles)
+}
+
+/// Builds the offered load for a fleet size: per-model Poisson streams whose
+/// rate keeps each replica at ~`TARGET_UTILIZATION`.
+fn offered_load(nodes: usize, requests_per_replica: usize, config: &NpuConfig) -> ClusterTrace {
+    let streams: Vec<(ModelId, u64)> = [MODEL_A, MODEL_B]
+        .into_iter()
+        .map(|model| {
+            let service = estimated_service_cycles(model, REPLICA_MES, REPLICA_VES, config) as f64;
+            let mean = service / (nodes as f64 * TARGET_UTILIZATION);
+            (model, mean.max(1.0) as u64)
+        })
+        .collect();
+    ClusterTrace::poisson(&streams, requests_per_replica * nodes, 2028)
+}
+
+fn main() {
+    let config = NpuConfig::single_core();
+    bench::print_simulator_config(&config);
+    let requests_per_replica = bench::target_requests() * 8;
+
+    println!("# Fig. 28: cluster scaling, open-loop Poisson load at ~80% utilization");
+    println!("# (each run cold-migrates one replica to a standby board at t = horizon/4)");
+    println!(
+        "{:<6} {:<14} {:>8} {:>10} {:>9} {:>12} {:>12} {:>12}",
+        "nodes", "policy", "offered", "completed", "rejected", "rps", "p50_cycles", "p99_cycles"
+    );
+
+    let mut one_node_rps = 0.0f64;
+    let mut sixteen_node_rps = 0.0f64;
+    let mut p99_by_policy_16: Vec<(DispatchPolicy, u64)> = Vec::new();
+    for nodes in [1usize, 2, 4, 8, 16] {
+        let trace = offered_load(nodes, requests_per_replica, &config);
+        for policy in DispatchPolicy::all() {
+            let (mut fleet, handles) = deploy_fleet(nodes);
+            let standby = NodeId(nodes as u32);
+            let options = ServingOptions::new(policy).with_migration(
+                Cycles(trace.horizon().get() / 4),
+                handles[0],
+                standby,
+            );
+            let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
+            let rps = report.throughput_rps(&config);
+            println!(
+                "{:<6} {:<14} {:>8} {:>10} {:>9} {:>12.1} {:>12} {:>12}",
+                nodes,
+                policy.label(),
+                report.stats.offered,
+                report.stats.completed,
+                report.stats.rejected(),
+                rps,
+                report.latency.p50,
+                report.latency.p99
+            );
+            if policy == DispatchPolicy::LeastLoaded {
+                if nodes == 1 {
+                    one_node_rps = rps;
+                }
+                if nodes == 16 {
+                    sixteen_node_rps = rps;
+                }
+            }
+            if nodes == 16 {
+                p99_by_policy_16.push((policy, report.latency.p99));
+            }
+            for migration in &report.migrations {
+                println!(
+                    "#   migration {} -> {}: {} MiB state, drain {} + transfer {} + remap {} = {} cycles downtime",
+                    migration.from,
+                    migration.to,
+                    migration.state_bytes >> 20,
+                    migration.drain_cycles,
+                    migration.transfer_cycles,
+                    migration.remap_cycles,
+                    migration.downtime().get()
+                );
+            }
+            assert_eq!(
+                report.migrations.len(),
+                1,
+                "the scheduled cold migration must execute"
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "# scale-up: 16-node / 1-node aggregate throughput = {:.2}x",
+        if one_node_rps > 0.0 {
+            sixteen_node_rps / one_node_rps
+        } else {
+            0.0
+        }
+    );
+    assert!(
+        sixteen_node_rps > one_node_rps,
+        "a 16-node fleet must outserve a single node ({sixteen_node_rps:.1} vs {one_node_rps:.1} rps)"
+    );
+    let rr = p99_by_policy_16
+        .iter()
+        .find(|(p, _)| *p == DispatchPolicy::RoundRobin)
+        .map(|(_, p99)| *p99)
+        .unwrap_or(0);
+    let ll = p99_by_policy_16
+        .iter()
+        .find(|(p, _)| *p == DispatchPolicy::LeastLoaded)
+        .map(|(_, p99)| *p99)
+        .unwrap_or(0);
+    println!("# p99 at 16 nodes: round-robin {rr} vs least-loaded {ll} cycles");
+    assert_ne!(
+        rr, ll,
+        "round-robin and least-loaded must produce measurably different p99"
+    );
+}

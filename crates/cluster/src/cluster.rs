@@ -1,0 +1,580 @@
+//! [`NpuCluster`]: the fleet of `VnpuManager`-backed nodes, the deploy path
+//! through the placement engine, and cold migration between nodes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use neu10::scheduler::VnpuContext;
+use neu10::{MappingMode, Neu10Error, VnpuConfig, VnpuId};
+use npu_sim::NpuConfig;
+use workloads::ModelId;
+
+use crate::inventory::{NodeInventory, ResourceDemand};
+use crate::migration::{MigrationCostModel, MigrationOutcome, MigrationRecord};
+use crate::node::ClusterNode;
+use crate::placement::{rank_nodes, PlacementCandidate, PlacementPolicy};
+use crate::NodeId;
+
+/// Cluster-wide identity of a deployed vNPU: vNPU ids are node-local, so the
+/// pair (node, vnpu) names a deployment. Migration changes the handle; the
+/// new handle is returned in the [`MigrationOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VnpuHandle {
+    /// The hosting node.
+    pub node: NodeId,
+    /// The node-local vNPU id.
+    pub vnpu: VnpuId,
+}
+
+impl fmt::Display for VnpuHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.node, self.vnpu)
+    }
+}
+
+/// What the operator asks the cluster to deploy: a serving replica of one
+/// model with an engine allocation and (optionally explicit) memory sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeploySpec {
+    /// The model the replica serves.
+    pub model: ModelId,
+    /// Matrix engines per replica.
+    pub mes: usize,
+    /// Vector engines per replica.
+    pub ves: usize,
+    /// SRAM bytes; `None` sizes to half the hosting core's SRAM.
+    pub sram_bytes: Option<u64>,
+    /// HBM bytes; `None` sizes to a quarter of the hosting core's HBM.
+    pub hbm_bytes: Option<u64>,
+    /// Scheduling priority (≥ 1).
+    pub priority: u32,
+    /// Isolation mode of the placement.
+    pub mode: MappingMode,
+}
+
+impl DeploySpec {
+    /// A hardware-isolated serving replica with default memory sizing.
+    pub fn replica(model: ModelId, mes: usize, ves: usize) -> Self {
+        DeploySpec {
+            model,
+            mes,
+            ves,
+            sram_bytes: None,
+            hbm_bytes: None,
+            priority: 1,
+            mode: MappingMode::HardwareIsolated,
+        }
+    }
+
+    /// Overrides the memory sizing.
+    pub fn with_memory(mut self, sram_bytes: u64, hbm_bytes: u64) -> Self {
+        self.sram_bytes = Some(sram_bytes);
+        self.hbm_bytes = Some(hbm_bytes);
+        self
+    }
+
+    /// Overrides the isolation mode.
+    pub fn with_mode(mut self, mode: MappingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides the scheduling priority.
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority.max(1);
+        self
+    }
+
+    /// Resolves the spec into a concrete vNPU configuration for a node type.
+    pub fn vnpu_config(&self, npu: &NpuConfig) -> VnpuConfig {
+        VnpuConfig::single_core(
+            self.mes,
+            self.ves,
+            self.sram_bytes.unwrap_or(npu.sram_bytes_per_core / 2),
+            self.hbm_bytes.unwrap_or(npu.hbm_bytes_per_core / 4),
+        )
+    }
+}
+
+/// The cluster's record of one live deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeployedVnpu {
+    /// Where the vNPU lives.
+    pub handle: VnpuHandle,
+    /// The model the replica serves.
+    pub model: ModelId,
+    /// The resolved vNPU configuration.
+    pub config: VnpuConfig,
+    /// Scheduling priority.
+    pub priority: u32,
+    /// Isolation mode.
+    pub mode: MappingMode,
+}
+
+/// Fleet-layer errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// No node can host the requested deployment.
+    NoCapacity(String),
+    /// The node id does not exist in this cluster.
+    UnknownNode(NodeId),
+    /// The handle does not name a live deployment.
+    UnknownVnpu(VnpuHandle),
+    /// Migration source and destination are the same node.
+    SameNode(NodeId),
+    /// An error surfaced by a node's vNPU manager.
+    Node(Neu10Error),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoCapacity(reason) => write!(f, "no capacity: {reason}"),
+            ClusterError::UnknownNode(node) => write!(f, "unknown node {node}"),
+            ClusterError::UnknownVnpu(handle) => write!(f, "unknown vNPU {handle}"),
+            ClusterError::SameNode(node) => {
+                write!(f, "migration source and destination are both {node}")
+            }
+            ClusterError::Node(err) => write!(f, "node error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<Neu10Error> for ClusterError {
+    fn from(err: Neu10Error) -> Self {
+        ClusterError::Node(err)
+    }
+}
+
+/// A fleet of NPU boards with cluster-level placement and migration.
+#[derive(Debug)]
+pub struct NpuCluster {
+    nodes: Vec<ClusterNode>,
+    deployments: BTreeMap<VnpuHandle, DeployedVnpu>,
+}
+
+impl NpuCluster {
+    /// Builds a cluster from explicit per-node board configurations.
+    pub fn new(configs: Vec<NpuConfig>) -> Self {
+        let nodes = configs
+            .into_iter()
+            .enumerate()
+            .map(|(index, config)| ClusterNode::new(NodeId(index as u32), &config))
+            .collect();
+        NpuCluster {
+            nodes,
+            deployments: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a homogeneous cluster of `count` identical boards.
+    pub fn homogeneous(count: usize, npu: &NpuConfig) -> Self {
+        NpuCluster::new(vec![npu.clone(); count.max(1)])
+    }
+
+    /// Number of nodes in the fleet.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Looks up a node by id.
+    pub fn node(&self, id: NodeId) -> Option<&ClusterNode> {
+        self.nodes.iter().find(|n| n.id() == id)
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> Option<&mut ClusterNode> {
+        self.nodes.iter_mut().find(|n| n.id() == id)
+    }
+
+    /// All nodes, in id order.
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    /// Per-node inventory snapshots, in node order.
+    pub fn inventories(&self) -> Vec<NodeInventory> {
+        self.nodes.iter().map(|n| n.inventory()).collect()
+    }
+
+    /// Live deployments, in handle order.
+    pub fn deployments(&self) -> impl Iterator<Item = &DeployedVnpu> {
+        self.deployments.values()
+    }
+
+    /// The deployment behind a handle.
+    pub fn deployment(&self, handle: VnpuHandle) -> Option<&DeployedVnpu> {
+        self.deployments.get(&handle)
+    }
+
+    /// Total live vNPUs across the fleet.
+    pub fn total_vnpus(&self) -> usize {
+        debug_assert_eq!(
+            self.deployments.len(),
+            self.nodes
+                .iter()
+                .map(|n| n.manager().vnpu_count())
+                .sum::<usize>(),
+            "deployment records must mirror the per-node managers"
+        );
+        self.deployments.len()
+    }
+
+    /// Replicas of `model` resident on `node`.
+    pub fn replicas_on(&self, node: NodeId, model: ModelId) -> usize {
+        self.deployments
+            .values()
+            .filter(|d| d.handle.node == node && d.model == model)
+            .count()
+    }
+
+    /// Places and starts a new vNPU replica, returning its handle.
+    ///
+    /// Nodes are tried in placement-score order: board-level admission can
+    /// pass while per-core packing refuses (a fragmented multi-core board),
+    /// in which case the next-ranked node is attempted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::NoCapacity`] when no node admits the demand
+    /// and propagates manager errors otherwise.
+    pub fn deploy(
+        &mut self,
+        spec: DeploySpec,
+        policy: PlacementPolicy,
+    ) -> Result<VnpuHandle, ClusterError> {
+        // Score every node against its *own* demand (boards may be
+        // heterogeneous, so segment rounding differs per node).
+        let candidates: Vec<(PlacementCandidate, ResourceDemand)> = self
+            .nodes
+            .iter()
+            .map(|node| {
+                let npu = node.npu_config();
+                (
+                    PlacementCandidate {
+                        inventory: node.inventory(),
+                        model_replicas: self.replicas_on(node.id(), spec.model),
+                    },
+                    ResourceDemand::of(&spec.vnpu_config(npu), npu),
+                )
+            })
+            .collect();
+
+        for node_id in rank_nodes(policy, &candidates) {
+            let node = self.node_mut(node_id).expect("ranked node exists");
+            let config = spec.vnpu_config(node.npu_config());
+            let vnpu = match node
+                .manager_mut()
+                .create_vnpu(config, spec.mode, spec.priority)
+            {
+                Ok(vnpu) => vnpu,
+                // Board totals admitted the demand but no single core can
+                // pack it; fall through to the next-ranked node.
+                Err(Neu10Error::InsufficientResources { .. }) => continue,
+                Err(err) => return Err(err.into()),
+            };
+            node.manager_mut().start_vnpu(vnpu)?;
+
+            let handle = VnpuHandle {
+                node: node_id,
+                vnpu,
+            };
+            self.deployments.insert(
+                handle,
+                DeployedVnpu {
+                    handle,
+                    model: spec.model,
+                    config,
+                    priority: spec.priority,
+                    mode: spec.mode,
+                },
+            );
+            return Ok(handle);
+        }
+        Err(ClusterError::NoCapacity(format!(
+            "no node can host {} MEs / {} VEs for {:?}",
+            spec.mes, spec.ves, spec.model
+        )))
+    }
+
+    /// Tears down a deployment and releases its resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownVnpu`] for a stale handle.
+    pub fn undeploy(&mut self, handle: VnpuHandle) -> Result<(), ClusterError> {
+        let deployment = self
+            .deployments
+            .remove(&handle)
+            .ok_or(ClusterError::UnknownVnpu(handle))?;
+        let node = self
+            .node_mut(deployment.handle.node)
+            .ok_or(ClusterError::UnknownNode(deployment.handle.node))?;
+        node.manager_mut().destroy_vnpu(handle.vnpu)?;
+        Ok(())
+    }
+
+    /// Cold-migrates a deployment to `to`: drain → snapshot → transfer →
+    /// re-place → resume. `drain_cycles` is the caller's live estimate of the
+    /// in-flight work (the serving simulator passes the actual remaining
+    /// service time); `None` charges the cost model's grace budget.
+    ///
+    /// The destination placement is established *before* the source is torn
+    /// down (both live briefly, like the real transfer window), so a refused
+    /// migration leaves the source untouched and the caller's handle valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownVnpu`] / [`ClusterError::UnknownNode`] /
+    /// [`ClusterError::SameNode`] for bad arguments and
+    /// [`ClusterError::NoCapacity`] when the destination cannot host the vNPU.
+    pub fn migrate(
+        &mut self,
+        handle: VnpuHandle,
+        to: NodeId,
+        cost: &MigrationCostModel,
+        drain_cycles: Option<u64>,
+    ) -> Result<MigrationOutcome, ClusterError> {
+        let deployment = *self
+            .deployments
+            .get(&handle)
+            .ok_or(ClusterError::UnknownVnpu(handle))?;
+        if to == handle.node {
+            return Err(ClusterError::SameNode(to));
+        }
+        if self.node(to).is_none() {
+            return Err(ClusterError::UnknownNode(to));
+        }
+
+        // Snapshot the context and compute the state volume while the source
+        // placement is still live.
+        let source = self
+            .node(handle.node)
+            .ok_or(ClusterError::UnknownNode(handle.node))?;
+        let placement = *source
+            .manager()
+            .placement(handle.vnpu)
+            .ok_or(ClusterError::UnknownVnpu(handle))?;
+        let src_npu = source.npu_config().clone();
+        let context = VnpuContext::new(handle.vnpu, placement.mes, placement.ves);
+        let state_bytes = placement.sram_segments as u64 * src_npu.sram_segment_bytes
+            + placement.hbm_segments as u64 * src_npu.hbm_segment_bytes;
+
+        // Establish the destination placement first: if it is refused, the
+        // source deployment is untouched and the handle stays valid.
+        let dest_config = {
+            let dest = self.node(to).expect("destination checked above");
+            DeploySpec {
+                model: deployment.model,
+                mes: deployment.config.num_mes_per_core,
+                ves: deployment.config.num_ves_per_core,
+                sram_bytes: Some(deployment.config.sram_size_per_core),
+                hbm_bytes: Some(deployment.config.mem_size_per_core),
+                priority: deployment.priority,
+                mode: deployment.mode,
+            }
+            .vnpu_config(dest.npu_config())
+        };
+        let dest_result = {
+            let dest = self.node_mut(to).expect("destination checked above");
+            dest.manager_mut()
+                .create_vnpu(dest_config, deployment.mode, deployment.priority)
+                .and_then(|vnpu| dest.manager_mut().start_vnpu(vnpu).map(|()| vnpu))
+        };
+        let dest_vnpu = match dest_result {
+            Ok(vnpu) => vnpu,
+            Err(err) => {
+                return Err(ClusterError::NoCapacity(format!(
+                    "destination {to} rejected the vNPU: {err}"
+                )));
+            }
+        };
+
+        // Tear down the source mapping now that the destination is live.
+        self.deployments.remove(&handle);
+        self.node_mut(handle.node)
+            .expect("source node exists")
+            .manager_mut()
+            .destroy_vnpu(handle.vnpu)?;
+
+        let new_handle = VnpuHandle {
+            node: to,
+            vnpu: dest_vnpu,
+        };
+        self.deployments.insert(
+            new_handle,
+            DeployedVnpu {
+                handle: new_handle,
+                ..deployment
+            },
+        );
+
+        let record = MigrationRecord {
+            source_vnpu: handle.vnpu,
+            dest_vnpu,
+            from: handle.node,
+            to,
+            state_bytes,
+            drain_cycles: drain_cycles.unwrap_or(cost.drain_grace_cycles),
+            transfer_cycles: cost.transfer_cycles(state_bytes, src_npu.frequency).get(),
+            remap_cycles: cost.remap_cycles,
+        };
+        Ok(MigrationOutcome { record, context })
+    }
+}
+
+impl MigrationOutcome {
+    /// The handle of the vNPU after the migration.
+    pub fn new_handle(&self) -> VnpuHandle {
+        VnpuHandle {
+            node: self.record.to,
+            vnpu: self.record.dest_vnpu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fleet(nodes: usize) -> NpuCluster {
+        NpuCluster::homogeneous(nodes, &NpuConfig::single_core())
+    }
+
+    #[test]
+    fn deploy_places_starts_and_accounts() {
+        let mut fleet = small_fleet(2);
+        let handle = fleet
+            .deploy(
+                DeploySpec::replica(ModelId::Mnist, 2, 2),
+                PlacementPolicy::BestFit,
+            )
+            .unwrap();
+        assert_eq!(fleet.total_vnpus(), 1);
+        assert_eq!(fleet.replicas_on(handle.node, ModelId::Mnist), 1);
+        let node = fleet.node(handle.node).unwrap();
+        assert_eq!(node.manager().vnpu_count(), 1);
+        assert!(node.manager().placement(handle.vnpu).is_some());
+        fleet.undeploy(handle).unwrap();
+        assert_eq!(fleet.total_vnpus(), 0);
+    }
+
+    #[test]
+    fn best_fit_fills_a_node_before_spilling() {
+        let mut fleet = small_fleet(2);
+        let spec = DeploySpec::replica(ModelId::Mnist, 2, 2);
+        let a = fleet.deploy(spec, PlacementPolicy::BestFit).unwrap();
+        let b = fleet.deploy(spec, PlacementPolicy::BestFit).unwrap();
+        assert_eq!(a.node, b.node, "best-fit packs the same board");
+        let c = fleet.deploy(spec, PlacementPolicy::BestFit).unwrap();
+        assert_ne!(c.node, a.node, "full board spills to the next");
+    }
+
+    #[test]
+    fn worst_fit_spreads_replicas() {
+        let mut fleet = small_fleet(2);
+        let spec = DeploySpec::replica(ModelId::Mnist, 2, 2);
+        let a = fleet.deploy(spec, PlacementPolicy::WorstFit).unwrap();
+        let b = fleet.deploy(spec, PlacementPolicy::WorstFit).unwrap();
+        assert_ne!(a.node, b.node, "worst-fit spreads across boards");
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_reported() {
+        let mut fleet = small_fleet(1);
+        let spec = DeploySpec::replica(ModelId::Mnist, 4, 4);
+        fleet.deploy(spec, PlacementPolicy::BestFit).unwrap();
+        let err = fleet.deploy(spec, PlacementPolicy::BestFit).unwrap_err();
+        assert!(matches!(err, ClusterError::NoCapacity(_)));
+        assert_eq!(fleet.total_vnpus(), 1);
+    }
+
+    #[test]
+    fn migration_moves_state_and_preserves_count() {
+        let mut fleet = small_fleet(2);
+        let handle = fleet
+            .deploy(
+                DeploySpec::replica(ModelId::Bert, 2, 2),
+                PlacementPolicy::BestFit,
+            )
+            .unwrap();
+        let other = NodeId(if handle.node.0 == 0 { 1 } else { 0 });
+        let cost = MigrationCostModel::default();
+        let outcome = fleet.migrate(handle, other, &cost, Some(1_000)).unwrap();
+
+        assert_eq!(fleet.total_vnpus(), 1);
+        assert_eq!(outcome.record.from, handle.node);
+        assert_eq!(outcome.record.to, other);
+        assert_eq!(outcome.record.drain_cycles, 1_000);
+        assert!(outcome.record.state_bytes > 0);
+        assert!(outcome.record.transfer_cycles > 0);
+        assert!(outcome.record.downtime().get() > 1_000);
+        assert_eq!(outcome.context.allocated_mes, 2);
+
+        let new_handle = outcome.new_handle();
+        assert_eq!(fleet.deployment(new_handle).unwrap().model, ModelId::Bert);
+        assert!(fleet.deployment(handle).is_none(), "old handle is stale");
+        assert_eq!(fleet.node(handle.node).unwrap().manager().vnpu_count(), 0);
+        assert_eq!(fleet.node(other).unwrap().manager().vnpu_count(), 1);
+    }
+
+    #[test]
+    fn failed_migration_restores_the_source() {
+        let mut fleet = small_fleet(2);
+        // Fill node 1 completely so it cannot receive the migrant.
+        let blocker = DeploySpec::replica(ModelId::Mnist, 4, 4);
+        let spec = DeploySpec::replica(ModelId::Bert, 2, 2);
+        let a = fleet.deploy(spec, PlacementPolicy::BestFit).unwrap();
+        let dst = NodeId(if a.node.0 == 0 { 1 } else { 0 });
+        // Occupy the destination's engines.
+        let b = fleet.deploy(blocker, PlacementPolicy::BestFit).unwrap();
+        assert_eq!(b.node, dst);
+
+        let err = fleet
+            .migrate(a, dst, &MigrationCostModel::default(), None)
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::NoCapacity(_)));
+        assert_eq!(fleet.total_vnpus(), 2, "nothing was lost");
+        assert!(
+            fleet.deployment(a).is_some(),
+            "a refused migration must leave the caller's handle valid"
+        );
+        assert_eq!(
+            fleet
+                .deployments()
+                .filter(|d| d.model == ModelId::Bert)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        let mut fleet = small_fleet(2);
+        let handle = fleet
+            .deploy(
+                DeploySpec::replica(ModelId::Mnist, 1, 1),
+                PlacementPolicy::BestFit,
+            )
+            .unwrap();
+        let cost = MigrationCostModel::default();
+        assert!(matches!(
+            fleet.migrate(handle, handle.node, &cost, None),
+            Err(ClusterError::SameNode(_))
+        ));
+        assert!(matches!(
+            fleet.migrate(handle, NodeId(99), &cost, None),
+            Err(ClusterError::UnknownNode(_))
+        ));
+        let stale = VnpuHandle {
+            node: NodeId(0),
+            vnpu: VnpuId(77),
+        };
+        assert!(matches!(
+            fleet.migrate(stale, NodeId(1), &cost, None),
+            Err(ClusterError::UnknownVnpu(_))
+        ));
+        assert!(fleet.undeploy(stale).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-node resource inventory: the free ME/VE/SRAM/HBM capacity the
+//! placement engine scores over.
+
+use neu10::VnpuConfig;
+use npu_sim::NpuConfig;
+
+use crate::NodeId;
+
+/// The resources one vNPU deployment asks a node for, in the mapper's units
+/// (engines and memory segments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceDemand {
+    /// Matrix engines requested.
+    pub mes: usize,
+    /// Vector engines requested.
+    pub ves: usize,
+    /// SRAM segments requested.
+    pub sram_segments: u32,
+    /// HBM segments requested.
+    pub hbm_segments: u32,
+}
+
+impl ResourceDemand {
+    /// Derives the demand of a vNPU configuration against a board type,
+    /// mirroring the segment rounding of `neu10::PnpuMapper`.
+    pub fn of(config: &VnpuConfig, npu: &NpuConfig) -> Self {
+        ResourceDemand {
+            mes: config.num_mes_per_core,
+            ves: config.num_ves_per_core,
+            sram_segments: config
+                .sram_size_per_core
+                .div_ceil(npu.sram_segment_bytes)
+                .max(1) as u32,
+            hbm_segments: config
+                .mem_size_per_core
+                .div_ceil(npu.hbm_segment_bytes)
+                .max(1) as u32,
+        }
+    }
+}
+
+/// A snapshot of one node's free and total capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeInventory {
+    /// The node described.
+    pub node: NodeId,
+    /// Total MEs on the board.
+    pub total_mes: usize,
+    /// Free (uncommitted) MEs.
+    pub free_mes: usize,
+    /// Total VEs on the board.
+    pub total_ves: usize,
+    /// Free (uncommitted) VEs.
+    pub free_ves: usize,
+    /// Total SRAM segments on the board.
+    pub total_sram_segments: u32,
+    /// Free SRAM segments.
+    pub free_sram_segments: u32,
+    /// Total HBM segments on the board.
+    pub total_hbm_segments: u32,
+    /// Free HBM segments.
+    pub free_hbm_segments: u32,
+    /// vNPUs currently mapped on the node.
+    pub resident_vnpus: usize,
+}
+
+impl NodeInventory {
+    /// Whether the node still has `demand` free (board-level accounting; the
+    /// per-core packing decision stays with the node's `PnpuMapper`).
+    pub fn can_host(&self, demand: &ResourceDemand) -> bool {
+        self.free_mes >= demand.mes
+            && self.free_ves >= demand.ves
+            && self.free_sram_segments >= demand.sram_segments
+            && self.free_hbm_segments >= demand.hbm_segments
+    }
+
+    /// Committed fraction of the node's execution units.
+    pub fn eu_utilization(&self) -> f64 {
+        let total = (self.total_mes + self.total_ves) as f64;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        1.0 - (self.free_mes + self.free_ves) as f64 / total
+    }
+
+    /// Committed fraction of the node's HBM segments.
+    pub fn memory_utilization(&self) -> f64 {
+        if self.total_hbm_segments == 0 {
+            return 0.0;
+        }
+        1.0 - self.free_hbm_segments as f64 / self.total_hbm_segments as f64
+    }
+
+    /// The committed-EU vs committed-memory imbalance *after* hypothetically
+    /// hosting `demand` (0 = perfectly balanced); used by topology-aware
+    /// scoring to avoid stranding memory behind exhausted engines.
+    pub fn imbalance_after(&self, demand: &ResourceDemand) -> f64 {
+        let total_eus = (self.total_mes + self.total_ves) as f64;
+        let total_mem = self.total_hbm_segments as f64;
+        if total_eus <= 0.0 || total_mem <= 0.0 {
+            return 0.0;
+        }
+        let eu_frac = 1.0
+            - (self.free_mes.saturating_sub(demand.mes) + self.free_ves.saturating_sub(demand.ves))
+                as f64
+                / total_eus;
+        let mem_frac =
+            1.0 - self.free_hbm_segments.saturating_sub(demand.hbm_segments) as f64 / total_mem;
+        (eu_frac - mem_frac).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inventory(free_mes: usize, free_ves: usize, free_hbm: u32) -> NodeInventory {
+        NodeInventory {
+            node: NodeId(0),
+            total_mes: 8,
+            free_mes,
+            total_ves: 8,
+            free_ves,
+            total_sram_segments: 64,
+            free_sram_segments: 64,
+            total_hbm_segments: 64,
+            free_hbm_segments: free_hbm,
+            resident_vnpus: 0,
+        }
+    }
+
+    #[test]
+    fn demand_rounds_memory_to_segments() {
+        let npu = NpuConfig::single_core();
+        let config = VnpuConfig::single_core(2, 2, 1, 1);
+        let demand = ResourceDemand::of(&config, &npu);
+        assert_eq!(demand.mes, 2);
+        assert_eq!(demand.sram_segments, 1, "sub-segment SRAM rounds up to 1");
+        assert_eq!(demand.hbm_segments, 1, "sub-segment HBM rounds up to 1");
+    }
+
+    #[test]
+    fn can_host_checks_every_dimension() {
+        let demand = ResourceDemand {
+            mes: 2,
+            ves: 2,
+            sram_segments: 4,
+            hbm_segments: 8,
+        };
+        assert!(inventory(4, 4, 32).can_host(&demand));
+        assert!(!inventory(1, 4, 32).can_host(&demand));
+        assert!(!inventory(4, 1, 32).can_host(&demand));
+        assert!(!inventory(4, 4, 4).can_host(&demand));
+    }
+
+    #[test]
+    fn utilization_fractions_are_bounded() {
+        let inv = inventory(2, 6, 16);
+        assert!((inv.eu_utilization() - 0.5).abs() < 1e-12);
+        assert!((inv.memory_utilization() - 0.75).abs() < 1e-12);
+    }
+}

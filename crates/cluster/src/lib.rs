@@ -1,0 +1,70 @@
+//! Datacenter fleet layer above the single-board Neu10 stack.
+//!
+//! The core reproduction stops at one [`neu10::VnpuManager`] owning one NPU
+//! board. Serving production traffic is a *fleet* problem: requests have to
+//! be balanced across many boards, vNPUs have to be placed where capacity and
+//! locality are best, and running vNPUs occasionally have to move (board
+//! maintenance, defragmentation, load spikes). This crate provides that
+//! layer:
+//!
+//! * [`NpuCluster`] — owns N [`ClusterNode`]s (one `VnpuManager`-backed board
+//!   each) and a cluster-level **placement engine** ([`placement`]) scoring
+//!   per-node free ME/VE/SRAM/HBM inventory under best-fit, worst-fit or
+//!   topology-aware policies;
+//! * [`router`] / [`serving`] — an open-loop request **router** with
+//!   per-model queues, admission control and pluggable dispatch policies
+//!   (round-robin, least-loaded, locality-affine), plus the discrete-event
+//!   serving simulator that replays a [`workloads::ClusterTrace`] against the
+//!   deployed replicas;
+//! * [`migration`] — **cold vNPU migration** between nodes (drain → snapshot
+//!   the [`neu10::scheduler::VnpuContext`] → re-place → resume) with a cost
+//!   model built on [`npu_sim::InterconnectConfig`], charged to tenant
+//!   latency.
+//!
+//! # Example
+//!
+//! ```
+//! use cluster::{DeploySpec, NpuCluster, PlacementPolicy};
+//! use npu_sim::NpuConfig;
+//! use workloads::ModelId;
+//!
+//! let mut fleet = NpuCluster::homogeneous(4, &NpuConfig::single_core());
+//! let handle = fleet
+//!     .deploy(DeploySpec::replica(ModelId::Mnist, 2, 2), PlacementPolicy::BestFit)
+//!     .unwrap();
+//! assert_eq!(fleet.total_vnpus(), 1);
+//! assert!(fleet.node(handle.node).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod cluster;
+pub mod inventory;
+pub mod migration;
+pub mod node;
+pub mod placement;
+pub mod router;
+pub mod serving;
+
+pub use cluster::{ClusterError, DeploySpec, DeployedVnpu, NpuCluster, VnpuHandle};
+pub use inventory::{NodeInventory, ResourceDemand};
+pub use migration::{MigrationCostModel, MigrationOutcome, MigrationRecord};
+pub use node::ClusterNode;
+pub use placement::{rank_nodes, select_node, PlacementCandidate, PlacementPolicy};
+pub use router::{AdmissionControl, DispatchPolicy, RouterStats};
+pub use serving::{
+    estimated_service_cycles, ClusterServingSim, ScheduledMigration, ServingOptions, ServingReport,
+};
+
+/// Identifies one node (board + host) of the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}

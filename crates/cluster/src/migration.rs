@@ -1,0 +1,116 @@
+//! Cold vNPU migration between nodes.
+//!
+//! A cold migration is drain → snapshot → transfer → re-place → resume: the
+//! vNPU stops accepting work, its in-flight request finishes (drain), its
+//! architectural context ([`neu10::scheduler::VnpuContext`]) and resident
+//! SRAM + HBM state are streamed to the destination board over the
+//! interconnect, the destination's `PnpuMapper` re-places it, and serving
+//! resumes. The whole downtime is charged to the tenant's request latency by
+//! the serving simulator.
+
+use neu10::scheduler::VnpuContext;
+use neu10::VnpuId;
+use npu_sim::{Cycles, Frequency, InterconnectConfig};
+
+use crate::NodeId;
+
+/// The knobs pricing one cold migration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationCostModel {
+    /// The board-to-board link state is streamed over.
+    pub interconnect: InterconnectConfig,
+    /// Cycles budgeted for draining the in-flight request when the caller
+    /// has no live estimate (the serving simulator substitutes the actual
+    /// remaining service time).
+    pub drain_grace_cycles: u64,
+    /// Fixed cycles for tearing down and re-establishing the mapping
+    /// (segment tables, IOMMU entries, vDev MMIO state).
+    pub remap_cycles: u64,
+}
+
+impl Default for MigrationCostModel {
+    fn default() -> Self {
+        MigrationCostModel {
+            interconnect: InterconnectConfig::tpu_v4_ici(),
+            drain_grace_cycles: 100_000,
+            remap_cycles: 50_000,
+        }
+    }
+}
+
+impl MigrationCostModel {
+    /// Cycles to stream `state_bytes` of vNPU state across the interconnect.
+    pub fn transfer_cycles(&self, state_bytes: u64, frequency: Frequency) -> Cycles {
+        self.interconnect.transfer_cycles(state_bytes, frequency)
+    }
+}
+
+/// The accounting record of one completed migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// The vNPU id on the source node (ids are node-local).
+    pub source_vnpu: VnpuId,
+    /// The vNPU id assigned on the destination node.
+    pub dest_vnpu: VnpuId,
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Bytes of SRAM + HBM state streamed.
+    pub state_bytes: u64,
+    /// Cycles spent draining the in-flight request.
+    pub drain_cycles: u64,
+    /// Cycles spent streaming state over the interconnect.
+    pub transfer_cycles: u64,
+    /// Cycles spent re-establishing the mapping on the destination.
+    pub remap_cycles: u64,
+}
+
+impl MigrationRecord {
+    /// Total downtime of the vNPU: the window during which no request can be
+    /// served, charged to tenant latency.
+    pub fn downtime(&self) -> Cycles {
+        Cycles(self.drain_cycles + self.transfer_cycles + self.remap_cycles)
+    }
+}
+
+/// A completed migration: its accounting plus the snapshot that moved and the
+/// vNPU's identity on the destination node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationOutcome {
+    /// The per-migration accounting.
+    pub record: MigrationRecord,
+    /// The architectural context snapshot that was transferred.
+    pub context: VnpuContext,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downtime_sums_every_phase() {
+        let record = MigrationRecord {
+            source_vnpu: VnpuId(0),
+            dest_vnpu: VnpuId(1),
+            from: NodeId(0),
+            to: NodeId(1),
+            state_bytes: 1 << 30,
+            drain_cycles: 10,
+            transfer_cycles: 20,
+            remap_cycles: 30,
+        };
+        assert_eq!(record.downtime(), Cycles(60));
+    }
+
+    #[test]
+    fn faster_links_shrink_transfer_time() {
+        let slow = MigrationCostModel {
+            interconnect: InterconnectConfig::rdma_100g(),
+            ..MigrationCostModel::default()
+        };
+        let fast = MigrationCostModel::default();
+        let f = Frequency::from_mhz(1050.0);
+        assert!(slow.transfer_cycles(8 << 30, f) > fast.transfer_cycles(8 << 30, f));
+    }
+}

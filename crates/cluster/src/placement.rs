@@ -1,0 +1,195 @@
+//! The cluster-level placement engine.
+//!
+//! Scores candidate nodes by their free ME/VE/SRAM/HBM inventory and picks
+//! where a new vNPU should live. Per-core packing on the chosen board is then
+//! delegated to that node's `neu10::PnpuMapper`, so the engine only decides
+//! *which board*, never *which core*.
+
+use crate::inventory::{NodeInventory, ResourceDemand};
+use crate::NodeId;
+
+/// How the cluster picks the node hosting a new vNPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementPolicy {
+    /// Pack tightly: the admissible node left with the *least* free capacity
+    /// after placement wins. Minimizes fragmentation and keeps whole boards
+    /// free for large vNPUs.
+    BestFit,
+    /// Spread: the admissible node left with the *most* free capacity after
+    /// placement wins. Minimizes interference between collocated tenants.
+    WorstFit,
+    /// Locality- and balance-aware: prefers nodes already hosting replicas of
+    /// the same model (weight reuse, §locality of arXiv 2506.11446) and
+    /// penalizes committed-EU vs committed-memory imbalance.
+    TopologyAware,
+}
+
+impl PlacementPolicy {
+    /// Every placement policy, for sweeps.
+    pub fn all() -> [PlacementPolicy; 3] {
+        [
+            PlacementPolicy::BestFit,
+            PlacementPolicy::WorstFit,
+            PlacementPolicy::TopologyAware,
+        ]
+    }
+
+    /// A short stable label for tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::BestFit => "best-fit",
+            PlacementPolicy::WorstFit => "worst-fit",
+            PlacementPolicy::TopologyAware => "topology",
+        }
+    }
+}
+
+/// One node the engine may choose, with the placement-relevant context the
+/// cluster computed for it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementCandidate {
+    /// The node's free/total capacity.
+    pub inventory: NodeInventory,
+    /// Replicas of the to-be-placed model already resident on the node.
+    pub model_replicas: usize,
+}
+
+/// Free-capacity fraction remaining on the node after hosting `demand`
+/// (mean over the engine and HBM dimensions).
+fn free_after_fraction(inventory: &NodeInventory, demand: &ResourceDemand) -> f64 {
+    let eu_total = (inventory.total_mes + inventory.total_ves).max(1) as f64;
+    let eu_free = (inventory.free_mes.saturating_sub(demand.mes)
+        + inventory.free_ves.saturating_sub(demand.ves)) as f64;
+    let mem_total = inventory.total_hbm_segments.max(1) as f64;
+    let mem_free = inventory
+        .free_hbm_segments
+        .saturating_sub(demand.hbm_segments) as f64;
+    (eu_free / eu_total + mem_free / mem_total) / 2.0
+}
+
+/// Scores one candidate under `policy`; lower is better.
+pub fn score(
+    policy: PlacementPolicy,
+    candidate: &PlacementCandidate,
+    demand: &ResourceDemand,
+) -> f64 {
+    let free_after = free_after_fraction(&candidate.inventory, demand);
+    match policy {
+        PlacementPolicy::BestFit => free_after,
+        PlacementPolicy::WorstFit => -free_after,
+        PlacementPolicy::TopologyAware => {
+            // Locality dominates, then balance, then packing. The locality
+            // term saturates so one node never accumulates every replica.
+            let locality = -(candidate.model_replicas.min(4) as f64) * 0.25;
+            let imbalance = candidate.inventory.imbalance_after(demand);
+            locality + imbalance + 0.1 * free_after
+        }
+    }
+}
+
+/// Ranks the admissible nodes best-first under `policy`; each candidate is
+/// paired with its own demand (segment rounding differs across heterogeneous
+/// board types). Ties break towards the lowest node id, keeping placement
+/// deterministic. Board-level admission (`can_host`) is necessary but not
+/// sufficient — per-core packing can still refuse — so callers should try
+/// the ranked nodes in order.
+pub fn rank_nodes(
+    policy: PlacementPolicy,
+    candidates: &[(PlacementCandidate, ResourceDemand)],
+) -> Vec<NodeId> {
+    let mut admissible: Vec<(f64, NodeId)> = candidates
+        .iter()
+        .filter(|(candidate, demand)| candidate.inventory.can_host(demand))
+        .map(|(candidate, demand)| (score(policy, candidate, demand), candidate.inventory.node))
+        .collect();
+    admissible.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    admissible.into_iter().map(|(_, node)| node).collect()
+}
+
+/// Picks the best node for a uniform demand, or `None` when no candidate has
+/// the capacity. Convenience wrapper over [`rank_nodes`].
+pub fn select_node(
+    policy: PlacementPolicy,
+    candidates: &[PlacementCandidate],
+    demand: &ResourceDemand,
+) -> Option<NodeId> {
+    let paired: Vec<(PlacementCandidate, ResourceDemand)> =
+        candidates.iter().map(|c| (*c, *demand)).collect();
+    rank_nodes(policy, &paired).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidate(node: u32, free_mes: usize, free_hbm: u32, replicas: usize) -> PlacementCandidate {
+        PlacementCandidate {
+            inventory: NodeInventory {
+                node: NodeId(node),
+                total_mes: 8,
+                free_mes,
+                total_ves: 8,
+                free_ves: free_mes,
+                total_sram_segments: 64,
+                free_sram_segments: 64,
+                total_hbm_segments: 64,
+                free_hbm_segments: free_hbm,
+                resident_vnpus: (8 - free_mes) / 2,
+            },
+            model_replicas: replicas,
+        }
+    }
+
+    fn demand() -> ResourceDemand {
+        ResourceDemand {
+            mes: 2,
+            ves: 2,
+            sram_segments: 2,
+            hbm_segments: 8,
+        }
+    }
+
+    #[test]
+    fn best_fit_packs_and_worst_fit_spreads() {
+        let candidates = [candidate(0, 8, 64, 0), candidate(1, 4, 32, 0)];
+        assert_eq!(
+            select_node(PlacementPolicy::BestFit, &candidates, &demand()),
+            Some(NodeId(1)),
+            "best-fit picks the fuller node"
+        );
+        assert_eq!(
+            select_node(PlacementPolicy::WorstFit, &candidates, &demand()),
+            Some(NodeId(0)),
+            "worst-fit picks the emptier node"
+        );
+    }
+
+    #[test]
+    fn topology_aware_prefers_model_locality() {
+        let candidates = [candidate(0, 8, 64, 0), candidate(1, 6, 48, 2)];
+        assert_eq!(
+            select_node(PlacementPolicy::TopologyAware, &candidates, &demand()),
+            Some(NodeId(1)),
+            "resident replicas attract new ones"
+        );
+    }
+
+    #[test]
+    fn full_nodes_are_skipped_and_empty_fleets_reject() {
+        let candidates = [candidate(0, 1, 64, 0), candidate(1, 0, 2, 0)];
+        assert_eq!(
+            select_node(PlacementPolicy::BestFit, &candidates, &demand()),
+            None
+        );
+        assert_eq!(select_node(PlacementPolicy::BestFit, &[], &demand()), None);
+    }
+
+    #[test]
+    fn ties_break_deterministically_to_the_lowest_node() {
+        let candidates = [candidate(3, 8, 64, 0), candidate(1, 8, 64, 0)];
+        assert_eq!(
+            select_node(PlacementPolicy::WorstFit, &candidates, &demand()),
+            Some(NodeId(1))
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! The cluster request router: per-model replica selection, admission
+//! control and the pluggable dispatch policies.
+//!
+//! The router is deliberately state-light — it sees a snapshot of every
+//! candidate replica ([`ReplicaView`]) at each arrival and picks one (or
+//! rejects the request). The serving simulator ([`crate::serving`]) owns the
+//! queues and clocks; production code would back the same interface with live
+//! load reports.
+
+use std::collections::BTreeMap;
+
+use workloads::ModelId;
+
+use crate::NodeId;
+
+/// How the router picks among the replicas of a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchPolicy {
+    /// Cycle through the replicas regardless of their load.
+    RoundRobin,
+    /// Send to the replica with the least outstanding work.
+    LeastLoaded,
+    /// Prefer replicas on nodes hosting the most replicas of the model
+    /// (weight locality / warm HBM); ties break towards the least loaded.
+    LocalityAffine,
+}
+
+impl DispatchPolicy {
+    /// Every dispatch policy, for sweeps.
+    pub fn all() -> [DispatchPolicy; 3] {
+        [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastLoaded,
+            DispatchPolicy::LocalityAffine,
+        ]
+    }
+
+    /// A short stable label for tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::LeastLoaded => "least-loaded",
+            DispatchPolicy::LocalityAffine => "locality",
+        }
+    }
+}
+
+/// Admission control limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// Maximum requests queued on one replica; arrivals that would exceed it
+    /// are rejected (load shedding beats unbounded tail latency).
+    pub max_queue_depth: usize,
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        AdmissionControl {
+            max_queue_depth: 64,
+        }
+    }
+}
+
+/// Router counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Requests offered by the trace.
+    pub offered: usize,
+    /// Requests admitted and enqueued on a replica.
+    pub admitted: usize,
+    /// Requests rejected because no replica serves the model.
+    pub rejected_no_replica: usize,
+    /// Requests rejected by admission control.
+    pub rejected_overload: usize,
+    /// Requests that completed service.
+    pub completed: usize,
+}
+
+impl RouterStats {
+    /// Total rejections.
+    pub fn rejected(&self) -> usize {
+        self.rejected_no_replica + self.rejected_overload
+    }
+}
+
+/// A snapshot of one candidate replica at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaView {
+    /// Index of the replica in the caller's replica table.
+    pub index: usize,
+    /// The node hosting the replica.
+    pub node: NodeId,
+    /// Requests queued (excluding the one in service).
+    pub queue_len: usize,
+    /// Whether a request is currently in service.
+    pub busy: bool,
+    /// Whether the replica is mid-migration (draining or transferring).
+    pub unavailable: bool,
+    /// Replicas of the same model on the replica's node (locality signal).
+    pub node_replicas: usize,
+}
+
+impl ReplicaView {
+    /// Outstanding work on the replica, in requests.
+    pub fn outstanding(&self) -> usize {
+        self.queue_len + usize::from(self.busy)
+    }
+}
+
+/// The outcome of routing one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchDecision {
+    /// Enqueue on the replica at this index of the caller's table.
+    Dispatch(usize),
+    /// No replica serves the model.
+    RejectNoReplica,
+    /// Admission control rejected the request.
+    RejectOverload,
+}
+
+/// The request router.
+#[derive(Debug)]
+pub struct Router {
+    policy: DispatchPolicy,
+    admission: AdmissionControl,
+    rr_cursor: BTreeMap<ModelId, usize>,
+    stats: RouterStats,
+}
+
+impl Router {
+    /// A router with the given policy and admission limits.
+    pub fn new(policy: DispatchPolicy, admission: AdmissionControl) -> Self {
+        Router {
+            policy,
+            admission,
+            rr_cursor: BTreeMap::new(),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Records a completed request.
+    pub fn record_completion(&mut self) {
+        self.stats.completed += 1;
+    }
+
+    /// Routes one request for `model` over the candidate `replicas`
+    /// (all replicas of that model, in stable index order).
+    pub fn dispatch(&mut self, model: ModelId, replicas: &[ReplicaView]) -> DispatchDecision {
+        self.stats.offered += 1;
+        if replicas.is_empty() {
+            self.stats.rejected_no_replica += 1;
+            return DispatchDecision::RejectNoReplica;
+        }
+
+        let pick = match self.policy {
+            DispatchPolicy::RoundRobin => {
+                let cursor = self.rr_cursor.entry(model).or_insert(0);
+                let choice = *cursor % replicas.len();
+                *cursor = (*cursor + 1) % replicas.len();
+                replicas[choice]
+            }
+            DispatchPolicy::LeastLoaded => *replicas
+                .iter()
+                .min_by_key(|r| (r.unavailable, r.outstanding(), r.index))
+                .expect("non-empty"),
+            DispatchPolicy::LocalityAffine => *replicas
+                .iter()
+                .min_by_key(|r| {
+                    (
+                        r.unavailable,
+                        std::cmp::Reverse(r.node_replicas),
+                        r.outstanding(),
+                        r.index,
+                    )
+                })
+                .expect("non-empty"),
+        };
+
+        if pick.queue_len >= self.admission.max_queue_depth {
+            self.stats.rejected_overload += 1;
+            return DispatchDecision::RejectOverload;
+        }
+        self.stats.admitted += 1;
+        DispatchDecision::Dispatch(pick.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(index: usize, node: u32, queue_len: usize, busy: bool) -> ReplicaView {
+        ReplicaView {
+            index,
+            node: NodeId(node),
+            queue_len,
+            busy,
+            unavailable: false,
+            node_replicas: 1,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_per_model() {
+        let mut router = Router::new(DispatchPolicy::RoundRobin, AdmissionControl::default());
+        let replicas = [view(0, 0, 0, false), view(1, 1, 0, false)];
+        let picks: Vec<DispatchDecision> = (0..4)
+            .map(|_| router.dispatch(ModelId::Mnist, &replicas))
+            .collect();
+        assert_eq!(
+            picks,
+            vec![
+                DispatchDecision::Dispatch(0),
+                DispatchDecision::Dispatch(1),
+                DispatchDecision::Dispatch(0),
+                DispatchDecision::Dispatch(1),
+            ]
+        );
+        // Independent cursor per model.
+        assert_eq!(
+            router.dispatch(ModelId::Bert, &replicas),
+            DispatchDecision::Dispatch(0)
+        );
+    }
+
+    #[test]
+    fn least_loaded_follows_outstanding_work() {
+        let mut router = Router::new(DispatchPolicy::LeastLoaded, AdmissionControl::default());
+        let replicas = [
+            view(0, 0, 3, true),
+            view(1, 1, 1, true),
+            view(2, 2, 1, false),
+        ];
+        assert_eq!(
+            router.dispatch(ModelId::Mnist, &replicas),
+            DispatchDecision::Dispatch(2),
+            "idle replica with the short queue wins"
+        );
+    }
+
+    #[test]
+    fn least_loaded_avoids_migrating_replicas() {
+        let mut router = Router::new(DispatchPolicy::LeastLoaded, AdmissionControl::default());
+        let mut migrating = view(0, 0, 0, false);
+        migrating.unavailable = true;
+        let replicas = [migrating, view(1, 1, 2, true)];
+        assert_eq!(
+            router.dispatch(ModelId::Mnist, &replicas),
+            DispatchDecision::Dispatch(1)
+        );
+    }
+
+    #[test]
+    fn locality_prefers_replica_dense_nodes() {
+        let mut router = Router::new(DispatchPolicy::LocalityAffine, AdmissionControl::default());
+        let mut dense = view(1, 1, 1, true);
+        dense.node_replicas = 3;
+        let replicas = [view(0, 0, 0, false), dense];
+        assert_eq!(
+            router.dispatch(ModelId::Mnist, &replicas),
+            DispatchDecision::Dispatch(1),
+            "locality outweighs load"
+        );
+    }
+
+    #[test]
+    fn admission_control_sheds_load() {
+        let mut router = Router::new(
+            DispatchPolicy::LeastLoaded,
+            AdmissionControl { max_queue_depth: 2 },
+        );
+        let replicas = [view(0, 0, 2, true)];
+        assert_eq!(
+            router.dispatch(ModelId::Mnist, &replicas),
+            DispatchDecision::RejectOverload
+        );
+        assert_eq!(
+            router.dispatch(ModelId::Mnist, &[]),
+            DispatchDecision::RejectNoReplica
+        );
+        let stats = router.stats();
+        assert_eq!(stats.offered, 2);
+        assert_eq!(stats.admitted, 0);
+        assert_eq!(stats.rejected(), 2);
+    }
+}

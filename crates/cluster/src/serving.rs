@@ -1,0 +1,550 @@
+//! The open-loop cluster serving simulator.
+//!
+//! Replays a [`workloads::ClusterTrace`] against the replicas deployed in an
+//! [`NpuCluster`]: every arrival is routed by the [`Router`], waits in its
+//! replica's FIFO queue, and occupies the replica for the model's calibrated
+//! service time. Cold migrations can be scheduled mid-run; a migrating
+//! replica drains its in-flight request, goes dark for the transfer + remap
+//! window, and resumes on the destination node — with the whole downtime
+//! charged to the latency of the requests queued behind it.
+//!
+//! Service times are calibrated from the same compiled operator streams the
+//! single-board runtime replays ([`neu10::TenantWorkload`]), so fleet-level
+//! numbers stay consistent with the per-board simulation.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use neu10::{IsaKind, LatencySummary, TenantWorkload};
+use npu_sim::{Cycles, NpuConfig};
+use workloads::{ClusterTrace, ModelId};
+
+use crate::cluster::{NpuCluster, VnpuHandle};
+use crate::migration::{MigrationCostModel, MigrationRecord};
+use crate::router::{
+    AdmissionControl, DispatchDecision, DispatchPolicy, ReplicaView, Router, RouterStats,
+};
+use crate::NodeId;
+
+/// A migration the operator schedules before the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledMigration {
+    /// When the migration is triggered.
+    pub at: Cycles,
+    /// The deployment to move (its handle at schedule time).
+    pub handle: VnpuHandle,
+    /// The destination node.
+    pub to: NodeId,
+}
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServingOptions {
+    /// The dispatch policy under test.
+    pub dispatch: DispatchPolicy,
+    /// Admission-control limits.
+    pub admission: AdmissionControl,
+    /// Migrations to trigger mid-run.
+    pub migrations: Vec<ScheduledMigration>,
+    /// The migration cost model.
+    pub cost_model: MigrationCostModel,
+}
+
+impl ServingOptions {
+    /// Default options for a dispatch policy.
+    pub fn new(dispatch: DispatchPolicy) -> Self {
+        ServingOptions {
+            dispatch,
+            admission: AdmissionControl::default(),
+            migrations: Vec::new(),
+            cost_model: MigrationCostModel::default(),
+        }
+    }
+
+    /// Overrides the admission limits.
+    pub fn with_admission(mut self, admission: AdmissionControl) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Schedules a migration.
+    pub fn with_migration(mut self, at: Cycles, handle: VnpuHandle, to: NodeId) -> Self {
+        self.migrations.push(ScheduledMigration { at, handle, to });
+        self
+    }
+}
+
+/// The measurements of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// The dispatch policy that ran.
+    pub dispatch: DispatchPolicy,
+    /// Router counters (offered / admitted / rejected / completed).
+    pub stats: RouterStats,
+    /// Latency summary over every completed request (cycles from arrival to
+    /// completion — queueing, service and migration downtime included).
+    pub latency: LatencySummary,
+    /// Per-model latency summaries.
+    pub per_model: BTreeMap<ModelId, LatencySummary>,
+    /// Requests completed per node (attributed to the node that served them).
+    pub per_node_completed: BTreeMap<NodeId, usize>,
+    /// The migrations that actually executed.
+    pub migrations: Vec<MigrationRecord>,
+    /// Time of the last completion.
+    pub makespan: Cycles,
+}
+
+impl ServingReport {
+    /// Aggregate throughput in requests per second.
+    pub fn throughput_rps(&self, config: &NpuConfig) -> f64 {
+        neu10::throughput_rps(self.stats.completed, self.makespan, config.frequency)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    model: ModelId,
+    arrived: u64,
+}
+
+#[derive(Debug)]
+struct ReplicaSim {
+    handle: VnpuHandle,
+    model: ModelId,
+    service_cycles: u64,
+    queue: VecDeque<Request>,
+    in_service: Option<(Request, u64)>,
+    available_at: u64,
+    pending_migration: Option<(NodeId, u64)>,
+}
+
+impl ReplicaSim {
+    fn unavailable(&self, now: u64) -> bool {
+        now < self.available_at || self.pending_migration.is_some()
+    }
+}
+
+// Event kinds, ordered so that at equal timestamps completions free capacity
+// before resumes re-open replicas and before migrations trigger.
+const EV_COMPLETION: u8 = 0;
+const EV_RESUME: u8 = 1;
+const EV_MIGRATION: u8 = 2;
+
+/// The fluid service-time estimate of one request on a `mes`×`ves` replica:
+/// each operator runs at the rate of the engines the replica owns and the
+/// node's HBM bandwidth. Harnesses use this to size offered load relative to
+/// fleet capacity.
+pub fn estimated_service_cycles(model: ModelId, mes: usize, ves: usize, npu: &NpuConfig) -> u64 {
+    let workload =
+        TenantWorkload::compile(model, model.evaluation_batch_size(), npu, IsaKind::NeuIsa);
+    let bw_per_cycle = npu.hbm_bandwidth_bytes_per_sec / npu.frequency.hz();
+    let mut total = 0.0f64;
+    for op in &workload.operators {
+        let mut t = 0.0f64;
+        if op.me_cycles > 0 {
+            let engines = op.me_parallelism.max(1).min(mes.max(1));
+            t = t.max(op.me_cycles as f64 / engines as f64);
+        }
+        if op.ve_cycles > 0 {
+            let engines = op.ve_parallelism.max(1).min(ves.max(1));
+            t = t.max(op.ve_cycles as f64 / engines as f64);
+        }
+        if op.hbm_bytes > 0 && bw_per_cycle > 0.0 {
+            t = t.max(op.hbm_bytes as f64 / bw_per_cycle);
+        }
+        total += t;
+    }
+    (total as u64).max(1)
+}
+
+/// The open-loop serving simulator.
+#[derive(Debug, Clone)]
+pub struct ClusterServingSim {
+    options: ServingOptions,
+}
+
+impl ClusterServingSim {
+    /// Builds a simulator with the given options.
+    pub fn new(options: ServingOptions) -> Self {
+        ClusterServingSim { options }
+    }
+
+    /// Replays `trace` against the replicas deployed in `cluster`.
+    ///
+    /// The cluster is mutated by scheduled migrations (their placements
+    /// genuinely move); everything else is read-only.
+    pub fn run(&self, cluster: &mut NpuCluster, trace: &ClusterTrace) -> ServingReport {
+        // Calibration cache: boards are compared by configuration, not node
+        // identity, so a homogeneous fleet compiles each (model, allocation)
+        // exactly once.
+        let mut service_cache: Vec<(ModelId, usize, usize, NpuConfig, u64)> = Vec::new();
+        let mut replicas: Vec<ReplicaSim> = cluster
+            .deployments()
+            .map(|d| {
+                let node = cluster.node(d.handle.node).expect("deployment node exists");
+                let mes = d.config.num_mes_per_core;
+                let ves = d.config.num_ves_per_core;
+                let npu = node.npu_config();
+                let service_cycles = match service_cache
+                    .iter()
+                    .find(|(m, me, ve, config, _)| {
+                        *m == d.model && *me == mes && *ve == ves && config == npu
+                    })
+                    .map(|(_, _, _, _, cycles)| *cycles)
+                {
+                    Some(cycles) => cycles,
+                    None => {
+                        let cycles = estimated_service_cycles(d.model, mes, ves, npu);
+                        service_cache.push((d.model, mes, ves, npu.clone(), cycles));
+                        cycles
+                    }
+                };
+                ReplicaSim {
+                    handle: d.handle,
+                    model: d.model,
+                    service_cycles,
+                    queue: VecDeque::new(),
+                    in_service: None,
+                    available_at: 0,
+                    pending_migration: None,
+                }
+            })
+            .collect();
+
+        let mut router = Router::new(self.options.dispatch, self.options.admission);
+        let mut events: BinaryHeap<Reverse<(u64, u8, usize)>> = BinaryHeap::new();
+        for (index, migration) in self.options.migrations.iter().enumerate() {
+            events.push(Reverse((migration.at.get(), EV_MIGRATION, index)));
+        }
+
+        let arrivals = trace.arrivals();
+        let mut next_arrival = 0usize;
+        let mut makespan = 0u64;
+        let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
+        let mut per_model: BTreeMap<ModelId, Vec<u64>> = BTreeMap::new();
+        let mut per_node_completed: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut migration_records: Vec<MigrationRecord> = Vec::new();
+
+        loop {
+            let event_time = events.peek().map(|Reverse((t, _, _))| *t);
+            let arrival_time = arrivals.get(next_arrival).map(|a| a.at.get());
+            let take_event = match (event_time, arrival_time) {
+                (None, None) => break,
+                (Some(t), Some(at)) => t <= at,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+            };
+
+            if take_event {
+                let Reverse((now, kind, index)) = events.pop().expect("peeked above");
+                makespan = makespan.max(now);
+                match kind {
+                    EV_COMPLETION => {
+                        let replica = &mut replicas[index];
+                        let (request, finish) = replica
+                            .in_service
+                            .take()
+                            .expect("completion without service");
+                        debug_assert_eq!(finish, now);
+                        let latency = now.saturating_sub(request.arrived);
+                        latencies.push(latency);
+                        per_model.entry(request.model).or_default().push(latency);
+                        *per_node_completed.entry(replica.handle.node).or_default() += 1;
+                        router.record_completion();
+                        if let Some((to, requested_at)) = replica.pending_migration.take() {
+                            let drain = now.saturating_sub(requested_at);
+                            Self::execute_migration(
+                                cluster,
+                                &mut replicas[index],
+                                now,
+                                to,
+                                drain,
+                                &self.options.cost_model,
+                                &mut migration_records,
+                                &mut events,
+                                index,
+                            );
+                        } else {
+                            Self::start_next(&mut replicas[index], now, &mut events, index);
+                        }
+                    }
+                    EV_RESUME => {
+                        Self::start_next(&mut replicas[index], now, &mut events, index);
+                    }
+                    EV_MIGRATION => {
+                        let scheduled = self.options.migrations[index];
+                        let Some(target) =
+                            replicas.iter().position(|r| r.handle == scheduled.handle)
+                        else {
+                            continue; // stale handle (already moved or undeployed)
+                        };
+                        if replicas[target].handle.node == scheduled.to {
+                            continue;
+                        }
+                        if replicas[target].in_service.is_some() {
+                            // Drain first; the completion event finishes the job.
+                            replicas[target].pending_migration = Some((scheduled.to, now));
+                        } else {
+                            Self::execute_migration(
+                                cluster,
+                                &mut replicas[target],
+                                now,
+                                scheduled.to,
+                                0,
+                                &self.options.cost_model,
+                                &mut migration_records,
+                                &mut events,
+                                target,
+                            );
+                        }
+                    }
+                    _ => unreachable!("unknown event kind"),
+                }
+            } else {
+                let arrival = arrivals[next_arrival];
+                next_arrival += 1;
+                let now = arrival.at.get();
+                makespan = makespan.max(now);
+
+                let views: Vec<ReplicaView> = replicas
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.model == arrival.model)
+                    .map(|(index, r)| ReplicaView {
+                        index,
+                        node: r.handle.node,
+                        queue_len: r.queue.len(),
+                        busy: r.in_service.is_some(),
+                        unavailable: r.unavailable(now),
+                        node_replicas: replicas
+                            .iter()
+                            .filter(|o| o.model == arrival.model && o.handle.node == r.handle.node)
+                            .count(),
+                    })
+                    .collect();
+                match router.dispatch(arrival.model, &views) {
+                    DispatchDecision::Dispatch(index) => {
+                        replicas[index].queue.push_back(Request {
+                            model: arrival.model,
+                            arrived: now,
+                        });
+                        Self::start_next(&mut replicas[index], now, &mut events, index);
+                    }
+                    DispatchDecision::RejectNoReplica | DispatchDecision::RejectOverload => {}
+                }
+            }
+        }
+
+        latencies.sort_unstable();
+        ServingReport {
+            dispatch: self.options.dispatch,
+            stats: router.stats(),
+            latency: LatencySummary::from_samples(&latencies),
+            per_model: per_model
+                .into_iter()
+                .map(|(model, samples)| (model, LatencySummary::from_samples(&samples)))
+                .collect(),
+            per_node_completed,
+            migrations: migration_records,
+            makespan: Cycles(makespan),
+        }
+    }
+
+    /// Starts the next queued request if the replica is idle and available.
+    fn start_next(
+        replica: &mut ReplicaSim,
+        now: u64,
+        events: &mut BinaryHeap<Reverse<(u64, u8, usize)>>,
+        index: usize,
+    ) {
+        if replica.in_service.is_some() || now < replica.available_at {
+            return;
+        }
+        if let Some(request) = replica.queue.pop_front() {
+            let finish = now + replica.service_cycles;
+            replica.in_service = Some((request, finish));
+            events.push(Reverse((finish, EV_COMPLETION, index)));
+        }
+    }
+
+    /// Runs the post-drain phases of a cold migration: snapshot + transfer +
+    /// remap. The replica goes dark until `available_at` and then resumes on
+    /// the destination node with its queue intact.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_migration(
+        cluster: &mut NpuCluster,
+        replica: &mut ReplicaSim,
+        now: u64,
+        to: NodeId,
+        drain_cycles: u64,
+        cost_model: &MigrationCostModel,
+        records: &mut Vec<MigrationRecord>,
+        events: &mut BinaryHeap<Reverse<(u64, u8, usize)>>,
+        index: usize,
+    ) {
+        match cluster.migrate(replica.handle, to, cost_model, Some(drain_cycles)) {
+            Ok(outcome) => {
+                let post_drain = outcome.record.transfer_cycles + outcome.record.remap_cycles;
+                replica.handle = outcome.new_handle();
+                replica.available_at = now + post_drain;
+                records.push(outcome.record);
+                events.push(Reverse((replica.available_at, EV_RESUME, index)));
+            }
+            Err(_) => {
+                // The destination refused (capacity raced away); the replica
+                // keeps serving from its source node.
+                Self::start_next(replica, now, events, index);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::DeploySpec;
+    use crate::placement::PlacementPolicy;
+    use workloads::RequestArrival;
+
+    fn fleet_with_replicas(nodes: usize, replicas: usize) -> (NpuCluster, Vec<VnpuHandle>) {
+        let mut fleet = NpuCluster::homogeneous(nodes, &NpuConfig::single_core());
+        let handles = (0..replicas)
+            .map(|_| {
+                fleet
+                    .deploy(
+                        DeploySpec::replica(ModelId::Mnist, 2, 2),
+                        PlacementPolicy::WorstFit,
+                    )
+                    .unwrap()
+            })
+            .collect();
+        (fleet, handles)
+    }
+
+    fn burst_trace(count: usize, gap: u64) -> ClusterTrace {
+        ClusterTrace::from_arrivals(
+            (0..count)
+                .map(|i| RequestArrival {
+                    at: Cycles(i as u64 * gap),
+                    model: ModelId::Mnist,
+                    sequence: 0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn admitted_requests_all_complete() {
+        let (mut fleet, _) = fleet_with_replicas(2, 2);
+        let trace = burst_trace(40, 1_000);
+        let report = ClusterServingSim::new(ServingOptions::new(DispatchPolicy::LeastLoaded))
+            .run(&mut fleet, &trace);
+        assert_eq!(report.stats.offered, 40);
+        assert_eq!(report.stats.admitted, 40);
+        assert_eq!(
+            report.stats.completed, report.stats.admitted,
+            "the router never drops admitted requests"
+        );
+        assert_eq!(report.latency.count, 40);
+        assert!(report.makespan > Cycles::ZERO);
+        assert!(report.throughput_rps(&NpuConfig::single_core()) > 0.0);
+        assert_eq!(
+            report.per_node_completed.values().sum::<usize>(),
+            40,
+            "every completion is attributed to a node"
+        );
+    }
+
+    #[test]
+    fn unserved_models_are_rejected_not_lost() {
+        let (mut fleet, _) = fleet_with_replicas(1, 1);
+        let trace = ClusterTrace::from_arrivals(vec![RequestArrival {
+            at: Cycles(0),
+            model: ModelId::Bert,
+            sequence: 0,
+        }]);
+        let report = ClusterServingSim::new(ServingOptions::new(DispatchPolicy::RoundRobin))
+            .run(&mut fleet, &trace);
+        assert_eq!(report.stats.rejected_no_replica, 1);
+        assert_eq!(report.stats.completed, 0);
+    }
+
+    #[test]
+    fn admission_control_bounds_queues() {
+        let (mut fleet, _) = fleet_with_replicas(1, 1);
+        // A tight burst against a single replica with a 2-deep queue.
+        let trace = burst_trace(50, 1);
+        let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+            .with_admission(AdmissionControl { max_queue_depth: 2 });
+        let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
+        assert!(report.stats.rejected_overload > 0, "overload must shed");
+        assert_eq!(report.stats.completed, report.stats.admitted);
+    }
+
+    #[test]
+    fn migration_downtime_is_charged_to_latency() {
+        let trace = burst_trace(10, 2_000);
+        let (mut undisturbed, _) = fleet_with_replicas(2, 1);
+        let baseline = ClusterServingSim::new(ServingOptions::new(DispatchPolicy::LeastLoaded))
+            .run(&mut undisturbed, &trace);
+
+        let (mut fleet, handles) = fleet_with_replicas(2, 1);
+        let spare = NodeId(if handles[0].node.0 == 0 { 1 } else { 0 });
+        let options = ServingOptions::new(DispatchPolicy::LeastLoaded).with_migration(
+            Cycles(1),
+            handles[0],
+            spare,
+        );
+        let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
+        assert_eq!(report.migrations.len(), 1, "the migration executed");
+        assert!(report.migrations[0].downtime() > Cycles::ZERO);
+        assert_eq!(report.stats.completed, 10, "no request was lost");
+        assert!(
+            report.latency.p99 > baseline.latency.p99,
+            "downtime must surface in tenant latency ({} vs {})",
+            report.latency.p99,
+            baseline.latency.p99
+        );
+        // The replica genuinely moved.
+        assert_eq!(fleet.node(spare).unwrap().manager().vnpu_count(), 1);
+        assert_eq!(
+            fleet.node(handles[0].node).unwrap().manager().vnpu_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn least_loaded_routes_around_a_migrating_replica() {
+        // Two replicas on different nodes; replica 0 migrates at t=0 to a
+        // third node. Least-loaded steers the burst to replica 1; round-robin
+        // keeps hitting the dark replica and pays its downtime in p99.
+        let build = || {
+            let mut fleet = NpuCluster::homogeneous(3, &NpuConfig::single_core());
+            let spec = DeploySpec::replica(ModelId::Mnist, 2, 2);
+            let a = fleet.deploy(spec, PlacementPolicy::WorstFit).unwrap();
+            let b = fleet.deploy(spec, PlacementPolicy::WorstFit).unwrap();
+            let spare = NodeId(
+                (0..3)
+                    .find(|id| *id != a.node.0 && *id != b.node.0)
+                    .unwrap(),
+            );
+            (fleet, a, spare)
+        };
+        let trace = burst_trace(30, 500);
+        let run = |policy| {
+            let (mut fleet, a, spare) = build();
+            let options = ServingOptions::new(policy).with_migration(Cycles(0), a, spare);
+            ClusterServingSim::new(options).run(&mut fleet, &trace)
+        };
+        let rr = run(DispatchPolicy::RoundRobin);
+        let ll = run(DispatchPolicy::LeastLoaded);
+        assert_eq!(rr.stats.completed, 30);
+        assert_eq!(ll.stats.completed, 30);
+        assert!(
+            rr.latency.p99 > ll.latency.p99,
+            "round-robin p99 {} should exceed least-loaded p99 {}",
+            rr.latency.p99,
+            ll.latency.p99
+        );
+    }
+}

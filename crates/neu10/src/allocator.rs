@@ -160,7 +160,11 @@ impl VnpuAllocator {
         total_eus: usize,
         hbm_footprint_bytes: u64,
     ) -> Result<VnpuConfig, Neu10Error> {
-        let split = split_eus(total_eus, profile.me_active_ratio(), profile.ve_active_ratio());
+        let split = split_eus(
+            total_eus,
+            profile.me_active_ratio(),
+            profile.ve_active_ratio(),
+        );
         if split.mes > self.npu.mes_per_core || split.ves > self.npu.ves_per_core {
             return Err(Neu10Error::InvalidConfig(format!(
                 "an EU budget of {total_eus} needs {} MEs and {} VEs, which exceeds one physical core",
@@ -175,8 +179,8 @@ impl VnpuAllocator {
                 ),
             });
         }
-        let sram = self.npu.sram_bytes_per_core * split.mes as u64
-            / self.npu.mes_per_core.max(1) as u64;
+        let sram =
+            self.npu.sram_bytes_per_core * split.mes as u64 / self.npu.mes_per_core.max(1) as u64;
         let sram = sram.max(self.npu.sram_segment_bytes);
         let hbm_segments = hbm_footprint_bytes
             .div_ceil(self.npu.hbm_segment_bytes)

@@ -14,9 +14,7 @@ use crate::scheduler::assignment::{EngineAssignment, TenantSnapshot};
 /// still executing the operator it was scheduled for keeps the core even if
 /// a collocated tenant now has a better fair-share score.
 pub fn assign(tenants: &[TenantSnapshot], nx: usize, ny: usize) -> Vec<EngineAssignment> {
-    let holder = tenants
-        .iter()
-        .position(|t| t.has_work && t.holds_engines);
+    let holder = tenants.iter().position(|t| t.has_work && t.holds_engines);
     let winner = holder.or_else(|| {
         tenants
             .iter()

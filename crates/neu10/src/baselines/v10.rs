@@ -54,9 +54,7 @@ pub fn assign(tenants: &[TenantSnapshot], nx: usize, ny: usize) -> Vec<EngineAss
         .iter()
         .enumerate()
         .filter(|(i, t)| {
-            t.has_work
-                && t.ve_demand > 0
-                && (Some(*i) == me_owner || t.me_demand == 0)
+            t.has_work && t.ve_demand > 0 && (Some(*i) == me_owner || t.me_demand == 0)
         })
         .map(|(i, _)| i)
         .collect();
@@ -149,7 +147,10 @@ mod tests {
     fn memory_only_operators_keep_streaming() {
         let tenants = vec![snapshot(0, 4, 4, 0), snapshot(1, 0, 0, 0)];
         let a = assign(&tenants, 4, 4);
-        assert!(a[1].active, "a DMA-only operator is not blocked by the ME owner");
+        assert!(
+            a[1].active,
+            "a DMA-only operator is not blocked by the ME owner"
+        );
         assert_eq!(a[1].mes + a[1].ves, 0);
     }
 

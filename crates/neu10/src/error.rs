@@ -69,7 +69,9 @@ mod tests {
             reason: "no core with 4 free MEs".to_string(),
         };
         assert!(err.to_string().contains("4 free MEs"));
-        assert!(Neu10Error::UnknownVnpu(VnpuId(3)).to_string().contains("vNPU"));
+        assert!(Neu10Error::UnknownVnpu(VnpuId(3))
+            .to_string()
+            .contains("vNPU"));
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub use manager::VnpuManager;
 pub use mapping::{MappingMode, PnpuMapper, VnpuPlacement};
 pub use metrics::{geometric_mean, mean, normalized, percentile, throughput_rps, LatencySummary};
 pub use runtime::{
-    AssignmentSample, CollocationResult, CollocationSim, OperatorDuration, SimOptions, TenantResult,
-    TenantSpec,
+    AssignmentSample, ClusterNodeSpec, ClusterRunResult, ClusterSim, CollocationResult,
+    CollocationSim, OperatorDuration, SimOptions, TenantResult, TenantSpec,
 };
 pub use scheduler::{EngineAssignment, SharingPolicy, TenantSnapshot, VnpuContext};
 pub use vnpu::{Vnpu, VnpuConfig, VnpuId, VnpuState};

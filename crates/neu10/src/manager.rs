@@ -3,8 +3,8 @@
 //! context (Fig. 11).
 //!
 //! In a deployment this logic lives in a host kernel module reached through
-//! hypercalls (§III-F); the [`hypervisor`](https://docs.rs) crate of this
-//! workspace models that control path and drives this manager.
+//! hypercalls (§III-F); the `hypervisor` crate of this workspace models that
+//! control path and drives this manager.
 
 use std::collections::BTreeMap;
 
@@ -92,10 +92,7 @@ impl VnpuManager {
     ///
     /// Returns [`Neu10Error::UnknownVnpu`] if the id is not registered.
     pub fn destroy_vnpu(&mut self, id: VnpuId) -> Result<(), Neu10Error> {
-        let mut vnpu = self
-            .vnpus
-            .remove(&id)
-            .ok_or(Neu10Error::UnknownVnpu(id))?;
+        let mut vnpu = self.vnpus.remove(&id).ok_or(Neu10Error::UnknownVnpu(id))?;
         if let Some(placement) = self.mapper.placement(id).copied() {
             let core = self
                 .board
@@ -120,10 +117,7 @@ impl VnpuManager {
     ///
     /// Returns [`Neu10Error::UnknownVnpu`] or [`Neu10Error::InvalidState`].
     pub fn start_vnpu(&mut self, id: VnpuId) -> Result<(), Neu10Error> {
-        let vnpu = self
-            .vnpus
-            .get_mut(&id)
-            .ok_or(Neu10Error::UnknownVnpu(id))?;
+        let vnpu = self.vnpus.get_mut(&id).ok_or(Neu10Error::UnknownVnpu(id))?;
         vnpu.transition(VnpuState::Running)
     }
 
@@ -151,6 +145,21 @@ impl VnpuManager {
     pub fn free_ves(&self) -> usize {
         self.mapper.free_ves()
     }
+
+    /// Free SRAM segments across the board.
+    pub fn free_sram_segments(&self) -> u32 {
+        self.mapper.free_sram_segments()
+    }
+
+    /// Free HBM segments across the board.
+    pub fn free_hbm_segments(&self) -> u32 {
+        self.mapper.free_hbm_segments()
+    }
+
+    /// Read access to the vNPU-to-pNPU mapper (placements, per-core loads).
+    pub fn mapper(&self) -> &PnpuMapper {
+        &self.mapper
+    }
 }
 
 #[cfg(test)]
@@ -163,7 +172,12 @@ mod tests {
     }
 
     fn half_core(npu: &NpuConfig) -> VnpuConfig {
-        VnpuConfig::single_core(2, 2, npu.sram_bytes_per_core / 2, npu.hbm_bytes_per_core / 2)
+        VnpuConfig::single_core(
+            2,
+            2,
+            npu.sram_bytes_per_core / 2,
+            npu.hbm_bytes_per_core / 2,
+        )
     }
 
     #[test]
@@ -203,7 +217,10 @@ mod tests {
             .create_vnpu(half_core(&npu), MappingMode::HardwareIsolated, 1)
             .unwrap();
         assert_ne!(a, b);
-        assert_eq!(mgr.placement(a).unwrap().core, mgr.placement(b).unwrap().core);
+        assert_eq!(
+            mgr.placement(a).unwrap().core,
+            mgr.placement(b).unwrap().core
+        );
         assert_eq!(mgr.free_mes(), 0);
         // Their memory segments are disjoint.
         let core = mgr.board().core(CoreId::new(0, 0)).unwrap();
@@ -216,12 +233,8 @@ mod tests {
         let mut mgr = manager();
         let npu = mgr.npu_config().clone();
         // Fill the whole core first.
-        mgr.create_vnpu(
-            VnpuConfig::large(&npu),
-            MappingMode::HardwareIsolated,
-            1,
-        )
-        .unwrap();
+        mgr.create_vnpu(VnpuConfig::large(&npu), MappingMode::HardwareIsolated, 1)
+            .unwrap();
         let before_free = mgr.free_mes();
         let err = mgr.create_vnpu(half_core(&npu), MappingMode::HardwareIsolated, 1);
         assert!(err.is_err());

@@ -214,8 +214,8 @@ impl PnpuMapper {
                     if !fits_engines {
                         continue;
                     }
-                    let eu_frac = (load.mes + load.ves + mes + ves) as f64
-                        / self.npu.eus_per_core() as f64;
+                    let eu_frac =
+                        (load.mes + load.ves + mes + ves) as f64 / self.npu.eus_per_core() as f64;
                     let mem_frac = (load.hbm_segments + hbm_segments) as f64 / max_hbm as f64;
                     (eu_frac - mem_frac).abs()
                 }
@@ -246,6 +246,29 @@ impl PnpuMapper {
             .values()
             .map(|l| self.npu.ves_per_core.saturating_sub(l.ves))
             .sum()
+    }
+
+    /// Total free SRAM segments across the board.
+    pub fn free_sram_segments(&self) -> u32 {
+        let max = self.npu.sram_segments_per_core();
+        self.cores
+            .values()
+            .map(|l| max.saturating_sub(l.sram_segments))
+            .sum()
+    }
+
+    /// Total free HBM segments across the board.
+    pub fn free_hbm_segments(&self) -> u32 {
+        let max = self.npu.hbm_segments_per_core();
+        self.cores
+            .values()
+            .map(|l| max.saturating_sub(l.hbm_segments))
+            .sum()
+    }
+
+    /// Number of vNPUs currently mapped.
+    pub fn placement_count(&self) -> usize {
+        self.placements.len()
     }
 }
 

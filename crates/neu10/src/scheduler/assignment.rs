@@ -93,10 +93,7 @@ mod tests {
 
     #[test]
     fn every_policy_respects_core_capacity() {
-        let tenants = vec![
-            snapshot(0, (2, 2), (4, 4)),
-            snapshot(1, (2, 2), (4, 4)),
-        ];
+        let tenants = vec![snapshot(0, (2, 2), (4, 4)), snapshot(1, (2, 2), (4, 4))];
         for policy in SharingPolicy::all() {
             let a = compute(policy, &tenants, 4, 4);
             assert_eq!(a.len(), 2);
@@ -107,10 +104,7 @@ mod tests {
 
     #[test]
     fn spatial_policies_grant_allocated_shares_under_full_demand() {
-        let tenants = vec![
-            snapshot(0, (2, 2), (4, 4)),
-            snapshot(1, (2, 2), (4, 4)),
-        ];
+        let tenants = vec![snapshot(0, (2, 2), (4, 4)), snapshot(1, (2, 2), (4, 4))];
         for policy in [SharingPolicy::Neu10, SharingPolicy::Neu10NoHarvest] {
             let a = compute(policy, &tenants, 4, 4);
             assert_eq!(a[0].mes, 2, "{policy}");
@@ -121,10 +115,7 @@ mod tests {
 
     #[test]
     fn temporal_policies_serialize_me_operators() {
-        let tenants = vec![
-            snapshot(0, (2, 2), (4, 2)),
-            snapshot(1, (2, 2), (4, 2)),
-        ];
+        let tenants = vec![snapshot(0, (2, 2), (4, 2)), snapshot(1, (2, 2), (4, 2))];
         for policy in [SharingPolicy::Pmt, SharingPolicy::V10] {
             let a = compute(policy, &tenants, 4, 4);
             let with_mes = a.iter().filter(|x| x.mes > 0).count();

@@ -115,10 +115,7 @@ mod tests {
     fn figure_18_me_harvesting_example() {
         // Two vNPUs with 2 MEs each on a 4-ME core. vNPU-1 has plenty of
         // ready ME µTOps, vNPU-2 only has one: vNPU-1 harvests the idle ME.
-        let tenants = vec![
-            snapshot(1, (2, 2), (4, 2)),
-            snapshot(2, (2, 2), (1, 2)),
-        ];
+        let tenants = vec![snapshot(1, (2, 2), (4, 2)), snapshot(2, (2, 2), (1, 2))];
         let with_harvest = assign(&tenants, 4, 4, true);
         assert_eq!(with_harvest[0].mes, 3);
         assert_eq!(with_harvest[1].mes, 1);
@@ -131,10 +128,7 @@ mod tests {
     fn figure_18_ve_harvesting_example() {
         // Cycle 2 of Fig. 18(b): vNPU-1 has a single ready VE operation while
         // vNPU-2 has more than its two VEs can issue, so one VE is harvested.
-        let tenants = vec![
-            snapshot(1, (2, 2), (2, 1)),
-            snapshot(2, (2, 2), (1, 4)),
-        ];
+        let tenants = vec![snapshot(1, (2, 2), (2, 1)), snapshot(2, (2, 2), (1, 4))];
         let a = assign(&tenants, 4, 4, true);
         assert_eq!(a[0].ves, 1);
         assert_eq!(a[1].ves, 3);
@@ -144,10 +138,7 @@ mod tests {
     fn owners_reclaim_when_their_demand_returns() {
         // Once vNPU-2 has enough ME µTOps again, the harvested ME goes back:
         // no vNPU is granted beyond its allocation when everyone is busy.
-        let tenants = vec![
-            snapshot(1, (2, 2), (4, 2)),
-            snapshot(2, (2, 2), (4, 2)),
-        ];
+        let tenants = vec![snapshot(1, (2, 2), (4, 2)), snapshot(2, (2, 2), (4, 2))];
         let a = assign(&tenants, 4, 4, true);
         assert_eq!(a[0].mes, 2);
         assert_eq!(a[1].mes, 2);
@@ -182,7 +173,11 @@ mod tests {
         // One idle vNPU; two hungry ones share its engines one at a time.
         let mut idle = snapshot(1, (2, 2), (0, 0));
         idle.has_work = false;
-        let tenants = vec![idle, snapshot(2, (1, 1), (4, 4)), snapshot(3, (1, 1), (4, 4))];
+        let tenants = vec![
+            idle,
+            snapshot(2, (1, 1), (4, 4)),
+            snapshot(3, (1, 1), (4, 4)),
+        ];
         let a = assign(&tenants, 4, 4, true);
         assert_eq!(a[1].mes + a[2].mes, 4);
         assert!(a[1].mes >= 1 && a[2].mes >= 1);
@@ -193,10 +188,7 @@ mod tests {
     fn oversubscribed_allocations_never_exceed_hardware() {
         // Software-isolated style oversubscription: allocations sum to 6 MEs
         // on a 4-ME core; the grant is clipped.
-        let tenants = vec![
-            snapshot(1, (3, 3), (3, 3)),
-            snapshot(2, (3, 3), (3, 3)),
-        ];
+        let tenants = vec![snapshot(1, (3, 3), (3, 3)), snapshot(2, (3, 3), (3, 3))];
         let a = assign(&tenants, 4, 4, false);
         assert!(a[0].mes + a[1].mes <= 4);
         assert!(a[0].ves + a[1].ves <= 4);

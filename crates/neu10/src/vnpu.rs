@@ -259,8 +259,7 @@ mod tests {
         let npu = NpuConfig::tpu_v4_like();
         let too_many_mes = VnpuConfig::single_core(8, 2, 1 << 20, 1 << 30);
         assert!(too_many_mes.validate_against(&npu).is_err());
-        let too_much_sram =
-            VnpuConfig::single_core(2, 2, npu.sram_bytes_per_core + 1, 1 << 30);
+        let too_much_sram = VnpuConfig::single_core(2, 2, npu.sram_bytes_per_core + 1, 1 << 30);
         assert!(too_much_sram.validate_against(&npu).is_err());
         let zero_ves = VnpuConfig::single_core(2, 0, 1 << 20, 1 << 30);
         assert!(zero_ves.validate_against(&npu).is_err());

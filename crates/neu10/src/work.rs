@@ -204,7 +204,10 @@ mod tests {
     fn dlrm_has_memory_heavy_low_me_operators() {
         let neu = TenantWorkload::compile(ModelId::Dlrm, 8, &config(), IsaKind::NeuIsa);
         let me_free = neu.operators.iter().filter(|o| !o.uses_mes()).count();
-        assert!(me_free * 2 > neu.operator_count(), "most DLRM operators use no ME");
+        assert!(
+            me_free * 2 > neu.operator_count(),
+            "most DLRM operators use no ME"
+        );
         assert!(neu.total_hbm_bytes() > 0);
     }
 }

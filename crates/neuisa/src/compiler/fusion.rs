@@ -53,10 +53,7 @@ pub fn fuse_operators(operators: Vec<TensorOperator>) -> Vec<TensorOperator> {
             };
             let prev = fused.pop().expect("can_fuse requires a predecessor");
             let extra = op.hbm_bytes().saturating_sub(op.input_bytes());
-            fused.push(
-                prev.with_activation(activation)
-                    .with_extra_hbm_bytes(extra),
-            );
+            fused.push(prev.with_activation(activation).with_extra_hbm_bytes(extra));
         } else {
             fused.push(op);
         }

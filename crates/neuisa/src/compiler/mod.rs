@@ -329,13 +329,7 @@ impl Compiler {
         );
         let mut pop = VliwInstruction::nop(1, self.ny).with_me(0, MeOp::Pop { dst: 1 });
         if activation != Activation::None {
-            pop = pop.with_ve(
-                0,
-                VeOp::Activate {
-                    reg: 1,
-                    activation,
-                },
-            );
+            pop = pop.with_ve(0, VeOp::Activate { reg: 1, activation });
         }
         body.push(pop);
         body.push(
@@ -363,13 +357,7 @@ impl Compiler {
             inst = inst.with_me(i, MeOp::Pop { dst: i as u8 });
         }
         if activation != Activation::None {
-            inst = inst.with_ve(
-                0,
-                VeOp::Activate {
-                    reg: 0,
-                    activation,
-                },
-            );
+            inst = inst.with_ve(0, VeOp::Activate { reg: 0, activation });
         }
         vec![inst]
     }

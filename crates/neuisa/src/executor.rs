@@ -150,9 +150,7 @@ impl Executor {
     /// conflicting or out-of-range `uTop.nextGroup` targets, and runaway
     /// loops.
     pub fn execute(&mut self, program: &NeuIsaProgram) -> Result<ExecutionTrace, ExecutionError> {
-        program
-            .validate()
-            .map_err(ExecutionError::InvalidProgram)?;
+        program.validate().map_err(ExecutionError::InvalidProgram)?;
         let groups = program.groups();
         let mut dispatches = Vec::new();
         let mut group_visits: BTreeMap<u32, u32> = BTreeMap::new();

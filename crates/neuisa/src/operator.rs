@@ -70,7 +70,10 @@ pub enum OperatorKind {
 impl OperatorKind {
     /// Whether the operator contains matrix-engine work.
     pub fn uses_matrix_engine(&self) -> bool {
-        matches!(self, OperatorKind::MatMul { .. } | OperatorKind::Conv2d { .. })
+        matches!(
+            self,
+            OperatorKind::MatMul { .. } | OperatorKind::Conv2d { .. }
+        )
     }
 
     /// The equivalent GEMM dimensions `(m, k, n)` of the operator, if it maps
@@ -317,11 +320,8 @@ mod tests {
 
     #[test]
     fn display_mentions_activation() {
-        let op = TensorOperator::new(
-            "mm",
-            OperatorKind::MatMul { m: 1, k: 1, n: 1 },
-        )
-        .with_activation(Activation::Relu);
+        let op = TensorOperator::new("mm", OperatorKind::MatMul { m: 1, k: 1, n: 1 })
+            .with_activation(Activation::Relu);
         assert!(op.to_string().contains("relu"));
         assert!(op.to_string().contains("matmul"));
     }

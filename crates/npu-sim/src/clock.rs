@@ -219,7 +219,7 @@ mod tests {
     #[test]
     fn bytes_to_cycles_uses_bandwidth() {
         let f = Frequency::from_mhz(1000.0); // 1e9 cycles/s
-        // 1 GB at 1 GB/s takes 1 second = 1e9 cycles.
+                                             // 1 GB at 1 GB/s takes 1 second = 1e9 cycles.
         let cycles = f.bytes_to_cycles(1_000_000_000, 1e9);
         assert_eq!(cycles, Cycles(1_000_000_000));
         assert_eq!(f.bytes_to_cycles(0, 1e9), Cycles::ZERO);

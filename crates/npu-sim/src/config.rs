@@ -135,17 +135,26 @@ impl NpuConfig {
         ensure(self.mes_per_core > 0, "core must have at least one ME")?;
         ensure(self.ves_per_core > 0, "core must have at least one VE")?;
         ensure(self.me_dimension > 0, "ME dimension must be positive")?;
-        ensure(self.ve_lanes > 0 && self.ve_rows > 0, "VE shape must be positive")?;
+        ensure(
+            self.ve_lanes > 0 && self.ve_rows > 0,
+            "VE shape must be positive",
+        )?;
         ensure(
             self.hbm_bandwidth_bytes_per_sec > 0.0,
             "HBM bandwidth must be positive",
         )?;
         ensure(
-            self.sram_segment_bytes > 0 && self.sram_bytes_per_core % self.sram_segment_bytes == 0,
+            self.sram_segment_bytes > 0
+                && self
+                    .sram_bytes_per_core
+                    .is_multiple_of(self.sram_segment_bytes),
             "SRAM segment size must divide SRAM capacity",
         )?;
         ensure(
-            self.hbm_segment_bytes > 0 && self.hbm_bytes_per_core % self.hbm_segment_bytes == 0,
+            self.hbm_segment_bytes > 0
+                && self
+                    .hbm_bytes_per_core
+                    .is_multiple_of(self.hbm_segment_bytes),
             "HBM segment size must divide HBM capacity",
         )?;
         Ok(())
@@ -215,7 +224,9 @@ mod tests {
 
     #[test]
     fn with_engines_and_bandwidth_override() {
-        let c = NpuConfig::tpu_v4_like().with_engines(8, 8).with_hbm_bandwidth(3.0e12);
+        let c = NpuConfig::tpu_v4_like()
+            .with_engines(8, 8)
+            .with_hbm_bandwidth(3.0e12);
         assert_eq!(c.mes_per_core, 8);
         assert_eq!(c.ves_per_core, 8);
         assert_eq!(c.eus_per_core(), 16);

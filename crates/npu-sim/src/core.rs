@@ -48,10 +48,7 @@ impl NpuCore {
                 config.hbm_bandwidth_bytes_per_sec,
                 config.frequency,
             ),
-            dma: DmaEngine::with_default_pcie(
-                config.frequency,
-                config.hbm_bandwidth_bytes_per_sec,
-            ),
+            dma: DmaEngine::with_default_pcie(config.frequency, config.hbm_bandwidth_bytes_per_sec),
             sram_segments: SegmentTable::new(),
             hbm_segments: SegmentTable::new(),
             counters: CoreCounters::new(),

@@ -258,9 +258,8 @@ mod tests {
     fn timeline_has_one_sample_per_window() {
         let mut c = CoreCounters::new();
         c.record(me(0), Cycles(0), Cycles(50), 1);
-        let timeline = c.utilization_timeline(Cycles(25), Cycles(100), |e| {
-            e.kind == EngineKind::Matrix
-        });
+        let timeline =
+            c.utilization_timeline(Cycles(25), Cycles(100), |e| e.kind == EngineKind::Matrix);
         assert_eq!(timeline.len(), 4);
         assert!((timeline[0].utilization - 1.0).abs() < 1e-9);
         assert!((timeline[3].utilization - 0.0).abs() < 1e-9);

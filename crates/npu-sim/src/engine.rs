@@ -155,7 +155,7 @@ impl VectorEngine {
     /// pass.
     pub fn reduction_cycles(&self, elements: u64) -> Cycles {
         let streaming = self.elementwise_cycles(elements).get();
-        let tail = (64 - u64::from(elements.max(1).leading_zeros() as u64)).min(16);
+        let tail = (64 - u64::from(elements.max(1).leading_zeros())).min(16);
         Cycles(streaming + tail)
     }
 }

@@ -1,0 +1,95 @@
+//! Inter-board interconnect model.
+//!
+//! Datacenter NPU deployments connect boards over dedicated links (the ICI
+//! links of TPU pods or PCIe/NVLink-class fabrics). The fleet layer uses this
+//! model to price cross-board state movement — most importantly the cold
+//! vNPU-migration path, which streams a vNPU's SRAM and HBM working set from
+//! the source board to the destination board.
+
+use crate::clock::{Cycles, Frequency};
+
+/// Static description of a board-to-board link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterconnectConfig {
+    /// Sustained link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed per-transfer setup latency in core cycles (link training,
+    /// routing, protocol handshakes).
+    pub setup_cycles: u64,
+}
+
+impl InterconnectConfig {
+    /// A TPUv4-like inter-chip-interconnect link: ~50 GB/s sustained with a
+    /// microsecond-scale setup cost.
+    pub fn tpu_v4_ici() -> Self {
+        InterconnectConfig {
+            bandwidth_bytes_per_sec: 50.0e9,
+            setup_cycles: 2_000,
+        }
+    }
+
+    /// A commodity datacenter-network path (RDMA over 100 GbE): an order of
+    /// magnitude slower than ICI, with a larger setup cost.
+    pub fn rdma_100g() -> Self {
+        InterconnectConfig {
+            bandwidth_bytes_per_sec: 12.5e9,
+            setup_cycles: 20_000,
+        }
+    }
+
+    /// Returns a copy with a different bandwidth.
+    pub fn with_bandwidth(mut self, bytes_per_sec: f64) -> Self {
+        self.bandwidth_bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// Core cycles needed to move `bytes` across the link, including the
+    /// fixed setup cost. `frequency` is the core clock the cycle count is
+    /// expressed in.
+    pub fn transfer_cycles(&self, bytes: u64, frequency: Frequency) -> Cycles {
+        if self.bandwidth_bytes_per_sec <= 0.0 {
+            return Cycles(self.setup_cycles);
+        }
+        let seconds = bytes as f64 / self.bandwidth_bytes_per_sec;
+        let cycles = (seconds * frequency.hz()).ceil() as u64;
+        Cycles(self.setup_cycles + cycles)
+    }
+}
+
+impl Default for InterconnectConfig {
+    fn default() -> Self {
+        InterconnectConfig::tpu_v4_ici()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_scales_with_bytes() {
+        let link = InterconnectConfig::tpu_v4_ici();
+        let f = Frequency::from_mhz(1050.0);
+        let small = link.transfer_cycles(1 << 20, f);
+        let large = link.transfer_cycles(1 << 30, f);
+        assert!(large > small);
+        // 1 GiB over 50 GB/s at 1050 MHz ≈ 22.5M cycles.
+        let expected = (1.0_f64 * (1u64 << 30) as f64 / 50.0e9 * 1050.0e6) as u64;
+        assert!((large.get() as i64 - expected as i64).unsigned_abs() < expected / 10);
+    }
+
+    #[test]
+    fn setup_cost_is_charged_even_for_empty_transfers() {
+        let link = InterconnectConfig::tpu_v4_ici();
+        let f = Frequency::from_mhz(1000.0);
+        assert_eq!(link.transfer_cycles(0, f), Cycles(link.setup_cycles));
+    }
+
+    #[test]
+    fn slower_links_cost_more() {
+        let f = Frequency::from_mhz(1050.0);
+        let ici = InterconnectConfig::tpu_v4_ici().transfer_cycles(1 << 30, f);
+        let rdma = InterconnectConfig::rdma_100g().transfer_cycles(1 << 30, f);
+        assert!(rdma > ici);
+    }
+}

@@ -31,22 +31,24 @@
 
 pub mod clock;
 pub mod config;
-pub mod counters;
 pub mod core;
+pub mod counters;
 pub mod dma;
 pub mod engine;
 pub mod error;
 pub mod event;
 pub mod ids;
+pub mod interconnect;
 pub mod memory;
 
 pub use clock::{Cycles, Frequency, SimTime};
 pub use config::NpuConfig;
-pub use counters::{BusyTracker, CoreCounters, UtilizationWindow};
 pub use core::{NpuBoard, NpuChip, NpuCore};
+pub use counters::{BusyTracker, CoreCounters, UtilizationWindow};
 pub use dma::{DmaDirection, DmaEngine, DmaRequest};
 pub use engine::{EngineKind, MatrixEngine, VectorEngine};
 pub use error::SimError;
 pub use event::{EventQueue, ScheduledEvent};
 pub use ids::{ChipId, CoreId, EngineId, SegmentId};
+pub use interconnect::InterconnectConfig;
 pub use memory::{HbmModel, MemoryKind, SegmentTable, SramModel};

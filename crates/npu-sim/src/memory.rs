@@ -197,7 +197,13 @@ impl HbmModel {
     }
 
     /// Records that `bytes` were transferred between `start` and `end`.
-    pub fn record_transfer(&mut self, start: Cycles, end: Cycles, bytes: u64, consumer: ConsumerId) {
+    pub fn record_transfer(
+        &mut self,
+        start: Cycles,
+        end: Cycles,
+        bytes: u64,
+        consumer: ConsumerId,
+    ) {
         self.total_bytes += bytes;
         self.transfers.push(HbmTransfer {
             start,
@@ -243,11 +249,17 @@ impl HbmModel {
             let rate = t.bytes as f64 / duration; // bytes per cycle
             let first = (start / window.get()) as usize;
             let last = ((finish - 1) / window.get()) as usize;
-            for w in first..=last.min(window_count.saturating_sub(1)) {
+            let last = last.min(window_count.saturating_sub(1));
+            for (w, bytes) in bytes_per_window
+                .iter_mut()
+                .enumerate()
+                .take(last + 1)
+                .skip(first)
+            {
                 let w_start = w as u64 * window.get();
                 let w_end = w_start + window.get();
                 let overlap = finish.min(w_end).saturating_sub(start.max(w_start)) as f64;
-                bytes_per_window[w] += rate * overlap;
+                *bytes += rate * overlap;
             }
         }
         let window_secs = self.frequency.cycles_to_time(window).as_secs();

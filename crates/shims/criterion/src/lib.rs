@@ -1,0 +1,199 @@
+//! Minimal, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched from crates.io. This shim supports the surface the
+//! workspace benches use — [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — and prints a plain
+//! `name: median time/iter` line per benchmark. When invoked by `cargo test`
+//! (libtest passes `--test`), every benchmark runs exactly once as a smoke
+//! test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors the real API; arguments were already inspected in `default`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self.sample_size;
+        run_benchmark(&id.into(), samples, self.test_mode, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples.max(1));
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, samples, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Closes the group (report output is per-benchmark in this shim).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(label: &str, samples: usize, test_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+    let samples = if test_mode { 1 } else { samples };
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            times.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+        }
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median = times.get(times.len() / 2).copied().unwrap_or(0.0);
+    if test_mode {
+        println!("test {label} ... ok (1 iteration)");
+    } else {
+        println!("{label:<48} median {:>12} /iter", format_ns(median));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times closures; handed to every benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warm-up execution, then a small fixed batch per sample.
+        black_box(routine());
+        const BATCH: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` entry point invoking each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+        };
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_apply_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+}

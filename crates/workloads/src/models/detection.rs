@@ -37,17 +37,46 @@ pub fn mask_rcnn(batch: u64) -> Vec<TensorOperator> {
 
     // RoI box head: 1000 RoIs × (7×7×256 → 1024 → 1024).
     let rois = batch * 1000;
-    ops.push(matmul_act("mrcnn.box_fc1", rois, 7 * 7 * 256, 1024, Activation::Relu));
-    ops.push(matmul_act("mrcnn.box_fc2", rois, 1024, 1024, Activation::Relu));
-    ops.push(matmul_act("mrcnn.box_cls", rois, 1024, 91, Activation::None));
+    ops.push(matmul_act(
+        "mrcnn.box_fc1",
+        rois,
+        7 * 7 * 256,
+        1024,
+        Activation::Relu,
+    ));
+    ops.push(matmul_act(
+        "mrcnn.box_fc2",
+        rois,
+        1024,
+        1024,
+        Activation::Relu,
+    ));
+    ops.push(matmul_act(
+        "mrcnn.box_cls",
+        rois,
+        1024,
+        91,
+        Activation::None,
+    ));
     ops.push(softmax("mrcnn.box_softmax", rois * 91));
     ops.push(elementwise("mrcnn.box_decode", rois * 4 * 91, 6));
 
     // Mask head: 100 detections × four 3×3 convs at 14×14 plus deconv.
     let det = batch * 100;
     for i in 0..4 {
-        ops.push(conv(format!("mrcnn.mask_conv{i}"), det, 256, 256, 14 * 14, 9));
-        ops.push(elementwise(format!("mrcnn.mask_relu{i}"), det * 256 * 14 * 14, 1));
+        ops.push(conv(
+            format!("mrcnn.mask_conv{i}"),
+            det,
+            256,
+            256,
+            14 * 14,
+            9,
+        ));
+        ops.push(elementwise(
+            format!("mrcnn.mask_relu{i}"),
+            det * 256 * 14 * 14,
+            1,
+        ));
     }
     ops.push(conv("mrcnn.mask_deconv", det, 256, 256, 28 * 28, 4));
     ops.push(elementwise("mrcnn.mask_sigmoid", det * 91 * 28 * 28, 3));
@@ -99,7 +128,14 @@ pub fn shapemask(batch: u64) -> Vec<TensorOperator> {
     for level in 0..5u64 {
         let hw = ((80 * 80) >> (2 * level)).max(25);
         for i in 0..4 {
-            ops.push(conv(format!("smask.head{level}.conv{i}"), batch, 256, 256, hw, 9));
+            ops.push(conv(
+                format!("smask.head{level}.conv{i}"),
+                batch,
+                256,
+                256,
+                hw,
+                9,
+            ));
             ops.push(elementwise(
                 format!("smask.head{level}.relu{i}"),
                 batch * 256 * hw,
@@ -109,10 +145,27 @@ pub fn shapemask(batch: u64) -> Vec<TensorOperator> {
     }
     // Coarse mask estimation + fine mask refinement on sampled instances.
     let instances = batch * 200;
-    ops.push(matmul_act("smask.prior_fc", instances, 32 * 32, 512, Activation::Relu));
+    ops.push(matmul_act(
+        "smask.prior_fc",
+        instances,
+        32 * 32,
+        512,
+        Activation::Relu,
+    ));
     for i in 0..4 {
-        ops.push(conv(format!("smask.fine_conv{i}"), instances, 128, 128, 32 * 32, 9));
-        ops.push(elementwise(format!("smask.fine_relu{i}"), instances * 128 * 32 * 32, 1));
+        ops.push(conv(
+            format!("smask.fine_conv{i}"),
+            instances,
+            128,
+            128,
+            32 * 32,
+            9,
+        ));
+        ops.push(elementwise(
+            format!("smask.fine_relu{i}"),
+            instances * 128 * 32 * 32,
+            1,
+        ));
     }
     ops.push(elementwise("smask.mask_sigmoid", instances * 32 * 32, 3));
     ops.push(elementwise("smask.nms", batch * 1000 * 64, 8));
@@ -124,7 +177,11 @@ pub fn shapemask(batch: u64) -> Vec<TensorOperator> {
 fn backbone(prefix: &str, batch: u64, base_hw: u64) -> Vec<TensorOperator> {
     let mut ops = Vec::new();
     ops.push(conv(format!("{prefix}.stem"), batch, 3, 64, base_hw, 49));
-    ops.push(elementwise(format!("{prefix}.stem.bnrelu"), batch * 64 * base_hw, 2));
+    ops.push(elementwise(
+        format!("{prefix}.stem.bnrelu"),
+        batch * 64 * base_hw,
+        2,
+    ));
     let stages: [(u64, u64, u64, u64); 4] = [
         (3, 64, 256, base_hw),
         (4, 128, 512, base_hw / 4),

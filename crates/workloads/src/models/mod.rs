@@ -172,7 +172,10 @@ mod tests {
     #[test]
     fn batch_size_scales_work() {
         for model in [ModelId::Bert, ModelId::ResNet, ModelId::Dlrm] {
-            let small: u64 = build_operators(model, 8).iter().map(|o| o.hbm_bytes()).sum();
+            let small: u64 = build_operators(model, 8)
+                .iter()
+                .map(|o| o.hbm_bytes())
+                .sum();
             let large: u64 = build_operators(model, 32)
                 .iter()
                 .map(|o| o.hbm_bytes())

@@ -24,8 +24,12 @@ pub fn transformer(batch: u64) -> Vec<TensorOperator> {
         batch * seq * hidden * 2,
         batch * seq * hidden,
     ));
-    ops.extend(transformer_encoder_stack("tfmr.enc", batch, 6, hidden, 4096, seq));
-    ops.extend(transformer_encoder_stack("tfmr.dec", batch, 6, hidden, 4096, seq));
+    ops.extend(transformer_encoder_stack(
+        "tfmr.enc", batch, 6, hidden, 4096, seq,
+    ));
+    ops.extend(transformer_encoder_stack(
+        "tfmr.dec", batch, 6, hidden, 4096, seq,
+    ));
     ops.push(matmul("tfmr.vocab_proj", batch * seq, hidden, vocab));
     ops.push(softmax("tfmr.vocab_softmax", batch * seq * vocab));
     ops
@@ -98,7 +102,10 @@ pub fn llama(batch: u64) -> Vec<TensorOperator> {
             ));
             // Attention softmax + residual/norm work on the VE.
             ops.push(softmax(format!("{name}.softmax"), batch * 40 * prefill_seq));
-            ops.push(layernorm(format!("{name}.norm"), batch * hidden * chunk_layers));
+            ops.push(layernorm(
+                format!("{name}.norm"),
+                batch * hidden * chunk_layers,
+            ));
         }
     }
     ops
@@ -127,7 +134,13 @@ fn transformer_encoder_stack(
         ops.push(matmul(name("proj"), tokens, hidden, hidden));
         ops.push(layernorm(name("ln1"), tokens * hidden));
         // Feed-forward block with a fused GELU.
-        ops.push(matmul_act(name("ffn1"), tokens, hidden, ffn, Activation::Gelu));
+        ops.push(matmul_act(
+            name("ffn1"),
+            tokens,
+            hidden,
+            ffn,
+            Activation::Gelu,
+        ));
         ops.push(matmul(name("ffn2"), tokens, ffn, hidden));
         ops.push(layernorm(name("ln2"), tokens * hidden));
     }
@@ -160,7 +173,10 @@ mod tests {
             .map(|o| o.hbm_bytes())
             .sum();
         let total_bytes: u64 = ops.iter().map(|o| o.hbm_bytes()).sum();
-        assert!(stream_bytes * 2 > total_bytes, "decode streaming should dominate");
+        assert!(
+            stream_bytes * 2 > total_bytes,
+            "decode streaming should dominate"
+        );
         // Eight decode tokens re-stream roughly the full 26 GB of weights.
         assert!(stream_bytes > 8 * 20 * 1024 * 1024 * 1024_u64);
     }

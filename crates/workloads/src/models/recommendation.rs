@@ -58,9 +58,15 @@ pub fn dlrm(batch: u64) -> Vec<TensorOperator> {
     ));
 
     // Top MLP.
-    for (i, (k, n)) in [(479u64, 1024u64), (1024, 1024), (1024, 512), (512, 256), (256, 1)]
-        .iter()
-        .enumerate()
+    for (i, (k, n)) in [
+        (479u64, 1024u64),
+        (1024, 1024),
+        (1024, 512),
+        (512, 256),
+        (256, 1),
+    ]
+    .iter()
+    .enumerate()
     {
         ops.push(matmul_act(
             format!("dlrm.top_mlp{i}"),
@@ -142,7 +148,10 @@ mod tests {
     fn dlrm_is_ve_intensive() {
         let (me, ve, bytes) = totals(&dlrm(8));
         assert!(ve > me, "DLRM should have more VE than ME work");
-        assert!(bytes > 8 * 1024 * 1024, "DLRM should move substantial HBM bytes");
+        assert!(
+            bytes > 8 * 1024 * 1024,
+            "DLRM should move substantial HBM bytes"
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub fn mnist(batch: u64) -> Vec<TensorOperator> {
 pub fn resnet(batch: u64) -> Vec<TensorOperator> {
     let mut ops = Vec::new();
     ops.push(conv("resnet.conv1", batch, 3, 64, 112 * 112, 49));
-    ops.push(elementwise("resnet.conv1.bnrelu", batch * 64 * 112 * 112, 2));
+    ops.push(elementwise(
+        "resnet.conv1.bnrelu",
+        batch * 64 * 112 * 112,
+        2,
+    ));
     ops.extend(resnet_stage("resnet.l1", batch, 3, 64, 256, 56 * 56));
     ops.extend(resnet_stage("resnet.l2", batch, 4, 128, 512, 28 * 28));
     ops.extend(resnet_stage("resnet.l3", batch, 6, 256, 1024, 14 * 14));
@@ -73,8 +77,20 @@ pub fn efficientnet(batch: u64) -> Vec<TensorOperator> {
             ops.push(elementwise(name("dwconv"), batch * expanded * hw, 9));
             // Squeeze-and-excite: global pool + two tiny FCs + scale.
             ops.push(elementwise(name("se.pool"), batch * expanded * hw, 1));
-            ops.push(matmul_act(name("se.fc1"), batch, expanded, expanded / 4, Activation::Sigmoid));
-            ops.push(matmul_act(name("se.fc2"), batch, expanded / 4, expanded, Activation::Sigmoid));
+            ops.push(matmul_act(
+                name("se.fc1"),
+                batch,
+                expanded,
+                expanded / 4,
+                Activation::Sigmoid,
+            ));
+            ops.push(matmul_act(
+                name("se.fc2"),
+                batch,
+                expanded / 4,
+                expanded,
+                Activation::Sigmoid,
+            ));
             ops.push(elementwise(name("se.scale"), batch * expanded * hw, 1));
             // Projection point-wise conv (ME).
             ops.push(conv(name("project"), batch, expanded, *cout, *hw, 1));
@@ -99,13 +115,50 @@ fn resnet_stage(
     let mut ops = Vec::new();
     for block in 0..repeats {
         let name = |s: &str| format!("{prefix}.b{block}.{s}");
-        let in_channels = if block == 0 { out_channels / 2 } else { out_channels };
-        ops.push(conv(name("conv1x1a"), batch, in_channels, mid_channels, output_hw, 1));
-        ops.push(elementwise(name("bnrelu_a"), batch * mid_channels * output_hw, 2));
-        ops.push(conv(name("conv3x3"), batch, mid_channels, mid_channels, output_hw, 9));
-        ops.push(elementwise(name("bnrelu_b"), batch * mid_channels * output_hw, 2));
-        ops.push(conv(name("conv1x1b"), batch, mid_channels, out_channels, output_hw, 1));
-        ops.push(elementwise(name("residual"), batch * out_channels * output_hw, 3));
+        let in_channels = if block == 0 {
+            out_channels / 2
+        } else {
+            out_channels
+        };
+        ops.push(conv(
+            name("conv1x1a"),
+            batch,
+            in_channels,
+            mid_channels,
+            output_hw,
+            1,
+        ));
+        ops.push(elementwise(
+            name("bnrelu_a"),
+            batch * mid_channels * output_hw,
+            2,
+        ));
+        ops.push(conv(
+            name("conv3x3"),
+            batch,
+            mid_channels,
+            mid_channels,
+            output_hw,
+            9,
+        ));
+        ops.push(elementwise(
+            name("bnrelu_b"),
+            batch * mid_channels * output_hw,
+            2,
+        ));
+        ops.push(conv(
+            name("conv1x1b"),
+            batch,
+            mid_channels,
+            out_channels,
+            output_hw,
+            1,
+        ));
+        ops.push(elementwise(
+            name("residual"),
+            batch * out_channels * output_hw,
+            3,
+        ));
     }
     ops
 }

@@ -251,15 +251,51 @@ pub fn collocation_pairs() -> Vec<WorkloadPair> {
     use ContentionLevel::*;
     use ModelId::*;
     vec![
-        WorkloadPair { first: Dlrm, second: ShapeMask, contention: Low },
-        WorkloadPair { first: Dlrm, second: RetinaNet, contention: Low },
-        WorkloadPair { first: Ncf, second: ResNet, contention: Low },
-        WorkloadPair { first: EfficientNet, second: ShapeMask, contention: Medium },
-        WorkloadPair { first: Bert, second: EfficientNet, contention: Medium },
-        WorkloadPair { first: EfficientNet, second: MaskRcnn, contention: Medium },
-        WorkloadPair { first: EfficientNet, second: Transformer, contention: High },
-        WorkloadPair { first: Mnist, second: RetinaNet, contention: High },
-        WorkloadPair { first: ResNetRs, second: RetinaNet, contention: High },
+        WorkloadPair {
+            first: Dlrm,
+            second: ShapeMask,
+            contention: Low,
+        },
+        WorkloadPair {
+            first: Dlrm,
+            second: RetinaNet,
+            contention: Low,
+        },
+        WorkloadPair {
+            first: Ncf,
+            second: ResNet,
+            contention: Low,
+        },
+        WorkloadPair {
+            first: EfficientNet,
+            second: ShapeMask,
+            contention: Medium,
+        },
+        WorkloadPair {
+            first: Bert,
+            second: EfficientNet,
+            contention: Medium,
+        },
+        WorkloadPair {
+            first: EfficientNet,
+            second: MaskRcnn,
+            contention: Medium,
+        },
+        WorkloadPair {
+            first: EfficientNet,
+            second: Transformer,
+            contention: High,
+        },
+        WorkloadPair {
+            first: Mnist,
+            second: RetinaNet,
+            contention: High,
+        },
+        WorkloadPair {
+            first: ResNetRs,
+            second: RetinaNet,
+            contention: High,
+        },
     ]
 }
 
@@ -339,10 +375,7 @@ mod tests {
 
     #[test]
     fn categories_match_table_i() {
-        assert_eq!(
-            ModelId::Dlrm.category(),
-            ModelCategory::Recommendation
-        );
+        assert_eq!(ModelId::Dlrm.category(), ModelCategory::Recommendation);
         assert_eq!(
             ModelId::RetinaNet.category(),
             ModelCategory::ObjectDetection
@@ -351,10 +384,7 @@ mod tests {
             ModelId::EfficientNet.category(),
             ModelCategory::ImageClassification
         );
-        assert_eq!(
-            ModelId::Llama.category(),
-            ModelCategory::LargeLanguageModel
-        );
+        assert_eq!(ModelId::Llama.category(), ModelCategory::LargeLanguageModel);
     }
 
     #[test]
@@ -367,9 +397,6 @@ mod tests {
     #[test]
     fn display_uses_abbreviations() {
         assert_eq!(ModelId::RetinaNet.to_string(), "RtNt");
-        assert_eq!(
-            collocation_pairs()[1].to_string(),
-            "DLRM+RtNt"
-        );
+        assert_eq!(collocation_pairs()[1].to_string(), "DLRM+RtNt");
     }
 }

@@ -1,0 +1,122 @@
+//! End-to-end fleet demo: place serving replicas across a four-board
+//! cluster, route an open-loop Poisson request stream through the cluster
+//! router, then cold-migrate one replica mid-run and show the downtime
+//! landing in tenant latency.
+//!
+//! Run with `cargo run --release --example cluster_serving`.
+
+use cluster::estimated_service_cycles;
+use neu10_repro::prelude::*;
+
+/// Replica sizing: half a board's engines, a 32 MiB SRAM slice and 2 GiB of
+/// HBM for weights + activations.
+fn replica(model: ModelId) -> DeploySpec {
+    DeploySpec::replica(model, 2, 2).with_memory(32 << 20, 2 << 30)
+}
+
+fn main() {
+    let board = NpuConfig::single_core();
+    let mut fleet = NpuCluster::homogeneous(4, &board);
+
+    // Deploy a small model zoo: two replicas each of a DLRM recommender
+    // and an NCF recommender (comparable service times), placed topology-aware.
+    println!("== placement ==");
+    let mut handles = Vec::new();
+    for model in [ModelId::Dlrm, ModelId::Ncf, ModelId::Dlrm, ModelId::Ncf] {
+        let handle = fleet
+            .deploy(replica(model), PlacementPolicy::TopologyAware)
+            .expect("the fleet has capacity for four half-board replicas");
+        println!("  {model:?} replica -> {handle}");
+        handles.push(handle);
+    }
+    for inventory in fleet.inventories() {
+        println!(
+            "  {}: {} vNPUs, {}/{} MEs free, {}/{} HBM segments free",
+            inventory.node,
+            inventory.resident_vnpus,
+            inventory.free_mes,
+            inventory.total_mes,
+            inventory.free_hbm_segments,
+            inventory.total_hbm_segments
+        );
+    }
+
+    // Offer an open-loop Poisson stream sized to ~70% of fleet capacity
+    // (two replicas per model).
+    let streams: Vec<(ModelId, u64)> = [ModelId::Dlrm, ModelId::Ncf]
+        .into_iter()
+        .map(|model| {
+            let service = estimated_service_cycles(model, 2, 2, &board) as f64;
+            (model, (service / (2.0 * 0.7)) as u64)
+        })
+        .collect();
+    let trace = ClusterTrace::poisson(&streams, 60, 7);
+    println!("\n== serving {} requests ==", trace.len());
+    for policy in [
+        DispatchPolicy::RoundRobin,
+        DispatchPolicy::LeastLoaded,
+        DispatchPolicy::LocalityAffine,
+    ] {
+        let mut replay_fleet = NpuCluster::homogeneous(4, &board);
+        for model in [ModelId::Dlrm, ModelId::Ncf, ModelId::Dlrm, ModelId::Ncf] {
+            replay_fleet
+                .deploy(replica(model), PlacementPolicy::TopologyAware)
+                .unwrap();
+        }
+        let report =
+            ClusterServingSim::new(ServingOptions::new(policy)).run(&mut replay_fleet, &trace);
+        println!(
+            "  {:<13} completed {:>3}/{:<3}  p50 {:>9}  p99 {:>9}  {:>8.1} rps",
+            policy.label(),
+            report.stats.completed,
+            report.stats.offered,
+            report.latency.p50,
+            report.latency.p99,
+            report.throughput_rps(&board)
+        );
+    }
+
+    // Cold-migrate the first replica a quarter into the run; the drain +
+    // transfer + remap downtime is charged to the requests queued behind it.
+    println!("\n== cold migration mid-run ==");
+    let victim = handles[0];
+    let destination = NodeId(3);
+    let options = ServingOptions::new(DispatchPolicy::LeastLoaded).with_migration(
+        Cycles(trace.horizon().get() / 4),
+        victim,
+        destination,
+    );
+    let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
+    for migration in &report.migrations {
+        println!(
+            "  moved {} -> {}: {} MiB of vNPU state, downtime = drain {} + transfer {} + remap {} = {} cycles",
+            migration.from,
+            migration.to,
+            migration.state_bytes >> 20,
+            migration.drain_cycles,
+            migration.transfer_cycles,
+            migration.remap_cycles,
+            migration.downtime().get()
+        );
+    }
+    println!(
+        "  with migration: completed {}/{}  p99 {} cycles ({} migrations accounted)",
+        report.stats.completed,
+        report.stats.offered,
+        report.latency.p99,
+        report.migrations.len()
+    );
+    assert_eq!(report.migrations.len(), 1, "the migration must execute");
+    assert_eq!(
+        fleet.total_vnpus(),
+        4,
+        "migration preserves the deployment count"
+    );
+    println!("\nfleet after migration:");
+    for inventory in fleet.inventories() {
+        println!(
+            "  {}: {} vNPUs resident",
+            inventory.node, inventory.resident_vnpus
+        );
+    }
+}

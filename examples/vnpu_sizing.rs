@@ -10,9 +10,9 @@ fn main() {
     let model = std::env::args()
         .nth(1)
         .and_then(|name| {
-            ModelId::all()
-                .into_iter()
-                .find(|m| m.abbrev().eq_ignore_ascii_case(&name) || m.name().eq_ignore_ascii_case(&name))
+            ModelId::all().into_iter().find(|m| {
+                m.abbrev().eq_ignore_ascii_case(&name) || m.name().eq_ignore_ascii_case(&name)
+            })
         })
         .unwrap_or(ModelId::Bert);
     let batch = 32;
@@ -35,11 +35,9 @@ fn main() {
 
     println!("\nAllocator sweep (Fig. 12): selected ME/VE split per EU budget");
     println!("{:>8} {:>10} {:>18}", "EUs", "(MEs,VEs)", "est. speedup");
-    for (split, speedup) in allocation_sweep(
-        profile.me_active_ratio(),
-        profile.ve_active_ratio(),
-        16,
-    ) {
+    for (split, speedup) in
+        allocation_sweep(profile.me_active_ratio(), profile.ve_active_ratio(), 16)
+    {
         println!(
             "{:>8} {:>10} {:>18.2}",
             split.total(),

@@ -13,7 +13,9 @@
 //!   vNPU-to-pNPU mapping, the µTOp/operation schedulers with harvesting,
 //!   the baselines and the multi-tenant serving runtime;
 //! * [`hypervisor`] — hypercalls, SR-IOV virtual functions, command buffers,
-//!   the IOMMU and the guest-VM model.
+//!   the IOMMU and the guest-VM model;
+//! * [`cluster`] — the datacenter fleet layer: multi-board vNPU placement,
+//!   open-loop request routing and cold vNPU migration between boards.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use cluster;
 pub use hypervisor;
 pub use neu10;
 pub use neuisa;
@@ -44,15 +47,19 @@ pub use workloads;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
+    pub use cluster::{
+        ClusterServingSim, DeploySpec, DispatchPolicy, MigrationCostModel, NodeId, NpuCluster,
+        PlacementPolicy, ServingOptions, VnpuHandle,
+    };
     pub use hypervisor::{GuestVm, Host};
     pub use neu10::{
-        allocation_sweep, split_eus, CollocationResult, CollocationSim, LatencySummary,
-        MappingMode, SharingPolicy, SimOptions, TenantSpec, VnpuAllocator, VnpuConfig, VnpuId,
-        VnpuManager,
+        allocation_sweep, split_eus, ClusterNodeSpec, ClusterSim, CollocationResult,
+        CollocationSim, LatencySummary, MappingMode, SharingPolicy, SimOptions, TenantSpec,
+        VnpuAllocator, VnpuConfig, VnpuId, VnpuManager,
     };
     pub use neuisa::{Compiler, CompilerOptions, OperatorKind, TensorOperator};
-    pub use npu_sim::{Cycles, NpuBoard, NpuConfig};
+    pub use npu_sim::{Cycles, InterconnectConfig, NpuBoard, NpuConfig};
     pub use workloads::{
-        collocation_pairs, model_catalog, InferenceGraph, ModelId, WorkloadProfile,
+        collocation_pairs, model_catalog, ClusterTrace, InferenceGraph, ModelId, WorkloadProfile,
     };
 }

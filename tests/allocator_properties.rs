@@ -104,8 +104,8 @@ proptest! {
                     prop_assert_eq!(assignment.mes + assignment.ves, 0);
                 }
                 if policy.is_spatial() {
-                    prop_assert!(assignment.mes <= tenant.me_demand.max(0));
-                    prop_assert!(assignment.ves <= tenant.ve_demand.max(0));
+                    prop_assert!(assignment.mes <= tenant.me_demand);
+                    prop_assert!(assignment.ves <= tenant.ve_demand);
                 }
             }
         }

@@ -1,0 +1,144 @@
+//! Property-based tests for the cluster fleet layer: placement never
+//! over-commits a node, migration preserves the deployment count, and the
+//! router never drops an admitted request.
+
+use cluster::{
+    AdmissionControl, ClusterServingSim, DeploySpec, DispatchPolicy, MigrationCostModel, NodeId,
+    NpuCluster, PlacementPolicy, ServingOptions,
+};
+use npu_sim::NpuConfig;
+use proptest::prelude::*;
+use workloads::{ClusterTrace, ModelId};
+
+fn model_for(index: usize) -> ModelId {
+    [ModelId::Mnist, ModelId::Ncf, ModelId::Bert, ModelId::Dlrm][index % 4]
+}
+
+fn placement_policy(index: usize) -> PlacementPolicy {
+    PlacementPolicy::all()[index % 3]
+}
+
+proptest! {
+    /// However deployments are sized and whichever policy places them, no
+    /// node's hardware-isolated commitments exceed its physical MEs, VEs or
+    /// HBM segments, and the cluster's books match the per-node managers.
+    #[test]
+    fn placement_never_overcommits_nodes(
+        nodes in 1usize..=6,
+        requests in proptest::collection::vec((1usize..=4, 1usize..=4, 0usize..=2), 1..24),
+    ) {
+        let board = NpuConfig::single_core();
+        let mut fleet = NpuCluster::homogeneous(nodes, &board);
+        let mut deployed = 0usize;
+        for (index, (mes, ves, policy)) in requests.iter().enumerate() {
+            let spec = DeploySpec::replica(model_for(index), *mes, *ves);
+            if fleet.deploy(spec, placement_policy(*policy)).is_ok() {
+                deployed += 1;
+            }
+        }
+        prop_assert_eq!(fleet.total_vnpus(), deployed);
+
+        for inventory in fleet.inventories() {
+            prop_assert!(inventory.free_mes <= inventory.total_mes);
+            prop_assert!(inventory.free_ves <= inventory.total_ves);
+            prop_assert!(inventory.free_hbm_segments <= inventory.total_hbm_segments);
+            prop_assert!(inventory.free_sram_segments <= inventory.total_sram_segments);
+        }
+        // Cross-check the inventory against the deployment records.
+        for node in fleet.nodes() {
+            let committed_mes: usize = fleet
+                .deployments()
+                .filter(|d| d.handle.node == node.id())
+                .map(|d| d.config.num_mes_per_core)
+                .sum();
+            let inventory = node.inventory();
+            prop_assert_eq!(
+                inventory.total_mes - inventory.free_mes,
+                committed_mes,
+                "node {} books disagree with its mapper",
+                node.id()
+            );
+        }
+    }
+
+    /// Cold migration — successful or refused — never changes the number of
+    /// live vNPUs, and every live deployment keeps a resolvable placement.
+    #[test]
+    fn migration_preserves_vnpu_count(
+        nodes in 2usize..=5,
+        seeds in proptest::collection::vec((0usize..=24, 0usize..=4), 1..10),
+    ) {
+        let board = NpuConfig::single_core();
+        let mut fleet = NpuCluster::homogeneous(nodes, &board);
+        for index in 0..nodes {
+            // One half-board replica per node so migrations have room to land.
+            fleet
+                .deploy(DeploySpec::replica(model_for(index), 2, 2), PlacementPolicy::WorstFit)
+                .unwrap();
+        }
+        let before = fleet.total_vnpus();
+        let cost = MigrationCostModel::default();
+
+        for (pick, dst) in &seeds {
+            let handles: Vec<_> = fleet.deployments().map(|d| d.handle).collect();
+            let handle = handles[pick % handles.len()];
+            let to = NodeId((dst % nodes) as u32);
+            // Migrations to the same node or full nodes may fail; the
+            // invariant holds regardless.
+            let _ = fleet.migrate(handle, to, &cost, None);
+            prop_assert_eq!(fleet.total_vnpus(), before);
+        }
+        for deployment in fleet.deployments() {
+            let node = fleet.node(deployment.handle.node).expect("node exists");
+            prop_assert!(
+                node.manager().placement(deployment.handle.vnpu).is_some(),
+                "deployment {} lost its placement",
+                deployment.handle
+            );
+        }
+    }
+
+    /// Whatever the trace, the policy and the admission limits, every
+    /// admitted request eventually completes: offered = completed + rejected.
+    #[test]
+    fn router_never_drops_admitted_requests(
+        replicas in 1usize..=4,
+        per_model in 1usize..=40,
+        mean_gap in 1_000u64..=200_000,
+        max_queue_depth in 1usize..=8,
+        policy_index in 0usize..=2,
+        seed in 0u64..=1_000,
+    ) {
+        let board = NpuConfig::single_core();
+        let mut fleet = NpuCluster::homogeneous(replicas, &board);
+        for _ in 0..replicas {
+            fleet
+                .deploy(DeploySpec::replica(ModelId::Mnist, 2, 2), PlacementPolicy::WorstFit)
+                .unwrap();
+        }
+        let trace = ClusterTrace::poisson(
+            &[(ModelId::Mnist, mean_gap), (ModelId::Bert, mean_gap)],
+            per_model,
+            seed,
+        );
+        let options = ServingOptions::new(DispatchPolicy::all()[policy_index])
+            .with_admission(AdmissionControl { max_queue_depth });
+        let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
+
+        prop_assert_eq!(report.stats.offered, trace.len());
+        prop_assert_eq!(
+            report.stats.completed,
+            report.stats.admitted,
+            "admitted requests must all complete (admitted {}, completed {})",
+            report.stats.admitted,
+            report.stats.completed
+        );
+        prop_assert_eq!(
+            report.stats.offered,
+            report.stats.completed + report.stats.rejected()
+        );
+        // No replica serves Bert, so that half of the trace is shed.
+        prop_assert_eq!(report.stats.rejected_no_replica, per_model);
+        prop_assert_eq!(report.latency.count, report.stats.completed);
+    }
+}

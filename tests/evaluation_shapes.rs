@@ -34,7 +34,12 @@ fn pair_throughput(result: &neu10::CollocationResult) -> f64 {
 fn neu10_beats_static_partitioning_on_low_contention_pairs() {
     // DLRM (VE/memory heavy) + EfficientNet (mixed): harvesting should raise
     // both utilization and throughput compared to the MIG-like partition.
-    let neu10 = run_pair(SharingPolicy::Neu10, ModelId::Dlrm, ModelId::EfficientNet, 3);
+    let neu10 = run_pair(
+        SharingPolicy::Neu10,
+        ModelId::Dlrm,
+        ModelId::EfficientNet,
+        3,
+    );
     let static_part = run_pair(
         SharingPolicy::Neu10NoHarvest,
         ModelId::Dlrm,
@@ -84,7 +89,12 @@ fn neu10_tail_latency_is_not_worse_than_v10() {
 fn harvesting_overhead_stays_bounded() {
     // Table III: the time a workload is blocked because it was harvested is a
     // few percent of its execution time at most.
-    let result = run_pair(SharingPolicy::Neu10, ModelId::Dlrm, ModelId::EfficientNet, 3);
+    let result = run_pair(
+        SharingPolicy::Neu10,
+        ModelId::Dlrm,
+        ModelId::EfficientNet,
+        3,
+    );
     for tenant in &result.tenants {
         let overhead = tenant.harvest_overhead_fraction(result.makespan);
         assert!(
@@ -126,7 +136,12 @@ fn utilization_improves_with_harvesting_across_policies() {
     // Fig. 22's qualitative claim: Neu10 ≥ Neu10-NH and Neu10 ≥ PMT in
     // engine utilization for a mixed pair.
     let neu10 = run_pair(SharingPolicy::Neu10, ModelId::Ncf, ModelId::ResNet, 2);
-    let nh = run_pair(SharingPolicy::Neu10NoHarvest, ModelId::Ncf, ModelId::ResNet, 2);
+    let nh = run_pair(
+        SharingPolicy::Neu10NoHarvest,
+        ModelId::Ncf,
+        ModelId::ResNet,
+        2,
+    );
     let pmt = run_pair(SharingPolicy::Pmt, ModelId::Ncf, ModelId::ResNet, 2);
     assert!(neu10.me_utilization >= nh.me_utilization);
     assert!(neu10.me_utilization >= pmt.me_utilization);

@@ -10,11 +10,19 @@ fn table_i_catalog_profiles_cleanly() {
     let config = NpuConfig::tpu_v4_like();
     for info in model_catalog() {
         let profile = WorkloadProfile::analyze(info.id, 8, &config);
-        assert!(!profile.samples().is_empty(), "{} has no operators", info.name);
+        assert!(
+            !profile.samples().is_empty(),
+            "{} has no operators",
+            info.name
+        );
         assert!(profile.makespan().get() > 0);
         let m = profile.me_active_ratio();
         let v = profile.ve_active_ratio();
-        assert!((0.0..=1.0).contains(&m) && (0.0..=1.0).contains(&v), "{}", info.name);
+        assert!(
+            (0.0..=1.0).contains(&m) && (0.0..=1.0).contains(&v),
+            "{}",
+            info.name
+        );
         assert!(
             profile.average_hbm_bandwidth(&config) <= config.hbm_bandwidth_bytes_per_sec,
             "{} exceeds peak bandwidth",
@@ -42,11 +50,19 @@ fn figure_4_orderings_hold() {
 #[test]
 fn figure_5_no_single_workload_saturates_the_core() {
     let config = NpuConfig::tpu_v4_like();
-    for model in [ModelId::Bert, ModelId::Dlrm, ModelId::ResNet, ModelId::EfficientNet] {
+    for model in [
+        ModelId::Bert,
+        ModelId::Dlrm,
+        ModelId::ResNet,
+        ModelId::EfficientNet,
+    ] {
         let profile = WorkloadProfile::analyze(model, 8, &config);
         let me = profile.average_me_utilization(config.mes_per_core);
         let ve = profile.average_ve_utilization(config.ves_per_core);
-        assert!(me < 0.999 || ve < 0.999, "{model} saturates both engine types");
+        assert!(
+            me < 0.999 || ve < 0.999,
+            "{model} saturates both engine types"
+        );
         assert!(me + ve > 0.0);
     }
 }
