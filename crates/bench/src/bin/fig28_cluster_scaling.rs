@@ -6,8 +6,10 @@
 //! and reports aggregate throughput and tail latency for every dispatch
 //! policy. Every run also cold-migrates the first replica onto the standby
 //! board a quarter into the trace, so the latency cost of moving a tenant is
-//! visible in the same table: least-loaded routes around the dark replica,
-//! round-robin keeps hitting it and pays the downtime in p99.
+//! visible in the same table: every policy skips the dark replica while it
+//! transfers, but they spread the displaced load differently — least-loaded
+//! levels queues by outstanding work, round-robin alternates blindly — so
+//! their p99s diverge.
 //!
 //! Output columns: nodes, policy, offered, completed, rejected,
 //! throughput (rps), p50 / p99 latency (cycles).

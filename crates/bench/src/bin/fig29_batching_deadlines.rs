@@ -1,0 +1,268 @@
+//! Fig. 29 (extension): dynamic batching and deadline-aware serving.
+//!
+//! Sweeps per-replica batch size × offered load × dispatch policy over a
+//! two-board fleet serving an interactive model (MNIST, strongly sublinear
+//! batch scaling: weight traffic amortizes across the batch) and a
+//! throughput model (DLRM, near-linear batch scaling). Arrivals carry
+//! deadlines and priority classes; the table reports aggregate throughput,
+//! tail latency, and the deadline-miss rate per policy.
+//!
+//! Output columns: batch, load, policy, offered, completed, rejected,
+//! rps, mnist_p99 / pooled p99 (cycles), miss%, mean batch size.
+//!
+//! The run asserts the fidelity claims this figure exists to demonstrate:
+//! batching lifts aggregate throughput at equal (over)load without the
+//! interactive model's p99 regressing past the unbatched baseline, and
+//! stochastic service times are seed-reproducible (two runs, same seed,
+//! identical `ServingReport`).
+
+use cluster::{
+    estimated_batch_service_cycles, estimated_service_cycles, ClusterServingSim, DeploySpec,
+    DispatchPolicy, NpuCluster, PlacementPolicy, ServingOptions, ServingReport, StochasticService,
+};
+use npu_sim::{Cycles, NpuConfig};
+use workloads::{ClusterTrace, ModelId, PriorityClass, QosSpec};
+
+const MODEL_INTERACTIVE: ModelId = ModelId::Mnist;
+const MODEL_THROUGHPUT: ModelId = ModelId::Dlrm;
+const REPLICA_MES: usize = 2;
+const REPLICA_VES: usize = 2;
+const REPLICA_SRAM: u64 = 32 << 20;
+const REPLICA_HBM: u64 = 1 << 30;
+const REPLICAS_PER_MODEL: usize = 2;
+const BATCH_SIZES: [usize; 4] = [1, 2, 4, 8];
+const LOADS: [f64; 2] = [0.8, 1.3];
+const SEED: u64 = 2029;
+
+/// Two serving boards, one replica of each model per board.
+fn deploy_fleet() -> NpuCluster {
+    let config = NpuConfig::single_core();
+    let mut fleet = NpuCluster::homogeneous(REPLICAS_PER_MODEL, &config);
+    for _ in 0..REPLICAS_PER_MODEL {
+        for model in [MODEL_INTERACTIVE, MODEL_THROUGHPUT] {
+            fleet
+                .deploy(
+                    DeploySpec::replica(model, REPLICA_MES, REPLICA_VES)
+                        .with_memory(REPLICA_SRAM, REPLICA_HBM),
+                    PlacementPolicy::BestFit,
+                )
+                .expect("two half-board replicas fit per board");
+        }
+    }
+    fleet
+}
+
+/// Deadline slack per model: generous enough that a batch-of-8 pass can
+/// still meet it, tight enough that overload queueing blows it.
+fn deadline_slack(model: ModelId, config: &NpuConfig) -> u64 {
+    let batched = estimated_batch_service_cycles(
+        model,
+        *BATCH_SIZES.last().unwrap(),
+        REPLICA_MES,
+        REPLICA_VES,
+        config,
+    );
+    batched * 3 / 2
+}
+
+/// Poisson arrivals sized to `load` × unbatched per-replica capacity, with
+/// per-model deadlines and priority classes.
+fn offered_load(load: f64, per_model: usize, config: &NpuConfig) -> ClusterTrace {
+    let streams: Vec<(ModelId, u64)> = [MODEL_INTERACTIVE, MODEL_THROUGHPUT]
+        .into_iter()
+        .map(|model| {
+            let service = estimated_service_cycles(model, REPLICA_MES, REPLICA_VES, config) as f64;
+            let mean = service / (REPLICAS_PER_MODEL as f64 * load);
+            (model, mean.max(1.0) as u64)
+        })
+        .collect();
+    let trace = ClusterTrace::poisson(&streams, per_model, SEED)
+        .with_model_qos(
+            MODEL_INTERACTIVE,
+            QosSpec::new(
+                Some(Cycles(deadline_slack(MODEL_INTERACTIVE, config))),
+                PriorityClass::Interactive,
+            ),
+        )
+        .with_model_qos(
+            MODEL_THROUGHPUT,
+            QosSpec::new(
+                Some(Cycles(deadline_slack(MODEL_THROUGHPUT, config))),
+                PriorityClass::Standard,
+            ),
+        );
+    // A third of the interactive stream is deadline-free background traffic
+    // (cache warmers, batch refreshes): under FIFO it sits in front of the
+    // deadline-bound requests, under EDF it yields to them.
+    ClusterTrace::from_arrivals(
+        trace
+            .arrivals()
+            .iter()
+            .map(|arrival| {
+                if arrival.model == MODEL_INTERACTIVE && arrival.sequence % 3 == 0 {
+                    let mut background = *arrival;
+                    background.deadline = None;
+                    background.priority = PriorityClass::Batch;
+                    background
+                } else {
+                    *arrival
+                }
+            })
+            .collect(),
+    )
+}
+
+fn run(policy: DispatchPolicy, batch: usize, trace: &ClusterTrace) -> ServingReport {
+    let mut fleet = deploy_fleet();
+    let options = ServingOptions::new(policy).with_batching(batch);
+    ClusterServingSim::new(options).run(&mut fleet, trace)
+}
+
+fn main() {
+    let config = NpuConfig::single_core();
+    bench::print_simulator_config(&config);
+    let per_model = bench::target_requests() * 24;
+
+    println!("# Fig. 29: per-replica dynamic batching under deadline-bound open-loop load");
+    println!(
+        "# ({REPLICAS_PER_MODEL} boards, {MODEL_INTERACTIVE:?} interactive + {MODEL_THROUGHPUT:?} standard, deadlines = 1.5x batch-8 service)"
+    );
+    println!(
+        "{:<6} {:<5} {:<13} {:>8} {:>10} {:>9} {:>11} {:>12} {:>12} {:>7} {:>7}",
+        "batch",
+        "load",
+        "policy",
+        "offered",
+        "completed",
+        "rejected",
+        "rps",
+        "mnist_p99",
+        "p99_cycles",
+        "miss%",
+        "avg_b"
+    );
+
+    let mut unbatched_overload: Option<ServingReport> = None;
+    let mut batched_overload: Option<ServingReport> = None;
+    let mut edf_unbatched_overload: Option<ServingReport> = None;
+    for load in LOADS {
+        let trace = offered_load(load, per_model, &config);
+        for batch in BATCH_SIZES {
+            for policy in [
+                DispatchPolicy::LeastLoaded,
+                DispatchPolicy::EarliestDeadline,
+            ] {
+                let report = run(policy, batch, &trace);
+                let interactive_p99 = report
+                    .per_model
+                    .get(&MODEL_INTERACTIVE)
+                    .map(|s| s.p99)
+                    .unwrap_or(0);
+                println!(
+                    "{:<6} {:<5} {:<13} {:>8} {:>10} {:>9} {:>11.1} {:>12} {:>12} {:>6.1}% {:>7.2}",
+                    batch,
+                    load,
+                    policy.label(),
+                    report.stats.offered,
+                    report.stats.completed,
+                    report.stats.rejected(),
+                    report.throughput_rps(&config),
+                    interactive_p99,
+                    report.latency.p99,
+                    report.deadline.miss_rate() * 100.0,
+                    report.mean_batch_size()
+                );
+                if load == LOADS[1] && batch == 1 {
+                    match policy {
+                        DispatchPolicy::LeastLoaded => unbatched_overload = Some(report),
+                        DispatchPolicy::EarliestDeadline => edf_unbatched_overload = Some(report),
+                        _ => {}
+                    }
+                } else if policy == DispatchPolicy::LeastLoaded
+                    && load == LOADS[1]
+                    && batch == *BATCH_SIZES.last().unwrap()
+                {
+                    batched_overload = Some(report);
+                }
+            }
+        }
+    }
+
+    // The figure's headline: at equal overload, batching serves strictly more
+    // traffic without the interactive tail regressing past the unbatched
+    // baseline.
+    let unbatched = unbatched_overload.expect("swept above");
+    let batched = batched_overload.expect("swept above");
+    let unbatched_rps = unbatched.throughput_rps(&config);
+    let batched_rps = batched.throughput_rps(&config);
+    println!();
+    println!(
+        "# overload (load {:.1}), least-loaded: batch-8 {:.1} rps vs unbatched {:.1} rps ({:.2}x)",
+        LOADS[1],
+        batched_rps,
+        unbatched_rps,
+        batched_rps / unbatched_rps.max(f64::EPSILON)
+    );
+    assert!(
+        batched_rps >= unbatched_rps,
+        "batching must never cost aggregate throughput at equal load ({batched_rps:.1} vs {unbatched_rps:.1} rps)"
+    );
+    let p99 = |r: &ServingReport| {
+        r.per_model
+            .get(&MODEL_INTERACTIVE)
+            .map(|s| s.p99)
+            .unwrap_or(0)
+    };
+    println!(
+        "# interactive p99 at overload: batch-8 {} vs unbatched {} cycles",
+        p99(&batched),
+        p99(&unbatched)
+    );
+    // The sublinear model's backlog drains in amortized passes: its tail
+    // strictly improves (and never regresses past the unbatched baseline),
+    // and so does its deadline-miss rate.
+    assert!(
+        p99(&batched) < p99(&unbatched),
+        "batching must cut the interactive p99 under overload ({} vs {})",
+        p99(&batched),
+        p99(&unbatched)
+    );
+    assert!(
+        batched.deadline.miss_rate() <= unbatched.deadline.miss_rate(),
+        "batching must not miss more deadlines than the unbatched baseline"
+    );
+
+    // Deadline-aware queue ordering pays off exactly where queues build.
+    let edf = edf_unbatched_overload.expect("swept above");
+    println!(
+        "# unbatched overload miss rate: edf {:.1}% vs fifo {:.1}%",
+        edf.deadline.miss_rate() * 100.0,
+        unbatched.deadline.miss_rate() * 100.0
+    );
+    assert!(
+        edf.deadline.miss_rate() <= unbatched.deadline.miss_rate(),
+        "EDF ordering must not miss more deadlines than FIFO under overload"
+    );
+
+    // Stochastic service times: dispersion changes the tail, the seed pins
+    // the run.
+    let trace = offered_load(LOADS[0], per_model, &config);
+    let stochastic_run = || {
+        let mut fleet = deploy_fleet();
+        let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+            .with_batching(4)
+            .with_stochastic(StochasticService::seeded(SEED));
+        ClusterServingSim::new(options).run(&mut fleet, &trace)
+    };
+    let first = stochastic_run();
+    let second = stochastic_run();
+    assert_eq!(
+        first, second,
+        "stochastic serving must be reproducible for a fixed seed"
+    );
+    println!(
+        "# stochastic (seed {SEED}): p99 {} cycles, miss {:.1}%, reproducible across two runs",
+        first.latency.p99,
+        first.deadline.miss_rate() * 100.0
+    );
+}

@@ -13,9 +13,12 @@
 //!   topology-aware policies;
 //! * [`router`] / [`serving`] — an open-loop request **router** with
 //!   per-model queues, admission control and pluggable dispatch policies
-//!   (round-robin, least-loaded, locality-affine), plus the discrete-event
-//!   serving simulator that replays a [`workloads::ClusterTrace`] against the
-//!   deployed replicas;
+//!   (round-robin, least-loaded, locality-affine, earliest-deadline-first),
+//!   plus the discrete-event serving simulator that replays a
+//!   [`workloads::ClusterTrace`] against the deployed replicas with
+//!   per-replica **dynamic batching**, **request deadlines and priorities**
+//!   (miss counting, drop-on-expiry) and seeded **stochastic service times**
+//!   calibrated from `neu10::CollocationSim`;
 //! * [`migration`] — **cold vNPU migration** between nodes (drain → snapshot
 //!   the [`neu10::scheduler::VnpuContext`] → re-place → resume) with a cost
 //!   model built on [`npu_sim::InterconnectConfig`], charged to tenant
@@ -56,7 +59,8 @@ pub use node::ClusterNode;
 pub use placement::{rank_nodes, select_node, PlacementCandidate, PlacementPolicy};
 pub use router::{AdmissionControl, DispatchPolicy, RouterStats};
 pub use serving::{
-    estimated_service_cycles, ClusterServingSim, ScheduledMigration, ServingOptions, ServingReport,
+    estimated_batch_service_cycles, estimated_service_cycles, ClusterServingSim,
+    ScheduledMigration, ServingOptions, ServingReport, StochasticService,
 };
 
 /// Identifies one node (board + host) of the cluster.

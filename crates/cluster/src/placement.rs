@@ -55,16 +55,20 @@ pub struct PlacementCandidate {
 }
 
 /// Free-capacity fraction remaining on the node after hosting `demand`
-/// (mean over the engine and HBM dimensions).
+/// (mean over the engine, SRAM and HBM dimensions).
 fn free_after_fraction(inventory: &NodeInventory, demand: &ResourceDemand) -> f64 {
     let eu_total = (inventory.total_mes + inventory.total_ves).max(1) as f64;
     let eu_free = (inventory.free_mes.saturating_sub(demand.mes)
         + inventory.free_ves.saturating_sub(demand.ves)) as f64;
+    let sram_total = inventory.total_sram_segments.max(1) as f64;
+    let sram_free = inventory
+        .free_sram_segments
+        .saturating_sub(demand.sram_segments) as f64;
     let mem_total = inventory.total_hbm_segments.max(1) as f64;
     let mem_free = inventory
         .free_hbm_segments
         .saturating_sub(demand.hbm_segments) as f64;
-    (eu_free / eu_total + mem_free / mem_total) / 2.0
+    (eu_free / eu_total + sram_free / sram_total + mem_free / mem_total) / 3.0
 }
 
 /// Scores one candidate under `policy`; lower is better.
@@ -182,6 +186,31 @@ mod tests {
             None
         );
         assert_eq!(select_node(PlacementPolicy::BestFit, &[], &demand()), None);
+    }
+
+    #[test]
+    fn sram_breaks_ties_between_otherwise_equal_nodes() {
+        // Regression: scoring documented free ME/VE/SRAM/HBM but ignored
+        // SRAM, so two nodes with equal EUs/HBM and disparate free SRAM
+        // scored identically and the tie broke to the lower node id.
+        let drained = |node: u32, free_sram: u32| {
+            let mut c = candidate(node, 6, 48, 0);
+            c.inventory.free_sram_segments = free_sram;
+            c
+        };
+        // Node 0 has plenty of SRAM free, node 1 is nearly drained: best-fit
+        // must pack the drained node, worst-fit must spread to the roomy one.
+        let candidates = [drained(0, 64), drained(1, 8)];
+        assert_eq!(
+            select_node(PlacementPolicy::BestFit, &candidates, &demand()),
+            Some(NodeId(1)),
+            "best-fit packs the SRAM-drained node"
+        );
+        assert_eq!(
+            select_node(PlacementPolicy::WorstFit, &candidates, &demand()),
+            Some(NodeId(0)),
+            "worst-fit spreads to the SRAM-roomy node"
+        );
     }
 
     #[test]

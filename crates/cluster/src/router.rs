@@ -16,22 +16,28 @@ use crate::NodeId;
 /// How the router picks among the replicas of a model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DispatchPolicy {
-    /// Cycle through the replicas regardless of their load.
+    /// Cycle through the available replicas regardless of their load.
     RoundRobin,
     /// Send to the replica with the least outstanding work.
     LeastLoaded,
     /// Prefer replicas on nodes hosting the most replicas of the model
     /// (weight locality / warm HBM); ties break towards the least loaded.
     LocalityAffine,
+    /// Deadline- and priority-aware serving: replica selection matches
+    /// [`DispatchPolicy::LeastLoaded`] (minimize expected wait), but the
+    /// serving simulator orders each replica's queue earliest-deadline-first
+    /// within priority classes instead of FIFO.
+    EarliestDeadline,
 }
 
 impl DispatchPolicy {
     /// Every dispatch policy, for sweeps.
-    pub fn all() -> [DispatchPolicy; 3] {
+    pub fn all() -> [DispatchPolicy; 4] {
         [
             DispatchPolicy::RoundRobin,
             DispatchPolicy::LeastLoaded,
             DispatchPolicy::LocalityAffine,
+            DispatchPolicy::EarliestDeadline,
         ]
     }
 
@@ -41,7 +47,14 @@ impl DispatchPolicy {
             DispatchPolicy::RoundRobin => "round-robin",
             DispatchPolicy::LeastLoaded => "least-loaded",
             DispatchPolicy::LocalityAffine => "locality",
+            DispatchPolicy::EarliestDeadline => "edf",
         }
+    }
+
+    /// Whether replicas serve their queues earliest-deadline-first within
+    /// priority classes (instead of FIFO) under this policy.
+    pub fn orders_queues_by_deadline(self) -> bool {
+        matches!(self, DispatchPolicy::EarliestDeadline)
     }
 }
 
@@ -155,6 +168,13 @@ impl Router {
 
     /// Routes one request for `model` over the candidate `replicas`
     /// (all replicas of that model, in stable index order).
+    ///
+    /// Replicas that are mid-migration (`unavailable`) are skipped while any
+    /// available replica exists; when *every* replica is dark (e.g. a full
+    /// migration window) the request queues behind the migration instead of
+    /// being shed. Overload rejection only triggers when every eligible
+    /// replica is at `max_queue_depth` — one full queue never sheds a request
+    /// another replica has room for.
     pub fn dispatch(&mut self, model: ModelId, replicas: &[ReplicaView]) -> DispatchDecision {
         self.stats.offered += 1;
         if replicas.is_empty() {
@@ -162,36 +182,47 @@ impl Router {
             return DispatchDecision::RejectNoReplica;
         }
 
+        // Restrict to the available replicas while any exist; a fully dark
+        // replica set queues rather than rejects.
+        let any_available = replicas.iter().any(|r| !r.unavailable);
+        let eligible = |r: &&ReplicaView| {
+            r.queue_len < self.admission.max_queue_depth && (!any_available || !r.unavailable)
+        };
+
         let pick = match self.policy {
             DispatchPolicy::RoundRobin => {
                 let cursor = self.rr_cursor.entry(model).or_insert(0);
-                let choice = *cursor % replicas.len();
-                *cursor = (*cursor + 1) % replicas.len();
-                replicas[choice]
-            }
-            DispatchPolicy::LeastLoaded => *replicas
-                .iter()
-                .min_by_key(|r| (r.unavailable, r.outstanding(), r.index))
-                .expect("non-empty"),
-            DispatchPolicy::LocalityAffine => *replicas
-                .iter()
-                .min_by_key(|r| {
-                    (
-                        r.unavailable,
-                        std::cmp::Reverse(r.node_replicas),
-                        r.outstanding(),
-                        r.index,
-                    )
+                let start = *cursor % replicas.len();
+                let choice = (0..replicas.len())
+                    .map(|offset| (start + offset) % replicas.len())
+                    .find(|pos| eligible(&&replicas[*pos]));
+                choice.map(|pos| {
+                    *cursor = (pos + 1) % replicas.len();
+                    replicas[pos]
                 })
-                .expect("non-empty"),
+            }
+            DispatchPolicy::LeastLoaded | DispatchPolicy::EarliestDeadline => replicas
+                .iter()
+                .filter(eligible)
+                .min_by_key(|r| (r.outstanding(), r.index))
+                .copied(),
+            DispatchPolicy::LocalityAffine => replicas
+                .iter()
+                .filter(eligible)
+                .min_by_key(|r| (std::cmp::Reverse(r.node_replicas), r.outstanding(), r.index))
+                .copied(),
         };
 
-        if pick.queue_len >= self.admission.max_queue_depth {
-            self.stats.rejected_overload += 1;
-            return DispatchDecision::RejectOverload;
+        match pick {
+            Some(replica) => {
+                self.stats.admitted += 1;
+                DispatchDecision::Dispatch(replica.index)
+            }
+            None => {
+                self.stats.rejected_overload += 1;
+                DispatchDecision::RejectOverload
+            }
         }
-        self.stats.admitted += 1;
-        DispatchDecision::Dispatch(pick.index)
     }
 }
 
@@ -271,6 +302,84 @@ mod tests {
             DispatchDecision::Dispatch(1),
             "locality outweighs load"
         );
+    }
+
+    #[test]
+    fn round_robin_skips_migrating_replicas() {
+        // Regression: RR used to pick replicas[cursor] blindly, dispatching
+        // to mid-migration replicas.
+        let mut router = Router::new(DispatchPolicy::RoundRobin, AdmissionControl::default());
+        let mut dark = view(0, 0, 0, false);
+        dark.unavailable = true;
+        let replicas = [dark, view(1, 1, 0, false), view(2, 2, 0, false)];
+        let picks: Vec<DispatchDecision> = (0..4)
+            .map(|_| router.dispatch(ModelId::Mnist, &replicas))
+            .collect();
+        assert_eq!(
+            picks,
+            vec![
+                DispatchDecision::Dispatch(1),
+                DispatchDecision::Dispatch(2),
+                DispatchDecision::Dispatch(1),
+                DispatchDecision::Dispatch(2),
+            ],
+            "the dark replica is never picked while others are available"
+        );
+    }
+
+    #[test]
+    fn round_robin_overload_requires_every_available_replica_full() {
+        // Regression: RR used to reject outright when the cursor landed on a
+        // full replica even though the other replica had queue room.
+        let mut router = Router::new(
+            DispatchPolicy::RoundRobin,
+            AdmissionControl { max_queue_depth: 2 },
+        );
+        let replicas = [view(0, 0, 2, true), view(1, 1, 0, false)];
+        assert_eq!(
+            router.dispatch(ModelId::Mnist, &replicas),
+            DispatchDecision::Dispatch(1),
+            "the roomy replica absorbs the request"
+        );
+        let both_full = [view(0, 0, 2, true), view(1, 1, 2, true)];
+        assert_eq!(
+            router.dispatch(ModelId::Mnist, &both_full),
+            DispatchDecision::RejectOverload
+        );
+    }
+
+    #[test]
+    fn fully_dark_replica_sets_queue_instead_of_rejecting() {
+        // When every replica is mid-migration the request waits behind the
+        // migration window rather than being shed.
+        for policy in DispatchPolicy::all() {
+            let mut router = Router::new(policy, AdmissionControl::default());
+            let mut a = view(0, 0, 0, false);
+            a.unavailable = true;
+            let mut b = view(1, 1, 3, true);
+            b.unavailable = true;
+            let decision = router.dispatch(ModelId::Mnist, &[a, b]);
+            assert!(
+                matches!(decision, DispatchDecision::Dispatch(_)),
+                "{}: all-dark window must queue, got {decision:?}",
+                policy.label()
+            );
+        }
+    }
+
+    #[test]
+    fn edf_routes_like_least_loaded_and_flags_queue_ordering() {
+        let mut router = Router::new(
+            DispatchPolicy::EarliestDeadline,
+            AdmissionControl::default(),
+        );
+        let replicas = [view(0, 0, 3, true), view(1, 1, 0, false)];
+        assert_eq!(
+            router.dispatch(ModelId::Mnist, &replicas),
+            DispatchDecision::Dispatch(1)
+        );
+        assert!(DispatchPolicy::EarliestDeadline.orders_queues_by_deadline());
+        assert!(!DispatchPolicy::LeastLoaded.orders_queues_by_deadline());
     }
 
     #[test]

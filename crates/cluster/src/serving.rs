@@ -2,22 +2,38 @@
 //!
 //! Replays a [`workloads::ClusterTrace`] against the replicas deployed in an
 //! [`NpuCluster`]: every arrival is routed by the [`Router`], waits in its
-//! replica's FIFO queue, and occupies the replica for the model's calibrated
-//! service time. Cold migrations can be scheduled mid-run; a migrating
-//! replica drains its in-flight request, goes dark for the transfer + remap
-//! window, and resumes on the destination node — with the whole downtime
-//! charged to the latency of the requests queued behind it.
+//! replica's queue, and is served as part of a **dynamic batch** — an idle
+//! replica collects up to [`ServingOptions::max_batch`] queued requests of
+//! its model and serves them in one pass, with the batch service time
+//! calibrated from [`neu10::TenantWorkload`] at the *actual* batch size
+//! (sublinear in the batch for weight-traffic-bound models, not
+//! `batch × single`). Requests may carry **deadlines and priority classes**
+//! ([`workloads::RequestArrival`]): the simulator counts deadline misses,
+//! optionally drops expired requests unserved, and — under
+//! [`DispatchPolicy::EarliestDeadline`] — orders each replica queue
+//! earliest-deadline-first within priority classes instead of FIFO.
 //!
-//! Service times are calibrated from the same compiled operator streams the
-//! single-board runtime replays ([`neu10::TenantWorkload`]), so fleet-level
-//! numbers stay consistent with the per-board simulation.
+//! Service times are deterministic by default. With
+//! [`ServingOptions::with_stochastic`] they get a seeded lognormal dispersion
+//! whose coefficient of variation is calibrated from
+//! [`neu10::CollocationSim`] per-request latencies
+//! ([`neu10::calibrate_service_time`]), so fleet tail latencies reflect
+//! multi-tenant service-time noise rather than queueing alone. Runs are
+//! reproducible: the same seed yields an identical [`ServingReport`].
+//!
+//! Cold migrations can be scheduled mid-run; a migrating replica drains its
+//! in-flight batch, goes dark for the transfer + remap window, and resumes on
+//! the destination node — with the whole downtime charged to the latency of
+//! the requests queued behind it.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
-use neu10::{IsaKind, LatencySummary, TenantWorkload};
+use neu10::{calibrate_service_time, DeadlineStats, IsaKind, LatencySummary, TenantWorkload};
 use npu_sim::{Cycles, NpuConfig};
-use workloads::{ClusterTrace, ModelId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use workloads::{ClusterTrace, ModelId, PriorityClass};
 
 use crate::cluster::{NpuCluster, VnpuHandle};
 use crate::migration::{MigrationCostModel, MigrationRecord};
@@ -37,6 +53,37 @@ pub struct ScheduledMigration {
     pub to: NodeId,
 }
 
+/// Seeded service-time dispersion settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StochasticService {
+    /// RNG seed; runs with the same seed produce identical reports.
+    pub seed: u64,
+    /// Requests per tenant in the [`neu10::CollocationSim`] calibration run
+    /// that measures the dispersion.
+    pub calibration_requests: usize,
+    /// Overrides the calibrated coefficient of variation (useful for tests
+    /// and sensitivity sweeps); `None` calibrates per (model, allocation,
+    /// board).
+    pub cv_override: Option<f64>,
+}
+
+impl StochasticService {
+    /// Calibrated dispersion with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        StochasticService {
+            seed,
+            calibration_requests: 4,
+            cv_override: None,
+        }
+    }
+
+    /// Forces the coefficient of variation instead of calibrating it.
+    pub fn with_cv(mut self, cv: f64) -> Self {
+        self.cv_override = Some(cv.max(0.0));
+        self
+    }
+}
+
 /// Configuration of one serving run.
 #[derive(Debug, Clone)]
 pub struct ServingOptions {
@@ -48,6 +95,14 @@ pub struct ServingOptions {
     pub migrations: Vec<ScheduledMigration>,
     /// The migration cost model.
     pub cost_model: MigrationCostModel,
+    /// Largest number of queued requests a replica serves in one pass
+    /// (1 = no batching).
+    pub max_batch: usize,
+    /// Drop queued requests whose deadline has already passed instead of
+    /// serving them late.
+    pub drop_expired: bool,
+    /// Seeded service-time dispersion; `None` keeps service deterministic.
+    pub stochastic: Option<StochasticService>,
 }
 
 impl ServingOptions {
@@ -58,6 +113,9 @@ impl ServingOptions {
             admission: AdmissionControl::default(),
             migrations: Vec::new(),
             cost_model: MigrationCostModel::default(),
+            max_batch: 1,
+            drop_expired: false,
+            stochastic: None,
         }
     }
 
@@ -72,6 +130,24 @@ impl ServingOptions {
         self.migrations.push(ScheduledMigration { at, handle, to });
         self
     }
+
+    /// Enables dynamic batching up to `max_batch` requests per pass.
+    pub fn with_batching(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Drops expired requests unserved instead of serving them late.
+    pub fn with_drop_expired(mut self) -> Self {
+        self.drop_expired = true;
+        self
+    }
+
+    /// Enables seeded stochastic service times.
+    pub fn with_stochastic(mut self, stochastic: StochasticService) -> Self {
+        self.stochastic = Some(stochastic);
+        self
+    }
 }
 
 /// The measurements of one serving run.
@@ -79,18 +155,25 @@ impl ServingOptions {
 pub struct ServingReport {
     /// The dispatch policy that ran.
     pub dispatch: DispatchPolicy,
-    /// Router counters (offered / admitted / rejected / completed).
+    /// Router counters (offered / admitted / rejected / completed). With
+    /// drop-on-expiry enabled, `admitted = completed + deadline.dropped`.
     pub stats: RouterStats,
     /// Latency summary over every completed request (cycles from arrival to
-    /// completion — queueing, service and migration downtime included).
+    /// completion — queueing, batching, service and migration downtime
+    /// included).
     pub latency: LatencySummary,
     /// Per-model latency summaries.
     pub per_model: BTreeMap<ModelId, LatencySummary>,
     /// Requests completed per node (attributed to the node that served them).
     pub per_node_completed: BTreeMap<NodeId, usize>,
+    /// Deadline bookkeeping over the deadline-carrying requests.
+    pub deadline: DeadlineStats,
+    /// Service passes executed (a batch of k requests is one pass).
+    pub batches: usize,
     /// The migrations that actually executed.
     pub migrations: Vec<MigrationRecord>,
-    /// Time of the last completion.
+    /// Time of the last completion (or executed-migration resume). Rejected
+    /// arrivals never move the makespan.
     pub makespan: Cycles,
 }
 
@@ -99,21 +182,48 @@ impl ServingReport {
     pub fn throughput_rps(&self, config: &NpuConfig) -> f64 {
         neu10::throughput_rps(self.stats.completed, self.makespan, config.frequency)
     }
+
+    /// Mean number of requests per service pass.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.stats.completed as f64 / self.batches as f64
+    }
 }
 
+/// One admitted request waiting in (or being served from) a replica queue.
 #[derive(Debug, Clone, Copy)]
-struct Request {
+struct QueuedRequest {
     model: ModelId,
     arrived: u64,
+    deadline: Option<u64>,
+    priority: PriorityClass,
+    sequence: u64,
+}
+
+impl QueuedRequest {
+    /// Earliest-deadline-first ordering key: priority class, then deadline
+    /// (best-effort last), then arrival order.
+    fn edf_key(&self) -> (PriorityClass, u64, u64) {
+        (
+            self.priority,
+            self.deadline.unwrap_or(u64::MAX),
+            self.sequence,
+        )
+    }
 }
 
 #[derive(Debug)]
 struct ReplicaSim {
     handle: VnpuHandle,
     model: ModelId,
-    service_cycles: u64,
-    queue: VecDeque<Request>,
-    in_service: Option<(Request, u64)>,
+    /// Calibrated service time of a k-request batch at `batch_cycles[k - 1]`.
+    batch_cycles: Vec<u64>,
+    /// Calibrated service-time coefficient of variation (0 = deterministic).
+    cv: f64,
+    queue: VecDeque<QueuedRequest>,
+    in_service: Option<(Vec<QueuedRequest>, u64)>,
     available_at: u64,
     pending_migration: Option<(NodeId, u64)>,
 }
@@ -122,6 +232,31 @@ impl ReplicaSim {
     fn unavailable(&self, now: u64) -> bool {
         now < self.available_at || self.pending_migration.is_some()
     }
+
+    /// Inserts an admitted request, FIFO or EDF-ordered.
+    fn enqueue(&mut self, request: QueuedRequest, edf: bool) {
+        if edf {
+            let at = self
+                .queue
+                .iter()
+                .position(|queued| queued.edf_key() > request.edf_key())
+                .unwrap_or(self.queue.len());
+            self.queue.insert(at, request);
+        } else {
+            self.queue.push_back(request);
+        }
+    }
+}
+
+/// Mutable bookkeeping shared by the batch-formation path.
+#[derive(Debug)]
+struct ServeState {
+    max_batch: usize,
+    drop_expired: bool,
+    edf: bool,
+    rng: Option<StdRng>,
+    deadline: DeadlineStats,
+    batches: usize,
 }
 
 // Event kinds, ordered so that at equal timestamps completions free capacity
@@ -130,13 +265,21 @@ const EV_COMPLETION: u8 = 0;
 const EV_RESUME: u8 = 1;
 const EV_MIGRATION: u8 = 2;
 
-/// The fluid service-time estimate of one request on a `mes`×`ves` replica:
-/// each operator runs at the rate of the engines the replica owns and the
-/// node's HBM bandwidth. Harnesses use this to size offered load relative to
-/// fleet capacity.
-pub fn estimated_service_cycles(model: ModelId, mes: usize, ves: usize, npu: &NpuConfig) -> u64 {
-    let workload =
-        TenantWorkload::compile(model, model.evaluation_batch_size(), npu, IsaKind::NeuIsa);
+/// The fluid service-time estimate of one `batch_requests`-request batch on a
+/// `mes`×`ves` replica: the model is compiled at
+/// `batch_requests × evaluation_batch_size` and each operator runs at the
+/// rate of the engines the replica owns and the node's HBM bandwidth. The
+/// estimate is sublinear in the batch wherever per-pass work (weight
+/// traffic, fixed operator overheads) amortizes.
+pub fn estimated_batch_service_cycles(
+    model: ModelId,
+    batch_requests: usize,
+    mes: usize,
+    ves: usize,
+    npu: &NpuConfig,
+) -> u64 {
+    let batch = model.evaluation_batch_size() * batch_requests.max(1) as u64;
+    let workload = TenantWorkload::compile(model, batch, npu, IsaKind::NeuIsa);
     let bw_per_cycle = npu.hbm_bandwidth_bytes_per_sec / npu.frequency.hz();
     let mut total = 0.0f64;
     for op in &workload.operators {
@@ -157,6 +300,39 @@ pub fn estimated_service_cycles(model: ModelId, mes: usize, ves: usize, npu: &Np
     (total as u64).max(1)
 }
 
+/// The fluid service-time estimate of one single-request pass — the
+/// batch-of-1 case of [`estimated_batch_service_cycles`]. Harnesses use this
+/// to size offered load relative to fleet capacity.
+pub fn estimated_service_cycles(model: ModelId, mes: usize, ves: usize, npu: &NpuConfig) -> u64 {
+    estimated_batch_service_cycles(model, 1, mes, ves, npu)
+}
+
+/// A lognormal multiplier with mean 1 and the given coefficient of
+/// variation, drawn via Box–Muller from the seeded generator.
+fn lognormal_factor(rng: &mut StdRng, cv: f64) -> f64 {
+    if cv <= 0.0 {
+        return 1.0;
+    }
+    let sigma_sq = (1.0 + cv * cv).ln();
+    let sigma = sigma_sq.sqrt();
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (-0.5 * sigma_sq + sigma * z).exp()
+}
+
+/// The per-(model, allocation, board) service calibration: batch service
+/// times for every batch size up to `max_batch`, plus the stochastic
+/// dispersion when enabled.
+struct CalibrationEntry {
+    model: ModelId,
+    mes: usize,
+    ves: usize,
+    config: NpuConfig,
+    batch_cycles: Vec<u64>,
+    cv: f64,
+}
+
 /// The open-loop serving simulator.
 #[derive(Debug, Clone)]
 pub struct ClusterServingSim {
@@ -174,10 +350,11 @@ impl ClusterServingSim {
     /// The cluster is mutated by scheduled migrations (their placements
     /// genuinely move); everything else is read-only.
     pub fn run(&self, cluster: &mut NpuCluster, trace: &ClusterTrace) -> ServingReport {
+        let max_batch = self.options.max_batch.max(1);
         // Calibration cache: boards are compared by configuration, not node
         // identity, so a homogeneous fleet compiles each (model, allocation)
-        // exactly once.
-        let mut service_cache: Vec<(ModelId, usize, usize, NpuConfig, u64)> = Vec::new();
+        // once per batch size.
+        let mut calibrations: Vec<CalibrationEntry> = Vec::new();
         let mut replicas: Vec<ReplicaSim> = cluster
             .deployments()
             .map(|d| {
@@ -185,24 +362,45 @@ impl ClusterServingSim {
                 let mes = d.config.num_mes_per_core;
                 let ves = d.config.num_ves_per_core;
                 let npu = node.npu_config();
-                let service_cycles = match service_cache
-                    .iter()
-                    .find(|(m, me, ve, config, _)| {
-                        *m == d.model && *me == mes && *ve == ves && config == npu
-                    })
-                    .map(|(_, _, _, _, cycles)| *cycles)
-                {
-                    Some(cycles) => cycles,
+                let entry = match calibrations.iter().position(|c| {
+                    c.model == d.model && c.mes == mes && c.ves == ves && &c.config == npu
+                }) {
+                    Some(found) => &calibrations[found],
                     None => {
-                        let cycles = estimated_service_cycles(d.model, mes, ves, npu);
-                        service_cache.push((d.model, mes, ves, npu.clone(), cycles));
-                        cycles
+                        let batch_cycles = (1..=max_batch)
+                            .map(|k| estimated_batch_service_cycles(d.model, k, mes, ves, npu))
+                            .collect();
+                        let cv = match self.options.stochastic {
+                            Some(stochastic) => stochastic.cv_override.unwrap_or_else(|| {
+                                calibrate_service_time(
+                                    npu,
+                                    d.model,
+                                    mes,
+                                    ves,
+                                    d.model.evaluation_batch_size(),
+                                    None,
+                                    stochastic.calibration_requests,
+                                )
+                                .cv
+                            }),
+                            None => 0.0,
+                        };
+                        calibrations.push(CalibrationEntry {
+                            model: d.model,
+                            mes,
+                            ves,
+                            config: npu.clone(),
+                            batch_cycles,
+                            cv,
+                        });
+                        calibrations.last().expect("just pushed")
                     }
                 };
                 ReplicaSim {
                     handle: d.handle,
                     model: d.model,
-                    service_cycles,
+                    batch_cycles: entry.batch_cycles.clone(),
+                    cv: entry.cv,
                     queue: VecDeque::new(),
                     in_service: None,
                     available_at: 0,
@@ -212,6 +410,17 @@ impl ClusterServingSim {
             .collect();
 
         let mut router = Router::new(self.options.dispatch, self.options.admission);
+        let mut state = ServeState {
+            max_batch,
+            drop_expired: self.options.drop_expired,
+            edf: self.options.dispatch.orders_queues_by_deadline(),
+            rng: self
+                .options
+                .stochastic
+                .map(|s| StdRng::seed_from_u64(s.seed)),
+            deadline: DeadlineStats::default(),
+            batches: 0,
+        };
         let mut events: BinaryHeap<Reverse<(u64, u8, usize)>> = BinaryHeap::new();
         for (index, migration) in self.options.migrations.iter().enumerate() {
             events.push(Reverse((migration.at.get(), EV_MIGRATION, index)));
@@ -237,20 +446,27 @@ impl ClusterServingSim {
 
             if take_event {
                 let Reverse((now, kind, index)) = events.pop().expect("peeked above");
-                makespan = makespan.max(now);
                 match kind {
                     EV_COMPLETION => {
+                        // Only real work moves the makespan: completions here,
+                        // executed migrations via their resume event.
+                        makespan = makespan.max(now);
                         let replica = &mut replicas[index];
-                        let (request, finish) = replica
+                        let (batch, finish) = replica
                             .in_service
                             .take()
                             .expect("completion without service");
                         debug_assert_eq!(finish, now);
-                        let latency = now.saturating_sub(request.arrived);
-                        latencies.push(latency);
-                        per_model.entry(request.model).or_default().push(latency);
-                        *per_node_completed.entry(replica.handle.node).or_default() += 1;
-                        router.record_completion();
+                        for request in &batch {
+                            let latency = now.saturating_sub(request.arrived);
+                            latencies.push(latency);
+                            per_model.entry(request.model).or_default().push(latency);
+                            if let Some(deadline) = request.deadline {
+                                state.deadline.record_completion(now <= deadline);
+                            }
+                            router.record_completion();
+                        }
+                        *per_node_completed.entry(replica.handle.node).or_default() += batch.len();
                         if let Some((to, requested_at)) = replica.pending_migration.take() {
                             let drain = now.saturating_sub(requested_at);
                             Self::execute_migration(
@@ -263,13 +479,21 @@ impl ClusterServingSim {
                                 &mut migration_records,
                                 &mut events,
                                 index,
+                                &mut state,
                             );
                         } else {
-                            Self::start_next(&mut replicas[index], now, &mut events, index);
+                            Self::start_next(
+                                &mut replicas[index],
+                                now,
+                                &mut events,
+                                index,
+                                &mut state,
+                            );
                         }
                     }
                     EV_RESUME => {
-                        Self::start_next(&mut replicas[index], now, &mut events, index);
+                        makespan = makespan.max(now);
+                        Self::start_next(&mut replicas[index], now, &mut events, index, &mut state);
                     }
                     EV_MIGRATION => {
                         let scheduled = self.options.migrations[index];
@@ -295,6 +519,7 @@ impl ClusterServingSim {
                                 &mut migration_records,
                                 &mut events,
                                 target,
+                                &mut state,
                             );
                         }
                     }
@@ -304,7 +529,6 @@ impl ClusterServingSim {
                 let arrival = arrivals[next_arrival];
                 next_arrival += 1;
                 let now = arrival.at.get();
-                makespan = makespan.max(now);
 
                 let views: Vec<ReplicaView> = replicas
                     .iter()
@@ -324,11 +548,15 @@ impl ClusterServingSim {
                     .collect();
                 match router.dispatch(arrival.model, &views) {
                     DispatchDecision::Dispatch(index) => {
-                        replicas[index].queue.push_back(Request {
+                        let request = QueuedRequest {
                             model: arrival.model,
                             arrived: now,
-                        });
-                        Self::start_next(&mut replicas[index], now, &mut events, index);
+                            deadline: arrival.deadline.map(|d| d.get()),
+                            priority: arrival.priority,
+                            sequence: arrival.sequence,
+                        };
+                        replicas[index].enqueue(request, state.edf);
+                        Self::start_next(&mut replicas[index], now, &mut events, index, &mut state);
                     }
                     DispatchDecision::RejectNoReplica | DispatchDecision::RejectOverload => {}
                 }
@@ -345,26 +573,51 @@ impl ClusterServingSim {
                 .map(|(model, samples)| (model, LatencySummary::from_samples(&samples)))
                 .collect(),
             per_node_completed,
+            deadline: state.deadline,
+            batches: state.batches,
             migrations: migration_records,
             makespan: Cycles(makespan),
         }
     }
 
-    /// Starts the next queued request if the replica is idle and available.
+    /// Starts the next service pass if the replica is idle and available:
+    /// drops expired requests (when enabled), then collects up to
+    /// `max_batch` queued requests into one batch.
     fn start_next(
         replica: &mut ReplicaSim,
         now: u64,
         events: &mut BinaryHeap<Reverse<(u64, u8, usize)>>,
         index: usize,
+        state: &mut ServeState,
     ) {
         if replica.in_service.is_some() || now < replica.available_at {
             return;
         }
-        if let Some(request) = replica.queue.pop_front() {
-            let finish = now + replica.service_cycles;
-            replica.in_service = Some((request, finish));
-            events.push(Reverse((finish, EV_COMPLETION, index)));
+        if state.drop_expired {
+            let deadline = &mut state.deadline;
+            replica.queue.retain(|queued| match queued.deadline {
+                Some(d) if d < now => {
+                    deadline.record_dropped();
+                    false
+                }
+                _ => true,
+            });
         }
+        if replica.queue.is_empty() {
+            return;
+        }
+        let size = replica.queue.len().min(state.max_batch);
+        let batch: Vec<QueuedRequest> = replica.queue.drain(..size).collect();
+        let base = replica.batch_cycles[size - 1];
+        let factor = match &mut state.rng {
+            Some(rng) => lognormal_factor(rng, replica.cv),
+            None => 1.0,
+        };
+        let service = ((base as f64 * factor) as u64).max(1);
+        let finish = now + service;
+        replica.in_service = Some((batch, finish));
+        state.batches += 1;
+        events.push(Reverse((finish, EV_COMPLETION, index)));
     }
 
     /// Runs the post-drain phases of a cold migration: snapshot + transfer +
@@ -381,6 +634,7 @@ impl ClusterServingSim {
         records: &mut Vec<MigrationRecord>,
         events: &mut BinaryHeap<Reverse<(u64, u8, usize)>>,
         index: usize,
+        state: &mut ServeState,
     ) {
         match cluster.migrate(replica.handle, to, cost_model, Some(drain_cycles)) {
             Ok(outcome) => {
@@ -393,7 +647,7 @@ impl ClusterServingSim {
             Err(_) => {
                 // The destination refused (capacity raced away); the replica
                 // keeps serving from its source node.
-                Self::start_next(replica, now, events, index);
+                Self::start_next(replica, now, events, index, state);
             }
         }
     }
@@ -424,11 +678,7 @@ mod tests {
     fn burst_trace(count: usize, gap: u64) -> ClusterTrace {
         ClusterTrace::from_arrivals(
             (0..count)
-                .map(|i| RequestArrival {
-                    at: Cycles(i as u64 * gap),
-                    model: ModelId::Mnist,
-                    sequence: 0,
-                })
+                .map(|i| RequestArrival::new(Cycles(i as u64 * gap), ModelId::Mnist))
                 .collect(),
         )
     }
@@ -453,16 +703,17 @@ mod tests {
             40,
             "every completion is attributed to a node"
         );
+        // Unbatched run: one request per pass, no deadline-carrying traffic.
+        assert_eq!(report.batches, 40);
+        assert_eq!(report.mean_batch_size(), 1.0);
+        assert_eq!(report.deadline, DeadlineStats::default());
     }
 
     #[test]
     fn unserved_models_are_rejected_not_lost() {
         let (mut fleet, _) = fleet_with_replicas(1, 1);
-        let trace = ClusterTrace::from_arrivals(vec![RequestArrival {
-            at: Cycles(0),
-            model: ModelId::Bert,
-            sequence: 0,
-        }]);
+        let trace =
+            ClusterTrace::from_arrivals(vec![RequestArrival::new(Cycles(0), ModelId::Bert)]);
         let report = ClusterServingSim::new(ServingOptions::new(DispatchPolicy::RoundRobin))
             .run(&mut fleet, &trace);
         assert_eq!(report.stats.rejected_no_replica, 1);
@@ -479,6 +730,132 @@ mod tests {
         let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
         assert!(report.stats.rejected_overload > 0, "overload must shed");
         assert_eq!(report.stats.completed, report.stats.admitted);
+    }
+
+    #[test]
+    fn batching_serves_a_backlog_in_fewer_longer_passes() {
+        let trace = burst_trace(32, 1);
+        let (mut unbatched_fleet, _) = fleet_with_replicas(1, 1);
+        let unbatched = ClusterServingSim::new(ServingOptions::new(DispatchPolicy::LeastLoaded))
+            .run(&mut unbatched_fleet, &trace);
+        let (mut batched_fleet, _) = fleet_with_replicas(1, 1);
+        let batched = ClusterServingSim::new(
+            ServingOptions::new(DispatchPolicy::LeastLoaded).with_batching(8),
+        )
+        .run(&mut batched_fleet, &trace);
+
+        assert_eq!(unbatched.stats.completed, 32);
+        assert_eq!(batched.stats.completed, 32);
+        assert!(
+            batched.batches < unbatched.batches,
+            "batching must coalesce the backlog ({} vs {} passes)",
+            batched.batches,
+            unbatched.batches
+        );
+        assert!(batched.mean_batch_size() > 1.0);
+        // MNIST batch service is strongly sublinear, so coalescing the
+        // backlog finishes it sooner and cuts the tail.
+        assert!(
+            batched.makespan < unbatched.makespan,
+            "sublinear batches drain the backlog faster ({} vs {})",
+            batched.makespan,
+            unbatched.makespan
+        );
+        assert!(batched.latency.p99 <= unbatched.latency.p99);
+    }
+
+    #[test]
+    fn deadline_misses_are_counted_and_drops_supported() {
+        // One replica, a burst far exceeding what the deadline allows.
+        let slack = 10_000u64;
+        let trace = ClusterTrace::from_arrivals(
+            (0..20)
+                .map(|i| {
+                    RequestArrival::new(Cycles(i), ModelId::Mnist).with_deadline(Cycles(i + slack))
+                })
+                .collect(),
+        );
+        let (mut fleet, _) = fleet_with_replicas(1, 1);
+        let lenient = ClusterServingSim::new(ServingOptions::new(DispatchPolicy::LeastLoaded))
+            .run(&mut fleet, &trace);
+        assert_eq!(lenient.deadline.with_deadline, 20);
+        assert!(
+            lenient.deadline.missed > 0,
+            "the backlog must blow deadlines"
+        );
+        assert_eq!(lenient.deadline.dropped, 0);
+        assert_eq!(lenient.deadline.met + lenient.deadline.missed, 20);
+        assert!(lenient.deadline.miss_rate() > 0.0);
+
+        let (mut dropping_fleet, _) = fleet_with_replicas(1, 1);
+        let dropping = ClusterServingSim::new(
+            ServingOptions::new(DispatchPolicy::LeastLoaded).with_drop_expired(),
+        )
+        .run(&mut dropping_fleet, &trace);
+        assert!(
+            dropping.deadline.dropped > 0,
+            "expired requests are dropped"
+        );
+        assert_eq!(
+            dropping.stats.completed + dropping.deadline.dropped,
+            dropping.stats.admitted,
+            "drops account for every admitted-but-unserved request"
+        );
+        assert_eq!(dropping.latency.count, dropping.stats.completed);
+    }
+
+    #[test]
+    fn edf_serves_urgent_requests_first() {
+        // A burst lands while the replica is busy; under EDF the
+        // tight-deadline interactive request jumps the queue.
+        let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &NpuConfig::single_core());
+        let mut urgent = RequestArrival::new(Cycles(10), ModelId::Mnist)
+            .with_deadline(Cycles(10 + service * 3))
+            .with_priority(workloads::PriorityClass::Interactive);
+        urgent.sequence = 3;
+        let laggards: Vec<RequestArrival> = (0..3)
+            .map(|i| {
+                RequestArrival::new(Cycles(i), ModelId::Mnist)
+                    .with_priority(workloads::PriorityClass::Batch)
+            })
+            .collect();
+        let mut arrivals = laggards;
+        arrivals.push(urgent);
+        let trace = ClusterTrace::from_arrivals(arrivals);
+
+        let run = |policy| {
+            let (mut fleet, _) = fleet_with_replicas(1, 1);
+            ClusterServingSim::new(ServingOptions::new(policy)).run(&mut fleet, &trace)
+        };
+        let fifo = run(DispatchPolicy::LeastLoaded);
+        let edf = run(DispatchPolicy::EarliestDeadline);
+        assert_eq!(
+            fifo.deadline.missed, 1,
+            "FIFO serves the urgent request last"
+        );
+        assert_eq!(
+            edf.deadline.missed, 0,
+            "EDF serves the urgent request first"
+        );
+    }
+
+    #[test]
+    fn stochastic_runs_are_seed_reproducible() {
+        let trace = burst_trace(30, 2_000);
+        let run = |seed: u64| {
+            let (mut fleet, _) = fleet_with_replicas(2, 2);
+            let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+                .with_stochastic(StochasticService::seeded(seed).with_cv(0.3));
+            ClusterServingSim::new(options).run(&mut fleet, &trace)
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must reproduce the identical report");
+        let c = run(8);
+        assert_ne!(
+            a.latency, c.latency,
+            "a different seed must draw different service times"
+        );
     }
 
     #[test]
@@ -514,37 +891,59 @@ mod tests {
     }
 
     #[test]
-    fn least_loaded_routes_around_a_migrating_replica() {
-        // Two replicas on different nodes; replica 0 migrates at t=0 to a
-        // third node. Least-loaded steers the burst to replica 1; round-robin
-        // keeps hitting the dark replica and pays its downtime in p99.
-        let build = || {
-            let mut fleet = NpuCluster::homogeneous(3, &NpuConfig::single_core());
-            let spec = DeploySpec::replica(ModelId::Mnist, 2, 2);
-            let a = fleet.deploy(spec, PlacementPolicy::WorstFit).unwrap();
-            let b = fleet.deploy(spec, PlacementPolicy::WorstFit).unwrap();
-            let spare = NodeId(
-                (0..3)
-                    .find(|id| *id != a.node.0 && *id != b.node.0)
-                    .unwrap(),
-            );
-            (fleet, a, spare)
-        };
-        let trace = burst_trace(30, 500);
-        let run = |policy| {
-            let (mut fleet, a, spare) = build();
-            let options = ServingOptions::new(policy).with_migration(Cycles(0), a, spare);
-            ClusterServingSim::new(options).run(&mut fleet, &trace)
-        };
-        let rr = run(DispatchPolicy::RoundRobin);
-        let ll = run(DispatchPolicy::LeastLoaded);
-        assert_eq!(rr.stats.completed, 30);
-        assert_eq!(ll.stats.completed, 30);
-        assert!(
-            rr.latency.p99 > ll.latency.p99,
-            "round-robin p99 {} should exceed least-loaded p99 {}",
-            rr.latency.p99,
-            ll.latency.p99
+    fn makespan_ignores_trailing_rejected_arrivals() {
+        // Regression: a trailing rejected arrival used to inflate the
+        // makespan (and deflate throughput) with zero work done.
+        let (mut fleet, _) = fleet_with_replicas(1, 1);
+        let baseline_trace = burst_trace(5, 1_000);
+        let baseline = ClusterServingSim::new(ServingOptions::new(DispatchPolicy::LeastLoaded))
+            .run(&mut fleet, &baseline_trace);
+
+        let far_future = baseline.makespan.get() * 1_000;
+        let mut arrivals: Vec<RequestArrival> = (0..5)
+            .map(|i| RequestArrival::new(Cycles(i * 1_000), ModelId::Mnist))
+            .collect();
+        // No replica serves BERT: the trailing arrival is rejected.
+        arrivals.push(RequestArrival::new(Cycles(far_future), ModelId::Bert));
+        let (mut rejected_fleet, _) = fleet_with_replicas(1, 1);
+        let report = ClusterServingSim::new(ServingOptions::new(DispatchPolicy::LeastLoaded))
+            .run(&mut rejected_fleet, &ClusterTrace::from_arrivals(arrivals));
+        assert_eq!(report.stats.rejected_no_replica, 1);
+        assert_eq!(
+            report.makespan, baseline.makespan,
+            "a rejected arrival must not move the makespan"
+        );
+        assert_eq!(
+            report.throughput_rps(&NpuConfig::single_core()),
+            baseline.throughput_rps(&NpuConfig::single_core())
+        );
+    }
+
+    #[test]
+    fn round_robin_routes_around_a_migrating_replica() {
+        // Regression: RR used to keep dispatching to the dark replica and
+        // charge the whole migration downtime to the queued requests. Two
+        // replicas on different nodes; replica 0 migrates at t = 0 to a third
+        // node while the whole burst arrives during the dark window.
+        let mut fleet = NpuCluster::homogeneous(3, &NpuConfig::single_core());
+        let spec = DeploySpec::replica(ModelId::Mnist, 2, 2);
+        let a = fleet.deploy(spec, PlacementPolicy::WorstFit).unwrap();
+        let b = fleet.deploy(spec, PlacementPolicy::WorstFit).unwrap();
+        let spare = NodeId(
+            (0..3)
+                .find(|id| *id != a.node.0 && *id != b.node.0)
+                .unwrap(),
+        );
+        let trace = burst_trace(20, 500);
+        let options =
+            ServingOptions::new(DispatchPolicy::RoundRobin).with_migration(Cycles(0), a, spare);
+        let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
+        assert_eq!(report.migrations.len(), 1);
+        assert_eq!(report.stats.completed, 20);
+        assert_eq!(
+            report.per_node_completed.get(&b.node),
+            Some(&20),
+            "every request of the dark window is served by the live replica"
         );
     }
 }

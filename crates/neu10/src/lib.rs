@@ -57,10 +57,13 @@ pub use allocator::{
 pub use error::Neu10Error;
 pub use manager::VnpuManager;
 pub use mapping::{MappingMode, PnpuMapper, VnpuPlacement};
-pub use metrics::{geometric_mean, mean, normalized, percentile, throughput_rps, LatencySummary};
+pub use metrics::{
+    geometric_mean, mean, normalized, percentile, throughput_rps, DeadlineStats, LatencySummary,
+};
 pub use runtime::{
-    AssignmentSample, ClusterNodeSpec, ClusterRunResult, ClusterSim, CollocationResult,
-    CollocationSim, OperatorDuration, SimOptions, TenantResult, TenantSpec,
+    calibrate_service_time, AssignmentSample, ClusterNodeSpec, ClusterRunResult, ClusterSim,
+    CollocationResult, CollocationSim, OperatorDuration, ServiceTimeDistribution, SimOptions,
+    TenantResult, TenantSpec,
 };
 pub use scheduler::{EngineAssignment, SharingPolicy, TenantSnapshot, VnpuContext};
 pub use vnpu::{Vnpu, VnpuConfig, VnpuId, VnpuState};

@@ -3,8 +3,10 @@
 
 use npu_sim::{Cycles, Frequency};
 
-/// Returns the `p`-th percentile (0–100) of `values` using nearest-rank
-/// interpolation. Returns 0 for an empty slice.
+/// Returns the `p`-th percentile (0–100) of `values` using the nearest-rank
+/// definition: the smallest sample whose ordinal rank is at least
+/// `⌈p/100 · N⌉` (rank 1 for `p = 0`), with no interpolation between
+/// samples. Returns 0 for an empty slice.
 pub fn percentile(values: &[u64], p: f64) -> u64 {
     if values.is_empty() {
         return 0;
@@ -12,8 +14,8 @@ pub fn percentile(values: &[u64], p: f64) -> u64 {
     let mut sorted = values.to_vec();
     sorted.sort_unstable();
     let p = p.clamp(0.0, 100.0) / 100.0;
-    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    let rank = (p * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 /// Arithmetic mean of `values`; 0 for an empty slice.
@@ -65,6 +67,53 @@ impl LatencySummary {
     }
 }
 
+/// Deadline bookkeeping for a serving run: how many requests carried a
+/// deadline and how they fared.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeadlineStats {
+    /// Requests that carried a deadline.
+    pub with_deadline: usize,
+    /// Deadline-carrying requests completed at or before their deadline.
+    pub met: usize,
+    /// Deadline-carrying requests completed after their deadline.
+    pub missed: usize,
+    /// Deadline-carrying requests dropped unserved because the deadline had
+    /// already passed (drop-on-expiry).
+    pub dropped: usize,
+}
+
+impl DeadlineStats {
+    /// Records the completion of a deadline-carrying request.
+    pub fn record_completion(&mut self, met: bool) {
+        self.with_deadline += 1;
+        if met {
+            self.met += 1;
+        } else {
+            self.missed += 1;
+        }
+    }
+
+    /// Records a deadline-carrying request dropped unserved on expiry.
+    pub fn record_dropped(&mut self) {
+        self.with_deadline += 1;
+        self.dropped += 1;
+    }
+
+    /// Requests that failed their deadline, served late or dropped.
+    pub fn failed(&self) -> usize {
+        self.missed + self.dropped
+    }
+
+    /// Fraction of deadline-carrying requests that failed their deadline;
+    /// 0.0 when no request carried one.
+    pub fn miss_rate(&self) -> f64 {
+        if self.with_deadline == 0 {
+            return 0.0;
+        }
+        self.failed() as f64 / self.with_deadline as f64
+    }
+}
+
 /// Ratio helper that treats a zero denominator as "no change" (1.0).
 pub fn normalized(value: f64, baseline: f64) -> f64 {
     if baseline <= 0.0 {
@@ -97,6 +146,39 @@ mod tests {
         assert_eq!(percentile(&values, 100.0), 100);
         let p95 = percentile(&values, 95.0);
         assert!((94..=96).contains(&p95));
+    }
+
+    #[test]
+    fn percentile_is_exactly_nearest_rank() {
+        // Nearest rank: rank = ceil(p/100 * N), 1-indexed, no interpolation.
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&hundred, 99.0), 99, "p99 of 1..=100 is rank 99");
+        assert_eq!(percentile(&hundred, 95.0), 95);
+        assert_eq!(percentile(&hundred, 50.0), 50);
+        assert_eq!(percentile(&hundred, 0.1), 1, "rank ceil(0.1) = 1");
+        // Even-length slice: nearest-rank p50 is the lower of the two middle
+        // samples — the old linear-rank rounding returned the upper one.
+        let ten: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&ten, 50.0), 5);
+        assert_eq!(percentile(&ten, 90.0), 9);
+        assert_eq!(percentile(&ten, 91.0), 10, "rank ceil(9.1) = 10");
+        // Unsorted input is handled.
+        assert_eq!(percentile(&[30, 10, 20], 50.0), 20);
+    }
+
+    #[test]
+    fn deadline_stats_track_misses_and_drops() {
+        let mut stats = DeadlineStats::default();
+        assert_eq!(stats.miss_rate(), 0.0);
+        stats.record_completion(true);
+        stats.record_completion(false);
+        stats.record_dropped();
+        assert_eq!(stats.with_deadline, 3);
+        assert_eq!(stats.met, 1);
+        assert_eq!(stats.missed, 1);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.failed(), 2);
+        assert!((stats.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod suite;
 
 pub use graph::InferenceGraph;
 pub use profile::{DemandSample, WorkloadProfile};
-pub use request::{ArrivalProcess, ClusterTrace, RequestArrival, RequestStream};
+pub use request::{
+    ArrivalProcess, ClusterTrace, PriorityClass, QosSpec, RequestArrival, RequestStream,
+};
 pub use suite::{
     collocation_pairs, llm_pairs, memory_intensive_pairs, model_catalog, ContentionLevel,
     ModelCategory, ModelId, ModelInfo, WorkloadPair,

@@ -98,6 +98,61 @@ impl Default for RequestStream {
     }
 }
 
+/// The scheduling class of a request: lower variants are more urgent.
+///
+/// The derived `Ord` sorts `Interactive < Standard < Batch`, so ordering a
+/// queue by `(priority, deadline)` serves latency-sensitive traffic first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum PriorityClass {
+    /// Latency-sensitive, user-facing traffic.
+    Interactive,
+    /// Ordinary serving traffic (the default).
+    #[default]
+    Standard,
+    /// Throughput-oriented background work; always served last.
+    Batch,
+}
+
+impl PriorityClass {
+    /// A short stable label for tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PriorityClass::Interactive => "interactive",
+            PriorityClass::Standard => "standard",
+            PriorityClass::Batch => "batch",
+        }
+    }
+}
+
+/// Per-model quality-of-service terms applied to generated arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QosSpec {
+    /// Completion deadline, as slack added to the arrival time; `None` leaves
+    /// the request best-effort.
+    pub deadline_slack: Option<Cycles>,
+    /// The scheduling class of the requests.
+    pub priority: PriorityClass,
+}
+
+impl QosSpec {
+    /// A deadline `slack` cycles after arrival, at the given priority.
+    pub fn new(deadline_slack: Option<Cycles>, priority: PriorityClass) -> Self {
+        QosSpec {
+            deadline_slack,
+            priority,
+        }
+    }
+
+    /// Applies these terms to one arrival: the deadline becomes
+    /// arrival + slack and the priority class is overwritten.
+    fn apply(&self, arrival: &mut RequestArrival) {
+        arrival.deadline = self
+            .deadline_slack
+            .map(|s| Cycles(arrival.at.get().saturating_add(s.get())));
+        arrival.priority = self.priority;
+    }
+}
+
 /// One inference-request arrival in a cluster-level trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestArrival {
@@ -107,6 +162,41 @@ pub struct RequestArrival {
     pub model: ModelId,
     /// Trace-wide sequence number (stable across re-sorts).
     pub sequence: u64,
+    /// Absolute completion deadline; `None` means best-effort.
+    pub deadline: Option<Cycles>,
+    /// The scheduling class of the request.
+    pub priority: PriorityClass,
+}
+
+impl RequestArrival {
+    /// A best-effort, standard-priority arrival.
+    pub fn new(at: Cycles, model: ModelId) -> Self {
+        RequestArrival {
+            at,
+            model,
+            sequence: 0,
+            deadline: None,
+            priority: PriorityClass::default(),
+        }
+    }
+
+    /// Sets an absolute completion deadline.
+    pub fn with_deadline(mut self, deadline: Cycles) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the scheduling class.
+    pub fn with_priority(mut self, priority: PriorityClass) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Cycles between arrival and deadline; `None` for best-effort requests.
+    pub fn slack(&self) -> Option<Cycles> {
+        self.deadline
+            .map(|d| Cycles(d.get().saturating_sub(self.at.get())))
+    }
 }
 
 /// A merged, time-ordered, multi-model arrival trace — the open-loop input of
@@ -139,11 +229,7 @@ impl ClusterTrace {
                 seed: stream_seed,
             });
             for at in stream.arrival_times(per_model) {
-                arrivals.push(RequestArrival {
-                    at,
-                    model: *model,
-                    sequence: 0,
-                });
+                arrivals.push(RequestArrival::new(at, *model));
             }
         }
         ClusterTrace::from_arrivals(arrivals)
@@ -157,6 +243,23 @@ impl ClusterTrace {
             arrival.sequence = sequence as u64;
         }
         ClusterTrace { arrivals }
+    }
+
+    /// Applies `qos` to every arrival of `model`: the deadline becomes
+    /// arrival + slack and the priority class is overwritten.
+    pub fn with_model_qos(mut self, model: ModelId, qos: QosSpec) -> Self {
+        for arrival in self.arrivals.iter_mut().filter(|a| a.model == model) {
+            qos.apply(arrival);
+        }
+        self
+    }
+
+    /// Applies `qos` to every arrival in the trace.
+    pub fn with_uniform_qos(mut self, qos: QosSpec) -> Self {
+        for arrival in self.arrivals.iter_mut() {
+            qos.apply(arrival);
+        }
+        self
     }
 
     /// The time-ordered arrivals.
@@ -258,20 +361,63 @@ mod tests {
 
     #[test]
     fn replayed_traces_reassign_sequences() {
-        let trace = ClusterTrace::from_arrivals(vec![
-            RequestArrival {
-                at: Cycles(500),
-                model: ModelId::Mnist,
-                sequence: 99,
-            },
-            RequestArrival {
-                at: Cycles(100),
-                model: ModelId::Bert,
-                sequence: 99,
-            },
-        ]);
+        let mut late = RequestArrival::new(Cycles(500), ModelId::Mnist);
+        late.sequence = 99;
+        let mut early = RequestArrival::new(Cycles(100), ModelId::Bert);
+        early.sequence = 99;
+        let trace = ClusterTrace::from_arrivals(vec![late, early]);
         assert_eq!(trace.arrivals()[0].model, ModelId::Bert);
         assert_eq!(trace.arrivals()[0].sequence, 0);
         assert_eq!(trace.arrivals()[1].sequence, 1);
+    }
+
+    #[test]
+    fn default_arrivals_are_best_effort() {
+        let arrival = RequestArrival::new(Cycles(10), ModelId::Mnist);
+        assert_eq!(arrival.deadline, None);
+        assert_eq!(arrival.priority, PriorityClass::Standard);
+        assert_eq!(arrival.slack(), None);
+        let bound = arrival
+            .with_deadline(Cycles(25))
+            .with_priority(PriorityClass::Interactive);
+        assert_eq!(bound.slack(), Some(Cycles(15)));
+        assert_eq!(bound.priority, PriorityClass::Interactive);
+    }
+
+    #[test]
+    fn priority_classes_order_urgent_first() {
+        assert!(PriorityClass::Interactive < PriorityClass::Standard);
+        assert!(PriorityClass::Standard < PriorityClass::Batch);
+    }
+
+    #[test]
+    fn qos_applies_per_model_deadlines() {
+        let trace =
+            ClusterTrace::poisson(&[(ModelId::Mnist, 10_000), (ModelId::Bert, 10_000)], 20, 3)
+                .with_model_qos(
+                    ModelId::Mnist,
+                    QosSpec::new(Some(Cycles(50_000)), PriorityClass::Interactive),
+                );
+        for arrival in trace.arrivals() {
+            match arrival.model {
+                ModelId::Mnist => {
+                    assert_eq!(
+                        arrival.deadline,
+                        Some(Cycles(arrival.at.get() + 50_000)),
+                        "deadline is arrival + slack"
+                    );
+                    assert_eq!(arrival.priority, PriorityClass::Interactive);
+                }
+                _ => {
+                    assert_eq!(arrival.deadline, None);
+                    assert_eq!(arrival.priority, PriorityClass::Standard);
+                }
+            }
+        }
+        let uniform = trace.with_uniform_qos(QosSpec::new(None, PriorityClass::Batch));
+        assert!(uniform
+            .arrivals()
+            .iter()
+            .all(|a| a.deadline.is_none() && a.priority == PriorityClass::Batch));
     }
 }

@@ -1,12 +1,13 @@
 //! End-to-end fleet demo: place serving replicas across a four-board
 //! cluster, route an open-loop Poisson request stream through the cluster
-//! router, then cold-migrate one replica mid-run and show the downtime
-//! landing in tenant latency.
+//! router, batch a deadline-bound burst, then cold-migrate one replica
+//! mid-run and show the downtime landing in tenant latency.
 //!
 //! Run with `cargo run --release --example cluster_serving`.
 
-use cluster::estimated_service_cycles;
+use cluster::{estimated_service_cycles, StochasticService};
 use neu10_repro::prelude::*;
+use workloads::{PriorityClass, QosSpec};
 
 /// Replica sizing: half a board's engines, a 32 MiB SRAM slice and 2 GiB of
 /// HBM for weights + activations.
@@ -73,6 +74,39 @@ fn main() {
             report.latency.p50,
             report.latency.p99,
             report.throughput_rps(&board)
+        );
+    }
+
+    // Re-serve the same load with deadlines, priorities, dynamic batching
+    // and seeded stochastic service times. These recommenders batch
+    // near-linearly, so coalescing passes trades interactive tail latency
+    // (and some deadline headroom) for per-pass efficiency here;
+    // `fig29_batching_deadlines` shows the sublinear case where batching
+    // cuts the tail instead.
+    println!("\n== batched, deadline-aware serving ==");
+    let service = estimated_service_cycles(ModelId::Dlrm, 2, 2, &board);
+    let bound = trace.clone().with_uniform_qos(QosSpec::new(
+        Some(Cycles(service * 4)),
+        PriorityClass::Interactive,
+    ));
+    for batch in [1usize, 4] {
+        let mut replay_fleet = NpuCluster::homogeneous(4, &board);
+        for model in [ModelId::Dlrm, ModelId::Ncf, ModelId::Dlrm, ModelId::Ncf] {
+            replay_fleet
+                .deploy(replica(model), PlacementPolicy::TopologyAware)
+                .unwrap();
+        }
+        let options = ServingOptions::new(DispatchPolicy::EarliestDeadline)
+            .with_batching(batch)
+            .with_stochastic(StochasticService::seeded(42).with_cv(0.2));
+        let report = ClusterServingSim::new(options).run(&mut replay_fleet, &bound);
+        println!(
+            "  max_batch {batch}: completed {:>3}/{:<3}  p99 {:>9}  deadline miss {:>5.1}%  avg batch {:.2}",
+            report.stats.completed,
+            report.stats.offered,
+            report.latency.p99,
+            report.deadline.miss_rate() * 100.0,
+            report.mean_batch_size()
         );
     }
 

@@ -98,15 +98,17 @@ proptest! {
         }
     }
 
-    /// Whatever the trace, the policy and the admission limits, every
-    /// admitted request eventually completes: offered = completed + rejected.
+    /// Whatever the trace, the policy, the batch limit and the admission
+    /// limits, every admitted request eventually completes:
+    /// offered = completed + rejected.
     #[test]
     fn router_never_drops_admitted_requests(
         replicas in 1usize..=4,
         per_model in 1usize..=40,
         mean_gap in 1_000u64..=200_000,
         max_queue_depth in 1usize..=8,
-        policy_index in 0usize..=2,
+        max_batch in 1usize..=8,
+        policy_index in 0usize..=3,
         seed in 0u64..=1_000,
     ) {
         let board = NpuConfig::single_core();
@@ -122,7 +124,8 @@ proptest! {
             seed,
         );
         let options = ServingOptions::new(DispatchPolicy::all()[policy_index])
-            .with_admission(AdmissionControl { max_queue_depth });
+            .with_admission(AdmissionControl { max_queue_depth })
+            .with_batching(max_batch);
         let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
 
         prop_assert_eq!(report.stats.offered, trace.len());
