@@ -1,0 +1,147 @@
+//! Autopilot: the closed-loop control plane of the NPU fleet.
+//!
+//! The fleet layer (`cluster`) can *execute* operator decisions — place a
+//! replica, route a request, migrate a vNPU — but nothing in it *makes*
+//! those decisions: replica counts are fixed for a run. Real accelerator
+//! fleets face strongly diurnal and bursty demand, and the whole point of
+//! hardware-assisted vNPU virtualization is that the operator can pack
+//! tenants densely and reassign resources dynamically. This crate closes the
+//! loop:
+//!
+//! * the **telemetry bus** ([`cluster::telemetry`]) samples every replica
+//!   and model periodically during a serving run;
+//! * the [`Autoscaler`] turns those samples into replica-count decisions
+//!   under pluggable policies ([`TargetTracking`], [`StepScaling`]) with
+//!   cooldowns and hysteresis, scaling up through the placement engine and
+//!   down by drain-then-release;
+//! * the [`Defragmenter`] watches for scattered free capacity (the fleet
+//!   could host another vNPU, no single board can) and issues consolidation
+//!   migrations priced by the interconnect model;
+//! * [`Autopilot`] composes both behind [`cluster::ControlPlane`] and keeps
+//!   an [`AutopilotLog`] of every action for reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use autopilot::{Autopilot, AutoscalePolicy, ScalingSpec, TargetTracking};
+//! use cluster::{ClusterServingSim, DeploySpec, DispatchPolicy, NpuCluster,
+//!               PlacementPolicy, ServingOptions};
+//! use npu_sim::NpuConfig;
+//! use workloads::{ClusterTrace, ModelId};
+//!
+//! let mut fleet = NpuCluster::homogeneous(2, &NpuConfig::single_core());
+//! let replica = DeploySpec::replica(ModelId::Mnist, 2, 2);
+//! fleet.deploy(replica, PlacementPolicy::TopologyAware).unwrap();
+//!
+//! let mut pilot = Autopilot::new().with_model(ScalingSpec::new(
+//!     replica,
+//!     1,
+//!     4,
+//!     AutoscalePolicy::TargetTracking(TargetTracking::new(4.0, 200_000)),
+//! ));
+//! let trace = ClusterTrace::poisson(&[(ModelId::Mnist, 30_000)], 40, 7);
+//! let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+//!     .with_batching(4)
+//!     .with_telemetry(100_000);
+//! let report = ClusterServingSim::new(options)
+//!     .run_with_controller(&mut fleet, &trace, &mut pilot);
+//! assert_eq!(report.stats.completed, report.stats.admitted);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autoscaler;
+pub mod defrag;
+
+pub use autoscaler::{AutoscalePolicy, Autoscaler, ScalingSpec, StepScaling, TargetTracking};
+pub use defrag::Defragmenter;
+
+use cluster::{ControlAction, ControlPlane, NpuCluster, TelemetryFrame};
+use npu_sim::Cycles;
+
+/// One control-plane action with the tick that issued it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutopilotEvent {
+    /// The telemetry tick timestamp.
+    pub at: Cycles,
+    /// The action issued.
+    pub action: ControlAction,
+}
+
+/// The time-ordered record of every action the autopilot issued.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AutopilotLog {
+    /// The issued actions, in order.
+    pub events: Vec<AutopilotEvent>,
+}
+
+impl AutopilotLog {
+    /// Scale-up actions issued.
+    pub fn scale_ups(&self) -> usize {
+        self.count(|a| matches!(a, ControlAction::ScaleUp { .. }))
+    }
+
+    /// Scale-down actions issued.
+    pub fn scale_downs(&self) -> usize {
+        self.count(|a| matches!(a, ControlAction::ScaleDown { .. }))
+    }
+
+    /// Defragmentation migrations issued.
+    pub fn migrations(&self) -> usize {
+        self.count(|a| matches!(a, ControlAction::Migrate { .. }))
+    }
+
+    fn count(&self, pred: impl Fn(&ControlAction) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.action)).count()
+    }
+}
+
+/// The composed control plane: autoscaler first (capacity follows demand),
+/// then the defragmenter (placeability follows capacity).
+#[derive(Debug, Clone, Default)]
+pub struct Autopilot {
+    autoscaler: Autoscaler,
+    defrag: Option<Defragmenter>,
+    log: AutopilotLog,
+}
+
+impl Autopilot {
+    /// An autopilot managing no models and no defragmentation yet.
+    pub fn new() -> Self {
+        Autopilot::default()
+    }
+
+    /// Registers the scaling contract of one model.
+    pub fn with_model(mut self, spec: ScalingSpec) -> Self {
+        self.autoscaler.manage(spec);
+        self
+    }
+
+    /// Enables fleet defragmentation.
+    pub fn with_defrag(mut self, defrag: Defragmenter) -> Self {
+        self.defrag = Some(defrag);
+        self
+    }
+
+    /// The actions issued so far.
+    pub fn log(&self) -> &AutopilotLog {
+        &self.log
+    }
+}
+
+impl ControlPlane for Autopilot {
+    fn control(&mut self, frame: &TelemetryFrame, cluster: &NpuCluster) -> Vec<ControlAction> {
+        let mut actions = self.autoscaler.decide(frame);
+        if let Some(defrag) = &mut self.defrag {
+            actions.extend(defrag.plan(frame, cluster));
+        }
+        self.log
+            .events
+            .extend(actions.iter().map(|action| AutopilotEvent {
+                at: frame.at,
+                action: *action,
+            }));
+        actions
+    }
+}

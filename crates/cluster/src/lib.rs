@@ -22,7 +22,13 @@
 //! * [`migration`] — **cold vNPU migration** between nodes (drain → snapshot
 //!   the [`neu10::scheduler::VnpuContext`] → re-place → resume) with a cost
 //!   model built on [`npu_sim::InterconnectConfig`], charged to tenant
-//!   latency.
+//!   latency;
+//! * [`telemetry`] — the **telemetry bus and control-plane hook**: with
+//!   [`ServingOptions::with_telemetry`] the serving simulator emits periodic
+//!   per-replica/per-model samples, and a [`ControlPlane`] (such as the
+//!   `autopilot` crate's autoscaler + defragmenter) answers with scale-up /
+//!   drain-then-release / migrate actions applied inside the same
+//!   deterministic event loop.
 //!
 //! # Example
 //!
@@ -51,6 +57,7 @@ pub mod node;
 pub mod placement;
 pub mod router;
 pub mod serving;
+pub mod telemetry;
 
 pub use cluster::{ClusterError, DeploySpec, DeployedVnpu, NpuCluster, VnpuHandle};
 pub use inventory::{NodeInventory, ResourceDemand};
@@ -61,6 +68,10 @@ pub use router::{AdmissionControl, DispatchPolicy, RouterStats};
 pub use serving::{
     estimated_batch_service_cycles, estimated_service_cycles, ClusterServingSim,
     ScheduledMigration, ServingOptions, ServingReport, StochasticService,
+};
+pub use telemetry::{
+    ControlAction, ControlPlane, ControlStats, ModelSample, NoopControl, ReplicaSample,
+    TelemetryFrame,
 };
 
 /// Identifies one node (board + host) of the cluster.

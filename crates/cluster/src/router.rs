@@ -103,10 +103,13 @@ pub struct ReplicaView {
     pub index: usize,
     /// The node hosting the replica.
     pub node: NodeId,
-    /// Requests queued (excluding the one in service).
+    /// Requests queued (excluding those in service).
     pub queue_len: usize,
-    /// Whether a request is currently in service.
-    pub busy: bool,
+    /// Requests in the batch currently being served (0 = idle). Scoring by
+    /// the batch occupancy — not a busy bit — keeps a replica mid-way
+    /// through an 8-request batch from looking as lightly loaded as one
+    /// serving a single request.
+    pub in_flight: usize,
     /// Whether the replica is mid-migration (draining or transferring).
     pub unavailable: bool,
     /// Replicas of the same model on the replica's node (locality signal).
@@ -114,9 +117,15 @@ pub struct ReplicaView {
 }
 
 impl ReplicaView {
-    /// Outstanding work on the replica, in requests.
+    /// Outstanding work on the replica, in requests: queued plus every
+    /// request of the in-service batch.
     pub fn outstanding(&self) -> usize {
-        self.queue_len + usize::from(self.busy)
+        self.queue_len + self.in_flight
+    }
+
+    /// Whether a batch is currently in service.
+    pub fn busy(&self) -> bool {
+        self.in_flight > 0
     }
 }
 
@@ -230,12 +239,12 @@ impl Router {
 mod tests {
     use super::*;
 
-    fn view(index: usize, node: u32, queue_len: usize, busy: bool) -> ReplicaView {
+    fn view(index: usize, node: u32, queue_len: usize, in_flight: usize) -> ReplicaView {
         ReplicaView {
             index,
             node: NodeId(node),
             queue_len,
-            busy,
+            in_flight,
             unavailable: false,
             node_replicas: 1,
         }
@@ -244,7 +253,7 @@ mod tests {
     #[test]
     fn round_robin_cycles_per_model() {
         let mut router = Router::new(DispatchPolicy::RoundRobin, AdmissionControl::default());
-        let replicas = [view(0, 0, 0, false), view(1, 1, 0, false)];
+        let replicas = [view(0, 0, 0, 0), view(1, 1, 0, 0)];
         let picks: Vec<DispatchDecision> = (0..4)
             .map(|_| router.dispatch(ModelId::Mnist, &replicas))
             .collect();
@@ -267,11 +276,7 @@ mod tests {
     #[test]
     fn least_loaded_follows_outstanding_work() {
         let mut router = Router::new(DispatchPolicy::LeastLoaded, AdmissionControl::default());
-        let replicas = [
-            view(0, 0, 3, true),
-            view(1, 1, 1, true),
-            view(2, 2, 1, false),
-        ];
+        let replicas = [view(0, 0, 3, 1), view(1, 1, 1, 1), view(2, 2, 1, 0)];
         assert_eq!(
             router.dispatch(ModelId::Mnist, &replicas),
             DispatchDecision::Dispatch(2),
@@ -280,11 +285,33 @@ mod tests {
     }
 
     #[test]
+    fn least_loaded_counts_batch_occupancy_not_a_busy_bit() {
+        // Regression: `busy` used to be a bool, so a replica mid-way through
+        // an 8-request batch scored as outstanding = queue + 1 and beat an
+        // idle-but-queued replica. Occupancy now weighs the whole batch.
+        let mut router = Router::new(DispatchPolicy::LeastLoaded, AdmissionControl::default());
+        // Replica 0: empty queue but an 8-deep batch in service.
+        // Replica 1: idle with 2 queued requests.
+        let replicas = [view(0, 0, 0, 8), view(1, 1, 2, 0)];
+        assert_eq!(
+            replicas[0].outstanding(),
+            8,
+            "the in-service batch is outstanding work"
+        );
+        assert!(replicas[0].busy() && !replicas[1].busy());
+        assert_eq!(
+            router.dispatch(ModelId::Mnist, &replicas),
+            DispatchDecision::Dispatch(1),
+            "a mid-batch replica is not near-idle"
+        );
+    }
+
+    #[test]
     fn least_loaded_avoids_migrating_replicas() {
         let mut router = Router::new(DispatchPolicy::LeastLoaded, AdmissionControl::default());
-        let mut migrating = view(0, 0, 0, false);
+        let mut migrating = view(0, 0, 0, 0);
         migrating.unavailable = true;
-        let replicas = [migrating, view(1, 1, 2, true)];
+        let replicas = [migrating, view(1, 1, 2, 1)];
         assert_eq!(
             router.dispatch(ModelId::Mnist, &replicas),
             DispatchDecision::Dispatch(1)
@@ -294,9 +321,9 @@ mod tests {
     #[test]
     fn locality_prefers_replica_dense_nodes() {
         let mut router = Router::new(DispatchPolicy::LocalityAffine, AdmissionControl::default());
-        let mut dense = view(1, 1, 1, true);
+        let mut dense = view(1, 1, 1, 1);
         dense.node_replicas = 3;
-        let replicas = [view(0, 0, 0, false), dense];
+        let replicas = [view(0, 0, 0, 0), dense];
         assert_eq!(
             router.dispatch(ModelId::Mnist, &replicas),
             DispatchDecision::Dispatch(1),
@@ -309,9 +336,9 @@ mod tests {
         // Regression: RR used to pick replicas[cursor] blindly, dispatching
         // to mid-migration replicas.
         let mut router = Router::new(DispatchPolicy::RoundRobin, AdmissionControl::default());
-        let mut dark = view(0, 0, 0, false);
+        let mut dark = view(0, 0, 0, 0);
         dark.unavailable = true;
-        let replicas = [dark, view(1, 1, 0, false), view(2, 2, 0, false)];
+        let replicas = [dark, view(1, 1, 0, 0), view(2, 2, 0, 0)];
         let picks: Vec<DispatchDecision> = (0..4)
             .map(|_| router.dispatch(ModelId::Mnist, &replicas))
             .collect();
@@ -335,13 +362,13 @@ mod tests {
             DispatchPolicy::RoundRobin,
             AdmissionControl { max_queue_depth: 2 },
         );
-        let replicas = [view(0, 0, 2, true), view(1, 1, 0, false)];
+        let replicas = [view(0, 0, 2, 1), view(1, 1, 0, 0)];
         assert_eq!(
             router.dispatch(ModelId::Mnist, &replicas),
             DispatchDecision::Dispatch(1),
             "the roomy replica absorbs the request"
         );
-        let both_full = [view(0, 0, 2, true), view(1, 1, 2, true)];
+        let both_full = [view(0, 0, 2, 1), view(1, 1, 2, 1)];
         assert_eq!(
             router.dispatch(ModelId::Mnist, &both_full),
             DispatchDecision::RejectOverload
@@ -354,9 +381,9 @@ mod tests {
         // migration window rather than being shed.
         for policy in DispatchPolicy::all() {
             let mut router = Router::new(policy, AdmissionControl::default());
-            let mut a = view(0, 0, 0, false);
+            let mut a = view(0, 0, 0, 0);
             a.unavailable = true;
-            let mut b = view(1, 1, 3, true);
+            let mut b = view(1, 1, 3, 1);
             b.unavailable = true;
             let decision = router.dispatch(ModelId::Mnist, &[a, b]);
             assert!(
@@ -373,7 +400,7 @@ mod tests {
             DispatchPolicy::EarliestDeadline,
             AdmissionControl::default(),
         );
-        let replicas = [view(0, 0, 3, true), view(1, 1, 0, false)];
+        let replicas = [view(0, 0, 3, 1), view(1, 1, 0, 0)];
         assert_eq!(
             router.dispatch(ModelId::Mnist, &replicas),
             DispatchDecision::Dispatch(1)
@@ -388,7 +415,7 @@ mod tests {
             DispatchPolicy::LeastLoaded,
             AdmissionControl { max_queue_depth: 2 },
         );
-        let replicas = [view(0, 0, 2, true)];
+        let replicas = [view(0, 0, 2, 1)];
         assert_eq!(
             router.dispatch(ModelId::Mnist, &replicas),
             DispatchDecision::RejectOverload

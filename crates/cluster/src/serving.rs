@@ -1,4 +1,4 @@
-//! The open-loop cluster serving simulator.
+//! The cluster serving simulator.
 //!
 //! Replays a [`workloads::ClusterTrace`] against the replicas deployed in an
 //! [`NpuCluster`]: every arrival is routed by the [`Router`], waits in its
@@ -7,7 +7,11 @@
 //! its model and serves them in one pass, with the batch service time
 //! calibrated from [`neu10::TenantWorkload`] at the *actual* batch size
 //! (sublinear in the batch for weight-traffic-bound models, not
-//! `batch × single`). Requests may carry **deadlines and priority classes**
+//! `batch × single`). With [`ServingOptions::with_batch_wait`] an idle
+//! replica additionally *holds* a sub-`max_batch` queue for up to
+//! `max_batch_wait` cycles to let a batch form, then serves the partial
+//! batch — batch-formation latency is bounded by the timeout instead of by
+//! the next burst. Requests may carry **deadlines and priority classes**
 //! ([`workloads::RequestArrival`]): the simulator counts deadline misses,
 //! optionally drops expired requests unserved, and — under
 //! [`DispatchPolicy::EarliestDeadline`] — orders each replica queue
@@ -25,20 +29,36 @@
 //! in-flight batch, goes dark for the transfer + remap window, and resumes on
 //! the destination node — with the whole downtime charged to the latency of
 //! the requests queued behind it.
+//!
+//! The simulator is also the execution engine of the **autopilot control
+//! plane**: with [`ServingOptions::with_telemetry`] it emits a
+//! [`TelemetryFrame`] every sampling interval, and
+//! [`ClusterServingSim::run_with_controller`] hands each frame to a
+//! [`ControlPlane`] whose [`ControlAction`]s — scale-up through the
+//! placement engine, drain-then-release scale-down, cold migration — are
+//! applied inside the same deterministic event loop. Replica-time actually
+//! provisioned is accounted in [`ServingReport::replica_cycles`], so
+//! autoscaling experiments can trade replica-hours against tail latency.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
-use neu10::{calibrate_service_time, DeadlineStats, IsaKind, LatencySummary, TenantWorkload};
+use neu10::{
+    calibrate_service_time, DeadlineStats, IsaKind, LatencySummary, MetricsWindow, TenantWorkload,
+};
 use npu_sim::{Cycles, NpuConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use workloads::{ClusterTrace, ModelId, PriorityClass};
 
-use crate::cluster::{NpuCluster, VnpuHandle};
+use crate::cluster::{DeployedVnpu, NpuCluster, VnpuHandle};
 use crate::migration::{MigrationCostModel, MigrationRecord};
 use crate::router::{
     AdmissionControl, DispatchDecision, DispatchPolicy, ReplicaView, Router, RouterStats,
+};
+use crate::telemetry::{
+    ControlAction, ControlPlane, ControlStats, ModelSample, NoopControl, ReplicaSample,
+    TelemetryFrame,
 };
 use crate::NodeId;
 
@@ -78,8 +98,13 @@ impl StochasticService {
     }
 
     /// Forces the coefficient of variation instead of calibrating it.
+    ///
+    /// A coefficient of variation is a non-negative, finite dispersion:
+    /// negative values clamp to 0 (deterministic service) and non-finite
+    /// values (`NaN`, `±inf`) are rejected as 0 rather than poisoning every
+    /// sampled service time downstream.
     pub fn with_cv(mut self, cv: f64) -> Self {
-        self.cv_override = Some(cv.max(0.0));
+        self.cv_override = Some(if cv.is_finite() { cv.max(0.0) } else { 0.0 });
         self
     }
 }
@@ -98,11 +123,18 @@ pub struct ServingOptions {
     /// Largest number of queued requests a replica serves in one pass
     /// (1 = no batching).
     pub max_batch: usize,
+    /// Longest an idle replica holds a sub-`max_batch` queue to let a batch
+    /// form, counted from the oldest queued arrival; `None` serves whatever
+    /// is queued immediately.
+    pub max_batch_wait: Option<u64>,
     /// Drop queued requests whose deadline has already passed instead of
     /// serving them late.
     pub drop_expired: bool,
     /// Seeded service-time dispersion; `None` keeps service deterministic.
     pub stochastic: Option<StochasticService>,
+    /// Telemetry sampling interval in cycles; `None` disables the telemetry
+    /// bus (and with it any control plane).
+    pub telemetry_interval: Option<u64>,
 }
 
 impl ServingOptions {
@@ -114,8 +146,10 @@ impl ServingOptions {
             migrations: Vec::new(),
             cost_model: MigrationCostModel::default(),
             max_batch: 1,
+            max_batch_wait: None,
             drop_expired: false,
             stochastic: None,
+            telemetry_interval: None,
         }
     }
 
@@ -137,6 +171,13 @@ impl ServingOptions {
         self
     }
 
+    /// Holds an idle replica's sub-`max_batch` queue for up to `wait` cycles
+    /// (from the oldest queued arrival) before serving a partial batch.
+    pub fn with_batch_wait(mut self, wait: u64) -> Self {
+        self.max_batch_wait = Some(wait);
+        self
+    }
+
     /// Drops expired requests unserved instead of serving them late.
     pub fn with_drop_expired(mut self) -> Self {
         self.drop_expired = true;
@@ -146,6 +187,13 @@ impl ServingOptions {
     /// Enables seeded stochastic service times.
     pub fn with_stochastic(mut self, stochastic: StochasticService) -> Self {
         self.stochastic = Some(stochastic);
+        self
+    }
+
+    /// Emits a telemetry frame every `interval` cycles (the sampling hook of
+    /// the autopilot control plane).
+    pub fn with_telemetry(mut self, interval: u64) -> Self {
+        self.telemetry_interval = Some(interval.max(1));
         self
     }
 }
@@ -172,6 +220,13 @@ pub struct ServingReport {
     pub batches: usize,
     /// The migrations that actually executed.
     pub migrations: Vec<MigrationRecord>,
+    /// Control-plane activity (telemetry ticks, scale-ups/downs, controller
+    /// migrations); all-zero for open-loop runs.
+    pub control: ControlStats,
+    /// Provisioned replica-time: the sum over replicas of the cycles between
+    /// their activation and their release (or the end of the run). The
+    /// replica-hours axis of autoscaling experiments.
+    pub replica_cycles: u64,
     /// Time of the last completion (or executed-migration resume). Rejected
     /// arrivals never move the makespan.
     pub makespan: Cycles,
@@ -189,6 +244,14 @@ impl ServingReport {
             return 0.0;
         }
         self.stats.completed as f64 / self.batches as f64
+    }
+
+    /// Provisioned replica-time in seconds (replica-hours × 3600).
+    pub fn replica_seconds(&self, config: &NpuConfig) -> f64 {
+        config
+            .frequency
+            .cycles_to_time(Cycles(self.replica_cycles))
+            .as_secs()
     }
 }
 
@@ -223,14 +286,37 @@ struct ReplicaSim {
     /// Calibrated service-time coefficient of variation (0 = deterministic).
     cv: f64,
     queue: VecDeque<QueuedRequest>,
-    in_service: Option<(Vec<QueuedRequest>, u64)>,
+    /// The batch in service with its (start, finish) times.
+    in_service: Option<(Vec<QueuedRequest>, u64, u64)>,
     available_at: u64,
     pending_migration: Option<(NodeId, u64)>,
+    /// The batch-formation timeout currently armed, if any.
+    batch_timeout_at: Option<u64>,
+    /// Scale-down requested: no new dispatches; released once drained.
+    draining: bool,
+    /// Drained and released — the slot is dead (indices stay stable).
+    retired: bool,
+    /// When the replica was deployed (0 for the initial fleet).
+    activated_at: u64,
+    /// Busy cycles accumulated since the last telemetry tick.
+    window_busy: u64,
 }
 
 impl ReplicaSim {
     fn unavailable(&self, now: u64) -> bool {
         now < self.available_at || self.pending_migration.is_some()
+    }
+
+    /// Requests in the batch currently being served.
+    fn in_flight(&self) -> usize {
+        self.in_service
+            .as_ref()
+            .map_or(0, |(batch, _, _)| batch.len())
+    }
+
+    /// Whether the replica participates in routing and telemetry.
+    fn live(&self) -> bool {
+        !self.retired
     }
 
     /// Inserts an admitted request, FIFO or EDF-ordered.
@@ -248,29 +334,62 @@ impl ReplicaSim {
     }
 }
 
+/// Per-model accumulators for the current telemetry window.
+#[derive(Debug, Default)]
+struct ModelWindow {
+    metrics: MetricsWindow,
+    arrivals: usize,
+    rejected: usize,
+}
+
 /// Mutable bookkeeping shared by the batch-formation path.
 #[derive(Debug)]
 struct ServeState {
     max_batch: usize,
+    max_batch_wait: Option<u64>,
     drop_expired: bool,
     edf: bool,
     rng: Option<StdRng>,
     deadline: DeadlineStats,
     batches: usize,
+    /// Whether the telemetry bus is on (per-model windows accumulate).
+    sampling: bool,
+    /// Start of the current telemetry window.
+    window_start: u64,
+    windows: BTreeMap<ModelId, ModelWindow>,
+    control: ControlStats,
+    /// Replica-time already banked by released replicas.
+    replica_cycles: u64,
+}
+
+impl ServeState {
+    fn window_of(&mut self, model: ModelId) -> Option<&mut ModelWindow> {
+        if self.sampling {
+            Some(self.windows.entry(model).or_default())
+        } else {
+            None
+        }
+    }
 }
 
 // Event kinds, ordered so that at equal timestamps completions free capacity
-// before resumes re-open replicas and before migrations trigger.
+// before resumes re-open replicas, batch-formation timeouts fire on settled
+// queues, migrations trigger next, and telemetry samples observe the fully
+// settled state last.
 const EV_COMPLETION: u8 = 0;
 const EV_RESUME: u8 = 1;
-const EV_MIGRATION: u8 = 2;
+const EV_BATCH_TIMEOUT: u8 = 2;
+const EV_MIGRATION: u8 = 3;
+const EV_SAMPLE: u8 = 4;
 
 /// The fluid service-time estimate of one `batch_requests`-request batch on a
 /// `mes`×`ves` replica: the model is compiled at
 /// `batch_requests × evaluation_batch_size` and each operator runs at the
 /// rate of the engines the replica owns and the node's HBM bandwidth. The
 /// estimate is sublinear in the batch wherever per-pass work (weight
-/// traffic, fixed operator overheads) amortizes.
+/// traffic, fixed operator overheads) amortizes. An empty batch
+/// (`batch_requests = 0`) is estimated as a batch of one — the cost of
+/// spinning the pass up — never as zero or an underflow.
 pub fn estimated_batch_service_cycles(
     model: ModelId,
     batch_requests: usize,
@@ -310,7 +429,7 @@ pub fn estimated_service_cycles(model: ModelId, mes: usize, ves: usize, npu: &Np
 /// A lognormal multiplier with mean 1 and the given coefficient of
 /// variation, drawn via Box–Muller from the seeded generator.
 fn lognormal_factor(rng: &mut StdRng, cv: f64) -> f64 {
-    if cv <= 0.0 {
+    if cv <= 0.0 || !cv.is_finite() {
         return 1.0;
     }
     let sigma_sq = (1.0 + cv * cv).ln();
@@ -333,7 +452,115 @@ struct CalibrationEntry {
     cv: f64,
 }
 
-/// The open-loop serving simulator.
+/// The run-lifetime calibration cache. Boards are compared by configuration,
+/// not node identity, so a homogeneous fleet compiles each (model,
+/// allocation) once per batch size — including replicas the control plane
+/// scales up mid-run.
+struct CalibrationCache {
+    max_batch: usize,
+    stochastic: Option<StochasticService>,
+    entries: Vec<CalibrationEntry>,
+}
+
+impl CalibrationCache {
+    fn new(max_batch: usize, stochastic: Option<StochasticService>) -> Self {
+        CalibrationCache {
+            max_batch,
+            stochastic,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The calibrated batch service times and dispersion of one replica shape.
+    fn calibrate(
+        &mut self,
+        model: ModelId,
+        mes: usize,
+        ves: usize,
+        npu: &NpuConfig,
+    ) -> (Vec<u64>, f64) {
+        let found = self
+            .entries
+            .iter()
+            .position(|c| c.model == model && c.mes == mes && c.ves == ves && &c.config == npu);
+        let entry = match found {
+            Some(index) => &self.entries[index],
+            None => {
+                let batch_cycles = (1..=self.max_batch)
+                    .map(|k| estimated_batch_service_cycles(model, k, mes, ves, npu))
+                    .collect();
+                let cv = match self.stochastic {
+                    Some(stochastic) => {
+                        let cv = stochastic.cv_override.unwrap_or_else(|| {
+                            calibrate_service_time(
+                                npu,
+                                model,
+                                mes,
+                                ves,
+                                model.evaluation_batch_size(),
+                                None,
+                                stochastic.calibration_requests,
+                            )
+                            .cv
+                        });
+                        if cv.is_finite() {
+                            cv.max(0.0)
+                        } else {
+                            0.0
+                        }
+                    }
+                    None => 0.0,
+                };
+                self.entries.push(CalibrationEntry {
+                    model,
+                    mes,
+                    ves,
+                    config: npu.clone(),
+                    batch_cycles,
+                    cv,
+                });
+                self.entries.last().expect("just pushed")
+            }
+        };
+        (entry.batch_cycles.clone(), entry.cv)
+    }
+
+    /// Builds the simulator-side state of one deployed replica.
+    fn replica_sim(
+        &mut self,
+        cluster: &NpuCluster,
+        deployment: &DeployedVnpu,
+        now: u64,
+    ) -> ReplicaSim {
+        let node = cluster
+            .node(deployment.handle.node)
+            .expect("deployment node exists");
+        let (batch_cycles, cv) = self.calibrate(
+            deployment.model,
+            deployment.config.num_mes_per_core,
+            deployment.config.num_ves_per_core,
+            node.npu_config(),
+        );
+        ReplicaSim {
+            handle: deployment.handle,
+            model: deployment.model,
+            batch_cycles,
+            cv,
+            queue: VecDeque::new(),
+            in_service: None,
+            available_at: now,
+            pending_migration: None,
+            batch_timeout_at: None,
+            draining: false,
+            retired: false,
+            activated_at: now,
+            window_busy: 0,
+        }
+    }
+}
+
+/// The cluster serving simulator (open-loop, or closed-loop under a
+/// [`ControlPlane`]).
 #[derive(Debug, Clone)]
 pub struct ClusterServingSim {
     options: ServingOptions,
@@ -345,73 +572,65 @@ impl ClusterServingSim {
         ClusterServingSim { options }
     }
 
-    /// Replays `trace` against the replicas deployed in `cluster`.
+    /// Replays `trace` against the replicas deployed in `cluster` with no
+    /// control plane (any configured telemetry ticks are still counted).
     ///
     /// The cluster is mutated by scheduled migrations (their placements
     /// genuinely move); everything else is read-only.
     pub fn run(&self, cluster: &mut NpuCluster, trace: &ClusterTrace) -> ServingReport {
+        self.run_loop(cluster, trace, &mut NoopControl)
+    }
+
+    /// Replays `trace` against `cluster` under a closed-loop `controller`.
+    ///
+    /// Every sampling interval the simulator emits a [`TelemetryFrame`], the
+    /// controller answers with [`ControlAction`]s, and the actions are
+    /// applied inside the event loop — scale-ups deploy through the
+    /// placement engine and start serving at the tick, scale-downs drain
+    /// then release, migrations follow the cold migration path. The cluster
+    /// is mutated accordingly. Deterministic controllers yield reproducible
+    /// reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`ServingOptions::with_telemetry`] was configured:
+    /// without a sampling interval the controller would never be invoked and
+    /// the run would silently degrade to open loop.
+    pub fn run_with_controller(
+        &self,
+        cluster: &mut NpuCluster,
+        trace: &ClusterTrace,
+        controller: &mut dyn ControlPlane,
+    ) -> ServingReport {
+        assert!(
+            self.options.telemetry_interval.is_some(),
+            "run_with_controller requires ServingOptions::with_telemetry: \
+             without a sampling interval the controller is never invoked"
+        );
+        self.run_loop(cluster, trace, controller)
+    }
+
+    /// The shared event loop behind [`ClusterServingSim::run`] and
+    /// [`ClusterServingSim::run_with_controller`].
+    fn run_loop(
+        &self,
+        cluster: &mut NpuCluster,
+        trace: &ClusterTrace,
+        controller: &mut dyn ControlPlane,
+    ) -> ServingReport {
         let max_batch = self.options.max_batch.max(1);
-        // Calibration cache: boards are compared by configuration, not node
-        // identity, so a homogeneous fleet compiles each (model, allocation)
-        // once per batch size.
-        let mut calibrations: Vec<CalibrationEntry> = Vec::new();
-        let mut replicas: Vec<ReplicaSim> = cluster
-            .deployments()
-            .map(|d| {
-                let node = cluster.node(d.handle.node).expect("deployment node exists");
-                let mes = d.config.num_mes_per_core;
-                let ves = d.config.num_ves_per_core;
-                let npu = node.npu_config();
-                let entry = match calibrations.iter().position(|c| {
-                    c.model == d.model && c.mes == mes && c.ves == ves && &c.config == npu
-                }) {
-                    Some(found) => &calibrations[found],
-                    None => {
-                        let batch_cycles = (1..=max_batch)
-                            .map(|k| estimated_batch_service_cycles(d.model, k, mes, ves, npu))
-                            .collect();
-                        let cv = match self.options.stochastic {
-                            Some(stochastic) => stochastic.cv_override.unwrap_or_else(|| {
-                                calibrate_service_time(
-                                    npu,
-                                    d.model,
-                                    mes,
-                                    ves,
-                                    d.model.evaluation_batch_size(),
-                                    None,
-                                    stochastic.calibration_requests,
-                                )
-                                .cv
-                            }),
-                            None => 0.0,
-                        };
-                        calibrations.push(CalibrationEntry {
-                            model: d.model,
-                            mes,
-                            ves,
-                            config: npu.clone(),
-                            batch_cycles,
-                            cv,
-                        });
-                        calibrations.last().expect("just pushed")
-                    }
-                };
-                ReplicaSim {
-                    handle: d.handle,
-                    model: d.model,
-                    batch_cycles: entry.batch_cycles.clone(),
-                    cv: entry.cv,
-                    queue: VecDeque::new(),
-                    in_service: None,
-                    available_at: 0,
-                    pending_migration: None,
-                }
-            })
+        let mut cache = CalibrationCache::new(max_batch, self.options.stochastic);
+        let initial: Vec<DeployedVnpu> = cluster.deployments().copied().collect();
+        let mut replicas: Vec<ReplicaSim> = initial
+            .iter()
+            .map(|d| cache.replica_sim(cluster, d, 0))
             .collect();
 
         let mut router = Router::new(self.options.dispatch, self.options.admission);
+        let sample_interval = self.options.telemetry_interval;
         let mut state = ServeState {
             max_batch,
+            max_batch_wait: self.options.max_batch_wait,
             drop_expired: self.options.drop_expired,
             edf: self.options.dispatch.orders_queues_by_deadline(),
             rng: self
@@ -420,10 +639,18 @@ impl ClusterServingSim {
                 .map(|s| StdRng::seed_from_u64(s.seed)),
             deadline: DeadlineStats::default(),
             batches: 0,
+            sampling: sample_interval.is_some(),
+            window_start: 0,
+            windows: BTreeMap::new(),
+            control: ControlStats::default(),
+            replica_cycles: 0,
         };
         let mut events: BinaryHeap<Reverse<(u64, u8, usize)>> = BinaryHeap::new();
         for (index, migration) in self.options.migrations.iter().enumerate() {
             events.push(Reverse((migration.at.get(), EV_MIGRATION, index)));
+        }
+        if let Some(interval) = sample_interval {
+            events.push(Reverse((interval, EV_SAMPLE, 0)));
         }
 
         let arrivals = trace.arrivals();
@@ -452,17 +679,25 @@ impl ClusterServingSim {
                         // executed migrations via their resume event.
                         makespan = makespan.max(now);
                         let replica = &mut replicas[index];
-                        let (batch, finish) = replica
+                        let (batch, started, finish) = replica
                             .in_service
                             .take()
                             .expect("completion without service");
                         debug_assert_eq!(finish, now);
+                        replica.window_busy += finish - started.max(state.window_start);
                         for request in &batch {
                             let latency = now.saturating_sub(request.arrived);
                             latencies.push(latency);
                             per_model.entry(request.model).or_default().push(latency);
+                            if let Some(window) = state.window_of(request.model) {
+                                window.metrics.record_latency(latency);
+                            }
                             if let Some(deadline) = request.deadline {
-                                state.deadline.record_completion(now <= deadline);
+                                let met = now <= deadline;
+                                state.deadline.record_completion(met);
+                                if let Some(window) = state.window_of(request.model) {
+                                    window.metrics.record_deadline(met);
+                                }
                             }
                             router.record_completion();
                         }
@@ -489,38 +724,77 @@ impl ClusterServingSim {
                                 index,
                                 &mut state,
                             );
+                            Self::retire_if_drained(cluster, &mut replicas[index], now, &mut state);
                         }
                     }
                     EV_RESUME => {
                         makespan = makespan.max(now);
                         Self::start_next(&mut replicas[index], now, &mut events, index, &mut state);
+                        Self::retire_if_drained(cluster, &mut replicas[index], now, &mut state);
+                    }
+                    EV_BATCH_TIMEOUT => {
+                        let replica = &mut replicas[index];
+                        // Stale timeouts (the batch filled, or the queue was
+                        // served/dropped meanwhile) are ignored; `start_next`
+                        // re-arms a fresh one when it holds again.
+                        if replica.batch_timeout_at == Some(now) {
+                            replica.batch_timeout_at = None;
+                            Self::start_next(replica, now, &mut events, index, &mut state);
+                        }
                     }
                     EV_MIGRATION => {
                         let scheduled = self.options.migrations[index];
-                        let Some(target) =
-                            replicas.iter().position(|r| r.handle == scheduled.handle)
+                        let Some(target) = replicas
+                            .iter()
+                            .position(|r| r.live() && r.handle == scheduled.handle)
                         else {
                             continue; // stale handle (already moved or undeployed)
                         };
-                        if replicas[target].handle.node == scheduled.to {
-                            continue;
-                        }
-                        if replicas[target].in_service.is_some() {
-                            // Drain first; the completion event finishes the job.
-                            replicas[target].pending_migration = Some((scheduled.to, now));
-                        } else {
-                            Self::execute_migration(
+                        Self::request_migration(
+                            cluster,
+                            &mut replicas,
+                            target,
+                            scheduled.to,
+                            now,
+                            &self.options.cost_model,
+                            &mut migration_records,
+                            &mut events,
+                            &mut state,
+                        );
+                    }
+                    EV_SAMPLE => {
+                        let interval = sample_interval.expect("sampling scheduled");
+                        let frame = Self::sample(&mut replicas, now, &mut state);
+                        state.control.samples += 1;
+                        let actions = controller.control(&frame, cluster);
+                        for action in actions {
+                            Self::apply_action(
                                 cluster,
-                                &mut replicas[target],
+                                &mut replicas,
+                                &mut cache,
+                                action,
                                 now,
-                                scheduled.to,
-                                0,
                                 &self.options.cost_model,
                                 &mut migration_records,
                                 &mut events,
-                                target,
                                 &mut state,
                             );
+                        }
+                        // Keep ticking only while there is (or can be) work:
+                        // the bus must not keep an otherwise-finished run
+                        // alive forever.
+                        let work_left = next_arrival < arrivals.len()
+                            || replicas.iter().any(|r| {
+                                r.live()
+                                    && (r.in_service.is_some()
+                                        || !r.queue.is_empty()
+                                        || r.pending_migration.is_some())
+                            })
+                            || events
+                                .iter()
+                                .any(|Reverse((_, kind, _))| *kind != EV_SAMPLE);
+                        if work_left {
+                            events.push(Reverse((now + interval, EV_SAMPLE, 0)));
                         }
                     }
                     _ => unreachable!("unknown event kind"),
@@ -533,21 +807,29 @@ impl ClusterServingSim {
                 let views: Vec<ReplicaView> = replicas
                     .iter()
                     .enumerate()
-                    .filter(|(_, r)| r.model == arrival.model)
+                    .filter(|(_, r)| r.live() && !r.draining && r.model == arrival.model)
                     .map(|(index, r)| ReplicaView {
                         index,
                         node: r.handle.node,
                         queue_len: r.queue.len(),
-                        busy: r.in_service.is_some(),
+                        in_flight: r.in_flight(),
                         unavailable: r.unavailable(now),
                         node_replicas: replicas
                             .iter()
-                            .filter(|o| o.model == arrival.model && o.handle.node == r.handle.node)
+                            .filter(|o| {
+                                o.live()
+                                    && !o.draining
+                                    && o.model == arrival.model
+                                    && o.handle.node == r.handle.node
+                            })
                             .count(),
                     })
                     .collect();
                 match router.dispatch(arrival.model, &views) {
                     DispatchDecision::Dispatch(index) => {
+                        if let Some(window) = state.window_of(arrival.model) {
+                            window.arrivals += 1;
+                        }
                         let request = QueuedRequest {
                             model: arrival.model,
                             arrived: now,
@@ -558,9 +840,18 @@ impl ClusterServingSim {
                         replicas[index].enqueue(request, state.edf);
                         Self::start_next(&mut replicas[index], now, &mut events, index, &mut state);
                     }
-                    DispatchDecision::RejectNoReplica | DispatchDecision::RejectOverload => {}
+                    DispatchDecision::RejectNoReplica | DispatchDecision::RejectOverload => {
+                        if let Some(window) = state.window_of(arrival.model) {
+                            window.rejected += 1;
+                        }
+                    }
                 }
             }
+        }
+
+        // Bank the replica-time of everything still provisioned at the end.
+        for replica in replicas.iter().filter(|r| r.live()) {
+            state.replica_cycles += makespan.saturating_sub(replica.activated_at);
         }
 
         latencies.sort_unstable();
@@ -576,13 +867,207 @@ impl ClusterServingSim {
             deadline: state.deadline,
             batches: state.batches,
             migrations: migration_records,
+            control: state.control,
+            replica_cycles: state.replica_cycles,
             makespan: Cycles(makespan),
         }
     }
 
+    /// Closes the current telemetry window and builds the frame handed to the
+    /// control plane.
+    fn sample(replicas: &mut [ReplicaSim], now: u64, state: &mut ServeState) -> TelemetryFrame {
+        let window = now.saturating_sub(state.window_start);
+        let mut samples = Vec::new();
+        for replica in replicas.iter_mut().filter(|r| r.live()) {
+            if let Some((_, started, _)) = &replica.in_service {
+                replica.window_busy += now - (*started).max(state.window_start);
+            }
+            // A replica activated mid-window is measured over its own
+            // lifetime, not the full window — a saturated newcomer must not
+            // read as half-idle.
+            let lifetime = now.saturating_sub(replica.activated_at.max(state.window_start));
+            let utilization = if lifetime > 0 {
+                (replica.window_busy as f64 / lifetime as f64).min(1.0)
+            } else {
+                0.0
+            };
+            samples.push(ReplicaSample {
+                handle: replica.handle,
+                model: replica.model,
+                queue_len: replica.queue.len(),
+                in_flight: replica.in_flight(),
+                draining: replica.draining,
+                utilization,
+            });
+            replica.window_busy = 0;
+        }
+
+        let mut models: BTreeMap<ModelId, ModelSample> = BTreeMap::new();
+        for sample in &samples {
+            let entry = models.entry(sample.model).or_insert_with(|| ModelSample {
+                model: sample.model,
+                replicas: 0,
+                queued: 0,
+                in_flight: 0,
+                arrivals: 0,
+                rejected: 0,
+                latency: LatencySummary::default(),
+                deadline: DeadlineStats::default(),
+            });
+            if !sample.draining {
+                entry.replicas += 1;
+            }
+            entry.queued += sample.queue_len;
+            entry.in_flight += sample.in_flight;
+        }
+        for (model, window_acc) in state.windows.iter_mut() {
+            let entry = models.entry(*model).or_insert_with(|| ModelSample {
+                model: *model,
+                replicas: 0,
+                queued: 0,
+                in_flight: 0,
+                arrivals: 0,
+                rejected: 0,
+                latency: LatencySummary::default(),
+                deadline: DeadlineStats::default(),
+            });
+            entry.arrivals = window_acc.arrivals;
+            entry.rejected = window_acc.rejected;
+            let (latency, deadline) = window_acc.metrics.flush();
+            entry.latency = latency;
+            entry.deadline = deadline;
+            window_acc.arrivals = 0;
+            window_acc.rejected = 0;
+        }
+        state.window_start = now;
+
+        TelemetryFrame {
+            at: Cycles(now),
+            window: Cycles(window),
+            replicas: samples,
+            models,
+        }
+    }
+
+    /// Applies one control-plane action inside the event loop.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_action(
+        cluster: &mut NpuCluster,
+        replicas: &mut Vec<ReplicaSim>,
+        cache: &mut CalibrationCache,
+        action: ControlAction,
+        now: u64,
+        cost_model: &MigrationCostModel,
+        records: &mut Vec<MigrationRecord>,
+        events: &mut BinaryHeap<Reverse<(u64, u8, usize)>>,
+        state: &mut ServeState,
+    ) {
+        match action {
+            ControlAction::ScaleUp { spec, placement } => match cluster.deploy(spec, placement) {
+                Ok(handle) => {
+                    let deployment = *cluster.deployment(handle).expect("just deployed");
+                    replicas.push(cache.replica_sim(cluster, &deployment, now));
+                    state.control.scale_ups += 1;
+                }
+                Err(_) => state.control.scale_up_rejected += 1,
+            },
+            ControlAction::ScaleDown { handle } => {
+                let Some(index) = replicas.iter().position(|r| r.live() && r.handle == handle)
+                else {
+                    return; // stale handle (already moved or released)
+                };
+                if replicas[index].draining {
+                    return;
+                }
+                replicas[index].draining = true;
+                state.control.scale_downs += 1;
+                // A held partial batch flushes immediately: a draining
+                // replica never waits for a batch that cannot form.
+                Self::start_next(&mut replicas[index], now, events, index, state);
+                Self::retire_if_drained(cluster, &mut replicas[index], now, state);
+            }
+            ControlAction::Migrate { handle, to } => {
+                state.control.migrations_requested += 1;
+                let Some(index) = replicas.iter().position(|r| r.live() && r.handle == handle)
+                else {
+                    return;
+                };
+                Self::request_migration(
+                    cluster, replicas, index, to, now, cost_model, records, events, state,
+                );
+            }
+        }
+    }
+
+    /// Triggers a cold migration of `replicas[index]` to `to`: a busy replica
+    /// drains its in-flight batch first, an idle one migrates immediately.
+    #[allow(clippy::too_many_arguments)]
+    fn request_migration(
+        cluster: &mut NpuCluster,
+        replicas: &mut [ReplicaSim],
+        index: usize,
+        to: NodeId,
+        now: u64,
+        cost_model: &MigrationCostModel,
+        records: &mut Vec<MigrationRecord>,
+        events: &mut BinaryHeap<Reverse<(u64, u8, usize)>>,
+        state: &mut ServeState,
+    ) {
+        // A draining replica is about to release its vNPU anyway: migrating
+        // it would charge a pointless dark window to its queued requests.
+        if replicas[index].handle.node == to
+            || replicas[index].pending_migration.is_some()
+            || replicas[index].draining
+        {
+            return;
+        }
+        if replicas[index].in_service.is_some() {
+            // Drain first; the completion event finishes the job.
+            replicas[index].pending_migration = Some((to, now));
+        } else {
+            Self::execute_migration(
+                cluster,
+                &mut replicas[index],
+                now,
+                to,
+                0,
+                cost_model,
+                records,
+                events,
+                index,
+                state,
+            );
+        }
+    }
+
+    /// Releases a fully drained replica's vNPU back to the cluster.
+    fn retire_if_drained(
+        cluster: &mut NpuCluster,
+        replica: &mut ReplicaSim,
+        now: u64,
+        state: &mut ServeState,
+    ) {
+        if !replica.draining
+            || replica.retired
+            || replica.in_service.is_some()
+            || !replica.queue.is_empty()
+            || replica.pending_migration.is_some()
+        {
+            return;
+        }
+        let released = cluster.undeploy(replica.handle).is_ok();
+        debug_assert!(released, "a live drained replica must release cleanly");
+        replica.retired = true;
+        replica.batch_timeout_at = None;
+        state.control.released += 1;
+        state.replica_cycles += now.saturating_sub(replica.activated_at);
+    }
+
     /// Starts the next service pass if the replica is idle and available:
     /// drops expired requests (when enabled), then collects up to
-    /// `max_batch` queued requests into one batch.
+    /// `max_batch` queued requests into one batch — unless a batch-formation
+    /// window is configured and still open, in which case the queue is held
+    /// (bounded by `max_batch_wait`) to let the batch fill.
     fn start_next(
         replica: &mut ReplicaSim,
         now: u64,
@@ -590,14 +1075,23 @@ impl ClusterServingSim {
         index: usize,
         state: &mut ServeState,
     ) {
-        if replica.in_service.is_some() || now < replica.available_at {
+        if replica.retired || replica.in_service.is_some() || now < replica.available_at {
             return;
         }
         if state.drop_expired {
             let deadline = &mut state.deadline;
+            let sampling = state.sampling;
+            let windows = &mut state.windows;
             replica.queue.retain(|queued| match queued.deadline {
                 Some(d) if d < now => {
                     deadline.record_dropped();
+                    if sampling {
+                        windows
+                            .entry(queued.model)
+                            .or_default()
+                            .metrics
+                            .record_dropped();
+                    }
                     false
                 }
                 _ => true,
@@ -606,6 +1100,28 @@ impl ClusterServingSim {
         if replica.queue.is_empty() {
             return;
         }
+        // Hold a sub-max_batch queue while the batch-formation window is
+        // open; draining replicas flush immediately (their batch can never
+        // fill again).
+        if replica.queue.len() < state.max_batch && !replica.draining {
+            if let Some(wait) = state.max_batch_wait {
+                let oldest = replica
+                    .queue
+                    .iter()
+                    .map(|queued| queued.arrived)
+                    .min()
+                    .expect("non-empty queue");
+                let due = oldest.saturating_add(wait);
+                if now < due {
+                    if replica.batch_timeout_at.is_none() {
+                        replica.batch_timeout_at = Some(due);
+                        events.push(Reverse((due, EV_BATCH_TIMEOUT, index)));
+                    }
+                    return;
+                }
+            }
+        }
+        replica.batch_timeout_at = None;
         let size = replica.queue.len().min(state.max_batch);
         let batch: Vec<QueuedRequest> = replica.queue.drain(..size).collect();
         let base = replica.batch_cycles[size - 1];
@@ -615,7 +1131,7 @@ impl ClusterServingSim {
         };
         let service = ((base as f64 * factor) as u64).max(1);
         let finish = now + service;
-        replica.in_service = Some((batch, finish));
+        replica.in_service = Some((batch, now, finish));
         state.batches += 1;
         events.push(Reverse((finish, EV_COMPLETION, index)));
     }
@@ -647,6 +1163,7 @@ impl ClusterServingSim {
             Err(_) => {
                 // The destination refused (capacity raced away); the replica
                 // keeps serving from its source node.
+                state.control.migrations_rejected += 1;
                 Self::start_next(replica, now, events, index, state);
             }
         }
@@ -707,6 +1224,10 @@ mod tests {
         assert_eq!(report.batches, 40);
         assert_eq!(report.mean_batch_size(), 1.0);
         assert_eq!(report.deadline, DeadlineStats::default());
+        // Open-loop run: no control-plane activity, static provisioning.
+        assert_eq!(report.control, ControlStats::default());
+        assert_eq!(report.replica_cycles, 2 * report.makespan.get());
+        assert!(report.replica_seconds(&NpuConfig::single_core()) > 0.0);
     }
 
     #[test]
@@ -762,6 +1283,52 @@ mod tests {
             unbatched.makespan
         );
         assert!(batched.latency.p99 <= unbatched.latency.p99);
+    }
+
+    #[test]
+    fn batch_wait_forms_batches_and_bounds_queueing_delay() {
+        // Low load: four sparse requests against an idle batch-8 replica.
+        // Without a formation window each is served alone the moment it
+        // arrives; with one, the replica holds the queue — but never longer
+        // than `max_batch_wait`, so queueing delay stays bounded even though
+        // the batch never fills.
+        let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &NpuConfig::single_core());
+        let gap = service / 4;
+        let wait = service;
+        let trace = burst_trace(4, gap);
+
+        let (mut eager_fleet, _) = fleet_with_replicas(1, 1);
+        let eager = ClusterServingSim::new(
+            ServingOptions::new(DispatchPolicy::LeastLoaded).with_batching(8),
+        )
+        .run(&mut eager_fleet, &trace);
+
+        let (mut held_fleet, _) = fleet_with_replicas(1, 1);
+        let held = ClusterServingSim::new(
+            ServingOptions::new(DispatchPolicy::LeastLoaded)
+                .with_batching(8)
+                .with_batch_wait(wait),
+        )
+        .run(&mut held_fleet, &trace);
+
+        assert_eq!(held.stats.completed, 4);
+        assert!(
+            held.batches < eager.batches,
+            "the formation window must coalesce sparse arrivals ({} vs {} passes)",
+            held.batches,
+            eager.batches
+        );
+        // The bound: no request waits for the batch longer than the window,
+        // so worst-case latency is the hold plus one (amortized) batch pass.
+        let batch_service =
+            estimated_batch_service_cycles(ModelId::Mnist, 4, 2, 2, &NpuConfig::single_core());
+        assert!(
+            held.latency.max <= wait + batch_service,
+            "queueing delay must be bounded by the formation window ({} > {} + {})",
+            held.latency.max,
+            wait,
+            batch_service
+        );
     }
 
     #[test]
@@ -859,6 +1426,53 @@ mod tests {
     }
 
     #[test]
+    fn with_cv_rejects_degenerate_dispersions() {
+        // Regression: a negative or non-finite coefficient of variation used
+        // to flow straight into the lognormal sampler.
+        assert_eq!(
+            StochasticService::seeded(1).with_cv(-0.5).cv_override,
+            Some(0.0)
+        );
+        assert_eq!(
+            StochasticService::seeded(1).with_cv(f64::NAN).cv_override,
+            Some(0.0)
+        );
+        assert_eq!(
+            StochasticService::seeded(1)
+                .with_cv(f64::INFINITY)
+                .cv_override,
+            Some(0.0)
+        );
+        assert_eq!(
+            StochasticService::seeded(1).with_cv(0.3).cv_override,
+            Some(0.3)
+        );
+        // A clamped dispersion behaves exactly like deterministic service.
+        let trace = burst_trace(10, 2_000);
+        let run = |options: ServingOptions| {
+            let (mut fleet, _) = fleet_with_replicas(1, 1);
+            ClusterServingSim::new(options).run(&mut fleet, &trace)
+        };
+        let deterministic = run(ServingOptions::new(DispatchPolicy::LeastLoaded));
+        let clamped = run(ServingOptions::new(DispatchPolicy::LeastLoaded)
+            .with_stochastic(StochasticService::seeded(3).with_cv(f64::NAN)));
+        assert_eq!(deterministic.latency, clamped.latency);
+    }
+
+    #[test]
+    fn empty_batch_estimate_never_underflows() {
+        // Regression: `batch_requests = 0` must cost one pass, not zero (or
+        // wrap), so capacity planning with an empty backlog stays sane.
+        let npu = NpuConfig::single_core();
+        let empty = estimated_batch_service_cycles(ModelId::Mnist, 0, 2, 2, &npu);
+        let single = estimated_batch_service_cycles(ModelId::Mnist, 1, 2, 2, &npu);
+        assert_eq!(empty, single, "an empty batch is priced as a batch of one");
+        assert!(empty >= 1);
+        // Degenerate engine counts clamp instead of dividing by zero.
+        assert!(estimated_batch_service_cycles(ModelId::Mnist, 2, 0, 0, &npu) >= 1);
+    }
+
+    #[test]
     fn migration_downtime_is_charged_to_latency() {
         let trace = burst_trace(10, 2_000);
         let (mut undisturbed, _) = fleet_with_replicas(2, 1);
@@ -945,5 +1559,159 @@ mod tests {
             Some(&20),
             "every request of the dark window is served by the live replica"
         );
+    }
+
+    /// A scripted controller for the lifecycle tests below: at given ticks it
+    /// replays pre-programmed actions.
+    struct Script {
+        at: Vec<(usize, Vec<ControlAction>)>,
+        tick: usize,
+    }
+
+    impl ControlPlane for Script {
+        fn control(
+            &mut self,
+            _frame: &TelemetryFrame,
+            _cluster: &NpuCluster,
+        ) -> Vec<ControlAction> {
+            self.tick += 1;
+            self.at
+                .iter()
+                .find(|(tick, _)| *tick == self.tick)
+                .map(|(_, actions)| actions.clone())
+                .unwrap_or_default()
+        }
+    }
+
+    #[test]
+    fn scale_up_adds_a_serving_replica_mid_run() {
+        let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &NpuConfig::single_core());
+        let (mut fleet, _) = fleet_with_replicas(2, 1);
+        // Saturating load on one replica; a second replica is added at the
+        // first tick and absorbs part of the stream.
+        let trace = burst_trace(40, service / 2);
+        let mut script = Script {
+            at: vec![(
+                1,
+                vec![ControlAction::ScaleUp {
+                    spec: DeploySpec::replica(ModelId::Mnist, 2, 2),
+                    placement: PlacementPolicy::WorstFit,
+                }],
+            )],
+            tick: 0,
+        };
+        let options = ServingOptions::new(DispatchPolicy::LeastLoaded).with_telemetry(service * 2);
+        let report =
+            ClusterServingSim::new(options).run_with_controller(&mut fleet, &trace, &mut script);
+        assert_eq!(report.control.scale_ups, 1);
+        assert_eq!(report.stats.completed, 40, "no request was lost");
+        assert_eq!(
+            report.per_node_completed.len(),
+            2,
+            "the scaled-up replica served traffic"
+        );
+        assert_eq!(fleet.total_vnpus(), 2, "the deployment genuinely happened");
+        assert!(report.control.samples > 0);
+    }
+
+    #[test]
+    fn scale_down_drains_then_releases_without_losing_requests() {
+        let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &NpuConfig::single_core());
+        let (mut fleet, handles) = fleet_with_replicas(2, 2);
+        let trace = burst_trace(30, service / 2);
+        let mut script = Script {
+            at: vec![(1, vec![ControlAction::ScaleDown { handle: handles[1] }])],
+            tick: 0,
+        };
+        let options = ServingOptions::new(DispatchPolicy::LeastLoaded).with_telemetry(service * 2);
+        let report =
+            ClusterServingSim::new(options).run_with_controller(&mut fleet, &trace, &mut script);
+        assert_eq!(report.control.scale_downs, 1);
+        assert_eq!(report.control.released, 1, "the drained replica released");
+        assert_eq!(
+            report.stats.completed, report.stats.admitted,
+            "draining must not lose admitted requests"
+        );
+        assert_eq!(fleet.total_vnpus(), 1, "the vNPU was genuinely released");
+        // Releasing capacity mid-run must shrink provisioned replica-time
+        // below two full-makespan replicas.
+        assert!(report.replica_cycles < 2 * report.makespan.get());
+    }
+
+    #[test]
+    fn controller_migration_follows_the_cold_path() {
+        let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &NpuConfig::single_core());
+        let (mut fleet, handles) = fleet_with_replicas(2, 1);
+        let spare = NodeId(if handles[0].node.0 == 0 { 1 } else { 0 });
+        let trace = burst_trace(20, service);
+        let mut script = Script {
+            at: vec![(
+                1,
+                vec![ControlAction::Migrate {
+                    handle: handles[0],
+                    to: spare,
+                }],
+            )],
+            tick: 0,
+        };
+        let options = ServingOptions::new(DispatchPolicy::LeastLoaded).with_telemetry(service * 2);
+        let report =
+            ClusterServingSim::new(options).run_with_controller(&mut fleet, &trace, &mut script);
+        assert_eq!(report.control.migrations_requested, 1);
+        assert_eq!(report.migrations.len(), 1, "the migration executed");
+        assert_eq!(report.stats.completed, 20, "no request was lost");
+        assert_eq!(fleet.node(spare).unwrap().manager().vnpu_count(), 1);
+    }
+
+    #[test]
+    fn telemetry_frames_report_backlog_and_windows() {
+        let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &NpuConfig::single_core());
+
+        /// Captures every frame for inspection.
+        struct Probe {
+            frames: Vec<TelemetryFrame>,
+        }
+        impl ControlPlane for Probe {
+            fn control(
+                &mut self,
+                frame: &TelemetryFrame,
+                _cluster: &NpuCluster,
+            ) -> Vec<ControlAction> {
+                self.frames.push(frame.clone());
+                Vec::new()
+            }
+        }
+
+        let (mut fleet, _) = fleet_with_replicas(1, 1);
+        // Overload: the queue builds, so mid-run frames see a backlog.
+        let trace = burst_trace(20, service / 4);
+        let mut probe = Probe { frames: Vec::new() };
+        let options = ServingOptions::new(DispatchPolicy::LeastLoaded).with_telemetry(service);
+        let report =
+            ClusterServingSim::new(options).run_with_controller(&mut fleet, &trace, &mut probe);
+        assert_eq!(report.control.samples, probe.frames.len());
+        assert!(probe.frames.len() > 1);
+        let mid = &probe.frames[probe.frames.len() / 2];
+        assert_eq!(mid.replicas.len(), 1);
+        let sample = mid.model(ModelId::Mnist).expect("model is served");
+        assert_eq!(sample.replicas, 1);
+        assert!(
+            sample.outstanding() > 0,
+            "overload must show up as backlog in the frame"
+        );
+        assert!(
+            mid.replicas[0].utilization > 0.9,
+            "a saturated replica reports a busy window ({})",
+            mid.replicas[0].utilization
+        );
+        // Window completions across all frames cover most of the run (the
+        // final partial window is not flushed).
+        let windowed: usize = probe
+            .frames
+            .iter()
+            .filter_map(|f| f.model(ModelId::Mnist))
+            .map(|m| m.latency.count)
+            .sum();
+        assert!(windowed >= report.stats.completed - 1);
     }
 }

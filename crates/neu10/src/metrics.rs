@@ -114,6 +114,50 @@ impl DeadlineStats {
     }
 }
 
+/// Windowed metric accumulation for periodic telemetry sampling.
+///
+/// A control loop observing a running simulation needs *per-window* tails and
+/// miss rates — the cumulative numbers smear a spike over the whole run and
+/// the controller reacts a window too late. `MetricsWindow` collects latency
+/// samples and deadline outcomes between two ticks; [`MetricsWindow::flush`]
+/// summarizes the window and resets it for the next one.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsWindow {
+    samples: Vec<u64>,
+    deadline: DeadlineStats,
+}
+
+impl MetricsWindow {
+    /// Records one completed request's latency.
+    pub fn record_latency(&mut self, cycles: u64) {
+        self.samples.push(cycles);
+    }
+
+    /// Records the deadline outcome of a completed deadline-carrying request.
+    pub fn record_deadline(&mut self, met: bool) {
+        self.deadline.record_completion(met);
+    }
+
+    /// Records a deadline-carrying request dropped unserved on expiry.
+    pub fn record_dropped(&mut self) {
+        self.deadline.record_dropped();
+    }
+
+    /// Completions recorded since the last flush.
+    pub fn completions(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Summarizes the window and resets it.
+    pub fn flush(&mut self) -> (LatencySummary, DeadlineStats) {
+        let summary = LatencySummary::from_samples(&self.samples);
+        let deadline = self.deadline;
+        self.samples.clear();
+        self.deadline = DeadlineStats::default();
+        (summary, deadline)
+    }
+}
+
 /// Ratio helper that treats a zero denominator as "no change" (1.0).
 pub fn normalized(value: f64, baseline: f64) -> f64 {
     if baseline <= 0.0 {
@@ -179,6 +223,27 @@ mod tests {
         assert_eq!(stats.dropped, 1);
         assert_eq!(stats.failed(), 2);
         assert!((stats.miss_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_window_flushes_and_resets() {
+        let mut window = MetricsWindow::default();
+        window.record_latency(10);
+        window.record_latency(30);
+        window.record_deadline(true);
+        window.record_deadline(false);
+        window.record_dropped();
+        assert_eq!(window.completions(), 2);
+        let (latency, deadline) = window.flush();
+        assert_eq!(latency.count, 2);
+        assert!((latency.mean - 20.0).abs() < 1e-12);
+        assert_eq!(deadline.with_deadline, 3);
+        assert_eq!(deadline.failed(), 2);
+        // The flush resets the window.
+        assert_eq!(window.completions(), 0);
+        let (empty, stats) = window.flush();
+        assert_eq!(empty.count, 0);
+        assert_eq!(stats, DeadlineStats::default());
     }
 
     #[test]

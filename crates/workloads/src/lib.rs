@@ -27,6 +27,7 @@ pub mod graph;
 pub mod models;
 pub mod profile;
 pub mod request;
+pub mod scenario;
 pub mod suite;
 
 pub use graph::InferenceGraph;
@@ -34,6 +35,7 @@ pub use profile::{DemandSample, WorkloadProfile};
 pub use request::{
     ArrivalProcess, ClusterTrace, PriorityClass, QosSpec, RequestArrival, RequestStream,
 };
+pub use scenario::{BurstyTrace, DiurnalTrace, FlashCrowdTrace};
 pub use suite::{
     collocation_pairs, llm_pairs, memory_intensive_pairs, model_catalog, ContentionLevel,
     ModelCategory, ModelId, ModelInfo, WorkloadPair,

@@ -98,6 +98,17 @@ impl Default for RequestStream {
     }
 }
 
+/// Derives an independent per-stream seed from a trace-wide seed and a
+/// stream index via a splitmix64-style hash: a linear combination like
+/// `(seed + index) * C` would make adjacent seeds share component streams,
+/// correlating seed-sweep experiments.
+pub(crate) fn stream_seed(seed: u64, index: u64) -> u64 {
+    let mut stream_seed = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    stream_seed = (stream_seed ^ (stream_seed >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    stream_seed = (stream_seed ^ (stream_seed >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    stream_seed ^ (stream_seed >> 31)
+}
+
 /// The scheduling class of a request: lower variants are more urgent.
 ///
 /// The derived `Ord` sorts `Interactive < Standard < Batch`, so ordering a
@@ -217,16 +228,9 @@ impl ClusterTrace {
     pub fn poisson(streams: &[(ModelId, u64)], per_model: usize, seed: u64) -> Self {
         let mut arrivals = Vec::with_capacity(streams.len() * per_model);
         for (index, (model, mean)) in streams.iter().enumerate() {
-            // splitmix64-style hash of (seed, index): a linear combination
-            // like (seed + index) * C would make adjacent seeds share
-            // component streams, correlating seed-sweep experiments.
-            let mut stream_seed = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            stream_seed = (stream_seed ^ (stream_seed >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            stream_seed = (stream_seed ^ (stream_seed >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            stream_seed ^= stream_seed >> 31;
             let stream = RequestStream::new(ArrivalProcess::Poisson {
                 mean_interarrival: Cycles((*mean).max(1)),
-                seed: stream_seed,
+                seed: stream_seed(seed, index as u64),
             });
             for at in stream.arrival_times(per_model) {
                 arrivals.push(RequestArrival::new(at, *model));

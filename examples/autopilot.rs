@@ -1,0 +1,147 @@
+//! Autopilot demo: a diurnal day under closed-loop autoscaling, then a
+//! fragmented fleet healed by consolidation migrations.
+//!
+//! Run with `cargo run --release --example autopilot`.
+
+use cluster::{estimated_batch_service_cycles, estimated_service_cycles};
+use neu10_repro::prelude::*;
+use workloads::{DiurnalTrace, PriorityClass, QosSpec};
+
+const MODEL: ModelId = ModelId::Mnist;
+const MAX_BATCH: usize = 4;
+
+/// Replica sizing: half a board's engines, a 32 MiB SRAM slice and 1 GiB of
+/// HBM.
+fn replica() -> DeploySpec {
+    DeploySpec::replica(MODEL, 2, 2).with_memory(32 << 20, 1 << 30)
+}
+
+fn main() {
+    let board = NpuConfig::single_core();
+    let service = estimated_service_cycles(MODEL, 2, 2, &board);
+    let effective =
+        estimated_batch_service_cycles(MODEL, MAX_BATCH, 2, 2, &board) as f64 / MAX_BATCH as f64;
+
+    // == Part 1: ride a diurnal day ==========================================
+    // Three boards, two replicas to start; the day peaks at ~4 batched
+    // replicas' worth of traffic, so a static fleet must either overpay all
+    // night or melt at noon.
+    let mut fleet = NpuCluster::homogeneous(3, &board);
+    for _ in 0..2 {
+        fleet
+            .deploy(replica(), PlacementPolicy::TopologyAware)
+            .expect("two replicas fit");
+    }
+
+    let horizon = service * 400;
+    let interval = horizon / 80;
+    let peak_mean = (effective / (4.0 * 0.7)) as u64;
+    let trace = DiurnalTrace::new(vec![(MODEL, peak_mean)], horizon)
+        .with_trough_to_peak(0.2)
+        .generate(42)
+        .with_model_qos(
+            MODEL,
+            QosSpec::new(Some(Cycles(service * 10)), PriorityClass::Interactive),
+        );
+
+    let mut pilot = Autopilot::new().with_model(ScalingSpec::new(
+        replica(),
+        2,
+        6,
+        AutoscalePolicy::TargetTracking(TargetTracking::new(MAX_BATCH as f64, interval * 2)),
+    ));
+    let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+        .with_batching(MAX_BATCH)
+        .with_telemetry(interval);
+    let report =
+        ClusterServingSim::new(options.clone()).run_with_controller(&mut fleet, &trace, &mut pilot);
+
+    println!("== autopilot over one diurnal day ==");
+    println!(
+        "  {} requests offered, {} completed, {} rejected",
+        report.stats.offered,
+        report.stats.completed,
+        report.stats.rejected()
+    );
+    println!(
+        "  deadline miss rate {:.2}%, p99 {} cycles",
+        report.deadline.miss_rate() * 100.0,
+        report.latency.p99
+    );
+    println!(
+        "  control loop: {} ticks, {} scale-ups, {} scale-downs ({} released)",
+        report.control.samples,
+        report.control.scale_ups,
+        report.control.scale_downs,
+        report.control.released
+    );
+    println!(
+        "  provisioned {:.3} replica-Gcycles across the day",
+        report.replica_cycles as f64 / 1e9
+    );
+    println!("  action timeline:");
+    for event in &pilot.log().events {
+        let phase = event.at.get() as f64 / horizon as f64;
+        println!("    t={:>5.2} day  {:?}", phase, event.action);
+    }
+    assert_eq!(report.stats.completed, report.stats.admitted);
+    assert!(report.control.scale_ups > 0, "the noon peak must scale up");
+
+    // == Part 2: defragment a scattered fleet ================================
+    // Two boards each half-occupied: the fleet has a whole board's worth of
+    // free engines, but no single board fits a whole-board vNPU — scale-up
+    // would fail. The defragmenter consolidates the two half-board replicas
+    // onto one board, re-opening the hole.
+    println!("\n== defragmentation ==");
+    let mut scattered = NpuCluster::homogeneous(2, &board);
+    let a = scattered
+        .deploy(replica(), PlacementPolicy::WorstFit)
+        .unwrap();
+    let b = scattered
+        .deploy(replica(), PlacementPolicy::WorstFit)
+        .unwrap();
+    println!(
+        "  scattered: {MODEL:?} replicas on {} and {}",
+        a.node, b.node
+    );
+    let whole_board = DeploySpec::replica(ModelId::Bert, 4, 4);
+    assert!(
+        scattered
+            .deploy(whole_board, PlacementPolicy::BestFit)
+            .is_err(),
+        "no board fits a whole-board vNPU while the free engines are scattered"
+    );
+
+    let mut healer = Autopilot::new().with_defrag(Defragmenter::new(whole_board, interval));
+    let light_trace = DiurnalTrace::new(vec![(MODEL, peak_mean * 4)], horizon / 4).generate(7);
+    let heal_report = ClusterServingSim::new(options).run_with_controller(
+        &mut scattered,
+        &light_trace,
+        &mut healer,
+    );
+    println!(
+        "  defrag issued {} consolidation migration(s); downtime priced by the interconnect",
+        heal_report.migrations.len()
+    );
+    for migration in &heal_report.migrations {
+        println!(
+            "    {} -> {}: {} bytes of vNPU state, {} downtime",
+            migration.from,
+            migration.to,
+            migration.state_bytes,
+            migration.downtime()
+        );
+    }
+    let handle = scattered
+        .deploy(whole_board, PlacementPolicy::BestFit)
+        .expect("consolidation re-opened a whole-board hole");
+    println!(
+        "  whole-board {:?} vNPU now placeable -> {}",
+        ModelId::Bert,
+        handle
+    );
+    assert_eq!(
+        heal_report.stats.completed, heal_report.stats.admitted,
+        "defragmentation must not lose requests"
+    );
+}

@@ -15,7 +15,10 @@
 //! * [`hypervisor`] — hypercalls, SR-IOV virtual functions, command buffers,
 //!   the IOMMU and the guest-VM model;
 //! * [`cluster`] — the datacenter fleet layer: multi-board vNPU placement,
-//!   open-loop request routing and cold vNPU migration between boards.
+//!   open-loop request routing and cold vNPU migration between boards;
+//! * [`autopilot`] — the closed-loop control plane: telemetry-driven
+//!   autoscaling (target-tracking / step policies with cooldowns and
+//!   hysteresis) and fleet defragmentation by consolidation migrations.
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use autopilot;
 pub use cluster;
 pub use hypervisor;
 pub use neu10;
@@ -47,9 +51,13 @@ pub use workloads;
 
 /// The most commonly used types, re-exported for convenience.
 pub mod prelude {
+    pub use autopilot::{
+        Autopilot, AutoscalePolicy, Defragmenter, ScalingSpec, StepScaling, TargetTracking,
+    };
     pub use cluster::{
-        ClusterServingSim, DeploySpec, DispatchPolicy, MigrationCostModel, NodeId, NpuCluster,
-        PlacementPolicy, ServingOptions, VnpuHandle,
+        ClusterServingSim, ControlAction, ControlPlane, DeploySpec, DispatchPolicy,
+        MigrationCostModel, NodeId, NpuCluster, PlacementPolicy, ServingOptions, TelemetryFrame,
+        VnpuHandle,
     };
     pub use hypervisor::{GuestVm, Host};
     pub use neu10::{

@@ -1,0 +1,200 @@
+//! Closed-loop control-plane properties: the autopilot scales a fleet up
+//! under load and back down after it, defragmentation restores placeability
+//! without losing requests, capacity limits surface as rejected scale-ups,
+//! and the whole loop is deterministic for a fixed seed.
+
+use autopilot::{Autopilot, AutoscalePolicy, Defragmenter, ScalingSpec, TargetTracking};
+use cluster::{
+    estimated_service_cycles, ClusterServingSim, DeploySpec, DispatchPolicy, NpuCluster,
+    PlacementPolicy, ServingOptions, ServingReport,
+};
+use npu_sim::{Cycles, NpuConfig};
+use workloads::{ClusterTrace, DiurnalTrace, FlashCrowdTrace, ModelId, RequestArrival};
+
+const MODEL: ModelId = ModelId::Mnist;
+
+fn replica() -> DeploySpec {
+    DeploySpec::replica(MODEL, 2, 2).with_memory(32 << 20, 1 << 30)
+}
+
+fn service() -> u64 {
+    estimated_service_cycles(MODEL, 2, 2, &NpuConfig::single_core())
+}
+
+fn fleet_with(replicas: usize, boards: usize) -> NpuCluster {
+    let mut fleet = NpuCluster::homogeneous(boards, &NpuConfig::single_core());
+    for _ in 0..replicas {
+        fleet
+            .deploy(replica(), PlacementPolicy::TopologyAware)
+            .expect("initial replicas fit");
+    }
+    fleet
+}
+
+fn pilot(min: usize, max: usize, interval: u64) -> Autopilot {
+    Autopilot::new().with_model(ScalingSpec::new(
+        replica(),
+        min,
+        max,
+        AutoscalePolicy::TargetTracking(TargetTracking::new(3.0, interval)),
+    ))
+}
+
+fn run(
+    fleet: &mut NpuCluster,
+    trace: &ClusterTrace,
+    controller: &mut Autopilot,
+    interval: u64,
+) -> ServingReport {
+    let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+        .with_batching(4)
+        .with_telemetry(interval);
+    ClusterServingSim::new(options).run_with_controller(fleet, trace, controller)
+}
+
+/// A flash crowd against a minimal fleet: the autopilot must absorb the
+/// crowd by scaling up, release the extra capacity afterwards, and never
+/// lose an admitted request across either transition.
+#[test]
+fn autopilot_absorbs_a_flash_crowd_and_releases_after() {
+    let service = service();
+    let horizon = service * 240;
+    let interval = horizon / 60;
+    let trace = FlashCrowdTrace::new(
+        vec![(MODEL, service * 2)],
+        6.0,
+        horizon / 4,
+        horizon / 2,
+        horizon,
+    )
+    .generate(17);
+
+    let mut fleet = fleet_with(1, 3);
+    let mut controller = pilot(1, 6, interval);
+    let report = run(&mut fleet, &trace, &mut controller, interval);
+
+    assert_eq!(
+        report.stats.completed, report.stats.admitted,
+        "scaling transitions must not lose admitted requests"
+    );
+    assert!(
+        report.control.scale_ups > 0,
+        "the crowd must trigger scale-ups"
+    );
+    assert!(
+        report.control.released > 0,
+        "the dispersal must drain and release replicas"
+    );
+    assert!(
+        fleet.total_vnpus() < 1 + report.control.scale_ups,
+        "some scaled-up capacity was given back"
+    );
+    // Replica-time stays below always-peak provisioning.
+    let peak_replicas = 1 + report.control.scale_ups as u64;
+    assert!(report.replica_cycles < peak_replicas * report.makespan.get());
+}
+
+/// The control loop is a pure function of the seed: same trace, same
+/// controller configuration, bit-identical reports and cluster end states.
+#[test]
+fn closed_loop_runs_are_deterministic() {
+    let service = service();
+    let horizon = service * 160;
+    let interval = horizon / 40;
+    let scenario = DiurnalTrace::new(vec![(MODEL, service)], horizon).with_trough_to_peak(0.3);
+    let trace = scenario.generate(23);
+
+    let once = |trace: &ClusterTrace| {
+        let mut fleet = fleet_with(2, 3);
+        let mut controller = pilot(2, 6, interval);
+        let report = run(&mut fleet, trace, &mut controller, interval);
+        (report, fleet.total_vnpus())
+    };
+    let (report_a, vnpus_a) = once(&trace);
+    let (report_b, vnpus_b) = once(&trace);
+    assert_eq!(report_a, report_b, "same seed, same report");
+    assert_eq!(vnpus_a, vnpus_b, "same seed, same fleet end state");
+    assert!(report_a.control.samples > 0);
+
+    let (report_c, _) = once(&scenario.generate(24));
+    assert_ne!(
+        report_a.stats.offered, report_c.stats.offered,
+        "a different seed draws a different trace"
+    );
+}
+
+/// Defragmentation under live load: two half-board replicas scattered over
+/// two boards block a whole-board placement; the defragmenter consolidates
+/// them mid-run (cold migration, downtime charged), after which the
+/// whole-board vNPU fits — and no admitted request was lost on the way.
+#[test]
+fn defragmentation_restores_placeability_under_load() {
+    let service = service();
+    let mut fleet = NpuCluster::homogeneous(2, &NpuConfig::single_core());
+    let a = fleet.deploy(replica(), PlacementPolicy::WorstFit).unwrap();
+    let b = fleet.deploy(replica(), PlacementPolicy::WorstFit).unwrap();
+    assert_ne!(a.node, b.node, "worst-fit scattered the replicas");
+    let whole_board = DeploySpec::replica(ModelId::Bert, 4, 4);
+    assert!(
+        fleet.deploy(whole_board, PlacementPolicy::BestFit).is_err(),
+        "fragmented: the whole-board vNPU fits nowhere"
+    );
+
+    // Light open-loop load so replicas are mostly idle (cheap to migrate).
+    let trace = ClusterTrace::from_arrivals(
+        (0..30)
+            .map(|i| RequestArrival::new(Cycles(i * service * 3), MODEL))
+            .collect(),
+    );
+    let interval = service * 4;
+    let mut controller = Autopilot::new().with_defrag(Defragmenter::new(whole_board, interval * 2));
+    let report = run(&mut fleet, &trace, &mut controller, interval);
+
+    assert!(
+        report.control.migrations_requested >= 1,
+        "the defragmenter must act"
+    );
+    assert_eq!(
+        report.migrations.len(),
+        1,
+        "one consolidation move executed"
+    );
+    assert_eq!(
+        report.stats.completed, report.stats.admitted,
+        "defragmentation must not lose requests"
+    );
+    assert!(
+        fleet.deploy(whole_board, PlacementPolicy::BestFit).is_ok(),
+        "consolidation re-opened a whole-board hole"
+    );
+}
+
+/// Scale-up demand beyond physical capacity is refused by the placement
+/// engine and surfaces in the control counters instead of corrupting state.
+#[test]
+fn scale_up_beyond_capacity_is_counted_not_fatal() {
+    let service = service();
+    // One board: capacity for 2 half-board replicas, ceiling asks for 6.
+    let mut fleet = fleet_with(1, 1);
+    let horizon = service * 120;
+    let interval = horizon / 30;
+    // Heavy sustained overload so the autoscaler keeps asking.
+    let trace = ClusterTrace::from_arrivals(
+        (0..400)
+            .map(|i| RequestArrival::new(Cycles(i * service / 8), MODEL))
+            .collect(),
+    );
+    let mut controller = pilot(1, 6, interval);
+    let report = run(&mut fleet, &trace, &mut controller, interval);
+
+    assert!(report.control.scale_ups >= 1, "the second replica fits");
+    assert!(
+        report.control.scale_up_rejected > 0,
+        "asks beyond the board's capacity are refused and counted"
+    );
+    assert!(
+        fleet.total_vnpus() <= 2,
+        "physical capacity was never exceeded"
+    );
+    assert_eq!(report.stats.completed, report.stats.admitted);
+}

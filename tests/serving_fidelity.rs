@@ -159,6 +159,84 @@ fn calibrated_stochastic_serving_is_seed_reproducible() {
     );
 }
 
+/// Migration accounting under serving load: a [`cluster::ScheduledMigration`]
+/// fired mid-run — against a batched, deadline-bound stream that keeps the
+/// replica's queue non-empty through the whole migration window — never
+/// loses an admitted request, and its downtime lands in the affected
+/// tenant's latency tail.
+#[test]
+fn mid_run_migration_under_load_keeps_every_request_and_surfaces_downtime() {
+    let service = mnist_service_cycles();
+    // A single replica stream at ~90% load: the queue is never empty long,
+    // so the migration drains a genuinely busy replica.
+    let count = 60;
+    let trace = uniform_trace(count, service * 9 / 8).with_model_qos(
+        ModelId::Mnist,
+        QosSpec::new(Some(Cycles(service * 6)), PriorityClass::Interactive),
+    );
+    let build = || {
+        let mut fleet = NpuCluster::homogeneous(2, &NpuConfig::single_core());
+        let handle = fleet
+            .deploy(
+                DeploySpec::replica(ModelId::Mnist, 2, 2),
+                PlacementPolicy::WorstFit,
+            )
+            .unwrap();
+        (fleet, handle)
+    };
+
+    let (mut calm_fleet, _) = build();
+    let options = ServingOptions::new(DispatchPolicy::LeastLoaded).with_batching(4);
+    let calm = ClusterServingSim::new(options.clone()).run(&mut calm_fleet, &trace);
+    assert_eq!(calm.stats.completed, count, "baseline serves everything");
+
+    let (mut fleet, handle) = build();
+    let spare = NodeId(if handle.node.0 == 0 { 1 } else { 0 });
+    // Trigger mid-stream: the replica is busy, so the migration drains the
+    // in-flight batch first, then goes dark for transfer + remap.
+    let disturbed =
+        ClusterServingSim::new(options.with_migration(Cycles(service * 20), handle, spare))
+            .run(&mut fleet, &trace);
+
+    assert_eq!(disturbed.migrations.len(), 1, "the migration executed");
+    let record = &disturbed.migrations[0];
+    assert!(
+        record.drain_cycles > 0,
+        "a loaded replica has in-flight work to drain"
+    );
+    assert!(record.transfer_cycles > 0 && record.remap_cycles > 0);
+    // Accounting: nothing offered was lost — every admitted request
+    // completes even though the only replica went dark mid-run.
+    assert_eq!(disturbed.stats.offered, count);
+    assert_eq!(
+        disturbed.stats.completed, disturbed.stats.admitted,
+        "admitted requests survive the migration window"
+    );
+    // The downtime shows up in the affected tenant's tail, not just the
+    // aggregate: both the per-model p99 and max latency regress past the
+    // undisturbed baseline by at least the dark window.
+    let calm_mnist = calm.per_model.get(&ModelId::Mnist).unwrap();
+    let moved_mnist = disturbed.per_model.get(&ModelId::Mnist).unwrap();
+    assert!(
+        moved_mnist.p99 > calm_mnist.p99,
+        "migration downtime must widen the tenant's p99 ({} vs {})",
+        moved_mnist.p99,
+        calm_mnist.p99
+    );
+    let dark_window = record.transfer_cycles + record.remap_cycles;
+    assert!(
+        moved_mnist.max >= calm_mnist.max + dark_window,
+        "the worst-case latency must absorb the whole dark window ({} < {} + {dark_window})",
+        moved_mnist.max,
+        calm_mnist.max
+    );
+    // And the deadline books see it too.
+    assert!(
+        disturbed.deadline.failed() >= calm.deadline.failed(),
+        "downtime cannot reduce deadline failures"
+    );
+}
+
 /// Regression (metrics): `percentile` is exactly nearest-rank — with 100
 /// samples p99 is the 99th-ranked element, and an even-length p50 is the
 /// lower middle sample (the old linear-rank rounding returned the upper).
