@@ -1,0 +1,78 @@
+//! Dispatch hot-path microbenchmark: indexed candidate lookup versus the
+//! per-arrival candidate rebuild it replaced, measured through the full
+//! serving loop on a replica-dense fleet (the regime where the rebuild's
+//! O(replicas²)-per-arrival cost dominates).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cluster::{
+    estimated_batch_service_cycles, ClusterServingSim, DeploySpec, DispatchPolicy, NpuCluster,
+    PlacementPolicy, ServingOptions,
+};
+use npu_sim::NpuConfig;
+use workloads::{ClusterTrace, ModelId};
+
+const BOARDS: usize = 8;
+const REPLICAS: usize = 64;
+const MAX_BATCH: usize = 8;
+const ARRIVALS_PER_MODEL: usize = 4_000;
+
+fn models() -> [ModelId; 4] {
+    [ModelId::Mnist, ModelId::Ncf, ModelId::Dlrm, ModelId::ResNet]
+}
+
+fn fleet() -> NpuCluster {
+    let npu = NpuConfig::tpu_v4_like();
+    let mut fleet = NpuCluster::homogeneous(BOARDS, &npu);
+    let models = models();
+    for index in 0..REPLICAS {
+        fleet
+            .deploy(
+                DeploySpec::replica(models[index % models.len()], 2, 2)
+                    .with_memory(32 << 20, 1 << 30),
+                PlacementPolicy::WorstFit,
+            )
+            .expect("bench fleet capacity");
+    }
+    fleet
+}
+
+fn trace() -> ClusterTrace {
+    let npu = NpuConfig::tpu_v4_like();
+    let replicas_per_model = REPLICAS / models().len();
+    let streams: Vec<(ModelId, u64)> = models()
+        .iter()
+        .map(|model| {
+            let batch = estimated_batch_service_cycles(*model, MAX_BATCH, 2, 2, &npu) as f64;
+            let gap = batch / (replicas_per_model as f64 * MAX_BATCH as f64 * 0.7);
+            (*model, gap.max(1.0) as u64)
+        })
+        .collect();
+    ClusterTrace::poisson(&streams, ARRIVALS_PER_MODEL, 11)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let trace = trace();
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            let mut fleet = fleet();
+            let options = ServingOptions::new(DispatchPolicy::LeastLoaded).with_batching(MAX_BATCH);
+            black_box(ClusterServingSim::new(options).run(&mut fleet, &trace))
+        })
+    });
+    group.bench_function("reference-rebuild", |b| {
+        b.iter(|| {
+            let mut fleet = fleet();
+            let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+                .with_batching(MAX_BATCH)
+                .with_reference_dispatch();
+            black_box(ClusterServingSim::new(options).run(&mut fleet, &trace))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,469 @@
+//! Fleet-scale serving perf harness: measures the simulator itself.
+//!
+//! Every other harness in `src/bin/` measures the *simulated* fleet; this one
+//! measures the *simulator* — wall-clock time, arrivals processed per second
+//! of wall time, events turned by the loop — so hot-path regressions are
+//! caught by numbers instead of vibes. Three scenarios cover the serving
+//! paths that matter at scale:
+//!
+//! * `steady`        — open-loop Poisson load on a mid-size fleet (the pure
+//!   dispatch + batching path);
+//! * `autopilot`     — a diurnal day under the target-tracking autoscaler
+//!   (telemetry, control actions, drain/release lifecycle);
+//! * `fleet-1m`      — 64 boards × 512 replicas × 1,000,000 arrivals (the
+//!   scale target: indexed dispatch, shared calibration curves, pooled batch
+//!   buffers).
+//!
+//! The results land in `BENCH_serving.json` (override with
+//! `NEU10_BENCH_OUT`), one scenario object per line so the baseline check
+//! can parse it without a JSON library. With `NEU10_BENCH_BASELINE=<path>`
+//! the harness compares wall times against a checked-in baseline and emits a
+//! GitHub-style `::warning::` (never a failure) when a scenario regresses
+//! more than 2×. With `NEU10_PERF_COMPARE=1` the `steady` and `fleet-1m`
+//! scenarios are additionally re-run on the pre-index reference dispatch
+//! path ([`ServingOptions::with_reference_dispatch`]); the reports are
+//! asserted identical and the speedup is printed and recorded.
+//!
+//! `NEU10_PERF_PROFILE=smoke` shrinks every scenario for CI; the default
+//! `full` profile runs the real sizes.
+
+use std::time::Instant;
+
+use autopilot::{Autopilot, AutoscalePolicy, ScalingSpec, TargetTracking};
+use cluster::{
+    estimated_batch_service_cycles, estimated_service_cycles, ClusterServingSim, DeploySpec,
+    DispatchPolicy, NpuCluster, PlacementPolicy, ServingOptions, ServingReport, StochasticService,
+};
+use npu_sim::{Cycles, NpuConfig};
+use workloads::{ClusterTrace, DiurnalTrace, ModelId, PriorityClass, QosSpec};
+
+const SEED: u64 = 9090;
+const MAX_BATCH: usize = 8;
+const LOAD: f64 = 0.7;
+const REPLICA_MES: usize = 2;
+const REPLICA_VES: usize = 2;
+
+/// Scenario sizes for one profile.
+struct Sizes {
+    steady_boards: usize,
+    steady_replicas: usize,
+    steady_models: usize,
+    steady_arrivals_per_model: usize,
+    auto_boards: usize,
+    auto_horizon_services: u64,
+    fleet_boards: usize,
+    fleet_replicas: usize,
+    fleet_models: usize,
+    fleet_arrivals_per_model: usize,
+}
+
+impl Sizes {
+    fn full() -> Self {
+        Sizes {
+            steady_boards: 16,
+            steady_replicas: 128,
+            steady_models: 4,
+            steady_arrivals_per_model: 50_000,
+            auto_boards: 8,
+            auto_horizon_services: 600,
+            fleet_boards: 64,
+            fleet_replicas: 512,
+            fleet_models: 8,
+            fleet_arrivals_per_model: 125_000,
+        }
+    }
+
+    fn smoke() -> Self {
+        Sizes {
+            steady_boards: 2,
+            steady_replicas: 8,
+            steady_models: 2,
+            steady_arrivals_per_model: 2_000,
+            auto_boards: 2,
+            auto_horizon_services: 120,
+            fleet_boards: 4,
+            fleet_replicas: 16,
+            fleet_models: 4,
+            fleet_arrivals_per_model: 2_500,
+        }
+    }
+}
+
+/// The model catalog slice a scenario spreads its replicas over.
+fn scenario_models(count: usize) -> Vec<ModelId> {
+    [
+        ModelId::Mnist,
+        ModelId::Ncf,
+        ModelId::Dlrm,
+        ModelId::ResNet,
+        ModelId::Bert,
+        ModelId::EfficientNet,
+        ModelId::Transformer,
+        ModelId::RetinaNet,
+    ]
+    .into_iter()
+    .take(count.max(1))
+    .collect()
+}
+
+/// One measured scenario row.
+struct Measurement {
+    name: &'static str,
+    boards: usize,
+    replicas: usize,
+    models: usize,
+    wall_ms: f64,
+    report: ServingReport,
+    /// Wall time of the reference (pre-index) dispatch path, when compared.
+    reference_wall_ms: Option<f64>,
+}
+
+impl Measurement {
+    fn arrivals_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.report.stats.offered as f64 / (self.wall_ms / 1e3)
+    }
+
+    fn speedup(&self) -> Option<f64> {
+        self.reference_wall_ms
+            .map(|reference| reference / self.wall_ms.max(1e-9))
+    }
+
+    fn json_line(&self) -> String {
+        let speedup = match self.speedup() {
+            Some(s) => format!(
+                ",\"reference_wall_ms\":{:.1},\"speedup_vs_reference\":{:.2}",
+                self.reference_wall_ms.unwrap_or(0.0),
+                s
+            ),
+            None => String::new(),
+        };
+        format!(
+            "{{\"name\":\"{}\",\"boards\":{},\"replicas\":{},\"models\":{},\"wall_ms\":{:.1},\
+             \"offered\":{},\"completed\":{},\"rejected\":{},\"arrivals_per_sec_wall\":{:.0},\
+             \"sim_events\":{},\"events_processed\":{},\"peak_replicas\":{},\"batches\":{},\
+             \"p99_cycles\":{},\"makespan_cycles\":{}{}}}",
+            self.name,
+            self.boards,
+            self.replicas,
+            self.models,
+            self.wall_ms,
+            self.report.stats.offered,
+            self.report.stats.completed,
+            self.report.stats.rejected(),
+            self.arrivals_per_sec(),
+            self.report.perf.events,
+            self.report.perf.total_processed(),
+            self.report.perf.peak_replicas,
+            self.report.batches,
+            self.report.latency.p99,
+            self.report.makespan.get(),
+            speedup,
+        )
+    }
+}
+
+/// Mean Poisson inter-arrival gap that drives `replicas` batch-`MAX_BATCH`
+/// replicas of `model` at the harness load factor.
+fn mean_gap(model: ModelId, replicas: usize, npu: &NpuConfig) -> u64 {
+    let batch_cycles =
+        estimated_batch_service_cycles(model, MAX_BATCH, REPLICA_MES, REPLICA_VES, npu) as f64;
+    (batch_cycles / (replicas as f64 * MAX_BATCH as f64 * LOAD)).max(1.0) as u64
+}
+
+/// Deploys `replicas` replicas round-robin over the models, spread across the
+/// fleet's boards.
+fn deploy_fleet(boards: usize, replicas: usize, models: &[ModelId], npu: &NpuConfig) -> NpuCluster {
+    let mut fleet = NpuCluster::homogeneous(boards, npu);
+    for index in 0..replicas {
+        let spec = DeploySpec::replica(models[index % models.len()], REPLICA_MES, REPLICA_VES)
+            .with_memory(32 << 20, 1 << 30);
+        fleet
+            .deploy(spec, PlacementPolicy::WorstFit)
+            .expect("the fleet must have capacity for the scenario's replicas");
+    }
+    fleet
+}
+
+/// The open-loop trace of a steady scenario: one Poisson stream per model at
+/// the harness load, interactive deadlines on half the models.
+fn steady_trace(
+    models: &[ModelId],
+    replicas: usize,
+    per_model: usize,
+    npu: &NpuConfig,
+) -> ClusterTrace {
+    let replicas_per_model = (replicas / models.len()).max(1);
+    let streams: Vec<(ModelId, u64)> = models
+        .iter()
+        .map(|model| (*model, mean_gap(*model, replicas_per_model, npu)))
+        .collect();
+    let mut trace = ClusterTrace::poisson(&streams, per_model, SEED);
+    for (index, model) in models.iter().enumerate() {
+        if index % 2 == 0 {
+            let service = estimated_service_cycles(*model, REPLICA_MES, REPLICA_VES, npu);
+            trace = trace.with_model_qos(
+                *model,
+                QosSpec::new(Some(Cycles(service * 10)), PriorityClass::Interactive),
+            );
+        }
+    }
+    trace
+}
+
+fn serving_options(reference: bool) -> ServingOptions {
+    let mut options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+        .with_batching(MAX_BATCH)
+        .with_stochastic(StochasticService::seeded(SEED).with_cv(0.2));
+    if reference {
+        options = options.with_reference_dispatch();
+    }
+    options
+}
+
+/// Runs one open-loop scenario, optionally measuring the reference dispatch
+/// path for the speedup column.
+fn run_open_loop(
+    name: &'static str,
+    boards: usize,
+    replicas: usize,
+    models: Vec<ModelId>,
+    per_model: usize,
+    npu: &NpuConfig,
+    compare: bool,
+) -> Measurement {
+    let trace = steady_trace(&models, replicas, per_model, npu);
+
+    let mut fleet = deploy_fleet(boards, replicas, &models, npu);
+    let started = Instant::now();
+    let report = ClusterServingSim::new(serving_options(false)).run(&mut fleet, &trace);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let reference_wall_ms = compare.then(|| {
+        let mut fleet = deploy_fleet(boards, replicas, &models, npu);
+        let started = Instant::now();
+        let reference = ClusterServingSim::new(serving_options(true)).run(&mut fleet, &trace);
+        let reference_wall = started.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            report, reference,
+            "{name}: indexed and reference dispatch must produce identical reports"
+        );
+        reference_wall
+    });
+
+    Measurement {
+        name,
+        boards,
+        replicas,
+        models: models.len(),
+        wall_ms,
+        report,
+        reference_wall_ms,
+    }
+}
+
+/// The closed-loop scenario: a diurnal day under the autopilot.
+fn run_autopilot(boards: usize, horizon_services: u64, npu: &NpuConfig) -> Measurement {
+    let model = ModelId::Mnist;
+    let service = estimated_service_cycles(model, REPLICA_MES, REPLICA_VES, npu);
+    let effective = estimated_batch_service_cycles(model, MAX_BATCH, REPLICA_MES, REPLICA_VES, npu)
+        as f64
+        / MAX_BATCH as f64;
+    let horizon = service * horizon_services;
+    let interval = (horizon / 100).max(1);
+    let max_replicas = boards * 2;
+    let start_replicas = (max_replicas / 4).max(1);
+    let spec = DeploySpec::replica(model, REPLICA_MES, REPLICA_VES).with_memory(32 << 20, 1 << 30);
+
+    let peak_mean = (effective / ((max_replicas as f64 * 0.75) * LOAD)).max(1.0) as u64;
+    let trace = DiurnalTrace::new(vec![(model, peak_mean)], horizon)
+        .with_trough_to_peak(0.2)
+        .generate(SEED)
+        .with_model_qos(
+            model,
+            QosSpec::new(Some(Cycles(service * 10)), PriorityClass::Interactive),
+        );
+
+    let mut fleet = NpuCluster::homogeneous(boards, npu);
+    for _ in 0..start_replicas {
+        fleet
+            .deploy(spec, PlacementPolicy::TopologyAware)
+            .expect("capacity for the starting fleet");
+    }
+    let mut pilot = Autopilot::new().with_model(ScalingSpec::new(
+        spec,
+        start_replicas,
+        max_replicas,
+        AutoscalePolicy::TargetTracking(
+            TargetTracking::new(MAX_BATCH as f64, interval * 2).with_max_miss_rate(0.025),
+        ),
+    ));
+    let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+        .with_batching(MAX_BATCH)
+        .with_telemetry(interval);
+
+    let started = Instant::now();
+    let report =
+        ClusterServingSim::new(options).run_with_controller(&mut fleet, &trace, &mut pilot);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    Measurement {
+        name: "autopilot",
+        boards,
+        replicas: start_replicas,
+        models: 1,
+        wall_ms,
+        report,
+        reference_wall_ms: None,
+    }
+}
+
+/// Pulls `"key":value` out of one baseline JSON line without a JSON library
+/// (the harness writes one scenario object per line, so this is exact for
+/// its own output).
+fn extract_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"').to_string())
+}
+
+/// Warns (never fails) when a scenario's wall time regressed more than 2×
+/// against the checked-in baseline.
+fn check_baseline(baseline_path: &str, measurements: &[Measurement]) {
+    let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
+        println!("# baseline {baseline_path} not readable; skipping regression check");
+        return;
+    };
+    for measurement in measurements {
+        let Some(line) = baseline
+            .lines()
+            .find(|line| extract_field(line, "name").as_deref() == Some(measurement.name))
+        else {
+            println!(
+                "# baseline has no scenario {:?}; skipping its regression check",
+                measurement.name
+            );
+            continue;
+        };
+        let Some(baseline_wall) =
+            extract_field(line, "wall_ms").and_then(|value| value.parse::<f64>().ok())
+        else {
+            continue;
+        };
+        // Sub-2x is in budget; additionally require 50 ms of absolute growth
+        // so millisecond-scale smoke scenarios don't warn on scheduler noise.
+        if baseline_wall > 0.0
+            && measurement.wall_ms > 2.0 * baseline_wall
+            && measurement.wall_ms - baseline_wall > 50.0
+        {
+            println!(
+                "::warning::perf_fleet: scenario {} wall time regressed >2x \
+                 ({:.1} ms vs baseline {:.1} ms)",
+                measurement.name, measurement.wall_ms, baseline_wall
+            );
+        } else {
+            println!(
+                "# {}: {:.1} ms vs baseline {:.1} ms (within 2x budget)",
+                measurement.name, measurement.wall_ms, baseline_wall
+            );
+        }
+    }
+}
+
+fn write_json(path: &str, measurements: &[Measurement]) {
+    let mut json = String::from("{\"schema\":\"neu10.bench.serving.v1\",\"scenarios\":[\n");
+    for (index, measurement) in measurements.iter().enumerate() {
+        json.push_str(&measurement.json_line());
+        if index + 1 < measurements.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("]}\n");
+    std::fs::write(path, json).expect("write BENCH_serving.json");
+}
+
+fn main() {
+    let profile = std::env::var("NEU10_PERF_PROFILE").unwrap_or_else(|_| "full".into());
+    let sizes = match profile.as_str() {
+        "smoke" => Sizes::smoke(),
+        _ => Sizes::full(),
+    };
+    let compare = std::env::var("NEU10_PERF_COMPARE").is_ok_and(|v| v == "1");
+    let out = std::env::var("NEU10_BENCH_OUT").unwrap_or_else(|_| "BENCH_serving.json".into());
+    let npu = NpuConfig::tpu_v4_like();
+    let auto_npu = NpuConfig::single_core();
+
+    println!("# perf_fleet: serving hot-path wall-clock harness ({profile} profile)");
+    println!(
+        "{:<12} {:>7} {:>9} {:>7} {:>10} {:>11} {:>11} {:>12} {:>9} {:>9}",
+        "scenario",
+        "boards",
+        "replicas",
+        "models",
+        "offered",
+        "wall_ms",
+        "arr/s_wall",
+        "sim_events",
+        "peak_rep",
+        "speedup"
+    );
+
+    let mut measurements = Vec::new();
+    for measurement in [
+        run_open_loop(
+            "steady",
+            sizes.steady_boards,
+            sizes.steady_replicas,
+            scenario_models(sizes.steady_models),
+            sizes.steady_arrivals_per_model,
+            &npu,
+            compare,
+        ),
+        run_autopilot(sizes.auto_boards, sizes.auto_horizon_services, &auto_npu),
+        run_open_loop(
+            "fleet-1m",
+            sizes.fleet_boards,
+            sizes.fleet_replicas,
+            scenario_models(sizes.fleet_models),
+            sizes.fleet_arrivals_per_model,
+            &npu,
+            compare,
+        ),
+    ] {
+        println!(
+            "{:<12} {:>7} {:>9} {:>7} {:>10} {:>11.1} {:>11.0} {:>12} {:>9} {:>9}",
+            measurement.name,
+            measurement.boards,
+            measurement.replicas,
+            measurement.models,
+            measurement.report.stats.offered,
+            measurement.wall_ms,
+            measurement.arrivals_per_sec(),
+            measurement.report.perf.events,
+            measurement.report.perf.peak_replicas,
+            measurement
+                .speedup()
+                .map(|s| format!("{s:.1}x"))
+                .unwrap_or_else(|| "-".into()),
+        );
+        // The scenarios must genuinely serve: a dead loop that finishes fast
+        // is not a perf win.
+        assert!(
+            measurement.report.stats.completed > 0,
+            "scenario served nothing"
+        );
+        measurements.push(measurement);
+    }
+
+    if let Ok(baseline) = std::env::var("NEU10_BENCH_BASELINE") {
+        check_baseline(&baseline, &measurements);
+    }
+
+    write_json(&out, &measurements);
+    println!("# wrote {out}");
+}

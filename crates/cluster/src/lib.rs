@@ -64,9 +64,9 @@ pub use inventory::{NodeInventory, ResourceDemand};
 pub use migration::{MigrationCostModel, MigrationOutcome, MigrationRecord};
 pub use node::ClusterNode;
 pub use placement::{rank_nodes, select_node, PlacementCandidate, PlacementPolicy};
-pub use router::{AdmissionControl, DispatchPolicy, RouterStats};
+pub use router::{AdmissionControl, DispatchPolicy, ReplicaIndex, ReplicaView, RouterStats};
 pub use serving::{
-    estimated_batch_service_cycles, estimated_service_cycles, ClusterServingSim,
+    estimated_batch_service_cycles, estimated_service_cycles, ClusterServingSim, PerfStats,
     ScheduledMigration, ServingOptions, ServingReport, StochasticService,
 };
 pub use telemetry::{

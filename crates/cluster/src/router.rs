@@ -6,12 +6,141 @@
 //! rejects the request). The serving simulator ([`crate::serving`]) owns the
 //! queues and clocks; production code would back the same interface with live
 //! load reports.
+//!
+//! At fleet scale the expensive part of routing is not the policy but
+//! *finding the candidates*: rebuilding the per-model replica set (and the
+//! per-node locality counts behind [`ReplicaView::node_replicas`]) from the
+//! full replica table on every arrival is O(replicas²) per request. The
+//! [`ReplicaIndex`] keeps those sets incrementally — the serving event loop
+//! updates it on deploy / drain / retire / migrate transitions, and each
+//! arrival reads exactly the candidate slots of its model.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use workloads::ModelId;
 
+use crate::cluster::VnpuHandle;
 use crate::NodeId;
+
+/// An incrementally-maintained routing index over the serving simulator's
+/// replica table.
+///
+/// Tracks three things the dispatch hot path needs in O(1)/O(candidates):
+///
+/// * the **routable** slots of every model — live, non-draining replicas, in
+///   ascending slot order (the same order a full-table scan would visit, so
+///   indexed dispatch reproduces scan-based dispatch decision-for-decision);
+/// * the **per-(model, node) replica counts** behind the locality signal
+///   ([`ReplicaView::node_replicas`]), which a naive build recounts by a
+///   nested scan per candidate;
+/// * the **handle → slot map** over every live replica (draining included),
+///   replacing the linear `position()` scans that resolved migration and
+///   control-plane handles.
+///
+/// The owner calls the transition methods exactly once per lifecycle edge:
+/// [`insert`](ReplicaIndex::insert) on deploy, [`begin_drain`](ReplicaIndex::begin_drain)
+/// when a replica stops being routable, [`relocate`](ReplicaIndex::relocate)
+/// when a migration re-keys its handle, and [`retire`](ReplicaIndex::retire)
+/// when the slot dies.
+#[derive(Debug, Default)]
+pub struct ReplicaIndex {
+    /// Routable (live, non-draining) slots per model, ascending.
+    by_model: BTreeMap<ModelId, Vec<usize>>,
+    /// Routable replicas of (model, node) — the locality signal.
+    node_counts: HashMap<(ModelId, NodeId), usize>,
+    /// Slot of every live replica (routable or draining).
+    by_handle: HashMap<VnpuHandle, usize>,
+}
+
+impl ReplicaIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        ReplicaIndex::default()
+    }
+
+    /// Registers a newly deployed, routable replica. Slots must be inserted
+    /// in increasing order (the serving simulator's replica table only ever
+    /// grows), which keeps every candidate list sorted without searching.
+    pub fn insert(&mut self, slot: usize, model: ModelId, node: NodeId, handle: VnpuHandle) {
+        let candidates = self.by_model.entry(model).or_default();
+        debug_assert!(
+            candidates.last().is_none_or(|last| *last < slot),
+            "slots are inserted in increasing order"
+        );
+        candidates.push(slot);
+        *self.node_counts.entry((model, node)).or_insert(0) += 1;
+        let previous = self.by_handle.insert(handle, slot);
+        debug_assert!(previous.is_none(), "handles are unique among live replicas");
+    }
+
+    /// Removes a replica from the routable sets when it starts draining (it
+    /// stays resolvable by handle until retired).
+    pub fn begin_drain(&mut self, slot: usize, model: ModelId, node: NodeId) {
+        if let Some(candidates) = self.by_model.get_mut(&model) {
+            if let Some(position) = candidates.iter().position(|s| *s == slot) {
+                candidates.remove(position);
+            }
+        }
+        self.release_node_count(model, node);
+    }
+
+    /// Re-keys a replica whose migration moved it to a new node. Routable
+    /// replicas move their locality count with them; a draining replica was
+    /// already out of the routable sets and only re-keys its handle.
+    pub fn relocate(
+        &mut self,
+        old_handle: VnpuHandle,
+        new_handle: VnpuHandle,
+        slot: usize,
+        model: ModelId,
+        routable: bool,
+    ) {
+        let removed = self.by_handle.remove(&old_handle);
+        debug_assert_eq!(removed, Some(slot), "relocate must name a live replica");
+        self.by_handle.insert(new_handle, slot);
+        if routable {
+            self.release_node_count(model, old_handle.node);
+            *self
+                .node_counts
+                .entry((model, new_handle.node))
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Forgets a retired replica's handle. The slot itself stays dead in the
+    /// owner's table; it was removed from the routable sets when it drained.
+    pub fn retire(&mut self, handle: VnpuHandle) {
+        self.by_handle.remove(&handle);
+    }
+
+    /// The slot of a live replica, draining included; `None` for stale
+    /// handles (undeployed, or re-keyed by a migration).
+    pub fn slot_of(&self, handle: VnpuHandle) -> Option<usize> {
+        self.by_handle.get(&handle).copied()
+    }
+
+    /// The routable slots of `model`, in ascending slot order.
+    pub fn candidates(&self, model: ModelId) -> &[usize] {
+        self.by_model
+            .get(&model)
+            .map_or(&[], |slots| slots.as_slice())
+    }
+
+    /// Routable replicas of `model` on `node` (the locality signal).
+    pub fn node_count(&self, model: ModelId, node: NodeId) -> usize {
+        self.node_counts.get(&(model, node)).copied().unwrap_or(0)
+    }
+
+    fn release_node_count(&mut self, model: ModelId, node: NodeId) {
+        match self.node_counts.get_mut(&(model, node)) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                self.node_counts.remove(&(model, node));
+            }
+            None => debug_assert!(false, "released a node count that was never taken"),
+        }
+    }
+}
 
 /// How the router picks among the replicas of a model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -41,12 +41,13 @@
 //! autoscaling experiments can trade replica-hours against tail latency.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use neu10::{
     calibrate_service_time, DeadlineStats, IsaKind, LatencySummary, MetricsWindow, TenantWorkload,
 };
-use npu_sim::{Cycles, NpuConfig};
+use npu_sim::{Cycles, NpuConfig, NpuConfigKey};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use workloads::{ClusterTrace, ModelId, PriorityClass};
@@ -54,7 +55,8 @@ use workloads::{ClusterTrace, ModelId, PriorityClass};
 use crate::cluster::{DeployedVnpu, NpuCluster, VnpuHandle};
 use crate::migration::{MigrationCostModel, MigrationRecord};
 use crate::router::{
-    AdmissionControl, DispatchDecision, DispatchPolicy, ReplicaView, Router, RouterStats,
+    AdmissionControl, DispatchDecision, DispatchPolicy, ReplicaIndex, ReplicaView, Router,
+    RouterStats,
 };
 use crate::telemetry::{
     ControlAction, ControlPlane, ControlStats, ModelSample, NoopControl, ReplicaSample,
@@ -135,6 +137,13 @@ pub struct ServingOptions {
     /// Telemetry sampling interval in cycles; `None` disables the telemetry
     /// bus (and with it any control plane).
     pub telemetry_interval: Option<u64>,
+    /// Use the pre-index reference dispatch path: rebuild the candidate
+    /// [`ReplicaView`]s from the full replica table on every arrival
+    /// (O(replicas²) per arrival) instead of reading the incremental
+    /// [`ReplicaIndex`]. The two paths produce identical reports; this knob
+    /// exists so equivalence tests and the perf harness can measure the
+    /// indexed path against the loop it replaced.
+    pub reference_dispatch: bool,
 }
 
 impl ServingOptions {
@@ -150,6 +159,7 @@ impl ServingOptions {
             drop_expired: false,
             stochastic: None,
             telemetry_interval: None,
+            reference_dispatch: false,
         }
     }
 
@@ -196,6 +206,36 @@ impl ServingOptions {
         self.telemetry_interval = Some(interval.max(1));
         self
     }
+
+    /// Switches to the pre-index reference dispatch path (per-arrival
+    /// candidate rebuild). For equivalence tests and benchmarks only — it is
+    /// quadratic in the replica count per arrival.
+    pub fn with_reference_dispatch(mut self) -> Self {
+        self.reference_dispatch = true;
+        self
+    }
+}
+
+/// Simulator-side execution counters of one serving run: how much machinery
+/// the event loop turned, independent of what the simulated fleet did. The
+/// `perf_fleet` harness reports these alongside wall-clock time so perf
+/// regressions can be told apart from workload changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfStats {
+    /// Discrete events processed (completions, resumes, batch timeouts,
+    /// migrations, telemetry samples).
+    pub events: u64,
+    /// Trace arrivals consumed.
+    pub arrivals: u64,
+    /// Largest number of simultaneously live replicas.
+    pub peak_replicas: usize,
+}
+
+impl PerfStats {
+    /// Events plus arrivals: everything the event loop dequeued.
+    pub fn total_processed(&self) -> u64 {
+        self.events + self.arrivals
+    }
 }
 
 /// The measurements of one serving run.
@@ -230,6 +270,8 @@ pub struct ServingReport {
     /// Time of the last completion (or executed-migration resume). Rejected
     /// arrivals never move the makespan.
     pub makespan: Cycles,
+    /// Simulator execution counters (events processed, peak replica count).
+    pub perf: PerfStats,
 }
 
 impl ServingReport {
@@ -282,7 +324,9 @@ struct ReplicaSim {
     handle: VnpuHandle,
     model: ModelId,
     /// Calibrated service time of a k-request batch at `batch_cycles[k - 1]`.
-    batch_cycles: Vec<u64>,
+    /// Shared with every replica of the same (model, allocation, board)
+    /// shape through the [`CalibrationCache`].
+    batch_cycles: Arc<[u64]>,
     /// Calibrated service-time coefficient of variation (0 = deterministic).
     cv: f64,
     queue: VecDeque<QueuedRequest>,
@@ -360,6 +404,14 @@ struct ServeState {
     control: ControlStats,
     /// Replica-time already banked by released replicas.
     replica_cycles: u64,
+    /// Recycled batch buffers: completions return their request vector here
+    /// and batch formation reuses one, so steady-state serving allocates no
+    /// batch storage.
+    batch_pool: Vec<Vec<QueuedRequest>>,
+    /// Live (non-retired) replicas right now.
+    live_replicas: usize,
+    /// Largest `live_replicas` seen over the run.
+    peak_replicas: usize,
 }
 
 impl ServeState {
@@ -382,6 +434,43 @@ const EV_BATCH_TIMEOUT: u8 = 2;
 const EV_MIGRATION: u8 = 3;
 const EV_SAMPLE: u8 = 4;
 
+/// The serving event heap, with a running count of non-sample events so the
+/// telemetry tick's "is there still work in flight?" question is O(1) instead
+/// of a whole-heap scan per sample.
+#[derive(Debug, Default)]
+struct EventQueue {
+    heap: BinaryHeap<Reverse<(u64, u8, usize)>>,
+    non_sample: usize,
+}
+
+impl EventQueue {
+    fn push(&mut self, at: u64, kind: u8, index: usize) {
+        if kind != EV_SAMPLE {
+            self.non_sample += 1;
+        }
+        self.heap.push(Reverse((at, kind, index)));
+    }
+
+    fn pop(&mut self) -> Option<(u64, u8, usize)> {
+        let Reverse((at, kind, index)) = self.heap.pop()?;
+        if kind != EV_SAMPLE {
+            self.non_sample -= 1;
+        }
+        Some((at, kind, index))
+    }
+
+    fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Whether any completion / resume / timeout / migration event is still
+    /// queued (stale batch timeouts included, exactly like the scan this
+    /// counter replaced).
+    fn has_non_sample(&self) -> bool {
+        self.non_sample > 0
+    }
+}
+
 /// The fluid service-time estimate of one `batch_requests`-request batch on a
 /// `mes`×`ves` replica: the model is compiled at
 /// `batch_requests × evaluation_batch_size` and each operator runs at the
@@ -390,6 +479,11 @@ const EV_SAMPLE: u8 = 4;
 /// traffic, fixed operator overheads) amortizes. An empty batch
 /// (`batch_requests = 0`) is estimated as a batch of one — the cost of
 /// spinning the pass up — never as zero or an underflow.
+///
+/// Compilation goes through the process-wide
+/// [`TenantWorkload::compile_cached`] memo, so repeated queries for the same
+/// (model, batch, board) — every replica of a homogeneous fleet, every
+/// harness capacity estimate — compile exactly once.
 pub fn estimated_batch_service_cycles(
     model: ModelId,
     batch_requests: usize,
@@ -398,7 +492,7 @@ pub fn estimated_batch_service_cycles(
     npu: &NpuConfig,
 ) -> u64 {
     let batch = model.evaluation_batch_size() * batch_requests.max(1) as u64;
-    let workload = TenantWorkload::compile(model, batch, npu, IsaKind::NeuIsa);
+    let workload = TenantWorkload::compile_cached(model, batch, npu, IsaKind::NeuIsa);
     let bw_per_cycle = npu.hbm_bandwidth_bytes_per_sec / npu.frequency.hz();
     let mut total = 0.0f64;
     for op in &workload.operators {
@@ -441,25 +535,27 @@ fn lognormal_factor(rng: &mut StdRng, cv: f64) -> f64 {
 }
 
 /// The per-(model, allocation, board) service calibration: batch service
-/// times for every batch size up to `max_batch`, plus the stochastic
-/// dispersion when enabled.
+/// times for every batch size up to `max_batch` (shared, never re-cloned),
+/// plus the stochastic dispersion when enabled.
 struct CalibrationEntry {
-    model: ModelId,
-    mes: usize,
-    ves: usize,
-    config: NpuConfig,
-    batch_cycles: Vec<u64>,
+    batch_cycles: Arc<[u64]>,
     cv: f64,
 }
+
+/// The key of one calibration: the replica shape, with the board identified
+/// by its hashable [`NpuConfigKey`] instead of deep struct equality.
+type CalibrationKey = (ModelId, usize, usize, NpuConfigKey);
 
 /// The run-lifetime calibration cache. Boards are compared by configuration,
 /// not node identity, so a homogeneous fleet compiles each (model,
 /// allocation) once per batch size — including replicas the control plane
-/// scales up mid-run.
+/// scales up mid-run. Lookups hash the key (no linear scan with deep
+/// `NpuConfig` comparisons) and hits hand out the shared `Arc<[u64]>` curve
+/// (no per-replica clone of the batch table).
 struct CalibrationCache {
     max_batch: usize,
     stochastic: Option<StochasticService>,
-    entries: Vec<CalibrationEntry>,
+    entries: HashMap<CalibrationKey, CalibrationEntry>,
 }
 
 impl CalibrationCache {
@@ -467,7 +563,7 @@ impl CalibrationCache {
         CalibrationCache {
             max_batch,
             stochastic,
-            entries: Vec::new(),
+            entries: HashMap::new(),
         }
     }
 
@@ -478,51 +574,39 @@ impl CalibrationCache {
         mes: usize,
         ves: usize,
         npu: &NpuConfig,
-    ) -> (Vec<u64>, f64) {
-        let found = self
-            .entries
-            .iter()
-            .position(|c| c.model == model && c.mes == mes && c.ves == ves && &c.config == npu);
-        let entry = match found {
-            Some(index) => &self.entries[index],
-            None => {
-                let batch_cycles = (1..=self.max_batch)
-                    .map(|k| estimated_batch_service_cycles(model, k, mes, ves, npu))
-                    .collect();
-                let cv = match self.stochastic {
-                    Some(stochastic) => {
-                        let cv = stochastic.cv_override.unwrap_or_else(|| {
-                            calibrate_service_time(
-                                npu,
-                                model,
-                                mes,
-                                ves,
-                                model.evaluation_batch_size(),
-                                None,
-                                stochastic.calibration_requests,
-                            )
-                            .cv
-                        });
-                        if cv.is_finite() {
-                            cv.max(0.0)
-                        } else {
-                            0.0
-                        }
+    ) -> (Arc<[u64]>, f64) {
+        let key = (model, mes, ves, npu.cache_key());
+        let max_batch = self.max_batch;
+        let stochastic = self.stochastic;
+        let entry = self.entries.entry(key).or_insert_with(|| {
+            let batch_cycles: Arc<[u64]> = (1..=max_batch)
+                .map(|k| estimated_batch_service_cycles(model, k, mes, ves, npu))
+                .collect();
+            let cv = match stochastic {
+                Some(stochastic) => {
+                    let cv = stochastic.cv_override.unwrap_or_else(|| {
+                        calibrate_service_time(
+                            npu,
+                            model,
+                            mes,
+                            ves,
+                            model.evaluation_batch_size(),
+                            None,
+                            stochastic.calibration_requests,
+                        )
+                        .cv
+                    });
+                    if cv.is_finite() {
+                        cv.max(0.0)
+                    } else {
+                        0.0
                     }
-                    None => 0.0,
-                };
-                self.entries.push(CalibrationEntry {
-                    model,
-                    mes,
-                    ves,
-                    config: npu.clone(),
-                    batch_cycles,
-                    cv,
-                });
-                self.entries.last().expect("just pushed")
-            }
-        };
-        (entry.batch_cycles.clone(), entry.cv)
+                }
+                None => 0.0,
+            };
+            CalibrationEntry { batch_cycles, cv }
+        });
+        (Arc::clone(&entry.batch_cycles), entry.cv)
     }
 
     /// Builds the simulator-side state of one deployed replica.
@@ -626,6 +710,16 @@ impl ClusterServingSim {
             .map(|d| cache.replica_sim(cluster, d, 0))
             .collect();
 
+        // The dispatch index mirrors the replica table incrementally: slots
+        // enter on deploy, leave the routable sets on drain, re-key on
+        // migration and die on retire. Every arrival then reads exactly the
+        // candidates of its model instead of scanning (and re-counting) the
+        // whole table.
+        let mut dispatch_index = ReplicaIndex::new();
+        for (slot, replica) in replicas.iter().enumerate() {
+            dispatch_index.insert(slot, replica.model, replica.handle.node, replica.handle);
+        }
+
         let mut router = Router::new(self.options.dispatch, self.options.admission);
         let sample_interval = self.options.telemetry_interval;
         let mut state = ServeState {
@@ -644,25 +738,32 @@ impl ClusterServingSim {
             windows: BTreeMap::new(),
             control: ControlStats::default(),
             replica_cycles: 0,
+            batch_pool: Vec::new(),
+            live_replicas: replicas.len(),
+            peak_replicas: replicas.len(),
         };
-        let mut events: BinaryHeap<Reverse<(u64, u8, usize)>> = BinaryHeap::new();
+        let mut events = EventQueue::default();
         for (index, migration) in self.options.migrations.iter().enumerate() {
-            events.push(Reverse((migration.at.get(), EV_MIGRATION, index)));
+            events.push(migration.at.get(), EV_MIGRATION, index);
         }
         if let Some(interval) = sample_interval {
-            events.push(Reverse((interval, EV_SAMPLE, 0)));
+            events.push(interval, EV_SAMPLE, 0);
         }
 
         let arrivals = trace.arrivals();
         let mut next_arrival = 0usize;
         let mut makespan = 0u64;
+        let mut perf = PerfStats::default();
         let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
         let mut per_model: BTreeMap<ModelId, Vec<u64>> = BTreeMap::new();
         let mut per_node_completed: BTreeMap<NodeId, usize> = BTreeMap::new();
         let mut migration_records: Vec<MigrationRecord> = Vec::new();
+        // Candidate-view scratch, refilled per arrival; after warm-up the
+        // dispatch path performs no allocation at all.
+        let mut views: Vec<ReplicaView> = Vec::new();
 
         loop {
-            let event_time = events.peek().map(|Reverse((t, _, _))| *t);
+            let event_time = events.next_time();
             let arrival_time = arrivals.get(next_arrival).map(|a| a.at.get());
             let take_event = match (event_time, arrival_time) {
                 (None, None) => break,
@@ -672,14 +773,15 @@ impl ClusterServingSim {
             };
 
             if take_event {
-                let Reverse((now, kind, index)) = events.pop().expect("peeked above");
+                let (now, kind, index) = events.pop().expect("peeked above");
+                perf.events += 1;
                 match kind {
                     EV_COMPLETION => {
                         // Only real work moves the makespan: completions here,
                         // executed migrations via their resume event.
                         makespan = makespan.max(now);
                         let replica = &mut replicas[index];
-                        let (batch, started, finish) = replica
+                        let (mut batch, started, finish) = replica
                             .in_service
                             .take()
                             .expect("completion without service");
@@ -702,11 +804,14 @@ impl ClusterServingSim {
                             router.record_completion();
                         }
                         *per_node_completed.entry(replica.handle.node).or_default() += batch.len();
+                        batch.clear();
+                        state.batch_pool.push(batch);
                         if let Some((to, requested_at)) = replica.pending_migration.take() {
                             let drain = now.saturating_sub(requested_at);
                             Self::execute_migration(
                                 cluster,
                                 &mut replicas[index],
+                                &mut dispatch_index,
                                 now,
                                 to,
                                 drain,
@@ -724,13 +829,25 @@ impl ClusterServingSim {
                                 index,
                                 &mut state,
                             );
-                            Self::retire_if_drained(cluster, &mut replicas[index], now, &mut state);
+                            Self::retire_if_drained(
+                                cluster,
+                                &mut replicas[index],
+                                &mut dispatch_index,
+                                now,
+                                &mut state,
+                            );
                         }
                     }
                     EV_RESUME => {
                         makespan = makespan.max(now);
                         Self::start_next(&mut replicas[index], now, &mut events, index, &mut state);
-                        Self::retire_if_drained(cluster, &mut replicas[index], now, &mut state);
+                        Self::retire_if_drained(
+                            cluster,
+                            &mut replicas[index],
+                            &mut dispatch_index,
+                            now,
+                            &mut state,
+                        );
                     }
                     EV_BATCH_TIMEOUT => {
                         let replica = &mut replicas[index];
@@ -744,15 +861,13 @@ impl ClusterServingSim {
                     }
                     EV_MIGRATION => {
                         let scheduled = self.options.migrations[index];
-                        let Some(target) = replicas
-                            .iter()
-                            .position(|r| r.live() && r.handle == scheduled.handle)
-                        else {
+                        let Some(target) = dispatch_index.slot_of(scheduled.handle) else {
                             continue; // stale handle (already moved or undeployed)
                         };
                         Self::request_migration(
                             cluster,
                             &mut replicas,
+                            &mut dispatch_index,
                             target,
                             scheduled.to,
                             now,
@@ -771,6 +886,7 @@ impl ClusterServingSim {
                             Self::apply_action(
                                 cluster,
                                 &mut replicas,
+                                &mut dispatch_index,
                                 &mut cache,
                                 action,
                                 now,
@@ -782,7 +898,8 @@ impl ClusterServingSim {
                         }
                         // Keep ticking only while there is (or can be) work:
                         // the bus must not keep an otherwise-finished run
-                        // alive forever.
+                        // alive forever. The event counter answers "anything
+                        // still queued?" without scanning the heap.
                         let work_left = next_arrival < arrivals.len()
                             || replicas.iter().any(|r| {
                                 r.live()
@@ -790,11 +907,9 @@ impl ClusterServingSim {
                                         || !r.queue.is_empty()
                                         || r.pending_migration.is_some())
                             })
-                            || events
-                                .iter()
-                                .any(|Reverse((_, kind, _))| *kind != EV_SAMPLE);
+                            || events.has_non_sample();
                         if work_left {
-                            events.push(Reverse((now + interval, EV_SAMPLE, 0)));
+                            events.push(now + interval, EV_SAMPLE, 0);
                         }
                     }
                     _ => unreachable!("unknown event kind"),
@@ -802,29 +917,51 @@ impl ClusterServingSim {
             } else {
                 let arrival = arrivals[next_arrival];
                 next_arrival += 1;
+                perf.arrivals += 1;
                 let now = arrival.at.get();
 
-                let views: Vec<ReplicaView> = replicas
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, r)| r.live() && !r.draining && r.model == arrival.model)
-                    .map(|(index, r)| ReplicaView {
-                        index,
-                        node: r.handle.node,
-                        queue_len: r.queue.len(),
-                        in_flight: r.in_flight(),
-                        unavailable: r.unavailable(now),
-                        node_replicas: replicas
+                views.clear();
+                if self.options.reference_dispatch {
+                    // The pre-index reference path, kept verbatim: scan the
+                    // whole table per arrival and recount the locality signal
+                    // per candidate.
+                    views.extend(
+                        replicas
                             .iter()
-                            .filter(|o| {
-                                o.live()
-                                    && !o.draining
-                                    && o.model == arrival.model
-                                    && o.handle.node == r.handle.node
-                            })
-                            .count(),
-                    })
-                    .collect();
+                            .enumerate()
+                            .filter(|(_, r)| r.live() && !r.draining && r.model == arrival.model)
+                            .map(|(slot, r)| ReplicaView {
+                                index: slot,
+                                node: r.handle.node,
+                                queue_len: r.queue.len(),
+                                in_flight: r.in_flight(),
+                                unavailable: r.unavailable(now),
+                                node_replicas: replicas
+                                    .iter()
+                                    .filter(|o| {
+                                        o.live()
+                                            && !o.draining
+                                            && o.model == arrival.model
+                                            && o.handle.node == r.handle.node
+                                    })
+                                    .count(),
+                            }),
+                    );
+                } else {
+                    // Indexed path: O(candidates of this model), no recount.
+                    for &slot in dispatch_index.candidates(arrival.model) {
+                        let replica = &replicas[slot];
+                        views.push(ReplicaView {
+                            index: slot,
+                            node: replica.handle.node,
+                            queue_len: replica.queue.len(),
+                            in_flight: replica.in_flight(),
+                            unavailable: replica.unavailable(now),
+                            node_replicas: dispatch_index
+                                .node_count(arrival.model, replica.handle.node),
+                        });
+                    }
+                }
                 match router.dispatch(arrival.model, &views) {
                     DispatchDecision::Dispatch(index) => {
                         if let Some(window) = state.window_of(arrival.model) {
@@ -853,12 +990,13 @@ impl ClusterServingSim {
         for replica in replicas.iter().filter(|r| r.live()) {
             state.replica_cycles += makespan.saturating_sub(replica.activated_at);
         }
+        perf.peak_replicas = state.peak_replicas;
 
         latencies.sort_unstable();
         ServingReport {
             dispatch: self.options.dispatch,
             stats: router.stats(),
-            latency: LatencySummary::from_samples(&latencies),
+            latency: LatencySummary::from_sorted(&latencies),
             per_model: per_model
                 .into_iter()
                 .map(|(model, samples)| (model, LatencySummary::from_samples(&samples)))
@@ -870,6 +1008,7 @@ impl ClusterServingSim {
             control: state.control,
             replica_cycles: state.replica_cycles,
             makespan: Cycles(makespan),
+            perf,
         }
     }
 
@@ -954,46 +1093,60 @@ impl ClusterServingSim {
     fn apply_action(
         cluster: &mut NpuCluster,
         replicas: &mut Vec<ReplicaSim>,
+        dispatch_index: &mut ReplicaIndex,
         cache: &mut CalibrationCache,
         action: ControlAction,
         now: u64,
         cost_model: &MigrationCostModel,
         records: &mut Vec<MigrationRecord>,
-        events: &mut BinaryHeap<Reverse<(u64, u8, usize)>>,
+        events: &mut EventQueue,
         state: &mut ServeState,
     ) {
         match action {
             ControlAction::ScaleUp { spec, placement } => match cluster.deploy(spec, placement) {
                 Ok(handle) => {
                     let deployment = *cluster.deployment(handle).expect("just deployed");
-                    replicas.push(cache.replica_sim(cluster, &deployment, now));
+                    let replica = cache.replica_sim(cluster, &deployment, now);
+                    let slot = replicas.len();
+                    dispatch_index.insert(slot, replica.model, replica.handle.node, replica.handle);
+                    replicas.push(replica);
                     state.control.scale_ups += 1;
+                    state.live_replicas += 1;
+                    state.peak_replicas = state.peak_replicas.max(state.live_replicas);
                 }
                 Err(_) => state.control.scale_up_rejected += 1,
             },
             ControlAction::ScaleDown { handle } => {
-                let Some(index) = replicas.iter().position(|r| r.live() && r.handle == handle)
-                else {
+                let Some(index) = dispatch_index.slot_of(handle) else {
                     return; // stale handle (already moved or released)
                 };
                 if replicas[index].draining {
                     return;
                 }
                 replicas[index].draining = true;
+                dispatch_index.begin_drain(index, replicas[index].model, handle.node);
                 state.control.scale_downs += 1;
                 // A held partial batch flushes immediately: a draining
                 // replica never waits for a batch that cannot form.
                 Self::start_next(&mut replicas[index], now, events, index, state);
-                Self::retire_if_drained(cluster, &mut replicas[index], now, state);
+                Self::retire_if_drained(cluster, &mut replicas[index], dispatch_index, now, state);
             }
             ControlAction::Migrate { handle, to } => {
                 state.control.migrations_requested += 1;
-                let Some(index) = replicas.iter().position(|r| r.live() && r.handle == handle)
-                else {
+                let Some(index) = dispatch_index.slot_of(handle) else {
                     return;
                 };
                 Self::request_migration(
-                    cluster, replicas, index, to, now, cost_model, records, events, state,
+                    cluster,
+                    replicas,
+                    dispatch_index,
+                    index,
+                    to,
+                    now,
+                    cost_model,
+                    records,
+                    events,
+                    state,
                 );
             }
         }
@@ -1005,12 +1158,13 @@ impl ClusterServingSim {
     fn request_migration(
         cluster: &mut NpuCluster,
         replicas: &mut [ReplicaSim],
+        dispatch_index: &mut ReplicaIndex,
         index: usize,
         to: NodeId,
         now: u64,
         cost_model: &MigrationCostModel,
         records: &mut Vec<MigrationRecord>,
-        events: &mut BinaryHeap<Reverse<(u64, u8, usize)>>,
+        events: &mut EventQueue,
         state: &mut ServeState,
     ) {
         // A draining replica is about to release its vNPU anyway: migrating
@@ -1028,6 +1182,7 @@ impl ClusterServingSim {
             Self::execute_migration(
                 cluster,
                 &mut replicas[index],
+                dispatch_index,
                 now,
                 to,
                 0,
@@ -1044,6 +1199,7 @@ impl ClusterServingSim {
     fn retire_if_drained(
         cluster: &mut NpuCluster,
         replica: &mut ReplicaSim,
+        dispatch_index: &mut ReplicaIndex,
         now: u64,
         state: &mut ServeState,
     ) {
@@ -1059,7 +1215,9 @@ impl ClusterServingSim {
         debug_assert!(released, "a live drained replica must release cleanly");
         replica.retired = true;
         replica.batch_timeout_at = None;
+        dispatch_index.retire(replica.handle);
         state.control.released += 1;
+        state.live_replicas -= 1;
         state.replica_cycles += now.saturating_sub(replica.activated_at);
     }
 
@@ -1071,7 +1229,7 @@ impl ClusterServingSim {
     fn start_next(
         replica: &mut ReplicaSim,
         now: u64,
-        events: &mut BinaryHeap<Reverse<(u64, u8, usize)>>,
+        events: &mut EventQueue,
         index: usize,
         state: &mut ServeState,
     ) {
@@ -1115,7 +1273,7 @@ impl ClusterServingSim {
                 if now < due {
                     if replica.batch_timeout_at.is_none() {
                         replica.batch_timeout_at = Some(due);
-                        events.push(Reverse((due, EV_BATCH_TIMEOUT, index)));
+                        events.push(due, EV_BATCH_TIMEOUT, index);
                     }
                     return;
                 }
@@ -1123,7 +1281,8 @@ impl ClusterServingSim {
         }
         replica.batch_timeout_at = None;
         let size = replica.queue.len().min(state.max_batch);
-        let batch: Vec<QueuedRequest> = replica.queue.drain(..size).collect();
+        let mut batch = state.batch_pool.pop().unwrap_or_default();
+        batch.extend(replica.queue.drain(..size));
         let base = replica.batch_cycles[size - 1];
         let factor = match &mut state.rng {
             Some(rng) => lognormal_factor(rng, replica.cv),
@@ -1133,7 +1292,7 @@ impl ClusterServingSim {
         let finish = now + service;
         replica.in_service = Some((batch, now, finish));
         state.batches += 1;
-        events.push(Reverse((finish, EV_COMPLETION, index)));
+        events.push(finish, EV_COMPLETION, index);
     }
 
     /// Runs the post-drain phases of a cold migration: snapshot + transfer +
@@ -1143,22 +1302,33 @@ impl ClusterServingSim {
     fn execute_migration(
         cluster: &mut NpuCluster,
         replica: &mut ReplicaSim,
+        dispatch_index: &mut ReplicaIndex,
         now: u64,
         to: NodeId,
         drain_cycles: u64,
         cost_model: &MigrationCostModel,
         records: &mut Vec<MigrationRecord>,
-        events: &mut BinaryHeap<Reverse<(u64, u8, usize)>>,
+        events: &mut EventQueue,
         index: usize,
         state: &mut ServeState,
     ) {
         match cluster.migrate(replica.handle, to, cost_model, Some(drain_cycles)) {
             Ok(outcome) => {
                 let post_drain = outcome.record.transfer_cycles + outcome.record.remap_cycles;
+                let old_handle = replica.handle;
                 replica.handle = outcome.new_handle();
                 replica.available_at = now + post_drain;
+                // A draining replica (scale-down raced with the migration)
+                // already left the routable sets; only its handle re-keys.
+                dispatch_index.relocate(
+                    old_handle,
+                    replica.handle,
+                    index,
+                    replica.model,
+                    !replica.draining,
+                );
                 records.push(outcome.record);
-                events.push(Reverse((replica.available_at, EV_RESUME, index)));
+                events.push(replica.available_at, EV_RESUME, index);
             }
             Err(_) => {
                 // The destination refused (capacity raced away); the replica

@@ -14,6 +14,18 @@ use crate::scheduler::assignment::{EngineAssignment, TenantSnapshot};
 /// still executing the operator it was scheduled for keeps the core even if
 /// a collocated tenant now has a better fair-share score.
 pub fn assign(tenants: &[TenantSnapshot], nx: usize, ny: usize) -> Vec<EngineAssignment> {
+    let mut out = Vec::with_capacity(tenants.len());
+    assign_into(tenants, nx, ny, &mut out);
+    out
+}
+
+/// The allocation-free form of [`assign`]: clears and fills `out`.
+pub fn assign_into(
+    tenants: &[TenantSnapshot],
+    nx: usize,
+    ny: usize,
+    out: &mut Vec<EngineAssignment>,
+) {
     let holder = tenants.iter().position(|t| t.has_work && t.holds_engines);
     let winner = holder.or_else(|| {
         tenants
@@ -30,21 +42,18 @@ pub fn assign(tenants: &[TenantSnapshot], nx: usize, ny: usize) -> Vec<EngineAss
             .map(|(i, _)| i)
     });
 
-    tenants
-        .iter()
-        .enumerate()
-        .map(|(i, t)| {
-            if Some(i) == winner {
-                EngineAssignment {
-                    mes: t.me_demand.min(nx),
-                    ves: t.ve_demand.min(ny),
-                    active: true,
-                }
-            } else {
-                EngineAssignment::default()
+    out.clear();
+    out.extend(tenants.iter().enumerate().map(|(i, t)| {
+        if Some(i) == winner {
+            EngineAssignment {
+                mes: t.me_demand.min(nx),
+                ves: t.ve_demand.min(ny),
+                active: true,
             }
-        })
-        .collect()
+        } else {
+            EngineAssignment::default()
+        }
+    }));
 }
 
 #[cfg(test)]

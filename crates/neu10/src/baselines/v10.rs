@@ -7,7 +7,7 @@
 //! operators (§V-A). That false coupling is the source of the ME contention
 //! Neu10 removes with µTOp scheduling.
 
-use crate::scheduler::assignment::{EngineAssignment, TenantSnapshot};
+use crate::scheduler::assignment::{AssignmentScratch, EngineAssignment, TenantSnapshot};
 
 /// Computes the V10 assignment.
 ///
@@ -17,6 +17,20 @@ use crate::scheduler::assignment::{EngineAssignment, TenantSnapshot};
 /// * vNPUs waiting on an ME operator while another ME operator runs are
 ///   stalled.
 pub fn assign(tenants: &[TenantSnapshot], nx: usize, ny: usize) -> Vec<EngineAssignment> {
+    let mut out = Vec::with_capacity(tenants.len());
+    assign_into(tenants, nx, ny, &mut AssignmentScratch::default(), &mut out);
+    out
+}
+
+/// The allocation-free form of [`assign`]: fills `out`, using `scratch` for
+/// the VE-sharing work list.
+pub fn assign_into(
+    tenants: &[TenantSnapshot],
+    nx: usize,
+    ny: usize,
+    scratch: &mut AssignmentScratch,
+    out: &mut Vec<EngineAssignment>,
+) {
     // Pick the ME owner by priority-weighted fairness. V10's hardware
     // supports fine-grained preemption, so ownership can move even while an
     // operator is in flight (the preempted operator pays the drain cost when
@@ -34,12 +48,13 @@ pub fn assign(tenants: &[TenantSnapshot], nx: usize, ny: usize) -> Vec<EngineAss
         })
         .map(|(i, _)| i);
 
-    let mut assignments = vec![EngineAssignment::default(); tenants.len()];
+    out.clear();
+    out.resize(tenants.len(), EngineAssignment::default());
     let mut remaining_ves = ny;
 
     // The ME owner gets all MEs (VLIW coupling).
     if let Some(owner) = me_owner {
-        assignments[owner] = EngineAssignment {
+        out[owner] = EngineAssignment {
             mes: nx,
             ves: 0,
             active: true,
@@ -50,23 +65,26 @@ pub fn assign(tenants: &[TenantSnapshot], nx: usize, ny: usize) -> Vec<EngineAss
     // operators of collocated vNPUs share them round-robin (an ME operator of
     // a non-owner cannot contribute VE work because its whole VLIW program is
     // stalled).
-    let ve_eligible: Vec<usize> = tenants
-        .iter()
-        .enumerate()
-        .filter(|(i, t)| {
-            t.has_work && t.ve_demand > 0 && (Some(*i) == me_owner || t.me_demand == 0)
-        })
-        .map(|(i, _)| i)
-        .collect();
+    let ve_eligible = &mut scratch.eligible;
+    ve_eligible.clear();
+    ve_eligible.extend(
+        tenants
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| {
+                t.has_work && t.ve_demand > 0 && (Some(*i) == me_owner || t.me_demand == 0)
+            })
+            .map(|(i, _)| i),
+    );
     while remaining_ves > 0 {
         let mut progressed = false;
-        for &i in &ve_eligible {
+        for &i in ve_eligible.iter() {
             if remaining_ves == 0 {
                 break;
             }
-            if assignments[i].ves < tenants[i].ve_demand {
-                assignments[i].ves += 1;
-                assignments[i].active = true;
+            if out[i].ves < tenants[i].ve_demand {
+                out[i].ves += 1;
+                out[i].active = true;
                 remaining_ves -= 1;
                 progressed = true;
             }
@@ -78,10 +96,9 @@ pub fn assign(tenants: &[TenantSnapshot], nx: usize, ny: usize) -> Vec<EngineAss
     // Memory-only operators (no engine demand at all) still progress.
     for (i, t) in tenants.iter().enumerate() {
         if Some(i) != me_owner && t.has_work && t.me_demand == 0 && t.ve_demand == 0 {
-            assignments[i].active = true;
+            out[i].active = true;
         }
     }
-    assignments
 }
 
 #[cfg(test)]

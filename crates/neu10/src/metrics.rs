@@ -13,6 +13,14 @@ pub fn percentile(values: &[u64], p: f64) -> u64 {
     }
     let mut sorted = values.to_vec();
     sorted.sort_unstable();
+    sorted_percentile(&sorted, p)
+}
+
+/// Exact nearest-rank percentile of samples already sorted ascending.
+fn sorted_percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
     let p = p.clamp(0.0, 100.0) / 100.0;
     let rank = (p * sorted.len() as f64).ceil().max(1.0) as usize;
     sorted[rank.min(sorted.len()) - 1]
@@ -55,14 +63,35 @@ pub struct LatencySummary {
 
 impl LatencySummary {
     /// Summarizes a set of latency samples.
+    ///
+    /// The mean is accumulated in the order given (so results are bit-stable
+    /// for a fixed input order); the percentiles are taken from one shared
+    /// sorted copy rather than re-sorting per percentile.
     pub fn from_samples(values: &[u64]) -> Self {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
         LatencySummary {
             count: values.len(),
             mean: mean(values),
-            p50: percentile(values, 50.0),
-            p95: percentile(values, 95.0),
-            p99: percentile(values, 99.0),
-            max: values.iter().copied().max().unwrap_or(0),
+            p50: sorted_percentile(&sorted, 50.0),
+            p95: sorted_percentile(&sorted, 95.0),
+            p99: sorted_percentile(&sorted, 99.0),
+            max: sorted.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// Summarizes latency samples that are already sorted ascending, without
+    /// cloning them. The allocation-free summary path of the fleet serving
+    /// report, which sorts its latency buffer exactly once.
+    pub fn from_sorted(sorted: &[u64]) -> Self {
+        debug_assert!(sorted.is_sorted(), "samples must be sorted ascending");
+        LatencySummary {
+            count: sorted.len(),
+            mean: mean(sorted),
+            p50: sorted_percentile(sorted, 50.0),
+            p95: sorted_percentile(sorted, 95.0),
+            p99: sorted_percentile(sorted, 99.0),
+            max: sorted.last().copied().unwrap_or(0),
         }
     }
 }

@@ -11,12 +11,14 @@
 //! preemption, temporal context switches) happen at events and carry the cost
 //! model of §III-E / §III-G.
 
+use std::sync::Arc;
+
 use npu_sim::{Cycles, NpuConfig};
 use workloads::ModelId;
 
 use crate::metrics::LatencySummary;
 use crate::scheduler::assignment::{
-    compute as compute_assignment, EngineAssignment, TenantSnapshot,
+    compute_into as compute_assignment_into, AssignmentScratch, EngineAssignment, TenantSnapshot,
 };
 use crate::scheduler::context::{full_core_switch_cost, me_preemption_cost};
 use crate::scheduler::policy::SharingPolicy;
@@ -222,7 +224,7 @@ struct ActiveOp {
 
 struct TenantRun {
     spec: TenantSpec,
-    workload: TenantWorkload,
+    workload: Arc<TenantWorkload>,
     op_cursor: usize,
     request_index: usize,
     request_start: f64,
@@ -236,7 +238,7 @@ struct TenantRun {
 }
 
 impl TenantRun {
-    fn new(spec: TenantSpec, workload: TenantWorkload) -> Self {
+    fn new(spec: TenantSpec, workload: Arc<TenantWorkload>) -> Self {
         let result = TenantResult::new(spec.vnpu, spec.model);
         TenantRun {
             spec,
@@ -428,7 +430,8 @@ impl CollocationSim {
         let tenants = specs
             .into_iter()
             .map(|spec| {
-                let workload = TenantWorkload::compile(spec.model, spec.batch_size, config, isa);
+                let workload =
+                    TenantWorkload::compile_cached(spec.model, spec.batch_size, config, isa);
                 TenantRun::new(spec, workload)
             })
             .collect();
@@ -460,7 +463,7 @@ impl CollocationSim {
         let tenants = specs
             .into_iter()
             .zip(workloads)
-            .map(|(spec, workload)| TenantRun::new(spec, workload))
+            .map(|(spec, workload)| TenantRun::new(spec, Arc::new(workload)))
             .collect();
         CollocationSim {
             config: config.clone(),
@@ -483,6 +486,11 @@ impl CollocationSim {
         let mut timeline: Vec<AssignmentSample> = Vec::new();
         let mut previous: Vec<EngineAssignment> =
             vec![EngineAssignment::default(); self.tenants.len()];
+        // Scratch reused across every scheduling event: the per-event hot
+        // path of a multi-million-event run must not allocate.
+        let mut snapshots: Vec<TenantSnapshot> = Vec::with_capacity(self.tenants.len());
+        let mut assignments: Vec<EngineAssignment> = Vec::with_capacity(self.tenants.len());
+        let mut scratch = AssignmentScratch::default();
 
         for _event in 0..MAX_EVENTS {
             if self.tenants.iter().all(|t| t.reached_target()) {
@@ -492,22 +500,31 @@ impl CollocationSim {
                 t.dispatch_next(now);
             }
 
-            let snapshots: Vec<TenantSnapshot> =
-                self.tenants.iter().map(|t| t.snapshot()).collect();
-            let assignments = compute_assignment(policy, &snapshots, nx, ny);
+            snapshots.clear();
+            snapshots.extend(self.tenants.iter().map(|t| t.snapshot()));
+            compute_assignment_into(policy, &snapshots, nx, ny, &mut scratch, &mut assignments);
             self.apply_transition_costs(&previous, &assignments, me_preempt, core_switch);
             for (tenant, assignment) in self.tenants.iter_mut().zip(&assignments) {
                 tenant.assignment = *assignment;
                 tenant.just_dispatched = false;
             }
 
+            // Record the sample only when the assignment changed — compared
+            // in place against the last sample, without materializing the
+            // candidate mes/ves vectors first.
             if self.options.record_assignment_timeline
-                && (timeline.is_empty()
-                    || timeline.last().map(|s| (&s.mes, &s.ves))
-                        != Some((
-                            &assignments.iter().map(|a| a.mes).collect::<Vec<_>>(),
-                            &assignments.iter().map(|a| a.ves).collect::<Vec<_>>(),
-                        )))
+                && timeline.last().is_none_or(|last| {
+                    !last
+                        .mes
+                        .iter()
+                        .copied()
+                        .eq(assignments.iter().map(|a| a.mes))
+                        || !last
+                            .ves
+                            .iter()
+                            .copied()
+                            .eq(assignments.iter().map(|a| a.ves))
+                })
                 && timeline.len() < 100_000
             {
                 timeline.push(AssignmentSample {
@@ -548,7 +565,7 @@ impl CollocationSim {
             for t in &mut self.tenants {
                 t.maybe_complete(now, record_ops);
             }
-            previous = assignments;
+            std::mem::swap(&mut previous, &mut assignments);
         }
 
         let makespan = Cycles(now as u64);

@@ -50,6 +50,20 @@ pub struct EngineAssignment {
     pub active: bool,
 }
 
+/// Reusable scratch space for [`compute_into`]: the integer work lists the
+/// policy implementations need between passes. One instance lives for a whole
+/// simulation run, so the per-event scheduling decision allocates nothing.
+#[derive(Debug, Default)]
+pub struct AssignmentScratch {
+    /// Per-tenant ME grants (harvest pass 1 output).
+    pub(crate) mes: Vec<usize>,
+    /// Per-tenant VE grants (harvest pass 1 output).
+    pub(crate) ves: Vec<usize>,
+    /// Indices of tenants still eligible for more engines (harvest pass 2 /
+    /// V10 VE sharing).
+    pub(crate) eligible: Vec<usize>,
+}
+
 /// Computes the per-vNPU engine assignment under `policy` for a core with
 /// `nx` MEs and `ny` VEs.
 ///
@@ -61,16 +75,38 @@ pub fn compute(
     nx: usize,
     ny: usize,
 ) -> Vec<EngineAssignment> {
-    let assignments = match policy {
-        SharingPolicy::Neu10 => harvest::assign(tenants, nx, ny, true),
-        SharingPolicy::Neu10NoHarvest => harvest::assign(tenants, nx, ny, false),
-        SharingPolicy::Pmt => pmt::assign(tenants, nx, ny),
-        SharingPolicy::V10 => v10::assign(tenants, nx, ny),
-    };
-    debug_assert_eq!(assignments.len(), tenants.len());
-    debug_assert!(assignments.iter().map(|a| a.mes).sum::<usize>() <= nx);
-    debug_assert!(assignments.iter().map(|a| a.ves).sum::<usize>() <= ny);
+    let mut assignments = Vec::with_capacity(tenants.len());
+    compute_into(
+        policy,
+        tenants,
+        nx,
+        ny,
+        &mut AssignmentScratch::default(),
+        &mut assignments,
+    );
     assignments
+}
+
+/// The allocation-free form of [`compute`]: clears and refills `out` (one
+/// entry per input snapshot, same order) using `scratch` for the policy's
+/// intermediate work lists. Hot simulation loops keep both across events.
+pub fn compute_into(
+    policy: SharingPolicy,
+    tenants: &[TenantSnapshot],
+    nx: usize,
+    ny: usize,
+    scratch: &mut AssignmentScratch,
+    out: &mut Vec<EngineAssignment>,
+) {
+    match policy {
+        SharingPolicy::Neu10 => harvest::assign_into(tenants, nx, ny, true, scratch, out),
+        SharingPolicy::Neu10NoHarvest => harvest::assign_into(tenants, nx, ny, false, scratch, out),
+        SharingPolicy::Pmt => pmt::assign_into(tenants, nx, ny, out),
+        SharingPolicy::V10 => v10::assign_into(tenants, nx, ny, scratch, out),
+    }
+    debug_assert_eq!(out.len(), tenants.len());
+    debug_assert!(out.iter().map(|a| a.mes).sum::<usize>() <= nx);
+    debug_assert!(out.iter().map(|a| a.ves).sum::<usize>() <= ny);
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! handed to collocated vNPUs whose demand exceeds their allocation, exactly
 //! the behaviour of Fig. 18.
 
-use crate::scheduler::assignment::{EngineAssignment, TenantSnapshot};
+use crate::scheduler::assignment::{AssignmentScratch, EngineAssignment, TenantSnapshot};
 
 /// Computes the spatial-isolated assignment for a core with `nx` MEs and
 /// `ny` VEs. When `harvest` is false the assignment is the static partition
@@ -18,43 +18,72 @@ pub fn assign(
     ny: usize,
     harvest: bool,
 ) -> Vec<EngineAssignment> {
-    let mes = grant_engines(
+    let mut out = Vec::with_capacity(tenants.len());
+    assign_into(
+        tenants,
+        nx,
+        ny,
+        harvest,
+        &mut AssignmentScratch::default(),
+        &mut out,
+    );
+    out
+}
+
+/// The allocation-free form of [`assign`]: fills `out` using `scratch` for
+/// the per-engine grant lists.
+pub fn assign_into(
+    tenants: &[TenantSnapshot],
+    nx: usize,
+    ny: usize,
+    harvest: bool,
+    scratch: &mut AssignmentScratch,
+    out: &mut Vec<EngineAssignment>,
+) {
+    let AssignmentScratch { mes, ves, eligible } = scratch;
+    grant_engines(
         tenants,
         nx,
         harvest,
         |t| t.allocated_mes,
         |t| if t.has_work { t.me_demand } else { 0 },
+        mes,
+        eligible,
     );
-    let ves = grant_engines(
+    grant_engines(
         tenants,
         ny,
         harvest,
         |t| t.allocated_ves,
         |t| if t.has_work { t.ve_demand } else { 0 },
+        ves,
+        eligible,
     );
-    tenants
-        .iter()
-        .enumerate()
-        .map(|(i, t)| EngineAssignment {
-            mes: mes[i],
-            ves: ves[i],
-            active: t.has_work,
-        })
-        .collect()
+    out.clear();
+    out.extend(tenants.iter().enumerate().map(|(i, t)| EngineAssignment {
+        mes: mes[i],
+        ves: ves[i],
+        active: t.has_work,
+    }));
 }
 
-/// Grants one engine type: every tenant first gets `min(demand, allocation)`
-/// (clipped so the total never exceeds the physical count), then — if
-/// harvesting — leftover engines go to tenants whose demand is not yet met,
-/// in allocation-share order.
+/// Grants one engine type into `granted`: every tenant first gets
+/// `min(demand, allocation)` (clipped so the total never exceeds the physical
+/// count), then — if harvesting — leftover engines go to tenants whose demand
+/// is not yet met, one engine at a time for fairness. `hungry` is scratch for
+/// the pass-2 work list.
+#[allow(clippy::too_many_arguments)]
 fn grant_engines(
     tenants: &[TenantSnapshot],
     total: usize,
     harvest: bool,
     allocation: impl Fn(&TenantSnapshot) -> usize,
     demand: impl Fn(&TenantSnapshot) -> usize,
-) -> Vec<usize> {
-    let mut granted = vec![0usize; tenants.len()];
+    granted: &mut Vec<usize>,
+    hungry: &mut Vec<usize>,
+) {
+    granted.clear();
+    granted.resize(tenants.len(), 0);
     let mut remaining = total;
 
     // Pass 1: owners use their own engines up to their demand.
@@ -64,17 +93,16 @@ fn grant_engines(
         remaining -= base;
     }
     if !harvest || remaining == 0 {
-        return granted;
+        return;
     }
 
     // Pass 2 (harvesting): distribute idle engines to tenants that can use
     // more than they own, one engine at a time for fairness.
-    let mut hungry: Vec<usize> = (0..tenants.len())
-        .filter(|&i| demand(&tenants[i]) > granted[i])
-        .collect();
+    hungry.clear();
+    hungry.extend((0..tenants.len()).filter(|&i| demand(&tenants[i]) > granted[i]));
     while remaining > 0 && !hungry.is_empty() {
         let mut progressed = false;
-        for &i in &hungry {
+        for &i in hungry.iter() {
             if remaining == 0 {
                 break;
             }
@@ -89,7 +117,6 @@ fn grant_engines(
             break;
         }
     }
-    granted
 }
 
 #[cfg(test)]

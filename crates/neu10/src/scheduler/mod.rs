@@ -7,6 +7,9 @@ pub mod context;
 pub mod harvest;
 pub mod policy;
 
-pub use assignment::{compute as compute_assignment, EngineAssignment, TenantSnapshot};
+pub use assignment::{
+    compute as compute_assignment, compute_into as compute_assignment_into, AssignmentScratch,
+    EngineAssignment, TenantSnapshot,
+};
 pub use context::{full_core_switch_cost, me_preemption_cost, VnpuContext};
 pub use policy::SharingPolicy;

@@ -7,9 +7,11 @@
 //! per-µTOp parallelism (and pay the small reduction-split overhead), while
 //! VLIW operators are frozen to the engine count they were compiled for.
 
+use std::sync::Arc;
+
 use neuisa::compiler::{Compiler, CompilerOptions};
-use npu_sim::NpuConfig;
-use workloads::{InferenceGraph, ModelId};
+use npu_sim::{NpuConfig, NpuConfigKey};
+use workloads::{InferenceGraph, Memo, ModelId};
 
 /// Which ISA the workload was compiled for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,11 +61,40 @@ pub struct TenantWorkload {
     pub hbm_footprint_bytes: u64,
 }
 
+/// The key of one memoized compilation: everything the result depends on.
+type CompileKey = (ModelId, u64, IsaKind, NpuConfigKey);
+
+/// The process-wide compilation memo behind [`TenantWorkload::compile_cached`].
+static COMPILATIONS: Memo<CompileKey, TenantWorkload> = Memo::new();
+
 impl TenantWorkload {
     /// Compiles `model` at `batch_size` for the core described by `config`.
     pub fn compile(model: ModelId, batch_size: u64, config: &NpuConfig, isa: IsaKind) -> Self {
         let graph = InferenceGraph::build(model, batch_size);
         TenantWorkload::compile_graph(&graph, config, isa)
+    }
+
+    /// The shared, memoized compilation of `model` at `batch_size` for
+    /// `config` under `isa`.
+    ///
+    /// Compilation is a pure function of the key, so every caller — the
+    /// collocation runtime, the cluster serving calibration
+    /// (`estimated_batch_service_cycles`), `calibrate_service_time` and the
+    /// figure harnesses — shares one compile per (model, batch,
+    /// configuration, ISA) for the life of the process. A fleet-scale run
+    /// that used to recompile per replica and per batch-size query hits this
+    /// table instead.
+    pub fn compile_cached(
+        model: ModelId,
+        batch_size: u64,
+        config: &NpuConfig,
+        isa: IsaKind,
+    ) -> Arc<Self> {
+        let batch_size = batch_size.max(1);
+        COMPILATIONS.get_or_insert_with((model, batch_size, isa, config.cache_key()), || {
+            let graph = InferenceGraph::build_cached(model, batch_size);
+            TenantWorkload::compile_graph(&graph, config, isa)
+        })
     }
 
     /// Compiles an already-built inference graph.
@@ -198,6 +229,25 @@ mod tests {
                 assert!(op.ve_parallelism >= 1);
             }
         }
+    }
+
+    #[test]
+    fn cached_compile_matches_a_fresh_compile() {
+        let cfg = config();
+        let cached = TenantWorkload::compile_cached(ModelId::Ncf, 8, &cfg, IsaKind::NeuIsa);
+        let fresh = TenantWorkload::compile(ModelId::Ncf, 8, &cfg, IsaKind::NeuIsa);
+        assert_eq!(*cached, fresh, "the memo must be value-transparent");
+        let again = TenantWorkload::compile_cached(ModelId::Ncf, 8, &cfg, IsaKind::NeuIsa);
+        assert!(Arc::ptr_eq(&cached, &again), "second lookup is shared");
+        // A different ISA or board shape is a different key, never aliased.
+        let vliw = TenantWorkload::compile_cached(ModelId::Ncf, 8, &cfg, IsaKind::Vliw);
+        assert_eq!(vliw.isa, IsaKind::Vliw);
+        let narrow = cfg.clone().with_engines(2, 2);
+        let scaled = TenantWorkload::compile_cached(ModelId::Ncf, 8, &narrow, IsaKind::NeuIsa);
+        assert_eq!(
+            *scaled,
+            TenantWorkload::compile(ModelId::Ncf, 8, &narrow, IsaKind::NeuIsa)
+        );
     }
 
     #[test]

@@ -190,6 +190,56 @@ impl NpuConfig {
             ),
         ]
     }
+
+    /// A hashable identity of this configuration, for caches keyed by board
+    /// shape (compilation memos, service-time calibration tables).
+    ///
+    /// Two configurations with the same key are field-for-field identical
+    /// (floats are compared by bit pattern), so a cache hit can never alias
+    /// distinct board shapes. A homogeneous fleet shares one key across all
+    /// of its boards — which is exactly what lets a fleet-wide run compile
+    /// each (model, batch) once instead of once per node.
+    pub fn cache_key(&self) -> NpuConfigKey {
+        NpuConfigKey {
+            chips: self.chips,
+            cores_per_chip: self.cores_per_chip,
+            mes_per_core: self.mes_per_core,
+            ves_per_core: self.ves_per_core,
+            me_dimension: self.me_dimension,
+            ve_lanes: self.ve_lanes,
+            ve_rows: self.ve_rows,
+            frequency_hz_bits: self.frequency.hz().to_bits(),
+            sram_bytes_per_core: self.sram_bytes_per_core,
+            hbm_bytes_per_core: self.hbm_bytes_per_core,
+            hbm_bandwidth_bits: self.hbm_bandwidth_bytes_per_sec.to_bits(),
+            sram_segment_bytes: self.sram_segment_bytes,
+            hbm_segment_bytes: self.hbm_segment_bytes,
+            me_preemption_cycles: self.me_preemption_cycles,
+        }
+    }
+}
+
+/// The hashable identity of an [`NpuConfig`] (see [`NpuConfig::cache_key`]).
+///
+/// Every configuration field appears, with floating-point fields reduced to
+/// their IEEE-754 bit patterns so the key is `Eq + Hash` without tolerating
+/// any numeric aliasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NpuConfigKey {
+    chips: usize,
+    cores_per_chip: usize,
+    mes_per_core: usize,
+    ves_per_core: usize,
+    me_dimension: usize,
+    ve_lanes: usize,
+    ve_rows: usize,
+    frequency_hz_bits: u64,
+    sram_bytes_per_core: u64,
+    hbm_bytes_per_core: u64,
+    hbm_bandwidth_bits: u64,
+    sram_segment_bytes: u64,
+    hbm_segment_bytes: u64,
+    me_preemption_cycles: u64,
 }
 
 impl Default for NpuConfig {

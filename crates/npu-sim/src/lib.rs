@@ -42,7 +42,7 @@ pub mod interconnect;
 pub mod memory;
 
 pub use clock::{Cycles, Frequency, SimTime};
-pub use config::NpuConfig;
+pub use config::{NpuConfig, NpuConfigKey};
 pub use core::{NpuBoard, NpuChip, NpuCore};
 pub use counters::{BusyTracker, CoreCounters, UtilizationWindow};
 pub use dma::{DmaDirection, DmaEngine, DmaRequest};

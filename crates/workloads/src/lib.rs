@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod graph;
+pub mod memo;
 pub mod models;
 pub mod profile;
 pub mod request;
@@ -31,6 +32,7 @@ pub mod scenario;
 pub mod suite;
 
 pub use graph::InferenceGraph;
+pub use memo::Memo;
 pub use profile::{DemandSample, WorkloadProfile};
 pub use request::{
     ArrivalProcess, ClusterTrace, PriorityClass, QosSpec, RequestArrival, RequestStream,

@@ -1,0 +1,136 @@
+//! Process-wide memoization of pure, deterministic computations.
+//!
+//! Fleet-scale serving runs ask for the same compiled artifacts thousands of
+//! times: every replica of a model shares one inference graph per batch size,
+//! and every calibration query recompiles the same (model, batch, board)
+//! triple. [`Memo`] is the shared table behind those caches — a keyed map of
+//! [`Arc`]-shared values safe to use from `static` items and across test
+//! threads. Values must be pure functions of their key: a memoized result is
+//! returned verbatim to every later caller.
+//!
+//! The compile-side users are [`crate::InferenceGraph::build_cached`] (this
+//! crate) and `neu10::TenantWorkload::compile_cached`, which the cluster
+//! serving calibration, `neu10::calibrate_service_time` and the bench
+//! harnesses all share.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::graph::InferenceGraph;
+use crate::suite::ModelId;
+
+/// A process-wide memo table: one [`Arc`]-shared value per key.
+///
+/// Usable from `static` items (`Memo::new` is `const`). Lookups take a short
+/// mutex critical section; the compute closure runs *outside* the lock, so a
+/// slow compilation never blocks unrelated keys. Two threads racing on the
+/// same absent key may both compute; the first insert wins and both observe
+/// the same stored value afterwards — harmless for the pure computations the
+/// table is meant for.
+pub struct Memo<K, V> {
+    table: OnceLock<Mutex<HashMap<K, Arc<V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> Memo<K, V> {
+    /// An empty memo table (usable in `static` position).
+    pub const fn new() -> Self {
+        Memo {
+            table: OnceLock::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn table(&self) -> &Mutex<HashMap<K, Arc<V>>> {
+        self.table.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// The memoized value for `key`, computing it with `build` on first use.
+    pub fn get_or_insert_with(&self, key: K, build: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(value) = self.table().lock().expect("memo mutex poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(value);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(build());
+        let mut table = self.table().lock().expect("memo mutex poisoned");
+        Arc::clone(table.entry(key).or_insert(value))
+    }
+
+    /// Number of lookups answered from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct keys currently memoized.
+    pub fn len(&self) -> usize {
+        self.table().lock().expect("memo mutex poisoned").len()
+    }
+
+    /// Whether no key has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for Memo<K, V> {
+    fn default() -> Self {
+        Memo::new()
+    }
+}
+
+/// The process-wide inference-graph cache behind
+/// [`InferenceGraph::build_cached`].
+static GRAPHS: Memo<(ModelId, u64), InferenceGraph> = Memo::new();
+
+impl InferenceGraph {
+    /// The shared, memoized graph of `model` at `batch_size`.
+    ///
+    /// Graph construction is deterministic in (model, batch size), so every
+    /// caller — replica calibration, collocation compiles, harness capacity
+    /// estimates — shares one build per key for the life of the process.
+    pub fn build_cached(model: ModelId, batch_size: u64) -> Arc<InferenceGraph> {
+        let batch_size = batch_size.max(1);
+        GRAPHS.get_or_insert_with((model, batch_size), || {
+            InferenceGraph::build(model, batch_size)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memo_computes_once_per_key() {
+        static TABLE: Memo<u32, u64> = Memo::new();
+        let first = TABLE.get_or_insert_with(7, || 49);
+        let again = TABLE.get_or_insert_with(7, || unreachable!("memoized"));
+        assert_eq!(*first, 49);
+        assert!(Arc::ptr_eq(&first, &again), "one shared value per key");
+        assert_eq!(TABLE.len(), 1);
+        assert!(TABLE.hits() >= 1);
+        assert_eq!(TABLE.misses(), 1);
+    }
+
+    #[test]
+    fn cached_graph_matches_a_fresh_build() {
+        let cached = InferenceGraph::build_cached(ModelId::Mnist, 8);
+        let fresh = InferenceGraph::build(ModelId::Mnist, 8);
+        assert_eq!(*cached, fresh, "the memo must be value-transparent");
+        let again = InferenceGraph::build_cached(ModelId::Mnist, 8);
+        assert!(Arc::ptr_eq(&cached, &again), "second lookup is shared");
+        // Degenerate batch sizes clamp exactly like `build`.
+        let clamped = InferenceGraph::build_cached(ModelId::Mnist, 0);
+        assert_eq!(clamped.batch_size(), 1);
+    }
+}

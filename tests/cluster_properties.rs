@@ -145,3 +145,198 @@ proptest! {
         prop_assert_eq!(report.latency.count, report.stats.completed);
     }
 }
+
+/// The shadow model of one replica slot for the dispatch-index property: the
+/// same lifecycle facts the serving simulator tracks, checked against a
+/// brute-force recount after every transition.
+#[derive(Debug, Clone, Copy)]
+struct ShadowReplica {
+    model: ModelId,
+    node: NodeId,
+    handle: cluster::VnpuHandle,
+    draining: bool,
+    retired: bool,
+}
+
+/// Rebuilds what the incremental index must contain from first principles.
+fn assert_index_matches(
+    index: &cluster::ReplicaIndex,
+    shadow: &[ShadowReplica],
+) -> Result<(), String> {
+    let models = [ModelId::Mnist, ModelId::Ncf, ModelId::Bert, ModelId::Dlrm];
+    for model in models {
+        let expected: Vec<usize> = shadow
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.retired && !s.draining && s.model == model)
+            .map(|(slot, _)| slot)
+            .collect();
+        prop_assert_eq!(
+            index.candidates(model),
+            expected.as_slice(),
+            "candidate slots of {:?} drifted from the brute-force rebuild",
+            model
+        );
+        for node in 0..8u32 {
+            let node = NodeId(node);
+            let expected = shadow
+                .iter()
+                .filter(|s| !s.retired && !s.draining && s.model == model && s.node == node)
+                .count();
+            prop_assert_eq!(
+                index.node_count(model, node),
+                expected,
+                "locality count of ({:?}, {}) drifted",
+                model,
+                node
+            );
+        }
+    }
+    for replica in shadow {
+        let expected = if replica.retired {
+            None
+        } else {
+            shadow
+                .iter()
+                .position(|s| !s.retired && s.handle == replica.handle)
+        };
+        prop_assert_eq!(
+            index.slot_of(replica.handle),
+            expected,
+            "handle {} resolved to the wrong slot",
+            replica.handle
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// The incremental dispatch index stays identical to a brute-force
+    /// rebuild of the routable sets, the locality counts and the handle map
+    /// after any random sequence of scale-up / drain / retire / migrate
+    /// transitions — the exact lifecycle edges the serving event loop drives.
+    #[test]
+    fn dispatch_index_matches_brute_force_rebuild(
+        ops in proptest::collection::vec(
+            (0usize..=3, 0usize..=255, 0usize..=255),
+            1..120,
+        ),
+    ) {
+        let models = [ModelId::Mnist, ModelId::Ncf, ModelId::Bert, ModelId::Dlrm];
+        let mut index = cluster::ReplicaIndex::new();
+        let mut shadow: Vec<ShadowReplica> = Vec::new();
+        let mut next_vnpu = 0u32;
+
+        for (op, a, b) in ops {
+            match op {
+                // Scale-up: a new routable replica in the next slot.
+                0 => {
+                    let replica = ShadowReplica {
+                        model: models[a % models.len()],
+                        node: NodeId((b % 8) as u32),
+                        handle: cluster::VnpuHandle {
+                            node: NodeId((b % 8) as u32),
+                            vnpu: neu10::VnpuId(next_vnpu),
+                        },
+                        draining: false,
+                        retired: false,
+                    };
+                    next_vnpu += 1;
+                    index.insert(shadow.len(), replica.model, replica.node, replica.handle);
+                    shadow.push(replica);
+                }
+                // Scale-down: drain a routable replica.
+                1 => {
+                    if shadow.is_empty() {
+                        continue;
+                    }
+                    let slot = a % shadow.len();
+                    let replica = shadow[slot];
+                    if replica.retired || replica.draining {
+                        continue;
+                    }
+                    shadow[slot].draining = true;
+                    index.begin_drain(slot, replica.model, replica.node);
+                }
+                // Release: retire a fully drained replica.
+                2 => {
+                    if shadow.is_empty() {
+                        continue;
+                    }
+                    let slot = a % shadow.len();
+                    let replica = shadow[slot];
+                    if replica.retired || !replica.draining {
+                        continue;
+                    }
+                    shadow[slot].retired = true;
+                    index.retire(replica.handle);
+                }
+                // Migration: re-key the handle, move the locality count.
+                _ => {
+                    if shadow.is_empty() {
+                        continue;
+                    }
+                    let slot = a % shadow.len();
+                    let replica = shadow[slot];
+                    let to = NodeId((b % 8) as u32);
+                    if replica.retired || to == replica.node {
+                        continue;
+                    }
+                    let new_handle = cluster::VnpuHandle {
+                        node: to,
+                        vnpu: neu10::VnpuId(next_vnpu),
+                    };
+                    next_vnpu += 1;
+                    index.relocate(
+                        replica.handle,
+                        new_handle,
+                        slot,
+                        replica.model,
+                        !replica.draining,
+                    );
+                    shadow[slot].node = to;
+                    shadow[slot].handle = new_handle;
+                }
+            }
+            assert_index_matches(&index, &shadow)?;
+        }
+    }
+
+    /// Indexed dispatch and the reference per-arrival rebuild produce the
+    /// identical `ServingReport` whatever the policy, batching, admission
+    /// limits and load — the end-to-end form of the index property.
+    #[test]
+    fn indexed_and_reference_dispatch_reports_agree(
+        replicas in 1usize..=4,
+        per_model in 1usize..=30,
+        mean_gap in 1_000u64..=200_000,
+        max_queue_depth in 1usize..=8,
+        max_batch in 1usize..=8,
+        policy_index in 0usize..=3,
+        seed in 0u64..=1_000,
+    ) {
+        let board = NpuConfig::single_core();
+        let trace = ClusterTrace::poisson(
+            &[(ModelId::Mnist, mean_gap), (ModelId::Ncf, mean_gap)],
+            per_model,
+            seed,
+        );
+        let run = |reference: bool| {
+            let mut fleet = NpuCluster::homogeneous(replicas, &board);
+            for index in 0..replicas {
+                let model = if index % 2 == 0 { ModelId::Mnist } else { ModelId::Ncf };
+                fleet
+                    .deploy(DeploySpec::replica(model, 2, 2), PlacementPolicy::WorstFit)
+                    .unwrap();
+            }
+            let mut options = ServingOptions::new(DispatchPolicy::all()[policy_index])
+                .with_admission(AdmissionControl { max_queue_depth })
+                .with_batching(max_batch);
+            if reference {
+                options = options.with_reference_dispatch();
+            }
+            ClusterServingSim::new(options).run(&mut fleet, &trace)
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}

@@ -1,0 +1,331 @@
+//! Golden determinism tests for the serving hot path.
+//!
+//! These digests were locked against the pre-optimization event loop (the
+//! per-arrival `Vec<ReplicaView>` rebuild with its nested `node_replicas`
+//! recount). The indexed dispatch path, the memoized compilation cache and
+//! the allocation-free inner loops must reproduce every report *bit for bit*:
+//! any drift in dispatch order, batch formation, stochastic draws or control
+//! actions changes a digest and fails the suite.
+//!
+//! Set `NEU10_PRINT_GOLDEN=1` to print the digests the current build
+//! produces (used once, to lock the constants below).
+
+use autopilot::{Autopilot, AutoscalePolicy, ScalingSpec, TargetTracking};
+use cluster::{
+    estimated_batch_service_cycles, estimated_service_cycles, AdmissionControl, ClusterServingSim,
+    DeploySpec, DispatchPolicy, NpuCluster, PlacementPolicy, ServingOptions, ServingReport,
+    StochasticService,
+};
+use npu_sim::{Cycles, NpuConfig};
+use workloads::{ClusterTrace, DiurnalTrace, ModelId, PriorityClass, QosSpec};
+
+/// FNV-1a over a canonical rendering of the report's observable fields.
+///
+/// Every field that the serving semantics produce is folded in — router
+/// counters, the full latency summaries (global and per model), per-node
+/// completions, deadline bookkeeping, batch count, the executed migration
+/// records, control-plane stats, provisioned replica-time and the makespan.
+/// Internal perf counters are deliberately excluded: they describe the
+/// implementation, not the simulated fleet.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn fold(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn fold_latency(&mut self, latency: &neu10::LatencySummary) {
+        self.fold(latency.count as u64);
+        self.fold(latency.mean.to_bits());
+        self.fold(latency.p50);
+        self.fold(latency.p95);
+        self.fold(latency.p99);
+        self.fold(latency.max);
+    }
+}
+
+fn digest(report: &ServingReport) -> u64 {
+    let mut fnv = Fnv::new();
+    fnv.fold_latency(&report.latency);
+    for (model, latency) in &report.per_model {
+        fnv.fold(*model as u64);
+        fnv.fold_latency(latency);
+    }
+    fnv.fold(report.stats.offered as u64);
+    fnv.fold(report.stats.admitted as u64);
+    fnv.fold(report.stats.rejected_no_replica as u64);
+    fnv.fold(report.stats.rejected_overload as u64);
+    fnv.fold(report.stats.completed as u64);
+    for (node, completed) in &report.per_node_completed {
+        fnv.fold(node.0 as u64);
+        fnv.fold(*completed as u64);
+    }
+    fnv.fold(report.deadline.with_deadline as u64);
+    fnv.fold(report.deadline.met as u64);
+    fnv.fold(report.deadline.missed as u64);
+    fnv.fold(report.deadline.dropped as u64);
+    fnv.fold(report.batches as u64);
+    for migration in &report.migrations {
+        fnv.fold(migration.from.0 as u64);
+        fnv.fold(migration.to.0 as u64);
+        fnv.fold(migration.state_bytes);
+        fnv.fold(migration.drain_cycles);
+        fnv.fold(migration.transfer_cycles);
+        fnv.fold(migration.remap_cycles);
+    }
+    fnv.fold(report.control.samples as u64);
+    fnv.fold(report.control.scale_ups as u64);
+    fnv.fold(report.control.scale_up_rejected as u64);
+    fnv.fold(report.control.scale_downs as u64);
+    fnv.fold(report.control.released as u64);
+    fnv.fold(report.control.migrations_requested as u64);
+    fnv.fold(report.control.migrations_rejected as u64);
+    fnv.fold(report.replica_cycles);
+    fnv.fold(report.makespan.get());
+    fnv.0
+}
+
+const BOARDS: usize = 4;
+const SEED: u64 = 4242;
+
+fn config() -> NpuConfig {
+    NpuConfig::single_core()
+}
+
+/// A mixed two-model fleet: four MNIST replicas and two NCF replicas spread
+/// over four boards, exercising locality, batching and queue pressure.
+fn mixed_fleet() -> NpuCluster {
+    let mut fleet = NpuCluster::homogeneous(BOARDS, &config());
+    for _ in 0..4 {
+        fleet
+            .deploy(
+                DeploySpec::replica(ModelId::Mnist, 2, 2),
+                PlacementPolicy::TopologyAware,
+            )
+            .expect("capacity for mnist replicas");
+    }
+    for _ in 0..2 {
+        fleet
+            .deploy(
+                DeploySpec::replica(ModelId::Ncf, 1, 1),
+                PlacementPolicy::WorstFit,
+            )
+            .expect("capacity for ncf replicas");
+    }
+    fleet
+}
+
+/// A deadline-carrying, overload-prone mixed trace. MNIST traffic alternates
+/// between a tight interactive class and a loose batch class so EDF queue
+/// ordering genuinely reorders backlogged queues (instead of degenerating to
+/// FIFO under a uniform QoS).
+fn mixed_trace() -> ClusterTrace {
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &config());
+    let base = ClusterTrace::poisson(
+        &[(ModelId::Mnist, service / 7), (ModelId::Ncf, service)],
+        160,
+        SEED,
+    );
+    let arrivals = base
+        .arrivals()
+        .iter()
+        .map(|arrival| {
+            let mut arrival = *arrival;
+            if arrival.model == ModelId::Mnist {
+                let qos = if arrival.sequence % 2 == 0 {
+                    QosSpec::new(Some(Cycles(service * 4)), PriorityClass::Interactive)
+                } else {
+                    QosSpec::new(Some(Cycles(service * 30)), PriorityClass::Batch)
+                };
+                arrival.deadline = qos
+                    .deadline_slack
+                    .map(|slack| Cycles(arrival.at.get() + slack.get()));
+                arrival.priority = qos.priority;
+            }
+            arrival
+        })
+        .collect();
+    ClusterTrace::from_arrivals(arrivals)
+}
+
+/// The policy scenario: batching with a formation window, drop-on-expiry,
+/// tight admission, seeded stochastic service and one scheduled migration.
+fn run_policy_with(policy: DispatchPolicy, reference_dispatch: bool) -> ServingReport {
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &config());
+    let mut fleet = mixed_fleet();
+    let handle = *fleet.deployments().next().expect("fleet has deployments");
+    let spare = (0..BOARDS as u32)
+        .map(cluster::NodeId)
+        .find(|node| fleet.node(*node).map(|n| n.manager().vnpu_count()) == Some(0))
+        .unwrap_or(cluster::NodeId(BOARDS as u32 - 1));
+    let mut options = ServingOptions::new(policy)
+        .with_admission(AdmissionControl {
+            max_queue_depth: 12,
+        })
+        .with_batching(4)
+        .with_batch_wait(service / 2)
+        .with_drop_expired()
+        .with_stochastic(StochasticService::seeded(SEED).with_cv(0.25))
+        .with_migration(Cycles(service * 3), handle.handle, spare);
+    if reference_dispatch {
+        options = options.with_reference_dispatch();
+    }
+    ClusterServingSim::new(options).run(&mut fleet, &mixed_trace())
+}
+
+fn run_policy(policy: DispatchPolicy) -> ServingReport {
+    run_policy_with(policy, false)
+}
+
+/// The fig30-style closed-loop scenario: a diurnal day served by the
+/// target-tracking autoscaler growing and shrinking the fleet.
+fn run_autopilot_with(reference_dispatch: bool) -> ServingReport {
+    let npu = config();
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &npu);
+    let effective = estimated_batch_service_cycles(ModelId::Mnist, 4, 2, 2, &npu) as f64 / 4.0;
+    let horizon = service * 400;
+    let interval = horizon / 80;
+    let spec = DeploySpec::replica(ModelId::Mnist, 2, 2).with_memory(32 << 20, 1 << 30);
+    let mut fleet = NpuCluster::homogeneous(BOARDS, &npu);
+    for _ in 0..2 {
+        fleet
+            .deploy(spec, PlacementPolicy::TopologyAware)
+            .expect("capacity for the starting fleet");
+    }
+    let peak_mean = (effective / (6.0 * 0.7)).max(1.0) as u64;
+    let trace = DiurnalTrace::new(vec![(ModelId::Mnist, peak_mean)], horizon)
+        .with_trough_to_peak(0.2)
+        .generate(SEED)
+        .with_model_qos(
+            ModelId::Mnist,
+            QosSpec::new(Some(Cycles(service * 10)), PriorityClass::Interactive),
+        );
+    let mut pilot = Autopilot::new().with_model(ScalingSpec::new(
+        spec,
+        2,
+        8,
+        AutoscalePolicy::TargetTracking(
+            TargetTracking::new(4.0, interval * 2).with_max_miss_rate(0.025),
+        ),
+    ));
+    let mut options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+        .with_batching(4)
+        .with_telemetry(interval);
+    if reference_dispatch {
+        options = options.with_reference_dispatch();
+    }
+    ClusterServingSim::new(options).run_with_controller(&mut fleet, &trace, &mut pilot)
+}
+
+fn run_autopilot() -> ServingReport {
+    run_autopilot_with(false)
+}
+
+/// Digests locked on the pre-optimization event loop. The refactored path
+/// must reproduce every one bit-for-bit.
+const GOLDEN: &[(&str, u64)] = &[
+    ("round-robin", 0xb6a61236664ed29c),
+    ("least-loaded", 0x1987fc87a7ecc081),
+    ("locality", 0x366202416597f092),
+    ("edf", 0x2373fa11ed9e3a67),
+    ("autopilot-diurnal", 0x3985752d05691200),
+];
+
+fn expected(name: &str) -> u64 {
+    GOLDEN
+        .iter()
+        .find(|(label, _)| *label == name)
+        .map(|(_, digest)| *digest)
+        .expect("scenario is locked")
+}
+
+fn check(name: &str, report: &ServingReport) {
+    let got = digest(report);
+    if std::env::var("NEU10_PRINT_GOLDEN").is_ok() {
+        println!("GOLDEN (\"{name}\", 0x{got:016x}),");
+        return;
+    }
+    assert_eq!(
+        got,
+        expected(name),
+        "{name}: serving digest drifted from the pre-refactor golden value \
+         (got 0x{got:016x})"
+    );
+}
+
+#[test]
+fn policy_reports_match_pre_refactor_golden_digests() {
+    for policy in DispatchPolicy::all() {
+        let report = run_policy(policy);
+        // Sanity: the scenario genuinely exercises the serving machinery.
+        assert!(report.stats.completed > 0, "{}", policy.label());
+        assert!(report.batches > 0, "{}", policy.label());
+        assert_eq!(report.migrations.len(), 1, "{}", policy.label());
+        check(policy.label(), &report);
+    }
+}
+
+#[test]
+fn policy_reports_are_seed_reproducible() {
+    for policy in DispatchPolicy::all() {
+        let first = run_policy(policy);
+        let second = run_policy(policy);
+        assert_eq!(
+            first,
+            second,
+            "{}: same seed must reproduce an identical report",
+            policy.label()
+        );
+    }
+}
+
+#[test]
+fn autopilot_scenario_matches_pre_refactor_golden_digest() {
+    let report = run_autopilot();
+    assert!(
+        report.control.scale_ups > 0,
+        "the ramp must trigger scale-ups"
+    );
+    assert!(report.control.samples > 0);
+    check("autopilot-diurnal", &report);
+}
+
+#[test]
+fn autopilot_scenario_is_seed_reproducible() {
+    let first = run_autopilot();
+    let second = run_autopilot();
+    assert_eq!(
+        first, second,
+        "the same seed must reproduce the identical autopilot report"
+    );
+}
+
+/// The indexed dispatch path must be decision-for-decision identical to the
+/// per-arrival candidate rebuild it replaced — full `ServingReport` equality
+/// (perf counters included) on every policy and on the closed-loop scenario.
+#[test]
+fn indexed_dispatch_matches_the_reference_rebuild() {
+    for policy in DispatchPolicy::all() {
+        let indexed = run_policy_with(policy, false);
+        let reference = run_policy_with(policy, true);
+        assert_eq!(
+            indexed,
+            reference,
+            "{}: indexed and reference dispatch must produce identical reports",
+            policy.label()
+        );
+    }
+    let indexed = run_autopilot_with(false);
+    let reference = run_autopilot_with(true);
+    assert_eq!(
+        indexed, reference,
+        "autopilot: indexed and reference dispatch must produce identical reports"
+    );
+}
