@@ -4,10 +4,12 @@
 //! free MEs/VEs/SRAM/HBM are scattered in slivers across every board, so the
 //! fleet *in aggregate* could host another vNPU but **no single board can**
 //! — and the next scale-up fails even though capacity exists. The
-//! defragmenter watches for exactly that state and issues **cold
+//! defragmenter watches for exactly that state and issues **consolidation
 //! migrations** ([`cluster::ControlAction::Migrate`], priced by the run's
 //! [`cluster::MigrationCostModel`] and therefore by the interconnect) that
-//! consolidate free capacity back into a board-sized hole.
+//! pack free capacity back into a board-sized hole — cold by default, or
+//! live pre-copy ([`Defragmenter::with_mode`]) so the migrant keeps serving
+//! and continuous defragmentation stays affordable.
 //!
 //! The planner is deliberately conservative: it only acts when the fleet is
 //! fragmented with respect to its *target shape* (the canonical vNPU it must
@@ -18,7 +20,8 @@
 //! begins.
 
 use cluster::{
-    ControlAction, DeploySpec, NodeInventory, NpuCluster, ResourceDemand, TelemetryFrame,
+    ControlAction, DeploySpec, MigrationMode, NodeInventory, NpuCluster, ResourceDemand,
+    TelemetryFrame,
 };
 
 /// Detects fragmentation and plans consolidation migrations.
@@ -30,17 +33,22 @@ pub struct Defragmenter {
     pub cooldown: u64,
     /// Most migrations issued per telemetry tick.
     pub max_moves_per_tick: usize,
+    /// How consolidation moves migrate state. Live pre-copy keeps the
+    /// migrant serving through the transfer, which is what makes running the
+    /// defragmenter continuously affordable.
+    pub mode: MigrationMode,
     last_move_at: Option<u64>,
 }
 
 impl Defragmenter {
     /// A defragmenter keeping one `target`-shaped hole available, moving at
-    /// most one replica per tick.
+    /// most one replica per tick by cold migration.
     pub fn new(target: DeploySpec, cooldown: u64) -> Self {
         Defragmenter {
             target,
             cooldown,
             max_moves_per_tick: 1,
+            mode: MigrationMode::Cold,
             last_move_at: None,
         }
     }
@@ -48,6 +56,13 @@ impl Defragmenter {
     /// Overrides the per-tick migration budget.
     pub fn with_max_moves(mut self, moves: usize) -> Self {
         self.max_moves_per_tick = moves.max(1);
+        self
+    }
+
+    /// Selects how consolidation moves migrate state (live pre-copy makes
+    /// continuous defragmentation cheap: the migrant keeps serving).
+    pub fn with_mode(mut self, mode: MigrationMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -164,6 +179,7 @@ impl Defragmenter {
                 moves.push(ControlAction::Migrate {
                     handle: replica.handle,
                     to: dest_node,
+                    mode: self.mode,
                 });
                 self.last_move_at = Some(now);
                 // Deduct the planned move from the working inventories.
@@ -289,14 +305,31 @@ mod tests {
         let moves = defrag.plan(&frame, &fleet);
         assert_eq!(moves.len(), 1, "one move suffices to open a hole");
         match moves[0] {
-            ControlAction::Migrate { handle, to } => {
+            ControlAction::Migrate { handle, to, mode } => {
                 assert!(handles.contains(&handle));
                 assert_ne!(handle.node, to, "the migrant changes boards");
+                assert_eq!(mode, MigrationMode::Cold, "cold is the default");
             }
             ref other => panic!("expected a migration, got {other:?}"),
         }
         // The cooldown gates an immediate second plan.
         assert!(defrag.plan(&frame, &fleet).is_empty());
+    }
+
+    #[test]
+    fn with_mode_plans_live_migrations() {
+        let (fleet, _) = fragmented_fleet();
+        let whole_board = DeploySpec::replica(ModelId::Bert, 4, 4);
+        let mut defrag = Defragmenter::new(whole_board, 500_000).with_mode(MigrationMode::PreCopy);
+        let moves = defrag.plan(&frame_for(&fleet), &fleet);
+        assert_eq!(moves.len(), 1);
+        assert!(matches!(
+            moves[0],
+            ControlAction::Migrate {
+                mode: MigrationMode::PreCopy,
+                ..
+            }
+        ));
     }
 
     #[test]

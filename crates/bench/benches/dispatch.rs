@@ -2,6 +2,15 @@
 //! per-arrival candidate rebuild it replaced, measured through the full
 //! serving loop on a replica-dense fleet (the regime where the rebuild's
 //! O(replicas²)-per-arrival cost dominates).
+//!
+//! The bench also runs under a counting allocator and verifies the telemetry
+//! sampling path is allocation-free at steady state: a run with dense
+//! sampling must not allocate once per tick on top of the identical
+//! telemetry-off run (the regression `telemetry::sample()` used to have —
+//! fresh frame vectors and model maps every tick).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -11,6 +20,33 @@ use cluster::{
 };
 use npu_sim::NpuConfig;
 use workloads::{ClusterTrace, ModelId};
+
+/// The system allocator behind a heap-allocation counter, so the bench can
+/// assert allocation budgets instead of eyeballing profiles.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is a relaxed atomic
+// with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 const BOARDS: usize = 8;
 const REPLICAS: usize = 64;
@@ -51,7 +87,46 @@ fn trace() -> ClusterTrace {
     ClusterTrace::poisson(&streams, ARRIVALS_PER_MODEL, 11)
 }
 
+/// Asserts the telemetry sampling path allocates nothing per tick at steady
+/// state: the allocation delta between a densely-sampled run and the
+/// identical telemetry-off run must stay far below one allocation per tick.
+fn verify_telemetry_sampling_is_allocation_free() {
+    let trace = trace();
+    let npu = NpuConfig::tpu_v4_like();
+    let interval =
+        (estimated_batch_service_cycles(ModelId::Mnist, MAX_BATCH, 2, 2, &npu) * 4).max(1);
+    let run = |telemetry: bool| {
+        let mut fleet = fleet();
+        let mut options = ServingOptions::new(DispatchPolicy::LeastLoaded).with_batching(MAX_BATCH);
+        if telemetry {
+            options = options.with_telemetry(interval);
+        }
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
+        let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        (allocations, report)
+    };
+    let (base_allocations, base) = run(false);
+    let (sampled_allocations, sampled) = run(true);
+    let ticks = sampled.control.samples as u64;
+    assert!(ticks > 100, "the scenario must sample densely ({ticks})");
+    assert_eq!(base.stats.completed, sampled.stats.completed);
+    let delta = sampled_allocations.saturating_sub(base_allocations);
+    // Warm-up allocates the frame scratch, the per-model windows and their
+    // sample buffers — a small constant. Per-tick steady state must be free:
+    // anything growing with the tick count is the old regression.
+    assert!(
+        delta < ticks / 2,
+        "telemetry sampling must not allocate per tick: \
+         {delta} extra allocations over {ticks} ticks"
+    );
+    println!(
+        "telemetry-alloc: {delta} extra allocations over {ticks} ticks (allocation-free steady state)"
+    );
+}
+
 fn bench_dispatch(c: &mut Criterion) {
+    verify_telemetry_sampling_is_allocation_free();
     let trace = trace();
     let mut group = c.benchmark_group("dispatch");
     group.sample_size(10);

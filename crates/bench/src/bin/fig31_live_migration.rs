@@ -1,0 +1,290 @@
+//! Fig. 31 (extension): the live-migration downtime frontier.
+//!
+//! Sweeps **dirty rate × link bandwidth × queue load** over one loaded
+//! replica migrating to a spare board, comparing [`MigrationMode::Cold`]
+//! (drain → full-state dark window → resume) against
+//! [`MigrationMode::PreCopy`] (iterative copy rounds while serving, then a
+//! residual stop-and-copy):
+//!
+//! * **dirty rate** — a read-mostly tenant (weights dominate, ~2% of HBM
+//!   traffic writes resident state) vs a write-heavy one (KV-cache-class,
+//!   ~45%), through the cost model's [`DirtyRateModel`];
+//! * **link bandwidth** — TPUv4 ICI (50 GB/s), RDMA-100G (12.5 GB/s) and a
+//!   slow 2 GB/s path where the dirty rate can outrun the copy loop;
+//! * **queue load** — a lightly and a heavily loaded source replica (load
+//!   drives how much state the served requests re-dirty per round).
+//!
+//! Output columns: profile, link, load, mode, downtime (cycles), copy rounds,
+//! MiB streamed while serving, completed requests, p99. The run asserts the
+//! claims the figure exists to make: on a read-mostly workload pre-copy
+//! downtime is **≥10× below cold at matched throughput** on every link; when
+//! the dirty rate outruns the slow link the loop detects non-convergence and
+//! **falls back gracefully** to a cold-sized stop-and-copy (nothing lost);
+//! and the same seed reproduces identical reports, `MigrationStats`
+//! included.
+
+use cluster::{
+    estimated_batch_service_cycles, ClusterServingSim, DeploySpec, DirtyRateModel, DispatchPolicy,
+    MigrationCostModel, MigrationMode, NodeId, NpuCluster, PlacementPolicy, PreCopyConfig,
+    ServingOptions, ServingReport,
+};
+use npu_sim::{Cycles, InterconnectConfig, NpuConfig};
+use workloads::{ClusterTrace, ModelId};
+
+const MODEL: ModelId = ModelId::Mnist;
+const REPLICA_MES: usize = 2;
+const REPLICA_VES: usize = 2;
+const REPLICA_SRAM: u64 = 32 << 20;
+const REPLICA_HBM: u64 = 2 << 30;
+const MAX_BATCH: usize = 4;
+const SEED: u64 = 3131;
+
+struct DirtyProfile {
+    name: &'static str,
+    write_fraction: f64,
+}
+
+struct Link {
+    name: &'static str,
+    interconnect: InterconnectConfig,
+}
+
+fn links() -> Vec<Link> {
+    vec![
+        Link {
+            name: "ici-50GBps",
+            interconnect: InterconnectConfig::tpu_v4_ici(),
+        },
+        Link {
+            name: "rdma-12.5GBps",
+            interconnect: InterconnectConfig::rdma_100g(),
+        },
+        Link {
+            name: "slow-2GBps",
+            interconnect: InterconnectConfig::tpu_v4_ici().with_bandwidth(2.0e9),
+        },
+    ]
+}
+
+fn dirty_profiles() -> Vec<DirtyProfile> {
+    vec![
+        DirtyProfile {
+            name: "read-mostly",
+            write_fraction: 0.02,
+        },
+        DirtyProfile {
+            name: "write-heavy",
+            write_fraction: 0.45,
+        },
+    ]
+}
+
+fn cost_model(link: &Link, profile: &DirtyProfile) -> MigrationCostModel {
+    MigrationCostModel::default()
+        .with_interconnect(link.interconnect.clone())
+        .with_precopy(
+            PreCopyConfig::default().with_dirty_rate(
+                DirtyRateModel::default().with_write_fraction(profile.write_fraction),
+            ),
+        )
+}
+
+/// One migration cell: a loaded replica on one board, a spare board, the
+/// migration triggered once the queue has formed.
+fn run_cell(
+    mode: MigrationMode,
+    link: &Link,
+    profile: &DirtyProfile,
+    load: f64,
+    arrivals: usize,
+    npu: &NpuConfig,
+) -> ServingReport {
+    let mut fleet = NpuCluster::homogeneous(2, npu);
+    let handle = fleet
+        .deploy(
+            DeploySpec::replica(MODEL, REPLICA_MES, REPLICA_VES)
+                .with_memory(REPLICA_SRAM, REPLICA_HBM),
+            PlacementPolicy::BestFit,
+        )
+        .expect("capacity for the migrating replica");
+    let spare = NodeId(if handle.node.0 == 0 { 1 } else { 0 });
+
+    let effective = estimated_batch_service_cycles(MODEL, MAX_BATCH, REPLICA_MES, REPLICA_VES, npu)
+        as f64
+        / MAX_BATCH as f64;
+    let mean_gap = (effective / load).max(1.0) as u64;
+    let trace = ClusterTrace::poisson(&[(MODEL, mean_gap)], arrivals, SEED);
+    // Trigger once the stream is established; the window spans many rounds.
+    let at = Cycles(mean_gap * (arrivals as u64 / 8).max(1));
+
+    let mut options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+        .with_batching(MAX_BATCH)
+        .with_admission(cluster::AdmissionControl {
+            max_queue_depth: 100_000,
+        })
+        .with_cost_model(cost_model(link, profile));
+    options = match mode {
+        MigrationMode::Cold => options.with_migration(at, handle, spare),
+        MigrationMode::PreCopy => options.with_live_migration(at, handle, spare),
+    };
+    ClusterServingSim::new(options).run(&mut fleet, &trace)
+}
+
+fn print_row(
+    profile: &DirtyProfile,
+    link: &Link,
+    load: f64,
+    mode: MigrationMode,
+    report: &ServingReport,
+) {
+    let record = &report.migrations[0];
+    println!(
+        "{:<12} {:<14} {:>4.2} {:<9} {:>13} {:>7} {:>12.1} {:>10} {:>12} {:>10}",
+        profile.name,
+        link.name,
+        load,
+        mode.label(),
+        record.downtime().get(),
+        record.precopy_rounds,
+        record.precopy_bytes as f64 / (1 << 20) as f64,
+        report.stats.completed,
+        report.latency.p99,
+        if record.converged {
+            "converged"
+        } else {
+            "fallback"
+        },
+    );
+}
+
+fn main() {
+    let npu = NpuConfig::single_core();
+    bench::print_simulator_config(&npu);
+    let arrivals = 120 * bench::target_requests();
+
+    println!("# Fig. 31: live pre-copy vs cold migration — the downtime frontier");
+    println!(
+        "# (1 migrating {MODEL:?} replica @ {REPLICA_MES}ME+{REPLICA_VES}VE, {} GiB resident state, batch {MAX_BATCH}, {arrivals} arrivals)",
+        REPLICA_HBM >> 30
+    );
+    println!(
+        "{:<12} {:<14} {:>4} {:<9} {:>13} {:>7} {:>12} {:>10} {:>12} {:>10}",
+        "dirty",
+        "link",
+        "load",
+        "mode",
+        "downtime_cyc",
+        "rounds",
+        "precopy_MiB",
+        "completed",
+        "p99",
+        "outcome"
+    );
+
+    let mut read_mostly_checked = 0usize;
+    for profile in dirty_profiles() {
+        for link in links() {
+            for load in [0.35, 0.8] {
+                let cold = run_cell(MigrationMode::Cold, &link, &profile, load, arrivals, &npu);
+                let live = run_cell(
+                    MigrationMode::PreCopy,
+                    &link,
+                    &profile,
+                    load,
+                    arrivals,
+                    &npu,
+                );
+                assert_eq!(cold.migrations.len(), 1, "the cold migration executed");
+                assert_eq!(live.migrations.len(), 1, "the live migration executed");
+                print_row(&profile, &link, load, MigrationMode::Cold, &cold);
+                print_row(&profile, &link, load, MigrationMode::PreCopy, &live);
+
+                let cold_downtime = cold.migrations[0].downtime().get();
+                let live_downtime = live.migrations[0].downtime().get();
+                // Matched throughput: both modes complete the whole stream.
+                assert_eq!(
+                    cold.stats.completed, live.stats.completed,
+                    "{} {} {load}: both modes must serve the full stream",
+                    profile.name, link.name
+                );
+                if profile.name == "read-mostly" {
+                    // The figure's headline: pre-copy cuts the dark window at
+                    // least an order of magnitude on read-mostly tenants.
+                    assert!(
+                        live_downtime * 10 <= cold_downtime,
+                        "{} {} {load}: pre-copy must be >=10x below cold ({live_downtime} vs {cold_downtime})",
+                        profile.name,
+                        link.name
+                    );
+                    assert!(live.migrations[0].converged);
+                    read_mostly_checked += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        read_mostly_checked >= 6,
+        "every read-mostly cell must clear the 10x bar"
+    );
+
+    // The non-convergence corner needs its own sizing: the dirty rate only
+    // outruns the link while traffic keeps flowing, so the trace must span
+    // the full-state copy round. A write-heavy tenant at 0.8 load dirties
+    // ~5x what the 2 GB/s link drains per cycle — the copy loop cannot
+    // converge and must fall back to a cold-sized stop-and-copy.
+    let slow = &links()[2];
+    let heavy = &dirty_profiles()[1];
+    let fallback_arrivals = 20_000;
+    let cold = run_cell(
+        MigrationMode::Cold,
+        slow,
+        heavy,
+        0.8,
+        fallback_arrivals,
+        &npu,
+    );
+    let live = run_cell(
+        MigrationMode::PreCopy,
+        slow,
+        heavy,
+        0.8,
+        fallback_arrivals,
+        &npu,
+    );
+    print_row(heavy, slow, 0.8, MigrationMode::Cold, &cold);
+    print_row(heavy, slow, 0.8, MigrationMode::PreCopy, &live);
+    assert!(
+        !live.migrations[0].converged,
+        "the sustained write-heavy stream must outrun the slow link"
+    );
+    assert_eq!(live.migration_stats.precopy_fallbacks, 1);
+    assert_eq!(
+        live.stats.completed, live.stats.admitted,
+        "the fallback loses nothing"
+    );
+    // Graceful: the fallback stop-and-copy stays in the cold ballpark
+    // instead of looping forever.
+    let live_downtime = live.migrations[0].downtime().get();
+    let cold_downtime = cold.migrations[0].downtime().get();
+    assert!(
+        live_downtime <= cold_downtime * 2,
+        "fallback downtime must stay cold-sized ({live_downtime} vs {cold_downtime})"
+    );
+
+    // Determinism: the sweep's claims reproduce bit-for-bit from the seed,
+    // MigrationStats included.
+    let profile = &dirty_profiles()[0];
+    let link = &links()[0];
+    let first = run_cell(MigrationMode::PreCopy, link, profile, 0.8, arrivals, &npu);
+    let second = run_cell(MigrationMode::PreCopy, link, profile, 0.8, arrivals, &npu);
+    assert_eq!(
+        first, second,
+        "the same seed must reproduce an identical report"
+    );
+    assert_eq!(first.migration_stats, second.migration_stats);
+    println!();
+    println!(
+        "# read-mostly pre-copy beat cold >=10x in {read_mostly_checked}/{read_mostly_checked} cells; \
+         sustained write-heavy over the slow link fell back to cold gracefully; rerun identical (deterministic)"
+    );
+}

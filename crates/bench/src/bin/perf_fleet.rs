@@ -17,9 +17,12 @@
 //! The results land in `BENCH_serving.json` (override with
 //! `NEU10_BENCH_OUT`), one scenario object per line so the baseline check
 //! can parse it without a JSON library. With `NEU10_BENCH_BASELINE=<path>`
-//! the harness compares wall times against a checked-in baseline and emits a
-//! GitHub-style `::warning::` (never a failure) when a scenario regresses
-//! more than 2×. With `NEU10_PERF_COMPARE=1` the `steady` and `fleet-1m`
+//! the harness compares wall times against a checked-in baseline: a >2×
+//! regression emits a GitHub-style `::warning::`, a **>3× regression fails
+//! the run** (both behind a 50 ms absolute floor so smoke-scale scenarios
+//! don't trip on scheduler noise), and when CI provides
+//! `$GITHUB_STEP_SUMMARY` the before/after table is rendered there. With
+//! `NEU10_PERF_COMPARE=1` the `steady` and `fleet-1m`
 //! scenarios are additionally re-run on the pre-index reference dispatch
 //! path ([`ServingOptions::with_reference_dispatch`]); the reports are
 //! asserted identical and the speedup is printed and recorded.
@@ -331,46 +334,127 @@ fn extract_field(line: &str, key: &str) -> Option<String> {
     Some(rest[..end].trim().trim_matches('"').to_string())
 }
 
-/// Warns (never fails) when a scenario's wall time regressed more than 2×
-/// against the checked-in baseline.
-fn check_baseline(baseline_path: &str, measurements: &[Measurement]) {
-    let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
+/// One scenario's before/after comparison against the checked-in baseline.
+struct BaselineRow {
+    name: &'static str,
+    baseline_wall_ms: Option<f64>,
+    wall_ms: f64,
+}
+
+impl BaselineRow {
+    fn ratio(&self) -> Option<f64> {
+        self.baseline_wall_ms
+            .filter(|b| *b > 0.0)
+            .map(|b| self.wall_ms / b)
+    }
+
+    /// A regression only counts once it clears both the relative budget and
+    /// the 50 ms absolute floor, so millisecond-scale smoke scenarios don't
+    /// trip on scheduler noise.
+    fn exceeds(&self, budget: f64) -> bool {
+        match self.baseline_wall_ms {
+            Some(baseline) => self.wall_ms > budget * baseline && self.wall_ms - baseline > 50.0,
+            None => false,
+        }
+    }
+
+    fn status(&self) -> &'static str {
+        if self.exceeds(3.0) {
+            "FAIL (>3x)"
+        } else if self.exceeds(2.0) {
+            "warn (>2x)"
+        } else if self.baseline_wall_ms.is_some() {
+            "ok"
+        } else {
+            "no baseline"
+        }
+    }
+}
+
+/// Compares wall times against the checked-in baseline. A >2× regression
+/// warns; a >3× regression (past the 50 ms floor) **fails the run** — the CI
+/// perf job is a gate, not a suggestion. Returns the comparison rows and
+/// whether the gate tripped.
+fn check_baseline(baseline_path: &str, measurements: &[Measurement]) -> (Vec<BaselineRow>, bool) {
+    let baseline = std::fs::read_to_string(baseline_path).unwrap_or_else(|_| {
         println!("# baseline {baseline_path} not readable; skipping regression check");
-        return;
-    };
+        String::new()
+    });
+    let mut rows = Vec::new();
+    let mut gate_tripped = false;
     for measurement in measurements {
-        let Some(line) = baseline
+        let baseline_wall = baseline
             .lines()
             .find(|line| extract_field(line, "name").as_deref() == Some(measurement.name))
-        else {
-            println!(
-                "# baseline has no scenario {:?}; skipping its regression check",
-                measurement.name
-            );
-            continue;
+            .and_then(|line| extract_field(line, "wall_ms"))
+            .and_then(|value| value.parse::<f64>().ok());
+        let row = BaselineRow {
+            name: measurement.name,
+            baseline_wall_ms: baseline_wall,
+            wall_ms: measurement.wall_ms,
         };
-        let Some(baseline_wall) =
-            extract_field(line, "wall_ms").and_then(|value| value.parse::<f64>().ok())
-        else {
-            continue;
-        };
-        // Sub-2x is in budget; additionally require 50 ms of absolute growth
-        // so millisecond-scale smoke scenarios don't warn on scheduler noise.
-        if baseline_wall > 0.0
-            && measurement.wall_ms > 2.0 * baseline_wall
-            && measurement.wall_ms - baseline_wall > 50.0
-        {
-            println!(
+        match row.baseline_wall_ms {
+            Some(before) if row.exceeds(3.0) => {
+                gate_tripped = true;
+                println!(
+                    "::error::perf_fleet: scenario {} wall time regressed >3x \
+                     ({:.1} ms vs baseline {:.1} ms) — failing the perf gate",
+                    row.name, row.wall_ms, before
+                );
+            }
+            Some(before) if row.exceeds(2.0) => println!(
                 "::warning::perf_fleet: scenario {} wall time regressed >2x \
                  ({:.1} ms vs baseline {:.1} ms)",
-                measurement.name, measurement.wall_ms, baseline_wall
-            );
-        } else {
-            println!(
-                "# {}: {:.1} ms vs baseline {:.1} ms (within 2x budget)",
-                measurement.name, measurement.wall_ms, baseline_wall
-            );
+                row.name, row.wall_ms, before
+            ),
+            Some(before) => println!(
+                "# {}: {:.1} ms vs baseline {:.1} ms (within budget)",
+                row.name, row.wall_ms, before
+            ),
+            None => println!(
+                "# baseline has no scenario {:?}; skipping its regression check",
+                row.name
+            ),
         }
+        rows.push(row);
+    }
+    (rows, gate_tripped)
+}
+
+/// Renders the before/after table into `$GITHUB_STEP_SUMMARY` (when CI sets
+/// it), so the perf comparison is readable from the job page instead of
+/// buried in the log.
+fn write_step_summary(rows: &[BaselineRow]) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let mut table = String::from(
+        "## Serving perf smoke (`perf_fleet`)\n\n\
+         | scenario | baseline wall_ms | current wall_ms | ratio | status |\n\
+         |---|---:|---:|---:|---|\n",
+    );
+    for row in rows {
+        table.push_str(&format!(
+            "| {} | {} | {:.1} | {} | {} |\n",
+            row.name,
+            row.baseline_wall_ms
+                .map(|b| format!("{b:.1}"))
+                .unwrap_or_else(|| "—".into()),
+            row.wall_ms,
+            row.ratio()
+                .map(|r| format!("{r:.2}x"))
+                .unwrap_or_else(|| "—".into()),
+            row.status(),
+        ));
+    }
+    table.push_str("\nGate: fail on >3x wall-time regression (50 ms floor); warn on >2x.\n");
+    use std::io::Write;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(&path)
+    {
+        let _ = file.write_all(table.as_bytes());
     }
 }
 
@@ -460,10 +544,15 @@ fn main() {
         measurements.push(measurement);
     }
 
-    if let Ok(baseline) = std::env::var("NEU10_BENCH_BASELINE") {
-        check_baseline(&baseline, &measurements);
-    }
-
     write_json(&out, &measurements);
     println!("# wrote {out}");
+
+    if let Ok(baseline) = std::env::var("NEU10_BENCH_BASELINE") {
+        let (rows, gate_tripped) = check_baseline(&baseline, &measurements);
+        write_step_summary(&rows);
+        if gate_tripped {
+            eprintln!("perf gate: wall-time regression >3x against {baseline}");
+            std::process::exit(1);
+        }
+    }
 }

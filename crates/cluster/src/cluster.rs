@@ -221,6 +221,18 @@ impl NpuCluster {
         self.deployments.len()
     }
 
+    /// Bytes of SRAM + HBM state resident on a deployment — the volume a
+    /// migration must move. `None` for stale handles.
+    pub fn resident_state_bytes(&self, handle: VnpuHandle) -> Option<u64> {
+        let node = self.node(handle.node)?;
+        let placement = node.manager().placement(handle.vnpu)?;
+        let npu = node.npu_config();
+        Some(
+            placement.sram_segments as u64 * npu.sram_segment_bytes
+                + placement.hbm_segments as u64 * npu.hbm_segment_bytes,
+        )
+    }
+
     /// Replicas of `model` resident on `node`.
     pub fn replicas_on(&self, node: NodeId, model: ModelId) -> usize {
         self.deployments
@@ -358,8 +370,9 @@ impl NpuCluster {
             .ok_or(ClusterError::UnknownVnpu(handle))?;
         let src_npu = source.npu_config().clone();
         let context = VnpuContext::new(handle.vnpu, placement.mes, placement.ves);
-        let state_bytes = placement.sram_segments as u64 * src_npu.sram_segment_bytes
-            + placement.hbm_segments as u64 * src_npu.hbm_segment_bytes;
+        let state_bytes = self
+            .resident_state_bytes(handle)
+            .expect("placement resolved above");
 
         // Establish the destination placement first: if it is refused, the
         // source deployment is untouched and the handle stays valid.
@@ -410,15 +423,24 @@ impl NpuCluster {
             },
         );
 
+        // The record is priced as a cold stop-and-copy; the serving
+        // simulator's pre-copy path overwrites the mode, transfer window and
+        // round accounting after the switch-over.
         let record = MigrationRecord {
             source_vnpu: handle.vnpu,
             dest_vnpu,
             from: handle.node,
             to,
+            mode: crate::migration::MigrationMode::Cold,
             state_bytes,
             drain_cycles: drain_cycles.unwrap_or(cost.drain_grace_cycles),
             transfer_cycles: cost.transfer_cycles(state_bytes, src_npu.frequency).get(),
             remap_cycles: cost.remap_cycles,
+            precopy_rounds: 0,
+            round_bytes: Vec::new(),
+            precopy_bytes: 0,
+            precopy_cycles: 0,
+            converged: true,
         };
         Ok(MigrationOutcome { record, context })
     }

@@ -19,10 +19,13 @@
 //!   per-replica **dynamic batching**, **request deadlines and priorities**
 //!   (miss counting, drop-on-expiry) and seeded **stochastic service times**
 //!   calibrated from `neu10::CollocationSim`;
-//! * [`migration`] — **cold vNPU migration** between nodes (drain → snapshot
-//!   the [`neu10::scheduler::VnpuContext`] → re-place → resume) with a cost
-//!   model built on [`npu_sim::InterconnectConfig`], charged to tenant
-//!   latency;
+//! * [`migration`] — **vNPU migration** between nodes, cold (drain → snapshot
+//!   the [`neu10::scheduler::VnpuContext`] → re-place → resume) or **live
+//!   pre-copy** (iterative copy rounds stream dirty HBM pages while the
+//!   source keeps serving; downtime shrinks to the residual stop-and-copy),
+//!   with a cost model built on [`npu_sim::InterconnectConfig`] and
+//!   page-granular dirty accounting ([`npu_sim::DirtySet`]), charged to
+//!   tenant latency;
 //! * [`telemetry`] — the **telemetry bus and control-plane hook**: with
 //!   [`ServingOptions::with_telemetry`] the serving simulator emits periodic
 //!   per-replica/per-model samples, and a [`ControlPlane`] (such as the
@@ -61,7 +64,10 @@ pub mod telemetry;
 
 pub use cluster::{ClusterError, DeploySpec, DeployedVnpu, NpuCluster, VnpuHandle};
 pub use inventory::{NodeInventory, ResourceDemand};
-pub use migration::{MigrationCostModel, MigrationOutcome, MigrationRecord};
+pub use migration::{
+    DirtyRateModel, MigrationCostModel, MigrationMode, MigrationOutcome, MigrationRecord,
+    MigrationStats, PreCopyConfig,
+};
 pub use node::ClusterNode;
 pub use placement::{rank_nodes, select_node, PlacementCandidate, PlacementPolicy};
 pub use router::{AdmissionControl, DispatchPolicy, ReplicaIndex, ReplicaView, RouterStats};

@@ -1,20 +1,169 @@
-//! Cold vNPU migration between nodes.
+//! vNPU migration between nodes: cold stop-and-copy and live pre-copy.
 //!
-//! A cold migration is drain → snapshot → transfer → re-place → resume: the
-//! vNPU stops accepting work, its in-flight request finishes (drain), its
+//! A **cold** migration is drain → snapshot → transfer → re-place → resume:
+//! the vNPU stops accepting work, its in-flight request finishes (drain), its
 //! architectural context ([`neu10::scheduler::VnpuContext`]) and resident
 //! SRAM + HBM state are streamed to the destination board over the
 //! interconnect, the destination's `PnpuMapper` re-places it, and serving
-//! resumes. The whole downtime is charged to the tenant's request latency by
-//! the serving simulator.
+//! resumes. The whole window is downtime, charged to tenant latency by the
+//! serving simulator.
+//!
+//! A **live pre-copy** migration ([`MigrationMode::PreCopy`]) streams the
+//! resident state *while the source keeps serving*: round 0 copies the full
+//! working set, and each further round copies only the pages dirtied since
+//! the previous round ([`npu_sim::DirtySet`]). How fast pages re-dirty is the
+//! [`DirtyRateModel`]: write-heavy state (LLM KV caches) dirties a large
+//! fraction of the per-request HBM traffic, read-mostly weights almost none —
+//! derived from the compiled [`neu10::TenantWorkload`] and
+//! [`workloads::ModelId::hbm_write_fraction`]. When the dirty set is small
+//! enough (or the loop stops converging — round cap, or the dirty set not
+//! shrinking because the dirty rate outruns link bandwidth) the vNPU stops
+//! for a final **stop-and-copy** whose downtime is just the residual delta
+//! plus the register/queue context — orders of magnitude below a cold
+//! transfer for read-mostly tenants.
 
 use neu10::scheduler::VnpuContext;
-use neu10::VnpuId;
-use npu_sim::{Cycles, Frequency, InterconnectConfig};
+use neu10::{IsaKind, TenantWorkload, VnpuId};
+use npu_sim::{Cycles, Frequency, InterconnectConfig, NpuConfig};
+use workloads::ModelId;
 
 use crate::NodeId;
 
-/// The knobs pricing one cold migration.
+/// How a migration moves the vNPU's state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MigrationMode {
+    /// Drain, go dark, stream everything, resume: the full state transfer is
+    /// downtime.
+    #[default]
+    Cold,
+    /// Iterative pre-copy: stream state while serving, stop only for the
+    /// residual dirty delta.
+    PreCopy,
+}
+
+impl MigrationMode {
+    /// A short stable label for tables and figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            MigrationMode::Cold => "cold",
+            MigrationMode::PreCopy => "pre-copy",
+        }
+    }
+}
+
+/// How fast a serving replica re-dirties its resident HBM state, per
+/// completed request.
+///
+/// The baseline rate is derived from the tenant's compiled workload: the
+/// per-request HBM traffic ([`TenantWorkload::total_hbm_bytes`]) times the
+/// model's write fraction ([`ModelId::hbm_write_fraction`]) — write-heavy KV
+/// state re-dirties fast, read-mostly weights barely at all. Sweeps can
+/// override the fraction or scale the rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirtyRateModel {
+    /// Overrides the model's write fraction (`None` uses
+    /// [`ModelId::hbm_write_fraction`]).
+    pub write_fraction_override: Option<f64>,
+    /// Multiplier on the derived rate (sensitivity sweeps).
+    pub scale: f64,
+}
+
+impl Default for DirtyRateModel {
+    fn default() -> Self {
+        DirtyRateModel {
+            write_fraction_override: None,
+            scale: 1.0,
+        }
+    }
+}
+
+impl DirtyRateModel {
+    /// Forces the write fraction instead of deriving it from the model.
+    pub fn with_write_fraction(mut self, fraction: f64) -> Self {
+        self.write_fraction_override = Some(fraction.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Scales the derived rate (clamped non-negative).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = if scale.is_finite() {
+            scale.max(0.0)
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// Bytes of resident state one completed request dirties on `npu`,
+    /// derived from the workload compiled at the model's evaluation batch.
+    pub fn dirty_bytes_per_request(&self, model: ModelId, npu: &NpuConfig) -> u64 {
+        let fraction = self
+            .write_fraction_override
+            .unwrap_or_else(|| model.hbm_write_fraction())
+            .clamp(0.0, 1.0);
+        let workload = TenantWorkload::compile_cached(
+            model,
+            model.evaluation_batch_size(),
+            npu,
+            IsaKind::NeuIsa,
+        );
+        // The compile is per evaluation batch; a serving-trace request is one
+        // evaluation-batch pass, so the per-request traffic is the whole lot.
+        (workload.total_hbm_bytes() as f64 * fraction * self.scale).ceil() as u64
+    }
+}
+
+/// The knobs of the iterative pre-copy loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreCopyConfig {
+    /// Dirty-tracking page granularity.
+    pub page_bytes: u64,
+    /// Most copy rounds before forcing the stop-and-copy (round 0, the full
+    /// state copy, included).
+    pub max_rounds: u32,
+    /// A round must shrink the dirty set below this fraction of the previous
+    /// round's bytes, or the loop is declared non-converging and stops.
+    pub shrink_ratio: f64,
+    /// Stop-and-copy once the dirty set is at or below this fraction of the
+    /// resident state (floored at one page).
+    pub stop_fraction: f64,
+    /// The dirty-rate model pricing how fast serving re-dirties state.
+    pub dirty_rate: DirtyRateModel,
+}
+
+impl Default for PreCopyConfig {
+    fn default() -> Self {
+        PreCopyConfig {
+            page_bytes: 2 << 20,
+            max_rounds: 8,
+            shrink_ratio: 0.7,
+            stop_fraction: 0.01,
+            dirty_rate: DirtyRateModel::default(),
+        }
+    }
+}
+
+impl PreCopyConfig {
+    /// Overrides the dirty-rate model.
+    pub fn with_dirty_rate(mut self, dirty_rate: DirtyRateModel) -> Self {
+        self.dirty_rate = dirty_rate;
+        self
+    }
+
+    /// Overrides the round cap (at least the initial full copy).
+    pub fn with_max_rounds(mut self, rounds: u32) -> Self {
+        self.max_rounds = rounds.max(1);
+        self
+    }
+
+    /// The dirty-set size at which the loop stops and copies: a fraction of
+    /// the resident state, never below one page.
+    pub fn stop_copy_bytes(&self, state_bytes: u64) -> u64 {
+        ((state_bytes as f64 * self.stop_fraction.clamp(0.0, 1.0)) as u64).max(self.page_bytes)
+    }
+}
+
+/// The knobs pricing one migration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MigrationCostModel {
     /// The board-to-board link state is streamed over.
@@ -26,6 +175,13 @@ pub struct MigrationCostModel {
     /// Fixed cycles for tearing down and re-establishing the mapping
     /// (segment tables, IOMMU entries, vDev MMIO state).
     pub remap_cycles: u64,
+    /// Bytes of architectural context (register file snapshot, scheduler
+    /// position, queue state) that always move in the stop-and-copy window,
+    /// however clean the HBM state is.
+    pub context_bytes: u64,
+    /// The iterative-copy loop configuration used by
+    /// [`MigrationMode::PreCopy`].
+    pub precopy: PreCopyConfig,
 }
 
 impl Default for MigrationCostModel {
@@ -34,6 +190,8 @@ impl Default for MigrationCostModel {
             interconnect: InterconnectConfig::tpu_v4_ici(),
             drain_grace_cycles: 100_000,
             remap_cycles: 50_000,
+            context_bytes: 256 << 10,
+            precopy: PreCopyConfig::default(),
         }
     }
 }
@@ -42,6 +200,18 @@ impl MigrationCostModel {
     /// Cycles to stream `state_bytes` of vNPU state across the interconnect.
     pub fn transfer_cycles(&self, state_bytes: u64, frequency: Frequency) -> Cycles {
         self.interconnect.transfer_cycles(state_bytes, frequency)
+    }
+
+    /// Overrides the interconnect link.
+    pub fn with_interconnect(mut self, interconnect: InterconnectConfig) -> Self {
+        self.interconnect = interconnect;
+        self
+    }
+
+    /// Overrides the pre-copy loop configuration.
+    pub fn with_precopy(mut self, precopy: PreCopyConfig) -> Self {
+        self.precopy = precopy;
+        self
     }
 }
 
@@ -56,21 +226,102 @@ pub struct MigrationRecord {
     pub from: NodeId,
     /// Destination node.
     pub to: NodeId,
-    /// Bytes of SRAM + HBM state streamed.
+    /// How the state moved.
+    pub mode: MigrationMode,
+    /// Bytes of SRAM + HBM state resident on the vNPU.
     pub state_bytes: u64,
     /// Cycles spent draining the in-flight request.
     pub drain_cycles: u64,
-    /// Cycles spent streaming state over the interconnect.
+    /// Cycles the vNPU was dark for the state transfer: the full state for a
+    /// cold migration, only the residual dirty delta (plus context, plus any
+    /// wait for the contended link) for pre-copy.
     pub transfer_cycles: u64,
     /// Cycles spent re-establishing the mapping on the destination.
     pub remap_cycles: u64,
+    /// Copy rounds performed while serving (0 for cold; round 0, the full
+    /// state copy, included for pre-copy).
+    pub precopy_rounds: u32,
+    /// Bytes streamed per copy round while the source kept serving (empty
+    /// for cold).
+    pub round_bytes: Vec<u64>,
+    /// Total bytes streamed while serving (the sum of `round_bytes`).
+    pub precopy_bytes: u64,
+    /// Cycles the link spent on copy rounds while the source kept serving
+    /// (not downtime).
+    pub precopy_cycles: u64,
+    /// Whether the pre-copy loop converged below the stop threshold. `false`
+    /// means the dirty rate outran the link and the stop-and-copy fell back
+    /// to moving a cold-sized residual. Cold migrations are trivially
+    /// converged.
+    pub converged: bool,
 }
 
 impl MigrationRecord {
     /// Total downtime of the vNPU: the window during which no request can be
-    /// served, charged to tenant latency.
+    /// served, charged to tenant latency. Pre-copy rounds happen while
+    /// serving and are excluded.
     pub fn downtime(&self) -> Cycles {
         Cycles(self.drain_cycles + self.transfer_cycles + self.remap_cycles)
+    }
+}
+
+/// Aggregate migration accounting over one serving run, per mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Cold migrations executed.
+    pub cold: usize,
+    /// Pre-copy migrations executed.
+    pub precopy: usize,
+    /// Pre-copy migrations whose loop never converged (the stop-and-copy fell
+    /// back to a cold-sized residual).
+    pub precopy_fallbacks: usize,
+    /// Copy rounds executed across every pre-copy migration.
+    pub rounds: u64,
+    /// Bytes streamed while serving across every pre-copy migration.
+    pub precopy_bytes: u64,
+    /// Link cycles spent on copy rounds while serving.
+    pub precopy_cycles: u64,
+    /// Total downtime across every migration (both modes).
+    pub downtime_total: u64,
+    /// Largest single-migration downtime.
+    pub downtime_max: u64,
+}
+
+impl MigrationStats {
+    /// Folds the executed migration records into per-mode aggregates.
+    pub fn from_records(records: &[MigrationRecord]) -> Self {
+        let mut stats = MigrationStats::default();
+        for record in records {
+            match record.mode {
+                MigrationMode::Cold => stats.cold += 1,
+                MigrationMode::PreCopy => {
+                    stats.precopy += 1;
+                    if !record.converged {
+                        stats.precopy_fallbacks += 1;
+                    }
+                    stats.rounds += record.precopy_rounds as u64;
+                    stats.precopy_bytes += record.precopy_bytes;
+                    stats.precopy_cycles += record.precopy_cycles;
+                }
+            }
+            let downtime = record.downtime().get();
+            stats.downtime_total += downtime;
+            stats.downtime_max = stats.downtime_max.max(downtime);
+        }
+        stats
+    }
+
+    /// Migrations executed across both modes.
+    pub fn executed(&self) -> usize {
+        self.cold + self.precopy
+    }
+
+    /// Mean downtime per executed migration.
+    pub fn mean_downtime(&self) -> f64 {
+        if self.executed() == 0 {
+            return 0.0;
+        }
+        self.downtime_total as f64 / self.executed() as f64
     }
 }
 
@@ -88,19 +339,28 @@ pub struct MigrationOutcome {
 mod tests {
     use super::*;
 
-    #[test]
-    fn downtime_sums_every_phase() {
-        let record = MigrationRecord {
+    fn record(drain: u64, transfer: u64, remap: u64) -> MigrationRecord {
+        MigrationRecord {
             source_vnpu: VnpuId(0),
             dest_vnpu: VnpuId(1),
             from: NodeId(0),
             to: NodeId(1),
+            mode: MigrationMode::Cold,
             state_bytes: 1 << 30,
-            drain_cycles: 10,
-            transfer_cycles: 20,
-            remap_cycles: 30,
-        };
-        assert_eq!(record.downtime(), Cycles(60));
+            drain_cycles: drain,
+            transfer_cycles: transfer,
+            remap_cycles: remap,
+            precopy_rounds: 0,
+            round_bytes: Vec::new(),
+            precopy_bytes: 0,
+            precopy_cycles: 0,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn downtime_sums_every_phase() {
+        assert_eq!(record(10, 20, 30).downtime(), Cycles(60));
     }
 
     #[test]
@@ -112,5 +372,65 @@ mod tests {
         let fast = MigrationCostModel::default();
         let f = Frequency::from_mhz(1050.0);
         assert!(slow.transfer_cycles(8 << 30, f) > fast.transfer_cycles(8 << 30, f));
+    }
+
+    #[test]
+    fn dirty_rate_tracks_the_write_profile() {
+        let npu = NpuConfig::single_core();
+        let model = DirtyRateModel::default();
+        // An LLM-class write fraction dirties more than a read-mostly vision
+        // model on the same per-request traffic scale.
+        let heavy = DirtyRateModel::default().with_write_fraction(0.5);
+        let light = DirtyRateModel::default().with_write_fraction(0.01);
+        assert!(
+            heavy.dirty_bytes_per_request(ModelId::Mnist, &npu)
+                > light.dirty_bytes_per_request(ModelId::Mnist, &npu)
+        );
+        // The derived default follows the model's own profile.
+        assert!(
+            model.dirty_bytes_per_request(ModelId::Bert, &npu) > 0,
+            "NLP traffic must dirty some state"
+        );
+        // Scaling is linear-ish and clamps degenerate inputs.
+        let doubled = DirtyRateModel::default().with_scale(2.0);
+        assert!(
+            doubled.dirty_bytes_per_request(ModelId::Bert, &npu)
+                >= model.dirty_bytes_per_request(ModelId::Bert, &npu)
+        );
+        assert_eq!(DirtyRateModel::default().with_scale(f64::NAN).scale, 1.0);
+    }
+
+    #[test]
+    fn stop_copy_threshold_floors_at_one_page() {
+        let precopy = PreCopyConfig::default();
+        assert_eq!(
+            precopy.stop_copy_bytes(0),
+            precopy.page_bytes,
+            "an empty working set still stops at page granularity"
+        );
+        let big = precopy.stop_copy_bytes(100 << 30);
+        assert_eq!(big, (100u64 << 30) / 100);
+    }
+
+    #[test]
+    fn stats_aggregate_per_mode() {
+        let cold = record(10, 100, 5);
+        let mut live = record(2, 10, 5);
+        live.mode = MigrationMode::PreCopy;
+        live.precopy_rounds = 3;
+        live.round_bytes = vec![1 << 30, 1 << 20, 1 << 18];
+        live.precopy_bytes = live.round_bytes.iter().sum();
+        live.precopy_cycles = 9_999;
+        let mut fallback = live.clone();
+        fallback.converged = false;
+        let stats = MigrationStats::from_records(&[cold.clone(), live.clone(), fallback]);
+        assert_eq!(stats.cold, 1);
+        assert_eq!(stats.precopy, 2);
+        assert_eq!(stats.precopy_fallbacks, 1);
+        assert_eq!(stats.rounds, 6);
+        assert_eq!(stats.executed(), 3);
+        assert_eq!(stats.downtime_max, cold.downtime().get());
+        assert!(stats.mean_downtime() > 0.0);
+        assert_eq!(MigrationStats::default().mean_downtime(), 0.0);
     }
 }

@@ -25,10 +25,21 @@
 //! multi-tenant service-time noise rather than queueing alone. Runs are
 //! reproducible: the same seed yields an identical [`ServingReport`].
 //!
-//! Cold migrations can be scheduled mid-run; a migrating replica drains its
-//! in-flight batch, goes dark for the transfer + remap window, and resumes on
-//! the destination node — with the whole downtime charged to the latency of
-//! the requests queued behind it.
+//! Migrations can be scheduled mid-run in either [`MigrationMode`]. A **cold**
+//! migration drains its in-flight batch, goes dark for the full transfer +
+//! remap window, and resumes on the destination node — with the whole
+//! downtime charged to the latency of the requests queued behind it. A
+//! **live pre-copy** migration keeps the source replica serving (and
+//! dispatchable) while copy-round events stream its resident state over the
+//! interconnect — round 0 the full working set, each further round the pages
+//! the served requests re-dirtied, priced by the cost model's
+//! [`crate::migration::DirtyRateModel`]. Concurrent transfers over the same
+//! board-to-board link serialize (bandwidth contention is charged against
+//! the link). When the dirty set converges below the stop threshold — or
+//! stops shrinking because the dirty rate outruns the link — the replica
+//! stops for a final stop-and-copy whose downtime is just the residual delta
+//! plus the architectural context. [`ServingReport::migration_stats`]
+//! aggregates downtime, rounds and bytes per mode.
 //!
 //! The simulator is also the execution engine of the **autopilot control
 //! plane**: with [`ServingOptions::with_telemetry`] it emits a
@@ -47,13 +58,13 @@ use std::sync::Arc;
 use neu10::{
     calibrate_service_time, DeadlineStats, IsaKind, LatencySummary, MetricsWindow, TenantWorkload,
 };
-use npu_sim::{Cycles, NpuConfig, NpuConfigKey};
+use npu_sim::{Cycles, DirtySet, NpuConfig, NpuConfigKey};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use workloads::{ClusterTrace, ModelId, PriorityClass};
 
 use crate::cluster::{DeployedVnpu, NpuCluster, VnpuHandle};
-use crate::migration::{MigrationCostModel, MigrationRecord};
+use crate::migration::{MigrationCostModel, MigrationMode, MigrationRecord, MigrationStats};
 use crate::router::{
     AdmissionControl, DispatchDecision, DispatchPolicy, ReplicaIndex, ReplicaView, Router,
     RouterStats,
@@ -73,6 +84,8 @@ pub struct ScheduledMigration {
     pub handle: VnpuHandle,
     /// The destination node.
     pub to: NodeId,
+    /// How the state moves (cold stop-and-copy or live pre-copy).
+    pub mode: MigrationMode,
 }
 
 /// Seeded service-time dispersion settings.
@@ -169,9 +182,33 @@ impl ServingOptions {
         self
     }
 
-    /// Schedules a migration.
+    /// Schedules a cold migration.
     pub fn with_migration(mut self, at: Cycles, handle: VnpuHandle, to: NodeId) -> Self {
-        self.migrations.push(ScheduledMigration { at, handle, to });
+        self.migrations.push(ScheduledMigration {
+            at,
+            handle,
+            to,
+            mode: MigrationMode::Cold,
+        });
+        self
+    }
+
+    /// Schedules a live pre-copy migration: the replica keeps serving through
+    /// the copy rounds and goes dark only for the residual stop-and-copy.
+    pub fn with_live_migration(mut self, at: Cycles, handle: VnpuHandle, to: NodeId) -> Self {
+        self.migrations.push(ScheduledMigration {
+            at,
+            handle,
+            to,
+            mode: MigrationMode::PreCopy,
+        });
+        self
+    }
+
+    /// Overrides the migration cost model (interconnect link, pre-copy loop
+    /// and dirty-rate knobs).
+    pub fn with_cost_model(mut self, cost_model: MigrationCostModel) -> Self {
+        self.cost_model = cost_model;
         self
     }
 
@@ -260,6 +297,9 @@ pub struct ServingReport {
     pub batches: usize,
     /// The migrations that actually executed.
     pub migrations: Vec<MigrationRecord>,
+    /// Per-mode migration aggregates (downtime, copy rounds, bytes streamed
+    /// while serving) over `migrations`.
+    pub migration_stats: MigrationStats,
     /// Control-plane activity (telemetry ticks, scale-ups/downs, controller
     /// migrations); all-zero for open-loop runs.
     pub control: ControlStats,
@@ -319,6 +359,34 @@ impl QueuedRequest {
     }
 }
 
+/// The in-flight state of one live pre-copy migration: the dirty-page
+/// accounting over the replica's resident state, the copy-round history, and
+/// the convergence bookkeeping. Lives on the source replica from the request
+/// until the stop-and-copy switch-over.
+#[derive(Debug)]
+struct PreCopyFlight {
+    /// Destination node.
+    to: NodeId,
+    /// Page-granular dirty accounting; completions mark it, rounds drain it.
+    dirty: DirtySet,
+    /// Bytes one completed request re-dirties (write-heavy KV vs read-mostly
+    /// weights, from the cost model's dirty-rate model).
+    dirty_bytes_per_request: u64,
+    /// Copy rounds performed (round 0, the full-state copy, included).
+    rounds: u32,
+    /// Bytes streamed by the previous round (convergence signal).
+    last_round_bytes: u64,
+    /// Bytes streamed per round, for the record.
+    round_bytes: Vec<u64>,
+    /// Link cycles spent copying while the source kept serving.
+    precopy_cycles: u64,
+    /// The scheduled end of the in-flight round (stale-event guard).
+    round_ends_at: u64,
+    /// Whether the loop converged below the stop threshold (set at the
+    /// stop-and-copy decision; `false` = fallback to a cold-sized residual).
+    converged: bool,
+}
+
 #[derive(Debug)]
 struct ReplicaSim {
     handle: VnpuHandle,
@@ -334,6 +402,9 @@ struct ReplicaSim {
     in_service: Option<(Vec<QueuedRequest>, u64, u64)>,
     available_at: u64,
     pending_migration: Option<(NodeId, u64)>,
+    /// A live pre-copy migration in flight: the replica keeps serving while
+    /// copy rounds stream its state, until the stop-and-copy.
+    precopy: Option<PreCopyFlight>,
     /// The batch-formation timeout currently armed, if any.
     batch_timeout_at: Option<u64>,
     /// Scale-down requested: no new dispatches; released once drained.
@@ -426,13 +497,14 @@ impl ServeState {
 
 // Event kinds, ordered so that at equal timestamps completions free capacity
 // before resumes re-open replicas, batch-formation timeouts fire on settled
-// queues, migrations trigger next, and telemetry samples observe the fully
-// settled state last.
+// queues, pre-copy rounds see the dirt of same-cycle completions, migrations
+// trigger next, and telemetry samples observe the fully settled state last.
 const EV_COMPLETION: u8 = 0;
 const EV_RESUME: u8 = 1;
 const EV_BATCH_TIMEOUT: u8 = 2;
-const EV_MIGRATION: u8 = 3;
-const EV_SAMPLE: u8 = 4;
+const EV_COPY_ROUND: u8 = 3;
+const EV_MIGRATION: u8 = 4;
+const EV_SAMPLE: u8 = 5;
 
 /// The serving event heap, with a running count of non-sample events so the
 /// telemetry tick's "is there still work in flight?" question is O(1) instead
@@ -468,6 +540,35 @@ impl EventQueue {
     /// counter replaced).
     fn has_non_sample(&self) -> bool {
         self.non_sample > 0
+    }
+}
+
+/// Per-link busy horizons: pre-copy rounds and stop-and-copy transfers over
+/// the same board-to-board link serialize, so concurrent migrations contend
+/// for bandwidth instead of each seeing a private link.
+#[derive(Debug, Default)]
+struct LinkSchedule {
+    busy_until: HashMap<(NodeId, NodeId), u64>,
+}
+
+impl LinkSchedule {
+    /// Links are bidirectional: (a, b) and (b, a) are the same link.
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Reserves the link for a `cycles`-long transfer starting no earlier
+    /// than `now`; returns when the transfer completes (queueing behind any
+    /// transfer already on the link).
+    fn reserve(&mut self, a: NodeId, b: NodeId, now: u64, cycles: u64) -> u64 {
+        let slot = self.busy_until.entry(Self::key(a, b)).or_insert(0);
+        let end = now.max(*slot) + cycles;
+        *slot = end;
+        end
     }
 }
 
@@ -634,6 +735,7 @@ impl CalibrationCache {
             in_service: None,
             available_at: now,
             pending_migration: None,
+            precopy: None,
             batch_timeout_at: None,
             draining: false,
             retired: false,
@@ -749,6 +851,16 @@ impl ClusterServingSim {
         if let Some(interval) = sample_interval {
             events.push(interval, EV_SAMPLE, 0);
         }
+        let mut links = LinkSchedule::default();
+        // Telemetry scratch, reused across ticks: the frame's vectors and
+        // model map persist, so steady-state sampling allocates nothing.
+        let mut frame = TelemetryFrame {
+            at: Cycles::ZERO,
+            window: Cycles::ZERO,
+            replicas: Vec::new(),
+            models: BTreeMap::new(),
+        };
+        let mut stale_models: Vec<ModelId> = Vec::new();
 
         let arrivals = trace.arrivals();
         let mut next_arrival = 0usize;
@@ -804,6 +916,14 @@ impl ClusterServingSim {
                             router.record_completion();
                         }
                         *per_node_completed.entry(replica.handle.node).or_default() += batch.len();
+                        // A live pre-copy in flight: the served batch wrote
+                        // its share of resident state, re-dirtying pages the
+                        // rounds must stream again.
+                        if let Some(precopy) = &mut replica.precopy {
+                            precopy
+                                .dirty
+                                .mark(batch.len() as u64 * precopy.dirty_bytes_per_request);
+                        }
                         batch.clear();
                         state.batch_pool.push(batch);
                         if let Some((to, requested_at)) = replica.pending_migration.take() {
@@ -818,6 +938,7 @@ impl ClusterServingSim {
                                 &self.options.cost_model,
                                 &mut migration_records,
                                 &mut events,
+                                &mut links,
                                 index,
                                 &mut state,
                             );
@@ -859,27 +980,61 @@ impl ClusterServingSim {
                             Self::start_next(replica, now, &mut events, index, &mut state);
                         }
                     }
+                    EV_COPY_ROUND => {
+                        Self::copy_round(
+                            cluster,
+                            &mut replicas,
+                            &mut dispatch_index,
+                            index,
+                            now,
+                            &self.options.cost_model,
+                            &mut migration_records,
+                            &mut events,
+                            &mut links,
+                            &mut state,
+                        );
+                    }
                     EV_MIGRATION => {
                         let scheduled = self.options.migrations[index];
                         let Some(target) = dispatch_index.slot_of(scheduled.handle) else {
                             continue; // stale handle (already moved or undeployed)
                         };
-                        Self::request_migration(
-                            cluster,
-                            &mut replicas,
-                            &mut dispatch_index,
-                            target,
-                            scheduled.to,
-                            now,
-                            &self.options.cost_model,
-                            &mut migration_records,
-                            &mut events,
-                            &mut state,
-                        );
+                        match scheduled.mode {
+                            MigrationMode::Cold => Self::request_migration(
+                                cluster,
+                                &mut replicas,
+                                &mut dispatch_index,
+                                target,
+                                scheduled.to,
+                                now,
+                                &self.options.cost_model,
+                                &mut migration_records,
+                                &mut events,
+                                &mut links,
+                                &mut state,
+                            ),
+                            MigrationMode::PreCopy => Self::begin_precopy(
+                                cluster,
+                                &mut replicas,
+                                target,
+                                scheduled.to,
+                                now,
+                                &self.options.cost_model,
+                                &mut events,
+                                &mut links,
+                                &mut state,
+                            ),
+                        }
                     }
                     EV_SAMPLE => {
                         let interval = sample_interval.expect("sampling scheduled");
-                        let frame = Self::sample(&mut replicas, now, &mut state);
+                        Self::sample_into(
+                            &mut frame,
+                            &mut stale_models,
+                            &mut replicas,
+                            now,
+                            &mut state,
+                        );
                         state.control.samples += 1;
                         let actions = controller.control(&frame, cluster);
                         for action in actions {
@@ -893,6 +1048,7 @@ impl ClusterServingSim {
                                 &self.options.cost_model,
                                 &mut migration_records,
                                 &mut events,
+                                &mut links,
                                 &mut state,
                             );
                         }
@@ -1004,6 +1160,7 @@ impl ClusterServingSim {
             per_node_completed,
             deadline: state.deadline,
             batches: state.batches,
+            migration_stats: MigrationStats::from_records(&migration_records),
             migrations: migration_records,
             control: state.control,
             replica_cycles: state.replica_cycles,
@@ -1012,11 +1169,25 @@ impl ClusterServingSim {
         }
     }
 
-    /// Closes the current telemetry window and builds the frame handed to the
-    /// control plane.
-    fn sample(replicas: &mut [ReplicaSim], now: u64, state: &mut ServeState) -> TelemetryFrame {
-        let window = now.saturating_sub(state.window_start);
-        let mut samples = Vec::new();
+    /// Closes the current telemetry window and rebuilds `frame` in place for
+    /// the control plane.
+    ///
+    /// The frame's replica vector and model map are per-run scratch: the
+    /// vector is cleared and refilled (its capacity persists) and the map's
+    /// entries are reset in place, with new models inserted and vanished
+    /// models swept via the reused `stale` buffer — so a steady-state tick
+    /// over a stable fleet allocates nothing. The frame contents are
+    /// bit-identical to a from-scratch build.
+    fn sample_into(
+        frame: &mut TelemetryFrame,
+        stale: &mut Vec<ModelId>,
+        replicas: &mut [ReplicaSim],
+        now: u64,
+        state: &mut ServeState,
+    ) {
+        frame.at = Cycles(now);
+        frame.window = Cycles(now.saturating_sub(state.window_start));
+        frame.replicas.clear();
         for replica in replicas.iter_mut().filter(|r| r.live()) {
             if let Some((_, started, _)) = &replica.in_service {
                 replica.window_busy += now - (*started).max(state.window_start);
@@ -1030,7 +1201,7 @@ impl ClusterServingSim {
             } else {
                 0.0
             };
-            samples.push(ReplicaSample {
+            frame.replicas.push(ReplicaSample {
                 handle: replica.handle,
                 model: replica.model,
                 queue_len: replica.queue.len(),
@@ -1041,18 +1212,14 @@ impl ClusterServingSim {
             replica.window_busy = 0;
         }
 
-        let mut models: BTreeMap<ModelId, ModelSample> = BTreeMap::new();
-        for sample in &samples {
-            let entry = models.entry(sample.model).or_insert_with(|| ModelSample {
-                model: sample.model,
-                replicas: 0,
-                queued: 0,
-                in_flight: 0,
-                arrivals: 0,
-                rejected: 0,
-                latency: LatencySummary::default(),
-                deadline: DeadlineStats::default(),
-            });
+        for (model, entry) in frame.models.iter_mut() {
+            *entry = ModelSample::empty(*model);
+        }
+        for sample in &frame.replicas {
+            let entry = frame
+                .models
+                .entry(sample.model)
+                .or_insert_with(|| ModelSample::empty(sample.model));
             if !sample.draining {
                 entry.replicas += 1;
             }
@@ -1060,16 +1227,10 @@ impl ClusterServingSim {
             entry.in_flight += sample.in_flight;
         }
         for (model, window_acc) in state.windows.iter_mut() {
-            let entry = models.entry(*model).or_insert_with(|| ModelSample {
-                model: *model,
-                replicas: 0,
-                queued: 0,
-                in_flight: 0,
-                arrivals: 0,
-                rejected: 0,
-                latency: LatencySummary::default(),
-                deadline: DeadlineStats::default(),
-            });
+            let entry = frame
+                .models
+                .entry(*model)
+                .or_insert_with(|| ModelSample::empty(*model));
             entry.arrivals = window_acc.arrivals;
             entry.rejected = window_acc.rejected;
             let (latency, deadline) = window_acc.metrics.flush();
@@ -1078,14 +1239,17 @@ impl ClusterServingSim {
             window_acc.arrivals = 0;
             window_acc.rejected = 0;
         }
-        state.window_start = now;
-
-        TelemetryFrame {
-            at: Cycles(now),
-            window: Cycles(window),
-            replicas: samples,
-            models,
+        // Sweep models that vanished since the last tick (no live replica,
+        // never any window traffic) so the frame matches a fresh build.
+        stale.clear();
+        stale.extend(frame.models.keys().copied().filter(|model| {
+            !state.windows.contains_key(model)
+                && !frame.replicas.iter().any(|sample| sample.model == *model)
+        }));
+        for model in stale.drain(..) {
+            frame.models.remove(&model);
         }
+        state.window_start = now;
     }
 
     /// Applies one control-plane action inside the event loop.
@@ -1100,6 +1264,7 @@ impl ClusterServingSim {
         cost_model: &MigrationCostModel,
         records: &mut Vec<MigrationRecord>,
         events: &mut EventQueue,
+        links: &mut LinkSchedule,
         state: &mut ServeState,
     ) {
         match action {
@@ -1124,6 +1289,11 @@ impl ClusterServingSim {
                     return;
                 }
                 replicas[index].draining = true;
+                // A scale-down trumps a live migration in flight: the vNPU is
+                // being released, so streaming its state anywhere is wasted
+                // work. The orphaned copy-round event is ignored by its
+                // staleness guard.
+                replicas[index].precopy = None;
                 dispatch_index.begin_drain(index, replicas[index].model, handle.node);
                 state.control.scale_downs += 1;
                 // A held partial batch flushes immediately: a draining
@@ -1131,23 +1301,29 @@ impl ClusterServingSim {
                 Self::start_next(&mut replicas[index], now, events, index, state);
                 Self::retire_if_drained(cluster, &mut replicas[index], dispatch_index, now, state);
             }
-            ControlAction::Migrate { handle, to } => {
+            ControlAction::Migrate { handle, to, mode } => {
                 state.control.migrations_requested += 1;
                 let Some(index) = dispatch_index.slot_of(handle) else {
                     return;
                 };
-                Self::request_migration(
-                    cluster,
-                    replicas,
-                    dispatch_index,
-                    index,
-                    to,
-                    now,
-                    cost_model,
-                    records,
-                    events,
-                    state,
-                );
+                match mode {
+                    MigrationMode::Cold => Self::request_migration(
+                        cluster,
+                        replicas,
+                        dispatch_index,
+                        index,
+                        to,
+                        now,
+                        cost_model,
+                        records,
+                        events,
+                        links,
+                        state,
+                    ),
+                    MigrationMode::PreCopy => Self::begin_precopy(
+                        cluster, replicas, index, to, now, cost_model, events, links, state,
+                    ),
+                }
             }
         }
     }
@@ -1165,12 +1341,15 @@ impl ClusterServingSim {
         cost_model: &MigrationCostModel,
         records: &mut Vec<MigrationRecord>,
         events: &mut EventQueue,
+        links: &mut LinkSchedule,
         state: &mut ServeState,
     ) {
         // A draining replica is about to release its vNPU anyway: migrating
-        // it would charge a pointless dark window to its queued requests.
+        // it would charge a pointless dark window to its queued requests. A
+        // replica already migrating (either mode) finishes that move first.
         if replicas[index].handle.node == to
             || replicas[index].pending_migration.is_some()
+            || replicas[index].precopy.is_some()
             || replicas[index].draining
         {
             return;
@@ -1189,10 +1368,144 @@ impl ClusterServingSim {
                 cost_model,
                 records,
                 events,
+                links,
                 index,
                 state,
             );
         }
+    }
+
+    /// Starts a live pre-copy migration of `replicas[index]` to `to`: round 0
+    /// streams the full resident state over the (possibly contended) link
+    /// while the replica keeps serving; the copy-round event continues the
+    /// loop.
+    #[allow(clippy::too_many_arguments)]
+    fn begin_precopy(
+        cluster: &mut NpuCluster,
+        replicas: &mut [ReplicaSim],
+        index: usize,
+        to: NodeId,
+        now: u64,
+        cost_model: &MigrationCostModel,
+        events: &mut EventQueue,
+        links: &mut LinkSchedule,
+        state: &mut ServeState,
+    ) {
+        let replica = &mut replicas[index];
+        if replica.handle.node == to
+            || replica.pending_migration.is_some()
+            || replica.precopy.is_some()
+            || replica.draining
+        {
+            return;
+        }
+        let state_bytes = cluster.resident_state_bytes(replica.handle);
+        if state_bytes.is_none() || cluster.node(to).is_none() {
+            // Unknown destination or stale placement: refused, like the cold
+            // path's migrate() error.
+            state.control.migrations_rejected += 1;
+            return;
+        }
+        let state_bytes = state_bytes.expect("checked above");
+        let source_npu = cluster
+            .node(replica.handle.node)
+            .expect("source node exists")
+            .npu_config();
+        let frequency = source_npu.frequency;
+        let precopy = &cost_model.precopy;
+        let dirty_bytes_per_request = precopy
+            .dirty_rate
+            .dirty_bytes_per_request(replica.model, source_npu);
+        let full_copy = cost_model.transfer_cycles(state_bytes, frequency).get();
+        let ends_at = links.reserve(replica.handle.node, to, now, full_copy);
+        replica.precopy = Some(PreCopyFlight {
+            to,
+            dirty: DirtySet::new(state_bytes, precopy.page_bytes),
+            dirty_bytes_per_request,
+            rounds: 1,
+            last_round_bytes: state_bytes,
+            round_bytes: vec![state_bytes],
+            precopy_cycles: ends_at - now,
+            round_ends_at: ends_at,
+            converged: false,
+        });
+        events.push(ends_at, EV_COPY_ROUND, index);
+    }
+
+    /// Finishes one pre-copy round: decides between another round (dirty set
+    /// still large but shrinking), and the stop-and-copy (converged below the
+    /// threshold, or the loop stalled — round cap hit, or the dirty set no
+    /// longer shrinking because serving re-dirties faster than the link
+    /// drains).
+    #[allow(clippy::too_many_arguments)]
+    fn copy_round(
+        cluster: &mut NpuCluster,
+        replicas: &mut [ReplicaSim],
+        dispatch_index: &mut ReplicaIndex,
+        index: usize,
+        now: u64,
+        cost_model: &MigrationCostModel,
+        records: &mut Vec<MigrationRecord>,
+        events: &mut EventQueue,
+        links: &mut LinkSchedule,
+        state: &mut ServeState,
+    ) {
+        let replica = &mut replicas[index];
+        // Staleness guards: the migration was cancelled (drain won), or this
+        // is not the round we scheduled.
+        let Some(precopy) = &mut replica.precopy else {
+            return;
+        };
+        if precopy.round_ends_at != now || replica.retired || replica.draining {
+            return;
+        }
+        let config = &cost_model.precopy;
+        let dirty_bytes = precopy.dirty.dirty_bytes();
+        let threshold = config.stop_copy_bytes(precopy.dirty.capacity_bytes());
+        let converged = dirty_bytes <= threshold;
+        let stalled = precopy.rounds >= config.max_rounds
+            || dirty_bytes as f64 > config.shrink_ratio * precopy.last_round_bytes as f64;
+        if converged || stalled {
+            // Stop-and-copy: freeze dispatch; whatever the in-flight batch
+            // still dirties joins the residual moved in the dark window.
+            precopy.converged = converged;
+            if replica.in_service.is_some() {
+                replica.pending_migration = Some((precopy.to, now));
+            } else {
+                let to = precopy.to;
+                Self::execute_migration(
+                    cluster,
+                    replica,
+                    dispatch_index,
+                    now,
+                    to,
+                    0,
+                    cost_model,
+                    records,
+                    events,
+                    links,
+                    index,
+                    state,
+                );
+            }
+            return;
+        }
+        // Another round: stream the pages dirtied during the one that just
+        // ended; serving continues and re-dirties into the next round.
+        let round = precopy.dirty.take_bytes();
+        let frequency = cluster
+            .node(replica.handle.node)
+            .expect("source node exists")
+            .npu_config()
+            .frequency;
+        let cycles = cost_model.transfer_cycles(round, frequency).get();
+        let ends_at = links.reserve(replica.handle.node, precopy.to, now, cycles);
+        precopy.rounds += 1;
+        precopy.last_round_bytes = round;
+        precopy.round_bytes.push(round);
+        precopy.precopy_cycles += ends_at - now;
+        precopy.round_ends_at = ends_at;
+        events.push(ends_at, EV_COPY_ROUND, index);
     }
 
     /// Releases a fully drained replica's vNPU back to the cluster.
@@ -1295,9 +1608,12 @@ impl ClusterServingSim {
         events.push(finish, EV_COMPLETION, index);
     }
 
-    /// Runs the post-drain phases of a cold migration: snapshot + transfer +
+    /// Runs the stop-and-copy phases of a migration: snapshot + transfer +
     /// remap. The replica goes dark until `available_at` and then resumes on
-    /// the destination node with its queue intact.
+    /// the destination node with its queue intact. For a cold migration the
+    /// transfer moves the full resident state; for a pre-copy switch-over it
+    /// moves only the residual dirty delta plus the architectural context,
+    /// queueing behind any transfer already on the link.
     #[allow(clippy::too_many_arguments)]
     fn execute_migration(
         cluster: &mut NpuCluster,
@@ -1309,14 +1625,46 @@ impl ClusterServingSim {
         cost_model: &MigrationCostModel,
         records: &mut Vec<MigrationRecord>,
         events: &mut EventQueue,
+        links: &mut LinkSchedule,
         index: usize,
         state: &mut ServeState,
     ) {
+        let source_frequency = cluster
+            .node(replica.handle.node)
+            .expect("source node exists")
+            .npu_config()
+            .frequency;
         match cluster.migrate(replica.handle, to, cost_model, Some(drain_cycles)) {
             Ok(outcome) => {
-                let post_drain = outcome.record.transfer_cycles + outcome.record.remap_cycles;
+                let mut record = outcome.record;
+                if let Some(precopy) = replica.precopy.take() {
+                    // Live switch-over: the dark window moves the residual
+                    // dirty pages plus the register/queue context — not the
+                    // full state the cold-priced record assumed — and waits
+                    // its turn on the contended link.
+                    let residual = precopy.dirty.dirty_bytes() + cost_model.context_bytes;
+                    let cycles = cost_model.transfer_cycles(residual, source_frequency).get();
+                    record.mode = MigrationMode::PreCopy;
+                    record.transfer_cycles =
+                        links.reserve(record.from, record.to, now, cycles) - now;
+                    record.precopy_rounds = precopy.rounds;
+                    record.precopy_bytes = precopy.round_bytes.iter().sum();
+                    record.round_bytes = precopy.round_bytes;
+                    record.precopy_cycles = precopy.precopy_cycles;
+                    record.converged = precopy.converged;
+                } else {
+                    // Cold transfers occupy the same board-to-board link as
+                    // everything else: a transfer already in flight delays
+                    // this one (on an idle link the window is unchanged).
+                    record.transfer_cycles =
+                        links.reserve(record.from, record.to, now, record.transfer_cycles) - now;
+                }
+                let post_drain = record.transfer_cycles + record.remap_cycles;
                 let old_handle = replica.handle;
-                replica.handle = outcome.new_handle();
+                replica.handle = VnpuHandle {
+                    node: record.to,
+                    vnpu: record.dest_vnpu,
+                };
                 replica.available_at = now + post_drain;
                 // A draining replica (scale-down raced with the migration)
                 // already left the routable sets; only its handle re-keys.
@@ -1327,12 +1675,14 @@ impl ClusterServingSim {
                     replica.model,
                     !replica.draining,
                 );
-                records.push(outcome.record);
+                records.push(record);
                 events.push(replica.available_at, EV_RESUME, index);
             }
             Err(_) => {
                 // The destination refused (capacity raced away); the replica
-                // keeps serving from its source node.
+                // keeps serving from its source node, any pre-copy effort
+                // abandoned.
+                replica.precopy = None;
                 state.control.migrations_rejected += 1;
                 Self::start_next(replica, now, events, index, state);
             }
@@ -1344,6 +1694,7 @@ impl ClusterServingSim {
 mod tests {
     use super::*;
     use crate::cluster::DeploySpec;
+    use crate::migration::{DirtyRateModel, PreCopyConfig};
     use crate::placement::PlacementPolicy;
     use workloads::RequestArrival;
 
@@ -1674,6 +2025,190 @@ mod tests {
         );
     }
 
+    /// The canonical live-migration scenario: one loaded replica, a spare
+    /// node, a stream long enough that arrivals span the whole copy window.
+    fn precopy_scenario(mode_live: bool, cost_model: MigrationCostModel) -> ServingReport {
+        let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &NpuConfig::single_core());
+        let (mut fleet, handles) = fleet_with_replicas(2, 1);
+        let spare = NodeId(if handles[0].node.0 == 0 { 1 } else { 0 });
+        let trace = burst_trace(400, service);
+        let mut options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+            .with_admission(AdmissionControl {
+                max_queue_depth: 1_000,
+            })
+            .with_cost_model(cost_model);
+        options = if mode_live {
+            options.with_live_migration(Cycles(1), handles[0], spare)
+        } else {
+            options.with_migration(Cycles(1), handles[0], spare)
+        };
+        ClusterServingSim::new(options).run(&mut fleet, &trace)
+    }
+
+    #[test]
+    fn precopy_cuts_downtime_an_order_of_magnitude_below_cold() {
+        let cold = precopy_scenario(false, MigrationCostModel::default());
+        let live = precopy_scenario(true, MigrationCostModel::default());
+        assert_eq!(cold.migrations.len(), 1);
+        assert_eq!(live.migrations.len(), 1);
+        let cold_record = &cold.migrations[0];
+        let live_record = &live.migrations[0];
+        assert_eq!(cold_record.mode, MigrationMode::Cold);
+        assert_eq!(live_record.mode, MigrationMode::PreCopy);
+        assert!(live_record.converged, "a read-mostly tenant must converge");
+        assert!(
+            live_record.precopy_rounds >= 1,
+            "at least the full-state round ran"
+        );
+        assert!(live_record.precopy_bytes >= live_record.state_bytes);
+        assert!(
+            live_record.downtime().get() * 10 <= cold_record.downtime().get(),
+            "pre-copy downtime must be >=10x below cold ({} vs {})",
+            live_record.downtime(),
+            cold_record.downtime()
+        );
+        // Matched throughput: both runs complete the whole admitted stream.
+        assert_eq!(cold.stats.completed, 400);
+        assert_eq!(live.stats.completed, 400);
+        // The shorter dark window shows up in the tail.
+        assert!(live.latency.p99 <= cold.latency.p99);
+        // Per-mode aggregates follow the records.
+        assert_eq!(live.migration_stats.precopy, 1);
+        assert_eq!(live.migration_stats.precopy_fallbacks, 0);
+        assert_eq!(
+            live.migration_stats.rounds,
+            live_record.precopy_rounds as u64
+        );
+        assert_eq!(
+            live.migration_stats.downtime_total,
+            live_record.downtime().get()
+        );
+        assert_eq!(cold.migration_stats.cold, 1);
+        assert_eq!(cold.migration_stats.precopy, 0);
+    }
+
+    #[test]
+    fn precopy_source_keeps_serving_through_the_copy_rounds() {
+        let live = precopy_scenario(true, MigrationCostModel::default());
+        let record = &live.migrations[0];
+        assert!(
+            record.precopy_cycles > 0,
+            "the link spent cycles copying while serving"
+        );
+        assert_eq!(record.round_bytes.len(), record.precopy_rounds as usize);
+        assert_eq!(record.precopy_bytes, record.round_bytes.iter().sum::<u64>());
+        // The source kept completing requests before the switch-over: with a
+        // cold migration at t=1 every request would be served on the spare
+        // side of a full dark window, so the source node finishing most of
+        // the stream is the live-serving signal.
+        let source_completed = live
+            .per_node_completed
+            .get(&record.from)
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            source_completed > 0,
+            "the source must serve during pre-copy"
+        );
+    }
+
+    #[test]
+    fn precopy_falls_back_to_cold_when_dirty_rate_outruns_the_link() {
+        // A pathological tenant: every request rewrites ~its whole HBM
+        // traffic, over a link an order of magnitude slower. The dirty set
+        // cannot shrink, so the loop stops and the stop-and-copy moves a
+        // cold-sized residual.
+        let cost = MigrationCostModel::default()
+            .with_interconnect(npu_sim::InterconnectConfig::tpu_v4_ici().with_bandwidth(0.5e9))
+            .with_precopy(
+                PreCopyConfig::default().with_dirty_rate(
+                    DirtyRateModel::default()
+                        .with_write_fraction(1.0)
+                        .with_scale(400.0),
+                ),
+            );
+        let live = precopy_scenario(true, cost.clone());
+        let record = &live.migrations[0];
+        assert_eq!(record.mode, MigrationMode::PreCopy);
+        assert!(
+            !record.converged,
+            "the dirty set must outrun the link ({} rounds)",
+            record.precopy_rounds
+        );
+        assert_eq!(live.migration_stats.precopy_fallbacks, 1);
+        // Graceful: nothing is lost, the residual is cold-sized rather than
+        // unbounded.
+        assert_eq!(live.stats.completed, live.stats.admitted);
+        let cold = precopy_scenario(false, cost);
+        assert!(
+            record.downtime().get() <= cold.migrations[0].downtime().get() * 2,
+            "fallback downtime stays in the cold ballpark ({} vs {})",
+            record.downtime(),
+            cold.migrations[0].downtime()
+        );
+    }
+
+    #[test]
+    fn precopy_runs_are_seed_reproducible() {
+        let first = precopy_scenario(true, MigrationCostModel::default());
+        let second = precopy_scenario(true, MigrationCostModel::default());
+        assert_eq!(first, second, "same inputs, identical report");
+    }
+
+    #[test]
+    fn concurrent_precopies_contend_for_the_link() {
+        // Two replicas on the same board, both live-migrating to the same
+        // spare at t = 0: their round-0 transfers share one link, so the
+        // second transfer queues behind the first and its copy window
+        // (wait + stream) is strictly longer.
+        let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &NpuConfig::single_core());
+        let mut fleet = NpuCluster::homogeneous(2, &NpuConfig::single_core());
+        let spec = DeploySpec::replica(ModelId::Mnist, 1, 1).with_memory(16 << 20, 1 << 30);
+        let a = fleet.deploy(spec, PlacementPolicy::BestFit).unwrap();
+        let b = fleet.deploy(spec, PlacementPolicy::BestFit).unwrap();
+        assert_eq!(a.node, b.node, "best-fit packs the same board");
+        let spare = NodeId(if a.node.0 == 0 { 1 } else { 0 });
+        let trace = burst_trace(60, service);
+        let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+            .with_live_migration(Cycles(0), a, spare)
+            .with_live_migration(Cycles(0), b, spare);
+        let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
+        assert_eq!(report.migrations.len(), 2);
+        let first = &report.migrations[0];
+        let second = &report.migrations[1];
+        assert!(
+            second.precopy_cycles > first.precopy_cycles,
+            "the second transfer must wait for the shared link ({} vs {})",
+            second.precopy_cycles,
+            first.precopy_cycles
+        );
+    }
+
+    #[test]
+    fn concurrent_cold_migrations_contend_for_the_link() {
+        // Same shape as the pre-copy contention test, but cold: the second
+        // dark transfer queues behind the first on the shared link, so its
+        // transfer window (wait + stream) is strictly longer.
+        let mut fleet = NpuCluster::homogeneous(2, &NpuConfig::single_core());
+        let spec = DeploySpec::replica(ModelId::Mnist, 1, 1).with_memory(16 << 20, 1 << 30);
+        let a = fleet.deploy(spec, PlacementPolicy::BestFit).unwrap();
+        let b = fleet.deploy(spec, PlacementPolicy::BestFit).unwrap();
+        assert_eq!(a.node, b.node);
+        let spare = NodeId(if a.node.0 == 0 { 1 } else { 0 });
+        let trace = burst_trace(4, 1_000);
+        let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+            .with_migration(Cycles(0), a, spare)
+            .with_migration(Cycles(0), b, spare);
+        let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
+        assert_eq!(report.migrations.len(), 2);
+        assert!(
+            report.migrations[1].transfer_cycles > report.migrations[0].transfer_cycles,
+            "the second cold transfer must wait for the shared link ({} vs {})",
+            report.migrations[1].transfer_cycles,
+            report.migrations[0].transfer_cycles
+        );
+    }
+
     #[test]
     fn makespan_ignores_trailing_rejected_arrivals() {
         // Regression: a trailing rejected arrival used to inflate the
@@ -1820,6 +2355,7 @@ mod tests {
                 vec![ControlAction::Migrate {
                     handle: handles[0],
                     to: spare,
+                    mode: MigrationMode::Cold,
                 }],
             )],
             tick: 0,

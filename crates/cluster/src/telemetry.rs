@@ -17,7 +17,8 @@
 //!   placement engine and it starts serving immediately;
 //! * [`ControlAction::ScaleDown`] drains a replica (no new dispatches, the
 //!   queue is served to completion) and then releases its vNPU;
-//! * [`ControlAction::Migrate`] cold-migrates a replica, priced by the run's
+//! * [`ControlAction::Migrate`] migrates a replica — cold or live pre-copy,
+//!   per its [`MigrationMode`] — priced by the run's
 //!   [`crate::MigrationCostModel`] exactly like a scheduled migration.
 //!
 //! The `autopilot` crate builds its autoscaling policies and the fleet
@@ -30,6 +31,7 @@ use npu_sim::Cycles;
 use workloads::ModelId;
 
 use crate::cluster::{DeploySpec, NpuCluster, VnpuHandle};
+use crate::migration::MigrationMode;
 use crate::placement::PlacementPolicy;
 use crate::NodeId;
 
@@ -79,6 +81,21 @@ pub struct ModelSample {
 }
 
 impl ModelSample {
+    /// An all-zero sample of `model` — the state a telemetry window starts
+    /// from before replicas and window counters are folded in.
+    pub fn empty(model: ModelId) -> Self {
+        ModelSample {
+            model,
+            replicas: 0,
+            queued: 0,
+            in_flight: 0,
+            arrivals: 0,
+            rejected: 0,
+            latency: LatencySummary::default(),
+            deadline: DeadlineStats::default(),
+        }
+    }
+
     /// Outstanding work across the model's replicas.
     pub fn outstanding(&self) -> usize {
         self.queued + self.in_flight
@@ -135,13 +152,17 @@ pub enum ControlAction {
         /// The replica to retire.
         handle: VnpuHandle,
     },
-    /// Cold-migrate the replica to `to`, priced by the run's migration cost
-    /// model (drain → transfer → remap downtime charged to tenant latency).
+    /// Migrate the replica to `to`, priced by the run's migration cost
+    /// model. [`MigrationMode::Cold`] drains and goes dark for the full
+    /// state transfer; [`MigrationMode::PreCopy`] streams state while the
+    /// replica keeps serving and stops only for the residual dirty delta.
     Migrate {
         /// The replica to move.
         handle: VnpuHandle,
         /// The destination node.
         to: NodeId,
+        /// How the state moves.
+        mode: MigrationMode,
     },
 }
 

@@ -178,8 +178,13 @@ impl MetricsWindow {
     }
 
     /// Summarizes the window and resets it.
+    ///
+    /// The sample buffer is sorted in place (it is about to be cleared
+    /// anyway) and reused across windows, so a steady-state flush allocates
+    /// nothing — part of the allocation-free telemetry sampling path.
     pub fn flush(&mut self) -> (LatencySummary, DeadlineStats) {
-        let summary = LatencySummary::from_samples(&self.samples);
+        self.samples.sort_unstable();
+        let summary = LatencySummary::from_sorted(&self.samples);
         let deadline = self.deadline;
         self.samples.clear();
         self.deadline = DeadlineStats::default();

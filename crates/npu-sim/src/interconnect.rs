@@ -2,9 +2,13 @@
 //!
 //! Datacenter NPU deployments connect boards over dedicated links (the ICI
 //! links of TPU pods or PCIe/NVLink-class fabrics). The fleet layer uses this
-//! model to price cross-board state movement — most importantly the cold
-//! vNPU-migration path, which streams a vNPU's SRAM and HBM working set from
-//! the source board to the destination board.
+//! model to price cross-board state movement — most importantly the
+//! vNPU-migration paths, which stream a vNPU's SRAM and HBM working set from
+//! the source board to the destination board. Live pre-copy migration
+//! additionally needs **dirty-page accounting**: while the source keeps
+//! serving, its writes re-dirty pages that were already streamed, and each
+//! copy round transfers exactly the pages dirtied since the previous round.
+//! [`DirtySet`] provides that accounting at a configurable page granularity.
 
 use crate::clock::{Cycles, Frequency};
 
@@ -62,6 +66,78 @@ impl Default for InterconnectConfig {
     }
 }
 
+/// Page-granular dirty accounting over a region of resident accelerator
+/// state (the HBM + SRAM working set of one vNPU).
+///
+/// Writes are recorded with [`DirtySet::mark`]; the dirty footprint is
+/// clamped to the region size, so re-dirtying an already-dirty page never
+/// inflates the set beyond the state that actually exists — the same
+/// saturation a real page-table dirty-bit walk exhibits. A pre-copy round
+/// calls [`DirtySet::take_bytes`] to claim the pages to stream and reset the
+/// accounting for the next round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirtySet {
+    page_bytes: u64,
+    total_pages: u64,
+    /// Bytes written since the last `take`; converted to pages on read.
+    written_bytes: u64,
+}
+
+impl DirtySet {
+    /// Tracks `state_bytes` of resident state at `page_bytes` granularity.
+    /// Degenerate page sizes clamp to one byte; an empty region has zero
+    /// pages and never reports dirt.
+    pub fn new(state_bytes: u64, page_bytes: u64) -> Self {
+        let page_bytes = page_bytes.max(1);
+        DirtySet {
+            page_bytes,
+            total_pages: state_bytes.div_ceil(page_bytes),
+            written_bytes: 0,
+        }
+    }
+
+    /// The page granularity of the accounting.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// The tracked region size, rounded up to whole pages.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages * self.page_bytes
+    }
+
+    /// Records `bytes` of writes into the region. Partial pages dirty whole
+    /// pages; the dirty footprint saturates at the region size.
+    pub fn mark(&mut self, bytes: u64) {
+        self.written_bytes = self
+            .written_bytes
+            .saturating_add(bytes)
+            .min(self.capacity_bytes());
+    }
+
+    /// Pages currently dirty (written since the last take, whole-page
+    /// rounded, clamped to the region).
+    pub fn dirty_pages(&self) -> u64 {
+        self.written_bytes
+            .div_ceil(self.page_bytes)
+            .min(self.total_pages)
+    }
+
+    /// Bytes a copy round must stream to clean the set: the dirty pages at
+    /// full page granularity (pre-copy streams pages, not byte ranges).
+    pub fn dirty_bytes(&self) -> u64 {
+        self.dirty_pages() * self.page_bytes
+    }
+
+    /// Claims the dirty pages for a copy round: returns the bytes to stream
+    /// and resets the accounting so subsequent writes dirty the next round.
+    pub fn take_bytes(&mut self) -> u64 {
+        let bytes = self.dirty_bytes();
+        self.written_bytes = 0;
+        bytes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +167,45 @@ mod tests {
         let ici = InterconnectConfig::tpu_v4_ici().transfer_cycles(1 << 30, f);
         let rdma = InterconnectConfig::rdma_100g().transfer_cycles(1 << 30, f);
         assert!(rdma > ici);
+    }
+
+    #[test]
+    fn dirty_set_rounds_writes_to_whole_pages() {
+        let mut dirty = DirtySet::new(10 << 20, 1 << 20);
+        assert_eq!(dirty.dirty_bytes(), 0);
+        dirty.mark(1);
+        assert_eq!(dirty.dirty_pages(), 1, "a single byte dirties its page");
+        dirty.mark((1 << 20) + 1);
+        assert_eq!(dirty.dirty_pages(), 2, "accumulated bytes page-round once");
+    }
+
+    #[test]
+    fn dirty_set_saturates_at_the_region_size() {
+        let mut dirty = DirtySet::new(4 << 20, 1 << 20);
+        dirty.mark(u64::MAX);
+        assert_eq!(dirty.dirty_pages(), 4);
+        assert_eq!(dirty.dirty_bytes(), dirty.capacity_bytes());
+        // Saturated twice over: still the whole region, no overflow.
+        dirty.mark(u64::MAX);
+        assert_eq!(dirty.dirty_bytes(), 4 << 20);
+    }
+
+    #[test]
+    fn dirty_set_take_resets_the_round() {
+        let mut dirty = DirtySet::new(8 << 20, 1 << 20);
+        dirty.mark(3 << 20);
+        assert_eq!(dirty.take_bytes(), 3 << 20);
+        assert_eq!(dirty.dirty_bytes(), 0, "the take starts a fresh round");
+        dirty.mark(100);
+        assert_eq!(dirty.take_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn dirty_set_tolerates_degenerate_shapes() {
+        let mut empty = DirtySet::new(0, 1 << 20);
+        empty.mark(1 << 30);
+        assert_eq!(empty.dirty_bytes(), 0, "no resident state, no dirt");
+        let clamped = DirtySet::new(16, 0);
+        assert_eq!(clamped.page_bytes(), 1, "zero page size clamps to a byte");
     }
 }

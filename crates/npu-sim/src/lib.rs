@@ -50,5 +50,5 @@ pub use engine::{EngineKind, MatrixEngine, VectorEngine};
 pub use error::SimError;
 pub use event::{EventQueue, ScheduledEvent};
 pub use ids::{ChipId, CoreId, EngineId, SegmentId};
-pub use interconnect::InterconnectConfig;
+pub use interconnect::{DirtySet, InterconnectConfig};
 pub use memory::{HbmModel, MemoryKind, SegmentTable, SramModel};

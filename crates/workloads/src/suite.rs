@@ -128,6 +128,23 @@ impl ModelId {
             _ => 32,
         }
     }
+
+    /// The fraction of the model's per-request HBM traffic that *writes*
+    /// tenant-resident state (and therefore dirties pages a live pre-copy
+    /// migration must re-stream). Weights are read-mostly for every model;
+    /// what varies is the mutable state: an LLM appends to its KV cache on
+    /// every token, NLP encoders materialize large activations, embedding
+    /// lookups write small per-request scratch, and feed-forward vision
+    /// models barely touch HBM beyond streaming weights in.
+    pub fn hbm_write_fraction(self) -> f64 {
+        match self.category() {
+            ModelCategory::LargeLanguageModel => 0.35,
+            ModelCategory::NaturalLanguageProcessing => 0.15,
+            ModelCategory::Recommendation => 0.08,
+            ModelCategory::ObjectDetection => 0.04,
+            ModelCategory::ImageClassification => 0.02,
+        }
+    }
 }
 
 impl fmt::Display for ModelId {
@@ -371,6 +388,18 @@ mod tests {
         assert_eq!(ModelId::Bert.evaluation_batch_size(), 32);
         assert_eq!(ModelId::MaskRcnn.evaluation_batch_size(), 8);
         assert_eq!(ModelId::ShapeMask.evaluation_batch_size(), 8);
+    }
+
+    #[test]
+    fn write_fractions_order_kv_heavy_above_read_mostly() {
+        // The dirty-rate model rests on this ordering: KV-appending LLMs
+        // dirty far more resident state per request than feed-forward vision.
+        assert!(ModelId::Llama.hbm_write_fraction() > ModelId::Bert.hbm_write_fraction());
+        assert!(ModelId::Bert.hbm_write_fraction() > ModelId::ResNet.hbm_write_fraction());
+        for model in ModelId::all() {
+            let fraction = model.hbm_write_fraction();
+            assert!((0.0..=1.0).contains(&fraction), "{model:?}: {fraction}");
+        }
     }
 
     #[test]

@@ -55,9 +55,9 @@ pub mod prelude {
         Autopilot, AutoscalePolicy, Defragmenter, ScalingSpec, StepScaling, TargetTracking,
     };
     pub use cluster::{
-        ClusterServingSim, ControlAction, ControlPlane, DeploySpec, DispatchPolicy,
-        MigrationCostModel, NodeId, NpuCluster, PlacementPolicy, ServingOptions, TelemetryFrame,
-        VnpuHandle,
+        ClusterServingSim, ControlAction, ControlPlane, DeploySpec, DirtyRateModel, DispatchPolicy,
+        MigrationCostModel, MigrationMode, NodeId, NpuCluster, PlacementPolicy, PreCopyConfig,
+        ServingOptions, TelemetryFrame, VnpuHandle,
     };
     pub use hypervisor::{GuestVm, Host};
     pub use neu10::{

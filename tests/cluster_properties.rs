@@ -6,7 +6,7 @@ use cluster::{
     AdmissionControl, ClusterServingSim, DeploySpec, DispatchPolicy, MigrationCostModel, NodeId,
     NpuCluster, PlacementPolicy, ServingOptions,
 };
-use npu_sim::NpuConfig;
+use npu_sim::{Cycles, NpuConfig};
 use proptest::prelude::*;
 use workloads::{ClusterTrace, ModelId};
 
@@ -300,6 +300,83 @@ proptest! {
             }
             assert_index_matches(&index, &shadow)?;
         }
+    }
+
+    /// A live pre-copy migration triggered mid-stream — usually mid-batch on
+    /// a loaded replica — never loses an admitted request, whatever the
+    /// load, batching, trigger time, dirty rate and link speed: the queue
+    /// survives the copy rounds and the stop-and-copy, the replica genuinely
+    /// changes boards (or the loop aborts cleanly), and the run is
+    /// seed-reproducible.
+    #[test]
+    fn precopy_migration_never_loses_admitted_requests(
+        per_model in 20usize..=80,
+        gap_divisor in 1u64..=6,
+        max_batch in 1usize..=8,
+        trigger_num in 1u64..=8,
+        write_fraction in 0u32..=100,
+        slow_link in 0usize..=1,
+        seed in 0u64..=1_000,
+    ) {
+        let board = NpuConfig::single_core();
+        let service = cluster::estimated_service_cycles(ModelId::Mnist, 2, 2, &board);
+        let run = || {
+            let mut fleet = NpuCluster::homogeneous(2, &board);
+            let handle = fleet
+                .deploy(DeploySpec::replica(ModelId::Mnist, 2, 2), PlacementPolicy::BestFit)
+                .unwrap();
+            let spare = NodeId(if handle.node.0 == 0 { 1 } else { 0 });
+            let trace = ClusterTrace::poisson(
+                &[(ModelId::Mnist, (service / gap_divisor).max(1))],
+                per_model,
+                seed,
+            );
+            // Trigger lands inside the stream, so the replica is usually
+            // mid-batch with a queue behind it.
+            let trigger = Cycles(service * trigger_num);
+            let interconnect = if slow_link == 1 {
+                npu_sim::InterconnectConfig::tpu_v4_ici().with_bandwidth(1.0e9)
+            } else {
+                npu_sim::InterconnectConfig::tpu_v4_ici()
+            };
+            let cost = cluster::MigrationCostModel::default()
+                .with_interconnect(interconnect)
+                .with_precopy(cluster::PreCopyConfig::default().with_dirty_rate(
+                    cluster::DirtyRateModel::default()
+                        .with_write_fraction(write_fraction as f64 / 100.0),
+                ));
+            let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+                .with_batching(max_batch)
+                .with_cost_model(cost)
+                .with_live_migration(trigger, handle, spare);
+            let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
+            (report, fleet.total_vnpus())
+        };
+        let (report, vnpus) = run();
+        prop_assert_eq!(vnpus, 1, "exactly one replica lives on");
+        prop_assert_eq!(
+            report.stats.completed,
+            report.stats.admitted,
+            "a mid-stream pre-copy migration must not lose admitted requests"
+        );
+        prop_assert_eq!(report.latency.count, report.stats.completed);
+        // Whether the migration executed or was abandoned, the books balance.
+        prop_assert_eq!(
+            report.migration_stats.executed(),
+            report.migrations.len()
+        );
+        if let Some(record) = report.migrations.first() {
+            prop_assert_eq!(record.mode, cluster::MigrationMode::PreCopy);
+            prop_assert!(record.precopy_rounds >= 1);
+            prop_assert_eq!(record.round_bytes.len(), record.precopy_rounds as usize);
+            prop_assert_eq!(
+                record.precopy_bytes,
+                record.round_bytes.iter().sum::<u64>()
+            );
+        }
+        // Determinism: the identical inputs reproduce the identical report.
+        let (again, _) = run();
+        prop_assert_eq!(report, again);
     }
 
     /// Indexed dispatch and the reference per-arrival rebuild produce the

@@ -13,8 +13,8 @@
 use autopilot::{Autopilot, AutoscalePolicy, ScalingSpec, TargetTracking};
 use cluster::{
     estimated_batch_service_cycles, estimated_service_cycles, AdmissionControl, ClusterServingSim,
-    DeploySpec, DispatchPolicy, NpuCluster, PlacementPolicy, ServingOptions, ServingReport,
-    StochasticService,
+    DeploySpec, DispatchPolicy, MigrationMode, NpuCluster, PlacementPolicy, ServingOptions,
+    ServingReport, StochasticService,
 };
 use npu_sim::{Cycles, NpuConfig};
 use workloads::{ClusterTrace, DiurnalTrace, ModelId, PriorityClass, QosSpec};
@@ -79,6 +79,29 @@ fn digest(report: &ServingReport) -> u64 {
         fnv.fold(migration.drain_cycles);
         fnv.fold(migration.transfer_cycles);
         fnv.fold(migration.remap_cycles);
+        // Pre-copy accounting is folded only for live migrations, so every
+        // cold-path digest locked before live migration existed is preserved
+        // bit-for-bit.
+        if migration.mode != MigrationMode::Cold {
+            fnv.fold(migration.precopy_rounds as u64);
+            for bytes in &migration.round_bytes {
+                fnv.fold(*bytes);
+            }
+            fnv.fold(migration.precopy_bytes);
+            fnv.fold(migration.precopy_cycles);
+            fnv.fold(migration.converged as u64);
+        }
+    }
+    if report.migration_stats.precopy > 0 {
+        let stats = &report.migration_stats;
+        fnv.fold(stats.cold as u64);
+        fnv.fold(stats.precopy as u64);
+        fnv.fold(stats.precopy_fallbacks as u64);
+        fnv.fold(stats.rounds);
+        fnv.fold(stats.precopy_bytes);
+        fnv.fold(stats.precopy_cycles);
+        fnv.fold(stats.downtime_total);
+        fnv.fold(stats.downtime_max);
     }
     fnv.fold(report.control.samples as u64);
     fnv.fold(report.control.scale_ups as u64);
@@ -228,6 +251,40 @@ fn run_autopilot() -> ServingReport {
     run_autopilot_with(false)
 }
 
+/// The live-migration scenario: the policy scenario's fleet and trace, but
+/// the MNIST replica moves by pre-copy (serving through the copy rounds) and
+/// an NCF replica moves cold — one digest covering both modes, the per-round
+/// accounting and the `MigrationStats` aggregates.
+fn run_precopy() -> ServingReport {
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &config());
+    let mut fleet = mixed_fleet();
+    let mnist = *fleet.deployments().next().expect("fleet has deployments");
+    let ncf = *fleet
+        .deployments()
+        .find(|d| d.model == ModelId::Ncf)
+        .expect("fleet has an ncf replica");
+    // The fleet is fully packed, so the moves are chained: the NCF replica
+    // cold-migrates to the other NCF board early, and the MNIST pre-copy —
+    // whose full-state round takes far longer than that — switches over into
+    // the hole the NCF left behind.
+    let ncf_dest = fleet
+        .deployments()
+        .filter(|d| d.model == ModelId::Ncf)
+        .map(|d| d.handle.node)
+        .find(|node| *node != ncf.handle.node)
+        .expect("two ncf replicas on distinct boards");
+    let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+        .with_admission(AdmissionControl {
+            max_queue_depth: 12,
+        })
+        .with_batching(4)
+        .with_batch_wait(service / 2)
+        .with_stochastic(StochasticService::seeded(SEED).with_cv(0.25))
+        .with_live_migration(Cycles(service * 3), mnist.handle, ncf.handle.node)
+        .with_migration(Cycles(service * 5), ncf.handle, ncf_dest);
+    ClusterServingSim::new(options).run(&mut fleet, &mixed_trace())
+}
+
 /// Digests locked on the pre-optimization event loop. The refactored path
 /// must reproduce every one bit-for-bit.
 const GOLDEN: &[(&str, u64)] = &[
@@ -236,6 +293,9 @@ const GOLDEN: &[(&str, u64)] = &[
     ("locality", 0x366202416597f092),
     ("edf", 0x2373fa11ed9e3a67),
     ("autopilot-diurnal", 0x3985752d05691200),
+    // Locked when live pre-copy migration landed (covers both modes plus the
+    // per-round and MigrationStats folds).
+    ("precopy-mixed", 0x169f12e3bf438509),
 ];
 
 fn expected(name: &str) -> u64 {
@@ -284,6 +344,34 @@ fn policy_reports_are_seed_reproducible() {
             policy.label()
         );
     }
+}
+
+#[test]
+fn precopy_scenario_matches_golden_digest() {
+    let report = run_precopy();
+    // Sanity: the scenario genuinely exercises both migration modes.
+    assert!(report.stats.completed > 0);
+    assert_eq!(report.migration_stats.precopy, 1, "the live migration ran");
+    assert_eq!(report.migration_stats.cold, 1, "the cold migration ran");
+    let live = report
+        .migrations
+        .iter()
+        .find(|m| m.mode == MigrationMode::PreCopy)
+        .expect("a pre-copy record");
+    assert!(live.precopy_rounds >= 1);
+    assert_eq!(live.round_bytes.len(), live.precopy_rounds as usize);
+    check("precopy-mixed", &report);
+}
+
+#[test]
+fn precopy_scenario_is_seed_reproducible() {
+    let first = run_precopy();
+    let second = run_precopy();
+    assert_eq!(
+        first, second,
+        "the same seed must reproduce the identical pre-copy report, MigrationStats included"
+    );
+    assert_eq!(first.migration_stats, second.migration_stats);
 }
 
 #[test]
