@@ -95,6 +95,19 @@ impl AutopilotLog {
     fn count(&self, pred: impl Fn(&ControlAction) -> bool) -> usize {
         self.events.iter().filter(|e| pred(&e.action)).count()
     }
+
+    /// Replays every logged action into `sink` as
+    /// [`on_control`](cluster::ObsSink::on_control) instants, in issue order.
+    ///
+    /// The serving event loop already records control actions live when a
+    /// sink is attached; this is for post-hoc export — tracing a run that
+    /// was executed unobserved, or merging an autopilot's history into a
+    /// separately built [`cluster::TraceRecorder`].
+    pub fn trace_into(&self, sink: &mut dyn cluster::ObsSink) {
+        for event in &self.events {
+            sink.on_control(event.at.get(), &event.action);
+        }
+    }
 }
 
 /// The composed control plane: autoscaler first (capacity follows demand),
@@ -143,5 +156,52 @@ impl ControlPlane for Autopilot {
                 action: *action,
             }));
         actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{
+        DeploySpec, MigrationMode, NodeId, PlacementPolicy, TraceConfig, TraceRecorder, VnpuHandle,
+    };
+    use neu10::VnpuId;
+    use workloads::ModelId;
+
+    #[test]
+    fn trace_into_replays_logged_actions_as_control_instants() {
+        let handle = VnpuHandle {
+            node: NodeId(1),
+            vnpu: VnpuId(0),
+        };
+        let log = AutopilotLog {
+            events: vec![
+                AutopilotEvent {
+                    at: Cycles(100),
+                    action: ControlAction::ScaleUp {
+                        spec: DeploySpec::replica(ModelId::Mnist, 2, 2),
+                        placement: PlacementPolicy::BestFit,
+                    },
+                },
+                AutopilotEvent {
+                    at: Cycles(200),
+                    action: ControlAction::ScaleDown { handle },
+                },
+                AutopilotEvent {
+                    at: Cycles(300),
+                    action: ControlAction::Migrate {
+                        handle,
+                        to: NodeId(2),
+                        mode: MigrationMode::PreCopy,
+                    },
+                },
+            ],
+        };
+        let mut recorder = TraceRecorder::new(TraceConfig::default());
+        log.trace_into(&mut recorder);
+        assert_eq!(recorder.len(), 3, "one control instant per logged action");
+        assert_eq!(recorder.metrics().counter("control.scale_ups"), 1);
+        assert_eq!(recorder.metrics().counter("control.scale_downs"), 1);
+        assert_eq!(recorder.metrics().counter("control.migrations"), 1);
     }
 }

@@ -3,11 +3,17 @@
 //! serving loop on a replica-dense fleet (the regime where the rebuild's
 //! O(replicas²)-per-arrival cost dominates).
 //!
-//! The bench also runs under a counting allocator and verifies the telemetry
-//! sampling path is allocation-free at steady state: a run with dense
-//! sampling must not allocate once per tick on top of the identical
-//! telemetry-off run (the regression `telemetry::sample()` used to have —
-//! fresh frame vectors and model maps every tick).
+//! The bench also runs under a counting allocator and verifies two
+//! allocation budgets on top of the timing numbers:
+//!
+//! * the telemetry sampling path is allocation-free at steady state: a run
+//!   with dense sampling must not allocate once per tick on top of the
+//!   identical telemetry-off run (the regression `telemetry::sample()` used
+//!   to have — fresh frame vectors and model maps every tick);
+//! * the observability instrumentation is free when disabled: a run through
+//!   the `&mut dyn ObsSink` entry point with a [`NoopSink`] must allocate
+//!   **exactly** as many times as the plain `run` path — the hooks left in
+//!   the dispatch hot path add zero allocations without a live recorder.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -15,8 +21,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use cluster::{
-    estimated_batch_service_cycles, ClusterServingSim, DeploySpec, DispatchPolicy, NpuCluster,
-    PlacementPolicy, ServingOptions,
+    estimated_batch_service_cycles, ClusterServingSim, DeploySpec, DispatchPolicy, NoopSink,
+    NpuCluster, PlacementPolicy, ServingOptions,
 };
 use npu_sim::NpuConfig;
 use workloads::{ClusterTrace, ModelId};
@@ -125,8 +131,44 @@ fn verify_telemetry_sampling_is_allocation_free() {
     );
 }
 
+/// Asserts the observability hooks are free when no recorder is attached:
+/// `run` (statically monomorphized over `NoopSink`) and `run_observed` with
+/// an explicit `&mut NoopSink` (the dynamic-dispatch entry point) must
+/// allocate exactly the same number of times — obs-disabled adds 0
+/// allocations to the dispatch path.
+fn verify_obs_disabled_adds_zero_allocations() {
+    let trace = trace();
+    let run = |observed: bool| {
+        let mut fleet = fleet();
+        let sim = ClusterServingSim::new(
+            ServingOptions::new(DispatchPolicy::LeastLoaded).with_batching(MAX_BATCH),
+        );
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let report = if observed {
+            sim.run_observed(&mut fleet, &trace, &mut NoopSink)
+        } else {
+            sim.run(&mut fleet, &trace)
+        };
+        let allocations = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        (allocations, report)
+    };
+    let (base_allocations, base) = run(false);
+    let (noop_allocations, noop) = run(true);
+    assert_eq!(base, noop, "a no-op sink must not change the simulation");
+    assert_eq!(
+        base_allocations, noop_allocations,
+        "obs-disabled must add 0 allocations on the dispatch path: \
+         plain run {base_allocations}, noop-sink run {noop_allocations}"
+    );
+    println!(
+        "obs-alloc: noop-sink run allocates exactly the plain run's {base_allocations} \
+         allocations (obs-disabled adds 0)"
+    );
+}
+
 fn bench_dispatch(c: &mut Criterion) {
     verify_telemetry_sampling_is_allocation_free();
+    verify_obs_disabled_adds_zero_allocations();
     let trace = trace();
     let mut group = c.benchmark_group("dispatch");
     group.sample_size(10);

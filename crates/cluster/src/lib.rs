@@ -57,6 +57,7 @@ pub mod cluster;
 pub mod inventory;
 pub mod migration;
 pub mod node;
+pub mod obs;
 pub mod placement;
 pub mod router;
 pub mod serving;
@@ -69,6 +70,10 @@ pub use migration::{
     MigrationStats, PreCopyConfig,
 };
 pub use node::ClusterNode;
+pub use obs::{
+    export_chrome_trace, validate_chrome_trace, FleetCounters, MetricsRegistry, NoopSink, ObsSink,
+    RejectReason, TraceConfig, TraceRecorder, TraceStats, TraceValidation,
+};
 pub use placement::{rank_nodes, select_node, PlacementCandidate, PlacementPolicy};
 pub use router::{AdmissionControl, DispatchPolicy, ReplicaIndex, ReplicaView, RouterStats};
 pub use serving::{

@@ -1,0 +1,647 @@
+//! Chrome `trace_event` JSON export (Perfetto-compatible) and a structural
+//! validator for the exported traces.
+//!
+//! The exporter maps the simulated fleet onto the Chrome trace model:
+//!
+//! * **pid** — board: node `n` exports as pid `n + 1`; pid 0 is the
+//!   fleet-level pseudo-process hosting the router lane (tid 0), the
+//!   control-plane lane (tid 1) and the counter tracks;
+//! * **tid** — replica slot (the event loop's stable replica index), so a
+//!   replica that migrates keeps its lane per board;
+//! * **flow events** (`ph: s/t/f`, one id per request sequence number) stitch
+//!   a sampled request's arrival → queue → service → completion across
+//!   replicas and boards;
+//! * **counters** (`ph: C`) track fleet queue depth, in-flight batch
+//!   occupancy, live replicas, in-flight migrations and resident HBM bytes
+//!   at every telemetry tick.
+//!
+//! Timestamps are raw simulation cycles emitted as integer `ts`/`dur`
+//! microsecond fields (1 cycle = 1 µs in the viewer; only relative scale
+//! matters). Everything is emitted in deterministic order — ring order for
+//! events, sorted order for metadata — so the same recorder state always
+//! serializes to the same bytes.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::obs::trace::TraceEvent;
+use crate::obs::TraceRecorder;
+use crate::NodeId;
+
+/// The fleet-level pseudo-process (router + control lanes, counter tracks).
+const FLEET_PID: u64 = 0;
+/// Router lane on the fleet pseudo-process.
+const ROUTER_TID: u64 = 0;
+/// Control-plane lane on the fleet pseudo-process.
+const CONTROL_TID: u64 = 1;
+
+fn board_pid(node: NodeId) -> u64 {
+    node.0 as u64 + 1
+}
+
+/// Serializes the recorder's retained events, metadata and metrics registry
+/// as Chrome `trace_event` JSON. The output opens directly in
+/// <https://ui.perfetto.dev> (or `chrome://tracing`) and is byte-identical
+/// for identical recorder state.
+pub fn export_chrome_trace(recorder: &TraceRecorder) -> String {
+    let mut processes: BTreeSet<u64> = BTreeSet::new();
+    let mut threads: BTreeSet<(u64, u64)> = BTreeSet::new();
+    processes.insert(FLEET_PID);
+    threads.insert((FLEET_PID, ROUTER_TID));
+    for event in recorder.events() {
+        match event {
+            TraceEvent::Arrival { .. } | TraceEvent::Reject { .. } => {}
+            TraceEvent::Queue { node, slot, .. }
+            | TraceEvent::Service { node, slot, .. }
+            | TraceEvent::Complete { node, slot, .. }
+            | TraceEvent::Expire { node, slot, .. } => {
+                processes.insert(board_pid(*node));
+                threads.insert((board_pid(*node), *slot as u64));
+            }
+            TraceEvent::CopyRound {
+                source, dest, slot, ..
+            }
+            | TraceEvent::StopCopy {
+                source, dest, slot, ..
+            } => {
+                processes.insert(board_pid(*source));
+                processes.insert(board_pid(*dest));
+                threads.insert((board_pid(*source), *slot as u64));
+            }
+            TraceEvent::Control { .. } | TraceEvent::Tick { .. } => {
+                threads.insert((FLEET_PID, CONTROL_TID));
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(256 + recorder.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"neu10 cluster::obs\"},\"neu10Metrics\":");
+    recorder.metrics().render_json(&mut out);
+    out.push_str(",\"traceEvents\":[");
+    let mut first = true;
+
+    for pid in &processes {
+        let name = if *pid == FLEET_PID {
+            "fleet".to_string()
+        } else {
+            format!("board {}", pid - 1)
+        };
+        emit(&mut out, &mut first, |out| {
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
+            );
+        });
+    }
+    for (pid, tid) in &threads {
+        let name = if *pid == FLEET_PID {
+            if *tid == ROUTER_TID {
+                "router".to_string()
+            } else {
+                "control-plane".to_string()
+            }
+        } else {
+            format!("replica {tid}")
+        };
+        emit(&mut out, &mut first, |out| {
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+            );
+        });
+    }
+
+    for event in recorder.events() {
+        match event {
+            TraceEvent::Arrival {
+                at,
+                sequence,
+                model,
+            } => {
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"arrival\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":{at},\"dur\":1,\"pid\":{FLEET_PID},\"tid\":{ROUTER_TID},\"args\":{{\"seq\":{sequence},\"model\":\"{}\"}}}}",
+                        model.name()
+                    );
+                });
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"request\",\"cat\":\"request\",\"ph\":\"s\",\"id\":{sequence},\"ts\":{at},\"pid\":{FLEET_PID},\"tid\":{ROUTER_TID}}}"
+                    );
+                });
+            }
+            TraceEvent::Reject {
+                at,
+                sequence,
+                model,
+                reason,
+            } => {
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"reject\",\"cat\":\"request\",\"ph\":\"i\",\"ts\":{at},\"pid\":{FLEET_PID},\"tid\":{ROUTER_TID},\"s\":\"t\",\"args\":{{\"seq\":{sequence},\"model\":\"{}\",\"reason\":\"{}\"}}}}",
+                        model.name(),
+                        reason.label()
+                    );
+                });
+            }
+            TraceEvent::Queue {
+                from,
+                until,
+                sequence,
+                model,
+                node,
+                slot,
+            } => {
+                let pid = board_pid(*node);
+                let dur = (until - from).max(1);
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"queue\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":{from},\"dur\":{dur},\"pid\":{pid},\"tid\":{slot},\"args\":{{\"seq\":{sequence},\"model\":\"{}\"}}}}",
+                        model.name()
+                    );
+                });
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"request\",\"cat\":\"request\",\"ph\":\"t\",\"id\":{sequence},\"ts\":{from},\"pid\":{pid},\"tid\":{slot}}}"
+                    );
+                });
+            }
+            TraceEvent::Service {
+                from,
+                until,
+                model,
+                node,
+                slot,
+                batch,
+            } => {
+                let pid = board_pid(*node);
+                let dur = (until - from).max(1);
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"serve\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":{from},\"dur\":{dur},\"pid\":{pid},\"tid\":{slot},\"args\":{{\"model\":\"{}\",\"batch\":{batch}}}}}",
+                        model.name()
+                    );
+                });
+            }
+            TraceEvent::Complete {
+                at,
+                sequence,
+                node,
+                slot,
+                deadline_met,
+            } => {
+                let pid = board_pid(*node);
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"request\",\"cat\":\"request\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{sequence},\"ts\":{at},\"pid\":{pid},\"tid\":{slot}"
+                    );
+                    if let Some(met) = deadline_met {
+                        let _ = write!(out, ",\"args\":{{\"deadline_met\":{met}}}");
+                    }
+                    out.push('}');
+                });
+            }
+            TraceEvent::Expire {
+                at,
+                sequence,
+                model,
+                node,
+                slot,
+            } => {
+                let pid = board_pid(*node);
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"expire\",\"cat\":\"request\",\"ph\":\"i\",\"ts\":{at},\"pid\":{pid},\"tid\":{slot},\"s\":\"t\",\"args\":{{\"seq\":{sequence},\"model\":\"{}\"}}}}",
+                        model.name()
+                    );
+                });
+            }
+            TraceEvent::CopyRound {
+                from,
+                until,
+                source,
+                dest,
+                slot,
+                round,
+                bytes,
+            } => {
+                let pid = board_pid(*source);
+                let dur = (until - from).max(1);
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"copy-round\",\"cat\":\"migration\",\"ph\":\"X\",\"ts\":{from},\"dur\":{dur},\"pid\":{pid},\"tid\":{slot},\"args\":{{\"round\":{round},\"bytes\":{bytes},\"to\":\"board {}\"}}}}",
+                        dest.0
+                    );
+                });
+            }
+            TraceEvent::StopCopy {
+                from,
+                until,
+                source,
+                dest,
+                slot,
+                bytes,
+                mode,
+                converged,
+            } => {
+                let pid = board_pid(*source);
+                let dur = (until - from).max(1);
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"stop-and-copy\",\"cat\":\"migration\",\"ph\":\"X\",\"ts\":{from},\"dur\":{dur},\"pid\":{pid},\"tid\":{slot},\"args\":{{\"mode\":\"{}\",\"converged\":{converged},\"state_bytes\":{bytes},\"to\":\"board {}\"}}}}",
+                        mode.label(),
+                        dest.0
+                    );
+                });
+            }
+            TraceEvent::Control {
+                at,
+                kind,
+                node,
+                dest,
+                model,
+            } => {
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{}\",\"cat\":\"control\",\"ph\":\"i\",\"ts\":{at},\"pid\":{FLEET_PID},\"tid\":{CONTROL_TID},\"s\":\"t\",\"args\":{{",
+                        kind.label()
+                    );
+                    let mut any = false;
+                    if let Some(node) = node {
+                        let _ = write!(out, "\"node\":{}", node.0);
+                        any = true;
+                    }
+                    if let Some(dest) = dest {
+                        if any {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "\"to\":{}", dest.0);
+                        any = true;
+                    }
+                    if let Some(model) = model {
+                        if any {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "\"model\":\"{}\"", model.name());
+                    }
+                    out.push_str("}}");
+                });
+            }
+            TraceEvent::Tick { at, counters } => {
+                emit(&mut out, &mut first, |out| {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"tick\",\"cat\":\"telemetry\",\"ph\":\"i\",\"ts\":{at},\"pid\":{FLEET_PID},\"tid\":{CONTROL_TID},\"s\":\"t\"}}"
+                    );
+                });
+                for (name, value) in [
+                    ("fleet.queued", counters.queued),
+                    ("fleet.in_flight", counters.in_flight),
+                    ("fleet.live_replicas", counters.live_replicas),
+                    ("fleet.migrations_in_flight", counters.migrations_in_flight),
+                    ("fleet.resident_bytes", counters.resident_bytes),
+                ] {
+                    emit(&mut out, &mut first, |out| {
+                        let _ = write!(
+                            out,
+                            "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{at},\"pid\":{FLEET_PID},\"args\":{{\"value\":{value}}}}}"
+                        );
+                    });
+                }
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn emit(out: &mut String, first: &mut bool, write: impl FnOnce(&mut String)) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    write(out);
+}
+
+/// Structural facts about an exported trace, from
+/// [`validate_chrome_trace`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceValidation {
+    /// Total `traceEvents` entries (metadata included).
+    pub events: usize,
+    /// Complete spans (`ph: "X"`) per span name.
+    pub complete_spans: BTreeMap<String, usize>,
+    /// Instant events (`ph: "i"`) per name.
+    pub instants: BTreeMap<String, usize>,
+    /// Flow events (`ph: "s"/"t"/"f"`).
+    pub flow_events: usize,
+    /// Counter samples (`ph: "C"`).
+    pub counter_events: usize,
+    /// Metadata records (`ph: "M"`).
+    pub metadata_events: usize,
+}
+
+impl TraceValidation {
+    /// Fails unless at least one complete span of each `names` entry exists.
+    pub fn require_complete_spans(&self, names: &[&str]) -> Result<(), String> {
+        for name in names {
+            if self.complete_spans.get(*name).copied().unwrap_or(0) == 0 {
+                return Err(format!("trace has no complete \"{name}\" span"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses `json` as Chrome `trace_event` JSON and checks its structure:
+/// a top-level object with a `traceEvents` array whose entries are objects
+/// carrying a `ph` phase, with numeric `ts`/`dur` on complete spans. Returns
+/// per-phase counts for downstream assertions ("≥ 1 serve span", …).
+pub fn validate_chrome_trace(json: &str) -> Result<TraceValidation, String> {
+    let value = parse_json(json)?;
+    let Json::Object(top) = &value else {
+        return Err("top level is not an object".into());
+    };
+    let Some(Json::Array(events)) = field(top, "traceEvents") else {
+        return Err("missing traceEvents array".into());
+    };
+    let mut validation = TraceValidation {
+        events: events.len(),
+        ..TraceValidation::default()
+    };
+    for (index, event) in events.iter().enumerate() {
+        let Json::Object(entries) = event else {
+            return Err(format!("traceEvents[{index}] is not an object"));
+        };
+        let Some(Json::String(ph)) = field(entries, "ph") else {
+            return Err(format!("traceEvents[{index}] has no ph"));
+        };
+        let name = match field(entries, "name") {
+            Some(Json::String(name)) => name.clone(),
+            _ => String::new(),
+        };
+        match ph.as_str() {
+            "X" => {
+                let ts = field(entries, "ts").and_then(Json::as_number);
+                let dur = field(entries, "dur").and_then(Json::as_number);
+                if ts.is_none() || dur.is_none() {
+                    return Err(format!("complete span {index} lacks numeric ts/dur"));
+                }
+                *validation.complete_spans.entry(name).or_insert(0) += 1;
+            }
+            "i" => {
+                *validation.instants.entry(name).or_insert(0) += 1;
+            }
+            "s" | "t" | "f" => validation.flow_events += 1,
+            "C" => validation.counter_events += 1,
+            "M" => validation.metadata_events += 1,
+            other => return Err(format!("traceEvents[{index}] has unknown ph {other:?}")),
+        }
+    }
+    Ok(validation)
+}
+
+fn field<'a>(entries: &'a [(String, Json)], name: &str) -> Option<&'a Json> {
+    entries
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value)
+}
+
+/// A parsed JSON value (internal to validation; not a general-purpose API).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A minimal, strict recursive-descent JSON parser — enough to validate the
+/// exporter's output (and any well-formed JSON) without external crates.
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let Json::String(key) = parse_value(bytes, pos)? else {
+                    return Err(format!("object key at byte {pos} is not a string"));
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::String(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'u') => {
+                                let hex = bytes
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {pos}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&byte) => {
+                        // Multi-byte UTF-8 passes through unchanged.
+                        let start = *pos;
+                        let len = match byte {
+                            0x00..=0x7f => 1,
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            _ => 4,
+                        };
+                        let chunk = bytes
+                            .get(start..start + len)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        s.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?);
+                        *pos += len;
+                    }
+                }
+            }
+        }
+        Some(b't') => literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => literal(bytes, pos, "null", Json::Null),
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid number")?;
+            text.parse::<f64>()
+                .map(Json::Number)
+                .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        }
+    }
+}
+
+fn literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::TraceConfig;
+    use workloads::ModelId;
+
+    #[test]
+    fn parser_round_trips_the_basics() {
+        let value = parse_json("{\"a\":[1,2.5,-3],\"b\":\"x\\ny\",\"c\":true,\"d\":null,\"e\":{}}")
+            .unwrap();
+        let Json::Object(entries) = value else {
+            panic!("not an object")
+        };
+        assert_eq!(
+            field(&entries, "a"),
+            Some(&Json::Array(vec![
+                Json::Number(1.0),
+                Json::Number(2.5),
+                Json::Number(-3.0)
+            ]))
+        );
+        assert_eq!(field(&entries, "b"), Some(&Json::String("x\ny".into())));
+        assert_eq!(field(&entries, "c"), Some(&Json::Bool(true)));
+        assert_eq!(field(&entries, "d"), Some(&Json::Null));
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn export_of_a_synthetic_recorder_validates() {
+        use crate::obs::ObsSink;
+        let mut recorder = TraceRecorder::new(TraceConfig::default());
+        recorder.on_arrival(0, 1, ModelId::Mnist);
+        recorder.on_dispatch(0, 1, ModelId::Mnist, NodeId(0), 0);
+        recorder.on_service_request(10, 1, ModelId::Mnist, 0, NodeId(0), 0);
+        recorder.on_service_batch(10, 50, ModelId::Mnist, NodeId(0), 0, 1);
+        recorder.on_complete(50, 1, ModelId::Mnist, 0, NodeId(0), 0, Some(true));
+        let json = recorder.export_chrome_trace();
+        let validation = validate_chrome_trace(&json).expect("valid trace");
+        validation
+            .require_complete_spans(&["arrival", "queue", "serve"])
+            .unwrap();
+        assert!(validation.flow_events >= 3, "s + t + f flow chain");
+        assert!(validation.metadata_events >= 3, "process + thread names");
+        // Byte-identical re-export.
+        assert_eq!(json, recorder.export_chrome_trace());
+    }
+}

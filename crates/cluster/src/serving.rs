@@ -56,7 +56,8 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use neu10::{
-    calibrate_service_time, DeadlineStats, IsaKind, LatencySummary, MetricsWindow, TenantWorkload,
+    calibrate_service_time, DeadlineStats, IsaKind, LatencySummary, MetricsWindow, QuantileSketch,
+    TenantWorkload,
 };
 use npu_sim::{Cycles, DirtySet, NpuConfig, NpuConfigKey};
 use rand::rngs::StdRng;
@@ -65,6 +66,7 @@ use workloads::{ClusterTrace, ModelId, PriorityClass};
 
 use crate::cluster::{DeployedVnpu, NpuCluster, VnpuHandle};
 use crate::migration::{MigrationCostModel, MigrationMode, MigrationRecord, MigrationStats};
+use crate::obs::{FleetCounters, NoopSink, ObsSink, RejectReason};
 use crate::router::{
     AdmissionControl, DispatchDecision, DispatchPolicy, ReplicaIndex, ReplicaView, Router,
     RouterStats,
@@ -359,6 +361,105 @@ impl QueuedRequest {
     }
 }
 
+/// Heap entry comparing queued requests by their EDF key. The key is a
+/// *total* order — sequences are unique per trace — so equal keys never
+/// occur and heap pop order is fully deterministic.
+#[derive(Debug, Clone, Copy)]
+struct EdfEntry(QueuedRequest);
+
+impl PartialEq for EdfEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.edf_key() == other.0.edf_key()
+    }
+}
+
+impl Eq for EdfEntry {}
+
+impl PartialOrd for EdfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EdfEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.edf_key().cmp(&other.0.edf_key())
+    }
+}
+
+/// A replica's admitted-request queue: a FIFO ring, or — under
+/// [`DispatchPolicy::EarliestDeadline`] — a min-heap ordered by
+/// [`QueuedRequest::edf_key`].
+///
+/// The heap replaces a sorted-`VecDeque` linear insert (O(n) per enqueue,
+/// quadratic across a backlog burst) with O(log n) push/pop. Because the EDF
+/// key is a total order, popping the heap yields exactly the drain order the
+/// sorted insert produced, so reports are bit-identical to the seed.
+#[derive(Debug)]
+enum ReplicaQueue {
+    Fifo(VecDeque<QueuedRequest>),
+    Edf(BinaryHeap<Reverse<EdfEntry>>),
+}
+
+impl ReplicaQueue {
+    fn new(edf: bool) -> Self {
+        if edf {
+            ReplicaQueue::Edf(BinaryHeap::new())
+        } else {
+            ReplicaQueue::Fifo(VecDeque::new())
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ReplicaQueue::Fifo(queue) => queue.len(),
+            ReplicaQueue::Edf(heap) => heap.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push(&mut self, request: QueuedRequest) {
+        match self {
+            ReplicaQueue::Fifo(queue) => queue.push_back(request),
+            ReplicaQueue::Edf(heap) => heap.push(Reverse(EdfEntry(request))),
+        }
+    }
+
+    /// Earliest arrival cycle among the queued requests (`None` when empty).
+    fn oldest_arrival(&self) -> Option<u64> {
+        match self {
+            ReplicaQueue::Fifo(queue) => queue.iter().map(|queued| queued.arrived).min(),
+            ReplicaQueue::Edf(heap) => heap.iter().map(|Reverse(entry)| entry.0.arrived).min(),
+        }
+    }
+
+    /// Drops every request failing `keep`. Callback order is unspecified
+    /// (heap retention visits in heap order), so drop accounting must be
+    /// order-insensitive — which the deadline/window counters are.
+    fn retain(&mut self, mut keep: impl FnMut(&QueuedRequest) -> bool) {
+        match self {
+            ReplicaQueue::Fifo(queue) => queue.retain(|queued| keep(queued)),
+            ReplicaQueue::Edf(heap) => heap.retain(|Reverse(entry)| keep(&entry.0)),
+        }
+    }
+
+    /// Moves the next `size` requests — FIFO or EDF order — into `batch`.
+    fn drain_into(&mut self, size: usize, batch: &mut Vec<QueuedRequest>) {
+        match self {
+            ReplicaQueue::Fifo(queue) => batch.extend(queue.drain(..size)),
+            ReplicaQueue::Edf(heap) => {
+                for _ in 0..size {
+                    let Reverse(entry) = heap.pop().expect("size <= len");
+                    batch.push(entry.0);
+                }
+            }
+        }
+    }
+}
+
 /// The in-flight state of one live pre-copy migration: the dirty-page
 /// accounting over the replica's resident state, the copy-round history, and
 /// the convergence bookkeeping. Lives on the source replica from the request
@@ -397,7 +498,7 @@ struct ReplicaSim {
     batch_cycles: Arc<[u64]>,
     /// Calibrated service-time coefficient of variation (0 = deterministic).
     cv: f64,
-    queue: VecDeque<QueuedRequest>,
+    queue: ReplicaQueue,
     /// The batch in service with its (start, finish) times.
     in_service: Option<(Vec<QueuedRequest>, u64, u64)>,
     available_at: u64,
@@ -434,18 +535,10 @@ impl ReplicaSim {
         !self.retired
     }
 
-    /// Inserts an admitted request, FIFO or EDF-ordered.
-    fn enqueue(&mut self, request: QueuedRequest, edf: bool) {
-        if edf {
-            let at = self
-                .queue
-                .iter()
-                .position(|queued| queued.edf_key() > request.edf_key())
-                .unwrap_or(self.queue.len());
-            self.queue.insert(at, request);
-        } else {
-            self.queue.push_back(request);
-        }
+    /// Inserts an admitted request, FIFO or EDF-ordered (the queue variant
+    /// was fixed at replica construction).
+    fn enqueue(&mut self, request: QueuedRequest) {
+        self.queue.push(request);
     }
 }
 
@@ -463,7 +556,6 @@ struct ServeState {
     max_batch: usize,
     max_batch_wait: Option<u64>,
     drop_expired: bool,
-    edf: bool,
     rng: Option<StdRng>,
     deadline: DeadlineStats,
     batches: usize,
@@ -656,14 +748,19 @@ type CalibrationKey = (ModelId, usize, usize, NpuConfigKey);
 struct CalibrationCache {
     max_batch: usize,
     stochastic: Option<StochasticService>,
+    /// Whether replicas order their queues earliest-deadline-first (fixes
+    /// the [`ReplicaQueue`] variant of every replica built, including
+    /// control-plane scale-ups).
+    edf: bool,
     entries: HashMap<CalibrationKey, CalibrationEntry>,
 }
 
 impl CalibrationCache {
-    fn new(max_batch: usize, stochastic: Option<StochasticService>) -> Self {
+    fn new(max_batch: usize, stochastic: Option<StochasticService>, edf: bool) -> Self {
         CalibrationCache {
             max_batch,
             stochastic,
+            edf,
             entries: HashMap::new(),
         }
     }
@@ -731,7 +828,7 @@ impl CalibrationCache {
             model: deployment.model,
             batch_cycles,
             cv,
-            queue: VecDeque::new(),
+            queue: ReplicaQueue::new(self.edf),
             in_service: None,
             available_at: now,
             pending_migration: None,
@@ -764,7 +861,44 @@ impl ClusterServingSim {
     /// The cluster is mutated by scheduled migrations (their placements
     /// genuinely move); everything else is read-only.
     pub fn run(&self, cluster: &mut NpuCluster, trace: &ClusterTrace) -> ServingReport {
-        self.run_loop(cluster, trace, &mut NoopControl)
+        self.run_loop(cluster, trace, &mut NoopControl, &mut NoopSink)
+    }
+
+    /// [`ClusterServingSim::run`] with the event loop instrumented through
+    /// `sink` (typically a [`crate::obs::TraceRecorder`]).
+    ///
+    /// Observation never perturbs the simulation: the report is bit-identical
+    /// to the uninstrumented [`ClusterServingSim::run`], and with
+    /// [`NoopSink`] the monomorphized loop *is* the uninstrumented loop.
+    pub fn run_observed(
+        &self,
+        cluster: &mut NpuCluster,
+        trace: &ClusterTrace,
+        sink: &mut dyn ObsSink,
+    ) -> ServingReport {
+        self.run_loop(cluster, trace, &mut NoopControl, sink)
+    }
+
+    /// [`ClusterServingSim::run_with_controller`] with the event loop
+    /// instrumented through `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`ServingOptions::with_telemetry`] was configured, for
+    /// the same reason as [`ClusterServingSim::run_with_controller`].
+    pub fn run_observed_with_controller(
+        &self,
+        cluster: &mut NpuCluster,
+        trace: &ClusterTrace,
+        controller: &mut dyn ControlPlane,
+        sink: &mut dyn ObsSink,
+    ) -> ServingReport {
+        assert!(
+            self.options.telemetry_interval.is_some(),
+            "run_observed_with_controller requires ServingOptions::with_telemetry: \
+             without a sampling interval the controller is never invoked"
+        );
+        self.run_loop(cluster, trace, controller, sink)
     }
 
     /// Replays `trace` against `cluster` under a closed-loop `controller`.
@@ -793,19 +927,24 @@ impl ClusterServingSim {
             "run_with_controller requires ServingOptions::with_telemetry: \
              without a sampling interval the controller is never invoked"
         );
-        self.run_loop(cluster, trace, controller)
+        self.run_loop(cluster, trace, controller, &mut NoopSink)
     }
 
-    /// The shared event loop behind [`ClusterServingSim::run`] and
-    /// [`ClusterServingSim::run_with_controller`].
-    fn run_loop(
+    /// The shared event loop behind every `run*` entry point.
+    ///
+    /// Generic over the [`ObsSink`] so the disabled path ([`NoopSink`], whose
+    /// hooks are all empty defaults) monomorphizes to exactly the
+    /// uninstrumented loop — no branches, no allocations, no digest drift.
+    fn run_loop<S: ObsSink + ?Sized>(
         &self,
         cluster: &mut NpuCluster,
         trace: &ClusterTrace,
         controller: &mut dyn ControlPlane,
+        sink: &mut S,
     ) -> ServingReport {
         let max_batch = self.options.max_batch.max(1);
-        let mut cache = CalibrationCache::new(max_batch, self.options.stochastic);
+        let edf = self.options.dispatch.orders_queues_by_deadline();
+        let mut cache = CalibrationCache::new(max_batch, self.options.stochastic, edf);
         let initial: Vec<DeployedVnpu> = cluster.deployments().copied().collect();
         let mut replicas: Vec<ReplicaSim> = initial
             .iter()
@@ -828,7 +967,6 @@ impl ClusterServingSim {
             max_batch,
             max_batch_wait: self.options.max_batch_wait,
             drop_expired: self.options.drop_expired,
-            edf: self.options.dispatch.orders_queues_by_deadline(),
             rng: self
                 .options
                 .stochastic
@@ -866,8 +1004,13 @@ impl ClusterServingSim {
         let mut next_arrival = 0usize;
         let mut makespan = 0u64;
         let mut perf = PerfStats::default();
-        let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
-        let mut per_model: BTreeMap<ModelId, Vec<u64>> = BTreeMap::new();
+        // Latency accumulators are streaming quantile sketches, not retained
+        // per-sample vectors: exact (and summary-bit-identical to the seed's
+        // sort-then-summarize) below the sketch cap, α-bounded and O(1)
+        // memory beyond it — a 10M-arrival run no longer holds 80MB of
+        // samples to answer four percentiles.
+        let mut latencies = QuantileSketch::with_capacity_hint(arrivals.len());
+        let mut per_model: BTreeMap<ModelId, QuantileSketch> = BTreeMap::new();
         let mut per_node_completed: BTreeMap<NodeId, usize> = BTreeMap::new();
         let mut migration_records: Vec<MigrationRecord> = Vec::new();
         // Candidate-view scratch, refilled per arrival; after warm-up the
@@ -901,19 +1044,30 @@ impl ClusterServingSim {
                         replica.window_busy += finish - started.max(state.window_start);
                         for request in &batch {
                             let latency = now.saturating_sub(request.arrived);
-                            latencies.push(latency);
-                            per_model.entry(request.model).or_default().push(latency);
+                            latencies.record(latency);
+                            per_model.entry(request.model).or_default().record(latency);
                             if let Some(window) = state.window_of(request.model) {
                                 window.metrics.record_latency(latency);
                             }
+                            let mut deadline_met = None;
                             if let Some(deadline) = request.deadline {
                                 let met = now <= deadline;
+                                deadline_met = Some(met);
                                 state.deadline.record_completion(met);
                                 if let Some(window) = state.window_of(request.model) {
                                     window.metrics.record_deadline(met);
                                 }
                             }
                             router.record_completion();
+                            sink.on_complete(
+                                now,
+                                request.sequence,
+                                request.model,
+                                request.arrived,
+                                replica.handle.node,
+                                index,
+                                deadline_met,
+                            );
                         }
                         *per_node_completed.entry(replica.handle.node).or_default() += batch.len();
                         // A live pre-copy in flight: the served batch wrote
@@ -941,6 +1095,7 @@ impl ClusterServingSim {
                                 &mut links,
                                 index,
                                 &mut state,
+                                sink,
                             );
                         } else {
                             Self::start_next(
@@ -949,6 +1104,7 @@ impl ClusterServingSim {
                                 &mut events,
                                 index,
                                 &mut state,
+                                sink,
                             );
                             Self::retire_if_drained(
                                 cluster,
@@ -961,7 +1117,14 @@ impl ClusterServingSim {
                     }
                     EV_RESUME => {
                         makespan = makespan.max(now);
-                        Self::start_next(&mut replicas[index], now, &mut events, index, &mut state);
+                        Self::start_next(
+                            &mut replicas[index],
+                            now,
+                            &mut events,
+                            index,
+                            &mut state,
+                            sink,
+                        );
                         Self::retire_if_drained(
                             cluster,
                             &mut replicas[index],
@@ -977,7 +1140,7 @@ impl ClusterServingSim {
                         // re-arms a fresh one when it holds again.
                         if replica.batch_timeout_at == Some(now) {
                             replica.batch_timeout_at = None;
-                            Self::start_next(replica, now, &mut events, index, &mut state);
+                            Self::start_next(replica, now, &mut events, index, &mut state, sink);
                         }
                     }
                     EV_COPY_ROUND => {
@@ -992,6 +1155,7 @@ impl ClusterServingSim {
                             &mut events,
                             &mut links,
                             &mut state,
+                            sink,
                         );
                     }
                     EV_MIGRATION => {
@@ -1012,6 +1176,7 @@ impl ClusterServingSim {
                                 &mut events,
                                 &mut links,
                                 &mut state,
+                                sink,
                             ),
                             MigrationMode::PreCopy => Self::begin_precopy(
                                 cluster,
@@ -1023,6 +1188,7 @@ impl ClusterServingSim {
                                 &mut events,
                                 &mut links,
                                 &mut state,
+                                sink,
                             ),
                         }
                     }
@@ -1036,6 +1202,23 @@ impl ClusterServingSim {
                             &mut state,
                         );
                         state.control.samples += 1;
+                        // Fleet-wide counter tracks are gathered only for an
+                        // active sink: the disabled path never pays the scan.
+                        if sink.active() {
+                            let mut counters = FleetCounters::default();
+                            for replica in replicas.iter().filter(|r| r.live()) {
+                                counters.queued += replica.queue.len() as u64;
+                                counters.in_flight += replica.in_flight() as u64;
+                                counters.live_replicas += 1;
+                                if replica.precopy.is_some() || replica.pending_migration.is_some()
+                                {
+                                    counters.migrations_in_flight += 1;
+                                }
+                                counters.resident_bytes +=
+                                    cluster.resident_state_bytes(replica.handle).unwrap_or(0);
+                            }
+                            sink.on_tick(now, &frame, &counters);
+                        }
                         let actions = controller.control(&frame, cluster);
                         for action in actions {
                             Self::apply_action(
@@ -1050,6 +1233,7 @@ impl ClusterServingSim {
                                 &mut events,
                                 &mut links,
                                 &mut state,
+                                sink,
                             );
                         }
                         // Keep ticking only while there is (or can be) work:
@@ -1075,6 +1259,7 @@ impl ClusterServingSim {
                 next_arrival += 1;
                 perf.arrivals += 1;
                 let now = arrival.at.get();
+                sink.on_arrival(now, arrival.sequence, arrival.model);
 
                 views.clear();
                 if self.options.reference_dispatch {
@@ -1123,6 +1308,13 @@ impl ClusterServingSim {
                         if let Some(window) = state.window_of(arrival.model) {
                             window.arrivals += 1;
                         }
+                        sink.on_dispatch(
+                            now,
+                            arrival.sequence,
+                            arrival.model,
+                            replicas[index].handle.node,
+                            index,
+                        );
                         let request = QueuedRequest {
                             model: arrival.model,
                             arrived: now,
@@ -1130,13 +1322,27 @@ impl ClusterServingSim {
                             priority: arrival.priority,
                             sequence: arrival.sequence,
                         };
-                        replicas[index].enqueue(request, state.edf);
-                        Self::start_next(&mut replicas[index], now, &mut events, index, &mut state);
+                        replicas[index].enqueue(request);
+                        Self::start_next(
+                            &mut replicas[index],
+                            now,
+                            &mut events,
+                            index,
+                            &mut state,
+                            sink,
+                        );
                     }
-                    DispatchDecision::RejectNoReplica | DispatchDecision::RejectOverload => {
+                    decision @ (DispatchDecision::RejectNoReplica
+                    | DispatchDecision::RejectOverload) => {
                         if let Some(window) = state.window_of(arrival.model) {
                             window.rejected += 1;
                         }
+                        let reason = if matches!(decision, DispatchDecision::RejectNoReplica) {
+                            RejectReason::NoReplica
+                        } else {
+                            RejectReason::Overload
+                        };
+                        sink.on_reject(now, arrival.sequence, arrival.model, reason);
                     }
                 }
             }
@@ -1148,14 +1354,16 @@ impl ClusterServingSim {
         }
         perf.peak_replicas = state.peak_replicas;
 
-        latencies.sort_unstable();
+        // `summary_sorted` reproduces the seed's sort-then-`from_sorted`
+        // global summary bit-for-bit below the sketch cap; `summary`
+        // reproduces the insertion-order `from_samples` per-model fold.
         ServingReport {
             dispatch: self.options.dispatch,
             stats: router.stats(),
-            latency: LatencySummary::from_sorted(&latencies),
+            latency: latencies.summary_sorted(),
             per_model: per_model
                 .into_iter()
-                .map(|(model, samples)| (model, LatencySummary::from_samples(&samples)))
+                .map(|(model, sketch)| (model, sketch.summary()))
                 .collect(),
             per_node_completed,
             deadline: state.deadline,
@@ -1254,7 +1462,7 @@ impl ClusterServingSim {
 
     /// Applies one control-plane action inside the event loop.
     #[allow(clippy::too_many_arguments)]
-    fn apply_action(
+    fn apply_action<S: ObsSink + ?Sized>(
         cluster: &mut NpuCluster,
         replicas: &mut Vec<ReplicaSim>,
         dispatch_index: &mut ReplicaIndex,
@@ -1266,7 +1474,9 @@ impl ClusterServingSim {
         events: &mut EventQueue,
         links: &mut LinkSchedule,
         state: &mut ServeState,
+        sink: &mut S,
     ) {
+        sink.on_control(now, &action);
         match action {
             ControlAction::ScaleUp { spec, placement } => match cluster.deploy(spec, placement) {
                 Ok(handle) => {
@@ -1298,7 +1508,7 @@ impl ClusterServingSim {
                 state.control.scale_downs += 1;
                 // A held partial batch flushes immediately: a draining
                 // replica never waits for a batch that cannot form.
-                Self::start_next(&mut replicas[index], now, events, index, state);
+                Self::start_next(&mut replicas[index], now, events, index, state, sink);
                 Self::retire_if_drained(cluster, &mut replicas[index], dispatch_index, now, state);
             }
             ControlAction::Migrate { handle, to, mode } => {
@@ -1319,9 +1529,10 @@ impl ClusterServingSim {
                         events,
                         links,
                         state,
+                        sink,
                     ),
                     MigrationMode::PreCopy => Self::begin_precopy(
-                        cluster, replicas, index, to, now, cost_model, events, links, state,
+                        cluster, replicas, index, to, now, cost_model, events, links, state, sink,
                     ),
                 }
             }
@@ -1331,7 +1542,7 @@ impl ClusterServingSim {
     /// Triggers a cold migration of `replicas[index]` to `to`: a busy replica
     /// drains its in-flight batch first, an idle one migrates immediately.
     #[allow(clippy::too_many_arguments)]
-    fn request_migration(
+    fn request_migration<S: ObsSink + ?Sized>(
         cluster: &mut NpuCluster,
         replicas: &mut [ReplicaSim],
         dispatch_index: &mut ReplicaIndex,
@@ -1343,6 +1554,7 @@ impl ClusterServingSim {
         events: &mut EventQueue,
         links: &mut LinkSchedule,
         state: &mut ServeState,
+        sink: &mut S,
     ) {
         // A draining replica is about to release its vNPU anyway: migrating
         // it would charge a pointless dark window to its queued requests. A
@@ -1371,6 +1583,7 @@ impl ClusterServingSim {
                 links,
                 index,
                 state,
+                sink,
             );
         }
     }
@@ -1380,7 +1593,7 @@ impl ClusterServingSim {
     /// while the replica keeps serving; the copy-round event continues the
     /// loop.
     #[allow(clippy::too_many_arguments)]
-    fn begin_precopy(
+    fn begin_precopy<S: ObsSink + ?Sized>(
         cluster: &mut NpuCluster,
         replicas: &mut [ReplicaSim],
         index: usize,
@@ -1390,6 +1603,7 @@ impl ClusterServingSim {
         events: &mut EventQueue,
         links: &mut LinkSchedule,
         state: &mut ServeState,
+        sink: &mut S,
     ) {
         let replica = &mut replicas[index];
         if replica.handle.node == to
@@ -1404,6 +1618,7 @@ impl ClusterServingSim {
             // Unknown destination or stale placement: refused, like the cold
             // path's migrate() error.
             state.control.migrations_rejected += 1;
+            sink.on_migration_rejected(now, index);
             return;
         }
         let state_bytes = state_bytes.expect("checked above");
@@ -1430,6 +1645,7 @@ impl ClusterServingSim {
             converged: false,
         });
         events.push(ends_at, EV_COPY_ROUND, index);
+        sink.on_copy_round(now, ends_at, replica.handle.node, to, index, 0, state_bytes);
     }
 
     /// Finishes one pre-copy round: decides between another round (dirty set
@@ -1438,7 +1654,7 @@ impl ClusterServingSim {
     /// longer shrinking because serving re-dirties faster than the link
     /// drains).
     #[allow(clippy::too_many_arguments)]
-    fn copy_round(
+    fn copy_round<S: ObsSink + ?Sized>(
         cluster: &mut NpuCluster,
         replicas: &mut [ReplicaSim],
         dispatch_index: &mut ReplicaIndex,
@@ -1449,6 +1665,7 @@ impl ClusterServingSim {
         events: &mut EventQueue,
         links: &mut LinkSchedule,
         state: &mut ServeState,
+        sink: &mut S,
     ) {
         let replica = &mut replicas[index];
         // Staleness guards: the migration was cancelled (drain won), or this
@@ -1486,6 +1703,7 @@ impl ClusterServingSim {
                     links,
                     index,
                     state,
+                    sink,
                 );
             }
             return;
@@ -1506,6 +1724,15 @@ impl ClusterServingSim {
         precopy.precopy_cycles += ends_at - now;
         precopy.round_ends_at = ends_at;
         events.push(ends_at, EV_COPY_ROUND, index);
+        sink.on_copy_round(
+            now,
+            ends_at,
+            replica.handle.node,
+            precopy.to,
+            index,
+            precopy.rounds - 1,
+            round,
+        );
     }
 
     /// Releases a fully drained replica's vNPU back to the cluster.
@@ -1539,12 +1766,13 @@ impl ClusterServingSim {
     /// `max_batch` queued requests into one batch — unless a batch-formation
     /// window is configured and still open, in which case the queue is held
     /// (bounded by `max_batch_wait`) to let the batch fill.
-    fn start_next(
+    fn start_next<S: ObsSink + ?Sized>(
         replica: &mut ReplicaSim,
         now: u64,
         events: &mut EventQueue,
         index: usize,
         state: &mut ServeState,
+        sink: &mut S,
     ) {
         if replica.retired || replica.in_service.is_some() || now < replica.available_at {
             return;
@@ -1553,6 +1781,7 @@ impl ClusterServingSim {
             let deadline = &mut state.deadline;
             let sampling = state.sampling;
             let windows = &mut state.windows;
+            let node = replica.handle.node;
             replica.queue.retain(|queued| match queued.deadline {
                 Some(d) if d < now => {
                     deadline.record_dropped();
@@ -1563,6 +1792,14 @@ impl ClusterServingSim {
                             .metrics
                             .record_dropped();
                     }
+                    sink.on_expire(
+                        now,
+                        queued.sequence,
+                        queued.model,
+                        queued.arrived,
+                        node,
+                        index,
+                    );
                     false
                 }
                 _ => true,
@@ -1576,12 +1813,7 @@ impl ClusterServingSim {
         // fill again).
         if replica.queue.len() < state.max_batch && !replica.draining {
             if let Some(wait) = state.max_batch_wait {
-                let oldest = replica
-                    .queue
-                    .iter()
-                    .map(|queued| queued.arrived)
-                    .min()
-                    .expect("non-empty queue");
+                let oldest = replica.queue.oldest_arrival().expect("non-empty queue");
                 let due = oldest.saturating_add(wait);
                 if now < due {
                     if replica.batch_timeout_at.is_none() {
@@ -1595,7 +1827,7 @@ impl ClusterServingSim {
         replica.batch_timeout_at = None;
         let size = replica.queue.len().min(state.max_batch);
         let mut batch = state.batch_pool.pop().unwrap_or_default();
-        batch.extend(replica.queue.drain(..size));
+        replica.queue.drain_into(size, &mut batch);
         let base = replica.batch_cycles[size - 1];
         let factor = match &mut state.rng {
             Some(rng) => lognormal_factor(rng, replica.cv),
@@ -1603,6 +1835,21 @@ impl ClusterServingSim {
         };
         let service = ((base as f64 * factor) as u64).max(1);
         let finish = now + service;
+        // Batch-member iteration is extra work the disabled path must never
+        // pay; an active sink sees each member's queue span, then the batch.
+        if sink.active() {
+            for request in &batch {
+                sink.on_service_request(
+                    now,
+                    request.sequence,
+                    request.model,
+                    request.arrived,
+                    replica.handle.node,
+                    index,
+                );
+            }
+            sink.on_service_batch(now, finish, replica.model, replica.handle.node, index, size);
+        }
         replica.in_service = Some((batch, now, finish));
         state.batches += 1;
         events.push(finish, EV_COMPLETION, index);
@@ -1615,7 +1862,7 @@ impl ClusterServingSim {
     /// moves only the residual dirty delta plus the architectural context,
     /// queueing behind any transfer already on the link.
     #[allow(clippy::too_many_arguments)]
-    fn execute_migration(
+    fn execute_migration<S: ObsSink + ?Sized>(
         cluster: &mut NpuCluster,
         replica: &mut ReplicaSim,
         dispatch_index: &mut ReplicaIndex,
@@ -1628,6 +1875,7 @@ impl ClusterServingSim {
         links: &mut LinkSchedule,
         index: usize,
         state: &mut ServeState,
+        sink: &mut S,
     ) {
         let source_frequency = cluster
             .node(replica.handle.node)
@@ -1675,6 +1923,7 @@ impl ClusterServingSim {
                     replica.model,
                     !replica.draining,
                 );
+                sink.on_stop_copy(now, replica.available_at, index, &record);
                 records.push(record);
                 events.push(replica.available_at, EV_RESUME, index);
             }
@@ -1684,7 +1933,8 @@ impl ClusterServingSim {
                 // abandoned.
                 replica.precopy = None;
                 state.control.migrations_rejected += 1;
-                Self::start_next(replica, now, events, index, state);
+                sink.on_migration_rejected(now, index);
+                Self::start_next(replica, now, events, index, state, sink);
             }
         }
     }

@@ -96,6 +96,299 @@ impl LatencySummary {
     }
 }
 
+/// A streaming quantile sketch over `u64` latency samples with bounded
+/// memory.
+///
+/// The sketch is **exact** until [`QuantileSketch::exact_cap`] samples have
+/// been recorded: below the cap it retains the raw samples and every summary
+/// is bit-identical to the eager [`LatencySummary`] constructors (this is
+/// what keeps the serving golden digests stable). Past the cap it folds the
+/// retained buffer into DDSketch-style logarithmic buckets — one bucket per
+/// multiplicative step of `γ = (1+α)/(1−α)` plus a dedicated zero bucket —
+/// and stops retaining samples, so memory is `O(exact_cap + log_γ(u64::MAX))`
+/// however many samples follow (about 2 200 buckets at the default
+/// `α = 0.01`).
+///
+/// In sketch mode a quantile query walks the cumulative bucket counts to the
+/// nearest-rank bucket and returns its midpoint `2γ^i/(γ+1)`, which is within
+/// a relative error of `α` of the exact nearest-rank answer (±1 cycle of
+/// integer rounding). Count, min, max and the mean (via a running sum) stay
+/// exact in both modes.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    exact_cap: usize,
+    alpha: f64,
+    ln_gamma: f64,
+    /// Retained raw samples while in exact mode; drained into `buckets` on
+    /// the record that crosses `exact_cap`.
+    exact: Vec<u64>,
+    /// Log-bucket counts, allocated lazily on the switch to sketch mode.
+    buckets: Vec<u64>,
+    zero_count: u64,
+    count: u64,
+    /// Running sum in insertion order — bit-identical to folding the raw
+    /// samples left to right.
+    sum: f64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::with_config(
+            QuantileSketch::DEFAULT_EXACT_CAP,
+            QuantileSketch::DEFAULT_ALPHA,
+        )
+    }
+}
+
+impl QuantileSketch {
+    /// Samples retained before the default sketch switches to log buckets.
+    pub const DEFAULT_EXACT_CAP: usize = 16_384;
+
+    /// Default relative-error bound `α` of sketch-mode quantiles.
+    pub const DEFAULT_ALPHA: f64 = 0.01;
+
+    /// Builds a sketch with an explicit exact-mode cap and relative-error
+    /// bound `alpha` (clamped to `[1e-4, 0.5]`).
+    pub fn with_config(exact_cap: usize, alpha: f64) -> Self {
+        let alpha = alpha.clamp(1e-4, 0.5);
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            exact_cap: exact_cap.max(1),
+            alpha,
+            ln_gamma: gamma.ln(),
+            exact: Vec::new(),
+            buckets: Vec::new(),
+            zero_count: 0,
+            count: 0,
+            sum: 0.0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Default sketch pre-sized for roughly `samples` records: the exact
+    /// buffer is reserved up front (capped at the exact-mode limit) so the
+    /// steady-state record path never reallocates.
+    pub fn with_capacity_hint(samples: usize) -> Self {
+        let mut sketch = QuantileSketch::default();
+        sketch.exact.reserve_exact(samples.min(sketch.exact_cap));
+        sketch
+    }
+
+    /// Samples retained before the sketch switches to log buckets.
+    pub fn exact_cap(&self) -> usize {
+        self.exact_cap
+    }
+
+    /// The configured relative-error bound `α` of sketch-mode quantiles.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Whether every recorded sample is still retained (summaries exact).
+    pub fn is_exact(&self) -> bool {
+        self.buckets.is_empty() && self.zero_count == 0
+    }
+
+    /// Samples recorded since construction or the last [`Self::clear`].
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact running sum of every recorded sample, folded in insertion order.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as f64;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if self.is_exact() {
+            if self.exact.len() < self.exact_cap {
+                self.exact.push(value);
+                return;
+            }
+            self.spill_to_buckets();
+        }
+        self.bucket_record(value);
+    }
+
+    /// Folds another sketch into this one. If either side has switched to
+    /// sketch mode (or the union overflows the exact cap) the merged result
+    /// is in sketch mode; two small exact sketches merge exactly, with
+    /// `other`'s samples appended after `self`'s.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if self.is_exact()
+            && other.is_exact()
+            && self.exact.len() + other.exact.len() <= self.exact_cap
+        {
+            self.exact.extend_from_slice(&other.exact);
+            return;
+        }
+        if self.is_exact() {
+            self.spill_to_buckets();
+        }
+        if other.is_exact() {
+            for &value in &other.exact {
+                self.bucket_record(value);
+            }
+        } else {
+            self.zero_count += other.zero_count;
+            if self.buckets.len() < other.buckets.len() {
+                self.buckets.resize(other.buckets.len(), 0);
+            }
+            for (index, &n) in other.buckets.iter().enumerate() {
+                self.buckets[index] += n;
+            }
+        }
+    }
+
+    /// Resets the sketch for reuse, keeping its allocations (the exact
+    /// buffer's capacity and any bucket table survive) so a windowed caller
+    /// stays allocation-free in steady state.
+    pub fn clear(&mut self) {
+        self.exact.clear();
+        self.buckets.clear();
+        self.zero_count = 0;
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Nearest-rank percentile estimate (`p` in 0–100). Exact below the cap;
+    /// within relative error `α` (±1 of rounding) in sketch mode. 0 when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if self.is_exact() {
+            return percentile(&self.exact, p);
+        }
+        let p = p.clamp(0.0, 100.0) / 100.0;
+        let rank = ((p * self.count as f64).ceil().max(1.0) as u64).min(self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = self.zero_count;
+        if rank <= seen {
+            return self.min;
+        }
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if rank <= seen {
+                return self.bucket_value(index);
+            }
+        }
+        self.max
+    }
+
+    /// Summarizes the recorded samples with the same semantics as
+    /// [`LatencySummary::from_samples`]: in exact mode the result is
+    /// bit-identical (the mean folds samples in insertion order). In sketch
+    /// mode the mean is `sum/count` and percentiles carry the `α` bound.
+    pub fn summary(&self) -> LatencySummary {
+        if self.count == 0 {
+            return LatencySummary::default();
+        }
+        if self.is_exact() {
+            return LatencySummary::from_samples(&self.exact);
+        }
+        self.sketch_summary()
+    }
+
+    /// Summarizes like sorting the samples and calling
+    /// [`LatencySummary::from_sorted`] — the variant whose mean folds the
+    /// samples in **ascending** order, used by the fleet serving report and
+    /// [`MetricsWindow::flush`]. Sorts the retained buffer in place (exact
+    /// mode), so it takes `&mut self`; bit-identical below the cap.
+    pub fn summary_sorted(&mut self) -> LatencySummary {
+        if self.count == 0 {
+            return LatencySummary::default();
+        }
+        if self.is_exact() {
+            self.exact.sort_unstable();
+            return LatencySummary::from_sorted(&self.exact);
+        }
+        self.sketch_summary()
+    }
+
+    fn sketch_summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count as usize,
+            mean: self.sum / self.count as f64,
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+            max: self.max,
+        }
+    }
+
+    fn spill_to_buckets(&mut self) {
+        // Taking the buffer (rather than draining in place) keeps the borrow
+        // checker happy; the allocation is dropped — the sketch is leaving
+        // exact mode for good until the next clear().
+        let retained = std::mem::take(&mut self.exact);
+        // Seed the bucket table so is_exact() flips even when every retained
+        // sample lands in the zero bucket.
+        self.buckets.resize(1, 0);
+        for value in retained {
+            self.bucket_record(value);
+        }
+    }
+
+    fn bucket_record(&mut self, value: u64) {
+        if value == 0 {
+            self.zero_count += 1;
+            return;
+        }
+        let index = ((value as f64).ln() / self.ln_gamma).ceil().max(0.0) as usize;
+        if index >= self.buckets.len() {
+            self.buckets.resize(index + 1, 0);
+        }
+        self.buckets[index] += 1;
+    }
+
+    /// The midpoint of bucket `index`, `2γ^i/(γ+1)`, clamped to the exact
+    /// observed [min, max] envelope.
+    fn bucket_value(&self, index: usize) -> u64 {
+        let gamma = (1.0 + self.alpha) / (1.0 - self.alpha);
+        let mid = 2.0 * gamma.powi(index as i32) / (gamma + 1.0);
+        (mid.round() as u64).clamp(self.min, self.max)
+    }
+}
+
 /// Deadline bookkeeping for a serving run: how many requests carried a
 /// deadline and how they fared.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -150,16 +443,20 @@ impl DeadlineStats {
 /// the controller reacts a window too late. `MetricsWindow` collects latency
 /// samples and deadline outcomes between two ticks; [`MetricsWindow::flush`]
 /// summarizes the window and resets it for the next one.
+/// Latency samples are held in a [`QuantileSketch`], so a window is exact
+/// (and bit-identical to the historical `Vec`-backed implementation) below
+/// the sketch's exact cap and degrades to `α`-bounded quantiles — with
+/// bounded memory — beyond it.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsWindow {
-    samples: Vec<u64>,
+    samples: QuantileSketch,
     deadline: DeadlineStats,
 }
 
 impl MetricsWindow {
     /// Records one completed request's latency.
     pub fn record_latency(&mut self, cycles: u64) {
-        self.samples.push(cycles);
+        self.samples.record(cycles);
     }
 
     /// Records the deadline outcome of a completed deadline-carrying request.
@@ -174,17 +471,17 @@ impl MetricsWindow {
 
     /// Completions recorded since the last flush.
     pub fn completions(&self) -> usize {
-        self.samples.len()
+        self.samples.count()
     }
 
     /// Summarizes the window and resets it.
     ///
-    /// The sample buffer is sorted in place (it is about to be cleared
-    /// anyway) and reused across windows, so a steady-state flush allocates
-    /// nothing — part of the allocation-free telemetry sampling path.
+    /// The sketch's retained buffer is sorted in place (it is about to be
+    /// cleared anyway) and reused across windows, so a steady-state flush
+    /// allocates nothing — part of the allocation-free telemetry sampling
+    /// path.
     pub fn flush(&mut self) -> (LatencySummary, DeadlineStats) {
-        self.samples.sort_unstable();
-        let summary = LatencySummary::from_sorted(&self.samples);
+        let summary = self.samples.summary_sorted();
         let deadline = self.deadline;
         self.samples.clear();
         self.deadline = DeadlineStats::default();
@@ -290,6 +587,143 @@ mod tests {
         assert!(s.p95 <= s.p99);
         assert!(s.p99 <= s.max);
         assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn sketch_is_bit_identical_below_the_cap() {
+        // Deliberately unsorted input with repeats so the two mean-fold
+        // orders differ; both summary flavors must match their eager
+        // counterparts bit for bit.
+        let values: Vec<u64> = (0..1000u64).map(|i| (i * 2_654_435_761) % 4096).collect();
+        let mut sketch = QuantileSketch::default();
+        for &v in &values {
+            sketch.record(v);
+        }
+        assert!(sketch.is_exact());
+        let eager = LatencySummary::from_samples(&values);
+        let summary = sketch.summary();
+        assert_eq!(summary.count, eager.count);
+        assert_eq!(summary.mean.to_bits(), eager.mean.to_bits());
+        assert_eq!(
+            (summary.p50, summary.p95, summary.p99, summary.max),
+            (eager.p50, eager.p95, eager.p99, eager.max)
+        );
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let eager_sorted = LatencySummary::from_sorted(&sorted);
+        let summary_sorted = sketch.summary_sorted();
+        assert_eq!(summary_sorted.mean.to_bits(), eager_sorted.mean.to_bits());
+        assert_eq!(summary_sorted.p99, eager_sorted.p99);
+    }
+
+    #[test]
+    fn sketch_switches_modes_and_bounds_memory() {
+        let mut sketch = QuantileSketch::with_config(64, 0.01);
+        for v in 0..64u64 {
+            sketch.record(v);
+        }
+        assert!(sketch.is_exact());
+        sketch.record(64);
+        assert!(!sketch.is_exact());
+        for v in 65..100_000u64 {
+            sketch.record(v);
+        }
+        assert_eq!(sketch.count(), 100_000);
+        assert_eq!(sketch.max(), 99_999);
+        assert_eq!(sketch.min(), 0);
+        // ~2200 buckets suffice for the full u64 range at alpha = 0.01.
+        assert!(sketch.percentile(100.0) == 99_999);
+        let p50 = sketch.percentile(50.0);
+        assert!(
+            (p50 as f64 - 50_000.0).abs() <= 0.01 * 50_000.0 + 1.0,
+            "p50 = {p50}"
+        );
+        // The mean stays exact in sketch mode.
+        let exact_mean = (0..100_000u64).map(|v| v as f64).sum::<f64>() / 100_000.0;
+        assert!((sketch.summary().mean - exact_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sketch_clear_returns_to_exact_mode() {
+        let mut sketch = QuantileSketch::with_config(4, 0.01);
+        for v in 0..100u64 {
+            sketch.record(v);
+        }
+        assert!(!sketch.is_exact());
+        sketch.clear();
+        assert_eq!(sketch.count(), 0);
+        assert_eq!(sketch.summary(), LatencySummary::default());
+        sketch.record(7);
+        assert!(sketch.is_exact());
+        assert_eq!(sketch.percentile(50.0), 7);
+    }
+
+    #[test]
+    fn sketch_merge_combines_counts_and_extremes() {
+        let mut a = QuantileSketch::with_config(8, 0.01);
+        let mut b = QuantileSketch::with_config(8, 0.01);
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [100u64, 200, 300] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert!(a.is_exact());
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.max(), 300);
+        // Exact merge appends, so the summary matches the concatenation.
+        let eager = LatencySummary::from_samples(&[1, 2, 3, 100, 200, 300]);
+        assert_eq!(a.summary().mean.to_bits(), eager.mean.to_bits());
+        // Overflowing merge degrades to sketch mode but keeps exact counts.
+        let mut big = QuantileSketch::with_config(4, 0.01);
+        for v in 0..100u64 {
+            big.record(v);
+        }
+        a.merge(&big);
+        assert!(!a.is_exact());
+        assert_eq!(a.count(), 106);
+        assert_eq!(a.max(), 300);
+    }
+
+    mod sketch_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn sketch_quantiles_stay_within_alpha_of_exact(
+                seeds in proptest::collection::vec(1u64..=1_000_000_000, 80..400),
+                p in 1.0f64..=99.0,
+            ) {
+                // Cap of 64 forces sketch mode for every sampled vector.
+                let mut sketch = QuantileSketch::with_config(64, 0.01);
+                for &v in &seeds {
+                    sketch.record(v);
+                }
+                prop_assert!(!sketch.is_exact());
+                let exact = percentile(&seeds, p);
+                let estimate = sketch.percentile(p);
+                let bound = 0.01 * exact as f64 + 1.0;
+                prop_assert!(
+                    (estimate as f64 - exact as f64).abs() <= bound,
+                    "p{} exact {} vs sketch {} (bound {})", p, exact, estimate, bound
+                );
+            }
+
+            #[test]
+            fn exact_mode_percentiles_match_nearest_rank(
+                seeds in proptest::collection::vec(0u64..=10_000, 1..64),
+                p in 0.0f64..=100.0,
+            ) {
+                let mut sketch = QuantileSketch::default();
+                for &v in &seeds {
+                    sketch.record(v);
+                }
+                prop_assert!(sketch.is_exact());
+                prop_assert_eq!(sketch.percentile(p), percentile(&seeds, p));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Trace-export demo: record a serving run and open it in Perfetto.
+//!
+//! Attaches a [`TraceRecorder`] to a small mixed serving run with one live
+//! migration, prints the exact metrics registry the recorder accumulated,
+//! and writes the span trace as Chrome `trace_event` JSON — drag the file
+//! onto <https://ui.perfetto.dev> to see per-board lanes of queue/serve
+//! spans, the migration's copy rounds and stop-and-copy window, request flow
+//! arrows and the fleet counter tracks.
+//!
+//! Run with `cargo run --release --example trace_export`.
+
+use cluster::estimated_service_cycles;
+use neu10_repro::prelude::*;
+use workloads::ClusterTrace;
+
+fn main() {
+    let board = NpuConfig::single_core();
+    let mut fleet = NpuCluster::homogeneous(2, &board);
+    for _ in 0..2 {
+        fleet
+            .deploy(
+                DeploySpec::replica(ModelId::Mnist, 2, 2).with_memory(32 << 20, 1 << 30),
+                PlacementPolicy::TopologyAware,
+            )
+            .expect("the replicas fit");
+    }
+    let moved = *fleet.deployments().next().expect("deployed above");
+    let spare = NodeId(if moved.handle.node.0 == 0 { 1 } else { 0 });
+
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &board);
+    let trace = ClusterTrace::poisson(&[(ModelId::Mnist, service / 3)], 300, 42);
+    let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+        .with_batching(4)
+        .with_telemetry(service * 4)
+        .with_live_migration(Cycles(service * 20), moved.handle, spare);
+
+    // `run_observed` is `run` with the event loop instrumented: same report,
+    // plus a span ring and an exact metrics registry on the side.
+    let mut recorder = TraceRecorder::new(TraceConfig::default());
+    let report = ClusterServingSim::new(options).run_observed(&mut fleet, &trace, &mut recorder);
+
+    println!("== observed serving run ==");
+    println!(
+        "completed {} of {} offered, p99 latency {} cycles, {} migration(s)",
+        report.stats.completed,
+        report.stats.offered,
+        report.latency.p99,
+        report.migrations.len()
+    );
+
+    println!("\n== metrics registry (exact, never sampled) ==");
+    for (name, value) in recorder.metrics().counters() {
+        println!("{name:<32} {value:>10}");
+    }
+    for (name, summary) in recorder.metrics().histogram_summaries() {
+        println!(
+            "{name:<32} count {} p50 {} p99 {} max {}",
+            summary.count, summary.p50, summary.p99, summary.max
+        );
+    }
+
+    let json = recorder.export_chrome_trace();
+    let validation = cluster::validate_chrome_trace(&json).expect("the export always parses");
+    let path = std::env::var("NEU10_TRACE_OUT").unwrap_or_else(|_| "trace_export.json".to_string());
+    std::fs::write(&path, &json).expect("write the trace file");
+    println!(
+        "\nwrote {path}: {} events ({} spans, {} flow arrows, {} counter samples)",
+        validation.events,
+        validation.complete_spans.values().sum::<usize>(),
+        validation.flow_events,
+        validation.counter_events
+    );
+    println!("open it at https://ui.perfetto.dev");
+}

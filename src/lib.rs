@@ -56,8 +56,8 @@ pub mod prelude {
     };
     pub use cluster::{
         ClusterServingSim, ControlAction, ControlPlane, DeploySpec, DirtyRateModel, DispatchPolicy,
-        MigrationCostModel, MigrationMode, NodeId, NpuCluster, PlacementPolicy, PreCopyConfig,
-        ServingOptions, TelemetryFrame, VnpuHandle,
+        MigrationCostModel, MigrationMode, NodeId, NpuCluster, ObsSink, PlacementPolicy,
+        PreCopyConfig, ServingOptions, TelemetryFrame, TraceConfig, TraceRecorder, VnpuHandle,
     };
     pub use hypervisor::{GuestVm, Host};
     pub use neu10::{

@@ -256,6 +256,13 @@ fn run_autopilot() -> ServingReport {
 /// an NCF replica moves cold — one digest covering both modes, the per-round
 /// accounting and the `MigrationStats` aggregates.
 fn run_precopy() -> ServingReport {
+    run_precopy_with_sink(&mut cluster::NoopSink)
+}
+
+/// [`run_precopy`] with an attached [`cluster::ObsSink`] — the same scenario
+/// the observability goldens record, so non-perturbation is checked on a
+/// digest-locked run.
+fn run_precopy_with_sink(sink: &mut dyn cluster::ObsSink) -> ServingReport {
     let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &config());
     let mut fleet = mixed_fleet();
     let mnist = *fleet.deployments().next().expect("fleet has deployments");
@@ -282,7 +289,7 @@ fn run_precopy() -> ServingReport {
         .with_stochastic(StochasticService::seeded(SEED).with_cv(0.25))
         .with_live_migration(Cycles(service * 3), mnist.handle, ncf.handle.node)
         .with_migration(Cycles(service * 5), ncf.handle, ncf_dest);
-    ClusterServingSim::new(options).run(&mut fleet, &mixed_trace())
+    ClusterServingSim::new(options).run_observed(&mut fleet, &mixed_trace(), sink)
 }
 
 /// Digests locked on the pre-optimization event loop. The refactored path
@@ -296,6 +303,10 @@ const GOLDEN: &[(&str, u64)] = &[
     // Locked when live pre-copy migration landed (covers both modes plus the
     // per-round and MigrationStats folds).
     ("precopy-mixed", 0x169f12e3bf438509),
+    // FNV-1a over the exported Chrome trace JSON of the observed pre-copy
+    // scenario — locks the span taxonomy, event ordering, flow/counter
+    // emission and the exporter's byte-level formatting all at once.
+    ("obs-trace-precopy", 0x2150e41bc7285983),
 ];
 
 fn expected(name: &str) -> u64 {
@@ -415,5 +426,128 @@ fn indexed_dispatch_matches_the_reference_rebuild() {
     assert_eq!(
         indexed, reference,
         "autopilot: indexed and reference dispatch must produce identical reports"
+    );
+}
+
+/// FNV-1a over the exported trace JSON bytes.
+fn trace_digest(json: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in json.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The exported trace of the digest-locked pre-copy scenario must be
+/// byte-identical across reruns and match its own golden digest — and
+/// recording it must not perturb the simulation the report goldens lock.
+#[test]
+fn observed_precopy_trace_is_byte_deterministic_and_matches_golden() {
+    let mut recorder = cluster::TraceRecorder::new(cluster::TraceConfig::default());
+    let report = run_precopy_with_sink(&mut recorder);
+    assert_eq!(
+        report,
+        run_precopy(),
+        "attaching a TraceRecorder must not change the simulation"
+    );
+
+    let json = recorder.export_chrome_trace();
+    let validation = cluster::validate_chrome_trace(&json).expect("the exported trace parses");
+    validation
+        .require_complete_spans(&["arrival", "queue", "serve", "copy-round", "stop-and-copy"])
+        .expect("the mixed serving+migration scenario produces every span kind");
+    assert!(
+        validation.flow_events > 0,
+        "request flow chains are present"
+    );
+
+    let mut rerun = cluster::TraceRecorder::new(cluster::TraceConfig::default());
+    run_precopy_with_sink(&mut rerun);
+    assert_eq!(
+        json,
+        rerun.export_chrome_trace(),
+        "the same seed and config must export byte-identical JSON"
+    );
+
+    let got = trace_digest(&json);
+    if std::env::var("NEU10_PRINT_GOLDEN").is_ok() {
+        println!("GOLDEN (\"obs-trace-precopy\", 0x{got:016x}),");
+        return;
+    }
+    assert_eq!(
+        got,
+        expected("obs-trace-precopy"),
+        "the exported trace drifted from its golden digest (got 0x{got:016x})"
+    );
+}
+
+/// Records the order in which queued requests enter service.
+#[derive(Default)]
+struct ServiceOrder(Vec<u64>);
+
+impl cluster::ObsSink for ServiceOrder {
+    fn active(&self) -> bool {
+        true
+    }
+
+    fn on_service_request(
+        &mut self,
+        _start: u64,
+        sequence: u64,
+        _model: ModelId,
+        _arrived: u64,
+        _node: cluster::NodeId,
+        _slot: usize,
+    ) {
+        self.0.push(sequence);
+    }
+}
+
+/// EDF queue ordering on ties: a burst of same-deadline, same-priority
+/// requests must enter service in strict sequence order — the binary-heap
+/// replacement of the linear sorted insert keeps the (priority, deadline,
+/// sequence) total order, so ties break deterministically by sequence.
+#[test]
+fn edf_queue_breaks_deadline_ties_by_sequence_number() {
+    let npu = config();
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &npu);
+    // One replica, one burst: every request arrives at cycle 0 with the
+    // identical deadline and priority, so EDF ordering is ties all the way.
+    let arrivals = (0..24)
+        .map(|_| {
+            let mut arrival = workloads::RequestArrival::new(Cycles(0), ModelId::Mnist);
+            arrival.deadline = Some(Cycles(service * 64));
+            arrival.priority = PriorityClass::Interactive;
+            arrival
+        })
+        .collect();
+    let trace = ClusterTrace::from_arrivals(arrivals);
+    let run = || {
+        let mut fleet = NpuCluster::homogeneous(1, &npu);
+        fleet
+            .deploy(
+                DeploySpec::replica(ModelId::Mnist, 2, 2),
+                PlacementPolicy::BestFit,
+            )
+            .expect("capacity for the replica");
+        let mut order = ServiceOrder::default();
+        let options = ServingOptions::new(DispatchPolicy::EarliestDeadline).with_batching(2);
+        let report = ClusterServingSim::new(options).run_observed(&mut fleet, &trace, &mut order);
+        assert_eq!(report.stats.completed, 24);
+        order.0
+    };
+    let order = run();
+    assert_eq!(order.len(), 24);
+    let mut sorted = order.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        order, sorted,
+        "tied EDF entries must enter service in ascending sequence order"
+    );
+    assert_eq!(
+        order,
+        run(),
+        "tie-breaking must be deterministic across runs"
     );
 }
