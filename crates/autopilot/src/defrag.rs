@@ -186,7 +186,7 @@ impl Defragmenter {
                 inventories[source_at] = freed;
                 let dest_npu = cluster
                     .node(dest_node)
-                    .expect("destination filtered above")
+                    .expect("destination filtered above") // simlint::allow(P1, reason = "defrag candidates are drawn from cluster.nodes() in this scan")
                     .npu_config();
                 let dest_demand = ResourceDemand::of(
                     &self.migrant_spec(&deployment).vnpu_config(dest_npu),

@@ -232,7 +232,9 @@ fn main() {
 
     let trace_path =
         std::env::var("NEU10_FIG34_TRACE").unwrap_or_else(|_| "FIG34_trace.json".to_string());
-    std::fs::write(&trace_path, &json).expect("write trace file");
+    std::fs::write(&trace_path, &json).unwrap_or_else(|err| {
+        panic!("fig34_observability: cannot write trace to {trace_path:?}: {err}")
+    });
 
     println!("{:<26} {:>10}", "metric", "value");
     for (name, value) in [

@@ -566,7 +566,8 @@ fn write_json(path: &str, measurements: &[Measurement]) {
         json.push('\n');
     }
     json.push_str("]}\n");
-    std::fs::write(path, json).expect("write BENCH_serving.json");
+    std::fs::write(path, json)
+        .unwrap_or_else(|err| panic!("perf_fleet: cannot write results to {path:?}: {err}"));
 }
 
 fn main() {

@@ -30,7 +30,7 @@ mod registry;
 mod trace;
 
 pub use perfetto::{export_chrome_trace, validate_chrome_trace, TraceValidation};
-pub use registry::MetricsRegistry;
+pub use registry::{MetricsRegistry, METRIC_NAMES};
 pub use trace::{TraceConfig, TraceRecorder, TraceStats};
 
 use workloads::ModelId;

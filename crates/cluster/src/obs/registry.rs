@@ -13,6 +13,54 @@ use std::fmt::Write as _;
 
 use neu10::{LatencySummary, QuantileSketch};
 
+/// The declared metric-name taxonomy: every name an [`ObsSink`] impl may
+/// emit, in name order.
+///
+/// This is the contract dashboards and exporters are built against, and
+/// the `simlint` `X1` rule cross-checks it: a `serving.*` / `migration.*` /
+/// `control.*` literal anywhere in library code that is missing here fails
+/// the static-analysis CI gate. Adding a metric therefore means declaring
+/// it in this table first — which is exactly the point: no invisible
+/// metrics, no silent typos splitting one counter into two.
+///
+/// [`ObsSink`]: crate::obs::ObsSink
+pub const METRIC_NAMES: &[&str] = &[
+    // Control plane: one counter per applied action kind.
+    "control.migrations",
+    "control.scale_downs",
+    "control.scale_ups",
+    // Fleet-wide gauges, sampled at each telemetry tick.
+    "fleet.in_flight",
+    "fleet.live_replicas",
+    "fleet.migrations_in_flight",
+    "fleet.queued",
+    "fleet.resident_bytes",
+    // Migration lifecycle: per-mode completions, pre-copy round/byte
+    // accounting, downtime distribution.
+    "migration.cold",
+    "migration.copy_bytes",
+    "migration.copy_rounds",
+    "migration.downtime_cycles",
+    "migration.precopy",
+    "migration.precopy_fallbacks",
+    "migration.rejected",
+    // Serving hot path: request lifecycle counters and latency histograms.
+    "serving.arrivals",
+    "serving.batch_size",
+    "serving.batches",
+    "serving.completed",
+    "serving.deadline_met",
+    "serving.deadline_missed",
+    "serving.dispatched",
+    "serving.expired",
+    "serving.expired_wait_cycles",
+    "serving.latency_cycles",
+    "serving.rejected_no_replica",
+    "serving.rejected_overload",
+    // Telemetry bus heartbeat.
+    "telemetry.ticks",
+];
+
 /// Named counters, gauges and streaming-quantile histograms.
 ///
 /// The registry accumulates **exact** aggregates: unlike the span ring it is
@@ -162,6 +210,15 @@ mod tests {
         assert!(a.contains("\"serving.completed\":3"));
         assert!(a.contains("\"fleet.queued\":5"));
         assert!(a.contains("\"p99\":300"));
+    }
+
+    #[test]
+    fn taxonomy_is_sorted_and_duplicate_free() {
+        assert!(
+            METRIC_NAMES.windows(2).all(|w| w[0] < w[1]),
+            "METRIC_NAMES must be strictly sorted so the taxonomy is \
+             greppable and duplicate-free"
+        );
     }
 
     #[test]

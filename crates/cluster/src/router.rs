@@ -15,7 +15,9 @@
 //! updates it on deploy / drain / retire / migrate transitions, and each
 //! arrival reads exactly the candidate slots of its model.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+// simlint::allow(D1, reason = "imported for the two point-lookup-only index maps audited below")
+use std::collections::HashMap;
 
 use workloads::ModelId;
 
@@ -46,9 +48,16 @@ use crate::NodeId;
 pub struct ReplicaIndex {
     /// Routable (live, non-draining) slots per model, ascending.
     by_model: BTreeMap<ModelId, Vec<usize>>,
-    /// Routable replicas of (model, node) — the locality signal.
+    /// Routable replicas of (model, node) — the locality signal. Hashed on
+    /// purpose: read per candidate per arrival on the dispatch hot path,
+    /// and only ever by exact key — no code path iterates it, so its order
+    /// cannot reach a report or digest.
+    // simlint::allow(D1, reason = "hot-path point lookups only; never iterated")
     node_counts: HashMap<(ModelId, NodeId), usize>,
-    /// Slot of every live replica (routable or draining).
+    /// Slot of every live replica (routable or draining). Same audit as
+    /// `node_counts`: exact-key lookups from migration/control resolution,
+    /// never iterated.
+    // simlint::allow(D1, reason = "hot-path point lookups only; never iterated")
     by_handle: HashMap<VnpuHandle, usize>,
 }
 

@@ -69,7 +69,7 @@ impl VnpuManager {
         let core = self
             .board
             .core_mut(placement.core)
-            .expect("mapper only selects existing cores");
+            .expect("mapper only selects existing cores"); // simlint::allow(P1, reason = "mapper placements reference cores of this board by construction")
         if let Err(err) = core.map_segments(MemoryKind::Sram, placement.sram_segments, id.0) {
             self.mapper.unmap(id)?;
             return Err(err.into());
@@ -97,7 +97,7 @@ impl VnpuManager {
             let core = self
                 .board
                 .core_mut(placement.core)
-                .expect("placement refers to an existing core");
+                .expect("placement refers to an existing core"); // simlint::allow(P1, reason = "mapper placements reference cores of this board by construction")
             core.unmap_segments(MemoryKind::Sram, id.0);
             core.unmap_segments(MemoryKind::Hbm, id.0);
             self.mapper.unmap(id)?;

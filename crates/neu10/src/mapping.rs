@@ -144,7 +144,7 @@ impl PnpuMapper {
                 ),
             })?;
 
-        let load = self.cores.get_mut(&core).expect("core selected from map");
+        let load = self.cores.get_mut(&core).expect("core selected from map"); // simlint::allow(P1, reason = "key produced by the min-scan over this same map above")
         load.mes += config.num_mes_per_core;
         load.ves += config.num_ves_per_core;
         load.sram_segments += sram_segments;

@@ -386,7 +386,7 @@ impl TenantRun {
         if !finished {
             return;
         }
-        let op = self.current.take().expect("checked above");
+        let op = self.current.take().expect("checked above"); // simlint::allow(P1, reason = "finished is only true while an operator is current")
         if record_ops && self.request_index < self.spec.target_requests {
             self.result.operator_durations.push(OperatorDuration {
                 request: self.request_index,

@@ -51,7 +51,7 @@ pub fn fuse_operators(operators: Vec<TensorOperator>) -> Vec<TensorOperator> {
             } else {
                 Activation::Gelu
             };
-            let prev = fused.pop().expect("can_fuse requires a predecessor");
+            let prev = fused.pop().expect("can_fuse requires a predecessor"); // simlint::allow(P1, reason = "can_fuse guaranteed a predecessor before this branch")
             let extra = op.hbm_bytes().saturating_sub(op.input_bytes());
             fused.push(prev.with_activation(activation).with_extra_hbm_bytes(extra));
         } else {

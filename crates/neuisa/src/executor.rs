@@ -186,7 +186,7 @@ impl Executor {
                 let start = wave * wave_width;
                 let end = (start + wave_width).min(me_utops.len());
                 for (slot, id) in me_utops[start..end].iter().enumerate() {
-                    let utop = program.utop(*id).expect("validated above");
+                    let utop = program.utop(*id).expect("validated above"); // simlint::allow(P1, reason = "program validation resolved every utop id at load")
                     debug_assert_eq!(utop.kind(), UTopKind::MatrixEngine);
                     me_busy += utop.me_cycles();
                     ve_busy += utop.ve_cycles();
@@ -207,7 +207,7 @@ impl Executor {
                 }
                 if wave == 0 {
                     if let Some(id) = group.ve_utop() {
-                        let utop = program.utop(id).expect("validated above");
+                        let utop = program.utop(id).expect("validated above"); // simlint::allow(P1, reason = "program validation resolved every utop id at load")
                         ve_busy += utop.ve_cycles();
                         wave_cycles = wave_cycles.max(utop.pipelined_cycles());
                         dispatches.push(DispatchRecord {
@@ -257,7 +257,7 @@ impl Executor {
         index: u32,
         next_group: &mut Option<u32>,
     ) -> Result<(), ExecutionError> {
-        let utop = program.utop(id).expect("caller resolved the id");
+        let utop = program.utop(id).expect("caller resolved the id"); // simlint::allow(P1, reason = "program validation resolved every utop id at load")
         for control in utop.control() {
             match *control {
                 ControlInstruction::Finish => {}

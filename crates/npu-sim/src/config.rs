@@ -222,9 +222,11 @@ impl NpuConfig {
 /// The hashable identity of an [`NpuConfig`] (see [`NpuConfig::cache_key`]).
 ///
 /// Every configuration field appears, with floating-point fields reduced to
-/// their IEEE-754 bit patterns so the key is `Eq + Hash` without tolerating
-/// any numeric aliasing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// their IEEE-754 bit patterns so the key is `Eq + Hash + Ord` without
+/// tolerating any numeric aliasing. The `Ord` impl exists so caches keyed
+/// by board shape can use ordered maps (deterministic iteration — see the
+/// simlint `D1` rule) without falling back to deep `NpuConfig` scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NpuConfigKey {
     chips: usize,
     cores_per_chip: usize,

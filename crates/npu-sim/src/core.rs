@@ -317,7 +317,7 @@ impl NpuBoard {
     pub fn new(config: &NpuConfig) -> Self {
         config
             .validate()
-            .expect("NpuBoard::new requires a valid configuration");
+            .expect("NpuBoard::new requires a valid configuration"); // simlint::allow(P1, reason = "documented contract: new() requires a pre-validated config")
         let chips = (0..config.chips)
             .map(|i| NpuChip::new(ChipId(i as u16), config))
             .collect();

@@ -1,0 +1,445 @@
+//! A minimal Rust lexer — just enough token structure for line-oriented
+//! static analysis.
+//!
+//! The environment is offline, so `simlint` cannot depend on `syn` or
+//! `proc-macro2`; instead this hand-rolled lexer handles exactly the
+//! constructs that would otherwise corrupt a naive text scan:
+//!
+//! * line comments (`//`, `///`, `//!`) — skipped, but surfaced as
+//!   [`Comment`](Token) tokens so the pragma layer can read
+//!   `// simlint::allow(...)` suppressions;
+//! * **nested** block comments (`/* /* */ */`), which Rust permits and
+//!   which defeat regex-based scanners;
+//! * string literals with escapes (`"a \" b"`), byte strings (`b"..."`),
+//!   and raw strings with arbitrary hash fences (`r#"..."#`, `br##"..."##`);
+//! * char literals (`'a'`, `'\n'`, `b'\''`) **disambiguated from
+//!   lifetimes** (`'a`, `'static`, `'_`) and loop labels (`'outer:`);
+//! * numeric literals including floats, exponents and suffixes
+//!   (`1.2e12`, `0xFF_u64`, `1..=n` does *not* eat the range dots).
+//!
+//! Everything else becomes [`TokenKind::Ident`] or [`TokenKind::Punct`]
+//! tokens carrying a 1-indexed line number.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `const`, `match`, ...).
+    Ident,
+    /// A string literal of any flavor; [`Token::text`] holds the *inner*
+    /// (unquoted, still-escaped) content.
+    Str,
+    /// A character literal (`'x'`, `'\n'`).
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`); `text` excludes the tick.
+    Lifetime,
+    /// A numeric literal, suffix included.
+    Number,
+    /// A single punctuation character (`.`, `(`, `#`, ...). Multi-character
+    /// operators are emitted one char at a time except [`TokenKind::FatArrow`].
+    Punct,
+    /// The two-character `=>` operator, pre-joined because match-arm
+    /// detection (rule X1) keys on it.
+    FatArrow,
+    /// A `//...` line comment or `/*...*/` block comment, full text
+    /// including the delimiters. Block comments carry the line they *start*
+    /// on.
+    Comment,
+}
+
+/// One lexed token: kind, 1-indexed source line, and text.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The 1-indexed line the token starts on.
+    pub line: u32,
+    /// The token text (for [`TokenKind::Str`], the inner content without
+    /// quotes; for [`TokenKind::Lifetime`], without the leading `'`).
+    pub text: String,
+}
+
+impl Token {
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this is a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.chars().eq(std::iter::once(ch))
+    }
+}
+
+/// Lexes `source` into tokens (comments included, whitespace dropped).
+///
+/// The lexer never fails: unterminated literals degrade to a token running
+/// to end-of-file, which is the right behavior for a linter that must not
+/// crash on the file it is diagnosing.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run(source)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self, source: &str) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment();
+                    self.push(TokenKind::Comment, line, &source[start..self.pos]);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment();
+                    self.push(TokenKind::Comment, line, &source[start..self.pos]);
+                }
+                b'r' | b'b' if self.raw_string_fence(start).is_some() => {
+                    let (inner_start, inner_end) = self.take_raw_string(start);
+                    self.push(TokenKind::Str, line, &source[inner_start..inner_end]);
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 2;
+                    let inner = self.take_quoted(b'"');
+                    self.push(TokenKind::Str, line, &source[inner.0..inner.1]);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 2;
+                    let inner = self.take_quoted(b'\'');
+                    self.push(TokenKind::Char, line, &source[inner.0..inner.1]);
+                }
+                b'"' => {
+                    self.pos += 1;
+                    let inner = self.take_quoted(b'"');
+                    self.push(TokenKind::Str, line, &source[inner.0..inner.1]);
+                }
+                b'\'' => self.take_tick(source),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                    while self
+                        .current()
+                        .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+                    {
+                        self.pos += 1;
+                    }
+                    self.push(TokenKind::Ident, line, &source[start..self.pos]);
+                }
+                b'0'..=b'9' => {
+                    self.take_number();
+                    self.push(TokenKind::Number, line, &source[start..self.pos]);
+                }
+                b'=' if self.peek(1) == Some(b'>') => {
+                    self.pos += 2;
+                    self.push(TokenKind::FatArrow, line, "=>");
+                }
+                _ => {
+                    // Advance a full UTF-8 character so a stray non-ASCII
+                    // byte outside strings/comments cannot split a char
+                    // boundary and panic the slice below.
+                    let width = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    self.pos = (self.pos + width).min(self.src.len());
+                    self.push(TokenKind::Punct, line, &source[start..self.pos]);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn current(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32, text: &str) {
+        self.out.push(Token {
+            kind,
+            line,
+            text: text.to_string(),
+        });
+    }
+
+    fn take_line_comment(&mut self) {
+        while let Some(b) = self.current() {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes a `/* ... */` comment, honoring nesting and counting lines.
+    fn take_block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while let Some(b) = self.current() {
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// If `start` begins a raw-string prefix (`r`, `br`, `rb`), returns the
+    /// number of `#` fence characters.
+    fn raw_string_fence(&self, start: usize) -> Option<usize> {
+        let mut i = start;
+        if self.src.get(i) == Some(&b'b') {
+            i += 1;
+        }
+        if self.src.get(i) != Some(&b'r') {
+            return None;
+        }
+        i += 1;
+        let mut hashes = 0usize;
+        while self.src.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        (self.src.get(i) == Some(&b'"')).then_some(hashes)
+    }
+
+    /// Consumes a raw string starting at `start`; returns the inner content
+    /// byte range (content between the quotes, fences excluded).
+    fn take_raw_string(&mut self, start: usize) -> (usize, usize) {
+        let hashes = self.raw_string_fence(start).unwrap_or(0);
+        // Skip prefix: optional `b`, `r`, fences, opening quote.
+        while self.current().is_some_and(|b| b != b'"') {
+            self.pos += 1;
+        }
+        self.pos += 1;
+        let inner_start = self.pos;
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if b == b'"' && self.fence_follows(self.pos + 1, hashes) {
+                let inner_end = self.pos;
+                self.pos += 1 + hashes;
+                return (inner_start, inner_end);
+            } else {
+                self.pos += 1;
+            }
+        }
+        (inner_start, self.src.len())
+    }
+
+    fn fence_follows(&self, from: usize, hashes: usize) -> bool {
+        (0..hashes).all(|i| self.src.get(from + i) == Some(&b'#'))
+    }
+
+    /// Consumes an escaped-quoted literal body (cursor already past the
+    /// opening quote); returns the inner content byte range.
+    fn take_quoted(&mut self, quote: u8) -> (usize, usize) {
+        let inner_start = self.pos;
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b == b'\\' {
+                // The escaped byte may itself be a newline (a string
+                // line-continuation); it still advances the line counter.
+                if self.peek(1) == Some(b'\n') {
+                    self.line += 1;
+                }
+                self.pos += 2;
+            } else if b == quote {
+                let inner_end = self.pos;
+                self.pos += 1;
+                return (inner_start, inner_end);
+            } else {
+                if b == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        (inner_start, self.src.len())
+    }
+
+    /// Disambiguates `'x'` (char literal) from `'a` / `'static` / `'_`
+    /// (lifetime or loop label): a tick followed by an identifier char is a
+    /// char literal only if a closing tick immediately follows one
+    /// identifier character.
+    fn take_tick(&mut self, source: &str) {
+        let line = self.line;
+        let start = self.pos;
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: '\n', '\'', '\\', '\u{...}'. The
+                // escape body is left to `take_quoted`, whose backslash
+                // handling skips the escaped character.
+                self.pos += 1;
+                let inner = self.take_quoted(b'\'');
+                self.push(TokenKind::Char, line, &source[inner.0..inner.1]);
+            }
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                if self.peek(2) == Some(b'\'') {
+                    // 'x' — a one-character char literal.
+                    self.pos += 3;
+                    self.push(TokenKind::Char, line, &source[start + 1..start + 2]);
+                } else {
+                    // 'lifetime — consume the identifier, no closing tick.
+                    self.pos += 1;
+                    let ident_start = self.pos;
+                    while self
+                        .current()
+                        .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric())
+                    {
+                        self.pos += 1;
+                    }
+                    self.push(TokenKind::Lifetime, line, &source[ident_start..self.pos]);
+                }
+            }
+            _ => {
+                // Non-identifier char literal: '(', ' ', '0'...
+                self.pos += 1;
+                let inner = self.take_quoted(b'\'');
+                self.push(TokenKind::Char, line, &source[inner.0..inner.1]);
+            }
+        }
+    }
+
+    /// Consumes a numeric literal: integers, floats (`1.5`, `1.2e12`,
+    /// `1e-3`), radix prefixes and type suffixes. Careful with ranges —
+    /// `1..=n` must leave the dots alone.
+    fn take_number(&mut self) {
+        while let Some(b) = self.current() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // Exponent sign: `1e-3` / `2.5E+10`.
+                if (b == b'e' || b == b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.pos += 2;
+                }
+                self.pos += 1;
+            } else if b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // Decimal point only when a digit follows; `1..` is a range.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = map.get(&k);");
+        assert!(toks.contains(&(TokenKind::Ident, "get".into())));
+        assert!(toks.contains(&(TokenKind::Punct, ".".into())));
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].1, "a");
+        assert_eq!(toks[1].0, TokenKind::Comment);
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn strings_with_escapes_and_raw_fences() {
+        let toks = kinds(r####"let a = "quote \" inside"; let b = r#"raw "fence" ok"#;"####);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].1, r#"quote \" inside"#);
+        assert_eq!(strs[1].1, r#"raw "fence" ok"#);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; 'outer: loop {} }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Lifetime)
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "outer"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Char)
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(chars, vec!["x", "\\n"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = kinds("for i in 1..=max { let f = 1.2e12; let h = 0xFF_u64; }");
+        let numbers: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Number)
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(numbers, vec!["1", "1.2e12", "0xFF_u64"]);
+    }
+
+    #[test]
+    fn fat_arrow_is_joined_and_lines_tracked() {
+        let toks = lex("match x {\n    A => 1,\n}");
+        let arrow = toks.iter().find(|t| t.kind == TokenKind::FatArrow);
+        assert_eq!(arrow.map(|t| t.line), Some(2));
+    }
+
+    #[test]
+    fn string_line_continuations_still_count_lines() {
+        // A `\<newline>` inside a string escapes the newline for rustc but
+        // must still advance the lexer's line counter, or every diagnostic
+        // after the string points one line too early.
+        let toks = lex("let s = \"first \\\n    second\";\nafter();");
+        let after = toks.iter().find(|t| t.text == "after");
+        assert_eq!(after.map(|t| t.line), Some(3));
+    }
+
+    #[test]
+    fn line_comment_token_carries_text() {
+        let toks = lex("code(); // simlint::allow(D1, reason = \"x\")");
+        let comment = toks.iter().find(|t| t.kind == TokenKind::Comment);
+        assert!(comment.is_some_and(|t| t.text.contains("simlint::allow")));
+    }
+}

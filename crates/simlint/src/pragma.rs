@@ -1,0 +1,216 @@
+//! The `// simlint::allow(RULE, reason = "...")` suppression pragma.
+//!
+//! A pragma suppresses findings of one named rule on **a single line**:
+//!
+//! * written at the end of a code line, it suppresses that line;
+//! * written on a line of its own, it suppresses the **next** line.
+//!
+//! The `reason` is mandatory — an allow without a justification is itself
+//! reported as a [`crate::rules::RULE_PRAGMA`] finding, as is a malformed
+//! pragma or one naming an unknown rule. There is deliberately no
+//! file-level or block-level suppression: every exemption is visible at the
+//! line it excuses.
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::Finding;
+use crate::rules::{known_rule, RULE_PRAGMA};
+
+/// One parsed suppression: `rule` findings on `line` are allowed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being suppressed (e.g. `"D1"`).
+    pub rule: String,
+    /// The 1-indexed source line the suppression applies to.
+    pub line: u32,
+}
+
+/// All suppressions in a file, plus any findings about the pragmas
+/// themselves (missing reason, unknown rule, malformed syntax).
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    allows: Vec<Allow>,
+    /// Diagnostics for malformed pragmas.
+    pub findings: Vec<Finding>,
+}
+
+impl Pragmas {
+    /// Whether findings of `rule` on `line` are suppressed.
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| a.line == line && a.rule == rule)
+    }
+
+    /// Parses every pragma comment in `tokens` (the full token stream of
+    /// one file, comments included).
+    pub fn parse(file: &str, tokens: &[Token]) -> Pragmas {
+        let mut pragmas = Pragmas::default();
+        for (i, token) in tokens.iter().enumerate() {
+            if token.kind != TokenKind::Comment || !is_pragma_comment(&token.text) {
+                continue;
+            }
+            // A pragma on its own line targets the next line; a trailing
+            // pragma targets its own line. "Own line" means no non-comment
+            // token earlier on the same line.
+            let standalone = !tokens[..i]
+                .iter()
+                .rev()
+                .take_while(|t| t.line == token.line)
+                .any(|t| t.kind != TokenKind::Comment);
+            let target = if standalone {
+                token.line + 1
+            } else {
+                token.line
+            };
+            match parse_allow(&token.text) {
+                Ok(rule) => {
+                    if known_rule(&rule) {
+                        pragmas.allows.push(Allow { rule, line: target });
+                    } else {
+                        pragmas.findings.push(Finding::new(
+                            file,
+                            token.line,
+                            RULE_PRAGMA,
+                            format!("allow pragma names unknown rule `{rule}`"),
+                        ));
+                    }
+                }
+                Err(message) => {
+                    pragmas
+                        .findings
+                        .push(Finding::new(file, token.line, RULE_PRAGMA, message));
+                }
+            }
+        }
+        pragmas
+    }
+}
+
+/// Whether a comment *is* a pragma, as opposed to prose that merely
+/// mentions one: a plain `//` line comment (not `///` or `//!` docs — those
+/// describe code, they don't configure the linter) whose first word is
+/// `simlint::allow`.
+fn is_pragma_comment(comment: &str) -> bool {
+    let Some(rest) = comment.strip_prefix("//") else {
+        return false;
+    };
+    if rest.starts_with('/') || rest.starts_with('!') {
+        return false;
+    }
+    rest.trim_start().starts_with("simlint::allow")
+}
+
+/// Parses one comment's `simlint::allow(RULE, reason = "...")` body,
+/// returning the rule name or an error message.
+fn parse_allow(comment: &str) -> Result<String, String> {
+    let after = comment
+        .split_once("simlint::allow")
+        .map(|(_, rest)| rest)
+        .unwrap_or("");
+    let Some(open) = after.find('(') else {
+        return Err("malformed allow pragma: expected `(RULE, reason = \"...\")`".to_string());
+    };
+    let Some(close) = after.rfind(')') else {
+        return Err("malformed allow pragma: missing closing `)`".to_string());
+    };
+    if close < open {
+        return Err("malformed allow pragma: missing closing `)`".to_string());
+    }
+    let body = &after[open + 1..close];
+    let Some((rule, rest)) = body.split_once(',') else {
+        return Err(format!(
+            "allow pragma for `{}` is missing the mandatory `reason = \"...\"`",
+            body.trim()
+        ));
+    };
+    let rule = rule.trim();
+    if rule.is_empty() {
+        return Err("malformed allow pragma: empty rule name".to_string());
+    }
+    let rest = rest.trim();
+    let reason_value = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim_start);
+    match reason_value {
+        Some(value) if value.len() >= 2 && value.starts_with('"') && value.ends_with('"') => {
+            let inner = &value[1..value.len() - 1];
+            if inner.trim().is_empty() {
+                Err(format!(
+                    "allow pragma for `{rule}` has an empty reason — say why the \
+                     exemption is sound"
+                ))
+            } else {
+                Ok(rule.to_string())
+            }
+        }
+        _ => Err(format!(
+            "allow pragma for `{rule}` is missing the mandatory `reason = \"...\"`"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_pragma_targets_its_own_line() {
+        let toks =
+            lex("let m = HashMap::new(); // simlint::allow(D1, reason = \"never iterated\")");
+        let pragmas = Pragmas::parse("f.rs", &toks);
+        assert!(pragmas.findings.is_empty());
+        assert!(pragmas.allows("D1", 1));
+        assert!(!pragmas.allows("D1", 2));
+        assert!(!pragmas.allows("D2", 1));
+    }
+
+    #[test]
+    fn standalone_pragma_targets_next_line() {
+        let toks = lex(
+            "// simlint::allow(P1, reason = \"invariant: checked above\")\nx.expect(\"checked\");",
+        );
+        let pragmas = Pragmas::parse("f.rs", &toks);
+        assert!(pragmas.findings.is_empty());
+        assert!(pragmas.allows("P1", 2));
+        assert!(!pragmas.allows("P1", 1));
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        for bad in [
+            "// simlint::allow(D1)",
+            "// simlint::allow(D1, reason)",
+            "// simlint::allow(D1, reason = )",
+            "// simlint::allow(D1, reason = \"\")",
+            "// simlint::allow(D1, because = \"x\")",
+        ] {
+            let pragmas = Pragmas::parse("f.rs", &lex(bad));
+            assert_eq!(pragmas.findings.len(), 1, "{bad}");
+            assert_eq!(pragmas.findings[0].rule, RULE_PRAGMA, "{bad}");
+            assert!(!pragmas.allows("D1", 1), "{bad}");
+            assert!(!pragmas.allows("D1", 2), "{bad}");
+        }
+    }
+
+    #[test]
+    fn prose_mentions_are_not_pragmas() {
+        for prose in [
+            "/// Suppress with `// simlint::allow(D1, reason = \"...\")`.",
+            "//! the `// simlint::allow(RULE, reason = \"...\")` comment pragma",
+            "// A comment that merely mentions simlint::allow(D1) mid-sentence.",
+        ] {
+            let pragmas = Pragmas::parse("f.rs", &lex(prose));
+            assert!(pragmas.findings.is_empty(), "{prose}");
+            assert!(!pragmas.allows("D1", 1), "{prose}");
+            assert!(!pragmas.allows("D1", 2), "{prose}");
+        }
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let pragmas = Pragmas::parse("f.rs", &lex("// simlint::allow(Z9, reason = \"x\")"));
+        assert_eq!(pragmas.findings.len(), 1);
+        assert!(pragmas.findings[0].message.contains("unknown rule"));
+    }
+}

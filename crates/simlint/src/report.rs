@@ -1,0 +1,99 @@
+//! Findings and their rendering.
+
+use std::fmt;
+
+/// One diagnostic: a rule violation at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-indexed line of the offending token.
+    pub line: u32,
+    /// The rule identifier (`D1`, `P1`, `X1`, [`crate::rules::RULE_PRAGMA`]).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding.
+    pub fn new(
+        file: impl Into<String>,
+        line: u32,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    /// Renders as `file:line:rule: message` — one line, grep- and
+    /// editor-clickable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts findings into the canonical deterministic order: by file path,
+/// then line, then rule.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+/// Renders all findings plus a one-line summary, suitable for stderr or a
+/// CI step summary.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for finding in findings {
+        out.push_str(&finding.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("simlint: no findings\n");
+    } else {
+        out.push_str(&format!(
+            "simlint: {} finding{}\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_colon_separated() {
+        let f = Finding::new("crates/x/src/lib.rs", 7, "D1", "HashMap in digest crate");
+        assert_eq!(
+            f.to_string(),
+            "crates/x/src/lib.rs:7:D1: HashMap in digest crate"
+        );
+    }
+
+    #[test]
+    fn sort_is_by_file_line_rule() {
+        let mut findings = vec![
+            Finding::new("b.rs", 1, "P1", "x"),
+            Finding::new("a.rs", 9, "D2", "x"),
+            Finding::new("a.rs", 9, "D1", "x"),
+        ];
+        sort_findings(&mut findings);
+        assert_eq!(findings[0].file, "a.rs");
+        assert_eq!(findings[0].rule, "D1");
+        assert_eq!(findings[2].file, "b.rs");
+    }
+}

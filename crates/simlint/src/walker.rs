@@ -1,0 +1,179 @@
+//! Workspace discovery: which `.rs` files exist and what role each plays.
+//!
+//! Classification is purely path-shaped — no `Cargo.toml` parsing — because
+//! the workspace follows the standard cargo layout:
+//!
+//! * `crates/<name>/src/**` is library code of crate `<name>` (except
+//!   `src/bin/**` and `src/main.rs`, which are binaries);
+//! * `crates/<name>/{tests,benches,examples}/**` and the workspace-root
+//!   `tests/**` / `examples/**` are test-shaped targets;
+//! * `crates/shims/**` are the vendored offline stand-ins for external
+//!   crates (`rand`, `proptest`, `criterion`) and are exempt from every
+//!   rule — they emulate third-party code, they are not ours to harden;
+//! * directories named `target`, `fixtures`, or starting with `.` are
+//!   skipped (`fixtures` holds simlint's own deliberately-failing inputs).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What kind of cargo target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under some `src/` (the linted surface).
+    Lib,
+    /// A binary: `src/bin/**` or `src/main.rs`.
+    Bin,
+    /// An integration test under `tests/`.
+    Test,
+    /// A benchmark under `benches/`.
+    Bench,
+    /// An example under `examples/`.
+    Example,
+}
+
+/// Where a file sits in the workspace — the context rules dispatch on.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// The owning crate (`cluster`, `neu10`, ... or the facade name for
+    /// workspace-root `src`/`tests`/`examples`).
+    pub crate_name: String,
+    /// The target kind this file compiles into.
+    pub kind: FileKind,
+    /// Whether the file belongs to `crates/shims/**`.
+    pub is_shim: bool,
+    /// Whether the file is a library crate root (`src/lib.rs`).
+    pub is_crate_root: bool,
+}
+
+impl FileContext {
+    /// Classifies a workspace-relative path (must use `/` separators).
+    pub fn classify(rel_path: &str) -> FileContext {
+        let parts: Vec<&str> = rel_path.split('/').collect();
+        let is_shim = parts.first() == Some(&"crates") && parts.get(1) == Some(&"shims");
+        let (crate_name, in_crate): (String, &[&str]) = if parts.first() == Some(&"crates") {
+            if is_shim {
+                (
+                    format!("shim-{}", parts.get(2).copied().unwrap_or("?")),
+                    parts.get(3..).unwrap_or(&[]),
+                )
+            } else {
+                (
+                    parts.get(1).copied().unwrap_or("?").to_string(),
+                    parts.get(2..).unwrap_or(&[]),
+                )
+            }
+        } else {
+            // Workspace-root facade crate: src/, tests/, examples/.
+            ("neu10-repro".to_string(), &parts[..])
+        };
+        let kind = match in_crate.first() {
+            Some(&"tests") => FileKind::Test,
+            Some(&"benches") => FileKind::Bench,
+            Some(&"examples") => FileKind::Example,
+            Some(&"src") => {
+                if in_crate.get(1) == Some(&"bin") || in_crate.last() == Some(&"main.rs") {
+                    FileKind::Bin
+                } else {
+                    FileKind::Lib
+                }
+            }
+            _ => FileKind::Lib,
+        };
+        let is_crate_root = in_crate == ["src", "lib.rs"];
+        FileContext {
+            rel_path: rel_path.to_string(),
+            crate_name,
+            kind,
+            is_shim,
+            is_crate_root,
+        }
+    }
+}
+
+/// Recursively collects every `.rs` file under `root`, classified and in a
+/// deterministic (sorted-path) order. Directories named `target`,
+/// `fixtures`, or starting with `.` are skipped.
+pub fn walk(root: &Path) -> io::Result<Vec<(PathBuf, FileContext)>> {
+    let mut files = Vec::new();
+    walk_dir(root, root, &mut files)?;
+    files.sort_by(|a, b| a.1.rel_path.cmp(&b.1.rel_path));
+    Ok(files)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<(PathBuf, FileContext)>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let context = FileContext::classify(&rel);
+            out.push((path, context));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_layout() {
+        let lib = FileContext::classify("crates/cluster/src/serving.rs");
+        assert_eq!(lib.crate_name, "cluster");
+        assert_eq!(lib.kind, FileKind::Lib);
+        assert!(!lib.is_shim);
+        assert!(!lib.is_crate_root);
+
+        let root = FileContext::classify("crates/neu10/src/lib.rs");
+        assert!(root.is_crate_root);
+        assert_eq!(root.kind, FileKind::Lib);
+
+        let bin = FileContext::classify("crates/bench/src/bin/perf_fleet.rs");
+        assert_eq!(bin.kind, FileKind::Bin);
+
+        let main = FileContext::classify("crates/simlint/src/main.rs");
+        assert_eq!(main.kind, FileKind::Bin);
+
+        let shim = FileContext::classify("crates/shims/rand/src/lib.rs");
+        assert!(shim.is_shim);
+        assert_eq!(shim.crate_name, "shim-rand");
+
+        let test = FileContext::classify("tests/serving_golden.rs");
+        assert_eq!(test.kind, FileKind::Test);
+        assert_eq!(test.crate_name, "neu10-repro");
+
+        let example = FileContext::classify("examples/autopilot.rs");
+        assert_eq!(example.kind, FileKind::Example);
+
+        let facade = FileContext::classify("src/lib.rs");
+        assert!(facade.is_crate_root);
+        assert_eq!(facade.kind, FileKind::Lib);
+
+        let crate_bench = FileContext::classify("crates/bench/benches/dispatch.rs");
+        assert_eq!(crate_bench.kind, FileKind::Bench);
+    }
+}

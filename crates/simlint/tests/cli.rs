@@ -1,0 +1,94 @@
+//! End-to-end CLI tests: exit codes, `--explain`, and the self-check that
+//! the real workspace is clean.
+//!
+//! The self-check is the linchpin: every rule fixture proves the rule *can*
+//! fire, and this test proves the shipped tree gives it nothing to fire on
+//! — so a regression anywhere in the workspace fails `cargo test` before it
+//! ever reaches the CI `analysis` job.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn simlint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_simlint"))
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/simlint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_self_check_is_clean() {
+    let output = simlint()
+        .args(["--workspace", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run simlint");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "simlint --workspace must be clean on the shipped tree:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("no findings"),
+        "unexpected output: {stdout}"
+    );
+}
+
+#[test]
+fn findings_exit_nonzero_with_file_line_rule_format() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/d1_fail.rs");
+    let output = simlint()
+        .args(["--file"])
+        .arg(&fixture)
+        .args(["--as", "crates/cluster/src/fixture.rs"])
+        .output()
+        .expect("run simlint");
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "findings must exit 1 (distinct from usage errors at 2)"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("crates/cluster/src/fixture.rs:2:D1:"),
+        "diagnostics are file:line:rule: — got:\n{stdout}"
+    );
+}
+
+#[test]
+fn explain_documents_every_rule() {
+    for rule in ["D1", "D2", "D3", "P1", "S1", "X1", "PRAGMA"] {
+        let output = simlint()
+            .args(["--explain", rule])
+            .output()
+            .expect("run simlint");
+        assert!(output.status.success(), "--explain {rule} must succeed");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.trim().len() > 100,
+            "--explain {rule} must carry a real rationale, got: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn unknown_rule_and_bad_usage_exit_2() {
+    let unknown = simlint()
+        .args(["--explain", "Z9"])
+        .output()
+        .expect("run simlint");
+    assert_eq!(unknown.status.code(), Some(2));
+
+    let nothing = simlint().output().expect("run simlint");
+    assert_eq!(
+        nothing.status.code(),
+        Some(2),
+        "no mode selected is a usage error"
+    );
+}

@@ -1,0 +1,6 @@
+// Fixture: D1 must fire — a HashMap in a digest-affecting crate.
+use std::collections::HashMap;
+
+pub fn total(load: &HashMap<u64, u64>) -> u64 {
+    load.values().sum()
+}

@@ -1,0 +1,6 @@
+// Fixture: D1 must stay quiet — ordered maps iterate deterministically.
+use std::collections::BTreeMap;
+
+pub fn total(load: &BTreeMap<u64, u64>) -> u64 {
+    load.values().sum()
+}

@@ -1,0 +1,6 @@
+// Fixture: D2 must fire — wall-clock reads outside bench/shims.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

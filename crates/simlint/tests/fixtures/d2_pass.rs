@@ -1,0 +1,4 @@
+// Fixture: D2 must stay quiet — simulation code uses the virtual clock.
+pub fn stamp(now_cycles: u64, delta: u64) -> u64 {
+    now_cycles + delta
+}

@@ -1,0 +1,5 @@
+// Fixture: D3 must fire — an entropy-seeded RNG is unreproducible.
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,5 @@
+// Fixture: D3 must stay quiet — explicit seeds reproduce.
+pub fn draw(seed: u64) -> u64 {
+    let mut rng = rand::StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,8 @@
+// Fixture: P1 must fire — panicking calls in library code.
+pub fn pick(values: &[u64]) -> u64 {
+    *values.first().unwrap()
+}
+
+pub fn boom() {
+    panic!("library code must not panic");
+}

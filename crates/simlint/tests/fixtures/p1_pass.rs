@@ -1,0 +1,8 @@
+// Fixture: P1 must stay quiet — fallible paths return options and defaults.
+pub fn pick(values: &[u64]) -> u64 {
+    values.first().copied().unwrap_or(0)
+}
+
+pub fn try_pick(values: &[u64]) -> Option<u64> {
+    values.first().copied()
+}

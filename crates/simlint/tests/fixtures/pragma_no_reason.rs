@@ -1,0 +1,7 @@
+// Fixture: a reason-less pragma is itself a finding AND suppresses nothing.
+// simlint::allow(D1)
+use std::collections::HashMap;
+
+pub fn total(load: &HashMap<u64, u64>) -> u64 {
+    load.len() as u64
+}

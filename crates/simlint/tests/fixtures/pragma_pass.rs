@@ -1,0 +1,8 @@
+// Fixture: well-formed pragmas suppress their target line — the standalone
+// form covers the next line, the trailing form its own.
+// simlint::allow(D1, reason = "point lookups only; never iterated")
+use std::collections::HashMap;
+
+pub fn total(load: &HashMap<u64, u64>) -> u64 { // simlint::allow(D1, reason = "audited lookup-only map")
+    load.len() as u64
+}

@@ -1,0 +1,5 @@
+// Fixture: S1 must fire — a crate root without `#![forbid(unsafe_code)]`.
+
+pub fn f() -> u64 {
+    1
+}

@@ -1,0 +1,6 @@
+// Fixture: S1 must stay quiet — the crate root forbids unsafe code.
+#![forbid(unsafe_code)]
+
+pub fn f() -> u64 {
+    1
+}

@@ -1,0 +1,10 @@
+// Fixture: X1 must fire — an event kind with no match arm is dead.
+pub const EV_LOST: u8 = 9;
+pub const EV_SEEN: u8 = 1;
+
+pub fn step(kind: u8) -> u8 {
+    match kind {
+        EV_SEEN => 1,
+        _ => 0,
+    }
+}

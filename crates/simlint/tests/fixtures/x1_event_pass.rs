@@ -1,0 +1,9 @@
+// Fixture: X1 must stay quiet — every event kind has its arm.
+pub const EV_SEEN: u8 = 1;
+
+pub fn step(kind: u8) -> u8 {
+    match kind {
+        EV_SEEN => 1,
+        _ => 0,
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: X1 must fire — a metric name missing from the taxonomy
+// (a typo would silently split one counter into two).
+pub const METRIC_NAMES: &[&str] = &["serving.completed"];
+
+pub fn record(registry: &mut Registry) {
+    registry.inc("serving.compelted");
+}

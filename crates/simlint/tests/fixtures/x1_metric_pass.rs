@@ -1,0 +1,6 @@
+// Fixture: X1 must stay quiet — the emitted metric is declared.
+pub const METRIC_NAMES: &[&str] = &["serving.completed"];
+
+pub fn record(registry: &mut Registry) {
+    registry.inc("serving.completed");
+}
