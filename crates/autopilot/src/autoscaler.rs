@@ -213,6 +213,11 @@ impl Autoscaler {
         self.specs.keys().copied()
     }
 
+    /// The scaling contract registered for `model`, if any.
+    pub fn spec(&self, model: ModelId) -> Option<&ScalingSpec> {
+        self.specs.get(&model)
+    }
+
     /// Decides the scaling actions for one telemetry frame.
     pub fn decide(&mut self, frame: &TelemetryFrame) -> Vec<ControlAction> {
         let now = frame.at.get();

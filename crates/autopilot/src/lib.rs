@@ -57,8 +57,13 @@ pub mod defrag;
 pub use autoscaler::{AutoscalePolicy, Autoscaler, ScalingSpec, StepScaling, TargetTracking};
 pub use defrag::Defragmenter;
 
-use cluster::{ControlAction, ControlPlane, NpuCluster, TelemetryFrame};
+use std::collections::{BTreeMap, BTreeSet};
+
+use cluster::{
+    AlertKind, AlertTransition, ControlAction, ControlPlane, NpuCluster, TelemetryFrame,
+};
 use npu_sim::Cycles;
+use workloads::ModelId;
 
 /// One control-plane action with the tick that issued it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,12 +116,26 @@ impl AutopilotLog {
 }
 
 /// The composed control plane: autoscaler first (capacity follows demand),
-/// then the defragmenter (placeability follows capacity).
+/// then the defragmenter (placeability follows capacity), with an optional
+/// alert-driven boost reacting to SLO burn-rate pages between the two.
 #[derive(Debug, Clone, Default)]
 pub struct Autopilot {
     autoscaler: Autoscaler,
     defrag: Option<Defragmenter>,
     log: AutopilotLog,
+    /// Alert-driven scaling: `None` ignores alerts entirely.
+    alert_scaling: Option<AlertScaling>,
+}
+
+/// State of the alert-driven scale-up path.
+#[derive(Debug, Clone, Default)]
+struct AlertScaling {
+    /// Cycles between alert-driven boosts of one model.
+    cooldown: u64,
+    /// Models whose SLO fired since the last telemetry tick.
+    pending: BTreeSet<ModelId>,
+    /// Last alert-driven boost per model (cooldown bookkeeping).
+    boosted_at: BTreeMap<ModelId, u64>,
 }
 
 impl Autopilot {
@@ -137,6 +156,21 @@ impl Autopilot {
         self
     }
 
+    /// Reacts to SLO burn-rate alerts: when a managed model's alert fires
+    /// (see [`cluster::ServingOptions::with_slo`]), the next telemetry tick
+    /// adds one replica on top of whatever the demand-driven policy decided
+    /// — unless the policy already scaled the model this tick, the model is
+    /// at its ceiling, or an alert boost happened within `cooldown` cycles.
+    /// A page means the error budget is burning *now*; waiting for the
+    /// backlog EWMA to catch up is exactly the lag the alert exists to cut.
+    pub fn with_alert_scaling(mut self, cooldown: u64) -> Self {
+        self.alert_scaling = Some(AlertScaling {
+            cooldown,
+            ..AlertScaling::default()
+        });
+        self
+    }
+
     /// The actions issued so far.
     pub fn log(&self) -> &AutopilotLog {
         &self.log
@@ -146,6 +180,29 @@ impl Autopilot {
 impl ControlPlane for Autopilot {
     fn control(&mut self, frame: &TelemetryFrame, cluster: &NpuCluster) -> Vec<ControlAction> {
         let mut actions = self.autoscaler.decide(frame);
+        if let Some(alerts) = &mut self.alert_scaling {
+            let now = frame.at.get();
+            for model in std::mem::take(&mut alerts.pending) {
+                let Some(spec) = self.autoscaler.spec(model) else {
+                    continue;
+                };
+                let live = frame.replicas_of(model).count();
+                let already_scaling = actions.iter().any(|action| {
+                    matches!(action, ControlAction::ScaleUp { spec: s, .. } if s.model == model)
+                });
+                let cooled = alerts
+                    .boosted_at
+                    .get(&model)
+                    .is_none_or(|at| now.saturating_sub(*at) >= alerts.cooldown);
+                if !already_scaling && cooled && live < spec.max_replicas {
+                    actions.push(ControlAction::ScaleUp {
+                        spec: spec.deploy,
+                        placement: spec.placement,
+                    });
+                    alerts.boosted_at.insert(model, now);
+                }
+            }
+        }
         if let Some(defrag) = &mut self.defrag {
             actions.extend(defrag.plan(frame, cluster));
         }
@@ -157,16 +214,26 @@ impl ControlPlane for Autopilot {
             }));
         actions
     }
+
+    fn on_alert(&mut self, _now: Cycles, alert: &AlertTransition) {
+        if let Some(alerts) = &mut self.alert_scaling {
+            if alert.kind == AlertKind::Fired {
+                alerts.pending.insert(alert.model);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cluster::{
-        DeploySpec, MigrationMode, NodeId, PlacementPolicy, TraceConfig, TraceRecorder, VnpuHandle,
+        AlertSeverity, DeploySpec, MigrationMode, ModelSample, NodeId, PlacementPolicy,
+        ReplicaSample, TelemetryFrame, TraceConfig, TraceRecorder, VnpuHandle,
     };
-    use neu10::VnpuId;
-    use workloads::ModelId;
+    use neu10::{DeadlineStats, LatencySummary, VnpuId};
+    use npu_sim::NpuConfig;
+    use workloads::{ModelId, PriorityClass};
 
     #[test]
     fn trace_into_replays_logged_actions_as_control_instants() {
@@ -203,5 +270,125 @@ mod tests {
         assert_eq!(recorder.metrics().counter("control.scale_ups"), 1);
         assert_eq!(recorder.metrics().counter("control.scale_downs"), 1);
         assert_eq!(recorder.metrics().counter("control.migrations"), 1);
+    }
+
+    /// A frame where `model` has one healthy, idle replica — nothing the
+    /// demand-driven policies would act on.
+    fn idle_frame(at: u64, model: ModelId) -> TelemetryFrame {
+        let replica = ReplicaSample {
+            handle: VnpuHandle {
+                node: NodeId(0),
+                vnpu: VnpuId(0),
+            },
+            model,
+            queue_len: 0,
+            in_flight: 0,
+            draining: false,
+            utilization: 0.0,
+        };
+        let mut models = std::collections::BTreeMap::new();
+        models.insert(
+            model,
+            ModelSample {
+                model,
+                replicas: 1,
+                queued: 0,
+                in_flight: 0,
+                arrivals: 0,
+                rejected: 0,
+                latency: LatencySummary::default(),
+                deadline: DeadlineStats::default(),
+            },
+        );
+        TelemetryFrame {
+            at: Cycles(at),
+            window: Cycles(at.max(1)),
+            replicas: vec![replica],
+            models,
+        }
+    }
+
+    fn fired(at: u64, model: ModelId) -> AlertTransition {
+        AlertTransition {
+            at: Cycles(at),
+            model,
+            priority: Some(PriorityClass::Interactive),
+            severity: AlertSeverity::Page,
+            policy: "page",
+            kind: AlertKind::Fired,
+            burn_fast: 12.0,
+            burn_slow: 11.0,
+        }
+    }
+
+    #[test]
+    fn alert_scaling_boosts_fired_models_under_cooldown() {
+        let model = ModelId::Mnist;
+        let cluster = NpuCluster::homogeneous(1, &NpuConfig::single_core());
+        let mut pilot = Autopilot::new()
+            .with_model(ScalingSpec::new(
+                DeploySpec::replica(model, 2, 2),
+                1,
+                4,
+                AutoscalePolicy::TargetTracking(TargetTracking::new(1_000.0, 0)),
+            ))
+            .with_alert_scaling(500_000);
+
+        // No alert: the idle frame produces no actions.
+        assert!(pilot
+            .control(&idle_frame(100_000, model), &cluster)
+            .is_empty());
+
+        // A fired page queues a boost; the next tick adds one replica.
+        pilot.on_alert(Cycles(150_000), &fired(150_000, model));
+        let actions = pilot.control(&idle_frame(200_000, model), &cluster);
+        assert_eq!(actions.len(), 1);
+        assert!(
+            matches!(&actions[0], ControlAction::ScaleUp { spec, .. } if spec.model == model),
+            "the alert boost is a scale-up of the fired model"
+        );
+        assert_eq!(pilot.log().scale_ups(), 1);
+
+        // A second fire inside the cooldown is absorbed.
+        pilot.on_alert(Cycles(250_000), &fired(250_000, model));
+        assert!(pilot
+            .control(&idle_frame(300_000, model), &cluster)
+            .is_empty());
+
+        // After the cooldown the boost path re-arms.
+        pilot.on_alert(Cycles(800_000), &fired(800_000, model));
+        assert_eq!(
+            pilot.control(&idle_frame(900_000, model), &cluster).len(),
+            1
+        );
+
+        // Alerts for unmanaged models are ignored (the frame keeps the
+        // managed model healthy so the floor stays quiet).
+        pilot.on_alert(Cycles(950_000), &fired(950_000, ModelId::Bert));
+        assert!(pilot
+            .control(&idle_frame(2_000_000, model), &cluster)
+            .is_empty());
+    }
+
+    #[test]
+    fn resolve_edges_never_queue_a_boost() {
+        let model = ModelId::Mnist;
+        let cluster = NpuCluster::homogeneous(1, &NpuConfig::single_core());
+        let mut pilot = Autopilot::new()
+            .with_model(ScalingSpec::new(
+                DeploySpec::replica(model, 2, 2),
+                1,
+                4,
+                AutoscalePolicy::TargetTracking(TargetTracking::new(1_000.0, 0)),
+            ))
+            .with_alert_scaling(0);
+        let resolve = AlertTransition {
+            kind: AlertKind::Resolved,
+            ..fired(100_000, model)
+        };
+        pilot.on_alert(Cycles(100_000), &resolve);
+        assert!(pilot
+            .control(&idle_frame(200_000, model), &cluster)
+            .is_empty());
     }
 }

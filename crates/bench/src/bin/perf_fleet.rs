@@ -35,6 +35,12 @@
 //! instrumentation left in the hot path must stay free when no sink is
 //! attached.
 //!
+//! The `fleet-1m` scenario additionally re-runs with a
+//! [`TimeSeriesRecorder`] attached — the windowed aggregation path is the one
+//! a fleet scrapes continuously, so its overhead is tracked separately as
+//! `timeseries_wall_ms` / `timeseries_overhead_pct` and gated against the
+//! baseline with the same 2% budget (250 ms floor).
+//!
 //! `NEU10_PERF_PROFILE=smoke` shrinks every scenario for CI; the default
 //! `full` profile runs the real sizes.
 
@@ -44,7 +50,7 @@ use autopilot::{Autopilot, AutoscalePolicy, ScalingSpec, TargetTracking};
 use cluster::{
     estimated_batch_service_cycles, estimated_service_cycles, ClusterServingSim, DeploySpec,
     DispatchPolicy, NpuCluster, PlacementPolicy, ServingOptions, ServingReport, StochasticService,
-    TraceConfig, TraceRecorder,
+    TimeSeriesConfig, TimeSeriesRecorder, TraceConfig, TraceRecorder,
 };
 use npu_sim::{Cycles, NpuConfig};
 use workloads::{ClusterTrace, DiurnalTrace, ModelId, PriorityClass, QosSpec};
@@ -131,6 +137,9 @@ struct Measurement {
     /// Wall time of the same scenario with a sampling [`TraceRecorder`]
     /// attached.
     obs_wall_ms: f64,
+    /// Wall time of the same scenario with a windowed [`TimeSeriesRecorder`]
+    /// attached (only measured for the `fleet-1m` scale target).
+    timeseries_wall_ms: Option<f64>,
 }
 
 impl Measurement {
@@ -153,6 +162,13 @@ impl Measurement {
         (self.obs_wall_ms - self.wall_ms) / self.wall_ms.max(1e-9) * 100.0
     }
 
+    /// Windowed-aggregation overhead relative to the unobserved run, in
+    /// percent, when the scenario measured it.
+    fn timeseries_overhead_pct(&self) -> Option<f64> {
+        self.timeseries_wall_ms
+            .map(|ts| (ts - self.wall_ms) / self.wall_ms.max(1e-9) * 100.0)
+    }
+
     fn json_line(&self) -> String {
         let speedup = match self.speedup() {
             Some(s) => format!(
@@ -162,12 +178,18 @@ impl Measurement {
             ),
             None => String::new(),
         };
+        let timeseries = match (self.timeseries_wall_ms, self.timeseries_overhead_pct()) {
+            (Some(wall), Some(pct)) => {
+                format!(",\"timeseries_wall_ms\":{wall:.1},\"timeseries_overhead_pct\":{pct:.1}")
+            }
+            _ => String::new(),
+        };
         format!(
             "{{\"name\":\"{}\",\"boards\":{},\"replicas\":{},\"models\":{},\"wall_ms\":{:.1},\
              \"offered\":{},\"completed\":{},\"rejected\":{},\"arrivals_per_sec_wall\":{:.0},\
              \"sim_events\":{},\"events_processed\":{},\"peak_replicas\":{},\"batches\":{},\
              \"p99_cycles\":{},\"makespan_cycles\":{},\
-             \"obs_wall_ms\":{:.1},\"obs_overhead_pct\":{:.1}{}}}",
+             \"obs_wall_ms\":{:.1},\"obs_overhead_pct\":{:.1}{}{}}}",
             self.name,
             self.boards,
             self.replicas,
@@ -185,6 +207,7 @@ impl Measurement {
             self.report.makespan.get(),
             self.obs_wall_ms,
             self.obs_overhead_pct(),
+            timeseries,
             speedup,
         )
     }
@@ -248,6 +271,12 @@ fn obs_config() -> TraceConfig {
         .with_seed(SEED)
 }
 
+/// The window config of the time-series re-run: default width with a bounded
+/// per-series ring, the shape a continuously-scraped fleet would run.
+fn timeseries_config() -> TimeSeriesConfig {
+    TimeSeriesConfig::default().with_ring(64)
+}
+
 fn serving_options(reference: bool) -> ServingOptions {
     let mut options = ServingOptions::new(DispatchPolicy::LeastLoaded)
         .with_batching(MAX_BATCH)
@@ -260,6 +289,7 @@ fn serving_options(reference: bool) -> ServingOptions {
 
 /// Runs one open-loop scenario, optionally measuring the reference dispatch
 /// path for the speedup column.
+#[allow(clippy::too_many_arguments)]
 fn run_open_loop(
     name: &'static str,
     boards: usize,
@@ -268,6 +298,7 @@ fn run_open_loop(
     per_model: usize,
     npu: &NpuConfig,
     compare: bool,
+    timeseries: bool,
 ) -> Measurement {
     let trace = steady_trace(&models, replicas, per_model, npu);
 
@@ -305,6 +336,27 @@ fn run_open_loop(
         obs_wall
     };
 
+    let timeseries_wall_ms = timeseries.then(|| {
+        let mut fleet = deploy_fleet(boards, replicas, &models, npu);
+        let mut recorder = TimeSeriesRecorder::new(timeseries_config());
+        let started = Instant::now();
+        let observed = ClusterServingSim::new(serving_options(false)).run_observed(
+            &mut fleet,
+            &trace,
+            &mut recorder,
+        );
+        let ts_wall = started.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            report, observed,
+            "{name}: attaching a TimeSeriesRecorder must not change the simulation"
+        );
+        assert!(
+            recorder.stats().samples > 0,
+            "{name}: the time-series re-run must actually aggregate samples"
+        );
+        ts_wall
+    });
+
     Measurement {
         name,
         boards,
@@ -314,6 +366,7 @@ fn run_open_loop(
         report,
         reference_wall_ms,
         obs_wall_ms,
+        timeseries_wall_ms,
     }
 }
 
@@ -392,6 +445,7 @@ fn run_autopilot(boards: usize, horizon_services: u64, npu: &NpuConfig) -> Measu
         report,
         reference_wall_ms: None,
         obs_wall_ms,
+        timeseries_wall_ms: None,
     }
 }
 
@@ -411,6 +465,8 @@ struct BaselineRow {
     name: &'static str,
     baseline_wall_ms: Option<f64>,
     wall_ms: f64,
+    baseline_timeseries_wall_ms: Option<f64>,
+    timeseries_wall_ms: Option<f64>,
 }
 
 impl BaselineRow {
@@ -442,11 +498,26 @@ impl BaselineRow {
         }
     }
 
+    /// The time-series gate: the windowed-aggregation re-run must stay within
+    /// 2% of its own baseline wall time (same 250 ms absolute floor as the
+    /// obs gate), so regressions in the `TimeSeriesRecorder` hot path are
+    /// caught at `fleet-1m` scale.
+    fn exceeds_timeseries_budget(&self) -> bool {
+        match (self.baseline_timeseries_wall_ms, self.timeseries_wall_ms) {
+            (Some(baseline), Some(current)) => {
+                current > 1.02 * baseline && current - baseline > 250.0
+            }
+            _ => false,
+        }
+    }
+
     fn status(&self) -> &'static str {
         if self.exceeds(3.0) {
             "FAIL (>3x)"
         } else if self.exceeds_obs_budget() {
             "FAIL (obs >2%)"
+        } else if self.exceeds_timeseries_budget() {
+            "FAIL (timeseries >2%)"
         } else if self.exceeds(2.0) {
             "warn (>2x)"
         } else if self.baseline_wall_ms.is_some() {
@@ -474,11 +545,28 @@ fn check_baseline(baseline_path: &str, measurements: &[Measurement]) -> (Vec<Bas
             .find(|line| extract_field(line, "name").as_deref() == Some(measurement.name))
             .and_then(|line| extract_field(line, "wall_ms"))
             .and_then(|value| value.parse::<f64>().ok());
+        let baseline_timeseries_wall = baseline
+            .lines()
+            .find(|line| extract_field(line, "name").as_deref() == Some(measurement.name))
+            .and_then(|line| extract_field(line, "timeseries_wall_ms"))
+            .and_then(|value| value.parse::<f64>().ok());
         let row = BaselineRow {
             name: measurement.name,
             baseline_wall_ms: baseline_wall,
             wall_ms: measurement.wall_ms,
+            baseline_timeseries_wall_ms: baseline_timeseries_wall,
+            timeseries_wall_ms: measurement.timeseries_wall_ms,
         };
+        if row.exceeds_timeseries_budget() {
+            gate_tripped = true;
+            println!(
+                "::error::perf_fleet: scenario {} time-series wall time exceeds the \
+                 2% budget ({:.1} ms vs baseline {:.1} ms) — failing the perf gate",
+                row.name,
+                row.timeseries_wall_ms.unwrap_or(0.0),
+                row.baseline_timeseries_wall_ms.unwrap_or(0.0),
+            );
+        }
         match row.baseline_wall_ms {
             Some(before) if row.exceeds(3.0) => {
                 gate_tripped = true;
@@ -543,8 +631,9 @@ fn write_step_summary(rows: &[BaselineRow]) {
         ));
     }
     table.push_str(
-        "\nGates: fail on >3x wall-time regression (50 ms floor) or on obs-disabled wall \
-         time >2% over baseline (250 ms floor); warn on >2x.\n",
+        "\nGates: fail on >3x wall-time regression (50 ms floor), on obs-disabled wall \
+         time >2% over baseline (250 ms floor), or on the time-series re-run >2% over \
+         its baseline (250 ms floor); warn on >2x.\n",
     );
     use std::io::Write;
     if let Ok(mut file) = std::fs::OpenOptions::new()
@@ -607,6 +696,7 @@ fn main() {
             sizes.steady_arrivals_per_model,
             &npu,
             compare,
+            false,
         ),
         run_autopilot(sizes.auto_boards, sizes.auto_horizon_services, &auto_npu),
         run_open_loop(
@@ -617,6 +707,7 @@ fn main() {
             sizes.fleet_arrivals_per_model,
             &npu,
             compare,
+            true,
         ),
     ] {
         println!(

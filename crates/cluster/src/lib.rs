@@ -71,8 +71,11 @@ pub use migration::{
 };
 pub use node::ClusterNode;
 pub use obs::{
-    export_chrome_trace, validate_chrome_trace, FleetCounters, MetricsRegistry, NoopSink, ObsSink,
-    RejectReason, TraceConfig, TraceRecorder, TraceStats, TraceValidation,
+    export_chrome_trace, export_openmetrics, export_timeseries_openmetrics, validate_chrome_trace,
+    validate_openmetrics, AlertKind, AlertLog, AlertSeverity, AlertTransition, BurnRatePolicy,
+    FleetCounters, MetricsRegistry, NoopSink, ObsSink, OpenMetricsSummary, RejectReason,
+    SeriesLabels, SloConfig, SloEngine, SloSpec, TimeSeriesConfig, TimeSeriesRecorder,
+    TimeSeriesStats, TraceConfig, TraceRecorder, TraceStats, TraceValidation,
 };
 pub use placement::{rank_nodes, select_node, PlacementCandidate, PlacementPolicy};
 pub use router::{AdmissionControl, DispatchPolicy, ReplicaIndex, ReplicaView, RouterStats};

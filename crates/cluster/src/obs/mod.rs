@@ -24,16 +24,42 @@
 //!   completion across replicas and migrations, plus fleet-level counter
 //!   tracks (queue depth, in-flight batch occupancy, resident HBM bytes,
 //!   in-flight migrations).
+//!
+//! On top of the whole-run layer sits the **temporal** layer added by this
+//! module's `timeseries`/`slo`/`openmetrics` submodules:
+//!
+//! * [`TimeSeriesRecorder`] — the same hooks aggregated into fixed-width
+//!   cycle-aligned windows per (metric, label set), held in a bounded
+//!   overwrite-oldest ring so memory is `O(series × ring)` at any arrival
+//!   count;
+//! * [`SloEngine`] — declarative [`SloSpec`]s evaluated by paired fast/slow
+//!   burn-rate windows ([`BurnRatePolicy`]) inside the event loop, emitting
+//!   a deterministic [`AlertLog`] of fire/resolve edges that the control
+//!   plane can react to;
+//! * [`export_openmetrics`] / [`export_timeseries_openmetrics`] — an
+//!   OpenMetrics text exposition over registry and time-series state, with
+//!   [`validate_openmetrics`] as the strict dependency-free parser.
 
+mod openmetrics;
 mod perfetto;
 mod registry;
+mod slo;
+mod timeseries;
 mod trace;
 
+pub use openmetrics::{
+    export_openmetrics, export_timeseries_openmetrics, validate_openmetrics, OpenMetricsSummary,
+};
 pub use perfetto::{export_chrome_trace, validate_chrome_trace, TraceValidation};
 pub use registry::{MetricsRegistry, METRIC_NAMES};
+pub use slo::{
+    AlertKind, AlertLog, AlertSeverity, AlertTransition, BurnRatePolicy, SloConfig, SloEngine,
+    SloSpec,
+};
+pub use timeseries::{SeriesLabels, TimeSeriesConfig, TimeSeriesRecorder, TimeSeriesStats};
 pub use trace::{TraceConfig, TraceRecorder, TraceStats};
 
-use workloads::ModelId;
+use workloads::{ModelId, PriorityClass};
 
 use crate::migration::MigrationRecord;
 use crate::telemetry::{ControlAction, TelemetryFrame};
@@ -143,6 +169,7 @@ pub trait ObsSink {
         now: u64,
         sequence: u64,
         model: ModelId,
+        priority: PriorityClass,
         arrived: u64,
         node: NodeId,
         slot: usize,
@@ -191,6 +218,11 @@ pub trait ObsSink {
     /// A telemetry tick fired with the settled `frame`; `counters` is only
     /// gathered when [`active`](ObsSink::active) is `true`.
     fn on_tick(&mut self, now: u64, frame: &TelemetryFrame, counters: &FleetCounters) {}
+
+    /// The SLO burn-rate engine emitted an alert edge (fire or resolve).
+    /// Only fires when the run was configured with
+    /// [`ServingOptions::with_slo`](crate::ServingOptions::with_slo).
+    fn on_alert(&mut self, now: u64, alert: &AlertTransition) {}
 }
 
 /// The disabled sink: every hook is the empty default, so the event loop

@@ -633,7 +633,16 @@ mod tests {
         recorder.on_dispatch(0, 1, ModelId::Mnist, NodeId(0), 0);
         recorder.on_service_request(10, 1, ModelId::Mnist, 0, NodeId(0), 0);
         recorder.on_service_batch(10, 50, ModelId::Mnist, NodeId(0), 0, 1);
-        recorder.on_complete(50, 1, ModelId::Mnist, 0, NodeId(0), 0, Some(true));
+        recorder.on_complete(
+            50,
+            1,
+            ModelId::Mnist,
+            workloads::PriorityClass::Standard,
+            0,
+            NodeId(0),
+            0,
+            Some(true),
+        );
         let json = recorder.export_chrome_trace();
         let validation = validate_chrome_trace(&json).expect("valid trace");
         validation

@@ -57,8 +57,16 @@ pub const METRIC_NAMES: &[&str] = &[
     "serving.latency_cycles",
     "serving.rejected_no_replica",
     "serving.rejected_overload",
+    // SLO burn-rate engine: one counter per alert edge kind.
+    "slo.alerts_fired",
+    "slo.alerts_resolved",
     // Telemetry bus heartbeat.
     "telemetry.ticks",
+    // Time-series recorder bookkeeping (exported as OpenMetrics
+    // meta-metrics).
+    "timeseries.samples",
+    "timeseries.series",
+    "timeseries.windows_evicted",
 ];
 
 /// Named counters, gauges and streaming-quantile histograms.
@@ -129,6 +137,29 @@ impl MetricsRegistry {
         self.histograms
             .iter()
             .map(|(name, sketch)| (*name, sketch.summary()))
+    }
+
+    /// Every histogram's backing sketch, in name order.
+    pub(crate) fn histograms_iter(&self) -> impl Iterator<Item = (&'static str, &QuantileSketch)> {
+        self.histograms.iter().map(|(name, sketch)| (*name, sketch))
+    }
+
+    /// Folds `other` into `self`: counters add, gauges keep `other`'s value
+    /// where set (last-write-wins, matching [`set_gauge`](Self::set_gauge)),
+    /// histograms merge sketch-to-sketch. This is the combination step for
+    /// per-partition registries in a sharded event loop: merging the shards
+    /// yields the same exact totals a single fleet-wide registry would have
+    /// accumulated.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in other.counters() {
+            self.add(name, value);
+        }
+        for (name, value) in other.gauges() {
+            self.set_gauge(name, value);
+        }
+        for (name, sketch) in other.histograms_iter() {
+            self.histograms.entry(name).or_default().merge(sketch);
+        }
     }
 
     /// Whether nothing was ever recorded.
@@ -219,6 +250,26 @@ mod tests {
             "METRIC_NAMES must be strictly sorted so the taxonomy is \
              greppable and duplicate-free"
         );
+    }
+
+    #[test]
+    fn merge_combines_partitions_exactly() {
+        let mut a = MetricsRegistry::new();
+        a.add("serving.completed", 3);
+        a.set_gauge("fleet.queued", 1.0);
+        a.observe("serving.latency_cycles", 100);
+        let mut b = MetricsRegistry::new();
+        b.add("serving.completed", 4);
+        b.inc("serving.expired");
+        b.set_gauge("fleet.queued", 7.0);
+        b.observe("serving.latency_cycles", 300);
+        a.merge(&b);
+        assert_eq!(a.counter("serving.completed"), 7);
+        assert_eq!(a.counter("serving.expired"), 1);
+        assert_eq!(a.gauge("fleet.queued"), Some(7.0), "gauges last-write-win");
+        let sketch = a.histogram("serving.latency_cycles").unwrap();
+        assert_eq!(sketch.count(), 2);
+        assert_eq!(sketch.max(), 300);
     }
 
     #[test]

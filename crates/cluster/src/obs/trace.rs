@@ -1,9 +1,11 @@
 //! The bounded, head-sampled span recorder behind [`TraceRecorder`].
 
-use workloads::ModelId;
+use workloads::{ModelId, PriorityClass};
 
 use crate::migration::{MigrationMode, MigrationRecord};
-use crate::obs::{FleetCounters, MetricsRegistry, ObsSink, RejectReason};
+use crate::obs::{
+    AlertKind, AlertTransition, FleetCounters, MetricsRegistry, ObsSink, RejectReason,
+};
 use crate::telemetry::{ControlAction, TelemetryFrame};
 use crate::NodeId;
 
@@ -282,6 +284,29 @@ impl TraceRecorder {
         front.iter().chain(tail.iter())
     }
 
+    /// Folds `other` into `self`: `other`'s retained events re-enter this
+    /// ring (oldest first, overwriting this ring's oldest beyond capacity),
+    /// sampling/loss bookkeeping sums, and the registries merge exactly.
+    ///
+    /// This is the combination step for per-partition recorders in a sharded
+    /// event loop. Merge partitions in a fixed order for a deterministic
+    /// result; events keep their own timestamps, so exporters stay truthful
+    /// even though the merged ring is ordered per-partition rather than
+    /// globally.
+    pub fn merge(&mut self, other: &TraceRecorder) {
+        for event in other.events() {
+            self.push(*event);
+        }
+        // push() counted each retained event into `recorded`; rebase so the
+        // total is everything either side ever recorded, and fold in the
+        // events `other` had already lost to its own ring wrap.
+        self.stats.recorded += other.stats.recorded - other.len() as u64;
+        self.stats.overwritten += other.stats.overwritten;
+        self.stats.sampled_requests += other.stats.sampled_requests;
+        self.stats.skipped_requests += other.stats.skipped_requests;
+        self.registry.merge(&other.registry);
+    }
+
     fn push(&mut self, event: TraceEvent) {
         self.stats.recorded += 1;
         if self.ring.len() < self.config.capacity {
@@ -389,6 +414,7 @@ impl ObsSink for TraceRecorder {
         now: u64,
         sequence: u64,
         _model: ModelId,
+        _priority: PriorityClass,
         arrived: u64,
         node: NodeId,
         slot: usize,
@@ -532,6 +558,13 @@ impl ObsSink for TraceRecorder {
             counters: *counters,
         });
     }
+
+    fn on_alert(&mut self, _now: u64, alert: &AlertTransition) {
+        self.registry.inc(match alert.kind {
+            AlertKind::Fired => "slo.alerts_fired",
+            AlertKind::Resolved => "slo.alerts_resolved",
+        });
+    }
 }
 
 #[cfg(test)]
@@ -592,10 +625,48 @@ mod tests {
         recorder.on_arrival(0, 1, ModelId::Mnist);
         recorder.on_service_request(5, 1, ModelId::Mnist, 0, NodeId(0), 0);
         recorder.on_service_batch(5, 10, ModelId::Mnist, NodeId(0), 0, 1);
-        recorder.on_complete(10, 1, ModelId::Mnist, 0, NodeId(0), 0, None);
+        recorder.on_complete(
+            10,
+            1,
+            ModelId::Mnist,
+            PriorityClass::Standard,
+            0,
+            NodeId(0),
+            0,
+            None,
+        );
         assert!(recorder.is_empty(), "no spans at rate 0");
         assert_eq!(recorder.metrics().counter("serving.completed"), 1);
         assert_eq!(recorder.metrics().counter("serving.batches"), 1);
         assert_eq!(recorder.stats().skipped_requests, 1);
+    }
+
+    #[test]
+    fn merge_combines_rings_stats_and_registries() {
+        let mut a = TraceRecorder::new(TraceConfig::default().with_capacity(4));
+        for sequence in 0..3u64 {
+            a.on_arrival(sequence, sequence, ModelId::Mnist);
+        }
+        let mut b = TraceRecorder::new(TraceConfig::default().with_capacity(4));
+        for sequence in 10..16u64 {
+            b.on_arrival(sequence, sequence, ModelId::Mnist);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 4, "merged ring stays bounded");
+        let stats = a.stats();
+        assert_eq!(stats.recorded, 9, "every event either side ever recorded");
+        // b lost 2 to its own wrap; the merge overwrote 3 more in a.
+        assert_eq!(stats.overwritten, 5);
+        assert_eq!(stats.sampled_requests, 9);
+        assert_eq!(a.metrics().counter("serving.arrivals"), 9);
+        // The survivors are b's newest retained events, oldest first.
+        let sequences: Vec<u64> = a
+            .events()
+            .map(|event| match event {
+                TraceEvent::Arrival { sequence, .. } => *sequence,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(sequences, vec![12, 13, 14, 15]);
     }
 }

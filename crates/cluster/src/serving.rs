@@ -62,11 +62,13 @@ use neu10::{
 use npu_sim::{Cycles, DirtySet, NpuConfig, NpuConfigKey};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use workloads::{ClusterTrace, ModelId, PriorityClass};
+use workloads::{ClusterTrace, ModelId, PriorityClass, RequestArrival};
 
 use crate::cluster::{DeployedVnpu, NpuCluster, VnpuHandle};
 use crate::migration::{MigrationCostModel, MigrationMode, MigrationRecord, MigrationStats};
-use crate::obs::{FleetCounters, NoopSink, ObsSink, RejectReason};
+use crate::obs::{
+    AlertLog, AlertTransition, FleetCounters, NoopSink, ObsSink, RejectReason, SloConfig, SloEngine,
+};
 use crate::router::{
     AdmissionControl, DispatchDecision, DispatchPolicy, ReplicaIndex, ReplicaView, Router,
     RouterStats,
@@ -159,6 +161,10 @@ pub struct ServingOptions {
     /// exists so equivalence tests and the perf harness can measure the
     /// indexed path against the loop it replaced.
     pub reference_dispatch: bool,
+    /// SLO specs and burn-rate policies evaluated inside the event loop;
+    /// `None` (the default) schedules no alert ticks and leaves the report's
+    /// [`AlertLog`] empty.
+    pub slo: Option<SloConfig>,
 }
 
 impl ServingOptions {
@@ -175,6 +181,7 @@ impl ServingOptions {
             stochastic: None,
             telemetry_interval: None,
             reference_dispatch: false,
+            slo: None,
         }
     }
 
@@ -253,6 +260,14 @@ impl ServingOptions {
         self.reference_dispatch = true;
         self
     }
+
+    /// Evaluates `slo` inside the event loop: completions and expiries feed
+    /// the burn-rate engine, alert edges land in the report's
+    /// [`AlertLog`] (and reach the sink / control plane as they happen).
+    pub fn with_slo(mut self, slo: SloConfig) -> Self {
+        self.slo = Some(slo);
+        self
+    }
 }
 
 /// Simulator-side execution counters of one serving run: how much machinery
@@ -314,6 +329,9 @@ pub struct ServingReport {
     pub makespan: Cycles,
     /// Simulator execution counters (events processed, peak replica count).
     pub perf: PerfStats,
+    /// SLO burn-rate alert edges (fire/resolve) in emission order; empty
+    /// unless the run was configured with [`ServingOptions::with_slo`].
+    pub alerts: AlertLog,
 }
 
 impl ServingReport {
@@ -579,6 +597,11 @@ struct ServeState {
     live_replicas: usize,
     /// Largest `live_replicas` seen over the run.
     peak_replicas: usize,
+    /// The SLO burn-rate engine, fed by completions and expiries; `None`
+    /// unless [`ServingOptions::with_slo`] configured one.
+    slo: Option<SloEngine>,
+    /// Alert edges emitted so far (lands in the report).
+    alerts: AlertLog,
 }
 
 impl ServeState {
@@ -594,17 +617,21 @@ impl ServeState {
 // Event kinds, ordered so that at equal timestamps completions free capacity
 // before resumes re-open replicas, batch-formation timeouts fire on settled
 // queues, pre-copy rounds see the dirt of same-cycle completions, migrations
-// trigger next, and telemetry samples observe the fully settled state last.
+// trigger next, telemetry samples observe the fully settled state, and SLO
+// alert ticks evaluate after the tick's data has landed.
 const EV_COMPLETION: u8 = 0;
 const EV_RESUME: u8 = 1;
 const EV_BATCH_TIMEOUT: u8 = 2;
 const EV_COPY_ROUND: u8 = 3;
 const EV_MIGRATION: u8 = 4;
 const EV_SAMPLE: u8 = 5;
+const EV_ALERT: u8 = 6;
 
 /// The serving event heap, with a running count of non-sample events so the
 /// telemetry tick's "is there still work in flight?" question is O(1) instead
-/// of a whole-heap scan per sample.
+/// of a whole-heap scan per sample. Sample and alert ticks are the periodic
+/// observers — they must never count as work, or they would keep a finished
+/// run (and each other) alive forever.
 #[derive(Debug, Default)]
 struct EventQueue {
     heap: BinaryHeap<Reverse<(u64, u8, usize)>>,
@@ -613,7 +640,7 @@ struct EventQueue {
 
 impl EventQueue {
     fn push(&mut self, at: u64, kind: u8, index: usize) {
-        if kind != EV_SAMPLE {
+        if kind < EV_SAMPLE {
             self.non_sample += 1;
         }
         self.heap.push(Reverse((at, kind, index)));
@@ -621,7 +648,7 @@ impl EventQueue {
 
     fn pop(&mut self) -> Option<(u64, u8, usize)> {
         let Reverse((at, kind, index)) = self.heap.pop()?;
-        if kind != EV_SAMPLE {
+        if kind < EV_SAMPLE {
             self.non_sample -= 1;
         }
         Some((at, kind, index))
@@ -995,6 +1022,8 @@ impl ClusterServingSim {
             batch_pool: Vec::new(),
             live_replicas: replicas.len(),
             peak_replicas: replicas.len(),
+            slo: self.options.slo.as_ref().map(SloEngine::new),
+            alerts: AlertLog::default(),
         };
         let mut events = EventQueue::default();
         for (index, migration) in self.options.migrations.iter().enumerate() {
@@ -1003,6 +1032,12 @@ impl ClusterServingSim {
         if let Some(interval) = sample_interval {
             events.push(interval, EV_SAMPLE, 0);
         }
+        let alert_interval = state.slo.as_ref().map(|engine| engine.tick());
+        if let Some(tick) = alert_interval {
+            events.push(tick, EV_ALERT, 0);
+        }
+        // Alert-edge scratch, reused across alert ticks.
+        let mut alert_scratch: Vec<AlertTransition> = Vec::new();
         let mut links = LinkSchedule::default();
         // Telemetry scratch, reused across ticks: the frame's vectors and
         // model map persist, so steady-state sampling allocates nothing.
@@ -1073,10 +1108,19 @@ impl ClusterServingSim {
                                 }
                             }
                             router.record_completion();
+                            if let Some(engine) = &mut state.slo {
+                                engine.observe_latency(
+                                    now,
+                                    request.model,
+                                    request.priority,
+                                    latency,
+                                );
+                            }
                             sink.on_complete(
                                 now,
                                 request.sequence,
                                 request.model,
+                                request.priority,
                                 request.arrived,
                                 replica.handle.node,
                                 index,
@@ -1254,16 +1298,26 @@ impl ClusterServingSim {
                         // the bus must not keep an otherwise-finished run
                         // alive forever. The event counter answers "anything
                         // still queued?" without scanning the heap.
-                        let work_left = next_arrival < arrivals.len()
-                            || replicas.iter().any(|r| {
-                                r.live()
-                                    && (r.in_service.is_some()
-                                        || !r.queue.is_empty()
-                                        || r.pending_migration.is_some())
-                            })
-                            || events.has_non_sample();
-                        if work_left {
+                        if Self::work_left(next_arrival, arrivals, &replicas, &events) {
                             events.push(now + interval, EV_SAMPLE, 0);
+                        }
+                    }
+                    EV_ALERT => {
+                        alert_scratch.clear();
+                        if let Some(engine) = &mut state.slo {
+                            engine.evaluate(now, &mut alert_scratch);
+                        }
+                        for alert in &alert_scratch {
+                            state.alerts.push(*alert);
+                            sink.on_alert(now, alert);
+                            controller.on_alert(Cycles(now), alert);
+                        }
+                        // Same liveness rule as the telemetry bus: alert
+                        // ticks observe work, they must not sustain it.
+                        if let Some(tick) = alert_interval {
+                            if Self::work_left(next_arrival, arrivals, &replicas, &events) {
+                                events.push(now + tick, EV_ALERT, 0);
+                            }
                         }
                     }
                     _ => unreachable!("unknown event kind"),
@@ -1388,7 +1442,28 @@ impl ClusterServingSim {
             replica_cycles: state.replica_cycles,
             makespan: Cycles(makespan),
             perf,
+            alerts: state.alerts,
         }
+    }
+
+    /// Whether the run can still produce completions: arrivals left, a live
+    /// replica with queued/in-service work or a pending drain-then-move, or
+    /// any real (non-observer) event queued. Shared by the telemetry and
+    /// alert ticks so neither periodic observer keeps a finished run alive.
+    fn work_left(
+        next_arrival: usize,
+        arrivals: &[RequestArrival],
+        replicas: &[ReplicaSim],
+        events: &EventQueue,
+    ) -> bool {
+        next_arrival < arrivals.len()
+            || replicas.iter().any(|r| {
+                r.live()
+                    && (r.in_service.is_some()
+                        || !r.queue.is_empty()
+                        || r.pending_migration.is_some())
+            })
+            || events.has_non_sample()
     }
 
     /// Closes the current telemetry window and rebuilds `frame` in place for
@@ -1795,6 +1870,7 @@ impl ClusterServingSim {
             let deadline = &mut state.deadline;
             let sampling = state.sampling;
             let windows = &mut state.windows;
+            let slo = &mut state.slo;
             let node = replica.handle.node;
             replica.queue.retain(|queued| match queued.deadline {
                 Some(d) if d < now => {
@@ -1805,6 +1881,11 @@ impl ClusterServingSim {
                             .or_default()
                             .metrics
                             .record_dropped();
+                    }
+                    // An expiry is an unmet request: it burns the error
+                    // budget of every covering SLO.
+                    if let Some(engine) = slo.as_mut() {
+                        engine.observe_expired(now, queued.model, queued.priority);
                     }
                     sink.on_expire(
                         now,

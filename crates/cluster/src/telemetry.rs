@@ -32,6 +32,7 @@ use workloads::ModelId;
 
 use crate::cluster::{DeploySpec, NpuCluster, VnpuHandle};
 use crate::migration::MigrationMode;
+use crate::obs::AlertTransition;
 use crate::placement::PlacementPolicy;
 use crate::NodeId;
 
@@ -175,6 +176,13 @@ pub enum ControlAction {
 pub trait ControlPlane {
     /// Observes one telemetry frame and returns the actions to apply.
     fn control(&mut self, frame: &TelemetryFrame, cluster: &NpuCluster) -> Vec<ControlAction>;
+
+    /// Notifies the controller of an SLO alert edge (fire or resolve), as it
+    /// is emitted inside the event loop. A notification, not a decision
+    /// point: actions still flow through [`control`](ControlPlane::control)
+    /// at the next telemetry tick, keeping the apply path single. The
+    /// default ignores alerts.
+    fn on_alert(&mut self, _now: Cycles, _alert: &AlertTransition) {}
 }
 
 /// The open-loop default: observes nothing, changes nothing.

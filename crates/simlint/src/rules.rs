@@ -8,7 +8,7 @@
 //! | `D3` | no RNG construction without an explicit seed (`thread_rng`, `from_entropy`, `OsRng`, ...) |
 //! | `P1` | no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in library code |
 //! | `S1` | every non-shim library crate root carries `#![forbid(unsafe_code)]` |
-//! | `X1` | every `EV_*` event-kind constant has a match arm; every emitted `serving.*`/`migration.*`/`control.*` metric name is declared in the `METRIC_NAMES` taxonomy |
+//! | `X1` | every `EV_*` event-kind constant has a match arm; every emitted `serving.*`/`migration.*`/`control.*`/`slo.*`/`timeseries.*` metric name is declared in the `METRIC_NAMES` taxonomy |
 //!
 //! Scoping decisions (also printed by `--explain`):
 //!
@@ -42,7 +42,7 @@ pub const RULE_PRAGMA: &str = "PRAGMA";
 pub const DIGEST_CRATES: &[&str] = &["cluster", "neu10", "autopilot", "workloads", "npu-sim"];
 
 /// Metric-name prefixes rule `X1` cross-checks against the taxonomy.
-pub const METRIC_PREFIXES: &[&str] = &["serving.", "migration.", "control."];
+pub const METRIC_PREFIXES: &[&str] = &["serving.", "migration.", "control.", "slo.", "timeseries."];
 
 /// Static description of one rule, served by `--explain`.
 #[derive(Debug, Clone, Copy)]
@@ -139,7 +139,8 @@ pub const RULES: &[RuleInfo] = &[
                   file must appear as a `EV_* =>` match arm in that file: a declared\n\
                   kind the event loop never matches is either dead or — worse —\n\
                   silently swallowed by a `_ =>` arm.\n\
-                  (b) Every serving.* / migration.* / control.* metric-name string\n\
+                  (b) Every serving.* / migration.* / control.* / slo.* /\n\
+                  timeseries.* metric-name string\n\
                   in library code must be declared in the MetricsRegistry\n\
                   METRIC_NAMES taxonomy (crates/cluster/src/obs/registry.rs): the\n\
                   taxonomy is what dashboards and exports are built against, so an\n\

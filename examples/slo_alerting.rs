@@ -1,0 +1,121 @@
+//! SLO alerting demo: a flash crowd pages, the autopilot reacts, the page
+//! resolves.
+//!
+//! Serves a diurnal MNIST day that a flash crowd interrupts mid-afternoon.
+//! A latency SLO with the default multi-window burn-rate policies (a fast
+//! `page` pair and a slower `ticket` pair) watches every completion; when the
+//! crowd overwhelms the fleet the page fires, the [`Autopilot`] — wired with
+//! `with_alert_scaling` — answers the page with an immediate replica boost on
+//! top of its ordinary target tracking, and once the crowd disperses the
+//! burn rate falls and the alert resolves.
+//!
+//! A [`TimeSeriesRecorder`] rides along and the run ends by exporting the
+//! windowed series as OpenMetrics text — point any Prometheus-compatible
+//! scraper at the output.
+//!
+//! Run with `cargo run --release --example slo_alerting`.
+
+use cluster::{estimated_service_cycles, export_timeseries_openmetrics, validate_openmetrics};
+use neu10_repro::prelude::*;
+use workloads::FlashCrowdTrace;
+
+fn main() {
+    let board = NpuConfig::single_core();
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &board);
+    let horizon = service * 600;
+    let crowd_start = horizon * 3 / 10;
+    let crowd_end = horizon * 6 / 10;
+
+    // A fleet provisioned for the baseline, not the crowd: 2 replicas to
+    // start, the autoscaler may grow to 6.
+    let spec = DeploySpec::replica(ModelId::Mnist, 2, 2).with_memory(32 << 20, 1 << 30);
+    let mut fleet = NpuCluster::homogeneous(4, &board);
+    for _ in 0..2 {
+        fleet
+            .deploy(spec, PlacementPolicy::TopologyAware)
+            .expect("the starting replicas fit");
+    }
+
+    let trace = FlashCrowdTrace::new(
+        vec![(ModelId::Mnist, service)],
+        24.0,
+        crowd_start,
+        crowd_end,
+        horizon,
+    )
+    .generate(4242);
+
+    // The SLO: 99% of MNIST requests within 6 service times. The default
+    // policies pair a fast window with a slow one so a page needs sustained
+    // evidence — one slow sample can't wake anyone up.
+    let tick = service * 4;
+    let slo = SloConfig::new(tick)
+        .with_spec(SloSpec::new(ModelId::Mnist, Cycles(service * 6), 0.99))
+        .with_default_policies();
+
+    let interval = service * 8;
+    let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+        .with_batching(4)
+        .with_telemetry(interval)
+        .with_slo(slo);
+
+    // `with_alert_scaling` subscribes the autopilot to alert edges: a fired
+    // page queues one immediate scale-up boost (per model, under a cooldown)
+    // on top of the ordinary target-tracking decisions.
+    let mut pilot = Autopilot::new()
+        .with_model(ScalingSpec::new(
+            spec,
+            2,
+            6,
+            AutoscalePolicy::TargetTracking(TargetTracking::new(4.0, interval * 2)),
+        ))
+        .with_alert_scaling(interval * 4);
+
+    let mut recorder = TimeSeriesRecorder::new(TimeSeriesConfig::new(tick));
+    let report = ClusterServingSim::new(options).run_observed_with_controller(
+        &mut fleet,
+        &trace,
+        &mut pilot,
+        &mut recorder,
+    );
+
+    println!("== flash-crowd day under an SLO ==");
+    println!(
+        "completed {} of {} offered, p99 latency {} cycles, {} scale-up(s)",
+        report.stats.completed, report.stats.offered, report.latency.p99, report.control.scale_ups
+    );
+    println!(
+        "crowd window [{crowd_start}, {crowd_end}), alerts fired {} / resolved {}",
+        report.alerts.fired(),
+        report.alerts.resolved()
+    );
+
+    println!("\n== alert transcript ==");
+    print!("{}", report.alerts.render_text());
+
+    assert!(
+        report.alerts.fired() > 0,
+        "the flash crowd must page the SLO engine"
+    );
+    assert!(
+        report.alerts.resolved() > 0,
+        "the page must resolve once the crowd disperses"
+    );
+    assert!(
+        report.control.scale_ups > 0,
+        "the autopilot must have scaled the fleet"
+    );
+
+    let exposition = export_timeseries_openmetrics(&recorder);
+    let summary = validate_openmetrics(&exposition).expect("the exposition always validates");
+    let path =
+        std::env::var("NEU10_SLO_METRICS_OUT").unwrap_or_else(|_| "slo_metrics.txt".to_string());
+    std::fs::write(&path, &exposition).expect("write the exposition");
+    println!(
+        "\nwrote {path}: {} metric families, {} samples across {} series — \
+         OpenMetrics text, ready for any Prometheus-compatible scraper",
+        summary.families,
+        summary.samples,
+        recorder.series_count()
+    );
+}

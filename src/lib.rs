@@ -57,7 +57,8 @@ pub mod prelude {
     pub use cluster::{
         ClusterServingSim, ControlAction, ControlPlane, DeploySpec, DirtyRateModel, DispatchPolicy,
         MigrationCostModel, MigrationMode, NodeId, NpuCluster, ObsSink, PlacementPolicy,
-        PreCopyConfig, ServingOptions, TelemetryFrame, TraceConfig, TraceRecorder, VnpuHandle,
+        PreCopyConfig, ServingOptions, SloConfig, SloSpec, TelemetryFrame, TimeSeriesConfig,
+        TimeSeriesRecorder, TraceConfig, TraceRecorder, VnpuHandle,
     };
     pub use hypervisor::{GuestVm, Host};
     pub use neu10::{

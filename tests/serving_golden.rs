@@ -14,7 +14,7 @@ use autopilot::{Autopilot, AutoscalePolicy, ScalingSpec, TargetTracking};
 use cluster::{
     estimated_batch_service_cycles, estimated_service_cycles, AdmissionControl, ClusterServingSim,
     DeploySpec, DispatchPolicy, MigrationMode, NpuCluster, PlacementPolicy, ServingOptions,
-    ServingReport, StochasticService,
+    ServingReport, SloConfig, SloSpec, StochasticService, TimeSeriesConfig, TimeSeriesRecorder,
 };
 use npu_sim::{Cycles, NpuConfig};
 use workloads::{ClusterTrace, DiurnalTrace, ModelId, PriorityClass, QosSpec};
@@ -307,6 +307,11 @@ const GOLDEN: &[(&str, u64)] = &[
     // scenario — locks the span taxonomy, event ordering, flow/counter
     // emission and the exporter's byte-level formatting all at once.
     ("obs-trace-precopy", 0x2150e41bc7285983),
+    // FNV-1a over the rendered AlertLog and the OpenMetrics exposition of
+    // the guaranteed-breach SLO scenario — locks the burn-rate engine's
+    // fire/resolve edges and the exporter's byte-level formatting.
+    ("slo-alertlog", 0x619438f882201da9),
+    ("slo-openmetrics", 0xce301d46066f0640),
 ];
 
 fn expected(name: &str) -> u64 {
@@ -479,6 +484,114 @@ fn observed_precopy_trace_is_byte_deterministic_and_matches_golden() {
         got,
         expected("obs-trace-precopy"),
         "the exported trace drifted from its golden digest (got 0x{got:016x})"
+    );
+}
+
+/// The SLO scenario: the mixed fleet and trace with the burn-rate engine
+/// attached. The latency target parameterizes the outcome — a target below
+/// the bare service time makes every completion a breach (the engine *must*
+/// fire), a huge target makes every completion healthy (it must stay silent).
+fn run_slo_with(target: Cycles, sink: &mut dyn cluster::ObsSink) -> ServingReport {
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &config());
+    let slo = SloConfig::new(service * 4)
+        .with_spec(SloSpec::new(ModelId::Mnist, target, 0.95))
+        .with_default_policies();
+    let mut fleet = mixed_fleet();
+    let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+        .with_batching(4)
+        .with_batch_wait(service / 2)
+        .with_stochastic(StochasticService::seeded(SEED).with_cv(0.25))
+        .with_slo(slo);
+    ClusterServingSim::new(options).run_observed(&mut fleet, &mixed_trace(), sink)
+}
+
+/// A guaranteed breach must fire within one fast window of the first
+/// completion, and both deterministic artifacts — the rendered [`AlertLog`]
+/// and the OpenMetrics exposition — must match their golden digests.
+///
+/// [`AlertLog`]: cluster::AlertLog
+#[test]
+fn slo_guaranteed_breach_fires_within_one_fast_window_and_matches_goldens() {
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &config());
+    let mut recorder = TimeSeriesRecorder::new(TimeSeriesConfig::new(service * 4));
+    let report = run_slo_with(Cycles(service / 2), &mut recorder);
+    assert!(report.stats.completed > 0);
+    assert!(
+        report.alerts.fired() > 0,
+        "a sub-service latency target must fire"
+    );
+    let fast_window = service * 4 * 4; // page policy: 4 ticks of 4x service
+    let first = report
+        .alerts
+        .first_fire_after(Cycles(0))
+        .expect("a fire edge exists");
+    assert!(
+        first.at.get() <= fast_window,
+        "the guaranteed breach must be detected within one fast window \
+         (fired at {}, window {fast_window})",
+        first.at.get()
+    );
+
+    let rendered = report.alerts.render_text();
+    let exposition = cluster::export_timeseries_openmetrics(&recorder);
+    cluster::validate_openmetrics(&exposition)
+        .expect("the exposition must pass the strict validator");
+
+    let alert_digest = trace_digest(&rendered);
+    let metrics_digest = trace_digest(&exposition);
+    if std::env::var("NEU10_PRINT_GOLDEN").is_ok() {
+        println!("GOLDEN (\"slo-alertlog\", 0x{alert_digest:016x}),");
+        println!("GOLDEN (\"slo-openmetrics\", 0x{metrics_digest:016x}),");
+        return;
+    }
+    assert_eq!(
+        alert_digest,
+        expected("slo-alertlog"),
+        "the rendered alert log drifted from its golden digest (got 0x{alert_digest:016x})"
+    );
+    assert_eq!(
+        metrics_digest,
+        expected("slo-openmetrics"),
+        "the OpenMetrics exposition drifted from its golden digest (got 0x{metrics_digest:016x})"
+    );
+}
+
+/// An always-healthy run — a latency target no completion can miss — must
+/// fire nothing at all.
+#[test]
+fn slo_healthy_run_fires_nothing() {
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &config());
+    let report = run_slo_with(Cycles(service * 1000), &mut cluster::NoopSink);
+    assert!(report.stats.completed > 0);
+    assert!(
+        report.alerts.is_empty(),
+        "a healthy fleet must produce no alert edges, got {:?}",
+        report.alerts.transitions()
+    );
+}
+
+/// The same seed must reproduce the report, the alert transcript and the
+/// OpenMetrics exposition byte for byte.
+#[test]
+fn slo_run_is_byte_reproducible() {
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &config());
+    let run = || {
+        let mut recorder = TimeSeriesRecorder::new(TimeSeriesConfig::new(service * 4));
+        let report = run_slo_with(Cycles(service / 2), &mut recorder);
+        (report, recorder)
+    };
+    let (first, first_recorder) = run();
+    let (second, second_recorder) = run();
+    assert_eq!(first, second, "same seed must reproduce the report");
+    assert_eq!(
+        first.alerts.render_text(),
+        second.alerts.render_text(),
+        "same seed must reproduce the alert transcript byte for byte"
+    );
+    assert_eq!(
+        cluster::export_timeseries_openmetrics(&first_recorder),
+        cluster::export_timeseries_openmetrics(&second_recorder),
+        "same seed must reproduce the OpenMetrics exposition byte for byte"
     );
 }
 
