@@ -125,6 +125,8 @@ pub struct Autopilot {
     log: AutopilotLog,
     /// Alert-driven scaling: `None` ignores alerts entirely.
     alert_scaling: Option<AlertScaling>,
+    /// N+k spare margin: `None` provisions no headroom for board loss.
+    spare_margin: Option<usize>,
 }
 
 /// State of the alert-driven scale-up path.
@@ -171,6 +173,17 @@ impl Autopilot {
         self
     }
 
+    /// Provisions an **N+k spare margin**: every managed model is kept at
+    /// `min_replicas + k` live replicas (bounded by its ceiling), so losing
+    /// up to `k` boards' worth of replicas leaves the contracted floor
+    /// intact while failover re-places the dead ones. Composes with the
+    /// demand-driven policies and the alert boost — the margin only tops up
+    /// what they have not already scaled to, it never scales down.
+    pub fn with_spare_margin(mut self, k: usize) -> Self {
+        self.spare_margin = Some(k);
+        self
+    }
+
     /// The actions issued so far.
     pub fn log(&self) -> &AutopilotLog {
         &self.log
@@ -200,6 +213,29 @@ impl ControlPlane for Autopilot {
                         placement: spec.placement,
                     });
                     alerts.boosted_at.insert(model, now);
+                }
+            }
+        }
+        if let Some(k) = self.spare_margin {
+            for model in self.autoscaler.models() {
+                let Some(spec) = self.autoscaler.spec(model) else {
+                    continue;
+                };
+                let live = frame.replicas_of(model).count();
+                let pending = actions
+                    .iter()
+                    .filter(|action| {
+                        matches!(action, ControlAction::ScaleUp { spec: s, .. } if s.model == model)
+                    })
+                    .count();
+                let target = (spec.min_replicas + k).min(spec.max_replicas);
+                let mut have = live + pending;
+                while have < target {
+                    actions.push(ControlAction::ScaleUp {
+                        spec: spec.deploy,
+                        placement: spec.placement,
+                    });
+                    have += 1;
                 }
             }
         }
@@ -390,5 +426,82 @@ mod tests {
         assert!(pilot
             .control(&idle_frame(200_000, model), &cluster)
             .is_empty());
+    }
+
+    #[test]
+    fn spare_margin_tops_up_to_min_plus_k() {
+        let model = ModelId::Mnist;
+        let cluster = NpuCluster::homogeneous(1, &NpuConfig::single_core());
+        let mut pilot = Autopilot::new()
+            .with_model(ScalingSpec::new(
+                DeploySpec::replica(model, 2, 2),
+                1,
+                4,
+                AutoscalePolicy::TargetTracking(TargetTracking::new(1_000.0, 0)),
+            ))
+            .with_spare_margin(2);
+
+        // One live replica against a floor of 1 + 2 spares: two top-ups.
+        let actions = pilot.control(&idle_frame(100_000, model), &cluster);
+        assert_eq!(actions.len(), 2, "margin tops up to min_replicas + k");
+        assert!(actions
+            .iter()
+            .all(|a| matches!(a, ControlAction::ScaleUp { spec, .. } if spec.model == model)));
+
+        // k = 0 asks for nothing beyond the floor the frame already meets.
+        let mut flat = Autopilot::new()
+            .with_model(ScalingSpec::new(
+                DeploySpec::replica(model, 2, 2),
+                1,
+                4,
+                AutoscalePolicy::TargetTracking(TargetTracking::new(1_000.0, 0)),
+            ))
+            .with_spare_margin(0);
+        assert!(flat
+            .control(&idle_frame(100_000, model), &cluster)
+            .is_empty());
+    }
+
+    #[test]
+    fn spare_margin_is_bounded_by_the_ceiling() {
+        let model = ModelId::Mnist;
+        let cluster = NpuCluster::homogeneous(1, &NpuConfig::single_core());
+        let mut pilot = Autopilot::new()
+            .with_model(ScalingSpec::new(
+                DeploySpec::replica(model, 2, 2),
+                1,
+                2,
+                AutoscalePolicy::TargetTracking(TargetTracking::new(1_000.0, 0)),
+            ))
+            .with_spare_margin(5);
+
+        // min + k = 6 but max_replicas = 2: one live replica gets one spare.
+        let actions = pilot.control(&idle_frame(100_000, model), &cluster);
+        assert_eq!(actions.len(), 1, "spares never push past max_replicas");
+    }
+
+    #[test]
+    fn spare_margin_counts_alert_boosts_as_pending() {
+        let model = ModelId::Mnist;
+        let cluster = NpuCluster::homogeneous(1, &NpuConfig::single_core());
+        let mut pilot = Autopilot::new()
+            .with_model(ScalingSpec::new(
+                DeploySpec::replica(model, 2, 2),
+                1,
+                4,
+                AutoscalePolicy::TargetTracking(TargetTracking::new(1_000.0, 0)),
+            ))
+            .with_alert_scaling(500_000)
+            .with_spare_margin(2);
+
+        // The alert boost contributes one scale-up; the margin only adds the
+        // one still missing from min + k = 3 (live 1 + pending 1 → +1).
+        pilot.on_alert(Cycles(150_000), &fired(150_000, model));
+        let actions = pilot.control(&idle_frame(200_000, model), &cluster);
+        assert_eq!(
+            actions.len(),
+            2,
+            "margin composes with the boost instead of double-provisioning"
+        );
     }
 }

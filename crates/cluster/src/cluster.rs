@@ -1,7 +1,7 @@
 //! [`NpuCluster`]: the fleet of `VnpuManager`-backed nodes, the deploy path
 //! through the placement engine, and cold migration between nodes.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use neu10::scheduler::VnpuContext;
@@ -153,6 +153,9 @@ impl From<Neu10Error> for ClusterError {
 pub struct NpuCluster {
     nodes: Vec<ClusterNode>,
     deployments: BTreeMap<VnpuHandle, DeployedVnpu>,
+    /// Boards fenced off from placement (declared dead or administratively
+    /// cordoned). Existing deployments stay visible until undeployed.
+    offline: BTreeSet<NodeId>,
 }
 
 impl NpuCluster {
@@ -166,6 +169,7 @@ impl NpuCluster {
         NpuCluster {
             nodes,
             deployments: BTreeMap::new(),
+            offline: BTreeSet::new(),
         }
     }
 
@@ -221,6 +225,32 @@ impl NpuCluster {
         self.deployments.len()
     }
 
+    /// Fences a board off from (or readmits it to) the placement engine.
+    ///
+    /// Offline boards are skipped by [`deploy`](NpuCluster::deploy) and by
+    /// migration re-placement; deployments already on the board remain
+    /// visible so failover can enumerate and tear them down. Unknown node
+    /// ids are ignored.
+    pub fn set_offline(&mut self, node: NodeId, offline: bool) {
+        if offline {
+            if self.nodes.iter().any(|n| n.id() == node) {
+                self.offline.insert(node);
+            }
+        } else {
+            self.offline.remove(&node);
+        }
+    }
+
+    /// Whether a board is currently fenced off from placement.
+    pub fn is_offline(&self, node: NodeId) -> bool {
+        self.offline.contains(&node)
+    }
+
+    /// Boards currently fenced off from placement, in id order.
+    pub fn offline_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.offline.iter().copied()
+    }
+
     /// Bytes of SRAM + HBM state resident on a deployment — the volume a
     /// migration must move. `None` for stale handles.
     pub fn resident_state_bytes(&self, handle: VnpuHandle) -> Option<u64> {
@@ -261,6 +291,7 @@ impl NpuCluster {
         let candidates: Vec<(PlacementCandidate, ResourceDemand)> = self
             .nodes
             .iter()
+            .filter(|node| !self.offline.contains(&node.id()))
             .map(|node| {
                 let npu = node.npu_config();
                 (

@@ -54,6 +54,7 @@
 use std::fmt;
 
 pub mod cluster;
+pub mod fault;
 pub mod inventory;
 pub mod migration;
 pub mod node;
@@ -64,6 +65,10 @@ pub mod serving;
 pub mod telemetry;
 
 pub use cluster::{ClusterError, DeploySpec, DeployedVnpu, NpuCluster, VnpuHandle};
+pub use fault::{
+    AvailabilityStats, FaultEvent, FaultKind, FaultProfile, FaultSchedule, ModelAvailability,
+    RecoveryPolicy,
+};
 pub use inventory::{NodeInventory, ResourceDemand};
 pub use migration::{
     DirtyRateModel, MigrationCostModel, MigrationMode, MigrationOutcome, MigrationRecord,

@@ -61,6 +61,7 @@ pub use trace::{TraceConfig, TraceRecorder, TraceStats};
 
 use workloads::{ModelId, PriorityClass};
 
+use crate::fault::FaultEvent;
 use crate::migration::MigrationRecord;
 use crate::telemetry::{ControlAction, TelemetryFrame};
 use crate::NodeId;
@@ -223,6 +224,34 @@ pub trait ObsSink {
     /// Only fires when the run was configured with
     /// [`ServingOptions::with_slo`](crate::ServingOptions::with_slo).
     fn on_alert(&mut self, now: u64, alert: &AlertTransition) {}
+
+    /// A scheduled fault was injected. Only fires when the run was
+    /// configured with
+    /// [`ServingOptions::with_faults`](crate::ServingOptions::with_faults).
+    fn on_fault(&mut self, now: u64, fault: &FaultEvent) {}
+
+    /// The missed-frame detector declared `node` dead and failed it over:
+    /// `replicas_failed` replicas were fenced and retired,
+    /// `redispatched` orphaned requests moved to surviving replicas, and the
+    /// fault went undetected for `detect_cycles`.
+    fn on_failover(
+        &mut self,
+        now: u64,
+        node: NodeId,
+        replicas_failed: u64,
+        redispatched: u64,
+        detect_cycles: u64,
+    ) {
+    }
+
+    /// Failover re-placed a replacement replica at `slot` on `node`; its
+    /// state restore occupies the interconnect for `restore_cycles`.
+    fn on_replica_restored(&mut self, now: u64, node: NodeId, slot: usize, restore_cycles: u64) {}
+
+    /// An admitted request was lost to a fault (no surviving replica could
+    /// take it, or it was still marooned on an undetected dead board at run
+    /// end). `node` is the board the request died on.
+    fn on_lost(&mut self, now: u64, sequence: u64, model: ModelId, node: NodeId) {}
 }
 
 /// The disabled sink: every hook is the empty default, so the event loop

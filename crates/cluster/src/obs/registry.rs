@@ -18,7 +18,8 @@ use neu10::{LatencySummary, QuantileSketch};
 ///
 /// This is the contract dashboards and exporters are built against, and
 /// the `simlint` `X1` rule cross-checks it: a `serving.*` / `migration.*` /
-/// `control.*` literal anywhere in library code that is missing here fails
+/// `control.*` / `fault.*` / `recovery.*` literal anywhere in library code
+/// that is missing here fails
 /// the static-analysis CI gate. Adding a metric therefore means declaring
 /// it in this table first — which is exactly the point: no invisible
 /// metrics, no silent typos splitting one counter into two.
@@ -29,6 +30,13 @@ pub const METRIC_NAMES: &[&str] = &[
     "control.migrations",
     "control.scale_downs",
     "control.scale_ups",
+    // Fault injection: one counter per injected fault kind.
+    "fault.board_crashes",
+    "fault.board_hangs",
+    "fault.injected",
+    "fault.link_degrades",
+    "fault.stragglers",
+    "fault.telemetry_dropouts",
     // Fleet-wide gauges, sampled at each telemetry tick.
     "fleet.in_flight",
     "fleet.live_replicas",
@@ -44,6 +52,15 @@ pub const METRIC_NAMES: &[&str] = &[
     "migration.precopy",
     "migration.precopy_fallbacks",
     "migration.rejected",
+    // Failure detection and failover: declarations, re-placements,
+    // re-dispatches, losses, and the detect/restore latency histograms.
+    "recovery.detect_cycles",
+    "recovery.failovers",
+    "recovery.lost_requests",
+    "recovery.redispatched",
+    "recovery.replicas_restored",
+    "recovery.restore_cycles",
+    "recovery.restore_rejected",
     // Serving hot path: request lifecycle counters and latency histograms.
     "serving.arrivals",
     "serving.batch_size",

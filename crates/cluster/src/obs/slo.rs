@@ -200,6 +200,10 @@ pub struct SloConfig {
     pub specs: Vec<SloSpec>,
     /// The burn-rate rules evaluated against every spec.
     pub policies: Vec<BurnRatePolicy>,
+    /// Whether a resolve edge requires the fast window to have seen traffic
+    /// (see [`SloConfig::with_resolve_requires_evidence`]). Off by default:
+    /// the golden scenarios predate the rule.
+    pub resolve_requires_evidence: bool,
 }
 
 impl SloConfig {
@@ -210,7 +214,19 @@ impl SloConfig {
             tick: tick.max(1),
             specs: Vec::new(),
             policies: Vec::new(),
+            resolve_requires_evidence: false,
         }
+    }
+
+    /// Requires *evidence* of recovery before resolving: an active alert
+    /// holds (instead of resolving) while the fast window sees no traffic
+    /// at all — a telemetry dropout or a fenced fleet proves nothing about
+    /// the objective, and a resolve/re-fire flap on missing frames would
+    /// page twice for one incident. Opt-in because the golden alert-log
+    /// scenarios predate the rule.
+    pub fn with_resolve_requires_evidence(mut self) -> Self {
+        self.resolve_requires_evidence = true;
+        self
     }
 
     /// Adds one objective.
@@ -379,6 +395,8 @@ pub struct SloEngine {
     ring_len: u64,
     /// Active flags, indexed `spec * policies.len() + policy`.
     active: Vec<bool>,
+    /// Whether resolve edges require the fast window to have seen traffic.
+    resolve_requires_evidence: bool,
     evaluations: u64,
 }
 
@@ -412,6 +430,7 @@ impl SloEngine {
             rings: vec![vec![EMPTY_BUCKET; ring_len as usize]; config.specs.len()],
             ring_len,
             active: vec![false; config.specs.len() * config.policies.len()],
+            resolve_requires_evidence: config.resolve_requires_evidence,
             evaluations: 0,
         }
     }
@@ -471,14 +490,21 @@ impl SloEngine {
             let ring = &self.rings[spec_index];
             for (policy_index, policy) in self.policies.iter().enumerate() {
                 let (fast_ticks, slow_ticks) = self.window_ticks[policy_index];
-                let burn_fast = burn_over(ring, self.ring_len, next_bucket, fast_ticks, spec);
-                let burn_slow = burn_over(ring, self.ring_len, next_bucket, slow_ticks, spec);
+                let (burn_fast, fast_total) =
+                    burn_over(ring, self.ring_len, next_bucket, fast_ticks, spec);
+                let (burn_slow, _) = burn_over(ring, self.ring_len, next_bucket, slow_ticks, spec);
                 let flag = &mut self.active[spec_index * self.policies.len() + policy_index];
                 let breached = burn_fast > policy.threshold && burn_slow > policy.threshold;
+                // With `resolve_requires_evidence`, resolving demands proof
+                // of recovery: a fast window that saw no traffic at all
+                // (telemetry dropout, fenced fleet) proves nothing, so an
+                // active alert holds rather than false-resolving on missing
+                // frames.
+                let resolvable = fast_total > 0 || !self.resolve_requires_evidence;
                 let kind = if !*flag && breached {
                     *flag = true;
                     AlertKind::Fired
-                } else if *flag && burn_fast <= policy.threshold {
+                } else if *flag && resolvable && burn_fast <= policy.threshold {
                     *flag = false;
                     AlertKind::Resolved
                 } else {
@@ -518,15 +544,17 @@ fn bump(ring: &mut [Bucket], ring_len: u64, index: u64, good: bool) {
 }
 
 /// The burn rate of the `window_ticks` complete buckets ending just before
-/// `next_bucket`: `bad_fraction / error_budget`, 0 when the window saw no
-/// traffic.
+/// `next_bucket`, plus the observation count it was computed over:
+/// `(bad_fraction / error_budget, total)`, `(0.0, 0)` when the window saw no
+/// traffic — the caller must treat an empty window as *absence of evidence*,
+/// not as a zero burn rate.
 fn burn_over(
     ring: &[Bucket],
     ring_len: u64,
     next_bucket: u64,
     window_ticks: u64,
     spec: &SloSpec,
-) -> f64 {
+) -> (f64, u64) {
     let first = next_bucket.saturating_sub(window_ticks);
     let mut good = 0u64;
     let mut bad = 0u64;
@@ -539,9 +567,9 @@ fn burn_over(
     }
     let total = good + bad;
     if total == 0 {
-        return 0.0;
+        return (0.0, 0);
     }
-    (bad as f64 / total as f64) / spec.error_budget()
+    ((bad as f64 / total as f64) / spec.error_budget(), total)
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ use std::collections::BTreeMap;
 use neu10::{LatencySummary, QuantileSketch};
 use workloads::{ModelId, PriorityClass};
 
+use crate::fault::{FaultEvent, FaultKind};
 use crate::migration::{MigrationMode, MigrationRecord};
 use crate::obs::slo::{AlertKind, AlertTransition};
 use crate::obs::{FleetCounters, ObsSink, RejectReason};
@@ -566,6 +567,48 @@ impl ObsSink for TimeSeriesRecorder {
             AlertKind::Resolved => "slo.alerts_resolved",
         };
         self.inc(now, name, labels, 1);
+    }
+
+    fn on_fault(&mut self, now: u64, fault: &FaultEvent) {
+        let labels = SeriesLabels::none().with_node(fault.kind.node());
+        self.inc(now, "fault.injected", labels, 1);
+        let name = match fault.kind {
+            FaultKind::BoardCrash { .. } => "fault.board_crashes",
+            FaultKind::BoardHang { .. } => "fault.board_hangs",
+            FaultKind::LinkDegrade { .. } => "fault.link_degrades",
+            FaultKind::Straggler { .. } => "fault.stragglers",
+            FaultKind::TelemetryDropout { .. } => "fault.telemetry_dropouts",
+        };
+        self.inc(now, name, labels, 1);
+    }
+
+    fn on_failover(
+        &mut self,
+        now: u64,
+        node: NodeId,
+        _replicas_failed: u64,
+        redispatched: u64,
+        detect_cycles: u64,
+    ) {
+        let labels = SeriesLabels::none().with_node(node);
+        self.inc(now, "recovery.failovers", labels, 1);
+        self.inc(now, "recovery.redispatched", labels, redispatched);
+        self.observe(now, "recovery.detect_cycles", labels, detect_cycles);
+    }
+
+    fn on_replica_restored(&mut self, now: u64, node: NodeId, _slot: usize, restore_cycles: u64) {
+        let labels = SeriesLabels::none().with_node(node);
+        self.inc(now, "recovery.replicas_restored", labels, 1);
+        self.observe(now, "recovery.restore_cycles", labels, restore_cycles);
+    }
+
+    fn on_lost(&mut self, now: u64, _sequence: u64, model: ModelId, node: NodeId) {
+        self.inc(
+            now,
+            "recovery.lost_requests",
+            SeriesLabels::model(model).with_node(node),
+            1,
+        );
     }
 }
 

@@ -2,6 +2,7 @@
 
 use workloads::{ModelId, PriorityClass};
 
+use crate::fault::{FaultEvent, FaultKind};
 use crate::migration::{MigrationMode, MigrationRecord};
 use crate::obs::{
     AlertKind, AlertTransition, FleetCounters, MetricsRegistry, ObsSink, RejectReason,
@@ -564,6 +565,41 @@ impl ObsSink for TraceRecorder {
             AlertKind::Fired => "slo.alerts_fired",
             AlertKind::Resolved => "slo.alerts_resolved",
         });
+    }
+
+    fn on_fault(&mut self, _now: u64, fault: &FaultEvent) {
+        self.registry.inc("fault.injected");
+        self.registry.inc(match fault.kind {
+            FaultKind::BoardCrash { .. } => "fault.board_crashes",
+            FaultKind::BoardHang { .. } => "fault.board_hangs",
+            FaultKind::LinkDegrade { .. } => "fault.link_degrades",
+            FaultKind::Straggler { .. } => "fault.stragglers",
+            FaultKind::TelemetryDropout { .. } => "fault.telemetry_dropouts",
+        });
+    }
+
+    fn on_failover(
+        &mut self,
+        _now: u64,
+        _node: NodeId,
+        _replicas_failed: u64,
+        redispatched: u64,
+        detect_cycles: u64,
+    ) {
+        self.registry.inc("recovery.failovers");
+        self.registry.add("recovery.redispatched", redispatched);
+        self.registry
+            .observe("recovery.detect_cycles", detect_cycles);
+    }
+
+    fn on_replica_restored(&mut self, _now: u64, _node: NodeId, _slot: usize, restore_cycles: u64) {
+        self.registry.inc("recovery.replicas_restored");
+        self.registry
+            .observe("recovery.restore_cycles", restore_cycles);
+    }
+
+    fn on_lost(&mut self, _now: u64, _sequence: u64, _model: ModelId, _node: NodeId) {
+        self.registry.inc("recovery.lost_requests");
     }
 }
 

@@ -122,6 +122,26 @@ impl ReplicaIndex {
         self.by_handle.remove(&handle);
     }
 
+    /// Removes a replica that died mid-run (board crash / failover fencing)
+    /// in one step, without rebuilding the index. Unlike the graceful
+    /// drain-then-retire path, eviction hits replicas in *any* state: a
+    /// `routable` replica leaves the candidate list and its locality count
+    /// immediately; a draining one was already out of the routable sets and
+    /// only forgets its handle.
+    pub fn evict(
+        &mut self,
+        slot: usize,
+        model: ModelId,
+        node: NodeId,
+        handle: VnpuHandle,
+        routable: bool,
+    ) {
+        if routable {
+            self.begin_drain(slot, model, node);
+        }
+        self.retire(handle);
+    }
+
     /// The slot of a live replica, draining included; `None` for stale
     /// handles (undeployed, or re-keyed by a migration).
     pub fn slot_of(&self, handle: VnpuHandle) -> Option<usize> {
@@ -324,8 +344,35 @@ impl Router {
     /// another replica has room for.
     pub fn dispatch(&mut self, model: ModelId, replicas: &[ReplicaView]) -> DispatchDecision {
         self.stats.offered += 1;
+        match self.select(model, replicas) {
+            DispatchDecision::Dispatch(index) => {
+                self.stats.admitted += 1;
+                DispatchDecision::Dispatch(index)
+            }
+            DispatchDecision::RejectNoReplica => {
+                self.stats.rejected_no_replica += 1;
+                DispatchDecision::RejectNoReplica
+            }
+            DispatchDecision::RejectOverload => {
+                self.stats.rejected_overload += 1;
+                DispatchDecision::RejectOverload
+            }
+        }
+    }
+
+    /// Routes an *already admitted* request again — failover re-dispatching
+    /// the orphans of a dead board. Selection is identical to
+    /// [`dispatch`](Router::dispatch) but no admission counters move: the
+    /// request was offered and admitted exactly once at arrival, and
+    /// re-dispatch must keep `offered = admitted + rejected` intact. A
+    /// rejection here means no surviving replica can take the orphan; the
+    /// caller records it as lost with a fault attribution.
+    pub fn redispatch(&mut self, model: ModelId, replicas: &[ReplicaView]) -> DispatchDecision {
+        self.select(model, replicas)
+    }
+
+    fn select(&mut self, model: ModelId, replicas: &[ReplicaView]) -> DispatchDecision {
         if replicas.is_empty() {
-            self.stats.rejected_no_replica += 1;
             return DispatchDecision::RejectNoReplica;
         }
 
@@ -361,14 +408,8 @@ impl Router {
         };
 
         match pick {
-            Some(replica) => {
-                self.stats.admitted += 1;
-                DispatchDecision::Dispatch(replica.index)
-            }
-            None => {
-                self.stats.rejected_overload += 1;
-                DispatchDecision::RejectOverload
-            }
+            Some(replica) => DispatchDecision::Dispatch(replica.index),
+            None => DispatchDecision::RejectOverload,
         }
     }
 }
@@ -545,6 +586,56 @@ mod tests {
         );
         assert!(DispatchPolicy::EarliestDeadline.orders_queues_by_deadline());
         assert!(!DispatchPolicy::LeastLoaded.orders_queues_by_deadline());
+    }
+
+    #[test]
+    fn redispatch_moves_no_admission_counters() {
+        let mut router = Router::new(DispatchPolicy::LeastLoaded, AdmissionControl::default());
+        let replicas = [view(0, 0, 1, 0), view(1, 1, 0, 0)];
+        assert_eq!(
+            router.redispatch(ModelId::Mnist, &replicas),
+            DispatchDecision::Dispatch(1)
+        );
+        assert_eq!(
+            router.redispatch(ModelId::Mnist, &[]),
+            DispatchDecision::RejectNoReplica
+        );
+        let stats = router.stats();
+        assert_eq!(
+            (stats.offered, stats.admitted, stats.rejected()),
+            (0, 0, 0),
+            "re-dispatching an orphan must not re-count it"
+        );
+    }
+
+    #[test]
+    fn evict_removes_a_routable_slot_mid_run() {
+        use neu10::VnpuId;
+
+        let mut index = ReplicaIndex::new();
+        let handle = |n: u32| VnpuHandle {
+            node: NodeId(n),
+            vnpu: VnpuId(0),
+        };
+        index.insert(0, ModelId::Mnist, NodeId(0), handle(0));
+        index.insert(1, ModelId::Mnist, NodeId(1), handle(1));
+        index.insert(2, ModelId::Mnist, NodeId(1), handle(2));
+
+        // Crash the middle slot: candidate list, locality count and handle
+        // all drop in one step, no rebuild.
+        index.evict(1, ModelId::Mnist, NodeId(1), handle(1), true);
+        assert_eq!(index.candidates(ModelId::Mnist), &[0, 2]);
+        assert_eq!(index.node_count(ModelId::Mnist, NodeId(1)), 1);
+        assert_eq!(index.slot_of(handle(1)), None);
+
+        // A draining replica is already out of the routable sets; eviction
+        // only forgets the handle.
+        index.begin_drain(2, ModelId::Mnist, NodeId(1));
+        index.evict(2, ModelId::Mnist, NodeId(1), handle(2), false);
+        assert_eq!(index.candidates(ModelId::Mnist), &[0]);
+        assert_eq!(index.node_count(ModelId::Mnist, NodeId(1)), 0);
+        assert_eq!(index.slot_of(handle(2)), None);
+        assert_eq!(index.slot_of(handle(0)), Some(0));
     }
 
     #[test]

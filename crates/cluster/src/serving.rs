@@ -52,7 +52,7 @@
 //! autoscaling experiments can trade replica-hours against tail latency.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use neu10::{
@@ -64,7 +64,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use workloads::{ClusterTrace, ModelId, PriorityClass, RequestArrival};
 
-use crate::cluster::{DeployedVnpu, NpuCluster, VnpuHandle};
+use crate::cluster::{DeploySpec, DeployedVnpu, NpuCluster, VnpuHandle};
+use crate::fault::{AvailabilityStats, ChaosState, FaultKind, FaultSchedule, RecoveryPolicy};
 use crate::migration::{MigrationCostModel, MigrationMode, MigrationRecord, MigrationStats};
 use crate::obs::{
     AlertLog, AlertTransition, FleetCounters, NoopSink, ObsSink, RejectReason, SloConfig, SloEngine,
@@ -165,6 +166,15 @@ pub struct ServingOptions {
     /// `None` (the default) schedules no alert ticks and leaves the report's
     /// [`AlertLog`] empty.
     pub slo: Option<SloConfig>,
+    /// Faults to inject as deterministic events; `None` (the default) runs a
+    /// fault-free fleet.
+    pub faults: Option<FaultSchedule>,
+    /// Failure detection + failover policy; `None` injects faults without
+    /// recovering from them (the chaos baseline).
+    pub recovery: Option<RecoveryPolicy>,
+    /// Steer new requests away from replicas whose live migration is in
+    /// flight (stop-and-copy imminent) while any clean replica exists.
+    pub migration_aware_dispatch: bool,
 }
 
 impl ServingOptions {
@@ -182,6 +192,9 @@ impl ServingOptions {
             telemetry_interval: None,
             reference_dispatch: false,
             slo: None,
+            faults: None,
+            recovery: None,
+            migration_aware_dispatch: false,
         }
     }
 
@@ -268,6 +281,35 @@ impl ServingOptions {
         self.slo = Some(slo);
         self
     }
+
+    /// Injects `faults` as deterministic events inside the event loop. Every
+    /// fault and its consequences are part of the run's seeded input: the
+    /// same schedule, trace and seed reproduce the same
+    /// [`AvailabilityStats`] byte for byte.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Arms failure detection and failover. Detection rides the telemetry
+    /// bus — a board is declared dead after
+    /// [`RecoveryPolicy::missed_frame_threshold`] consecutive missed frames —
+    /// so recovery requires [`with_telemetry`](ServingOptions::with_telemetry);
+    /// without it no frame is ever missed and nothing is detected.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = Some(recovery);
+        self
+    }
+
+    /// Steers new requests away from replicas with a live migration in
+    /// flight (their stop-and-copy dark window is imminent) while any clean
+    /// replica exists — the same soft-avoid mechanism failover uses to drain
+    /// dying boards. Off by default: avoidance changes dispatch decisions,
+    /// and locked golden runs predate it.
+    pub fn with_migration_aware_dispatch(mut self) -> Self {
+        self.migration_aware_dispatch = true;
+        self
+    }
 }
 
 /// Simulator-side execution counters of one serving run: how much machinery
@@ -332,6 +374,9 @@ pub struct ServingReport {
     /// SLO burn-rate alert edges (fire/resolve) in emission order; empty
     /// unless the run was configured with [`ServingOptions::with_slo`].
     pub alerts: AlertLog,
+    /// Fault-injection and failover accounting; all-zero unless the run was
+    /// configured with [`ServingOptions::with_faults`].
+    pub availability: AvailabilityStats,
 }
 
 impl ServingReport {
@@ -534,6 +579,11 @@ struct ReplicaSim {
     draining: bool,
     /// Drained and released — the slot is dead (indices stay stable).
     retired: bool,
+    /// Fenced by fault injection: the board is (or is presumed) dead, its
+    /// in-service batch will never complete and its queue black-holes until
+    /// failover takes the orphans. Stale completion events for fenced
+    /// replicas are discarded.
+    fenced: bool,
     /// When the replica was deployed (0 for the initial fleet).
     activated_at: u64,
     /// Busy cycles accumulated since the last telemetry tick.
@@ -602,6 +652,9 @@ struct ServeState {
     slo: Option<SloEngine>,
     /// Alert edges emitted so far (lands in the report).
     alerts: AlertLog,
+    /// Chaos bookkeeping; `None` unless [`ServingOptions::with_faults`]
+    /// scheduled faults. The fault-free hot path pays one discriminant check.
+    chaos: Option<ChaosState>,
 }
 
 impl ServeState {
@@ -626,6 +679,11 @@ const EV_COPY_ROUND: u8 = 3;
 const EV_MIGRATION: u8 = 4;
 const EV_SAMPLE: u8 = 5;
 const EV_ALERT: u8 = 6;
+/// Fault injections sort after the observers at equal timestamps (the tick
+/// sees the pre-fault fleet; the fault lands next) and — like samples and
+/// alerts — never count as pending *work*: a schedule whose tail outlives
+/// the traffic must not keep the run alive on its own.
+const EV_FAULT: u8 = 7;
 
 /// The serving event heap, with a running count of non-sample events so the
 /// telemetry tick's "is there still work in flight?" question is O(1) instead
@@ -696,6 +754,25 @@ impl LinkSchedule {
         let end = now.max(*slot) + cycles;
         *slot = end;
         end
+    }
+}
+
+/// Inflates a transfer's cycle count by any open chaos link-degradation
+/// window on the `(a, b)` link before the transfer is put on the link.
+/// Pre-copy rounds, stop-and-copy windows and failover state restores all
+/// price through here, so a degraded (or partitioned) link stresses both
+/// migration and recovery.
+fn chaos_transfer(state: &ServeState, a: NodeId, b: NodeId, now: u64, cycles: u64) -> u64 {
+    match &state.chaos {
+        Some(chaos) => {
+            let factor = chaos.link_factor(a, b, now);
+            if factor > 1.0 {
+                ((cycles as f64 * factor) as u64).max(cycles)
+            } else {
+                cycles
+            }
+        }
+        None => cycles,
     }
 }
 
@@ -877,6 +954,7 @@ impl CalibrationCache {
             batch_timeout_at: None,
             draining: false,
             retired: false,
+            fenced: false,
             activated_at: now,
             window_busy: 0,
         }
@@ -1024,11 +1102,26 @@ impl ClusterServingSim {
             peak_replicas: replicas.len(),
             slo: self.options.slo.as_ref().map(SloEngine::new),
             alerts: AlertLog::default(),
+            chaos: self
+                .options
+                .faults
+                .as_ref()
+                .map(|schedule| ChaosState::new(schedule, self.options.recovery)),
         };
         let mut events = EventQueue::default();
         for (index, migration) in self.options.migrations.iter().enumerate() {
             events.push(migration.at.get(), EV_MIGRATION, index);
         }
+        if let Some(schedule) = &self.options.faults {
+            for (index, fault) in schedule.events().iter().enumerate() {
+                events.push(fault.at, EV_FAULT, index);
+            }
+        }
+        // Fenced (undetected-dead) replicas count as pending work only while
+        // recovery will eventually drain them; without recovery they would
+        // sustain the telemetry bus forever and the run could never end.
+        let recovery_armed = self.options.faults.is_some() && self.options.recovery.is_some();
+        let avoid_migrating = self.options.migration_aware_dispatch;
         if let Some(interval) = sample_interval {
             events.push(interval, EV_SAMPLE, 0);
         }
@@ -1081,6 +1174,12 @@ impl ClusterServingSim {
                 perf.events += 1;
                 match kind {
                     EV_COMPLETION => {
+                        // A fenced board never reports: the batch stays
+                        // captured in `in_service` so failover (or the
+                        // end-of-run sweep) can account for every request.
+                        if replicas[index].fenced {
+                            continue;
+                        }
                         // Only real work moves the makespan: completions here,
                         // executed migrations via their resume event.
                         makespan = makespan.max(now);
@@ -1108,6 +1207,9 @@ impl ClusterServingSim {
                                 }
                             }
                             router.record_completion();
+                            if let Some(chaos) = &mut state.chaos {
+                                chaos.note_completed(request.model);
+                            }
                             if let Some(engine) = &mut state.slo {
                                 engine.observe_latency(
                                     now,
@@ -1250,8 +1352,79 @@ impl ClusterServingSim {
                             ),
                         }
                     }
+                    EV_FAULT => {
+                        let mut chaos = state
+                            .chaos
+                            .take()
+                            .expect("EV_FAULT scheduled without chaos state"); // simlint::allow(P1, reason = "EV_FAULT events are only pushed when a fault schedule configured the chaos state")
+                        let fault = chaos.schedule[index];
+                        chaos.apply(&fault);
+                        sink.on_fault(now, &fault);
+                        match fault.kind {
+                            FaultKind::BoardCrash { node } => {
+                                // Cordon the board: nothing (the autoscaler
+                                // included) may place onto it again. Replicas
+                                // are fenced, not retired — the router keeps
+                                // steering into the black hole until the
+                                // missed-frame detector declares the board
+                                // dead, which is exactly the availability
+                                // cost of detection latency.
+                                cluster.set_offline(node, true);
+                                chaos.cordoned.insert(node);
+                                for replica in replicas
+                                    .iter_mut()
+                                    .filter(|r| r.live() && r.handle.node == node)
+                                {
+                                    replica.fenced = true;
+                                    replica.pending_migration = None;
+                                    replica.precopy = None;
+                                    replica.batch_timeout_at = None;
+                                }
+                            }
+                            FaultKind::BoardHang { node, for_cycles } => {
+                                // Cordon for the window so the control plane
+                                // cannot deploy into dead air; the sample-tick
+                                // sweep re-onlines the board once the hang
+                                // clears (unless the detector failed it over
+                                // first). Batches already on the device
+                                // complete; nothing new starts.
+                                cluster.set_offline(node, true);
+                                chaos.cordoned.insert(node);
+                                let resume_at = now.saturating_add(for_cycles);
+                                for (slot, replica) in replicas.iter_mut().enumerate() {
+                                    if replica.live()
+                                        && !replica.fenced
+                                        && replica.handle.node == node
+                                    {
+                                        replica.available_at = replica.available_at.max(resume_at);
+                                        events.push(resume_at, EV_RESUME, slot);
+                                    }
+                                }
+                            }
+                            // Window faults: `apply` opened the window; the
+                            // serving and transfer paths read it lazily.
+                            FaultKind::LinkDegrade { .. }
+                            | FaultKind::Straggler { .. }
+                            | FaultKind::TelemetryDropout { .. } => {}
+                        }
+                        state.chaos = Some(chaos);
+                    }
                     EV_SAMPLE => {
                         let interval = sample_interval.expect("sampling scheduled"); // simlint::allow(P1, reason = "EV_SAMPLE is only scheduled when sampling is configured")
+                        Self::chaos_tick(
+                            cluster,
+                            &mut replicas,
+                            &mut dispatch_index,
+                            &mut cache,
+                            &mut router,
+                            &mut views,
+                            now,
+                            &self.options.cost_model,
+                            &mut events,
+                            &mut links,
+                            &mut state,
+                            sink,
+                        );
                         Self::sample_into(
                             &mut frame,
                             &mut stale_models,
@@ -1298,7 +1471,13 @@ impl ClusterServingSim {
                         // the bus must not keep an otherwise-finished run
                         // alive forever. The event counter answers "anything
                         // still queued?" without scanning the heap.
-                        if Self::work_left(next_arrival, arrivals, &replicas, &events) {
+                        if Self::work_left(
+                            next_arrival,
+                            arrivals,
+                            &replicas,
+                            &events,
+                            recovery_armed,
+                        ) {
                             events.push(now + interval, EV_SAMPLE, 0);
                         }
                     }
@@ -1315,7 +1494,13 @@ impl ClusterServingSim {
                         // Same liveness rule as the telemetry bus: alert
                         // ticks observe work, they must not sustain it.
                         if let Some(tick) = alert_interval {
-                            if Self::work_left(next_arrival, arrivals, &replicas, &events) {
+                            if Self::work_left(
+                                next_arrival,
+                                arrivals,
+                                &replicas,
+                                &events,
+                                recovery_armed,
+                            ) {
                                 events.push(now + tick, EV_ALERT, 0);
                             }
                         }
@@ -1344,7 +1529,8 @@ impl ClusterServingSim {
                                 node: r.handle.node,
                                 queue_len: r.queue.len(),
                                 in_flight: r.in_flight(),
-                                unavailable: r.unavailable(now),
+                                unavailable: r.unavailable(now)
+                                    || (avoid_migrating && r.precopy.is_some()),
                                 node_replicas: replicas
                                     .iter()
                                     .filter(|o| {
@@ -1365,7 +1551,8 @@ impl ClusterServingSim {
                             node: replica.handle.node,
                             queue_len: replica.queue.len(),
                             in_flight: replica.in_flight(),
-                            unavailable: replica.unavailable(now),
+                            unavailable: replica.unavailable(now)
+                                || (avoid_migrating && replica.precopy.is_some()),
                             node_replicas: dispatch_index
                                 .node_count(arrival.model, replica.handle.node),
                         });
@@ -1375,6 +1562,9 @@ impl ClusterServingSim {
                     DispatchDecision::Dispatch(index) => {
                         if let Some(window) = state.window_of(arrival.model) {
                             window.arrivals += 1;
+                        }
+                        if let Some(chaos) = &mut state.chaos {
+                            chaos.note_admitted(arrival.model);
                         }
                         sink.on_dispatch(
                             now,
@@ -1416,6 +1606,29 @@ impl ClusterServingSim {
             }
         }
 
+        // Requests still marooned on fenced boards at run end were never
+        // failed over (no recovery armed, or the run drained first): count
+        // every one lost with a fault attribution. Nothing is silent.
+        if let Some(chaos) = &mut state.chaos {
+            let mut marooned: Vec<QueuedRequest> = Vec::new();
+            for replica in replicas.iter_mut().filter(|r| r.fenced && !r.retired) {
+                if let Some((batch, _, _)) = replica.in_service.take() {
+                    marooned.extend(batch.iter().copied());
+                }
+                let queued = replica.queue.len();
+                replica.queue.drain_into(queued, &mut marooned);
+                for request in marooned.drain(..) {
+                    chaos.note_lost(request.model);
+                    sink.on_lost(
+                        makespan,
+                        request.sequence,
+                        request.model,
+                        replica.handle.node,
+                    );
+                }
+            }
+        }
+
         // Bank the replica-time of everything still provisioned at the end.
         for replica in replicas.iter().filter(|r| r.live()) {
             state.replica_cycles += makespan.saturating_sub(replica.activated_at);
@@ -1443,6 +1656,11 @@ impl ClusterServingSim {
             makespan: Cycles(makespan),
             perf,
             alerts: state.alerts,
+            availability: state
+                .chaos
+                .take()
+                .map(|chaos| chaos.stats)
+                .unwrap_or_default(),
         }
     }
 
@@ -1455,15 +1673,291 @@ impl ClusterServingSim {
         arrivals: &[RequestArrival],
         replicas: &[ReplicaSim],
         events: &EventQueue,
+        recovery_armed: bool,
     ) -> bool {
         next_arrival < arrivals.len()
             || replicas.iter().any(|r| {
+                // Work marooned on a fenced board counts only while recovery
+                // will eventually drain it (detection needs the telemetry
+                // ticks this keeps alive); without recovery it would sustain
+                // the bus forever, so the run ends and the sweep counts the
+                // marooned requests as lost.
                 r.live()
+                    && (!r.fenced || recovery_armed)
                     && (r.in_service.is_some()
                         || !r.queue.is_empty()
                         || r.pending_migration.is_some())
             })
             || events.has_non_sample()
+    }
+
+    /// The failure-detection and failover pass, run at every telemetry tick
+    /// before the frame is sampled (detection rides the telemetry bus — no
+    /// wall clock anywhere).
+    ///
+    /// Every monitored board (one hosting at least one live replica) either
+    /// heartbeats or bumps its consecutive-missed-frame counter; a board at
+    /// the policy threshold is **declared dead**: its replicas are fenced
+    /// and retired, the orphaned requests (queued + in flight) are
+    /// re-dispatched to surviving replicas within their remaining deadline
+    /// budget, and replacement replicas are re-placed through the placement
+    /// engine with the state restore priced over the (possibly degraded)
+    /// interconnect. Finally, cordoned boards whose transient fault window
+    /// has closed rejoin the placement engine as spare capacity.
+    #[allow(clippy::too_many_arguments)]
+    fn chaos_tick<S: ObsSink + ?Sized>(
+        cluster: &mut NpuCluster,
+        replicas: &mut Vec<ReplicaSim>,
+        dispatch_index: &mut ReplicaIndex,
+        cache: &mut CalibrationCache,
+        router: &mut Router,
+        views: &mut Vec<ReplicaView>,
+        now: u64,
+        cost_model: &MigrationCostModel,
+        events: &mut EventQueue,
+        links: &mut LinkSchedule,
+        state: &mut ServeState,
+        sink: &mut S,
+    ) {
+        let Some(mut chaos) = state.chaos.take() else {
+            return;
+        };
+        let Some(policy) = chaos.recovery else {
+            state.chaos = Some(chaos);
+            return;
+        };
+
+        // Heartbeat accounting over the monitored boards. BTreeSet: the
+        // declaration scan below must walk nodes in a deterministic order.
+        let mut monitored: BTreeSet<NodeId> = BTreeSet::new();
+        for replica in replicas.iter().filter(|r| r.live()) {
+            monitored.insert(replica.handle.node);
+        }
+        let mut dead: Vec<NodeId> = Vec::new();
+        for &node in &monitored {
+            if chaos.declared.contains(&node) {
+                continue;
+            }
+            if chaos.suppressed(node, now) {
+                let missed = chaos.missed.entry(node).or_insert(0);
+                *missed += 1;
+                if *missed >= policy.missed_frame_threshold {
+                    dead.push(node);
+                }
+            } else {
+                chaos.missed.remove(&node);
+                chaos.fault_since.remove(&node);
+            }
+        }
+
+        // Slots whose queues gained redispatched orphans; batches start only
+        // after the chaos state is back in place (straggler pricing applies).
+        let mut touched: BTreeSet<usize> = BTreeSet::new();
+
+        for node in dead {
+            chaos.declared.insert(node);
+            chaos.cordoned.insert(node);
+            cluster.set_offline(node, true);
+            chaos.stats.failovers += 1;
+            let fault_at = chaos.fault_since.get(&node).copied().unwrap_or(now);
+            let detect = now.saturating_sub(fault_at);
+            chaos.stats.detect_cycles_total += detect;
+            chaos.stats.detect_cycles_max = chaos.stats.detect_cycles_max.max(detect);
+
+            // Fence and retire every live replica on the dead board,
+            // capturing its orphans and (for non-draining replicas) the
+            // deployment shape to restore elsewhere.
+            let slots: Vec<usize> = replicas
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.live() && r.handle.node == node)
+                .map(|(slot, _)| slot)
+                .collect();
+            let mut orphans: Vec<(usize, QueuedRequest)> = Vec::new();
+            let mut failed_here = 0u64;
+            for slot in slots {
+                let (handle, was_draining) = {
+                    let r = &replicas[slot];
+                    (r.handle, r.draining)
+                };
+                let restore_spec = if was_draining {
+                    None
+                } else {
+                    cluster.deployment(handle).map(|d| {
+                        (
+                            DeploySpec {
+                                model: d.model,
+                                mes: d.config.num_mes_per_core,
+                                ves: d.config.num_ves_per_core,
+                                sram_bytes: Some(d.config.sram_size_per_core),
+                                hbm_bytes: Some(d.config.mem_size_per_core),
+                                priority: d.priority,
+                                mode: d.mode,
+                            },
+                            cluster.resident_state_bytes(handle).unwrap_or(0),
+                        )
+                    })
+                };
+                let replica = &mut replicas[slot];
+                replica.fenced = true;
+                replica.pending_migration = None;
+                replica.precopy = None;
+                replica.batch_timeout_at = None;
+                if let Some((mut batch, _, _)) = replica.in_service.take() {
+                    orphans.extend(batch.iter().map(|&request| (slot, request)));
+                    batch.clear();
+                    state.batch_pool.push(batch);
+                }
+                let queued = replica.queue.len();
+                let mut drained: Vec<QueuedRequest> = Vec::with_capacity(queued);
+                replica.queue.drain_into(queued, &mut drained);
+                orphans.extend(drained.into_iter().map(|request| (slot, request)));
+                dispatch_index.evict(slot, replica.model, node, handle, !replica.draining);
+                replica.retired = true;
+                state.replica_cycles += now.saturating_sub(replica.activated_at);
+                state.live_replicas -= 1;
+                failed_here += 1;
+                chaos.stats.replicas_failed += 1;
+                let undeployed = cluster.undeploy(handle);
+                debug_assert!(
+                    undeployed.is_ok(),
+                    "a live replica's deployment must exist at failover"
+                );
+
+                // Re-place the replica on a surviving board, pricing the
+                // state restore over the interconnect (degraded links slow
+                // recovery too).
+                if let Some((spec, state_bytes)) = restore_spec {
+                    match cluster.deploy(spec, policy.placement) {
+                        Ok(new_handle) => {
+                            let deployment = *cluster
+                                .deployment(new_handle)
+                                .expect("deploy just returned this handle"); // simlint::allow(P1, reason = "deployment record is created by the successful deploy above")
+                            let mut sim = cache.replica_sim(cluster, &deployment, now);
+                            let frequency = cluster
+                                .node(new_handle.node)
+                                .expect("deploy placed on an existing node") // simlint::allow(P1, reason = "deploy only places on nodes of the cluster")
+                                .npu_config()
+                                .frequency;
+                            let mut cycles =
+                                cost_model.transfer_cycles(state_bytes, frequency).get();
+                            let factor = chaos.link_factor(node, new_handle.node, now);
+                            if factor > 1.0 {
+                                cycles = ((cycles as f64 * factor) as u64).max(cycles);
+                            }
+                            let ready = links.reserve(node, new_handle.node, now, cycles);
+                            sim.available_at = ready;
+                            let new_slot = replicas.len();
+                            dispatch_index.insert(new_slot, sim.model, new_handle.node, new_handle);
+                            replicas.push(sim);
+                            state.live_replicas += 1;
+                            state.peak_replicas = state.peak_replicas.max(state.live_replicas);
+                            events.push(ready, EV_RESUME, new_slot);
+                            chaos.stats.replicas_restored += 1;
+                            let restore = ready.saturating_sub(fault_at);
+                            chaos.stats.restore_cycles_total += restore;
+                            chaos.stats.restore_cycles_max =
+                                chaos.stats.restore_cycles_max.max(restore);
+                            sink.on_replica_restored(
+                                now,
+                                new_handle.node,
+                                new_slot,
+                                ready.saturating_sub(now),
+                            );
+                        }
+                        Err(_) => {
+                            chaos.stats.restore_rejected += 1;
+                        }
+                    }
+                }
+            }
+
+            // Re-dispatch the orphans in admission order. A request past its
+            // deadline is dropped with the normal expiry accounting; one no
+            // surviving replica can take is lost — with a fault attribution,
+            // never silently.
+            orphans.sort_by_key(|(_, request)| request.sequence);
+            chaos.stats.orphaned += orphans.len() as u64;
+            let mut redispatched_here = 0u64;
+            for (dead_slot, request) in orphans {
+                if state.drop_expired && request.deadline.is_some_and(|d| d < now) {
+                    chaos.stats.expired_in_failover += 1;
+                    state.deadline.record_dropped();
+                    if state.sampling {
+                        state
+                            .windows
+                            .entry(request.model)
+                            .or_default()
+                            .metrics
+                            .record_dropped();
+                    }
+                    if let Some(engine) = &mut state.slo {
+                        engine.observe_expired(now, request.model, request.priority);
+                    }
+                    sink.on_expire(
+                        now,
+                        request.sequence,
+                        request.model,
+                        request.arrived,
+                        node,
+                        dead_slot,
+                    );
+                    continue;
+                }
+                views.clear();
+                for &slot in dispatch_index.candidates(request.model) {
+                    let replica = &replicas[slot];
+                    views.push(ReplicaView {
+                        index: slot,
+                        node: replica.handle.node,
+                        queue_len: replica.queue.len(),
+                        in_flight: replica.in_flight(),
+                        unavailable: replica.unavailable(now),
+                        node_replicas: dispatch_index
+                            .node_count(request.model, replica.handle.node),
+                    });
+                }
+                match router.redispatch(request.model, views) {
+                    DispatchDecision::Dispatch(slot) => {
+                        redispatched_here += 1;
+                        chaos.stats.redispatched += 1;
+                        replicas[slot].enqueue(request);
+                        touched.insert(slot);
+                    }
+                    DispatchDecision::RejectNoReplica | DispatchDecision::RejectOverload => {
+                        chaos.note_lost(request.model);
+                        if let Some(engine) = &mut state.slo {
+                            engine.observe_expired(now, request.model, request.priority);
+                        }
+                        sink.on_lost(now, request.sequence, request.model, node);
+                    }
+                }
+            }
+            sink.on_failover(now, node, failed_here, redispatched_here, detect);
+        }
+
+        // Boards whose transient windows closed (hang over, dropout over —
+        // never a crash) rejoin the placement engine as spare capacity. A
+        // falsely declared board rejoins empty: its replicas were already
+        // failed over.
+        let rejoin: Vec<NodeId> = chaos
+            .cordoned
+            .iter()
+            .copied()
+            .filter(|&node| !chaos.crashed.contains(&node) && !chaos.suppressed(node, now))
+            .collect();
+        for node in rejoin {
+            cluster.set_offline(node, false);
+            chaos.cordoned.remove(&node);
+            chaos.declared.remove(&node);
+            chaos.missed.remove(&node);
+            chaos.fault_since.remove(&node);
+        }
+
+        state.chaos = Some(chaos);
+        for slot in touched {
+            Self::start_next(&mut replicas[slot], now, events, slot, state, sink);
+        }
     }
 
     /// Closes the current telemetry window and rebuilds `frame` in place for
@@ -1720,7 +2214,13 @@ impl ClusterServingSim {
         let dirty_bytes_per_request = precopy
             .dirty_rate
             .dirty_bytes_per_request(replica.model, source_npu);
-        let full_copy = cost_model.transfer_cycles(state_bytes, frequency).get();
+        let full_copy = chaos_transfer(
+            state,
+            replica.handle.node,
+            to,
+            now,
+            cost_model.transfer_cycles(state_bytes, frequency).get(),
+        );
         let ends_at = links.reserve(replica.handle.node, to, now, full_copy);
         replica.precopy = Some(PreCopyFlight {
             to,
@@ -1805,7 +2305,13 @@ impl ClusterServingSim {
             .expect("source node exists") // simlint::allow(P1, reason = "a migrating replica's source node holds its deployment")
             .npu_config()
             .frequency;
-        let cycles = cost_model.transfer_cycles(round, frequency).get();
+        let cycles = chaos_transfer(
+            state,
+            replica.handle.node,
+            precopy.to,
+            now,
+            cost_model.transfer_cycles(round, frequency).get(),
+        );
         let ends_at = links.reserve(replica.handle.node, precopy.to, now, cycles);
         precopy.rounds += 1;
         precopy.last_round_bytes = round;
@@ -1863,8 +2369,20 @@ impl ClusterServingSim {
         state: &mut ServeState,
         sink: &mut S,
     ) {
-        if replica.retired || replica.in_service.is_some() || now < replica.available_at {
+        if replica.retired
+            || replica.fenced
+            || replica.in_service.is_some()
+            || now < replica.available_at
+        {
             return;
+        }
+        // Defense in depth for chaos runs: no batch ever starts on a board
+        // that is down right now (the fenced flag and the hang's
+        // `available_at` push normally make this unreachable).
+        if let Some(chaos) = &state.chaos {
+            if chaos.board_down(replica.handle.node, now) {
+                return;
+            }
         }
         if state.drop_expired {
             let deadline = &mut state.deadline;
@@ -1928,7 +2446,14 @@ impl ClusterServingSim {
             Some(rng) => lognormal_factor(rng, replica.cv),
             None => 1.0,
         };
-        let service = ((base as f64 * factor) as u64).max(1);
+        let mut service = ((base as f64 * factor) as u64).max(1);
+        // A straggler window inflates every batch *started* on the board.
+        if let Some(chaos) = &state.chaos {
+            let straggle = chaos.service_factor(replica.handle.node, now);
+            if straggle > 1.0 {
+                service = ((service as f64 * straggle) as u64).max(service);
+            }
+        }
         let finish = now + service;
         // Batch-member iteration is extra work the disabled path must never
         // pay; an active sink sees each member's queue span, then the batch.
@@ -1986,7 +2511,13 @@ impl ClusterServingSim {
                     // full state the cold-priced record assumed — and waits
                     // its turn on the contended link.
                     let residual = precopy.dirty.dirty_bytes() + cost_model.context_bytes;
-                    let cycles = cost_model.transfer_cycles(residual, source_frequency).get();
+                    let cycles = chaos_transfer(
+                        state,
+                        record.from,
+                        record.to,
+                        now,
+                        cost_model.transfer_cycles(residual, source_frequency).get(),
+                    );
                     record.mode = MigrationMode::PreCopy;
                     record.transfer_cycles =
                         links.reserve(record.from, record.to, now, cycles) - now;
@@ -1999,8 +2530,10 @@ impl ClusterServingSim {
                     // Cold transfers occupy the same board-to-board link as
                     // everything else: a transfer already in flight delays
                     // this one (on an idle link the window is unchanged).
+                    let cycles =
+                        chaos_transfer(state, record.from, record.to, now, record.transfer_cycles);
                     record.transfer_cycles =
-                        links.reserve(record.from, record.to, now, record.transfer_cycles) - now;
+                        links.reserve(record.from, record.to, now, cycles) - now;
                 }
                 let post_drain = record.transfer_cycles + record.remap_cycles;
                 let old_handle = replica.handle;
@@ -2764,5 +3297,187 @@ mod tests {
             .map(|m| m.latency.count)
             .sum();
         assert!(windowed >= report.stats.completed - 1);
+    }
+
+    #[test]
+    fn board_crash_without_recovery_loses_requests() {
+        // Round-robin keeps steering to the fenced replica (nothing detects
+        // the crash), so everything dispatched there after the fault maroons.
+        let (mut fleet, _) = fleet_with_replicas(2, 2);
+        let trace = burst_trace(60, 500);
+        let faults =
+            FaultSchedule::new().with_fault(5_000, FaultKind::BoardCrash { node: NodeId(0) });
+        let report = ClusterServingSim::new(
+            ServingOptions::new(DispatchPolicy::RoundRobin).with_faults(faults),
+        )
+        .run(&mut fleet, &trace);
+        assert_eq!(report.availability.crashes, 1);
+        assert!(
+            report.availability.lost > 0,
+            "a dead board with no failover must strand its queue"
+        );
+        // Nothing vanishes silently: every admitted request is either
+        // completed or accounted lost with a fault attribution.
+        assert_eq!(
+            report.stats.admitted,
+            report.stats.completed + report.availability.lost as usize + report.deadline.dropped,
+            "conservation: admitted = completed + dropped + lost"
+        );
+        assert!(report.availability.availability() < 1.0);
+    }
+
+    #[test]
+    fn board_crash_with_recovery_completes_everything() {
+        // Same crash, but telemetry-driven detection fences the board,
+        // re-places the replica on the spare node, and re-dispatches the
+        // orphans: no admitted request is lost.
+        let (mut fleet, _) = fleet_with_replicas(3, 2);
+        let trace = burst_trace(60, 500);
+        let faults =
+            FaultSchedule::new().with_fault(5_000, FaultKind::BoardCrash { node: NodeId(0) });
+        let options = ServingOptions::new(DispatchPolicy::RoundRobin)
+            .with_faults(faults)
+            .with_telemetry(2_000)
+            .with_recovery(RecoveryPolicy::new(2));
+        let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
+        assert_eq!(report.availability.crashes, 1);
+        assert_eq!(
+            report.availability.failovers, 1,
+            "the dead board is declared once"
+        );
+        assert!(report.availability.replicas_restored >= 1);
+        assert!(report.availability.mean_detect_cycles() > 0.0);
+        assert_eq!(report.availability.lost, 0, "failover saves every orphan");
+        assert_eq!(report.stats.completed, report.stats.admitted);
+        assert_eq!(report.availability.availability(), 1.0);
+    }
+
+    #[test]
+    fn short_hang_rides_through_without_failover() {
+        // A hang shorter than the detection threshold is absorbed in place:
+        // the board resumes, nothing is re-placed, nothing is lost.
+        let (mut fleet, _) = fleet_with_replicas(2, 2);
+        let trace = burst_trace(40, 1_000);
+        let faults = FaultSchedule::new().with_fault(
+            5_000,
+            FaultKind::BoardHang {
+                node: NodeId(0),
+                for_cycles: 4_000,
+            },
+        );
+        let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+            .with_faults(faults)
+            .with_telemetry(2_000)
+            .with_recovery(RecoveryPolicy::new(8));
+        let report = ClusterServingSim::new(options).run(&mut fleet, &trace);
+        assert_eq!(report.availability.hangs, 1);
+        assert_eq!(
+            report.availability.failovers, 0,
+            "a transient hang below the threshold must not trigger failover"
+        );
+        assert_eq!(report.availability.lost, 0);
+        assert_eq!(report.stats.completed, report.stats.admitted);
+    }
+
+    #[test]
+    fn chaos_runs_are_seed_reproducible() {
+        use crate::fault::FaultProfile;
+        let run = || {
+            let (mut fleet, _) = fleet_with_replicas(3, 2);
+            let trace = burst_trace(40, 800);
+            let faults = FaultSchedule::generate(7, 40_000, 3, &FaultProfile::default());
+            ClusterServingSim::new(
+                ServingOptions::new(DispatchPolicy::LeastLoaded)
+                    .with_faults(faults)
+                    .with_telemetry(2_000)
+                    .with_recovery(RecoveryPolicy::new(2)),
+            )
+            .run(&mut fleet, &trace)
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(
+            first, second,
+            "the same fault schedule must replay to an identical report"
+        );
+        assert!(first.availability.injected() > 0);
+    }
+
+    #[test]
+    fn migration_aware_dispatch_cuts_dark_window_misses() {
+        // A live migration streams ~17 GB over a fast link while background
+        // deadline traffic trickles in; a burst lands just before the
+        // stop-and-copy pause (~371k cycles in). The unaware router keeps
+        // packing the replica that is about to go dark, stranding part of
+        // the burst in its queue through the pause; the aware router steers
+        // the whole burst to the untouched replica, which drains it within
+        // the deadline slack.
+        use npu_sim::InterconnectConfig;
+        let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &NpuConfig::single_core());
+        let cost = MigrationCostModel {
+            interconnect: InterconnectConfig {
+                bandwidth_bytes_per_sec: 50.0e12,
+                setup_cycles: 200,
+            },
+            drain_grace_cycles: 100_000,
+            remap_cycles: 200_000,
+            context_bytes: 256 << 10,
+            precopy: PreCopyConfig {
+                stop_fraction: 0.2,
+                ..PreCopyConfig::default()
+            },
+        };
+        let run = |aware: bool| {
+            let mut fleet = NpuCluster::homogeneous(3, &NpuConfig::single_core());
+            let spec = DeploySpec::replica(ModelId::Mnist, 2, 2);
+            let a = fleet.deploy(spec, PlacementPolicy::WorstFit).unwrap();
+            let b = fleet.deploy(spec, PlacementPolicy::WorstFit).unwrap();
+            let spare = NodeId(
+                (0..3)
+                    .find(|id| *id != a.node.0 && *id != b.node.0)
+                    .unwrap(),
+            );
+            let trace = ClusterTrace::from_arrivals({
+                let mut arrivals: Vec<RequestArrival> = (0..26u64)
+                    .map(|i| {
+                        let at = i * service * 4;
+                        RequestArrival::new(Cycles(at), ModelId::Mnist)
+                            .with_deadline(Cycles(at + 14 * service))
+                    })
+                    .collect();
+                for _ in 0..8 {
+                    arrivals.push(
+                        RequestArrival::new(Cycles(365_000), ModelId::Mnist)
+                            .with_deadline(Cycles(365_000 + 14 * service)),
+                    );
+                }
+                arrivals.sort_by_key(|arrival| arrival.at);
+                arrivals
+            });
+            let mut options = ServingOptions::new(DispatchPolicy::RoundRobin)
+                .with_live_migration(Cycles(service), a, spare)
+                .with_cost_model(cost.clone());
+            if aware {
+                options = options.with_migration_aware_dispatch();
+            }
+            ClusterServingSim::new(options).run(&mut fleet, &trace)
+        };
+        let plain = run(false);
+        let aware = run(true);
+        assert_eq!(plain.migrations.len(), 1);
+        assert_eq!(aware.migrations.len(), 1);
+        assert_eq!(plain.stats.completed, plain.stats.admitted);
+        assert_eq!(aware.stats.completed, aware.stats.admitted);
+        let misses = |r: &ServingReport| r.deadline.missed + r.deadline.dropped;
+        assert!(
+            misses(&plain) > 0,
+            "the unaware router must strand part of the burst in the dark window"
+        );
+        assert!(
+            misses(&aware) < misses(&plain),
+            "steering away from the migrating replica must cut deadline misses ({} vs {})",
+            misses(&aware),
+            misses(&plain)
+        );
     }
 }

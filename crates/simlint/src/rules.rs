@@ -8,7 +8,7 @@
 //! | `D3` | no RNG construction without an explicit seed (`thread_rng`, `from_entropy`, `OsRng`, ...) |
 //! | `P1` | no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in library code |
 //! | `S1` | every non-shim library crate root carries `#![forbid(unsafe_code)]` |
-//! | `X1` | every `EV_*` event-kind constant has a match arm; every emitted `serving.*`/`migration.*`/`control.*`/`slo.*`/`timeseries.*` metric name is declared in the `METRIC_NAMES` taxonomy |
+//! | `X1` | every `EV_*` event-kind constant has a match arm; every emitted `serving.*`/`migration.*`/`control.*`/`slo.*`/`timeseries.*`/`fault.*`/`recovery.*` metric name is declared in the `METRIC_NAMES` taxonomy |
 //!
 //! Scoping decisions (also printed by `--explain`):
 //!
@@ -42,7 +42,15 @@ pub const RULE_PRAGMA: &str = "PRAGMA";
 pub const DIGEST_CRATES: &[&str] = &["cluster", "neu10", "autopilot", "workloads", "npu-sim"];
 
 /// Metric-name prefixes rule `X1` cross-checks against the taxonomy.
-pub const METRIC_PREFIXES: &[&str] = &["serving.", "migration.", "control.", "slo.", "timeseries."];
+pub const METRIC_PREFIXES: &[&str] = &[
+    "serving.",
+    "migration.",
+    "control.",
+    "slo.",
+    "timeseries.",
+    "fault.",
+    "recovery.",
+];
 
 /// Static description of one rule, served by `--explain`.
 #[derive(Debug, Clone, Copy)]
@@ -140,7 +148,7 @@ pub const RULES: &[RuleInfo] = &[
                   kind the event loop never matches is either dead or — worse —\n\
                   silently swallowed by a `_ =>` arm.\n\
                   (b) Every serving.* / migration.* / control.* / slo.* /\n\
-                  timeseries.* metric-name string\n\
+                  timeseries.* / fault.* / recovery.* metric-name string\n\
                   in library code must be declared in the MetricsRegistry\n\
                   METRIC_NAMES taxonomy (crates/cluster/src/obs/registry.rs): the\n\
                   taxonomy is what dashboards and exports are built against, so an\n\
@@ -640,6 +648,20 @@ mod tests {
         let findings = lint("crates/cluster/src/x.rs", no_taxonomy);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("no `METRIC_NAMES` taxonomy"));
+    }
+
+    #[test]
+    fn x1_covers_fault_and_recovery_prefixes() {
+        let undeclared = "pub const METRIC_NAMES: &[&str] = &[\"fault.injected\"];\nfn f(r: &mut R) { r.inc(\"fault.injected\"); r.inc(\"recovery.failovers\"); }\n";
+        let findings = lint("crates/cluster/src/x.rs", undeclared);
+        assert_eq!(
+            findings.len(),
+            1,
+            "the undeclared recovery.* name is caught"
+        );
+        assert!(findings[0].message.contains("recovery.failovers"));
+        let declared = "pub const METRIC_NAMES: &[&str] = &[\"fault.injected\", \"recovery.failovers\"];\nfn f(r: &mut R) { r.inc(\"fault.injected\"); r.inc(\"recovery.failovers\"); }\n";
+        assert_eq!(lint("crates/cluster/src/x.rs", declared).len(), 0);
     }
 
     #[test]

@@ -55,10 +55,11 @@ pub mod prelude {
         Autopilot, AutoscalePolicy, Defragmenter, ScalingSpec, StepScaling, TargetTracking,
     };
     pub use cluster::{
-        ClusterServingSim, ControlAction, ControlPlane, DeploySpec, DirtyRateModel, DispatchPolicy,
-        MigrationCostModel, MigrationMode, NodeId, NpuCluster, ObsSink, PlacementPolicy,
-        PreCopyConfig, ServingOptions, SloConfig, SloSpec, TelemetryFrame, TimeSeriesConfig,
-        TimeSeriesRecorder, TraceConfig, TraceRecorder, VnpuHandle,
+        AvailabilityStats, ClusterServingSim, ControlAction, ControlPlane, DeploySpec,
+        DirtyRateModel, DispatchPolicy, FaultKind, FaultProfile, FaultSchedule, MigrationCostModel,
+        MigrationMode, NodeId, NpuCluster, ObsSink, PlacementPolicy, PreCopyConfig, RecoveryPolicy,
+        ServingOptions, SloConfig, SloSpec, TelemetryFrame, TimeSeriesConfig, TimeSeriesRecorder,
+        TraceConfig, TraceRecorder, VnpuHandle,
     };
     pub use hypervisor::{GuestVm, Host};
     pub use neu10::{

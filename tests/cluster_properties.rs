@@ -213,12 +213,13 @@ fn assert_index_matches(
 proptest! {
     /// The incremental dispatch index stays identical to a brute-force
     /// rebuild of the routable sets, the locality counts and the handle map
-    /// after any random sequence of scale-up / drain / retire / migrate
-    /// transitions — the exact lifecycle edges the serving event loop drives.
+    /// after any random sequence of scale-up / drain / retire / migrate /
+    /// crash-evict transitions — the exact lifecycle edges the serving event
+    /// loop and the failover path drive.
     #[test]
     fn dispatch_index_matches_brute_force_rebuild(
         ops in proptest::collection::vec(
-            (0usize..=3, 0usize..=255, 0usize..=255),
+            (0usize..=4, 0usize..=255, 0usize..=255),
             1..120,
         ),
     ) {
@@ -270,6 +271,27 @@ proptest! {
                     }
                     shadow[slot].retired = true;
                     index.retire(replica.handle);
+                }
+                // Crash-evict: a board died — the slot leaves the routable
+                // sets and the handle map in one step, mid-run, no rebuild.
+                3 => {
+                    if shadow.is_empty() {
+                        continue;
+                    }
+                    let slot = a % shadow.len();
+                    let replica = shadow[slot];
+                    if replica.retired {
+                        continue;
+                    }
+                    index.evict(
+                        slot,
+                        replica.model,
+                        replica.node,
+                        replica.handle,
+                        !replica.draining,
+                    );
+                    shadow[slot].draining = true;
+                    shadow[slot].retired = true;
                 }
                 // Migration: re-key the handle, move the locality count.
                 _ => {
@@ -377,6 +399,69 @@ proptest! {
         // Determinism: the identical inputs reproduce the identical report.
         let (again, _) = run();
         prop_assert_eq!(report, again);
+    }
+
+    /// Chaos conservation: under any randomized fault schedule, with or
+    /// without recovery, no admitted request is silently lost — every one
+    /// completes, is shed with a recorded rejection, expires with a recorded
+    /// drop, or is counted lost with a fault attribution — and the identical
+    /// schedule replays to a bit-identical report.
+    #[test]
+    fn no_admitted_request_is_silently_lost_under_chaos(
+        nodes in 2usize..=4,
+        per_model in 10usize..=50,
+        mean_gap in 2_000u64..=50_000,
+        fault_seed in 0u64..=500,
+        seed in 0u64..=500,
+        with_recovery in 0usize..=1,
+        threshold in 1u32..=4,
+    ) {
+        let board = NpuConfig::single_core();
+        let service = cluster::estimated_service_cycles(ModelId::Mnist, 2, 2, &board);
+        let run = || {
+            let mut fleet = NpuCluster::homogeneous(nodes, &board);
+            for _ in 0..nodes {
+                fleet
+                    .deploy(DeploySpec::replica(ModelId::Mnist, 2, 2), PlacementPolicy::WorstFit)
+                    .unwrap();
+            }
+            let trace = ClusterTrace::poisson(&[(ModelId::Mnist, mean_gap)], per_model, seed);
+            let horizon = (per_model as u64 * mean_gap).max(service * 20);
+            let faults = cluster::FaultSchedule::generate(
+                fault_seed,
+                horizon,
+                nodes as u32,
+                &cluster::FaultProfile::default(),
+            );
+            let mut options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+                .with_batching(4)
+                .with_telemetry(service * 2)
+                .with_faults(faults);
+            if with_recovery == 1 {
+                options = options.with_recovery(cluster::RecoveryPolicy::new(threshold));
+            }
+            ClusterServingSim::new(options).run(&mut fleet, &trace)
+        };
+        let report = run();
+        prop_assert_eq!(report.stats.offered, per_model);
+        prop_assert_eq!(
+            report.stats.offered,
+            report.stats.completed
+                + report.stats.rejected()
+                + report.deadline.dropped
+                + report.availability.lost as usize,
+            "conservation: offered = completed + rejected + dropped + lost \
+             (completed {}, rejected {}, dropped {}, lost {})",
+            report.stats.completed,
+            report.stats.rejected(),
+            report.deadline.dropped,
+            report.availability.lost
+        );
+        // Every lost request carries a per-model fault attribution.
+        let attributed: u64 = report.availability.per_model.values().map(|m| m.lost).sum();
+        prop_assert_eq!(attributed, report.availability.lost);
+        // Determinism: the identical schedule replays bit-for-bit.
+        prop_assert_eq!(report, run());
     }
 
     /// Indexed dispatch and the reference per-arrival rebuild produce the

@@ -13,8 +13,9 @@
 use autopilot::{Autopilot, AutoscalePolicy, ScalingSpec, TargetTracking};
 use cluster::{
     estimated_batch_service_cycles, estimated_service_cycles, AdmissionControl, ClusterServingSim,
-    DeploySpec, DispatchPolicy, MigrationMode, NpuCluster, PlacementPolicy, ServingOptions,
-    ServingReport, SloConfig, SloSpec, StochasticService, TimeSeriesConfig, TimeSeriesRecorder,
+    DeploySpec, DispatchPolicy, FaultKind, FaultSchedule, MigrationMode, NodeId, NpuCluster,
+    PlacementPolicy, RecoveryPolicy, ServingOptions, ServingReport, SloConfig, SloSpec,
+    StochasticService, TimeSeriesConfig, TimeSeriesRecorder,
 };
 use npu_sim::{Cycles, NpuConfig};
 use workloads::{ClusterTrace, DiurnalTrace, ModelId, PriorityClass, QosSpec};
@@ -102,6 +103,35 @@ fn digest(report: &ServingReport) -> u64 {
         fnv.fold(stats.precopy_cycles);
         fnv.fold(stats.downtime_total);
         fnv.fold(stats.downtime_max);
+    }
+    // Availability accounting is folded only when the run injected faults,
+    // so every digest locked before the chaos layer existed is preserved
+    // bit-for-bit.
+    if report.availability.injected() > 0 {
+        let a = &report.availability;
+        fnv.fold(a.crashes);
+        fnv.fold(a.hangs);
+        fnv.fold(a.link_degrades);
+        fnv.fold(a.stragglers);
+        fnv.fold(a.dropouts);
+        fnv.fold(a.failovers);
+        fnv.fold(a.replicas_failed);
+        fnv.fold(a.replicas_restored);
+        fnv.fold(a.restore_rejected);
+        fnv.fold(a.orphaned);
+        fnv.fold(a.redispatched);
+        fnv.fold(a.expired_in_failover);
+        fnv.fold(a.lost);
+        fnv.fold(a.detect_cycles_total);
+        fnv.fold(a.detect_cycles_max);
+        fnv.fold(a.restore_cycles_total);
+        fnv.fold(a.restore_cycles_max);
+        for (model, per_model) in &a.per_model {
+            fnv.fold(*model as u64);
+            fnv.fold(per_model.admitted);
+            fnv.fold(per_model.completed);
+            fnv.fold(per_model.lost);
+        }
     }
     fnv.fold(report.control.samples as u64);
     fnv.fold(report.control.scale_ups as u64);
@@ -292,6 +322,69 @@ fn run_precopy_with_sink(sink: &mut dyn cluster::ObsSink) -> ServingReport {
     ClusterServingSim::new(options).run_observed(&mut fleet, &mixed_trace(), sink)
 }
 
+/// The chaos scenario: the mixed fleet and trace under a five-kind fault
+/// schedule — a straggler, a degraded link, a telemetry dropout, a board
+/// crash and a transient hang — with telemetry-driven failover and the SLO
+/// engine attached. One digest locks fault injection order, detection
+/// timing, failover re-placement, orphan re-dispatch and the
+/// `AvailabilityStats` accounting all at once.
+fn run_chaos() -> ServingReport {
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &config());
+    let mut fleet = mixed_fleet();
+    let slo = SloConfig::new(service * 4)
+        .with_spec(SloSpec::new(ModelId::Mnist, Cycles(service * 8), 0.95))
+        .with_default_policies()
+        .with_resolve_requires_evidence();
+    // The dropout (2 missed frames) stays below the 3-frame declaration
+    // threshold, as does the hang — only the crash triggers a failover.
+    let faults = FaultSchedule::new()
+        .with_fault(
+            service * 4,
+            FaultKind::Straggler {
+                node: NodeId(1),
+                factor: 3.0,
+                for_cycles: service * 10,
+            },
+        )
+        .with_fault(
+            service * 6,
+            FaultKind::LinkDegrade {
+                a: NodeId(0),
+                b: NodeId(2),
+                factor: 6.0,
+                for_cycles: service * 12,
+            },
+        )
+        .with_fault(
+            service * 8,
+            FaultKind::TelemetryDropout {
+                node: NodeId(2),
+                for_cycles: service * 4,
+            },
+        )
+        .with_fault(service * 10, FaultKind::BoardCrash { node: NodeId(0) })
+        .with_fault(
+            service * 14,
+            FaultKind::BoardHang {
+                node: NodeId(3),
+                for_cycles: service * 3,
+            },
+        );
+    let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+        .with_admission(AdmissionControl {
+            max_queue_depth: 12,
+        })
+        .with_batching(4)
+        .with_batch_wait(service / 2)
+        .with_drop_expired()
+        .with_stochastic(StochasticService::seeded(SEED).with_cv(0.25))
+        .with_telemetry(service * 2)
+        .with_slo(slo)
+        .with_faults(faults)
+        .with_recovery(RecoveryPolicy::new(3));
+    ClusterServingSim::new(options).run(&mut fleet, &mixed_trace())
+}
+
 /// Digests locked on the pre-optimization event loop. The refactored path
 /// must reproduce every one bit-for-bit.
 const GOLDEN: &[(&str, u64)] = &[
@@ -312,6 +405,9 @@ const GOLDEN: &[(&str, u64)] = &[
     // fire/resolve edges and the exporter's byte-level formatting.
     ("slo-alertlog", 0x619438f882201da9),
     ("slo-openmetrics", 0xce301d46066f0640),
+    // Locked when the chaos layer landed: the five-kind fault schedule with
+    // failover, folding the AvailabilityStats block into the digest.
+    ("chaos-failover", 0xc1a764a2f63784cd),
 ];
 
 fn expected(name: &str) -> u64 {
@@ -553,6 +649,91 @@ fn slo_guaranteed_breach_fires_within_one_fast_window_and_matches_goldens() {
         metrics_digest,
         expected("slo-openmetrics"),
         "the OpenMetrics exposition drifted from its golden digest (got 0x{metrics_digest:016x})"
+    );
+}
+
+#[test]
+fn chaos_scenario_matches_golden_digest() {
+    let report = run_chaos();
+    // Sanity: the schedule genuinely exercises the chaos machinery.
+    assert_eq!(report.availability.injected(), 5);
+    assert_eq!(report.availability.crashes, 1);
+    assert_eq!(report.availability.hangs, 1);
+    assert!(
+        report.availability.failovers >= 1,
+        "the crash must be detected and failed over"
+    );
+    assert!(report.availability.mean_detect_cycles() > 0.0);
+    // Conservation: no admitted request vanishes silently.
+    assert_eq!(
+        report.stats.admitted,
+        report.stats.completed + report.deadline.dropped + report.availability.lost as usize,
+        "admitted = completed + dropped + lost"
+    );
+    check("chaos-failover", &report);
+}
+
+#[test]
+fn chaos_scenario_is_seed_reproducible() {
+    let first = run_chaos();
+    let second = run_chaos();
+    assert_eq!(
+        first, second,
+        "the same fault schedule must reproduce the identical report, AvailabilityStats included"
+    );
+    assert_eq!(first.availability, second.availability);
+}
+
+/// Telemetry dropout must not fake recovery: when a crash silences the only
+/// replica's completions mid-breach, an evidence-gated SLO engine holds the
+/// page open instead of resolving on an empty window — and the unguarded
+/// engine demonstrably would have resolved, which is exactly the flap the
+/// `resolve_requires_evidence` knob exists to prevent.
+#[test]
+fn slo_page_does_not_false_resolve_when_telemetry_goes_dark() {
+    let service = estimated_service_cycles(ModelId::Mnist, 2, 2, &config());
+    let run = |evidence_gated: bool| {
+        let mut slo = SloConfig::new(service * 4)
+            .with_spec(SloSpec::new(ModelId::Mnist, Cycles(service / 2), 0.95))
+            .with_default_policies();
+        if evidence_gated {
+            slo = slo.with_resolve_requires_evidence();
+        }
+        // A lone replica under a guaranteed breach; its board dies mid-run
+        // with no recovery configured, so completions stop entirely and
+        // every subsequent burn window is empty.
+        let mut fleet = NpuCluster::homogeneous(1, &config());
+        fleet
+            .deploy(
+                DeploySpec::replica(ModelId::Mnist, 2, 2),
+                PlacementPolicy::BestFit,
+            )
+            .expect("capacity for the replica");
+        let trace = ClusterTrace::from_arrivals(
+            (0..60)
+                .map(|i| workloads::RequestArrival::new(Cycles(i * service), ModelId::Mnist))
+                .collect(),
+        );
+        let faults = FaultSchedule::new()
+            .with_fault(service * 20, FaultKind::BoardCrash { node: NodeId(0) });
+        let options = ServingOptions::new(DispatchPolicy::LeastLoaded)
+            .with_stochastic(StochasticService::seeded(SEED).with_cv(0.25))
+            .with_slo(slo)
+            .with_faults(faults);
+        ClusterServingSim::new(options).run(&mut fleet, &trace)
+    };
+    let gated = run(true);
+    assert!(gated.alerts.fired() > 0, "the breach must page");
+    assert_eq!(
+        gated.alerts.resolved(),
+        0,
+        "empty burn windows after the crash are absence of evidence, not recovery: {:?}",
+        gated.alerts.transitions()
+    );
+    let unguarded = run(false);
+    assert!(
+        unguarded.alerts.resolved() > 0,
+        "without the evidence gate the empty window resolves the page — the flap the gate prevents"
     );
 }
 
