@@ -53,6 +53,20 @@ pub struct TargetTracking {
 impl TargetTracking {
     /// Tracks `target` outstanding requests per replica with a 5% miss-rate
     /// bound, 30% hysteresis and the given cooldown.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use autopilot::TargetTracking;
+    ///
+    /// let policy = TargetTracking::new(4.0, 50_000).with_max_miss_rate(0.025);
+    /// assert_eq!(policy.target_outstanding_per_replica, 4.0);
+    /// assert_eq!(policy.max_miss_rate, 0.025);
+    /// // Hysteresis defaults to 30%: scale-down needs backlog below
+    /// // 70% of target, not merely below target, so the tracker
+    /// // doesn't flap around the setpoint.
+    /// assert_eq!(policy.hysteresis, 0.3);
+    /// ```
     pub fn new(target: f64, cooldown: u64) -> Self {
         TargetTracking {
             target_outstanding_per_replica: target.max(f64::MIN_POSITIVE),

@@ -43,6 +43,19 @@ pub struct Defragmenter {
 impl Defragmenter {
     /// A defragmenter keeping one `target`-shaped hole available, moving at
     /// most one replica per tick by cold migration.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use autopilot::Defragmenter;
+    /// use cluster::{DeploySpec, MigrationMode};
+    /// use workloads::ModelId;
+    ///
+    /// let target = DeploySpec::replica(ModelId::Bert, 4, 4);
+    /// let defrag = Defragmenter::new(target, 100_000)
+    ///     .with_mode(MigrationMode::PreCopy); // consolidate without downtime
+    /// assert_eq!(defrag.max_moves_per_tick, 1);
+    /// ```
     pub fn new(target: DeploySpec, cooldown: u64) -> Self {
         Defragmenter {
             target,

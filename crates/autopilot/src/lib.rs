@@ -147,6 +147,26 @@ impl Autopilot {
     }
 
     /// Registers the scaling contract of one model.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use autopilot::{Autopilot, AutoscalePolicy, ScalingSpec, TargetTracking};
+    /// use cluster::DeploySpec;
+    /// use workloads::ModelId;
+    ///
+    /// let spec = DeploySpec::replica(ModelId::Mnist, 2, 2);
+    /// let pilot = Autopilot::new().with_model(ScalingSpec::new(
+    ///     spec,
+    ///     /* min */ 1,
+    ///     /* max */ 8,
+    ///     AutoscalePolicy::TargetTracking(TargetTracking::new(4.0, 10_000)),
+    /// ));
+    /// // `pilot` now implements `cluster::ControlPlane`: pass it to
+    /// // `ClusterServingSim::run_with_controller` and it scales Mnist
+    /// // between 1 and 8 replicas from the telemetry backlog signal.
+    /// let _: &dyn cluster::ControlPlane = &pilot;
+    /// ```
     pub fn with_model(mut self, spec: ScalingSpec) -> Self {
         self.autoscaler.manage(spec);
         self

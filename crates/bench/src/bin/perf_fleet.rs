@@ -12,7 +12,19 @@
 //!   (telemetry, control actions, drain/release lifecycle);
 //! * `fleet-1m`      — 64 boards × 512 replicas × 1,000,000 arrivals (the
 //!   scale target: indexed dispatch, shared calibration curves, pooled batch
-//!   buffers).
+//!   buffers);
+//! * `fleet-1m-p*`   — the same scenario through the sharded parallel runner
+//!   ([`ClusterServingSim::run_sharded`]) at increasing partition counts, so
+//!   the partitions × threads scale curve (and the speedup over the
+//!   single-threaded path) is recorded next to the sequential row;
+//! * `fleet-100m`    — the same fleet under 100,000,000 arrivals, run
+//!   **only** through the sharded runner: the scale point the sequential
+//!   loop is too slow to be worth measuring on every run.
+//!
+//! Sharded rows carry `partitions`/`threads` fields (`1`/`1` on sequential
+//! rows) plus `sequential_wall_ms`/`speedup_vs_sequential` when the
+//! single-threaded wall time of the same scenario was measured in the same
+//! run.
 //!
 //! The results land in `BENCH_serving.json` (override with
 //! `NEU10_BENCH_OUT`), one scenario object per line so the baseline check
@@ -49,8 +61,8 @@ use std::time::Instant;
 use autopilot::{Autopilot, AutoscalePolicy, ScalingSpec, TargetTracking};
 use cluster::{
     estimated_batch_service_cycles, estimated_service_cycles, ClusterServingSim, DeploySpec,
-    DispatchPolicy, NpuCluster, PlacementPolicy, ServingOptions, ServingReport, StochasticService,
-    TimeSeriesConfig, TimeSeriesRecorder, TraceConfig, TraceRecorder,
+    DispatchPolicy, NpuCluster, PlacementPolicy, ServingOptions, ServingReport, ShardOptions,
+    StochasticService, TimeSeriesConfig, TimeSeriesRecorder, TraceConfig, TraceRecorder,
 };
 use npu_sim::{Cycles, NpuConfig};
 use workloads::{ClusterTrace, DiurnalTrace, ModelId, PriorityClass, QosSpec};
@@ -73,6 +85,11 @@ struct Sizes {
     fleet_replicas: usize,
     fleet_models: usize,
     fleet_arrivals_per_model: usize,
+    /// Partition counts for the `fleet-1m-p*` scale-curve rows (threads =
+    /// partitions on each row).
+    scale_partitions: &'static [usize],
+    fleet100_arrivals_per_model: usize,
+    fleet100_partitions: usize,
 }
 
 impl Sizes {
@@ -88,6 +105,9 @@ impl Sizes {
             fleet_replicas: 512,
             fleet_models: 8,
             fleet_arrivals_per_model: 125_000,
+            scale_partitions: &[2, 4, 8],
+            fleet100_arrivals_per_model: 12_500_000,
+            fleet100_partitions: 8,
         }
     }
 
@@ -103,6 +123,9 @@ impl Sizes {
             fleet_replicas: 16,
             fleet_models: 4,
             fleet_arrivals_per_model: 2_500,
+            scale_partitions: &[2],
+            fleet100_arrivals_per_model: 5_000,
+            fleet100_partitions: 2,
         }
     }
 }
@@ -130,10 +153,17 @@ struct Measurement {
     boards: usize,
     replicas: usize,
     models: usize,
+    /// Partition count of the sharded runner (`1` on the sequential rows).
+    partitions: usize,
+    /// Worker-thread count of the sharded runner (`1` on sequential rows).
+    threads: usize,
     wall_ms: f64,
     report: ServingReport,
     /// Wall time of the reference (pre-index) dispatch path, when compared.
     reference_wall_ms: Option<f64>,
+    /// Wall time of the sequential (single-threaded) run of the same
+    /// scenario, when it was measured in the same harness invocation.
+    sequential_wall_ms: Option<f64>,
     /// Wall time of the same scenario with a sampling [`TraceRecorder`]
     /// attached.
     obs_wall_ms: f64,
@@ -153,6 +183,13 @@ impl Measurement {
     fn speedup(&self) -> Option<f64> {
         self.reference_wall_ms
             .map(|reference| reference / self.wall_ms.max(1e-9))
+    }
+
+    /// Wall-clock speedup of the sharded run over the single-threaded path
+    /// measured in the same invocation.
+    fn speedup_vs_sequential(&self) -> Option<f64> {
+        self.sequential_wall_ms
+            .map(|sequential| sequential / self.wall_ms.max(1e-9))
     }
 
     /// Tracing overhead of the observed re-run relative to the unobserved
@@ -184,16 +221,25 @@ impl Measurement {
             }
             _ => String::new(),
         };
+        let sequential = match (self.sequential_wall_ms, self.speedup_vs_sequential()) {
+            (Some(wall), Some(speedup)) => {
+                format!(",\"sequential_wall_ms\":{wall:.1},\"speedup_vs_sequential\":{speedup:.2}")
+            }
+            _ => String::new(),
+        };
         format!(
-            "{{\"name\":\"{}\",\"boards\":{},\"replicas\":{},\"models\":{},\"wall_ms\":{:.1},\
+            "{{\"name\":\"{}\",\"boards\":{},\"replicas\":{},\"models\":{},\
+             \"partitions\":{},\"threads\":{},\"wall_ms\":{:.1},\
              \"offered\":{},\"completed\":{},\"rejected\":{},\"arrivals_per_sec_wall\":{:.0},\
              \"sim_events\":{},\"events_processed\":{},\"peak_replicas\":{},\"batches\":{},\
              \"p99_cycles\":{},\"makespan_cycles\":{},\
-             \"obs_wall_ms\":{:.1},\"obs_overhead_pct\":{:.1}{}{}}}",
+             \"obs_wall_ms\":{:.1},\"obs_overhead_pct\":{:.1}{}{}{}}}",
             self.name,
             self.boards,
             self.replicas,
             self.models,
+            self.partitions,
+            self.threads,
             self.wall_ms,
             self.report.stats.offered,
             self.report.stats.completed,
@@ -208,6 +254,7 @@ impl Measurement {
             self.obs_wall_ms,
             self.obs_overhead_pct(),
             timeseries,
+            sequential,
             speedup,
         )
     }
@@ -362,11 +409,83 @@ fn run_open_loop(
         boards,
         replicas,
         models: models.len(),
+        partitions: 1,
+        threads: 1,
         wall_ms,
         report,
         reference_wall_ms,
+        sequential_wall_ms: None,
         obs_wall_ms,
         timeseries_wall_ms,
+    }
+}
+
+/// Runs one open-loop scenario through the sharded parallel runner
+/// ([`ClusterServingSim::run_sharded`]): the fleet splits into `partitions`
+/// contiguous board groups, each with its own event heap, advancing in
+/// bounded-lookahead rounds on `threads` workers. The observed re-run
+/// attaches one [`TraceRecorder`] per partition and exercises the
+/// barrier-merge path; its report must match the unobserved one exactly.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded_fleet(
+    name: &'static str,
+    boards: usize,
+    replicas: usize,
+    models: Vec<ModelId>,
+    per_model: usize,
+    npu: &NpuConfig,
+    partitions: usize,
+    threads: usize,
+    sequential_wall_ms: Option<f64>,
+) -> Measurement {
+    let trace = steady_trace(&models, replicas, per_model, npu);
+    let shard = ShardOptions::new(partitions).with_threads(threads);
+
+    let mut fleet = deploy_fleet(boards, replicas, &models, npu);
+    let started = Instant::now();
+    let report =
+        ClusterServingSim::new(serving_options(false)).run_sharded(&mut fleet, &trace, shard);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let obs_wall_ms = {
+        let mut fleet = deploy_fleet(boards, replicas, &models, npu);
+        let mut recorders: Vec<TraceRecorder> = Vec::new();
+        let started = Instant::now();
+        let observed = ClusterServingSim::new(serving_options(false)).run_sharded_observed(
+            &mut fleet,
+            &trace,
+            shard,
+            &mut recorders,
+        );
+        let obs_wall = started.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            report, observed,
+            "{name}: per-partition TraceRecorders must not change the simulation"
+        );
+        let mut merged = TraceRecorder::new(TraceConfig::default());
+        for recorder in &recorders {
+            merged.merge(recorder);
+        }
+        assert!(
+            !merged.export_chrome_trace().is_empty(),
+            "{name}: the merged per-partition trace must contain events"
+        );
+        obs_wall
+    };
+
+    Measurement {
+        name,
+        boards,
+        replicas,
+        models: models.len(),
+        partitions,
+        threads,
+        wall_ms,
+        report,
+        reference_wall_ms: None,
+        sequential_wall_ms,
+        obs_wall_ms,
+        timeseries_wall_ms: None,
     }
 }
 
@@ -441,11 +560,27 @@ fn run_autopilot(boards: usize, horizon_services: u64, npu: &NpuConfig) -> Measu
         boards,
         replicas: start_replicas,
         models: 1,
+        partitions: 1,
+        threads: 1,
         wall_ms,
         report,
         reference_wall_ms: None,
+        sequential_wall_ms: None,
         obs_wall_ms,
         timeseries_wall_ms: None,
+    }
+}
+
+/// The static row names of the `fleet-1m` partition scale curve (the
+/// harness's `Measurement.name` is `&'static str`, so the curve's partition
+/// counts map to interned names).
+fn scale_row_name(partitions: usize) -> &'static str {
+    match partitions {
+        2 => "fleet-1m-p2",
+        4 => "fleet-1m-p4",
+        8 => "fleet-1m-p8",
+        16 => "fleet-1m-p16",
+        _ => "fleet-1m-pN",
     }
 }
 
@@ -604,10 +739,10 @@ fn check_baseline(baseline_path: &str, measurements: &[Measurement]) -> (Vec<Bas
     (rows, gate_tripped)
 }
 
-/// Renders the before/after table into `$GITHUB_STEP_SUMMARY` (when CI sets
-/// it), so the perf comparison is readable from the job page instead of
-/// buried in the log.
-fn write_step_summary(rows: &[BaselineRow]) {
+/// Renders the before/after table — plus the sharded partitions × threads
+/// scale curve — into `$GITHUB_STEP_SUMMARY` (when CI sets it), so the perf
+/// comparison is readable from the job page instead of buried in the log.
+fn write_step_summary(rows: &[BaselineRow], measurements: &[Measurement]) {
     let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
         return;
     };
@@ -635,6 +770,28 @@ fn write_step_summary(rows: &[BaselineRow]) {
          time >2% over baseline (250 ms floor), or on the time-series re-run >2% over \
          its baseline (250 ms floor); warn on >2x.\n",
     );
+    let sharded: Vec<&Measurement> = measurements.iter().filter(|m| m.partitions > 1).collect();
+    if !sharded.is_empty() {
+        table.push_str(
+            "\n### Sharded scale curve (threads x boards)\n\n\
+             | scenario | boards | partitions | threads | wall_ms | arrivals/s | speedup vs sequential |\n\
+             |---|---:|---:|---:|---:|---:|---:|\n",
+        );
+        for m in sharded {
+            table.push_str(&format!(
+                "| {} | {} | {} | {} | {:.1} | {:.0} | {} |\n",
+                m.name,
+                m.boards,
+                m.partitions,
+                m.threads,
+                m.wall_ms,
+                m.arrivals_per_sec(),
+                m.speedup_vs_sequential()
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "—".into()),
+            ));
+        }
+    }
     use std::io::Write;
     if let Ok(mut file) = std::fs::OpenOptions::new()
         .append(true)
@@ -672,11 +829,12 @@ fn main() {
 
     println!("# perf_fleet: serving hot-path wall-clock harness ({profile} profile)");
     println!(
-        "{:<12} {:>7} {:>9} {:>7} {:>10} {:>11} {:>11} {:>12} {:>9} {:>9} {:>8}",
+        "{:<12} {:>7} {:>9} {:>7} {:>5} {:>10} {:>11} {:>11} {:>12} {:>9} {:>9} {:>8}",
         "scenario",
         "boards",
         "replicas",
         "models",
+        "p/t",
         "offered",
         "wall_ms",
         "arr/s_wall",
@@ -686,8 +844,7 @@ fn main() {
         "obs_pct"
     );
 
-    let mut measurements = Vec::new();
-    for measurement in [
+    let mut measurements = vec![
         run_open_loop(
             "steady",
             sizes.steady_boards,
@@ -709,20 +866,59 @@ fn main() {
             compare,
             true,
         ),
-    ] {
+    ];
+
+    // The partition scale curve: the same fleet-1m scenario through the
+    // sharded runner at increasing partition counts, each row recording its
+    // speedup over the sequential wall time measured just above.
+    let fleet_sequential_wall = measurements
+        .last()
+        .expect("the fleet-1m row was just pushed")
+        .wall_ms;
+    for &partitions in sizes.scale_partitions {
+        measurements.push(run_sharded_fleet(
+            scale_row_name(partitions),
+            sizes.fleet_boards,
+            sizes.fleet_replicas,
+            scenario_models(sizes.fleet_models),
+            sizes.fleet_arrivals_per_model,
+            &npu,
+            partitions,
+            partitions,
+            Some(fleet_sequential_wall),
+        ));
+    }
+
+    // The 100M-arrival scale point: sharded only — the sequential loop is
+    // deliberately not re-run at this size on every invocation.
+    measurements.push(run_sharded_fleet(
+        "fleet-100m",
+        sizes.fleet_boards,
+        sizes.fleet_replicas,
+        scenario_models(sizes.fleet_models),
+        sizes.fleet100_arrivals_per_model,
+        &npu,
+        sizes.fleet100_partitions,
+        sizes.fleet100_partitions,
+        None,
+    ));
+
+    for measurement in &measurements {
         println!(
-            "{:<12} {:>7} {:>9} {:>7} {:>10} {:>11.1} {:>11.0} {:>12} {:>9} {:>9} {:>7.1}%",
+            "{:<12} {:>7} {:>9} {:>7} {:>5} {:>10} {:>11.1} {:>11.0} {:>12} {:>9} {:>9} {:>7.1}%",
             measurement.name,
             measurement.boards,
             measurement.replicas,
             measurement.models,
+            format!("{}/{}", measurement.partitions, measurement.threads),
             measurement.report.stats.offered,
             measurement.wall_ms,
             measurement.arrivals_per_sec(),
             measurement.report.perf.events,
             measurement.report.perf.peak_replicas,
             measurement
-                .speedup()
+                .speedup_vs_sequential()
+                .or_else(|| measurement.speedup())
                 .map(|s| format!("{s:.1}x"))
                 .unwrap_or_else(|| "-".into()),
             measurement.obs_overhead_pct(),
@@ -733,7 +929,23 @@ fn main() {
             measurement.report.stats.completed > 0,
             "scenario served nothing"
         );
-        measurements.push(measurement);
+    }
+
+    // The scale-target claim: at full size, partitioning the event loop must
+    // beat the single-threaded path by 2.5x with at least four workers —
+    // structurally (smaller per-partition heaps and dispatch scans), so the
+    // bar holds even on one core.
+    if profile != "smoke" {
+        let best = measurements
+            .iter()
+            .filter(|m| m.threads >= 4)
+            .filter_map(Measurement::speedup_vs_sequential)
+            .fold(0.0_f64, f64::max);
+        assert!(
+            best >= 2.5,
+            "fleet-1m sharded speedup must reach 2.5x over the sequential \
+             path with >=4 threads (best {best:.2}x)"
+        );
     }
 
     write_json(&out, &measurements);
@@ -741,7 +953,7 @@ fn main() {
 
     if let Ok(baseline) = std::env::var("NEU10_BENCH_BASELINE") {
         let (rows, gate_tripped) = check_baseline(&baseline, &measurements);
-        write_step_summary(&rows);
+        write_step_summary(&rows, &measurements);
         if gate_tripped {
             eprintln!("perf gate: wall-time regression >3x against {baseline}");
             std::process::exit(1);

@@ -277,6 +277,23 @@ impl NpuCluster {
     /// pass while per-core packing refuses (a fragmented multi-core board),
     /// in which case the next-ranked node is attempted.
     ///
+    /// # Example
+    ///
+    /// ```
+    /// use cluster::{DeploySpec, NpuCluster, PlacementPolicy};
+    /// use npu_sim::NpuConfig;
+    /// use workloads::ModelId;
+    ///
+    /// let mut fleet = NpuCluster::homogeneous(4, &NpuConfig::single_core());
+    /// let spec = DeploySpec::replica(ModelId::Mnist, 2, 2);
+    /// let handle = fleet.deploy(spec, PlacementPolicy::WorstFit)?;
+    /// assert_eq!(fleet.replicas_on(handle.node, ModelId::Mnist), 1);
+    /// // Worst-fit spreads: the next replica lands on a different board.
+    /// let second = fleet.deploy(spec, PlacementPolicy::WorstFit)?;
+    /// assert_ne!(handle.node, second.node);
+    /// # Ok::<(), cluster::ClusterError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`ClusterError::NoCapacity`] when no node admits the demand
@@ -339,6 +356,123 @@ impl NpuCluster {
             "no node can host {} MEs / {} VEs for {:?}",
             spec.mes, spec.ves, spec.model
         )))
+    }
+
+    /// Places and starts a new vNPU replica on one specific node, bypassing
+    /// the placement engine — for fleet builders that pin replicas to boards
+    /// and for the sharded runner's import path, where the destination was
+    /// chosen (and scored) before the replica crossed the partition boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for a node not in this cluster
+    /// and [`ClusterError::NoCapacity`] when the node is offline or refuses
+    /// the demand.
+    pub fn deploy_pinned(
+        &mut self,
+        spec: DeploySpec,
+        node_id: NodeId,
+    ) -> Result<VnpuHandle, ClusterError> {
+        if self.offline.contains(&node_id) {
+            return Err(ClusterError::NoCapacity(format!(
+                "node {node_id} is offline"
+            )));
+        }
+        let node = self
+            .node_mut(node_id)
+            .ok_or(ClusterError::UnknownNode(node_id))?;
+        let config = spec.vnpu_config(node.npu_config());
+        let vnpu = node
+            .manager_mut()
+            .create_vnpu(config, spec.mode, spec.priority)
+            .and_then(|vnpu| node.manager_mut().start_vnpu(vnpu).map(|()| vnpu))
+            .map_err(|err| {
+                ClusterError::NoCapacity(format!("node {node_id} rejected the vNPU: {err}"))
+            })?;
+        let handle = VnpuHandle {
+            node: node_id,
+            vnpu,
+        };
+        self.deployments.insert(
+            handle,
+            DeployedVnpu {
+                handle,
+                model: spec.model,
+                config,
+                priority: spec.priority,
+                mode: spec.mode,
+            },
+        );
+        Ok(handle)
+    }
+
+    /// Moves the whole fleet out, leaving an empty cluster behind. The
+    /// sharded runner swaps the fleet out of the caller's `&mut NpuCluster`,
+    /// splits it across partitions, and absorbs it back at the end.
+    pub(crate) fn take(&mut self) -> NpuCluster {
+        NpuCluster {
+            nodes: std::mem::take(&mut self.nodes),
+            deployments: std::mem::take(&mut self.deployments),
+            offline: std::mem::take(&mut self.offline),
+        }
+    }
+
+    /// Splits the fleet into per-partition sub-clusters by node ownership.
+    /// Nodes, deployments and offline fences move (never clone) to the
+    /// partition owning their node; nodes missing from `owner_of` land in
+    /// partition 0. The inverse is [`NpuCluster::absorb`].
+    pub(crate) fn split(
+        self,
+        owner_of: &BTreeMap<NodeId, usize>,
+        partitions: usize,
+    ) -> Vec<NpuCluster> {
+        let mut parts: Vec<NpuCluster> = (0..partitions.max(1))
+            .map(|_| NpuCluster {
+                nodes: Vec::new(),
+                deployments: BTreeMap::new(),
+                offline: BTreeSet::new(),
+            })
+            .collect();
+        let last = parts.len() - 1;
+        let owner = |node: NodeId| owner_of.get(&node).copied().unwrap_or(0).min(last);
+        let NpuCluster {
+            nodes,
+            deployments,
+            offline,
+        } = self;
+        for node in nodes {
+            let to = owner(node.id());
+            parts[to].nodes.push(node);
+        }
+        for (handle, deployment) in deployments {
+            let to = owner(handle.node);
+            parts[to].deployments.insert(handle, deployment);
+        }
+        for node in offline {
+            let to = owner(node);
+            parts[to].offline.insert(node);
+        }
+        parts
+    }
+
+    /// Reassembles a fleet split by [`NpuCluster::split`], restoring the
+    /// id-ordered node vector so placement scans rank nodes exactly as an
+    /// unsplit cluster would.
+    pub(crate) fn absorb(parts: Vec<NpuCluster>) -> NpuCluster {
+        let mut nodes = Vec::new();
+        let mut deployments = BTreeMap::new();
+        let mut offline = BTreeSet::new();
+        for part in parts {
+            nodes.extend(part.nodes);
+            deployments.extend(part.deployments);
+            offline.extend(part.offline);
+        }
+        nodes.sort_by_key(|node| node.id());
+        NpuCluster {
+            nodes,
+            deployments,
+            offline,
+        }
     }
 
     /// Tears down a deployment and releases its resources.

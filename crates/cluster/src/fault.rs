@@ -395,6 +395,38 @@ pub struct AvailabilityStats {
 }
 
 impl AvailabilityStats {
+    /// Folds another partition's availability accounting into this one.
+    ///
+    /// Counters and totals add, worst-case latencies take the max, and the
+    /// per-model entries merge field-wise — the fold is commutative except
+    /// for map insertion order, which `BTreeMap` keeps canonical, so a fixed
+    /// partitioning merges to the same stats in any order.
+    pub fn merge(&mut self, other: &AvailabilityStats) {
+        self.crashes += other.crashes;
+        self.hangs += other.hangs;
+        self.link_degrades += other.link_degrades;
+        self.stragglers += other.stragglers;
+        self.dropouts += other.dropouts;
+        self.failovers += other.failovers;
+        self.replicas_failed += other.replicas_failed;
+        self.replicas_restored += other.replicas_restored;
+        self.restore_rejected += other.restore_rejected;
+        self.orphaned += other.orphaned;
+        self.redispatched += other.redispatched;
+        self.expired_in_failover += other.expired_in_failover;
+        self.lost += other.lost;
+        self.detect_cycles_total += other.detect_cycles_total;
+        self.detect_cycles_max = self.detect_cycles_max.max(other.detect_cycles_max);
+        self.restore_cycles_total += other.restore_cycles_total;
+        self.restore_cycles_max = self.restore_cycles_max.max(other.restore_cycles_max);
+        for (model, theirs) in &other.per_model {
+            let ours = self.per_model.entry(*model).or_default();
+            ours.admitted += theirs.admitted;
+            ours.completed += theirs.completed;
+            ours.lost += theirs.lost;
+        }
+    }
+
     /// Total faults injected.
     pub fn injected(&self) -> u64 {
         self.crashes + self.hangs + self.link_degrades + self.stragglers + self.dropouts
@@ -557,7 +589,7 @@ impl ChaosState {
                     .link_slow
                     .entry(link_key(a, b))
                     .or_insert((end, factor));
-                *slot = ((*slot).0.max(end), factor.max((*slot).1));
+                *slot = (slot.0.max(end), factor.max(slot.1));
             }
             FaultKind::Straggler {
                 node,
@@ -567,7 +599,7 @@ impl ChaosState {
                 self.stats.stragglers += 1;
                 let end = now.saturating_add(for_cycles);
                 let slot = self.straggle.entry(node).or_insert((end, factor));
-                *slot = ((*slot).0.max(end), factor.max((*slot).1));
+                *slot = (slot.0.max(end), factor.max(slot.1));
             }
             FaultKind::TelemetryDropout { node, for_cycles } => {
                 self.stats.dropouts += 1;

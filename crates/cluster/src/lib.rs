@@ -31,7 +31,25 @@
 //!   per-replica/per-model samples, and a [`ControlPlane`] (such as the
 //!   `autopilot` crate's autoscaler + defragmenter) answers with scale-up /
 //!   drain-then-release / migrate actions applied inside the same
-//!   deterministic event loop.
+//!   deterministic event loop;
+//! * [`ShardOptions`] — the **sharded parallel event loop**:
+//!   [`ClusterServingSim::run_sharded`] partitions the fleet into disjoint
+//!   board groups advancing in bounded-lookahead rounds on a std-only worker
+//!   pool, exchanging only migration envelopes and control-plane actions at
+//!   barriers.
+//!
+//! # Invariants
+//!
+//! Everything in this crate upholds the workspace determinism contract
+//! (see `ARCHITECTURE.md` at the repo root):
+//!
+//! 1. a serving run is a pure function of `(cluster, trace, options)` —
+//!    same inputs ⇒ bit-identical [`ServingReport`];
+//! 2. attaching any [`ObsSink`] never changes the report;
+//! 3. for the sharded loop, the thread count never changes the merged
+//!    report, and `partitions = 1` reproduces the sequential loop exactly;
+//! 4. no admitted request vanishes: `admitted = completed + dropped + lost`
+//!    holds through crashes, failover and cross-partition migration.
 //!
 //! # Example
 //!
@@ -59,9 +77,11 @@ pub mod inventory;
 pub mod migration;
 pub mod node;
 pub mod obs;
+mod par;
 pub mod placement;
 pub mod router;
 pub mod serving;
+mod sharded;
 pub mod telemetry;
 
 pub use cluster::{ClusterError, DeploySpec, DeployedVnpu, NpuCluster, VnpuHandle};
@@ -88,6 +108,7 @@ pub use serving::{
     estimated_batch_service_cycles, estimated_service_cycles, ClusterServingSim, PerfStats,
     ScheduledMigration, ServingOptions, ServingReport, StochasticService,
 };
+pub use sharded::ShardOptions;
 pub use telemetry::{
     ControlAction, ControlPlane, ControlStats, ModelSample, NoopControl, ReplicaSample,
     TelemetryFrame,

@@ -74,6 +74,7 @@ use crate::router::{
     AdmissionControl, DispatchDecision, DispatchPolicy, ReplicaIndex, ReplicaView, Router,
     RouterStats,
 };
+use crate::sharded::ShardPlan;
 use crate::telemetry::{
     ControlAction, ControlPlane, ControlStats, ModelSample, NoopControl, ReplicaSample,
     TelemetryFrame,
@@ -175,6 +176,12 @@ pub struct ServingOptions {
     /// Steer new requests away from replicas whose live migration is in
     /// flight (stop-and-copy imminent) while any clean replica exists.
     pub migration_aware_dispatch: bool,
+    /// Re-dispatch failover orphans in earliest-deadline-first order
+    /// (priority class, then deadline, then admission sequence) instead of
+    /// admission order, so the tightest-deadline orphans reach surviving
+    /// replicas first. Off by default: the order changes queue contents
+    /// after a failover, and locked golden runs predate it.
+    pub failover_edf: bool,
 }
 
 impl ServingOptions {
@@ -195,6 +202,7 @@ impl ServingOptions {
             faults: None,
             recovery: None,
             migration_aware_dispatch: false,
+            failover_edf: false,
         }
     }
 
@@ -308,6 +316,15 @@ impl ServingOptions {
     /// and locked golden runs predate it.
     pub fn with_migration_aware_dispatch(mut self) -> Self {
         self.migration_aware_dispatch = true;
+        self
+    }
+
+    /// Re-dispatches failover orphans earliest-deadline-first: higher
+    /// priority classes first, then the nearest deadline, then admission
+    /// order. Cuts orphan deadline misses when a dead board strands a mixed
+    /// queue. Off by default: locked golden runs predate it.
+    pub fn with_failover_edf(mut self) -> Self {
+        self.failover_edf = true;
         self
     }
 }
@@ -978,7 +995,34 @@ impl ClusterServingSim {
     /// control plane (any configured telemetry ticks are still counted).
     ///
     /// The cluster is mutated by scheduled migrations (their placements
-    /// genuinely move); everything else is read-only.
+    /// genuinely move); everything else is read-only. The run is a pure
+    /// function of `(cluster, trace, options)`: replaying the same inputs
+    /// produces a bit-identical [`ServingReport`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cluster::{ClusterServingSim, DeploySpec, DispatchPolicy, NpuCluster,
+    ///               PlacementPolicy, ServingOptions};
+    /// use npu_sim::NpuConfig;
+    /// use workloads::{ClusterTrace, ModelId};
+    ///
+    /// let npu = NpuConfig::single_core();
+    /// let mut fleet = NpuCluster::homogeneous(2, &npu);
+    /// fleet.deploy(DeploySpec::replica(ModelId::Mnist, 2, 2), PlacementPolicy::BestFit)?;
+    ///
+    /// let trace = ClusterTrace::poisson(&[(ModelId::Mnist, 50_000)], 32, 7);
+    /// let sim = ClusterServingSim::new(ServingOptions::new(DispatchPolicy::LeastLoaded));
+    /// let report = sim.run(&mut fleet, &trace);
+    /// assert_eq!(report.stats.offered, 32);
+    /// assert_eq!(report.stats.completed, 32);
+    ///
+    /// // Determinism: an identical replay yields an identical report.
+    /// let mut fleet2 = NpuCluster::homogeneous(2, &npu);
+    /// fleet2.deploy(DeploySpec::replica(ModelId::Mnist, 2, 2), PlacementPolicy::BestFit)?;
+    /// assert_eq!(report, sim.run(&mut fleet2, &trace));
+    /// # Ok::<(), cluster::ClusterError>(())
+    /// ```
     pub fn run(&self, cluster: &mut NpuCluster, trace: &ClusterTrace) -> ServingReport {
         self.run_loop(cluster, trace, &mut NoopControl, &mut NoopSink)
     }
@@ -1054,18 +1098,245 @@ impl ClusterServingSim {
     /// Generic over the [`ObsSink`] so the disabled path ([`NoopSink`], whose
     /// hooks are all empty defaults) monomorphizes to exactly the
     /// uninstrumented loop — no branches, no allocations, no digest drift.
-    fn run_loop<S: ObsSink + ?Sized>(
+    ///
+    /// The loop itself lives in [`PartitionSim`]: the sequential path is the
+    /// degenerate single-partition case — one partition owning every board,
+    /// stepped in a single unbounded round.
+    pub(crate) fn run_loop<S: ObsSink + ?Sized>(
         &self,
         cluster: &mut NpuCluster,
         trace: &ClusterTrace,
         controller: &mut dyn ControlPlane,
         sink: &mut S,
     ) -> ServingReport {
-        let max_batch = self.options.max_batch.max(1);
-        let edf = self.options.dispatch.orders_queues_by_deadline();
-        let mut cache = CalibrationCache::new(max_batch, self.options.stochastic, edf);
+        let mut partition = PartitionSim::new(self.options.clone(), cluster, trace.arrivals());
+        partition.step_until(u64::MAX, cluster, controller, sink);
+        partition.finish(sink).into_report()
+    }
+
+    /// The options this simulator was built with (the sharded runner derives
+    /// its per-partition options from them).
+    pub(crate) fn options(&self) -> &ServingOptions {
+        &self.options
+    }
+}
+
+/// The accumulated results of one partition's run.
+///
+/// The sequential path produces exactly one outcome and converts it straight
+/// into a [`ServingReport`]; the sharded runner merges the per-partition
+/// outcomes in partition-index order first ([`PartitionOutcome::merge`]), so
+/// the merged report is a pure fold over per-partition state — bit-identical
+/// for a fixed partitioning regardless of how many worker threads ran it.
+pub(crate) struct PartitionOutcome {
+    pub(crate) dispatch: DispatchPolicy,
+    pub(crate) router_stats: RouterStats,
+    pub(crate) latencies: QuantileSketch,
+    pub(crate) per_model: BTreeMap<ModelId, QuantileSketch>,
+    pub(crate) per_node_completed: BTreeMap<NodeId, usize>,
+    pub(crate) deadline: DeadlineStats,
+    pub(crate) batches: usize,
+    pub(crate) migration_records: Vec<MigrationRecord>,
+    pub(crate) control: ControlStats,
+    pub(crate) replica_cycles: u64,
+    pub(crate) makespan: u64,
+    pub(crate) perf: PerfStats,
+    pub(crate) alerts: AlertLog,
+    pub(crate) availability: AvailabilityStats,
+}
+
+impl PartitionOutcome {
+    /// Folds `other` (a higher-indexed partition's outcome) into `self`.
+    ///
+    /// Order matters and is fixed: the sharded runner always merges in
+    /// partition-index order, so sketch contents, per-model folds and record
+    /// concatenation are deterministic for a fixed partitioning.
+    pub(crate) fn merge(&mut self, other: PartitionOutcome) {
+        self.router_stats.offered += other.router_stats.offered;
+        self.router_stats.admitted += other.router_stats.admitted;
+        self.router_stats.rejected_no_replica += other.router_stats.rejected_no_replica;
+        self.router_stats.rejected_overload += other.router_stats.rejected_overload;
+        self.router_stats.completed += other.router_stats.completed;
+        self.latencies.merge(&other.latencies);
+        for (model, sketch) in other.per_model {
+            self.per_model.entry(model).or_default().merge(&sketch);
+        }
+        for (node, count) in other.per_node_completed {
+            *self.per_node_completed.entry(node).or_default() += count;
+        }
+        self.deadline.with_deadline += other.deadline.with_deadline;
+        self.deadline.met += other.deadline.met;
+        self.deadline.missed += other.deadline.missed;
+        self.deadline.dropped += other.deadline.dropped;
+        self.batches += other.batches;
+        self.migration_records.extend(other.migration_records);
+        self.control.samples += other.control.samples;
+        self.control.scale_ups += other.control.scale_ups;
+        self.control.scale_up_rejected += other.control.scale_up_rejected;
+        self.control.scale_downs += other.control.scale_downs;
+        self.control.released += other.control.released;
+        self.control.migrations_requested += other.control.migrations_requested;
+        self.control.migrations_rejected += other.control.migrations_rejected;
+        self.replica_cycles += other.replica_cycles;
+        self.makespan = self.makespan.max(other.makespan);
+        self.perf.events += other.perf.events;
+        self.perf.arrivals += other.perf.arrivals;
+        // Summed, not maxed: partition peaks need not coincide in time, so
+        // this is the provisioning upper bound, exact when partitions are
+        // statically sized (the sequential path never merges).
+        self.perf.peak_replicas += other.perf.peak_replicas;
+        for transition in other.alerts.transitions() {
+            self.alerts.push(*transition);
+        }
+        self.availability.merge(&other.availability);
+    }
+
+    /// Converts the (merged) outcome into the public report.
+    ///
+    /// `summary_sorted` reproduces the seed's sort-then-`from_sorted` global
+    /// summary bit-for-bit below the sketch cap; `summary` reproduces the
+    /// insertion-order `from_samples` per-model fold.
+    pub(crate) fn into_report(mut self) -> ServingReport {
+        ServingReport {
+            dispatch: self.dispatch,
+            stats: self.router_stats,
+            latency: self.latencies.summary_sorted(),
+            per_model: self
+                .per_model
+                .into_iter()
+                .map(|(model, sketch)| (model, sketch.summary()))
+                .collect(),
+            per_node_completed: self.per_node_completed,
+            deadline: self.deadline,
+            batches: self.batches,
+            migration_stats: MigrationStats::from_records(&self.migration_records),
+            migrations: self.migration_records,
+            control: self.control,
+            replica_cycles: self.replica_cycles,
+            makespan: Cycles(self.makespan),
+            perf: self.perf,
+            alerts: self.alerts,
+            availability: self.availability,
+        }
+    }
+}
+
+/// A replica in flight between partitions: everything the destination needs
+/// to resurrect it, plus everything the source already charged for moving it.
+///
+/// Cross-partition migrations are always cold (precopy needs destination
+/// state the source partition cannot see), priced source-side, and delivered
+/// at the next barrier. `ready_at` is the cycle the replica may resume at on
+/// the destination — the barrier merge clamps it up to the barrier time, which
+/// is conservative-safe because partitions never run past the barrier bound.
+pub(crate) struct MigrationEnvelope {
+    pub(crate) from_node: NodeId,
+    pub(crate) to_node: NodeId,
+    pub(crate) spec: DeploySpec,
+    queue: Vec<QueuedRequest>,
+    pub(crate) ready_at: u64,
+    record: MigrationRecord,
+    /// True once the destination rejected the import and the envelope was
+    /// re-targeted back at its source. A bounced envelope re-imports silently
+    /// (the rejection was already counted); a second failure abandons it.
+    pub(crate) bounced: bool,
+}
+
+/// Per-partition view of the sharded world: which partition this is, who owns
+/// each board, how arrivals are routed, and the replicas exported since the
+/// last barrier. `None` on the sequential path — every shard-aware branch in
+/// the step function keys off that, so `partitions = 1` is the sequential
+/// code path by construction.
+pub(crate) struct ShardContext {
+    pub(crate) index: usize,
+    pub(crate) owners: BTreeMap<NodeId, usize>,
+    pub(crate) plan: ShardPlan,
+    pub(crate) exports: Vec<MigrationEnvelope>,
+}
+
+impl ShardContext {
+    fn owner_of(&self, node: NodeId) -> usize {
+        self.owners.get(&node).copied().unwrap_or(0)
+    }
+
+    fn owns(&self, node: NodeId) -> bool {
+        self.owner_of(node) == self.index
+    }
+}
+
+/// One partition of the serving event loop: a set of boards with its own
+/// event heap, replica table, router, RNG and accumulators.
+///
+/// The sequential `run*` entry points drive a single partition owning the
+/// whole cluster to completion in one unbounded round; the sharded runner
+/// drives one partition per board-group in bounded-window rounds, merging
+/// cross-partition traffic at each barrier. All mutable simulation state
+/// lives here so a partition can be stepped to a bound, reconciled, and
+/// resumed without losing determinism.
+pub(crate) struct PartitionSim<'a> {
+    pub(crate) options: ServingOptions,
+    cache: CalibrationCache,
+    replicas: Vec<ReplicaSim>,
+    dispatch_index: ReplicaIndex,
+    router: Router,
+    state: ServeState,
+    events: EventQueue,
+    links: LinkSchedule,
+    recovery_armed: bool,
+    avoid_migrating: bool,
+    sample_interval: Option<u64>,
+    alert_interval: Option<u64>,
+    alert_scratch: Vec<AlertTransition>,
+    frame: TelemetryFrame,
+    stale_models: Vec<ModelId>,
+    arrivals: &'a [RequestArrival],
+    next_arrival: usize,
+    makespan: u64,
+    perf: PerfStats,
+    latencies: QuantileSketch,
+    per_model: BTreeMap<ModelId, QuantileSketch>,
+    per_node_completed: BTreeMap<NodeId, usize>,
+    migration_records: Vec<MigrationRecord>,
+    views: Vec<ReplicaView>,
+    /// `Some` only under the sharded runner; `None` keeps every shard-aware
+    /// branch dead on the sequential path.
+    shard: Option<ShardContext>,
+}
+
+impl<'a> PartitionSim<'a> {
+    /// Builds a partition over `cluster`'s current deployments, arming the
+    /// scheduled migration, fault, telemetry and alert events.
+    pub(crate) fn new(
+        options: ServingOptions,
+        cluster: &mut NpuCluster,
+        arrivals: &'a [RequestArrival],
+    ) -> Self {
+        Self::build(options, cluster, arrivals, None)
+    }
+
+    /// Builds one partition of a sharded run. Telemetry and alert events are
+    /// never armed partition-side — the coordinator drives sampling at the
+    /// barrier so the control plane sees the whole fleet, not one shard.
+    pub(crate) fn new_sharded(
+        options: ServingOptions,
+        cluster: &mut NpuCluster,
+        arrivals: &'a [RequestArrival],
+        shard: ShardContext,
+    ) -> Self {
+        Self::build(options, cluster, arrivals, Some(shard))
+    }
+
+    fn build(
+        options: ServingOptions,
+        cluster: &mut NpuCluster,
+        arrivals: &'a [RequestArrival],
+        shard: Option<ShardContext>,
+    ) -> Self {
+        let max_batch = options.max_batch.max(1);
+        let edf = options.dispatch.orders_queues_by_deadline();
+        let mut cache = CalibrationCache::new(max_batch, options.stochastic, edf);
         let initial: Vec<DeployedVnpu> = cluster.deployments().copied().collect();
-        let mut replicas: Vec<ReplicaSim> = initial
+        let replicas: Vec<ReplicaSim> = initial
             .iter()
             .map(|d| cache.replica_sim(cluster, d, 0))
             .collect();
@@ -1080,16 +1351,13 @@ impl ClusterServingSim {
             dispatch_index.insert(slot, replica.model, replica.handle.node, replica.handle);
         }
 
-        let mut router = Router::new(self.options.dispatch, self.options.admission);
-        let sample_interval = self.options.telemetry_interval;
-        let mut state = ServeState {
+        let router = Router::new(options.dispatch, options.admission);
+        let sample_interval = options.telemetry_interval;
+        let state = ServeState {
             max_batch,
-            max_batch_wait: self.options.max_batch_wait,
-            drop_expired: self.options.drop_expired,
-            rng: self
-                .options
-                .stochastic
-                .map(|s| StdRng::seed_from_u64(s.seed)),
+            max_batch_wait: options.max_batch_wait,
+            drop_expired: options.drop_expired,
+            rng: options.stochastic.map(|s| StdRng::seed_from_u64(s.seed)),
             deadline: DeadlineStats::default(),
             batches: 0,
             sampling: sample_interval.is_some(),
@@ -1100,19 +1368,18 @@ impl ClusterServingSim {
             batch_pool: Vec::new(),
             live_replicas: replicas.len(),
             peak_replicas: replicas.len(),
-            slo: self.options.slo.as_ref().map(SloEngine::new),
+            slo: options.slo.as_ref().map(SloEngine::new),
             alerts: AlertLog::default(),
-            chaos: self
-                .options
+            chaos: options
                 .faults
                 .as_ref()
-                .map(|schedule| ChaosState::new(schedule, self.options.recovery)),
+                .map(|schedule| ChaosState::new(schedule, options.recovery)),
         };
         let mut events = EventQueue::default();
-        for (index, migration) in self.options.migrations.iter().enumerate() {
+        for (index, migration) in options.migrations.iter().enumerate() {
             events.push(migration.at.get(), EV_MIGRATION, index);
         }
-        if let Some(schedule) = &self.options.faults {
+        if let Some(schedule) = &options.faults {
             for (index, fault) in schedule.events().iter().enumerate() {
                 events.push(fault.at, EV_FAULT, index);
             }
@@ -1120,54 +1387,126 @@ impl ClusterServingSim {
         // Fenced (undetected-dead) replicas count as pending work only while
         // recovery will eventually drain them; without recovery they would
         // sustain the telemetry bus forever and the run could never end.
-        let recovery_armed = self.options.faults.is_some() && self.options.recovery.is_some();
-        let avoid_migrating = self.options.migration_aware_dispatch;
-        if let Some(interval) = sample_interval {
-            events.push(interval, EV_SAMPLE, 0);
+        let recovery_armed = options.faults.is_some() && options.recovery.is_some();
+        let avoid_migrating = options.migration_aware_dispatch;
+        // Sharded partitions never self-sample: the coordinator ticks
+        // telemetry at the barrier over the merged fleet instead.
+        if shard.is_none() {
+            if let Some(interval) = sample_interval {
+                events.push(interval, EV_SAMPLE, 0);
+            }
         }
         let alert_interval = state.slo.as_ref().map(|engine| engine.tick());
-        if let Some(tick) = alert_interval {
-            events.push(tick, EV_ALERT, 0);
+        if shard.is_none() {
+            if let Some(tick) = alert_interval {
+                events.push(tick, EV_ALERT, 0);
+            }
         }
-        // Alert-edge scratch, reused across alert ticks.
-        let mut alert_scratch: Vec<AlertTransition> = Vec::new();
-        let mut links = LinkSchedule::default();
-        // Telemetry scratch, reused across ticks: the frame's vectors and
-        // model map persist, so steady-state sampling allocates nothing.
-        let mut frame = TelemetryFrame {
-            at: Cycles::ZERO,
-            window: Cycles::ZERO,
-            replicas: Vec::new(),
-            models: BTreeMap::new(),
-        };
-        let mut stale_models: Vec<ModelId> = Vec::new();
-
-        let arrivals = trace.arrivals();
-        let mut next_arrival = 0usize;
-        let mut makespan = 0u64;
-        let mut perf = PerfStats::default();
         // Latency accumulators are streaming quantile sketches, not retained
         // per-sample vectors: exact (and summary-bit-identical to the seed's
         // sort-then-summarize) below the sketch cap, α-bounded and O(1)
         // memory beyond it — a 10M-arrival run no longer holds 80MB of
         // samples to answer four percentiles.
-        let mut latencies = QuantileSketch::with_capacity_hint(arrivals.len());
-        let mut per_model: BTreeMap<ModelId, QuantileSketch> = BTreeMap::new();
-        let mut per_node_completed: BTreeMap<NodeId, usize> = BTreeMap::new();
-        let mut migration_records: Vec<MigrationRecord> = Vec::new();
-        // Candidate-view scratch, refilled per arrival; after warm-up the
-        // dispatch path performs no allocation at all.
-        let mut views: Vec<ReplicaView> = Vec::new();
+        let latencies = QuantileSketch::with_capacity_hint(arrivals.len());
+
+        PartitionSim {
+            options,
+            cache,
+            replicas,
+            dispatch_index,
+            router,
+            state,
+            events,
+            links: LinkSchedule::default(),
+            recovery_armed,
+            avoid_migrating,
+            sample_interval,
+            alert_interval,
+            // Alert-edge scratch, reused across alert ticks.
+            alert_scratch: Vec::new(),
+            // Telemetry scratch, reused across ticks: the frame's vectors and
+            // model map persist, so steady-state sampling allocates nothing.
+            frame: TelemetryFrame {
+                at: Cycles::ZERO,
+                window: Cycles::ZERO,
+                replicas: Vec::new(),
+                models: BTreeMap::new(),
+            },
+            stale_models: Vec::new(),
+            arrivals,
+            next_arrival: 0,
+            makespan: 0,
+            perf: PerfStats::default(),
+            latencies,
+            per_model: BTreeMap::new(),
+            per_node_completed: BTreeMap::new(),
+            migration_records: Vec::new(),
+            // Candidate-view scratch, refilled per arrival; after warm-up the
+            // dispatch path performs no allocation at all.
+            views: Vec::new(),
+            shard,
+        }
+    }
+
+    /// Advances the partition until no work remains or the next event or
+    /// arrival is at or past `bound` — events exactly at `bound` run in the
+    /// next round, after the barrier reconciliation, which is what makes
+    /// barrier-injected events (always stamped ≥ the barrier time) safe. The
+    /// sequential path passes `u64::MAX`: one unbounded round to completion.
+    pub(crate) fn step_until<S: ObsSink + ?Sized>(
+        &mut self,
+        bound: u64,
+        cluster: &mut NpuCluster,
+        controller: &mut dyn ControlPlane,
+        sink: &mut S,
+    ) {
+        let PartitionSim {
+            options,
+            cache,
+            replicas,
+            dispatch_index,
+            router,
+            state,
+            events,
+            links,
+            recovery_armed,
+            avoid_migrating,
+            sample_interval,
+            alert_interval,
+            alert_scratch,
+            frame,
+            stale_models,
+            arrivals,
+            next_arrival,
+            makespan,
+            perf,
+            latencies,
+            per_model,
+            per_node_completed,
+            migration_records,
+            views,
+            shard,
+        } = self;
+        let arrivals: &[RequestArrival] = arrivals;
+        let recovery_armed = *recovery_armed;
+        let avoid_migrating = *avoid_migrating;
+        let sample_interval = *sample_interval;
+        let alert_interval = *alert_interval;
 
         loop {
             let event_time = events.next_time();
-            let arrival_time = arrivals.get(next_arrival).map(|a| a.at.get());
+            let arrival_time = arrivals.get(*next_arrival).map(|a| a.at.get());
             let take_event = match (event_time, arrival_time) {
                 (None, None) => break,
                 (Some(t), Some(at)) => t <= at,
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
             };
+            let due = if take_event { event_time } else { arrival_time };
+            match due {
+                Some(t) if t < bound => {}
+                _ => break,
+            }
 
             if take_event {
                 let (now, kind, index) = events.pop().expect("peeked above"); // simlint::allow(P1, reason = "pop follows the peek that chose the event branch")
@@ -1182,7 +1521,7 @@ impl ClusterServingSim {
                         }
                         // Only real work moves the makespan: completions here,
                         // executed migrations via their resume event.
-                        makespan = makespan.max(now);
+                        *makespan = (*makespan).max(now);
                         let replica = &mut replicas[index];
                         let (mut batch, started, finish) = replica
                             .in_service
@@ -1245,52 +1584,39 @@ impl ClusterServingSim {
                             Self::execute_migration(
                                 cluster,
                                 &mut replicas[index],
-                                &mut dispatch_index,
+                                dispatch_index,
                                 now,
                                 to,
                                 drain,
-                                &self.options.cost_model,
-                                &mut migration_records,
-                                &mut events,
-                                &mut links,
+                                &options.cost_model,
+                                migration_records,
+                                events,
+                                links,
                                 index,
-                                &mut state,
+                                state,
+                                shard,
                                 sink,
                             );
                         } else {
-                            Self::start_next(
-                                &mut replicas[index],
-                                now,
-                                &mut events,
-                                index,
-                                &mut state,
-                                sink,
-                            );
+                            Self::start_next(&mut replicas[index], now, events, index, state, sink);
                             Self::retire_if_drained(
                                 cluster,
                                 &mut replicas[index],
-                                &mut dispatch_index,
+                                dispatch_index,
                                 now,
-                                &mut state,
+                                state,
                             );
                         }
                     }
                     EV_RESUME => {
-                        makespan = makespan.max(now);
-                        Self::start_next(
-                            &mut replicas[index],
-                            now,
-                            &mut events,
-                            index,
-                            &mut state,
-                            sink,
-                        );
+                        *makespan = (*makespan).max(now);
+                        Self::start_next(&mut replicas[index], now, events, index, state, sink);
                         Self::retire_if_drained(
                             cluster,
                             &mut replicas[index],
-                            &mut dispatch_index,
+                            dispatch_index,
                             now,
-                            &mut state,
+                            state,
                         );
                     }
                     EV_BATCH_TIMEOUT => {
@@ -1300,54 +1626,76 @@ impl ClusterServingSim {
                         // re-arms a fresh one when it holds again.
                         if replica.batch_timeout_at == Some(now) {
                             replica.batch_timeout_at = None;
-                            Self::start_next(replica, now, &mut events, index, &mut state, sink);
+                            Self::start_next(replica, now, events, index, state, sink);
                         }
                     }
                     EV_COPY_ROUND => {
                         Self::copy_round(
                             cluster,
-                            &mut replicas,
-                            &mut dispatch_index,
+                            replicas,
+                            dispatch_index,
                             index,
                             now,
-                            &self.options.cost_model,
-                            &mut migration_records,
-                            &mut events,
-                            &mut links,
-                            &mut state,
+                            &options.cost_model,
+                            migration_records,
+                            events,
+                            links,
+                            state,
+                            shard,
                             sink,
                         );
                     }
                     EV_MIGRATION => {
-                        let scheduled = self.options.migrations[index];
+                        let scheduled = options.migrations[index];
                         let Some(target) = dispatch_index.slot_of(scheduled.handle) else {
                             continue; // stale handle (already moved or undeployed)
                         };
+                        // Under the sharded runner a destination owned by
+                        // another partition demotes a pre-copy to a cold
+                        // drain-and-move: the copy loop needs destination
+                        // state the source partition cannot see.
+                        let export = shard.is_some() && cluster.node(scheduled.to).is_none();
                         match scheduled.mode {
                             MigrationMode::Cold => Self::request_migration(
                                 cluster,
-                                &mut replicas,
-                                &mut dispatch_index,
+                                replicas,
+                                dispatch_index,
                                 target,
                                 scheduled.to,
                                 now,
-                                &self.options.cost_model,
-                                &mut migration_records,
-                                &mut events,
-                                &mut links,
-                                &mut state,
+                                &options.cost_model,
+                                migration_records,
+                                events,
+                                links,
+                                state,
+                                shard,
+                                sink,
+                            ),
+                            MigrationMode::PreCopy if export => Self::request_migration(
+                                cluster,
+                                replicas,
+                                dispatch_index,
+                                target,
+                                scheduled.to,
+                                now,
+                                &options.cost_model,
+                                migration_records,
+                                events,
+                                links,
+                                state,
+                                shard,
                                 sink,
                             ),
                             MigrationMode::PreCopy => Self::begin_precopy(
                                 cluster,
-                                &mut replicas,
+                                replicas,
                                 target,
                                 scheduled.to,
                                 now,
-                                &self.options.cost_model,
-                                &mut events,
-                                &mut links,
-                                &mut state,
+                                &options.cost_model,
+                                events,
+                                links,
+                                state,
                                 sink,
                             ),
                         }
@@ -1413,25 +1761,20 @@ impl ClusterServingSim {
                         let interval = sample_interval.expect("sampling scheduled"); // simlint::allow(P1, reason = "EV_SAMPLE is only scheduled when sampling is configured")
                         Self::chaos_tick(
                             cluster,
-                            &mut replicas,
-                            &mut dispatch_index,
-                            &mut cache,
-                            &mut router,
-                            &mut views,
+                            replicas,
+                            dispatch_index,
+                            cache,
+                            router,
+                            views,
                             now,
-                            &self.options.cost_model,
-                            &mut events,
-                            &mut links,
-                            &mut state,
+                            &options.cost_model,
+                            options.failover_edf,
+                            events,
+                            links,
+                            state,
                             sink,
                         );
-                        Self::sample_into(
-                            &mut frame,
-                            &mut stale_models,
-                            &mut replicas,
-                            now,
-                            &mut state,
-                        );
+                        Self::sample_into(frame, stale_models, replicas, now, state);
                         state.control.samples += 1;
                         // Fleet-wide counter tracks are gathered only for an
                         // active sink: the disabled path never pays the scan.
@@ -1448,22 +1791,23 @@ impl ClusterServingSim {
                                 counters.resident_bytes +=
                                     cluster.resident_state_bytes(replica.handle).unwrap_or(0);
                             }
-                            sink.on_tick(now, &frame, &counters);
+                            sink.on_tick(now, frame, &counters);
                         }
-                        let actions = controller.control(&frame, cluster);
+                        let actions = controller.control(frame, cluster);
                         for action in actions {
                             Self::apply_action(
                                 cluster,
-                                &mut replicas,
-                                &mut dispatch_index,
-                                &mut cache,
+                                replicas,
+                                dispatch_index,
+                                cache,
                                 action,
                                 now,
-                                &self.options.cost_model,
-                                &mut migration_records,
-                                &mut events,
-                                &mut links,
-                                &mut state,
+                                &options.cost_model,
+                                migration_records,
+                                events,
+                                links,
+                                state,
+                                shard,
                                 sink,
                             );
                         }
@@ -1472,10 +1816,10 @@ impl ClusterServingSim {
                         // alive forever. The event counter answers "anything
                         // still queued?" without scanning the heap.
                         if Self::work_left(
-                            next_arrival,
+                            *next_arrival,
                             arrivals,
-                            &replicas,
-                            &events,
+                            replicas,
+                            events,
                             recovery_armed,
                         ) {
                             events.push(now + interval, EV_SAMPLE, 0);
@@ -1484,9 +1828,9 @@ impl ClusterServingSim {
                     EV_ALERT => {
                         alert_scratch.clear();
                         if let Some(engine) = &mut state.slo {
-                            engine.evaluate(now, &mut alert_scratch);
+                            engine.evaluate(now, alert_scratch);
                         }
-                        for alert in &alert_scratch {
+                        for alert in alert_scratch.iter() {
                             state.alerts.push(*alert);
                             sink.on_alert(now, alert);
                             controller.on_alert(Cycles(now), alert);
@@ -1495,10 +1839,10 @@ impl ClusterServingSim {
                         // ticks observe work, they must not sustain it.
                         if let Some(tick) = alert_interval {
                             if Self::work_left(
-                                next_arrival,
+                                *next_arrival,
                                 arrivals,
-                                &replicas,
-                                &events,
+                                replicas,
+                                events,
                                 recovery_armed,
                             ) {
                                 events.push(now + tick, EV_ALERT, 0);
@@ -1508,14 +1852,23 @@ impl ClusterServingSim {
                     _ => unreachable!("unknown event kind"),
                 }
             } else {
-                let arrival = arrivals[next_arrival];
-                next_arrival += 1;
+                let arrival = arrivals[*next_arrival];
+                *next_arrival += 1;
+                // Sharded runs share the trace slice: each partition walks
+                // every arrival but admits only those the deterministic plan
+                // assigns to it, so arrival counters sum to the trace length
+                // across partitions.
+                if let Some(context) = shard.as_ref() {
+                    if context.plan.owner(arrival.model, arrival.sequence) != context.index {
+                        continue;
+                    }
+                }
                 perf.arrivals += 1;
                 let now = arrival.at.get();
                 sink.on_arrival(now, arrival.sequence, arrival.model);
 
                 views.clear();
-                if self.options.reference_dispatch {
+                if options.reference_dispatch {
                     // The pre-index reference path, kept verbatim: scan the
                     // whole table per arrival and recount the locality signal
                     // per candidate.
@@ -1558,7 +1911,7 @@ impl ClusterServingSim {
                         });
                     }
                 }
-                match router.dispatch(arrival.model, &views) {
+                match router.dispatch(arrival.model, views) {
                     DispatchDecision::Dispatch(index) => {
                         if let Some(window) = state.window_of(arrival.model) {
                             window.arrivals += 1;
@@ -1581,14 +1934,7 @@ impl ClusterServingSim {
                             sequence: arrival.sequence,
                         };
                         replicas[index].enqueue(request);
-                        Self::start_next(
-                            &mut replicas[index],
-                            now,
-                            &mut events,
-                            index,
-                            &mut state,
-                            sink,
-                        );
+                        Self::start_next(&mut replicas[index], now, events, index, state, sink);
                     }
                     decision @ (DispatchDecision::RejectNoReplica
                     | DispatchDecision::RejectOverload) => {
@@ -1605,13 +1951,19 @@ impl ClusterServingSim {
                 }
             }
         }
+    }
 
+    /// Ends the run: sweeps requests still marooned on fenced boards, banks
+    /// the replica-time of everything still provisioned, and converts the
+    /// partition's accumulators into a mergeable [`PartitionOutcome`].
+    pub(crate) fn finish<S: ObsSink + ?Sized>(mut self, sink: &mut S) -> PartitionOutcome {
+        let makespan = self.makespan;
         // Requests still marooned on fenced boards at run end were never
         // failed over (no recovery armed, or the run drained first): count
         // every one lost with a fault attribution. Nothing is silent.
-        if let Some(chaos) = &mut state.chaos {
+        if let Some(chaos) = &mut self.state.chaos {
             let mut marooned: Vec<QueuedRequest> = Vec::new();
-            for replica in replicas.iter_mut().filter(|r| r.fenced && !r.retired) {
+            for replica in self.replicas.iter_mut().filter(|r| r.fenced && !r.retired) {
                 if let Some((batch, _, _)) = replica.in_service.take() {
                     marooned.extend(batch.iter().copied());
                 }
@@ -1630,37 +1982,32 @@ impl ClusterServingSim {
         }
 
         // Bank the replica-time of everything still provisioned at the end.
-        for replica in replicas.iter().filter(|r| r.live()) {
-            state.replica_cycles += makespan.saturating_sub(replica.activated_at);
+        for replica in self.replicas.iter().filter(|r| r.live()) {
+            self.state.replica_cycles += makespan.saturating_sub(replica.activated_at);
         }
-        perf.peak_replicas = state.peak_replicas;
+        self.perf.peak_replicas = self.state.peak_replicas;
 
-        // `summary_sorted` reproduces the seed's sort-then-`from_sorted`
-        // global summary bit-for-bit below the sketch cap; `summary`
-        // reproduces the insertion-order `from_samples` per-model fold.
-        ServingReport {
+        let availability = self
+            .state
+            .chaos
+            .take()
+            .map(|chaos| chaos.stats)
+            .unwrap_or_default();
+        PartitionOutcome {
             dispatch: self.options.dispatch,
-            stats: router.stats(),
-            latency: latencies.summary_sorted(),
-            per_model: per_model
-                .into_iter()
-                .map(|(model, sketch)| (model, sketch.summary()))
-                .collect(),
-            per_node_completed,
-            deadline: state.deadline,
-            batches: state.batches,
-            migration_stats: MigrationStats::from_records(&migration_records),
-            migrations: migration_records,
-            control: state.control,
-            replica_cycles: state.replica_cycles,
-            makespan: Cycles(makespan),
-            perf,
-            alerts: state.alerts,
-            availability: state
-                .chaos
-                .take()
-                .map(|chaos| chaos.stats)
-                .unwrap_or_default(),
+            router_stats: self.router.stats(),
+            latencies: self.latencies,
+            per_model: self.per_model,
+            per_node_completed: self.per_node_completed,
+            deadline: self.state.deadline,
+            batches: self.state.batches,
+            migration_records: self.migration_records,
+            control: self.state.control,
+            replica_cycles: self.state.replica_cycles,
+            makespan,
+            perf: self.perf,
+            alerts: self.state.alerts,
+            availability,
         }
     }
 
@@ -1714,6 +2061,7 @@ impl ClusterServingSim {
         views: &mut Vec<ReplicaView>,
         now: u64,
         cost_model: &MigrationCostModel,
+        failover_edf: bool,
         events: &mut EventQueue,
         links: &mut LinkSchedule,
         state: &mut ServeState,
@@ -1872,11 +2220,17 @@ impl ClusterServingSim {
                 }
             }
 
-            // Re-dispatch the orphans in admission order. A request past its
-            // deadline is dropped with the normal expiry accounting; one no
-            // surviving replica can take is lost — with a fault attribution,
-            // never silently.
-            orphans.sort_by_key(|(_, request)| request.sequence);
+            // Re-dispatch the orphans in admission order — or, with
+            // `failover_edf`, earliest-deadline-first so the tightest
+            // deadlines reach surviving capacity ahead of best-effort
+            // backlog. A request past its deadline is dropped with the
+            // normal expiry accounting; one no surviving replica can take is
+            // lost — with a fault attribution, never silently.
+            if failover_edf {
+                orphans.sort_by_key(|(_, request)| request.edf_key());
+            } else {
+                orphans.sort_by_key(|(_, request)| request.sequence);
+            }
             chaos.stats.orphaned += orphans.len() as u64;
             let mut redispatched_here = 0u64;
             for (dead_slot, request) in orphans {
@@ -2057,6 +2411,7 @@ impl ClusterServingSim {
         events: &mut EventQueue,
         links: &mut LinkSchedule,
         state: &mut ServeState,
+        shard: &mut Option<ShardContext>,
         sink: &mut S,
     ) {
         sink.on_control(now, &action);
@@ -2099,6 +2454,9 @@ impl ClusterServingSim {
                 let Some(index) = dispatch_index.slot_of(handle) else {
                     return;
                 };
+                // Cross-partition destinations demote pre-copy to a cold
+                // drain-and-move, exactly like the scheduled-migration path.
+                let export = shard.is_some() && cluster.node(to).is_none();
                 match mode {
                     MigrationMode::Cold => Self::request_migration(
                         cluster,
@@ -2112,6 +2470,22 @@ impl ClusterServingSim {
                         events,
                         links,
                         state,
+                        shard,
+                        sink,
+                    ),
+                    MigrationMode::PreCopy if export => Self::request_migration(
+                        cluster,
+                        replicas,
+                        dispatch_index,
+                        index,
+                        to,
+                        now,
+                        cost_model,
+                        records,
+                        events,
+                        links,
+                        state,
+                        shard,
                         sink,
                     ),
                     MigrationMode::PreCopy => Self::begin_precopy(
@@ -2137,6 +2511,7 @@ impl ClusterServingSim {
         events: &mut EventQueue,
         links: &mut LinkSchedule,
         state: &mut ServeState,
+        shard: &mut Option<ShardContext>,
         sink: &mut S,
     ) {
         // A draining replica is about to release its vNPU anyway: migrating
@@ -2166,6 +2541,7 @@ impl ClusterServingSim {
                 links,
                 index,
                 state,
+                shard,
                 sink,
             );
         }
@@ -2254,6 +2630,7 @@ impl ClusterServingSim {
         events: &mut EventQueue,
         links: &mut LinkSchedule,
         state: &mut ServeState,
+        shard: &mut Option<ShardContext>,
         sink: &mut S,
     ) {
         let replica = &mut replicas[index];
@@ -2292,6 +2669,7 @@ impl ClusterServingSim {
                     links,
                     index,
                     state,
+                    shard,
                     sink,
                 );
             }
@@ -2481,6 +2859,10 @@ impl ClusterServingSim {
     /// transfer moves the full resident state; for a pre-copy switch-over it
     /// moves only the residual dirty delta plus the architectural context,
     /// queueing behind any transfer already on the link.
+    ///
+    /// Under the sharded runner, a destination owned by another partition is
+    /// intercepted before the local `migrate` call: the replica is exported
+    /// into a [`MigrationEnvelope`] for barrier delivery instead.
     #[allow(clippy::too_many_arguments)]
     fn execute_migration<S: ObsSink + ?Sized>(
         cluster: &mut NpuCluster,
@@ -2495,8 +2877,27 @@ impl ClusterServingSim {
         links: &mut LinkSchedule,
         index: usize,
         state: &mut ServeState,
+        shard: &mut Option<ShardContext>,
         sink: &mut S,
     ) {
+        if let Some(context) = shard.as_mut() {
+            if cluster.node(to).is_none() && context.owners.contains_key(&to) {
+                Self::export_replica(
+                    cluster,
+                    replica,
+                    dispatch_index,
+                    now,
+                    to,
+                    drain_cycles,
+                    cost_model,
+                    links,
+                    index,
+                    state,
+                    context,
+                );
+                return;
+            }
+        }
         let source_frequency = cluster
             .node(replica.handle.node)
             .expect("source node exists") // simlint::allow(P1, reason = "a migrating replica's source node holds its deployment")
@@ -2564,6 +2965,364 @@ impl ClusterServingSim {
                 sink.on_migration_rejected(now, index);
                 Self::start_next(replica, now, events, index, state, sink);
             }
+        }
+    }
+
+    /// Packs `replicas[index]` into a cross-partition [`MigrationEnvelope`]:
+    /// the transfer is priced source-side (chaos windows and link contention
+    /// included), the queue drained in pop order, the vNPU released — and the
+    /// envelope waits in `shard.exports` for barrier delivery to the owning
+    /// partition.
+    #[allow(clippy::too_many_arguments)]
+    fn export_replica(
+        cluster: &mut NpuCluster,
+        replica: &mut ReplicaSim,
+        dispatch_index: &mut ReplicaIndex,
+        now: u64,
+        to: NodeId,
+        drain_cycles: u64,
+        cost_model: &MigrationCostModel,
+        links: &mut LinkSchedule,
+        index: usize,
+        state: &mut ServeState,
+        shard: &mut ShardContext,
+    ) {
+        let handle = replica.handle;
+        let Some(deployment) = cluster.deployment(handle).copied() else {
+            // The deployment raced away (cannot happen for a live replica);
+            // account it like any refused migration rather than panicking.
+            state.control.migrations_rejected += 1;
+            return;
+        };
+        let spec = DeploySpec {
+            model: deployment.model,
+            mes: deployment.config.num_mes_per_core,
+            ves: deployment.config.num_ves_per_core,
+            sram_bytes: Some(deployment.config.sram_size_per_core),
+            hbm_bytes: Some(deployment.config.mem_size_per_core),
+            priority: deployment.priority,
+            mode: deployment.mode,
+        };
+        let state_bytes = cluster.resident_state_bytes(handle).unwrap_or(0);
+        let frequency = cluster
+            .node(handle.node)
+            .expect("source node exists") // simlint::allow(P1, reason = "a migrating replica's source node holds its deployment")
+            .npu_config()
+            .frequency;
+        // Cross-partition moves are always cold: the pre-copy loop needs
+        // destination-side state the source partition cannot see.
+        replica.precopy = None;
+        let cycles = chaos_transfer(
+            state,
+            handle.node,
+            to,
+            now,
+            cost_model.transfer_cycles(state_bytes, frequency).get(),
+        );
+        let transfer_ends = links.reserve(handle.node, to, now, cycles);
+        let ready_at = transfer_ends + cost_model.remap_cycles;
+        let record = MigrationRecord {
+            source_vnpu: handle.vnpu,
+            // Placeholder: the destination assigns the real id at import.
+            dest_vnpu: handle.vnpu,
+            from: handle.node,
+            to,
+            mode: MigrationMode::Cold,
+            state_bytes,
+            drain_cycles,
+            transfer_cycles: transfer_ends - now,
+            remap_cycles: cost_model.remap_cycles,
+            precopy_rounds: 0,
+            round_bytes: Vec::new(),
+            precopy_bytes: 0,
+            precopy_cycles: 0,
+            converged: true,
+        };
+        let queued = replica.queue.len();
+        let mut queue: Vec<QueuedRequest> = Vec::with_capacity(queued);
+        replica.queue.drain_into(queued, &mut queue);
+        dispatch_index.evict(index, replica.model, handle.node, handle, !replica.draining);
+        replica.retired = true;
+        replica.batch_timeout_at = None;
+        replica.pending_migration = None;
+        state.replica_cycles += now.saturating_sub(replica.activated_at);
+        state.live_replicas -= 1;
+        let undeployed = cluster.undeploy(handle);
+        debug_assert!(
+            undeployed.is_ok(),
+            "an exporting replica's deployment must exist"
+        );
+        shard.exports.push(MigrationEnvelope {
+            from_node: handle.node,
+            to_node: to,
+            spec,
+            queue,
+            ready_at,
+            record,
+            bounced: false,
+        });
+    }
+
+    /// Drains the envelopes exported since the last barrier (empty on the
+    /// sequential path).
+    pub(crate) fn take_exports(&mut self) -> Vec<MigrationEnvelope> {
+        match &mut self.shard {
+            Some(shard) => std::mem::take(&mut shard.exports),
+            None => Vec::new(),
+        }
+    }
+
+    /// Imports a replica another partition exported, deploying it on the
+    /// envelope's destination node of this partition's cluster. On capacity
+    /// failure the envelope is handed back so the coordinator can bounce it
+    /// to its source partition.
+    ///
+    /// The resume time is the source-priced `ready_at` clamped up to the
+    /// barrier — conservative-safe, because no partition has simulated past
+    /// the barrier yet. A first-time import finalizes and records the
+    /// migration; a bounced one records nothing (the rejection was already
+    /// counted, mirroring the sequential refused-migration path).
+    pub(crate) fn import_replica<S: ObsSink + ?Sized>(
+        &mut self,
+        cluster: &mut NpuCluster,
+        envelope: MigrationEnvelope,
+        barrier: u64,
+        sink: &mut S,
+    ) -> Result<(), Box<MigrationEnvelope>> {
+        let handle = match cluster.deploy_pinned(envelope.spec, envelope.to_node) {
+            Ok(handle) => handle,
+            Err(_) => return Err(Box::new(envelope)),
+        };
+        let deployment = *cluster.deployment(handle).expect("just deployed"); // simlint::allow(P1, reason = "deployment recorded by the deploy_pinned call above")
+        let mut sim = self.cache.replica_sim(cluster, &deployment, barrier);
+        let resume_at = envelope.ready_at.max(barrier);
+        sim.available_at = resume_at;
+        for request in envelope.queue {
+            sim.enqueue(request);
+        }
+        let slot = self.replicas.len();
+        self.dispatch_index
+            .insert(slot, sim.model, handle.node, handle);
+        self.replicas.push(sim);
+        self.state.live_replicas += 1;
+        self.state.peak_replicas = self.state.peak_replicas.max(self.state.live_replicas);
+        self.events.push(resume_at, EV_RESUME, slot);
+        if !envelope.bounced {
+            let mut record = envelope.record;
+            record.dest_vnpu = handle.vnpu;
+            record.to = handle.node;
+            sink.on_stop_copy(barrier, resume_at, slot, &record);
+            self.migration_records.push(record);
+        }
+        Ok(())
+    }
+
+    /// Drops a migration whose import failed at both the destination and
+    /// (bounced) back at the source: the replica is gone and every queued
+    /// request is lost — attributed through the chaos ledger or the sink,
+    /// never silently. The rejection statistic was already counted at the
+    /// partition that first refused the import.
+    pub(crate) fn abandon_envelope<S: ObsSink + ?Sized>(
+        &mut self,
+        envelope: MigrationEnvelope,
+        barrier: u64,
+        sink: &mut S,
+    ) {
+        let from = envelope.from_node;
+        for request in envelope.queue {
+            if let Some(chaos) = &mut self.state.chaos {
+                chaos.note_lost(request.model);
+            }
+            sink.on_lost(barrier, request.sequence, request.model, from);
+        }
+    }
+
+    /// Counts a destination-side import rejection (the bounce back to the
+    /// source still happens; only the statistic lands here, on the partition
+    /// that refused).
+    pub(crate) fn note_migration_rejected(&mut self) {
+        self.state.control.migrations_rejected += 1;
+    }
+
+    /// Adopts a replica the coordinator just deployed on this partition's
+    /// cluster (a control-plane scale-up placed fleet-wide at the barrier).
+    pub(crate) fn adopt_replica<S: ObsSink + ?Sized>(
+        &mut self,
+        cluster: &NpuCluster,
+        handle: VnpuHandle,
+        now: u64,
+        action: &ControlAction,
+        sink: &mut S,
+    ) {
+        sink.on_control(now, action);
+        let deployment = *cluster
+            .deployment(handle)
+            .expect("coordinator deployed this handle"); // simlint::allow(P1, reason = "the coordinator deployed this handle on this partition's cluster one barrier step earlier")
+        let replica = self.cache.replica_sim(cluster, &deployment, now);
+        let slot = self.replicas.len();
+        self.dispatch_index
+            .insert(slot, replica.model, handle.node, handle);
+        self.replicas.push(replica);
+        self.state.control.scale_ups += 1;
+        self.state.live_replicas += 1;
+        self.state.peak_replicas = self.state.peak_replicas.max(self.state.live_replicas);
+    }
+
+    /// Counts a fleet-wide scale-up the coordinator could not place anywhere.
+    pub(crate) fn note_scale_up_rejected<S: ObsSink + ?Sized>(
+        &mut self,
+        now: u64,
+        action: &ControlAction,
+        sink: &mut S,
+    ) {
+        sink.on_control(now, action);
+        self.state.control.scale_up_rejected += 1;
+    }
+
+    /// Applies a scale-down or migration action to the owning partition at a
+    /// barrier (scale-ups are placed fleet-wide by the coordinator instead).
+    pub(crate) fn apply_barrier_action<S: ObsSink + ?Sized>(
+        &mut self,
+        cluster: &mut NpuCluster,
+        action: ControlAction,
+        now: u64,
+        sink: &mut S,
+    ) {
+        Self::apply_action(
+            cluster,
+            &mut self.replicas,
+            &mut self.dispatch_index,
+            &mut self.cache,
+            action,
+            now,
+            &self.options.cost_model,
+            &mut self.migration_records,
+            &mut self.events,
+            &mut self.links,
+            &mut self.state,
+            &mut self.shard,
+            sink,
+        );
+    }
+
+    /// Runs the telemetry-tick side effects for one partition at a barrier:
+    /// failure detection and failover, frame sampling, and the fleet-counter
+    /// scan for an active sink. The coordinator merges the per-partition
+    /// frames and invokes the control plane fleet-wide, and owns
+    /// `ControlStats::samples` (one per barrier tick) — it is never bumped
+    /// here.
+    pub(crate) fn barrier_tick<S: ObsSink + ?Sized>(
+        &mut self,
+        cluster: &mut NpuCluster,
+        now: u64,
+        sink: &mut S,
+    ) {
+        Self::chaos_tick(
+            cluster,
+            &mut self.replicas,
+            &mut self.dispatch_index,
+            &mut self.cache,
+            &mut self.router,
+            &mut self.views,
+            now,
+            &self.options.cost_model,
+            self.options.failover_edf,
+            &mut self.events,
+            &mut self.links,
+            &mut self.state,
+            sink,
+        );
+        Self::sample_into(
+            &mut self.frame,
+            &mut self.stale_models,
+            &mut self.replicas,
+            now,
+            &mut self.state,
+        );
+        if sink.active() {
+            let mut counters = FleetCounters::default();
+            for replica in self.replicas.iter().filter(|r| r.live()) {
+                counters.queued += replica.queue.len() as u64;
+                counters.in_flight += replica.in_flight() as u64;
+                counters.live_replicas += 1;
+                if replica.precopy.is_some() || replica.pending_migration.is_some() {
+                    counters.migrations_in_flight += 1;
+                }
+                counters.resident_bytes +=
+                    cluster.resident_state_bytes(replica.handle).unwrap_or(0);
+            }
+            sink.on_tick(now, &self.frame, &counters);
+        }
+    }
+
+    /// The frame produced by the last [`barrier_tick`](Self::barrier_tick).
+    pub(crate) fn frame(&self) -> &TelemetryFrame {
+        &self.frame
+    }
+
+    /// Bumps the merged sample counter; called by the coordinator once per
+    /// barrier tick on the lowest-indexed partition so the merged report
+    /// counts ticks, not ticks × partitions.
+    pub(crate) fn count_sample(&mut self) {
+        self.state.control.samples += 1;
+    }
+
+    /// Whether this partition can still make progress: pending arrivals or
+    /// events, live queued/in-service work, or an export awaiting barrier
+    /// delivery.
+    pub(crate) fn busy(&self) -> bool {
+        Self::work_left(
+            self.next_arrival,
+            self.arrivals,
+            &self.replicas,
+            &self.events,
+            self.recovery_armed,
+        ) || self
+            .shard
+            .as_ref()
+            .is_some_and(|shard| !shard.exports.is_empty())
+    }
+
+    /// Whether a cross-partition transfer is pending or imminent: an export
+    /// awaiting delivery, or a busy replica draining toward a board another
+    /// partition owns. The coordinator keeps barrier windows at the
+    /// interconnect lookahead while this holds.
+    pub(crate) fn pending_remote(&self) -> bool {
+        let Some(shard) = &self.shard else {
+            return false;
+        };
+        !shard.exports.is_empty()
+            || self.replicas.iter().any(|replica| {
+                replica.live()
+                    && replica
+                        .pending_migration
+                        .is_some_and(|(to, _)| !shard.owns(to))
+            })
+    }
+
+    /// Adds this partition's dispatchable replica counts to a shard plan
+    /// being rebuilt at a barrier. Mirrors the sequential router's candidate
+    /// set: live and not draining — fenced replicas stay routable until
+    /// failover evicts them, exactly the sequential black-hole window.
+    pub(crate) fn accumulate_weights(
+        &self,
+        weights: &mut BTreeMap<ModelId, Vec<u64>>,
+        partitions: usize,
+    ) {
+        let Some(shard) = &self.shard else {
+            return;
+        };
+        for replica in self.replicas.iter().filter(|r| r.live() && !r.draining) {
+            weights
+                .entry(replica.model)
+                .or_insert_with(|| vec![0; partitions])[shard.index] += 1;
+        }
+    }
+
+    /// Installs the plan rebuilt at a barrier.
+    pub(crate) fn set_plan(&mut self, plan: ShardPlan) {
+        if let Some(shard) = &mut self.shard {
+            shard.plan = plan;
         }
     }
 }

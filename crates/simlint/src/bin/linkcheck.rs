@@ -1,0 +1,259 @@
+//! `linkcheck` — intra-repo Markdown link checker.
+//!
+//! Walks every `.md` file under the root (skipping `target/` and `.git/`),
+//! extracts inline links and images (`[text](target)` / `![alt](target)`),
+//! and verifies that every **intra-repo** target resolves: relative paths
+//! must exist on disk, and `#fragment` anchors must match a heading in the
+//! target document (GitHub slug rules). External schemes (`http:`, `https:`,
+//! `mailto:`) are skipped — this environment is offline, and CI should not
+//! depend on the internet to validate the repo's own docs.
+//!
+//! ```text
+//! linkcheck [--root PATH]
+//! ```
+//!
+//! Exit status: 0 when every link resolves, 1 when any is broken, 2 on
+//! usage or I/O errors. Dependency-free by design, like the rest of
+//! `simlint`: the link checker must never be the thing that breaks the
+//! build.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => {
+                    eprintln!("linkcheck: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("linkcheck [--root PATH]  check intra-repo Markdown links");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("linkcheck: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut files = Vec::new();
+    if let Err(err) = collect_markdown(&root, &mut files) {
+        eprintln!("linkcheck: walking {}: {err}", root.display());
+        return ExitCode::from(2);
+    }
+    files.sort();
+
+    // Anchor validation needs every document's heading set, including
+    // documents only reachable as link targets, so read them all up front.
+    let mut sources: BTreeMap<PathBuf, String> = BTreeMap::new();
+    for file in &files {
+        match fs::read_to_string(file) {
+            Ok(text) => {
+                sources.insert(file.clone(), text);
+            }
+            Err(err) => {
+                eprintln!("linkcheck: reading {}: {err}", file.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut broken = 0usize;
+    let mut checked = 0usize;
+    for (file, text) in &sources {
+        for link in extract_links(text) {
+            let Some(target) = intra_repo_target(&link.target) else {
+                continue;
+            };
+            checked += 1;
+            let (path_part, fragment) = match target.split_once('#') {
+                Some((path, fragment)) => (path, Some(fragment)),
+                None => (target.as_str(), None),
+            };
+            let resolved = if path_part.is_empty() {
+                file.clone()
+            } else if let Some(rooted) = path_part.strip_prefix('/') {
+                root.join(rooted)
+            } else {
+                file.parent().unwrap_or(Path::new(".")).join(path_part)
+            };
+            if !resolved.exists() {
+                broken += 1;
+                println!(
+                    "{}:{}: broken link `{}` — {} does not exist",
+                    display_rel(file, &root),
+                    link.line,
+                    link.target,
+                    resolved.display()
+                );
+                continue;
+            }
+            if let Some(fragment) = fragment {
+                let canonical = resolved.canonicalize().unwrap_or(resolved.clone());
+                let anchors = sources
+                    .iter()
+                    .find(|(path, _)| {
+                        path.canonicalize().unwrap_or_else(|_| (*path).clone()) == canonical
+                    })
+                    .map(|(_, text)| heading_slugs(text));
+                match anchors {
+                    Some(slugs) if !slugs.contains(&fragment.to_ascii_lowercase()) => {
+                        broken += 1;
+                        println!(
+                            "{}:{}: broken anchor `{}` — no heading in {} slugs to `#{}`",
+                            display_rel(file, &root),
+                            link.line,
+                            link.target,
+                            display_rel(&resolved, &root),
+                            fragment,
+                        );
+                    }
+                    // A fragment into a non-Markdown target (or a directory)
+                    // is not checkable; the path existing is enough.
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    println!(
+        "linkcheck: {} files, {} intra-repo links, {} broken",
+        sources.len(),
+        checked,
+        broken
+    );
+    if broken > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Recursively collects `.md` files, skipping build output and VCS metadata.
+fn collect_markdown(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_markdown(&path, out)?;
+        } else if name.ends_with(".md") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+struct Link {
+    target: String,
+    line: usize,
+}
+
+/// Extracts inline `[text](target)` / `![alt](target)` links, ignoring
+/// fenced code blocks and inline code spans (link syntax inside code is
+/// documentation of syntax, not a link).
+fn extract_links(text: &str) -> Vec<Link> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for (index, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut in_code = false;
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'`' => in_code = !in_code,
+                b']' if !in_code && i + 1 < bytes.len() && bytes[i + 1] == b'(' => {
+                    if let Some(close) = line[i + 2..].find(')') {
+                        let target = &line[i + 2..i + 2 + close];
+                        // Strip an optional Markdown title: `(path "title")`.
+                        let target = target.split_whitespace().next().unwrap_or("");
+                        if !target.is_empty() {
+                            links.push(Link {
+                                target: target.to_string(),
+                                line: index + 1,
+                            });
+                        }
+                        i += 2 + close;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+/// Returns the target if it points inside the repo (`None` for external
+/// schemes), percent-decoding left to the author — repo paths are ASCII.
+fn intra_repo_target(target: &str) -> Option<String> {
+    let lowered = target.to_ascii_lowercase();
+    if lowered.starts_with("http://")
+        || lowered.starts_with("https://")
+        || lowered.starts_with("mailto:")
+        || lowered.starts_with("ftp://")
+    {
+        return None;
+    }
+    Some(target.to_string())
+}
+
+/// GitHub-style heading slugs of one Markdown document: lowercase, spaces
+/// to hyphens, punctuation (other than hyphens/underscores) dropped.
+fn heading_slugs(text: &str) -> Vec<String> {
+    let mut slugs = Vec::new();
+    let mut in_fence = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !trimmed.starts_with('#') {
+            continue;
+        }
+        let heading = trimmed.trim_start_matches('#').trim();
+        // Inline code ticks and emphasis markers don't survive slugging.
+        let mut slug = String::new();
+        for ch in heading.chars() {
+            match ch {
+                ' ' => slug.push('-'),
+                '-' | '_' => slug.push(ch),
+                c if c.is_alphanumeric() => slug.extend(c.to_lowercase()),
+                _ => {}
+            }
+        }
+        slugs.push(slug);
+    }
+    slugs
+}
+
+/// Renders a path relative to the walk root for stable diagnostics.
+fn display_rel(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}

@@ -46,6 +46,23 @@ pub use walker::{FileContext, FileKind};
 ///
 /// Most callers want [`lint_workspace`]; this entry point exists so tests
 /// can lint fixture sources under any claimed path.
+///
+/// # Example
+///
+/// ```
+/// use simlint::rules::WorkspaceFacts;
+/// use simlint::{lint_source, FileContext};
+///
+/// let ctx = FileContext::classify("crates/cluster/src/example.rs");
+/// let mut facts = WorkspaceFacts::default();
+/// // HashMap iteration order is nondeterministic — banned on digest paths.
+/// let findings = lint_source(&ctx, "use std::collections::HashMap;\n", &mut facts);
+/// assert!(findings.iter().any(|finding| finding.rule == "D1"));
+/// // The same line under a reasoned pragma is clean.
+/// let allowed = "use std::collections::HashMap; \
+///     // simlint::allow(D1, reason = \"point lookups only\")\n";
+/// assert!(lint_source(&ctx, allowed, &mut facts).is_empty());
+/// ```
 pub fn lint_source(
     ctx: &FileContext,
     source: &str,

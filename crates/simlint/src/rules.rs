@@ -8,6 +8,7 @@
 //! | `D3` | no RNG construction without an explicit seed (`thread_rng`, `from_entropy`, `OsRng`, ...) |
 //! | `P1` | no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in library code |
 //! | `S1` | every non-shim library crate root carries `#![forbid(unsafe_code)]` |
+//! | `T1` | no host-concurrency primitives (`Mutex`/`RwLock`/`Condvar`/`mpsc`, `thread::scope`/`spawn`) in digest-affecting crates outside audited, pragma-documented sites |
 //! | `X1` | every `EV_*` event-kind constant has a match arm; every emitted `serving.*`/`migration.*`/`control.*`/`slo.*`/`timeseries.*`/`fault.*`/`recovery.*` metric name is declared in the `METRIC_NAMES` taxonomy |
 //!
 //! Scoping decisions (also printed by `--explain`):
@@ -139,6 +140,29 @@ pub const RULES: &[RuleInfo] = &[
                   Scope: src/lib.rs of every non-shim workspace member.",
     },
     RuleInfo {
+        id: "T1",
+        summary: "no host-concurrency primitives in digest-affecting crates outside audited sites",
+        explain:
+            "T1 — no host-concurrency primitives in digest-affecting crates outside audited sites\n\
+                  \n\
+                  Threads, channels and locks let the host scheduler into the\n\
+                  simulation: any result that depends on lock acquisition or message\n\
+                  arrival order differs run to run, which silently voids the\n\
+                  `same seed => identical report` guarantee the golden digests pin.\n\
+                  Flagged: Mutex, RwLock, Condvar, the mpsc module, thread::scope,\n\
+                  thread::Builder and any .spawn(...) call, in the digest-affecting\n\
+                  crates (cluster, neu10, autopilot, workloads, npu-sim).\n\
+                  Scope: library code of those crates, #[cfg(test)] mods included —\n\
+                  a test whose outcome rides on thread scheduling is flaky by\n\
+                  construction.\n\
+                  Concurrency that provably cannot reach a digest — the\n\
+                  ownership-transfer worker pool in cluster::par (jobs move by\n\
+                  value, results re-sort by partition tag), a lookup-only memo\n\
+                  table — stays behind\n\
+                  `// simlint::allow(T1, reason = \"...\")` stating why scheduling\n\
+                  order is unobservable.",
+    },
+    RuleInfo {
         id: "X1",
         summary: "event-kind constants need match arms; metric names need taxonomy entries",
         explain: "X1 — cross-file exhaustiveness\n\
@@ -184,6 +208,18 @@ pub fn known_rule(id: &str) -> bool {
 
 /// Looks up a rule for `--explain` (enforced rules plus the PRAGMA
 /// meta-rule).
+///
+/// # Example
+///
+/// ```
+/// use simlint::{rule_info, RULES};
+///
+/// let t1 = rule_info("T1").expect("T1 is an enforced rule");
+/// assert!(t1.summary.contains("concurrency"));
+/// // Every enforced rule is explainable; unknown ids are not.
+/// assert!(RULES.iter().all(|rule| rule_info(rule.id).is_some()));
+/// assert!(rule_info("Z9").is_none());
+/// ```
 pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
     if id == RULE_PRAGMA {
         return Some(&PRAGMA_INFO);
@@ -259,6 +295,19 @@ pub fn lint_tokens(
                 ),
             );
         }
+        if digest_crate && lib_kind && matches!(name, "Mutex" | "RwLock" | "Condvar" | "mpsc") {
+            report(
+                &mut findings,
+                token.line,
+                "T1",
+                format!(
+                    "`{name}` is a host-concurrency primitive in digest-affecting \
+                     crate `{}` — scheduling order must not reach a report; keep \
+                     concurrency in audited, pragma-documented sites",
+                    ctx.crate_name
+                ),
+            );
+        }
         if matches!(name, "thread_rng" | "from_entropy" | "OsRng" | "ThreadRng") {
             report(
                 &mut findings,
@@ -292,6 +341,38 @@ pub fn lint_tokens(
                  are events on the cycle clock"
                     .to_string(),
             );
+        }
+        // T1: `thread :: scope|spawn|Builder` paths and `.spawn(` calls in
+        // digest-affecting crates.
+        if digest_crate && lib_kind {
+            let thread_path = w >= 3
+                && code[w - 1].1.is_punct(':')
+                && code[w - 2].1.is_punct(':')
+                && code[w - 3].1.is_ident("thread")
+                && (t.is_ident("scope") || t.is_ident("spawn") || t.is_ident("Builder"));
+            let dot_spawn = t.is_ident("spawn")
+                && w >= 1
+                && code[w - 1].1.is_punct('.')
+                && w + 1 < code.len()
+                && code[w + 1].1.is_punct('(');
+            if thread_path || dot_spawn {
+                report(
+                    &mut findings,
+                    t.line,
+                    "T1",
+                    format!(
+                        "`{}` spawns host threads in digest-affecting crate `{}` — \
+                         scheduling order must not reach a report; keep concurrency \
+                         in audited, pragma-documented sites",
+                        if thread_path {
+                            format!("thread::{}", t.text)
+                        } else {
+                            ".spawn(...)".to_string()
+                        },
+                        ctx.crate_name
+                    ),
+                );
+            }
         }
         // P1: `.unwrap(` / `.expect(` and `panic!` / `todo!` / `unimplemented!`.
         if lib_kind && ctx.kind != FileKind::Bin && !in_test[code[w].0] {
@@ -624,6 +705,22 @@ mod tests {
         );
         // Non-root files don't need the attribute.
         assert_eq!(lint("crates/neu10/src/x.rs", "pub fn f() {}\n").len(), 0);
+    }
+
+    #[test]
+    fn t1_concurrency_primitives_in_digest_crates() {
+        let src = "use std::sync::{mpsc, Mutex};\nfn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        // Line 1 carries two flagged idents; line 2 thread::scope plus .spawn(.
+        assert_eq!(lint("crates/cluster/src/x.rs", src).len(), 4);
+        // Outside the digest-affecting crates the same source is fine.
+        assert_eq!(lint("crates/hypervisor/src/x.rs", src).len(), 0);
+        // Unlike D1, #[cfg(test)] mods are NOT exempt: a scheduling-dependent
+        // test is flaky by construction.
+        let in_test = "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}\n";
+        assert_eq!(lint("crates/cluster/src/x.rs", in_test).len(), 1);
+        // An audited site suppresses with a reasoned pragma.
+        let allowed = "use std::sync::mpsc; // simlint::allow(T1, reason = \"audited pool\")\n";
+        assert_eq!(lint("crates/cluster/src/x.rs", allowed).len(), 0);
     }
 
     #[test]

@@ -113,6 +113,23 @@ fn s1_forbid_unsafe_on_crate_roots() {
 }
 
 #[test]
+fn t1_concurrency_outside_audited_sites() {
+    assert_pair(
+        "T1",
+        "crates/cluster/src/fixture.rs",
+        include_str!("fixtures/t1_fail.rs"),
+        include_str!("fixtures/t1_pass.rs"),
+    );
+    // Outside the digest-affecting crates host concurrency is not simlint's
+    // concern.
+    assert!(lint_as(
+        "crates/hypervisor/src/fixture.rs",
+        include_str!("fixtures/t1_fail.rs")
+    )
+    .is_empty());
+}
+
+#[test]
 fn x1_event_kinds_need_match_arms() {
     assert_pair(
         "X1",

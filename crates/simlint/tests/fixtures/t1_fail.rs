@@ -1,0 +1,12 @@
+// Fixture: T1 must fire — host-concurrency primitives in a digest crate.
+use std::sync::mpsc;
+
+pub fn fan_out(jobs: Vec<u64>) -> Vec<u64> {
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for job in jobs {
+            scope.spawn(|| results.lock().unwrap_or_else(|p| p.into_inner()).push(job));
+        }
+    });
+    results.into_inner().unwrap_or_else(|p| p.into_inner())
+}

@@ -1,0 +1,8 @@
+// Fixture: T1 must stay quiet — an audited concurrency site documents with a
+// reasoned pragma why thread scheduling cannot reach a report.
+use std::sync::mpsc; // simlint::allow(T1, reason = "audited pool: jobs move by value, results re-sort by tag")
+
+pub fn round_channel() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) { // simlint::allow(T1, reason = "audited pool: jobs move by value, results re-sort by tag")
+    // simlint::allow(T1, reason = "audited pool: jobs move by value, results re-sort by tag")
+    mpsc::channel()
+}

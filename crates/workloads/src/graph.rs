@@ -20,6 +20,19 @@ pub struct InferenceGraph {
 
 impl InferenceGraph {
     /// Builds the graph of `model` at `batch_size`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use workloads::{InferenceGraph, ModelId};
+    ///
+    /// let graph = InferenceGraph::build(ModelId::ResNet, 8);
+    /// assert_eq!(graph.model(), ModelId::ResNet);
+    /// assert!(graph.operators().len() > 10);
+    /// // Shape-faithful synthesis is deterministic: no seed, no variance.
+    /// assert_eq!(graph.hbm_footprint_bytes(),
+    ///            InferenceGraph::build(ModelId::ResNet, 8).hbm_footprint_bytes());
+    /// ```
     pub fn build(model: ModelId, batch_size: u64) -> Self {
         let batch_size = batch_size.max(1);
         InferenceGraph {

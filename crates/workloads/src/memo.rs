@@ -17,10 +17,16 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock}; // simlint::allow(T1, reason = "interior mutability of the audited memo table; values are pure functions of their key")
 
 use crate::graph::InferenceGraph;
 use crate::suite::ModelId;
+
+// Hashed on purpose (simlint D1): the table answers exact-key lookups
+// only — no code path iterates it, so its order cannot reach a digest —
+// and generic keys would force an `Ord` bound onto every memo user.
+// simlint::allow(D1, reason = "point lookups only; never iterated; avoids an Ord bound on keys")
+type MemoTable<K, V> = Mutex<HashMap<K, Arc<V>>>; // simlint::allow(T1, reason = "lock order is unobservable: memoized values are pure functions of their key")
 
 /// A process-wide memo table: one [`Arc`]-shared value per key.
 ///
@@ -31,11 +37,7 @@ use crate::suite::ModelId;
 /// the same stored value afterwards — harmless for the pure computations the
 /// table is meant for.
 pub struct Memo<K, V> {
-    // Hashed on purpose (simlint D1): the table answers exact-key lookups
-    // only — no code path iterates it, so its order cannot reach a digest —
-    // and generic keys would force an `Ord` bound onto every memo user.
-    // simlint::allow(D1, reason = "point lookups only; never iterated; avoids an Ord bound on keys")
-    table: OnceLock<Mutex<HashMap<K, Arc<V>>>>,
+    table: OnceLock<MemoTable<K, V>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -50,10 +52,9 @@ impl<K: Eq + Hash + Clone, V> Memo<K, V> {
         }
     }
 
-    // simlint::allow(D1, reason = "point lookups only; never iterated; avoids an Ord bound on keys")
-    fn table(&self) -> &Mutex<HashMap<K, Arc<V>>> {
+    fn table(&self) -> &MemoTable<K, V> {
         // simlint::allow(D1, reason = "constructor for the audited lookup-only table")
-        self.table.get_or_init(|| Mutex::new(HashMap::new()))
+        self.table.get_or_init(|| Mutex::new(HashMap::new())) // simlint::allow(T1, reason = "constructor of the audited memo table lock")
     }
 
     /// Locks the table, absorbing poisoning: values are pure functions of

@@ -225,6 +225,20 @@ impl ClusterTrace {
     /// Builds a trace by superposing one Poisson stream per `(model,
     /// mean_interarrival_cycles)` entry, each contributing `per_model`
     /// requests. Deterministic for a fixed `seed`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use workloads::{ClusterTrace, ModelId};
+    ///
+    /// let streams = [(ModelId::Mnist, 10_000), (ModelId::Bert, 40_000)];
+    /// let trace = ClusterTrace::poisson(&streams, 100, 42);
+    /// // `per_model` requests per stream, merged into arrival order.
+    /// assert_eq!(trace.arrivals().len(), 200);
+    /// assert!(trace.arrivals().windows(2).all(|w| w[0].at <= w[1].at));
+    /// // Same seed ⇒ the identical trace, arrival for arrival.
+    /// assert_eq!(trace, ClusterTrace::poisson(&streams, 100, 42));
+    /// ```
     pub fn poisson(streams: &[(ModelId, u64)], per_model: usize, seed: u64) -> Self {
         let mut arrivals = Vec::with_capacity(streams.len() * per_model);
         for (index, (model, mean)) in streams.iter().enumerate() {

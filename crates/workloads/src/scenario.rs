@@ -78,6 +78,24 @@ pub struct DiurnalTrace {
 
 impl DiurnalTrace {
     /// A one-period trace starting at the trough.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use workloads::{DiurnalTrace, ModelId};
+    ///
+    /// let day = DiurnalTrace::new(vec![(ModelId::Mnist, 5_000)], 1_000_000)
+    ///     .with_trough_to_peak(0.2);
+    /// let trace = day.generate(7);
+    /// assert!(!trace.arrivals().is_empty());
+    /// // The day starts at the trough and ramps toward the mid-period
+    /// // peak, so the second quarter is busier than the first.
+    /// let q = 250_000;
+    /// let count = |lo, hi| {
+    ///     trace.arrivals().iter().filter(|a| a.at.get() >= lo && a.at.get() < hi).count()
+    /// };
+    /// assert!(count(0, q) < count(q, 2 * q));
+    /// ```
     pub fn new(streams: Vec<(ModelId, u64)>, period: u64) -> Self {
         DiurnalTrace {
             streams,
